@@ -1,0 +1,23 @@
+//! Baseline distribution estimators the paper compares Adam2 against.
+//!
+//! * [`EquiDepthProtocol`] — the gossip-based equi-depth histogram
+//!   estimation of Haridasan & van Renesse (IPTPS 2008), reimplemented
+//!   from its description: nodes gossip bounded synopses of histogram
+//!   boundaries and merge them by union + equi-depth recompression.
+//!   Because the same underlying samples travel multiple gossip paths and
+//!   are re-counted on merge (*sample duplication*), the accuracy plateaus
+//!   at a few percent and — unlike Adam2 — does not improve across phases
+//!   (paper Figs. 6b and 8).
+//! * [`sample_estimate`] — random sampling (Hall & Carzaniga, Euro-Par
+//!   2009): draw `k` uniform samples of the attribute (via random walks in
+//!   the real system) and use the empirical CDF. Accuracy scales as
+//!   `O(1/sqrt(k))`; matching Adam2 needs 1 000–10 000 samples *per node*,
+//!   an order of magnitude more traffic (paper Fig. 9, Section VII-I).
+
+mod equidepth;
+mod equiwidth;
+mod sampling;
+
+pub use equidepth::{EquiDepthConfig, EquiDepthNode, EquiDepthProtocol, PhaseMeta};
+pub use equiwidth::{EquiWidthConfig, EquiWidthNode, EquiWidthProtocol, WidthPhaseMeta};
+pub use sampling::{sample_estimate, sampling_cost_messages, SamplingEstimate};

@@ -1,0 +1,149 @@
+//! Random-sampling estimation (Hall & Carzaniga).
+//!
+//! A node estimates the attribute distribution by drawing `k` uniform
+//! random samples of the attribute values and taking the empirical CDF. In
+//! a real deployment each sample costs one random walk of several hops
+//! ([`sampling_cost_messages`]); the simulator grants the sampler an
+//! oracle that returns uniform node values directly, which is *generous*
+//! to the baseline — its accuracy is what the paper compares, its cost is
+//! what makes it impractical.
+
+use rand::rngs::StdRng;
+use rand::RngExt as _;
+
+use adam2_core::InterpCdf;
+
+/// A random-sampling distribution estimate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SamplingEstimate {
+    /// The empirical CDF of the sample.
+    pub cdf: InterpCdf,
+    /// Number of samples drawn.
+    pub samples: usize,
+    /// Messages a real deployment would have spent (random walks).
+    pub cost_messages: u64,
+}
+
+/// Default random-walk length used for cost accounting (enough hops for
+/// approximate uniformity on a random overlay).
+const DEFAULT_WALK_HOPS: u64 = 10;
+
+/// Draws `k` uniform samples (with replacement, as independent random
+/// walks would) from the live attribute values and returns the empirical
+/// CDF estimate.
+///
+/// # Panics
+///
+/// Panics if `values` is empty or `k` is zero.
+///
+/// # Examples
+///
+/// ```
+/// use adam2_baselines::sample_estimate;
+/// use rand::SeedableRng;
+///
+/// let values: Vec<f64> = (1..=1000).map(f64::from).collect();
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let est = sample_estimate(&values, 500, &mut rng);
+/// let median = est.cdf.quantile(0.5);
+/// assert!((median - 500.0).abs() < 80.0);
+/// ```
+pub fn sample_estimate(values: &[f64], k: usize, rng: &mut StdRng) -> SamplingEstimate {
+    assert!(!values.is_empty(), "values must not be empty");
+    assert!(k > 0, "k must be positive");
+    let sample: Vec<f64> = (0..k)
+        .map(|_| values[rng.random_range(0..values.len())])
+        .collect();
+    SamplingEstimate {
+        cdf: InterpCdf::from_sample(&sample),
+        samples: k,
+        cost_messages: sampling_cost_messages(k, DEFAULT_WALK_HOPS),
+    }
+}
+
+/// Messages required to draw `k` uniform samples via random walks of
+/// `hops` hops each (each hop is one network message).
+pub fn sampling_cost_messages(k: usize, hops: u64) -> u64 {
+    k as u64 * hops
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adam2_core::{discrete_max_distance, StepCdf};
+    use rand::SeedableRng;
+
+    fn uniform_values(n: usize) -> Vec<f64> {
+        (1..=n).map(|i| i as f64).collect()
+    }
+
+    #[test]
+    fn more_samples_reduce_error() {
+        let values = uniform_values(10_000);
+        let truth = StepCdf::from_values(values.clone());
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut previous = f64::INFINITY;
+        for k in [10, 100, 1000, 10_000] {
+            // Average over a few draws to smooth randomness.
+            let mut total = 0.0;
+            for _ in 0..5 {
+                let est = sample_estimate(&values, k, &mut rng);
+                total += discrete_max_distance(&truth, &est.cdf);
+            }
+            let err = total / 5.0;
+            assert!(err < previous * 1.2, "error did not shrink at k={k}: {err}");
+            previous = err;
+        }
+        // With k = N samples, error is around 1/sqrt(N) territory.
+        assert!(previous < 0.03, "final error {previous}");
+    }
+
+    #[test]
+    fn error_scales_like_inverse_sqrt_k() {
+        let values = uniform_values(100_000);
+        let truth = StepCdf::from_values(values.clone());
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut errs = Vec::new();
+        for k in [100, 10_000] {
+            let mut total = 0.0;
+            for _ in 0..5 {
+                let est = sample_estimate(&values, k, &mut rng);
+                total += discrete_max_distance(&truth, &est.cdf);
+            }
+            errs.push(total / 5.0);
+        }
+        // k grew 100x => error should shrink by roughly 10x (allow 4x-25x).
+        let ratio = errs[0] / errs[1];
+        assert!(
+            (4.0..60.0).contains(&ratio),
+            "scaling ratio {ratio}, errs {errs:?}"
+        );
+    }
+
+    #[test]
+    fn cost_model_counts_walk_hops() {
+        assert_eq!(sampling_cost_messages(1000, 10), 10_000);
+        let values = uniform_values(100);
+        let mut rng = StdRng::seed_from_u64(4);
+        let est = sample_estimate(&values, 7, &mut rng);
+        assert_eq!(est.samples, 7);
+        assert_eq!(est.cost_messages, 70);
+    }
+
+    #[test]
+    fn samples_come_from_the_population() {
+        let values = vec![5.0, 7.0, 11.0];
+        let mut rng = StdRng::seed_from_u64(5);
+        let est = sample_estimate(&values, 50, &mut rng);
+        for (x, _) in est.cdf.knots() {
+            assert!(values.contains(x), "foreign sample {x}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be positive")]
+    fn zero_samples_rejected() {
+        let mut rng = StdRng::seed_from_u64(6);
+        sample_estimate(&[1.0], 0, &mut rng);
+    }
+}

@@ -1,0 +1,89 @@
+//! Property-based tests of the baseline estimators.
+
+use proptest::prelude::*;
+
+use adam2_baselines::{sample_estimate, EquiWidthConfig};
+use adam2_core::StepCdf;
+use adam2_sim::seeded_rng;
+
+proptest! {
+    // ---- Random sampling ------------------------------------------------
+
+    #[test]
+    fn sample_estimate_is_a_valid_cdf_of_population_values(
+        values in prop::collection::vec(0.0f64..1e6, 1..200),
+        k in 1usize..500,
+        seed in 0u64..1000,
+    ) {
+        let mut rng = seeded_rng(seed);
+        let est = sample_estimate(&values, k, &mut rng);
+        prop_assert_eq!(est.samples, k);
+        // All knots come from the population; y spans [0, 1] monotonically.
+        for (x, y) in est.cdf.knots() {
+            prop_assert!(values.contains(x), "foreign sample {x}");
+            prop_assert!((0.0..=1.0).contains(y));
+        }
+        let ys: Vec<f64> = est.cdf.knots().iter().map(|(_, y)| *y).collect();
+        prop_assert!(ys.windows(2).all(|w| w[0] <= w[1]));
+        prop_assert_eq!(*ys.last().unwrap(), 1.0);
+    }
+
+    #[test]
+    fn full_census_sampling_is_consistent_with_truth(
+        values in prop::collection::vec(0.0f64..1e3, 1..100),
+        seed in 0u64..100,
+    ) {
+        // Sampling with replacement k >> n approaches the true CDF.
+        let truth = StepCdf::from_values(values.clone());
+        let mut rng = seeded_rng(seed);
+        let est = sample_estimate(&values, values.len() * 200, &mut rng);
+        // Loose DKW-style bound: with 200n samples the sup distance is
+        // below ~0.2 with overwhelming probability.
+        let d = adam2_core::max_distance(&truth, &est.cdf);
+        prop_assert!(d < 0.2, "census sample too far from truth: {d}");
+    }
+
+    // ---- Equi-width binning ----------------------------------------------
+
+    #[test]
+    fn equiwidth_bins_partition_the_domain(
+        bins in 1usize..50,
+        lo in 0.0f64..100.0,
+        span in 1.0f64..1e5,
+        probes in prop::collection::vec(0.0f64..1.0, 30),
+    ) {
+        let config = EquiWidthConfig::new(bins, 10, (lo, lo + span));
+        let mut prev_bin = 0usize;
+        let mut sorted = probes;
+        sorted.sort_by(f64::total_cmp);
+        for p in sorted {
+            let value = lo + span * p;
+            let bin = config_bin(&config, value);
+            prop_assert!(bin < bins);
+            prop_assert!(bin >= prev_bin, "bin index must be monotone in the value");
+            prev_bin = bin;
+        }
+    }
+}
+
+/// Accesses the bin through the public protocol surface: build a one-node
+/// phase and read back which mass slot was set.
+fn config_bin(config: &EquiWidthConfig, value: f64) -> usize {
+    use adam2_baselines::EquiWidthProtocol;
+    use adam2_sim::{Engine, EngineConfig};
+    let proto = EquiWidthProtocol::with_population(*config, vec![value, value], move |_| value);
+    let mut engine = Engine::new(EngineConfig::new(2, 7), proto);
+    engine.with_ctx(|proto, ctx| {
+        let initiator = ctx.nodes.random_id(ctx.rng).expect("nodes");
+        proto.start_phase(initiator, ctx)
+    });
+    let (_, node) = engine
+        .nodes()
+        .iter()
+        .find(|(_, n)| !n.masses().is_empty())
+        .expect("phase started");
+    node.masses()
+        .iter()
+        .position(|m| *m > 0.0)
+        .expect("one-hot mass")
+}

@@ -1,0 +1,158 @@
+//! Ablation benchmarks for the design choices called out in DESIGN.md:
+//!
+//! * refinement heuristic (HCut / MinMax / LCut / Hybrid) — cost of the
+//!   threshold-selection step on smooth vs stepped previous estimates;
+//! * bootstrap strategy (Uniform vs Neighbours) — cost of instance start;
+//! * overlay implementation (oracle vs Cyclon-style shuffle) — per-round
+//!   overhead of realistic peer sampling.
+
+use std::hint::black_box;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use adam2_bench::{adam2_engine, setup};
+use adam2_core::{
+    select_thresholds, Adam2Config, BootstrapKind, InterpCdf, RefineKind, SelectionInput,
+};
+use adam2_sim::{seeded_rng, ChurnModel, Engine, EngineConfig, OverlayConfig};
+use adam2_traces::Attribute;
+
+fn smooth_estimate() -> adam2_core::DistributionEstimate {
+    let knots: Vec<(f64, f64)> = (0..52)
+        .map(|i| {
+            let t = i as f64 / 51.0;
+            (t * 10_000.0, t)
+        })
+        .collect();
+    estimate_of(InterpCdf::new(knots).unwrap())
+}
+
+fn stepped_estimate() -> adam2_core::DistributionEstimate {
+    // Three heavy steps like the RAM distribution.
+    let knots = vec![
+        (64.0, 0.0),
+        (512.0, 0.02),
+        (512.0, 0.30),
+        (1024.0, 0.32),
+        (1024.0, 0.70),
+        (2048.0, 0.72),
+        (2048.0, 0.95),
+        (8192.0, 1.0),
+    ];
+    estimate_of(InterpCdf::new(knots).unwrap())
+}
+
+fn estimate_of(cdf: InterpCdf) -> adam2_core::DistributionEstimate {
+    let (min, max) = (cdf.min(), cdf.max());
+    adam2_core::DistributionEstimate {
+        cdf,
+        n_hat: Some(10_000.0),
+        min,
+        max,
+        est_err_avg: None,
+        est_err_max: None,
+        instance: adam2_core::InstanceId::derive(0, 0, 0),
+        completed_round: 30,
+        thresholds: vec![],
+        fractions: vec![],
+    }
+}
+
+fn bench_refinement(c: &mut Criterion) {
+    let mut group = c.benchmark_group("refinement_select");
+    for (shape, est) in [
+        ("smooth", smooth_estimate()),
+        ("stepped", stepped_estimate()),
+    ] {
+        for refine in [
+            RefineKind::HCut,
+            RefineKind::MinMax,
+            RefineKind::LCut,
+            RefineKind::Hybrid,
+        ] {
+            group.bench_function(BenchmarkId::new(format!("{refine:?}"), shape), |b| {
+                let mut rng = seeded_rng(1);
+                let input = SelectionInput {
+                    prev: Some(&est),
+                    neighbour_values: &[],
+                    domain_hint: None,
+                };
+                b.iter(|| {
+                    black_box(select_thresholds(
+                        BootstrapKind::Neighbours,
+                        refine,
+                        input,
+                        50,
+                        &mut rng,
+                    ))
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_bootstrap(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bootstrap_start_instance");
+    for (label, bootstrap) in [
+        ("uniform", BootstrapKind::Uniform),
+        ("neighbours", BootstrapKind::Neighbours),
+    ] {
+        group.bench_function(label, |b| {
+            let s = setup(Attribute::Ram, 5_000, 42);
+            let mut config = Adam2Config::new()
+                .with_lambda(50)
+                .with_rounds_per_instance(1_000_000)
+                .with_bootstrap(bootstrap);
+            if bootstrap == BootstrapKind::Uniform {
+                config = config.with_domain_hint(s.truth.min(), s.truth.max());
+            }
+            let mut engine = adam2_engine(&s, config, 42, ChurnModel::None);
+            b.iter(|| {
+                engine.with_ctx(|proto, ctx| {
+                    let initiator = ctx.nodes.random_id(ctx.rng).expect("nodes");
+                    black_box(proto.start_instance(initiator, ctx))
+                })
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_overlay(c: &mut Criterion) {
+    let mut group = c.benchmark_group("overlay_round");
+    group.sample_size(10);
+    for (label, overlay) in [
+        ("oracle", OverlayConfig::oracle()),
+        ("shuffle_deg20", OverlayConfig::shuffle(20)),
+    ] {
+        group.bench_function(label, |b| {
+            let s = setup(Attribute::Ram, 5_000, 42);
+            let config = Adam2Config::new()
+                .with_lambda(50)
+                .with_rounds_per_instance(1_000_000);
+            let pop = s.population.clone();
+            let proto = adam2_core::Adam2Protocol::with_population(
+                config,
+                pop.values().to_vec(),
+                move |rng| pop.draw_fresh(rng),
+            );
+            let engine_config = EngineConfig::new(5_000, 42).with_overlay(overlay);
+            let mut engine = Engine::new(engine_config, proto);
+            engine.with_ctx(|proto, ctx| {
+                let initiator = ctx.nodes.random_id(ctx.rng).expect("nodes");
+                proto.start_instance(initiator, ctx)
+            });
+            engine.run_rounds(5);
+            b.iter(|| engine.run_round());
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = ablation;
+    config = Criterion::default().sample_size(20);
+    targets = bench_refinement, bench_bootstrap, bench_overlay
+}
+criterion_main!(ablation);

@@ -1,0 +1,127 @@
+//! Micro-benchmarks of the protocol's hot primitives: state merging, CDF
+//! evaluation, error metrics, threshold selection and the wire codec.
+
+use std::hint::black_box;
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use adam2_core::{
+    discrete_errors_over, hcut_thresholds, lcut_thresholds, max_distance, minmax_thresholds,
+    wire::GossipMessage, AttrValue, InstanceId, InstanceLocal, InstanceMeta, InterpCdf, StepCdf,
+};
+use adam2_sim::seeded_rng;
+use adam2_traces::{Attribute, Population};
+
+fn sample_meta(lambda: usize, verify: usize) -> Arc<InstanceMeta> {
+    Arc::new(InstanceMeta {
+        id: InstanceId::derive(0, 0, 1),
+        thresholds: (1..=lambda)
+            .map(|i| i as f64 * 10.0)
+            .collect::<Vec<_>>()
+            .into(),
+        verify_thresholds: (1..=verify)
+            .map(|i| i as f64 * 7.0)
+            .collect::<Vec<_>>()
+            .into(),
+        start_round: 0,
+        end_round: 25,
+        multi: false,
+    })
+}
+
+fn sample_cdf(knots: usize) -> InterpCdf {
+    let points: Vec<(f64, f64)> = (0..knots)
+        .map(|i| {
+            let x = i as f64 / (knots - 1) as f64;
+            (x * 1000.0, x.powf(0.3).min(1.0))
+        })
+        .collect();
+    InterpCdf::new(points).expect("valid knots")
+}
+
+fn bench_merge(c: &mut Criterion) {
+    let meta = sample_meta(50, 20);
+    let mut a = InstanceLocal::join(meta.clone(), &AttrValue::Single(250.0), true);
+    let mut b = InstanceLocal::join(meta, &AttrValue::Single(600.0), false);
+    c.bench_function("merge_symmetric_lambda50_v20", |bencher| {
+        bencher.iter(|| {
+            InstanceLocal::merge_symmetric(black_box(&mut a), black_box(&mut b));
+        })
+    });
+}
+
+fn bench_cdf_eval(c: &mut Criterion) {
+    let cdf = sample_cdf(52);
+    c.bench_function("interp_cdf_eval", |bencher| {
+        let mut x = 0.0;
+        bencher.iter(|| {
+            x = (x + 13.7) % 1000.0;
+            black_box(cdf.eval(black_box(x)))
+        })
+    });
+    c.bench_function("interp_cdf_quantile", |bencher| {
+        let mut q = 0.0;
+        bencher.iter(|| {
+            q = (q + 0.037) % 1.0;
+            black_box(cdf.quantile(black_box(q)))
+        })
+    });
+}
+
+fn bench_metrics(c: &mut Criterion) {
+    let mut rng = seeded_rng(7);
+    let pop = Population::generate(Attribute::Ram, 10_000, &mut rng);
+    let truth = StepCdf::from_values(pop.values().to_vec());
+    let est = sample_cdf(52);
+    c.bench_function("max_distance_10k_values", |bencher| {
+        bencher.iter(|| black_box(max_distance(black_box(&truth), black_box(&est))))
+    });
+    c.bench_function("discrete_errors_ram_domain", |bencher| {
+        bencher.iter(|| {
+            black_box(discrete_errors_over(
+                black_box(&truth),
+                black_box(&est),
+                truth.min(),
+                truth.max(),
+            ))
+        })
+    });
+}
+
+fn bench_selection(c: &mut Criterion) {
+    let cdf = sample_cdf(52);
+    c.bench_function("hcut_lambda50", |bencher| {
+        bencher.iter(|| black_box(hcut_thresholds(black_box(&cdf), 50)))
+    });
+    c.bench_function("minmax_lambda50", |bencher| {
+        bencher.iter(|| black_box(minmax_thresholds(black_box(&cdf), 50)))
+    });
+    c.bench_function("lcut_lambda50", |bencher| {
+        bencher.iter(|| black_box(lcut_thresholds(black_box(&cdf), 50)))
+    });
+}
+
+fn bench_wire(c: &mut Criterion) {
+    let meta = sample_meta(50, 20);
+    let local = InstanceLocal::join(meta, &AttrValue::Single(250.0), true);
+    let locals = [local];
+    let msg = GossipMessage::from_locals(&locals);
+    let encoded = msg.encode();
+    c.bench_function("wire_encode_lambda50_v20", |bencher| {
+        bencher.iter(|| black_box(GossipMessage::from_locals(black_box(&locals)).encode()))
+    });
+    c.bench_function("wire_decode_lambda50_v20", |bencher| {
+        bencher.iter(|| black_box(GossipMessage::decode(black_box(encoded.clone())).unwrap()))
+    });
+}
+
+criterion_group!(
+    primitives,
+    bench_merge,
+    bench_cdf_eval,
+    bench_metrics,
+    bench_selection,
+    bench_wire
+);
+criterion_main!(primitives);

@@ -1,0 +1,214 @@
+//! Extension ablations:
+//!
+//! 1. **Interpolation scheme** — linear (the paper's choice) vs monotone
+//!    cubic (the paper's "more complex approaches are possible").
+//! 2. **Combining instances** — pooling interpolation points from two
+//!    consecutive instances of a stable CDF (Section VII-D's in-text
+//!    suggestion).
+//! 3. **Fixed equi-width bins** — Adam2's exact averaging *without* its
+//!    adaptive threshold placement, isolating what refinement buys.
+
+use adam2_baselines::{EquiWidthConfig, EquiWidthProtocol};
+use adam2_bench::{adam2_engine, complete_instance, fmt_err, start_instance, Args, Table};
+use adam2_core::{discrete_errors_over, Adam2Config, MonotoneCubicCdf, RefineKind, StepCdf};
+use adam2_sim::{ChurnModel, Engine, EngineConfig};
+
+fn main() {
+    let args = Args::parse("exp_ablations");
+    args.print_header("exp_ablations", "extension ablations (not paper figures)");
+
+    interpolation_ablation(&args);
+    combination_ablation(&args);
+    equiwidth_ablation(&args);
+}
+
+/// Linear vs monotone cubic interpolation of the same aggregated points.
+fn interpolation_ablation(args: &Args) {
+    println!("1. interpolation scheme (after 3 LCut instances):");
+    let mut table = Table::new(vec![
+        "attribute",
+        "Err_a linear",
+        "Err_a cubic",
+        "Err_m linear",
+        "Err_m cubic",
+    ]);
+    for attr in &args.attrs {
+        let setup = adam2_bench::setup(*attr, args.nodes, args.seed);
+        let config = Adam2Config::new()
+            .with_lambda(args.lambda)
+            .with_rounds_per_instance(args.rounds)
+            .with_refine(RefineKind::LCut);
+        let mut engine = adam2_engine(&setup, config, args.seed, ChurnModel::None);
+        for _ in 0..3 {
+            start_instance(&mut engine);
+            complete_instance(&mut engine, args.rounds);
+        }
+        let (_, node) = engine.nodes().iter().next().expect("nodes");
+        let est = node.estimate().expect("estimate");
+        let (lin_m, lin_a) =
+            discrete_errors_over(&setup.truth, &est.cdf, setup.truth.min(), setup.truth.max());
+        let cubic = MonotoneCubicCdf::from_linear(&est.cdf);
+        let (cub_m, cub_a) = cubic_errors(&setup.truth, &cubic);
+        table.row(vec![
+            attr.name().to_string(),
+            fmt_err(lin_a),
+            fmt_err(cub_a),
+            fmt_err(lin_m),
+            fmt_err(cub_m),
+        ]);
+    }
+    table.print();
+    println!(
+        "   expected: cubic helps on the smooth cpu CDF (curvature between points), is \
+         neutral-to-equal on stepped ram (the shape limiter collapses to the chord).\n"
+    );
+}
+
+/// Exact discrete errors for the cubic interpolant.
+fn cubic_errors(truth: &StepCdf, cubic: &MonotoneCubicCdf) -> (f64, f64) {
+    let lo = truth.min();
+    let hi = truth.max();
+    let start = lo.ceil() as i64;
+    let end = hi.floor() as i64;
+    let mut max = 0.0f64;
+    let mut sum = 0.0f64;
+    for k in start..=end {
+        let x = k as f64;
+        let d = (truth.eval(x) - cubic.eval(x)).abs();
+        max = max.max(d);
+        sum += d;
+    }
+    (max, sum / (hi - lo))
+}
+
+/// Combining the point sets of two consecutive instances (Section VII-D).
+fn combination_ablation(args: &Args) {
+    println!("2. combining two instances' interpolation points (Section VII-D):");
+    let mut table = Table::new(vec![
+        "attribute",
+        "instance 2 alone (Err_a)",
+        "combined 2+3 (Err_a)",
+        "instance 2 alone (Err_m)",
+        "combined 2+3 (Err_m)",
+    ]);
+    for attr in &args.attrs {
+        let setup = adam2_bench::setup(*attr, args.nodes, args.seed);
+        let config = Adam2Config::new()
+            .with_lambda(args.lambda)
+            .with_rounds_per_instance(args.rounds)
+            .with_refine(RefineKind::LCut);
+        let mut engine = adam2_engine(&setup, config, args.seed, ChurnModel::None);
+        start_instance(&mut engine);
+        complete_instance(&mut engine, args.rounds);
+        start_instance(&mut engine);
+        complete_instance(&mut engine, args.rounds);
+        let second = {
+            let (_, node) = engine.nodes().iter().next().expect("nodes");
+            node.estimate().expect("estimate").clone()
+        };
+        start_instance(&mut engine);
+        complete_instance(&mut engine, args.rounds);
+        let third = {
+            let (_, node) = engine.nodes().iter().next().expect("nodes");
+            node.estimate().expect("estimate").clone()
+        };
+        let combined = second.combined_with(&third).expect("combinable");
+        let (alone_m, alone_a) = discrete_errors_over(
+            &setup.truth,
+            &third.cdf,
+            setup.truth.min(),
+            setup.truth.max(),
+        );
+        let (comb_m, comb_a) = discrete_errors_over(
+            &setup.truth,
+            &combined.cdf,
+            setup.truth.min(),
+            setup.truth.max(),
+        );
+        table.row(vec![
+            attr.name().to_string(),
+            fmt_err(alone_a),
+            fmt_err(comb_a),
+            fmt_err(alone_m),
+            fmt_err(comb_m),
+        ]);
+    }
+    table.print();
+    println!(
+        "   expected: pooling ~doubles the effective point count for free on a stable CDF, \
+         reducing the interpolation error below either single instance.\n"
+    );
+}
+
+/// Adam2 vs exact-averaging equi-width histograms with the same budget.
+fn equiwidth_ablation(args: &Args) {
+    println!("3. adaptive thresholds vs fixed equi-width bins (same point budget):");
+    let mut table = Table::new(vec![
+        "attribute",
+        "adam2 minmax Err_m",
+        "equi-width Err_m",
+        "adam2 lcut Err_a",
+        "equi-width Err_a",
+    ]);
+    for attr in &args.attrs {
+        let setup = adam2_bench::setup(*attr, args.nodes, args.seed);
+
+        let mut results = Vec::new();
+        for refine in [RefineKind::MinMax, RefineKind::LCut] {
+            let config = Adam2Config::new()
+                .with_lambda(args.lambda)
+                .with_rounds_per_instance(args.rounds)
+                .with_refine(refine);
+            let mut engine = adam2_engine(&setup, config, args.seed, ChurnModel::None);
+            for _ in 0..3 {
+                start_instance(&mut engine);
+                complete_instance(&mut engine, args.rounds);
+            }
+            let (_, node) = engine.nodes().iter().next().expect("nodes");
+            let est = node.estimate().expect("estimate");
+            results.push(discrete_errors_over(
+                &setup.truth,
+                &est.cdf,
+                setup.truth.min(),
+                setup.truth.max(),
+            ));
+        }
+
+        let ew_config = EquiWidthConfig::new(
+            args.lambda,
+            args.rounds,
+            (setup.truth.min(), setup.truth.max()),
+        );
+        let pop = setup.population.clone();
+        let proto =
+            EquiWidthProtocol::with_population(ew_config, pop.values().to_vec(), move |rng| {
+                pop.draw_fresh(rng)
+            });
+        let mut engine = Engine::new(EngineConfig::new(args.nodes, args.seed), proto);
+        for _ in 0..3 {
+            engine.with_ctx(|proto, ctx| {
+                let initiator = ctx.nodes.random_id(ctx.rng).expect("nodes");
+                proto.start_phase(initiator, ctx)
+            });
+            complete_instance(&mut engine, args.rounds);
+        }
+        let (_, node) = engine.nodes().iter().next().expect("nodes");
+        let est = node.estimate().expect("estimate");
+        let (ew_m, ew_a) =
+            discrete_errors_over(&setup.truth, est, setup.truth.min(), setup.truth.max());
+
+        table.row(vec![
+            attr.name().to_string(),
+            fmt_err(results[0].0),
+            fmt_err(ew_m),
+            fmt_err(results[1].1),
+            fmt_err(ew_a),
+        ]);
+    }
+    table.print();
+    println!(
+        "   expected: on smooth cpu the fixed bins are serviceable; on the skewed/stepped \
+         ram attribute adaptive placement wins decisively — refinement, not just exact \
+         averaging, is what makes Adam2 accurate."
+    );
+}

@@ -1,0 +1,207 @@
+//! Reproduces Fig. 6: approximation error per round within a single
+//! aggregation instance (a) Adam2 and (b) EquiDepth, for the RAM
+//! attribute — errors at the interpolation points/bins and over the
+//! entire CDF domain.
+
+use adam2_baselines::EquiDepthConfig;
+use adam2_bench::{
+    adam2_engine, equidepth_engine, fmt_err, run_instance_tracked, start_instance, start_phase,
+    Args, AsciiChart, Table,
+};
+use adam2_core::{discrete_errors_over, Adam2Config, StepCdf};
+use adam2_sim::{derive_seed, seeded_rng, ChurnModel};
+use adam2_traces::Attribute;
+use rand::RngExt as _;
+
+fn main() {
+    let mut args = Args::parse("fig06_single_instance");
+    // The paper shows RAM; 80 rounds to display the full exponential decay.
+    if args.attrs.len() > 1 {
+        args.attrs = vec![Attribute::Ram];
+    }
+    let rounds: u64 = args
+        .extra_parsed("track-rounds")
+        .unwrap_or_else(|e| panic!("{e}"))
+        .unwrap_or(80);
+    args.print_header(
+        "fig06_single_instance",
+        "Fig. 6 (single-instance error per round, RAM)",
+    );
+    let attr = args.attrs[0];
+    let setup = adam2_bench::setup(attr, args.nodes, args.seed);
+
+    // ---- (a) Adam2 ------------------------------------------------------
+    let config = Adam2Config::new()
+        .with_lambda(args.lambda)
+        .with_rounds_per_instance(rounds);
+    let mut engine = adam2_engine(&setup, config, args.seed, ChurnModel::None);
+    let meta = start_instance(&mut engine);
+    let truth = setup.truth.clone();
+    let series = run_instance_tracked(
+        &mut engine,
+        &meta,
+        move |_| truth.clone(),
+        rounds,
+        args.sample_peers,
+        args.seed,
+    );
+
+    let mut table = Table::new(vec![
+        "round",
+        "adam2 max@points",
+        "adam2 avg@points",
+        "adam2 max CDF",
+        "adam2 avg CDF",
+        "participation",
+    ]);
+    for s in &series {
+        if s.round <= 10 || s.round % 5 == 0 {
+            table.row(vec![
+                s.round.to_string(),
+                fmt_err(s.max_points),
+                fmt_err(s.avg_points),
+                fmt_err(s.max_cdf),
+                fmt_err(s.avg_cdf),
+                format!("{:.3}", s.participation),
+            ]);
+        }
+    }
+    println!("(a) Adam2, single instance:");
+    table.print();
+    println!();
+    let chart = AsciiChart::new(64, 18)
+        .log_y()
+        .series(
+            'M',
+            "max@points",
+            series
+                .iter()
+                .map(|s| (s.round as f64, s.max_points))
+                .collect(),
+        )
+        .series(
+            'a',
+            "avg@points",
+            series
+                .iter()
+                .map(|s| (s.round as f64, s.avg_points))
+                .collect(),
+        )
+        .series(
+            'C',
+            "max CDF",
+            series.iter().map(|s| (s.round as f64, s.max_cdf)).collect(),
+        );
+    chart.print();
+    println!();
+
+    // ---- (b) EquiDepth ---------------------------------------------------
+    let ed_config = EquiDepthConfig::new(args.lambda, rounds);
+    let mut ed_engine = equidepth_engine(&setup, ed_config, args.seed, ChurnModel::None);
+    let phase = start_phase(&mut ed_engine);
+    let mut ed_table = Table::new(vec![
+        "round",
+        "equidepth max@bins",
+        "equidepth avg@bins",
+        "equidepth max CDF",
+        "equidepth avg CDF",
+    ]);
+    let mut rng = seeded_rng(derive_seed(args.seed, 0xED));
+    let mut final_row = (0.0, 0.0, 0.0, 0.0);
+    for r in 1..=rounds {
+        ed_engine.run_round();
+        let (max_b, avg_b, max_c, avg_c) = equidepth_round_errors(
+            &ed_engine,
+            &setup.truth,
+            phase.start_round,
+            args.sample_peers,
+            &mut rng,
+        );
+        final_row = (max_b, avg_b, max_c, avg_c);
+        if r <= 10 || r % 5 == 0 {
+            ed_table.row(vec![
+                r.to_string(),
+                fmt_err(max_b),
+                fmt_err(avg_b),
+                fmt_err(max_c),
+                fmt_err(avg_c),
+            ]);
+        }
+    }
+    println!("(b) EquiDepth, single phase:");
+    ed_table.print();
+    println!();
+    println!(
+        "expected shape: Adam2's error at the interpolation points decays exponentially to \
+         ~1e-15 after round ~10 while the entire-CDF error floors at a few percent \
+         (interpolation error); EquiDepth's error at the bins stays at percent level — \
+         sample duplication — and never improves. Final EquiDepth row: max@bins={} \
+         avg@bins={} maxCDF={} avgCDF={}",
+        fmt_err(final_row.0),
+        fmt_err(final_row.1),
+        fmt_err(final_row.2),
+        fmt_err(final_row.3),
+    );
+    table.maybe_write_csv(args.csv.as_deref());
+}
+
+/// EquiDepth per-round errors: at the synopsis bins and over the whole
+/// CDF (sampled peers). Non-participants count as error 1.0.
+fn equidepth_round_errors(
+    engine: &adam2_sim::Engine<adam2_baselines::EquiDepthProtocol>,
+    truth: &StepCdf,
+    phase_start: u64,
+    sample_peers: usize,
+    rng: &mut rand::rngs::StdRng,
+) -> (f64, f64, f64, f64) {
+    let mut participants = Vec::new();
+    let mut absent = 0usize;
+    let mut max_bins = 0.0f64;
+    let mut sum_bins = 0.0f64;
+    for (id, node) in engine.nodes().iter() {
+        if node.joined_round() > phase_start {
+            continue;
+        }
+        let syn = node.synopsis();
+        if syn.len() < 2 {
+            absent += 1;
+            continue;
+        }
+        participants.push(id);
+        let s = syn.len();
+        let mut peer_sum = 0.0f64;
+        for (i, b) in syn.iter().enumerate() {
+            let e = (truth.eval(*b) - i as f64 / (s - 1) as f64).abs();
+            max_bins = max_bins.max(e);
+            peer_sum += e;
+        }
+        sum_bins += peer_sum / s as f64;
+    }
+    if absent > 0 {
+        max_bins = 1.0;
+    }
+    let avg_bins = (sum_bins + absent as f64) / (participants.len() + absent).max(1) as f64;
+
+    let mut max_cdf = if absent > 0 { 1.0 } else { 0.0f64 };
+    let mut sum_cdf = 0.0f64;
+    let samples = sample_peers.min(participants.len());
+    for _ in 0..samples {
+        let id = participants[rng.random_range(0..participants.len())];
+        let node = engine.nodes().get(id).expect("live");
+        if let Some(cdf) = node.phase_estimate() {
+            let (m, a) = discrete_errors_over(truth, &cdf, truth.min(), truth.max());
+            max_cdf = max_cdf.max(m);
+            sum_cdf += a;
+        } else {
+            sum_cdf += 1.0;
+        }
+    }
+    let sampled_mean = if samples > 0 {
+        sum_cdf / samples as f64
+    } else {
+        1.0
+    };
+    let avg_cdf = (sampled_mean * participants.len() as f64 + absent as f64)
+        / (participants.len() + absent).max(1) as f64;
+    (max_bins, avg_bins, max_cdf, avg_cdf)
+}

@@ -1,0 +1,103 @@
+//! Reproduces Fig. 13: approximation accuracy after 8 instances (phases)
+//! as a function of the churn rate, 0 .. 30 % of nodes replaced per round.
+//! Joining nodes are included in the metrics (they inherit estimates from
+//! neighbours).
+
+use adam2_baselines::EquiDepthConfig;
+use adam2_bench::{
+    adam2_engine, complete_instance, current_truth, equidepth_engine, equidepth_truth,
+    evaluate_equidepth_estimates, evaluate_estimates, fmt_err, start_instance, start_phase, Args,
+    Table,
+};
+use adam2_core::{Adam2Config, RefineKind};
+use adam2_sim::ChurnModel;
+
+fn main() {
+    let args = Args::parse("fig13_churn_rate");
+    args.print_header("fig13_churn_rate", "Fig. 13 (accuracy vs churn rate)");
+    let instances: usize = args
+        .extra_parsed("instances")
+        .unwrap_or_else(|e| panic!("{e}"))
+        .unwrap_or(8);
+    let rates: Vec<f64> = vec![0.0, 0.001, 0.003, 0.01, 0.03, 0.1, 0.3];
+
+    for (metric_name, pick_max, refine) in [
+        (
+            "(a) maximum error Err_m (MinMax vs EquiDepth)",
+            true,
+            RefineKind::MinMax,
+        ),
+        (
+            "(b) average error Err_a (LCut vs EquiDepth)",
+            false,
+            RefineKind::LCut,
+        ),
+    ] {
+        let mut headers = vec!["churn/round".to_string()];
+        for attr in &args.attrs {
+            headers.push(format!(
+                "{attr}-{}",
+                if pick_max { "minmax" } else { "lcut" }
+            ));
+            headers.push(format!("{attr}-equidepth"));
+        }
+        let mut rows: Vec<Vec<String>> = rates.iter().map(|r| vec![format!("{r}")]).collect();
+
+        for attr in &args.attrs {
+            let setup = adam2_bench::setup(*attr, args.nodes, args.seed);
+            for (row, rate) in rows.iter_mut().zip(&rates) {
+                let churn = ChurnModel::uniform(*rate);
+
+                let config = Adam2Config::new()
+                    .with_lambda(args.lambda)
+                    .with_rounds_per_instance(args.rounds)
+                    .with_refine(refine);
+                let mut engine = adam2_engine(&setup, config, args.seed, churn);
+                for _ in 0..instances {
+                    start_instance(&mut engine);
+                    complete_instance(&mut engine, args.rounds);
+                }
+                let truth = current_truth(&engine);
+                let report = evaluate_estimates(&engine, &truth, args.sample_peers, args.seed);
+                row.push(fmt_err(if pick_max {
+                    report.max_cdf
+                } else {
+                    report.avg_cdf
+                }));
+
+                let mut ed = equidepth_engine(
+                    &setup,
+                    EquiDepthConfig::new(args.lambda, args.rounds),
+                    args.seed,
+                    churn,
+                );
+                for _ in 0..instances {
+                    start_phase(&mut ed);
+                    complete_instance(&mut ed, args.rounds);
+                }
+                let ed_truth = equidepth_truth(&ed);
+                let ed_report =
+                    evaluate_equidepth_estimates(&ed, &ed_truth, args.sample_peers, args.seed);
+                row.push(fmt_err(if pick_max {
+                    ed_report.max_cdf
+                } else {
+                    ed_report.avg_cdf
+                }));
+            }
+        }
+
+        let mut table = Table::new(headers);
+        for row in rows {
+            table.row(row);
+        }
+        println!("{metric_name}:");
+        table.print();
+        println!();
+    }
+
+    println!(
+        "expected shape: both systems hold their no-churn accuracy until about 1% churn per \
+         round (10x the churn of real P2P deployments), then degrade; Adam2 remains better \
+         throughout."
+    );
+}

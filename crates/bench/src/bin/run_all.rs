@@ -1,0 +1,85 @@
+//! Runs every figure/table experiment in sequence, writing each output to
+//! a results directory — the one-command regeneration of the paper's
+//! entire evaluation section.
+//!
+//! ```text
+//! run_all [--out DIR] [--full] [... shared flags forwarded to each experiment]
+//! ```
+
+use std::io::Write as _;
+use std::process::Command;
+
+const EXPERIMENTS: &[&str] = &[
+    "fig04_distributions",
+    "fig05_bootstrap",
+    "fig06_single_instance",
+    "fig07_heuristics",
+    "fig08_equidepth",
+    "fig09_sampling",
+    "fig10_points",
+    "fig11_scalability",
+    "fig12_churn_instance",
+    "fig13_churn_rate",
+    "fig14_confidence",
+    "cost_table",
+    "exp_async",
+    "exp_loss",
+    "exp_dynamic",
+    "exp_ablations",
+];
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let mut out_dir = "results".to_string();
+    if let Some(pos) = args.iter().position(|a| a == "--out") {
+        if pos + 1 >= args.len() {
+            eprintln!("run_all: --out requires a value");
+            std::process::exit(2);
+        }
+        out_dir = args.remove(pos + 1);
+        args.remove(pos);
+    }
+    if let Err(e) = std::fs::create_dir_all(&out_dir) {
+        eprintln!("run_all: cannot create {out_dir}: {e}");
+        std::process::exit(1);
+    }
+
+    let self_path = std::env::current_exe().expect("own path");
+    let bin_dir = self_path.parent().expect("bin directory");
+
+    let mut failures = 0;
+    for experiment in EXPERIMENTS {
+        let started = std::time::Instant::now();
+        print!("{experiment:<24} ");
+        std::io::stdout().flush().ok();
+        let output = Command::new(bin_dir.join(experiment)).args(&args).output();
+        match output {
+            Ok(output) if output.status.success() => {
+                let path = format!("{out_dir}/{experiment}.txt");
+                if let Err(e) = std::fs::write(&path, &output.stdout) {
+                    eprintln!("cannot write {path}: {e}");
+                    failures += 1;
+                    continue;
+                }
+                println!("ok ({:.1}s) -> {path}", started.elapsed().as_secs_f64());
+            }
+            Ok(output) => {
+                println!("FAILED (exit {:?})", output.status.code());
+                std::io::stderr().write_all(&output.stderr).ok();
+                failures += 1;
+            }
+            Err(e) => {
+                println!("FAILED to launch: {e}");
+                failures += 1;
+            }
+        }
+    }
+    if failures > 0 {
+        eprintln!("{failures} experiment(s) failed");
+        std::process::exit(1);
+    }
+    println!(
+        "\nall {} experiments written to {out_dir}/",
+        EXPERIMENTS.len()
+    );
+}

@@ -1,0 +1,368 @@
+//! Result reporting: aligned tables, CSV output, ASCII charts.
+
+use std::io::Write as _;
+
+/// Formats an error value the way the paper's log-scale figures read:
+/// scientific for small values, fixed for percent-scale ones.
+pub fn fmt_err(v: f64) -> String {
+    if !v.is_finite() {
+        "n/a".to_string()
+    } else if v == 0.0 {
+        "0".to_string()
+    } else if v < 1e-3 {
+        format!("{v:.2e}")
+    } else {
+        format!("{v:.4}")
+    }
+}
+
+/// A simple aligned table that can also be written as CSV.
+///
+/// # Examples
+///
+/// ```
+/// let mut t = adam2_bench::Table::new(vec!["k", "err"]);
+/// t.row(vec!["10".into(), "0.5".into()]);
+/// let rendered = t.render();
+/// assert!(rendered.contains("err"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Into<String>>(headers: Vec<S>) -> Self {
+        Self {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the header width.
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table with aligned columns.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let line = |cells: &[String], widths: &[usize], out: &mut String| {
+            for (i, (cell, w)) in cells.iter().zip(widths).enumerate() {
+                if i > 0 {
+                    out.push_str("  ");
+                }
+                out.push_str(cell);
+                out.extend(std::iter::repeat_n(' ', w - cell.len()));
+            }
+            while out.ends_with(' ') {
+                out.pop();
+            }
+            out.push('\n');
+        };
+        line(&self.headers, &widths, &mut out);
+        let rule: String = widths
+            .iter()
+            .enumerate()
+            .map(|(i, w)| {
+                let dash = "-".repeat(*w);
+                if i > 0 {
+                    format!("  {dash}")
+                } else {
+                    dash
+                }
+            })
+            .collect();
+        out.push_str(&rule);
+        out.push('\n');
+        for row in &self.rows {
+            line(row, &widths, &mut out);
+        }
+        out
+    }
+
+    /// Prints the rendered table to stdout.
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+
+    /// Writes the table as CSV (RFC 4180-style quoting for cells that need
+    /// it).
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from writing the file.
+    pub fn write_csv(&self, path: &str) -> std::io::Result<()> {
+        let mut file = std::fs::File::create(path)?;
+        let escape = |cell: &str| -> String {
+            if cell.contains(',') || cell.contains('"') || cell.contains('\n') {
+                format!("\"{}\"", cell.replace('"', "\"\""))
+            } else {
+                cell.to_string()
+            }
+        };
+        let mut write_row = |cells: &[String]| -> std::io::Result<()> {
+            let line: Vec<String> = cells.iter().map(|c| escape(c)).collect();
+            writeln!(file, "{}", line.join(","))
+        };
+        write_row(&self.headers)?;
+        for row in &self.rows {
+            write_row(row)?;
+        }
+        Ok(())
+    }
+
+    /// Writes CSV if a path was requested, reporting success on stdout.
+    pub fn maybe_write_csv(&self, path: Option<&str>) {
+        if let Some(path) = path {
+            match self.write_csv(path) {
+                Ok(()) => println!("(csv written to {path})"),
+                Err(e) => eprintln!("csv write failed: {e}"),
+            }
+        }
+    }
+}
+
+/// A quick-look ASCII line chart with optional log axes, for eyeballing
+/// the shape of a series against the paper's figures without leaving the
+/// terminal.
+#[derive(Debug, Clone)]
+pub struct AsciiChart {
+    width: usize,
+    height: usize,
+    log_x: bool,
+    log_y: bool,
+    series: Vec<Series>,
+}
+
+/// One plotted series: symbol, legend label, and `(x, y)` points.
+type Series = (char, String, Vec<(f64, f64)>);
+
+impl AsciiChart {
+    /// Creates an empty chart of the given character dimensions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is smaller than 8.
+    pub fn new(width: usize, height: usize) -> Self {
+        assert!(width >= 8 && height >= 8, "chart too small");
+        Self {
+            width,
+            height,
+            log_x: false,
+            log_y: false,
+            series: Vec::new(),
+        }
+    }
+
+    /// Uses a logarithmic x-axis.
+    pub fn log_x(mut self) -> Self {
+        self.log_x = true;
+        self
+    }
+
+    /// Uses a logarithmic y-axis (the paper's error plots are log-y).
+    pub fn log_y(mut self) -> Self {
+        self.log_y = true;
+        self
+    }
+
+    /// Adds a series plotted with `symbol`.
+    pub fn series(
+        mut self,
+        symbol: char,
+        label: impl Into<String>,
+        points: Vec<(f64, f64)>,
+    ) -> Self {
+        self.series.push((symbol, label.into(), points));
+        self
+    }
+
+    fn transform(&self, v: f64, log: bool) -> Option<f64> {
+        if !v.is_finite() {
+            return None;
+        }
+        if log {
+            if v <= 0.0 {
+                return None;
+            }
+            Some(v.log10())
+        } else {
+            Some(v)
+        }
+    }
+
+    /// Renders the chart (empty string if no plottable points).
+    pub fn render(&self) -> String {
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for (_, _, pts) in &self.series {
+            for (x, y) in pts {
+                if let (Some(tx), Some(ty)) = (
+                    self.transform(*x, self.log_x),
+                    self.transform(*y, self.log_y),
+                ) {
+                    xs.push(tx);
+                    ys.push(ty);
+                }
+            }
+        }
+        if xs.is_empty() {
+            return String::new();
+        }
+        let (x_lo, x_hi) = min_max(&xs);
+        let (y_lo, y_hi) = min_max(&ys);
+        let x_span = if x_hi > x_lo { x_hi - x_lo } else { 1.0 };
+        let y_span = if y_hi > y_lo { y_hi - y_lo } else { 1.0 };
+
+        let mut grid = vec![vec![' '; self.width]; self.height];
+        for (symbol, _, pts) in &self.series {
+            for (x, y) in pts {
+                let (Some(tx), Some(ty)) = (
+                    self.transform(*x, self.log_x),
+                    self.transform(*y, self.log_y),
+                ) else {
+                    continue;
+                };
+                let col = (((tx - x_lo) / x_span) * (self.width - 1) as f64).round() as usize;
+                let row = (((ty - y_lo) / y_span) * (self.height - 1) as f64).round() as usize;
+                let row = self.height - 1 - row;
+                grid[row.min(self.height - 1)][col.min(self.width - 1)] = *symbol;
+            }
+        }
+
+        let fmt_axis = |t: f64, log: bool| -> String {
+            let v = if log { 10f64.powf(t) } else { t };
+            if v != 0.0 && (v.abs() < 1e-2 || v.abs() >= 1e4) {
+                format!("{v:.1e}")
+            } else {
+                format!("{v:.2}")
+            }
+        };
+        let mut out = String::new();
+        for (i, row) in grid.iter().enumerate() {
+            let label = if i == 0 {
+                fmt_axis(y_hi, self.log_y)
+            } else if i == self.height - 1 {
+                fmt_axis(y_lo, self.log_y)
+            } else {
+                String::new()
+            };
+            out.push_str(&format!("{label:>9} |"));
+            out.extend(row.iter());
+            out.push('\n');
+        }
+        out.push_str(&format!("{:>9} +{}\n", "", "-".repeat(self.width)));
+        out.push_str(&format!(
+            "{:>10} {}    ...    {}\n",
+            "",
+            fmt_axis(x_lo, self.log_x),
+            fmt_axis(x_hi, self.log_x)
+        ));
+        let legend: Vec<String> = self
+            .series
+            .iter()
+            .map(|(sym, label, _)| format!("{sym} = {label}"))
+            .collect();
+        out.push_str(&format!("{:>10} {}\n", "", legend.join("   ")));
+        out
+    }
+
+    /// Prints the chart to stdout.
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+}
+
+fn min_max(values: &[f64]) -> (f64, f64) {
+    let lo = values.iter().copied().fold(f64::INFINITY, f64::min);
+    let hi = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    (lo, hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fmt_err_ranges() {
+        assert_eq!(fmt_err(0.0), "0");
+        assert_eq!(fmt_err(0.05), "0.0500");
+        assert_eq!(fmt_err(5e-7), "5.00e-7");
+        assert_eq!(fmt_err(f64::NAN), "n/a");
+    }
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new(vec!["instance", "err_m"]);
+        t.row(vec!["1".into(), "0.5".into()]);
+        t.row(vec!["10".into(), "0.05".into()]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("instance"));
+        assert!(lines[1].starts_with("--------"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn table_rejects_ragged_rows() {
+        let mut t = Table::new(vec!["a", "b"]);
+        t.row(vec!["1".into()]);
+    }
+
+    #[test]
+    fn csv_roundtrip_with_quoting() {
+        let mut t = Table::new(vec!["name", "value"]);
+        t.row(vec!["with,comma".into(), "with\"quote".into()]);
+        let path = std::env::temp_dir().join("adam2_table_test.csv");
+        t.write_csv(path.to_str().unwrap()).unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert!(content.contains("\"with,comma\""));
+        assert!(content.contains("\"with\"\"quote\""));
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn chart_renders_series() {
+        let chart = AsciiChart::new(40, 10)
+            .log_y()
+            .series('*', "errm", vec![(1.0, 1.0), (2.0, 0.1), (3.0, 0.01)])
+            .series('o', "erra", vec![(1.0, 0.5), (2.0, 0.05), (3.0, 0.005)]);
+        let s = chart.render();
+        assert!(s.contains('*'));
+        assert!(s.contains('o'));
+        assert!(s.contains("errm"));
+    }
+
+    #[test]
+    fn chart_skips_nonpositive_on_log_axis() {
+        let chart = AsciiChart::new(20, 8)
+            .log_y()
+            .series('x', "s", vec![(1.0, 0.0)]);
+        assert_eq!(chart.render(), "");
+    }
+}

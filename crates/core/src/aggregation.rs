@@ -1,0 +1,272 @@
+//! Classic gossip aggregation primitives (Jelasity, Montresor & Babaoglu,
+//! TOCS 2005) — the substrate Adam2 builds on.
+//!
+//! Adam2's averaging of indicator vectors is the vector generalisation of
+//! these scalar protocols. They are provided as standalone
+//! [`Protocol`](adam2_sim::Protocol)s both for direct use ("future
+//! large-scale applications will ... pick the needed mechanisms from
+//! standard libraries", the paper concludes) and as independently tested
+//! references for the convergence behaviour Adam2 inherits:
+//!
+//! * [`MeanAggregation`] — push–pull averaging; every node converges to
+//!   the global mean at an exponential rate.
+//! * [`ExtremaAggregation`] — epidemic min/max; converges in O(log N)
+//!   rounds.
+//! * [`CountAggregation`] — system-size estimation via the weight trick
+//!   (one initiator holds 1, everyone else 0; the average is `1/N`).
+
+use rand::rngs::StdRng;
+
+use adam2_sim::{Ctx, NodeId, Protocol};
+
+/// Push–pull averaging of one scalar per node.
+pub struct MeanAggregation {
+    source: Box<dyn FnMut(&mut StdRng) -> f64 + Send>,
+}
+
+impl MeanAggregation {
+    /// Creates the protocol with a per-node value source.
+    pub fn new(source: impl FnMut(&mut StdRng) -> f64 + Send + 'static) -> Self {
+        Self {
+            source: Box::new(source),
+        }
+    }
+}
+
+impl std::fmt::Debug for MeanAggregation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MeanAggregation").finish_non_exhaustive()
+    }
+}
+
+impl Protocol for MeanAggregation {
+    type Node = f64;
+
+    fn make_node(&mut self, rng: &mut StdRng) -> f64 {
+        (self.source)(rng)
+    }
+
+    fn on_round(&mut self, id: NodeId, ctx: &mut Ctx<'_, f64>) {
+        let Some(partner) = ctx.random_neighbour(id) else {
+            return;
+        };
+        let Some((a, b)) = ctx.nodes.pair_mut(id, partner) else {
+            return;
+        };
+        let mean = (*a + *b) / 2.0;
+        *a = mean;
+        *b = mean;
+        ctx.net.charge_exchange(id, partner, 8, 8);
+    }
+}
+
+/// Epidemic minimum/maximum dissemination.
+pub struct ExtremaAggregation {
+    source: Box<dyn FnMut(&mut StdRng) -> f64 + Send>,
+}
+
+impl std::fmt::Debug for ExtremaAggregation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ExtremaAggregation").finish_non_exhaustive()
+    }
+}
+
+/// Per-node state of [`ExtremaAggregation`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Extrema {
+    /// The node's own value.
+    pub value: f64,
+    /// Smallest value heard of so far.
+    pub min: f64,
+    /// Largest value heard of so far.
+    pub max: f64,
+}
+
+impl ExtremaAggregation {
+    /// Creates the protocol with a per-node value source.
+    pub fn new(source: impl FnMut(&mut StdRng) -> f64 + Send + 'static) -> Self {
+        Self {
+            source: Box::new(source),
+        }
+    }
+}
+
+impl Protocol for ExtremaAggregation {
+    type Node = Extrema;
+
+    fn make_node(&mut self, rng: &mut StdRng) -> Extrema {
+        let value = (self.source)(rng);
+        Extrema {
+            value,
+            min: value,
+            max: value,
+        }
+    }
+
+    fn on_round(&mut self, id: NodeId, ctx: &mut Ctx<'_, Extrema>) {
+        let Some(partner) = ctx.random_neighbour(id) else {
+            return;
+        };
+        let Some((a, b)) = ctx.nodes.pair_mut(id, partner) else {
+            return;
+        };
+        let min = a.min.min(b.min);
+        let max = a.max.max(b.max);
+        a.min = min;
+        b.min = min;
+        a.max = max;
+        b.max = max;
+        ctx.net.charge_exchange(id, partner, 16, 16);
+    }
+}
+
+/// System-size estimation: the gossip COUNT protocol.
+///
+/// Exactly one node (the initiator) starts with weight 1, everyone else
+/// with 0; push–pull averaging conserves the total weight of 1, so every
+/// node's weight converges to `1/N` and `1/weight` estimates the system
+/// size.
+#[derive(Debug, Default)]
+pub struct CountAggregation {
+    initiated: bool,
+}
+
+impl CountAggregation {
+    /// Creates the protocol; call [`designate_initiator`] after engine
+    /// construction.
+    ///
+    /// [`designate_initiator`]: CountAggregation::designate_initiator
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Gives `initiator` the unit weight. Must be called exactly once.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called twice.
+    pub fn designate_initiator(&mut self, initiator: NodeId, ctx: &mut Ctx<'_, f64>) {
+        assert!(!self.initiated, "initiator already designated");
+        if let Some(w) = ctx.nodes.get_mut(initiator) {
+            *w = 1.0;
+            self.initiated = true;
+        }
+    }
+
+    /// The size estimate implied by a node's weight (`None` while the
+    /// node has not received any weight mass).
+    pub fn estimate(weight: f64) -> Option<f64> {
+        (weight > 0.0).then(|| 1.0 / weight)
+    }
+}
+
+impl Protocol for CountAggregation {
+    type Node = f64;
+
+    fn make_node(&mut self, _rng: &mut StdRng) -> f64 {
+        0.0
+    }
+
+    fn on_round(&mut self, id: NodeId, ctx: &mut Ctx<'_, f64>) {
+        let Some(partner) = ctx.random_neighbour(id) else {
+            return;
+        };
+        let Some((a, b)) = ctx.nodes.pair_mut(id, partner) else {
+            return;
+        };
+        let mean = (*a + *b) / 2.0;
+        *a = mean;
+        *b = mean;
+        ctx.net.charge_exchange(id, partner, 8, 8);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adam2_sim::{Engine, EngineConfig};
+    use rand::RngExt as _;
+
+    #[test]
+    fn mean_converges_exponentially() {
+        let mut next = 0.0;
+        let proto = MeanAggregation::new(move |_| {
+            next += 1.0;
+            next
+        });
+        let mut engine = Engine::new(EngineConfig::new(256, 61), proto);
+        let expected = 257.0 / 2.0;
+        let variance_at = |engine: &Engine<MeanAggregation>| {
+            engine
+                .nodes()
+                .iter()
+                .map(|(_, v)| (v - expected).powi(2))
+                .sum::<f64>()
+                / engine.nodes().len() as f64
+        };
+        let v0 = variance_at(&engine);
+        engine.run_rounds(10);
+        let v10 = variance_at(&engine);
+        engine.run_rounds(10);
+        let v20 = variance_at(&engine);
+        // Jelasity et al.: variance decays by ~1/(2*sqrt(e)) per round;
+        // ten rounds must shrink it by orders of magnitude.
+        assert!(v10 < v0 / 100.0, "v0={v0} v10={v10}");
+        assert!(v20 < v10 / 100.0, "v10={v10} v20={v20}");
+    }
+
+    #[test]
+    fn extrema_converge_in_log_rounds() {
+        let proto = ExtremaAggregation::new(|rng| rng.random_range(0.0..1e6));
+        let mut engine = Engine::new(EngineConfig::new(1024, 62), proto);
+        let true_min = engine
+            .nodes()
+            .iter()
+            .map(|(_, e)| e.value)
+            .fold(f64::INFINITY, f64::min);
+        let true_max = engine
+            .nodes()
+            .iter()
+            .map(|(_, e)| e.value)
+            .fold(f64::NEG_INFINITY, f64::max);
+        engine.run_rounds(20); // ~2 log2(1024)
+        for (_, e) in engine.nodes().iter() {
+            assert_eq!(e.min, true_min);
+            assert_eq!(e.max, true_max);
+        }
+    }
+
+    #[test]
+    fn count_estimates_system_size() {
+        let mut engine = Engine::new(EngineConfig::new(500, 63), CountAggregation::new());
+        engine.with_ctx(|proto, ctx| {
+            let initiator = ctx.nodes.random_id(ctx.rng).expect("nodes");
+            proto.designate_initiator(initiator, ctx);
+        });
+        engine.run_rounds(40);
+        for (_, w) in engine.nodes().iter() {
+            let n = CountAggregation::estimate(*w).expect("weight spread");
+            assert!((n - 500.0).abs() < 0.5, "estimate {n}");
+        }
+    }
+
+    #[test]
+    fn count_weight_mass_is_invariant() {
+        let mut engine = Engine::new(EngineConfig::new(100, 64), CountAggregation::new());
+        engine.with_ctx(|proto, ctx| {
+            let initiator = ctx.nodes.random_id(ctx.rng).expect("nodes");
+            proto.designate_initiator(initiator, ctx);
+        });
+        for _ in 0..20 {
+            engine.run_round();
+            let mass: f64 = engine.nodes().iter().map(|(_, w)| *w).sum();
+            assert!((mass - 1.0).abs() < 1e-12, "mass {mass}");
+        }
+    }
+
+    #[test]
+    fn estimate_requires_weight() {
+        assert_eq!(CountAggregation::estimate(0.0), None);
+        assert_eq!(CountAggregation::estimate(0.01), Some(100.0));
+    }
+}

@@ -1,0 +1,519 @@
+//! Cumulative distribution functions: exact step CDFs and piecewise-linear
+//! interpolations.
+//!
+//! The paper's ground truth `F(x)` is the *step* CDF of the attribute
+//! values of all live nodes ([`StepCdf`]). A node's estimate `F_p(x)` is a
+//! *piecewise-linear interpolation* through the aggregated points of `H`
+//! ([`InterpCdf`]) — "we use simple linear regression between each
+//! consecutive pair of points".
+//!
+//! [`InterpCdf`] permits duplicate x-coordinates in consecutive knots,
+//! which represent vertical jumps; this makes the type exact for empirical
+//! (staircase) CDFs too, as needed by the random-sampling and EquiDepth
+//! baselines. Evaluation is right-continuous, matching the paper's
+//! `F(x) = |{p : A(p) <= x}| / N` definition.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::CdfError;
+
+/// The exact (ground truth) step CDF of a multiset of values.
+///
+/// # Examples
+///
+/// ```
+/// use adam2_core::StepCdf;
+///
+/// let f = StepCdf::from_values(vec![1.0, 2.0, 2.0, 4.0]);
+/// assert_eq!(f.eval(0.5), 0.0);
+/// assert_eq!(f.eval(1.0), 0.25);
+/// assert_eq!(f.eval(2.0), 0.75);
+/// assert_eq!(f.eval(10.0), 1.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StepCdf {
+    /// All values, sorted ascending (duplicates retained).
+    values: Vec<f64>,
+}
+
+impl StepCdf {
+    /// Builds the step CDF of `values` (need not be sorted).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values` is empty or contains non-finite entries.
+    pub fn from_values(mut values: Vec<f64>) -> Self {
+        assert!(!values.is_empty(), "values must not be empty");
+        assert!(
+            values.iter().all(|v| v.is_finite()),
+            "values must be finite"
+        );
+        values.sort_by(f64::total_cmp);
+        Self { values }
+    }
+
+    /// Number of underlying values.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the CDF has no values (never true after construction).
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Smallest value.
+    pub fn min(&self) -> f64 {
+        self.values[0]
+    }
+
+    /// Largest value.
+    pub fn max(&self) -> f64 {
+        *self.values.last().expect("non-empty")
+    }
+
+    /// `F(x)`: the fraction of values at or below `x`.
+    pub fn eval(&self, x: f64) -> f64 {
+        let below = self.values.partition_point(|v| *v <= x);
+        below as f64 / self.values.len() as f64
+    }
+
+    /// The left limit `F(x⁻)`: the fraction of values strictly below `x`.
+    pub fn eval_left(&self, x: f64) -> f64 {
+        let below = self.values.partition_point(|v| *v < x);
+        below as f64 / self.values.len() as f64
+    }
+
+    /// Iterates over the distinct jump points in ascending order.
+    pub fn distinct_values(&self) -> impl Iterator<Item = f64> + '_ {
+        DistinctIter {
+            values: &self.values,
+            pos: 0,
+        }
+    }
+
+    /// The sorted underlying values.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+}
+
+struct DistinctIter<'a> {
+    values: &'a [f64],
+    pos: usize,
+}
+
+impl Iterator for DistinctIter<'_> {
+    type Item = f64;
+
+    fn next(&mut self) -> Option<f64> {
+        if self.pos >= self.values.len() {
+            return None;
+        }
+        let v = self.values[self.pos];
+        self.pos = self.values[self.pos..].partition_point(|w| *w <= v) + self.pos;
+        Some(v)
+    }
+}
+
+/// A piecewise-linear CDF approximation through a set of knots.
+///
+/// Invariants (validated at construction):
+///
+/// * knot x-coordinates are non-decreasing (equal x's in *consecutive*
+///   knots encode a vertical jump),
+/// * knot y-coordinates are non-decreasing and within `[0, 1]`,
+/// * all coordinates are finite, and there is at least one knot.
+///
+/// Evaluation clamps outside the knot range: `0`-side values take the first
+/// knot's y, `1`-side values the last knot's y.
+///
+/// # Examples
+///
+/// ```
+/// use adam2_core::InterpCdf;
+///
+/// let g = InterpCdf::new(vec![(0.0, 0.0), (10.0, 1.0)])?;
+/// assert_eq!(g.eval(5.0), 0.5);
+/// assert_eq!(g.eval(-1.0), 0.0);
+/// assert_eq!(g.quantile(0.25), 2.5);
+/// # Ok::<(), adam2_core::CdfError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InterpCdf {
+    knots: Vec<(f64, f64)>,
+}
+
+impl InterpCdf {
+    /// Creates an interpolated CDF from knots.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CdfError`] if the knot list is empty, not sorted by x,
+    /// has decreasing y, y outside `[0, 1]`, or non-finite coordinates.
+    pub fn new(knots: Vec<(f64, f64)>) -> Result<Self, CdfError> {
+        if knots.is_empty() {
+            return Err(CdfError::Empty);
+        }
+        for (i, (x, y)) in knots.iter().enumerate() {
+            if !x.is_finite() || !y.is_finite() {
+                return Err(CdfError::NotFinite { index: i });
+            }
+            if !(0.0..=1.0).contains(y) {
+                return Err(CdfError::OutOfRange {
+                    index: i,
+                    value: *y,
+                });
+            }
+            if i > 0 {
+                let (px, py) = knots[i - 1];
+                if *x < px {
+                    return Err(CdfError::UnsortedX { index: i });
+                }
+                if *y < py {
+                    return Err(CdfError::DecreasingY { index: i });
+                }
+            }
+        }
+        Ok(Self { knots })
+    }
+
+    /// Builds an estimate CDF from aggregated interpolation points.
+    ///
+    /// Combines the anchor points `(min, 0)` and `(max, 1)` — the paper's
+    /// specially-merged global extrema — with the `(t_i, f_i)` pairs of
+    /// `H`. Thresholds are sorted, and fractions are clipped to `[0, 1]`
+    /// and made monotone by a running maximum (gossip averaging noise can
+    /// produce microscopic inversions).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CdfError`] if `thresholds` and `fractions` have different
+    /// lengths, or any input is non-finite, or `min > max`.
+    pub fn from_points(
+        min: f64,
+        max: f64,
+        thresholds: &[f64],
+        fractions: &[f64],
+    ) -> Result<Self, CdfError> {
+        if thresholds.len() != fractions.len() {
+            return Err(CdfError::LengthMismatch {
+                thresholds: thresholds.len(),
+                fractions: fractions.len(),
+            });
+        }
+        if !min.is_finite() || !max.is_finite() || min > max {
+            return Err(CdfError::BadRange { min, max });
+        }
+        // Keep thresholds at exactly min/max: together with the anchors
+        // they encode the CDF's atoms at the extremes (e.g. a heavy step
+        // sitting at the attribute minimum) as vertical jumps.
+        let mut pairs: Vec<(f64, f64)> = thresholds
+            .iter()
+            .copied()
+            .zip(fractions.iter().copied())
+            .filter(|(t, _)| *t >= min && *t <= max)
+            .collect();
+        if pairs.iter().any(|(t, f)| !t.is_finite() || !f.is_finite()) {
+            return Err(CdfError::NotFinite { index: 0 });
+        }
+        pairs.sort_by(|a, b| a.0.total_cmp(&b.0));
+        let mut knots = Vec::with_capacity(pairs.len() + 2);
+        knots.push((min, 0.0));
+        let mut running = 0.0f64;
+        for (t, f) in pairs {
+            running = running.max(f.clamp(0.0, 1.0));
+            knots.push((t, running));
+        }
+        knots.push((max, 1.0));
+        Self::new(knots)
+    }
+
+    /// Builds the exact empirical (staircase) CDF of a sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sample is empty or contains non-finite values.
+    pub fn from_sample(sample: &[f64]) -> Self {
+        assert!(!sample.is_empty(), "sample must not be empty");
+        let step = StepCdf::from_values(sample.to_vec());
+        let n = step.len() as f64;
+        let mut knots = Vec::new();
+        let mut below = 0usize;
+        for v in step.distinct_values() {
+            let count = step.values().partition_point(|w| *w <= v) - below;
+            knots.push((v, below as f64 / n));
+            knots.push((v, (below + count) as f64 / n));
+            below += count;
+        }
+        Self::new(knots).expect("staircase knots are valid")
+    }
+
+    /// The knots of this CDF.
+    pub fn knots(&self) -> &[(f64, f64)] {
+        &self.knots
+    }
+
+    /// Smallest knot x (the estimated attribute minimum).
+    pub fn min(&self) -> f64 {
+        self.knots[0].0
+    }
+
+    /// Largest knot x (the estimated attribute maximum).
+    pub fn max(&self) -> f64 {
+        self.knots.last().expect("non-empty").0
+    }
+
+    /// Evaluates the CDF at `x` (right-continuous at jumps).
+    pub fn eval(&self, x: f64) -> f64 {
+        let j = self.knots.partition_point(|(kx, _)| *kx <= x);
+        if j == 0 {
+            return self.knots[0].1;
+        }
+        if j == self.knots.len() {
+            return self.knots[j - 1].1;
+        }
+        let (x0, y0) = self.knots[j - 1];
+        let (x1, y1) = self.knots[j];
+        debug_assert!(x1 > x); // partition_point guarantees kx > x at j
+        if x1 == x0 {
+            return y1;
+        }
+        y0 + (y1 - y0) * (x - x0) / (x1 - x0)
+    }
+
+    /// The left limit at `x` (differs from [`eval`](Self::eval) only at
+    /// jumps).
+    pub fn eval_left(&self, x: f64) -> f64 {
+        let j = self.knots.partition_point(|(kx, _)| *kx < x);
+        if j == 0 {
+            return self.knots[0].1;
+        }
+        if j == self.knots.len() {
+            return self.knots[j - 1].1;
+        }
+        let (x0, y0) = self.knots[j - 1];
+        let (x1, y1) = self.knots[j];
+        if x1 == x0 {
+            return y1.min(y0);
+        }
+        y0 + (y1 - y0) * (x - x0) / (x1 - x0)
+    }
+
+    /// The generalised inverse: the smallest `x` with `F(x) >= q`.
+    ///
+    /// `q` is clamped to `[first_y, last_y]` so the result is always within
+    /// the knot range.
+    pub fn quantile(&self, q: f64) -> f64 {
+        let q = q.clamp(self.knots[0].1, self.knots.last().expect("non-empty").1);
+        let j = self.knots.partition_point(|(_, ky)| *ky < q);
+        if j == 0 {
+            return self.knots[0].0;
+        }
+        if j == self.knots.len() {
+            return self.knots[j - 1].0;
+        }
+        let (x0, y0) = self.knots[j - 1];
+        let (x1, y1) = self.knots[j];
+        if y1 == y0 {
+            return x0;
+        }
+        x0 + (x1 - x0) * (q - y0) / (y1 - y0)
+    }
+
+    /// Total Euclidean arc length of the knot polyline with the x-axis
+    /// rescaled by `1 / (max - min)` (so both axes span `[0, 1]`), as used
+    /// by the LCut heuristic.
+    pub fn scaled_arc_length(&self) -> f64 {
+        self.scaled_arc_cumulative().last().copied().unwrap_or(0.0)
+    }
+
+    /// Cumulative scaled arc length at each knot, starting at `0.0`.
+    pub fn scaled_arc_cumulative(&self) -> Vec<f64> {
+        let span = self.max() - self.min();
+        let scale = if span > 0.0 { 1.0 / span } else { 1.0 };
+        let mut acc = Vec::with_capacity(self.knots.len());
+        let mut total = 0.0;
+        acc.push(0.0);
+        for w in self.knots.windows(2) {
+            let dx = (w[1].0 - w[0].0) * scale;
+            let dy = w[1].1 - w[0].1;
+            total += (dx * dx + dy * dy).sqrt();
+            acc.push(total);
+        }
+        acc
+    }
+
+    /// The point `(x, y)` at scaled arc position `s` along the polyline
+    /// (clamped to the total length).
+    pub fn point_at_arc(&self, s: f64) -> (f64, f64) {
+        let cumulative = self.scaled_arc_cumulative();
+        let total = *cumulative.last().expect("non-empty");
+        let s = s.clamp(0.0, total);
+        let j = cumulative.partition_point(|c| *c < s);
+        if j == 0 {
+            return self.knots[0];
+        }
+        if j == cumulative.len() {
+            return *self.knots.last().expect("non-empty");
+        }
+        let seg = cumulative[j] - cumulative[j - 1];
+        let t = if seg > 0.0 {
+            (s - cumulative[j - 1]) / seg
+        } else {
+            0.0
+        };
+        let (x0, y0) = self.knots[j - 1];
+        let (x1, y1) = self.knots[j];
+        (x0 + (x1 - x0) * t, y0 + (y1 - y0) * t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn step_cdf_eval_and_left_limits() {
+        let f = StepCdf::from_values(vec![5.0, 1.0, 3.0, 3.0]);
+        assert_eq!(f.min(), 1.0);
+        assert_eq!(f.max(), 5.0);
+        assert_eq!(f.eval(0.0), 0.0);
+        assert_eq!(f.eval(1.0), 0.25);
+        assert_eq!(f.eval_left(1.0), 0.0);
+        assert_eq!(f.eval(3.0), 0.75);
+        assert_eq!(f.eval_left(3.0), 0.25);
+        assert_eq!(f.eval(4.9), 0.75);
+        assert_eq!(f.eval(5.0), 1.0);
+    }
+
+    #[test]
+    fn step_cdf_distinct_values() {
+        let f = StepCdf::from_values(vec![2.0, 1.0, 2.0, 7.0, 7.0, 7.0]);
+        let d: Vec<f64> = f.distinct_values().collect();
+        assert_eq!(d, vec![1.0, 2.0, 7.0]);
+    }
+
+    #[test]
+    fn interp_cdf_linear_evaluation() {
+        let g = InterpCdf::new(vec![(0.0, 0.0), (4.0, 0.4), (10.0, 1.0)]).unwrap();
+        assert_eq!(g.eval(-5.0), 0.0);
+        assert_eq!(g.eval(2.0), 0.2);
+        assert_eq!(g.eval(4.0), 0.4);
+        assert!((g.eval(7.0) - 0.7).abs() < 1e-12);
+        assert_eq!(g.eval(99.0), 1.0);
+    }
+
+    #[test]
+    fn interp_cdf_jump_semantics() {
+        // Staircase: jump of 0.5 at x=1 and at x=2.
+        let g = InterpCdf::new(vec![(1.0, 0.0), (1.0, 0.5), (2.0, 0.5), (2.0, 1.0)]).unwrap();
+        assert_eq!(g.eval(0.5), 0.0);
+        assert_eq!(g.eval(1.0), 0.5);
+        assert_eq!(g.eval_left(1.0), 0.0);
+        assert_eq!(g.eval(1.5), 0.5);
+        assert_eq!(g.eval(2.0), 1.0);
+        assert_eq!(g.eval_left(2.0), 0.5);
+    }
+
+    #[test]
+    fn from_sample_matches_step_cdf_everywhere() {
+        let values = vec![1.0, 2.0, 2.0, 5.0, 9.0];
+        let f = StepCdf::from_values(values.clone());
+        let g = InterpCdf::from_sample(&values);
+        for x in [-1.0, 1.0, 1.5, 2.0, 3.0, 5.0, 8.9, 9.0, 20.0] {
+            assert_eq!(f.eval(x), g.eval(x), "mismatch at {x}");
+            assert_eq!(f.eval_left(x), g.eval_left(x), "left mismatch at {x}");
+        }
+    }
+
+    #[test]
+    fn from_points_adds_anchors_and_monotonises() {
+        let g = InterpCdf::from_points(
+            0.0,
+            10.0,
+            &[4.0, 2.0, 6.0],
+            // 2.0 -> 0.3 (reordered), 4.0 -> 0.29 (slightly inverted), 6.0 -> 0.8
+            &[0.29, 0.3, 0.8],
+        )
+        .unwrap();
+        assert_eq!(g.min(), 0.0);
+        assert_eq!(g.max(), 10.0);
+        assert_eq!(g.eval(0.0), 0.0);
+        assert_eq!(g.eval(10.0), 1.0);
+        // Monotone repair keeps 0.3 at x=4.
+        assert_eq!(g.eval(4.0), 0.3);
+        let ys: Vec<f64> = g.knots().iter().map(|(_, y)| *y).collect();
+        assert!(ys.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn from_points_drops_thresholds_outside_range() {
+        let g = InterpCdf::from_points(5.0, 10.0, &[1.0, 7.0, 20.0], &[0.0, 0.5, 1.0]).unwrap();
+        assert_eq!(g.knots().len(), 3); // (5,0), (7,0.5), (10,1)
+    }
+
+    #[test]
+    fn quantile_inverts_eval_on_strictly_increasing_cdf() {
+        let g = InterpCdf::new(vec![(0.0, 0.0), (4.0, 0.4), (10.0, 1.0)]).unwrap();
+        for q in [0.0, 0.1, 0.4, 0.7, 1.0] {
+            let x = g.quantile(q);
+            assert!((g.eval(x) - q).abs() < 1e-12, "roundtrip failed at {q}");
+        }
+    }
+
+    #[test]
+    fn quantile_on_flat_segments_returns_left_edge() {
+        let g = InterpCdf::new(vec![(0.0, 0.0), (2.0, 0.5), (8.0, 0.5), (10.0, 1.0)]).unwrap();
+        assert_eq!(g.quantile(0.5), 2.0);
+    }
+
+    #[test]
+    fn validation_rejects_bad_knots() {
+        assert!(matches!(InterpCdf::new(vec![]), Err(CdfError::Empty)));
+        assert!(matches!(
+            InterpCdf::new(vec![(0.0, 0.0), (-1.0, 0.5)]),
+            Err(CdfError::UnsortedX { index: 1 })
+        ));
+        assert!(matches!(
+            InterpCdf::new(vec![(0.0, 0.5), (1.0, 0.2)]),
+            Err(CdfError::DecreasingY { index: 1 })
+        ));
+        assert!(matches!(
+            InterpCdf::new(vec![(0.0, 1.5)]),
+            Err(CdfError::OutOfRange { .. })
+        ));
+        assert!(matches!(
+            InterpCdf::new(vec![(f64::NAN, 0.0)]),
+            Err(CdfError::NotFinite { .. })
+        ));
+    }
+
+    #[test]
+    fn arc_length_of_diagonal_is_sqrt_2() {
+        let g = InterpCdf::new(vec![(0.0, 0.0), (100.0, 1.0)]).unwrap();
+        assert!((g.scaled_arc_length() - 2.0_f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn point_at_arc_walks_the_polyline() {
+        let g = InterpCdf::new(vec![(0.0, 0.0), (10.0, 0.0), (10.0, 1.0)]).unwrap();
+        // Scaled: horizontal leg length 1, vertical leg length 1.
+        let (x, y) = g.point_at_arc(0.5);
+        assert!((x - 5.0).abs() < 1e-9 && y.abs() < 1e-12);
+        let (x, y) = g.point_at_arc(1.5);
+        assert!((x - 10.0).abs() < 1e-9 && (y - 0.5).abs() < 1e-9);
+        // Clamping.
+        assert_eq!(g.point_at_arc(99.0), (10.0, 1.0));
+        assert_eq!(g.point_at_arc(-1.0), (0.0, 0.0));
+    }
+
+    #[test]
+    fn single_knot_cdf_is_constant() {
+        let g = InterpCdf::new(vec![(3.0, 0.5)]).unwrap();
+        assert_eq!(g.eval(0.0), 0.5);
+        assert_eq!(g.eval(3.0), 0.5);
+        assert_eq!(g.eval(9.0), 0.5);
+        assert_eq!(g.quantile(0.5), 3.0);
+    }
+}

@@ -1,0 +1,157 @@
+//! Dynamic confidence estimation (Section VI).
+//!
+//! Adam2 estimates CDF values at the aggregated points essentially exactly
+//! (the averaging error decays exponentially to machine precision), so a
+//! node can assess its *interpolation* error by carrying extra
+//! *verification points* `V = {(t'_i, f'_i)}` through the same averaging
+//! run and comparing `F_p(t'_i)` — the interpolation built from `H` only —
+//! against the exactly-aggregated `f'_i`.
+//!
+//! The placement of the `t'_i` depends on the metric being estimated:
+//! uniformly over the attribute range for `EstErr_a`, or by iteratively
+//! bisecting the vertically-farthest pair of interpolation points for
+//! `EstErr_m` (hunting for the x where interpolation and truth most
+//! differ). The comparison itself happens in
+//! [`InstanceLocal::finalize`](crate::InstanceLocal::finalize).
+
+use crate::cdf::InterpCdf;
+use crate::metrics::ErrorMetric;
+use crate::selection::uniform_points;
+
+/// Selects `count` verification thresholds for a new aggregation instance.
+///
+/// * [`ErrorMetric::Average`] — uniformly spaced over `(lo, hi)`.
+/// * [`ErrorMetric::Max`] — bisection of the widest vertical gaps of the
+///   initiator's current interpolation (falls back to uniform when no
+///   previous estimate exists).
+///
+/// Returns a sorted list; duplicates may remain if the domain is
+/// degenerate.
+pub fn verification_thresholds(
+    metric: ErrorMetric,
+    prev: Option<&InterpCdf>,
+    count: usize,
+    lo: f64,
+    hi: f64,
+) -> Vec<f64> {
+    if count == 0 {
+        return Vec::new();
+    }
+    match (metric, prev) {
+        (ErrorMetric::Average, _) | (ErrorMetric::Max, None) => midpoint_points(lo, hi, count),
+        (ErrorMetric::Max, Some(cdf)) => bisect_widest_gaps(cdf, count),
+    }
+}
+
+/// `count` points at the midpoints of a uniform partition of `[lo, hi]`:
+/// `t'_k = lo + (hi - lo)(2k - 1) / (2·count)`.
+///
+/// Compared to the plain uniform grid this is the midpoint quadrature rule
+/// for the average-error integral, and — more importantly for real-world
+/// attributes — it avoids aligning the verification grid with the regular
+/// value grid of discrete attributes (RAM sizes are multiples of 128 MB;
+/// a `span/(count+1)` grid anchored at the minimum lands *exactly on* the
+/// heavy steps and wildly over-weights them).
+fn midpoint_points(lo: f64, hi: f64, count: usize) -> Vec<f64> {
+    let span = hi - lo;
+    (1..=count)
+        .map(|k| lo + span * (2 * k - 1) as f64 / (2 * count) as f64)
+        .collect()
+}
+
+/// Repeatedly bisects the widest vertical gap of the knot polyline,
+/// recording each midpoint as a verification threshold.
+fn bisect_widest_gaps(cdf: &InterpCdf, count: usize) -> Vec<f64> {
+    let mut working: Vec<(f64, f64)> = cdf.knots().to_vec();
+    let mut out = Vec::with_capacity(count);
+    for _ in 0..count {
+        if working.len() < 2 {
+            break;
+        }
+        let (mut idx, mut gap) = (1usize, f64::NEG_INFINITY);
+        for i in 1..working.len() {
+            let g = (working[i].1 - working[i - 1].1).abs();
+            // Zero-width (vertical jump) segments cannot be bisected in x.
+            if working[i].0 > working[i - 1].0 && g > gap {
+                gap = g;
+                idx = i;
+            }
+        }
+        if !gap.is_finite() {
+            break;
+        }
+        let mid = (
+            (working[idx].0 + working[idx - 1].0) / 2.0,
+            (working[idx].1 + working[idx - 1].1) / 2.0,
+        );
+        out.push(mid.0);
+        working.insert(idx, mid);
+    }
+    // Top up with uniform points if bisection ran out of splittable gaps.
+    if out.len() < count {
+        out.extend(uniform_points(cdf.min(), cdf.max(), count - out.len()));
+    }
+    out.sort_by(f64::total_cmp);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_count_gives_no_points() {
+        assert!(verification_thresholds(ErrorMetric::Average, None, 0, 0.0, 1.0).is_empty());
+    }
+
+    #[test]
+    fn average_metric_uses_partition_midpoints() {
+        let ts = verification_thresholds(ErrorMetric::Average, None, 4, 0.0, 10.0);
+        assert_eq!(ts, vec![1.25, 3.75, 6.25, 8.75]);
+    }
+
+    #[test]
+    fn max_metric_without_prev_falls_back_to_midpoints() {
+        let ts = verification_thresholds(ErrorMetric::Max, None, 4, 0.0, 10.0);
+        assert_eq!(ts, vec![1.25, 3.75, 6.25, 8.75]);
+    }
+
+    #[test]
+    fn midpoints_avoid_regular_value_grids() {
+        // RAM-like domain: values are multiples of 128. No verification
+        // point should land exactly on a multiple of 128.
+        let ts = verification_thresholds(ErrorMetric::Average, None, 20, 128.0, 8192.0);
+        assert_eq!(ts.len(), 20);
+        assert!(ts.iter().all(|t| (t / 128.0).fract() != 0.0), "{ts:?}");
+    }
+
+    #[test]
+    fn max_metric_bisects_widest_gap_first() {
+        // Gap y: 0 -> 0.1 on [0,2], then 0.1 -> 1.0 on [2,10].
+        let cdf = InterpCdf::new(vec![(0.0, 0.0), (2.0, 0.1), (10.0, 1.0)]).unwrap();
+        let ts = verification_thresholds(ErrorMetric::Max, Some(&cdf), 1, 0.0, 10.0);
+        assert_eq!(ts, vec![6.0], "first bisection must split the big gap");
+    }
+
+    #[test]
+    fn max_metric_concentrates_in_steep_regions() {
+        let cdf = InterpCdf::new(vec![(0.0, 0.0), (8.0, 0.1), (10.0, 1.0)]).unwrap();
+        let ts = verification_thresholds(ErrorMetric::Max, Some(&cdf), 7, 0.0, 10.0);
+        assert_eq!(ts.len(), 7);
+        let steep = ts.iter().filter(|t| **t >= 8.0).count();
+        assert!(
+            steep >= 4,
+            "verification points not in the steep region: {ts:?}"
+        );
+    }
+
+    #[test]
+    fn vertical_jumps_are_skipped() {
+        // A staircase with true jumps: bisection must only split the
+        // horizontal runs.
+        let cdf = InterpCdf::new(vec![(0.0, 0.0), (5.0, 0.0), (5.0, 0.9), (10.0, 1.0)]).unwrap();
+        let ts = verification_thresholds(ErrorMetric::Max, Some(&cdf), 3, 0.0, 10.0);
+        assert_eq!(ts.len(), 3);
+        assert!(ts.iter().all(|t| t.is_finite()));
+    }
+}

@@ -1,0 +1,259 @@
+//! Protocol configuration.
+
+use crate::error::ConfigError;
+use crate::metrics::ErrorMetric;
+use crate::selection::{BootstrapKind, RefineKind};
+
+/// When nodes start new aggregation instances.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum Scheduling {
+    /// Instances are only started explicitly (via
+    /// [`Adam2Protocol::start_instance`](crate::Adam2Protocol::start_instance)).
+    /// Used by the experiment harness for reproducible instance sequences.
+    #[default]
+    Manual,
+    /// Every node starts an instance each round with probability
+    /// `P_s = 1 / (N̂_p · R)` where `N̂_p` is its current system-size
+    /// estimate — the paper's decentralised scheduling, yielding one new
+    /// instance per `R` rounds on average across the whole system.
+    Probabilistic {
+        /// Mean number of rounds between instance starts (the paper's
+        /// system constant `R`).
+        mean_rounds_between: f64,
+    },
+}
+
+/// Configuration of the Adam2 protocol.
+///
+/// Defaults follow the paper's evaluation: λ = 50 interpolation points,
+/// 30-round instances (the paper finds 25 rounds sufficient for averaging
+/// convergence and a few extra for the epidemic spread), neighbour-based
+/// bootstrap and MinMax refinement.
+///
+/// # Examples
+///
+/// ```
+/// use adam2_core::{Adam2Config, RefineKind};
+///
+/// let config = Adam2Config::new()
+///     .with_lambda(50)
+///     .with_refine(RefineKind::LCut)
+///     .with_verify_points(20);
+/// config.validate()?;
+/// # Ok::<(), adam2_core::ConfigError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Adam2Config {
+    /// Number of interpolation points λ.
+    pub lambda: usize,
+    /// Number of verification points (0 disables confidence estimation).
+    pub verify_points: usize,
+    /// Metric targeted by verification-point placement.
+    pub verify_metric: ErrorMetric,
+    /// Gossip rounds per aggregation instance (the instance TTL).
+    pub rounds_per_instance: u64,
+    /// Threshold placement for the first instance.
+    pub bootstrap: BootstrapKind,
+    /// Threshold refinement once an estimate exists.
+    pub refine: RefineKind,
+    /// Instance scheduling policy.
+    pub scheduling: Scheduling,
+    /// A node's system-size guess before its first completed instance
+    /// (the paper bootstraps joiners from their initial neighbours).
+    pub initial_n_estimate: f64,
+    /// Optional a-priori attribute range for the Uniform bootstrap.
+    pub domain_hint: Option<(f64, f64)>,
+    /// How many neighbours to sample for the neighbour-based bootstrap
+    /// (0 = λ).
+    pub neighbour_sample: usize,
+}
+
+impl Default for Adam2Config {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Adam2Config {
+    /// The paper's default configuration.
+    pub fn new() -> Self {
+        Self {
+            lambda: 50,
+            verify_points: 0,
+            verify_metric: ErrorMetric::Average,
+            rounds_per_instance: 30,
+            bootstrap: BootstrapKind::Neighbours,
+            refine: RefineKind::MinMax,
+            scheduling: Scheduling::Manual,
+            initial_n_estimate: 100.0,
+            domain_hint: None,
+            neighbour_sample: 0,
+        }
+    }
+
+    /// Sets the number of interpolation points λ.
+    pub fn with_lambda(mut self, lambda: usize) -> Self {
+        self.lambda = lambda;
+        self
+    }
+
+    /// Sets the number of verification points.
+    pub fn with_verify_points(mut self, verify_points: usize) -> Self {
+        self.verify_points = verify_points;
+        self
+    }
+
+    /// Sets the metric targeted by verification-point placement.
+    pub fn with_verify_metric(mut self, metric: ErrorMetric) -> Self {
+        self.verify_metric = metric;
+        self
+    }
+
+    /// Sets the instance duration in rounds.
+    pub fn with_rounds_per_instance(mut self, rounds: u64) -> Self {
+        self.rounds_per_instance = rounds;
+        self
+    }
+
+    /// Sets the bootstrap placement.
+    pub fn with_bootstrap(mut self, bootstrap: BootstrapKind) -> Self {
+        self.bootstrap = bootstrap;
+        self
+    }
+
+    /// Sets the refinement heuristic.
+    pub fn with_refine(mut self, refine: RefineKind) -> Self {
+        self.refine = refine;
+        self
+    }
+
+    /// Sets the scheduling policy.
+    pub fn with_scheduling(mut self, scheduling: Scheduling) -> Self {
+        self.scheduling = scheduling;
+        self
+    }
+
+    /// Sets the initial system-size guess.
+    pub fn with_initial_n_estimate(mut self, n: f64) -> Self {
+        self.initial_n_estimate = n;
+        self
+    }
+
+    /// Sets the a-priori attribute range used by the Uniform bootstrap.
+    pub fn with_domain_hint(mut self, lo: f64, hi: f64) -> Self {
+        self.domain_hint = Some((lo, hi));
+        self
+    }
+
+    /// Sets the neighbour-sample size for the neighbour bootstrap.
+    pub fn with_neighbour_sample(mut self, count: usize) -> Self {
+        self.neighbour_sample = count;
+        self
+    }
+
+    /// The effective neighbour-sample size (λ when unset).
+    pub fn effective_neighbour_sample(&self) -> usize {
+        if self.neighbour_sample == 0 {
+            self.lambda
+        } else {
+            self.neighbour_sample
+        }
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] if λ is zero, the instance duration is
+    /// zero, the initial size estimate is not positive, a probabilistic
+    /// `R` is not positive, or the domain hint is inverted/non-finite.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.lambda == 0 {
+            return Err(ConfigError::new("lambda must be positive"));
+        }
+        if self.rounds_per_instance == 0 {
+            return Err(ConfigError::new("rounds_per_instance must be positive"));
+        }
+        if self.initial_n_estimate <= 0.0 || self.initial_n_estimate.is_nan() {
+            return Err(ConfigError::new("initial_n_estimate must be positive"));
+        }
+        if let Scheduling::Probabilistic {
+            mean_rounds_between,
+        } = self.scheduling
+        {
+            if mean_rounds_between <= 0.0 || mean_rounds_between.is_nan() {
+                return Err(ConfigError::new("mean_rounds_between must be positive"));
+            }
+        }
+        if let Some((lo, hi)) = self.domain_hint {
+            if !lo.is_finite() || !hi.is_finite() || lo > hi {
+                return Err(ConfigError::new("domain_hint must be a finite range"));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_the_paper() {
+        let c = Adam2Config::new();
+        assert_eq!(c.lambda, 50);
+        assert_eq!(c.rounds_per_instance, 30);
+        assert_eq!(c.bootstrap, BootstrapKind::Neighbours);
+        assert_eq!(c.refine, RefineKind::MinMax);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn builder_chains() {
+        let c = Adam2Config::new()
+            .with_lambda(10)
+            .with_verify_points(5)
+            .with_verify_metric(ErrorMetric::Max)
+            .with_rounds_per_instance(40)
+            .with_bootstrap(BootstrapKind::Uniform)
+            .with_refine(RefineKind::LCut)
+            .with_scheduling(Scheduling::Probabilistic {
+                mean_rounds_between: 50.0,
+            })
+            .with_initial_n_estimate(1000.0)
+            .with_domain_hint(0.0, 100.0)
+            .with_neighbour_sample(25);
+        assert!(c.validate().is_ok());
+        assert_eq!(c.lambda, 10);
+        assert_eq!(c.effective_neighbour_sample(), 25);
+    }
+
+    #[test]
+    fn neighbour_sample_defaults_to_lambda() {
+        let c = Adam2Config::new().with_lambda(17);
+        assert_eq!(c.effective_neighbour_sample(), 17);
+    }
+
+    #[test]
+    fn validation_rejects_bad_values() {
+        assert!(Adam2Config::new().with_lambda(0).validate().is_err());
+        assert!(Adam2Config::new()
+            .with_rounds_per_instance(0)
+            .validate()
+            .is_err());
+        assert!(Adam2Config::new()
+            .with_initial_n_estimate(0.0)
+            .validate()
+            .is_err());
+        assert!(Adam2Config::new()
+            .with_scheduling(Scheduling::Probabilistic {
+                mean_rounds_between: 0.0
+            })
+            .validate()
+            .is_err());
+        assert!(Adam2Config::new()
+            .with_domain_hint(5.0, 1.0)
+            .validate()
+            .is_err());
+    }
+}

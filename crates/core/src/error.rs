@@ -1,0 +1,128 @@
+//! Error types.
+
+/// Errors constructing or validating a CDF.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CdfError {
+    /// No knots were provided.
+    Empty,
+    /// A knot coordinate was NaN or infinite.
+    NotFinite {
+        /// Index of the offending knot.
+        index: usize,
+    },
+    /// A knot y-coordinate was outside `[0, 1]`.
+    OutOfRange {
+        /// Index of the offending knot.
+        index: usize,
+        /// The out-of-range value.
+        value: f64,
+    },
+    /// Knot x-coordinates were not sorted.
+    UnsortedX {
+        /// Index of the first out-of-order knot.
+        index: usize,
+    },
+    /// Knot y-coordinates decreased.
+    DecreasingY {
+        /// Index of the first decreasing knot.
+        index: usize,
+    },
+    /// Threshold and fraction slices had different lengths.
+    LengthMismatch {
+        /// Number of thresholds.
+        thresholds: usize,
+        /// Number of fractions.
+        fractions: usize,
+    },
+    /// `min`/`max` were non-finite or inverted.
+    BadRange {
+        /// Provided minimum.
+        min: f64,
+        /// Provided maximum.
+        max: f64,
+    },
+}
+
+impl std::fmt::Display for CdfError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CdfError::Empty => write!(f, "cdf requires at least one knot"),
+            CdfError::NotFinite { index } => {
+                write!(f, "knot {index} has a non-finite coordinate")
+            }
+            CdfError::OutOfRange { index, value } => {
+                write!(f, "knot {index} has y = {value} outside [0, 1]")
+            }
+            CdfError::UnsortedX { index } => {
+                write!(f, "knot {index} breaks x ordering")
+            }
+            CdfError::DecreasingY { index } => {
+                write!(f, "knot {index} breaks y monotonicity")
+            }
+            CdfError::LengthMismatch {
+                thresholds,
+                fractions,
+            } => {
+                write!(f, "{thresholds} thresholds but {fractions} fractions")
+            }
+            CdfError::BadRange { min, max } => {
+                write!(f, "invalid attribute range [{min}, {max}]")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CdfError {}
+
+/// Errors decoding a gossip message from its wire encoding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireError {
+    /// The buffer ended before the message did.
+    Truncated,
+    /// A length field exceeded the sanity limit.
+    LengthOverflow {
+        /// The offending length.
+        len: u64,
+    },
+    /// An unknown enum tag was encountered.
+    UnknownTag {
+        /// The offending tag value.
+        tag: u8,
+    },
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "message truncated"),
+            WireError::LengthOverflow { len } => {
+                write!(f, "length field {len} exceeds sanity limit")
+            }
+            WireError::UnknownTag { tag } => write!(f, "unknown tag {tag}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Errors validating an [`Adam2Config`](crate::Adam2Config).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigError {
+    message: String,
+}
+
+impl ConfigError {
+    pub(crate) fn new(message: impl Into<String>) -> Self {
+        Self {
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid configuration: {}", self.message)
+    }
+}
+
+impl std::error::Error for ConfigError {}

@@ -1,0 +1,223 @@
+//! The result a node obtains from one completed aggregation instance.
+
+use serde::{Deserialize, Serialize};
+
+use crate::cdf::InterpCdf;
+use crate::instance::InstanceId;
+
+/// A node's estimate of the system-wide attribute distribution, produced
+/// when an aggregation instance terminates.
+///
+/// Besides the interpolated CDF itself, the estimate carries everything a
+/// decentralised application needs: the system-size estimate `N = 1/w`,
+/// the converged attribute extrema, and — when verification points were
+/// configured — the node's *self-assessed* accuracy (Section VI), which
+/// enables autonomous accuracy/overhead tradeoffs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DistributionEstimate {
+    /// The interpolated CDF approximation `F_p`.
+    pub cdf: InterpCdf,
+    /// Estimated system size (`None` if this peer received no weight mass,
+    /// which only happens if it never completed an exchange).
+    pub n_hat: Option<f64>,
+    /// Converged global minimum attribute value.
+    pub min: f64,
+    /// Converged global maximum attribute value.
+    pub max: f64,
+    /// Self-assessed average error `EstErr_a(p)` (requires verification
+    /// points).
+    pub est_err_avg: Option<f64>,
+    /// Self-assessed maximum error `EstErr_m(p)` (requires verification
+    /// points).
+    pub est_err_max: Option<f64>,
+    /// The instance that produced this estimate.
+    #[serde(skip, default = "unknown_instance")]
+    pub instance: InstanceId,
+    /// The round in which the instance terminated.
+    pub completed_round: u64,
+    /// The interpolation thresholds `t_i` used by the instance.
+    pub thresholds: Vec<f64>,
+    /// The aggregated fractions `f_i = F(t_i)` (normalised in multi-value
+    /// mode).
+    pub fractions: Vec<f64>,
+}
+
+fn unknown_instance() -> InstanceId {
+    InstanceId::from_u64(0)
+}
+
+impl DistributionEstimate {
+    /// Convenience accessor: the estimated fraction of nodes with a value
+    /// at or below `x`.
+    pub fn fraction_below(&self, x: f64) -> f64 {
+        self.cdf.eval(x)
+    }
+
+    /// Convenience accessor: the estimated attribute value at quantile
+    /// `q ∈ [0, 1]`.
+    pub fn value_at_quantile(&self, q: f64) -> f64 {
+        self.cdf.quantile(q)
+    }
+
+    /// The estimated system size rounded to a node count (`None` if
+    /// unavailable).
+    pub fn system_size(&self) -> Option<u64> {
+        self.n_hat.map(|n| n.round().max(1.0) as u64)
+    }
+
+    /// The self-assessed error under the given metric.
+    pub fn self_assessed_error(&self, metric: crate::ErrorMetric) -> Option<f64> {
+        match metric {
+            crate::ErrorMetric::Max => self.est_err_max,
+            crate::ErrorMetric::Average => self.est_err_avg,
+        }
+    }
+
+    /// Combines the interpolation points of two estimates of the *same,
+    /// stable* distribution into one — the paper's Section VII-D remark:
+    /// "if the CDF does not change significantly over time, nodes can
+    /// combine interpolation points obtained over multiple aggregation
+    /// instances to further reduce the overall estimation errors."
+    ///
+    /// Both point sets are pooled (duplicate thresholds keep the mean of
+    /// their fractions), the extrema are the outer hull, and metadata
+    /// (`n_hat`, instance id, round, self-assessment) comes from the more
+    /// recent estimate. Combining estimates of a *changed* distribution
+    /// mixes stale and fresh measurements and makes things worse — the
+    /// caller decides, e.g. from the self-assessed error.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CdfError`](crate::CdfError) if the pooled points cannot
+    /// form a valid CDF.
+    pub fn combined_with(&self, other: &Self) -> Result<Self, crate::CdfError> {
+        let (newer, older) = if self.completed_round >= other.completed_round {
+            (self, other)
+        } else {
+            (other, self)
+        };
+        let mut points: Vec<(f64, f64)> = newer
+            .thresholds
+            .iter()
+            .copied()
+            .zip(newer.fractions.iter().copied())
+            .chain(
+                older
+                    .thresholds
+                    .iter()
+                    .copied()
+                    .zip(older.fractions.iter().copied()),
+            )
+            .collect();
+        points.sort_by(|a, b| a.0.total_cmp(&b.0));
+        // Duplicate thresholds measured the same F(t); keep the mean.
+        let mut merged: Vec<(f64, f64)> = Vec::with_capacity(points.len());
+        for (t, f) in points {
+            match merged.last_mut() {
+                Some((lt, lf)) if *lt == t => *lf = (*lf + f) / 2.0,
+                _ => merged.push((t, f)),
+            }
+        }
+        let min = newer.min.min(older.min);
+        let max = newer.max.max(older.max);
+        let thresholds: Vec<f64> = merged.iter().map(|(t, _)| *t).collect();
+        let fractions: Vec<f64> = merged.iter().map(|(_, f)| *f).collect();
+        let cdf = InterpCdf::from_points(min, max, &thresholds, &fractions)?;
+        Ok(Self {
+            cdf,
+            n_hat: newer.n_hat.or(older.n_hat),
+            min,
+            max,
+            est_err_avg: newer.est_err_avg,
+            est_err_max: newer.est_err_max,
+            instance: newer.instance,
+            completed_round: newer.completed_round,
+            thresholds,
+            fractions,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_estimate() -> DistributionEstimate {
+        DistributionEstimate {
+            cdf: InterpCdf::new(vec![(0.0, 0.0), (10.0, 1.0)]).unwrap(),
+            n_hat: Some(99.6),
+            min: 0.0,
+            max: 10.0,
+            est_err_avg: Some(0.01),
+            est_err_max: Some(0.05),
+            instance: InstanceId::derive(0, 1, 2),
+            completed_round: 25,
+            thresholds: vec![5.0],
+            fractions: vec![0.5],
+        }
+    }
+
+    #[test]
+    fn accessors() {
+        let e = sample_estimate();
+        assert_eq!(e.fraction_below(5.0), 0.5);
+        assert_eq!(e.value_at_quantile(0.5), 5.0);
+        assert_eq!(e.system_size(), Some(100));
+        assert_eq!(e.self_assessed_error(crate::ErrorMetric::Max), Some(0.05));
+        assert_eq!(
+            e.self_assessed_error(crate::ErrorMetric::Average),
+            Some(0.01)
+        );
+    }
+
+    #[test]
+    fn combine_pools_points_from_both_instances() {
+        let a = DistributionEstimate {
+            cdf: InterpCdf::from_points(0.0, 10.0, &[2.0, 5.0], &[0.2, 0.5]).unwrap(),
+            n_hat: Some(100.0),
+            min: 0.0,
+            max: 10.0,
+            est_err_avg: Some(0.02),
+            est_err_max: None,
+            instance: InstanceId::derive(0, 1, 1),
+            completed_round: 30,
+            thresholds: vec![2.0, 5.0],
+            fractions: vec![0.2, 0.5],
+        };
+        let b = DistributionEstimate {
+            cdf: InterpCdf::from_points(0.0, 12.0, &[5.0, 8.0], &[0.52, 0.8]).unwrap(),
+            n_hat: Some(101.0),
+            min: 0.0,
+            max: 12.0,
+            est_err_avg: Some(0.01),
+            est_err_max: None,
+            instance: InstanceId::derive(0, 1, 2),
+            completed_round: 60,
+            thresholds: vec![5.0, 8.0],
+            fractions: vec![0.52, 0.8],
+        };
+        let c = a.combined_with(&b).unwrap();
+        // Pooled thresholds, duplicates averaged.
+        assert_eq!(c.thresholds, vec![2.0, 5.0, 8.0]);
+        assert_eq!(c.fractions[0], 0.2);
+        assert!((c.fractions[1] - 0.51).abs() < 1e-12);
+        assert_eq!(c.fractions[2], 0.8);
+        // Metadata from the newer estimate; extrema hull.
+        assert_eq!(c.completed_round, 60);
+        assert_eq!(c.n_hat, Some(101.0));
+        assert_eq!(c.est_err_avg, Some(0.01));
+        assert_eq!((c.min, c.max), (0.0, 12.0));
+        // More knots than either input.
+        assert!(c.cdf.knots().len() >= a.cdf.knots().len());
+        // Symmetric regardless of call order.
+        assert_eq!(b.combined_with(&a).unwrap().thresholds, c.thresholds);
+    }
+
+    #[test]
+    fn combine_with_self_is_identity_on_points() {
+        let e = sample_estimate();
+        let c = e.combined_with(&e).unwrap();
+        assert_eq!(c.thresholds, e.thresholds);
+        assert_eq!(c.fractions, e.fractions);
+    }
+}

@@ -1,0 +1,93 @@
+//! Adam2: reliable distribution estimation in decentralised environments.
+//!
+//! A reproduction of Sacha, Napper, Stratan & Pierre, *"Adam2: Reliable
+//! Distribution Estimation in Decentralised Environments"* (ICDCS 2010).
+//!
+//! Adam2 lets every node of a large peer-to-peer system estimate the
+//! cumulative distribution function (CDF) of an attribute spread across
+//! all nodes — CPU speed, memory size, load, file sizes — using nothing
+//! but periodic gossip with random neighbours. The protocol:
+//!
+//! * floods a set of λ *thresholds* with each **aggregation instance** and
+//!   runs mass-conserving push–pull averaging over per-threshold indicator
+//!   values, so every node learns `f_i = F(t_i)` to near machine precision
+//!   within a few dozen rounds ([`InstanceLocal`], [`Adam2Protocol`]);
+//! * simultaneously estimates the **system size** (`N = 1/w̄`) and the
+//!   global attribute **extrema**;
+//! * *refines* the threshold placement across consecutive instances with
+//!   the [`HCut`](RefineKind::HCut), [`MinMax`](RefineKind::MinMax) and
+//!   [`LCut`](RefineKind::LCut) heuristics (Section V), reaching ≈2 %
+//!   maximum and ≈0.05 % average error on heavily skewed real-world
+//!   distributions at ≈120 kB per node, independent of system size;
+//! * assesses **its own accuracy** via verification points (Section VI),
+//!   enabling self-tuning ([`SelfTuner`]).
+//!
+//! # Quick start
+//!
+//! Estimate the distribution of a per-node metric across a simulated
+//! 1 000-node system:
+//!
+//! ```
+//! use adam2_core::{Adam2Config, Adam2Protocol, BootstrapKind};
+//! use adam2_sim::{Engine, EngineConfig};
+//!
+//! // One attribute value per node: node i holds i+1.
+//! let values: Vec<f64> = (1..=1000).map(f64::from).collect();
+//! let config = Adam2Config::new()
+//!     .with_lambda(20)
+//!     .with_rounds_per_instance(30);
+//! let protocol = Adam2Protocol::with_population(config, values, |_| 0.0);
+//! let mut engine = Engine::new(EngineConfig::new(1000, 42), protocol);
+//!
+//! // Start one aggregation instance and run it to completion.
+//! engine.with_ctx(|proto, ctx| {
+//!     let initiator = ctx.nodes.random_id(ctx.rng).expect("nodes exist");
+//!     proto.start_instance(initiator, ctx)
+//! });
+//! engine.run_rounds(31);
+//!
+//! // Every node now holds a distribution estimate.
+//! let (_, node) = engine.nodes().iter().next().expect("nodes exist");
+//! let estimate = node.estimate().expect("instance completed");
+//! let median = estimate.value_at_quantile(0.5);
+//! assert!((median - 500.0).abs() < 25.0);
+//! let n = estimate.n_hat.expect("weight received");
+//! assert!((n - 1000.0).abs() < 1.0);
+//! ```
+
+mod aggregation;
+mod async_protocol;
+mod cdf;
+mod confidence;
+mod config;
+mod error;
+mod estimate;
+mod instance;
+mod metrics;
+mod pchip;
+mod protocol;
+mod rank;
+mod selection;
+mod tuning;
+pub mod wire;
+
+pub use aggregation::{CountAggregation, Extrema, ExtremaAggregation, MeanAggregation};
+pub use async_protocol::{Adam2Message, AsyncAdam2};
+pub use cdf::{InterpCdf, StepCdf};
+pub use confidence::verification_thresholds;
+pub use config::{Adam2Config, Scheduling};
+pub use error::{CdfError, ConfigError, WireError};
+pub use estimate::DistributionEstimate;
+pub use instance::{AttrValue, InstanceId, InstanceLocal, InstanceMeta};
+pub use metrics::{
+    avg_distance, avg_distance_over, discrete_avg_distance, discrete_errors_over,
+    discrete_max_distance, max_distance, point_errors, ErrorMetric, FractionEnvelope,
+};
+pub use pchip::MonotoneCubicCdf;
+pub use protocol::{gossip_exchange, gossip_exchange_response_lost, Adam2Node, Adam2Protocol};
+pub use rank::{Outlier, OutlierDetector};
+pub use selection::{
+    hcut_thresholds, lcut_thresholds, minmax_thresholds, select_thresholds, uniform_points,
+    BootstrapKind, RefineKind, SelectionInput,
+};
+pub use tuning::SelfTuner;

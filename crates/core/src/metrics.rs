@@ -1,0 +1,442 @@
+//! Approximation-error metrics.
+//!
+//! Section III defines two metrics between the true CDF `F` and a peer's
+//! estimate `F_p`:
+//!
+//! * **Maximum error** (Kolmogorov–Smirnov): `Err_m(p) = max_x |F(x) - F_p(x)|`,
+//!   aggregated over peers as `Err_m = max_p Err_m(p)`.
+//! * **Average error** (normalised area between the curves):
+//!   `Err_a(p) = sum_x |F(x) - F_p(x)| / (max - min)`, aggregated as
+//!   `Err_a = avg_p Err_a(p)`.
+//!
+//! [`max_distance`] and [`avg_distance`] compute these *exactly*: both `F`
+//! (a step function) and `F_p` (piecewise linear) are piecewise linear
+//! between their combined breakpoints, so the supremum is attained at a
+//! breakpoint (or its left limit) and the area integral decomposes into
+//! closed-form trapezoids. The paper's discrete sum over integer attribute
+//! values is the Riemann sum of the same area.
+//!
+//! [`FractionEnvelope`] supports the aggregate `Err_m = max_p` over 100 000
+//! peers in O(N·λ + |values|): within one instance all peers share the same
+//! thresholds, and linear interpolation has non-negative coefficients, so
+//! the pointwise min/max over peers is the interpolation of the
+//! per-threshold min/max.
+
+use crate::cdf::{InterpCdf, StepCdf};
+
+/// The error metric an experiment or heuristic optimises.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ErrorMetric {
+    /// Kolmogorov–Smirnov maximum vertical distance (`Err_m`).
+    #[default]
+    Max,
+    /// Normalised area between the curves (`Err_a`).
+    Average,
+}
+
+/// The exact maximum vertical distance `sup_x |F(x) - G(x)|`.
+///
+/// # Examples
+///
+/// ```
+/// use adam2_core::{max_distance, InterpCdf, StepCdf};
+///
+/// let truth = StepCdf::from_values(vec![1.0, 2.0, 3.0, 4.0]);
+/// let est = InterpCdf::new(vec![(1.0, 0.0), (4.0, 1.0)])?;
+/// let d = max_distance(&truth, &est);
+/// assert!(d > 0.0 && d <= 1.0);
+/// # Ok::<(), adam2_core::CdfError>(())
+/// ```
+pub fn max_distance(truth: &StepCdf, est: &InterpCdf) -> f64 {
+    let mut worst = 0.0f64;
+    let mut check = |x: f64| {
+        let right = (truth.eval(x) - est.eval(x)).abs();
+        let left = (truth.eval_left(x) - est.eval_left(x)).abs();
+        worst = worst.max(right).max(left);
+    };
+    for v in truth.distinct_values() {
+        check(v);
+    }
+    for (x, _) in est.knots() {
+        check(*x);
+    }
+    worst
+}
+
+/// The exact normalised area between the curves over `[lo, hi]`:
+/// `∫ |F - G| dx / (hi - lo)`.
+///
+/// If `hi <= lo` the point discrepancy `|F(lo) - G(lo)|` is returned.
+pub fn avg_distance_over(truth: &StepCdf, est: &InterpCdf, lo: f64, hi: f64) -> f64 {
+    if hi <= lo {
+        return (truth.eval(lo) - est.eval(lo)).abs();
+    }
+    // Breakpoints of |F - G| within [lo, hi].
+    let mut xs: Vec<f64> = truth
+        .distinct_values()
+        .chain(est.knots().iter().map(|(x, _)| *x))
+        .filter(|x| *x > lo && *x < hi)
+        .collect();
+    xs.push(lo);
+    xs.push(hi);
+    xs.sort_by(f64::total_cmp);
+    xs.dedup();
+
+    let mut area = 0.0;
+    for w in xs.windows(2) {
+        let (a, b) = (w[0], w[1]);
+        if b <= a {
+            continue;
+        }
+        // On the open interval (a, b): F is the constant F(a) (no jump
+        // strictly inside), G is linear from G(a) to G(b⁻).
+        let c = truth.eval(a);
+        let g0 = est.eval(a);
+        let g1 = est.eval_left(b);
+        area += segment_area(c, g0, g1, b - a);
+    }
+    area / (hi - lo)
+}
+
+/// The exact normalised area between the curves over the truth's full
+/// attribute range `[F.min, F.max]` — the paper's `Err_a(p)`.
+pub fn avg_distance(truth: &StepCdf, est: &InterpCdf) -> f64 {
+    avg_distance_over(truth, est, truth.min(), truth.max())
+}
+
+/// Area of `|c - line|` where the line runs from `g0` to `g1` over a
+/// segment of width `w`.
+fn segment_area(c: f64, g0: f64, g1: f64, w: f64) -> f64 {
+    let d0 = g0 - c;
+    let d1 = g1 - c;
+    if d0 * d1 >= 0.0 {
+        // No crossing: trapezoid.
+        (d0.abs() + d1.abs()) / 2.0 * w
+    } else {
+        // The line crosses c: split into two triangles.
+        let t = d0.abs() / (d0.abs() + d1.abs());
+        (d0.abs() * t + d1.abs() * (1.0 - t)) / 2.0 * w
+    }
+}
+
+/// Exact `(max, avg)` error over the *discrete* attribute domain: the
+/// integers of `[lo, hi]`.
+///
+/// This is the paper's definition — "given that the attribute space in our
+/// system is discrete", `Err_m` maximises and `Err_a` sums over attribute
+/// *values*, not over continuous x. The distinction matters at steps: a
+/// threshold placed at the integer just below a step makes the ramp to the
+/// step top invisible in the discrete metric (there is no attribute value
+/// strictly inside the ramp), which is exactly how Adam2's MinMax gets
+/// `Err_m` down to ≈2 % on step CDFs.
+///
+/// The average is normalised by `hi - lo` as in the paper. If the range
+/// contains no integer, the point discrepancy at `lo` is returned for
+/// both components.
+pub fn discrete_errors_over(truth: &StepCdf, est: &InterpCdf, lo: f64, hi: f64) -> (f64, f64) {
+    let start = lo.ceil() as i64;
+    let end = hi.floor() as i64;
+    if end < start || hi <= lo {
+        let d = (truth.eval(lo) - est.eval(lo)).abs();
+        return (d, d);
+    }
+    let values = truth.values();
+    let knots = est.knots();
+    let mut vi = values.partition_point(|v| *v < start as f64);
+    let mut ki = 0usize;
+    let mut max = 0.0f64;
+    let mut sum = 0.0f64;
+    for k in start..=end {
+        let x = k as f64;
+        while vi < values.len() && values[vi] <= x {
+            vi += 1;
+        }
+        let f = vi as f64 / values.len() as f64;
+        // Advance the knot cursor so that ki = partition_point(kx <= x).
+        while ki < knots.len() && knots[ki].0 <= x {
+            ki += 1;
+        }
+        let g = if ki == 0 {
+            knots[0].1
+        } else if ki == knots.len() {
+            knots[ki - 1].1
+        } else {
+            let (x0, y0) = knots[ki - 1];
+            let (x1, y1) = knots[ki];
+            if x1 == x0 {
+                y1
+            } else {
+                y0 + (y1 - y0) * (x - x0) / (x1 - x0)
+            }
+        };
+        let d = (f - g).abs();
+        max = max.max(d);
+        sum += d;
+    }
+    (max, sum / (hi - lo))
+}
+
+/// Discrete-domain `Err_m(p)` over the truth's full attribute range.
+pub fn discrete_max_distance(truth: &StepCdf, est: &InterpCdf) -> f64 {
+    discrete_errors_over(truth, est, truth.min(), truth.max()).0
+}
+
+/// Discrete-domain `Err_a(p)` over the truth's full attribute range.
+pub fn discrete_avg_distance(truth: &StepCdf, est: &InterpCdf) -> f64 {
+    discrete_errors_over(truth, est, truth.min(), truth.max()).1
+}
+
+/// Errors of the aggregated fractions *at the interpolation points only*
+/// (the paper's "error at interpolation points" series in Fig. 6).
+///
+/// Returns `(max_error, avg_error)` of `|f_i - F(t_i)|`.
+///
+/// # Panics
+///
+/// Panics if `thresholds` and `fractions` lengths differ or are zero.
+pub fn point_errors(truth: &StepCdf, thresholds: &[f64], fractions: &[f64]) -> (f64, f64) {
+    assert_eq!(thresholds.len(), fractions.len(), "length mismatch");
+    assert!(!thresholds.is_empty(), "no interpolation points");
+    let mut max = 0.0f64;
+    let mut sum = 0.0f64;
+    for (t, f) in thresholds.iter().zip(fractions) {
+        let e = (truth.eval(*t) - f).abs();
+        max = max.max(e);
+        sum += e;
+    }
+    (max, sum / thresholds.len() as f64)
+}
+
+/// Accumulates per-threshold fraction extremes and means across peers, to
+/// compute exact cross-peer error aggregates cheaply.
+///
+/// All peers of one aggregation instance share the same thresholds and
+/// (converged) min/max, so each peer contributes only its fraction vector.
+#[derive(Debug, Clone)]
+pub struct FractionEnvelope {
+    lo: Vec<f64>,
+    hi: Vec<f64>,
+    sum: Vec<f64>,
+    peers: usize,
+}
+
+impl FractionEnvelope {
+    /// Creates an envelope for `points` interpolation points.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `points` is zero.
+    pub fn new(points: usize) -> Self {
+        assert!(points > 0, "points must be positive");
+        Self {
+            lo: vec![f64::INFINITY; points],
+            hi: vec![f64::NEG_INFINITY; points],
+            sum: vec![0.0; points],
+            peers: 0,
+        }
+    }
+
+    /// Adds one peer's aggregated fraction vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vector length differs from the envelope width.
+    pub fn add_peer(&mut self, fractions: &[f64]) {
+        assert_eq!(fractions.len(), self.lo.len(), "fraction length mismatch");
+        for (i, f) in fractions.iter().enumerate() {
+            self.lo[i] = self.lo[i].min(*f);
+            self.hi[i] = self.hi[i].max(*f);
+            self.sum[i] += *f;
+        }
+        self.peers += 1;
+    }
+
+    /// Number of peers added.
+    pub fn peers(&self) -> usize {
+        self.peers
+    }
+
+    /// The pointwise-lowest fractions across peers.
+    pub fn lower(&self) -> &[f64] {
+        &self.lo
+    }
+
+    /// The pointwise-highest fractions across peers.
+    pub fn upper(&self) -> &[f64] {
+        &self.hi
+    }
+
+    /// The pointwise-mean fractions across peers.
+    pub fn mean(&self) -> Vec<f64> {
+        self.sum
+            .iter()
+            .map(|s| s / self.peers.max(1) as f64)
+            .collect()
+    }
+
+    /// The exact aggregate `Err_m = max_p sup_x |F - F_p|` for peers whose
+    /// estimates interpolate `thresholds` over `[min, max]`.
+    ///
+    /// For a fixed `x`, `F_p(x)` is a convex combination of two adjacent
+    /// `f_i` with non-negative coefficients, so over all peers it ranges
+    /// exactly between the interpolations of the per-threshold minima and
+    /// maxima; the worst peer error at `x` is therefore attained on one of
+    /// those two envelope curves.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CdfError`](crate::CdfError) if the envelope values cannot
+    /// form valid CDFs.
+    pub fn aggregate_max_error(
+        &self,
+        truth: &StepCdf,
+        min: f64,
+        max: f64,
+        thresholds: &[f64],
+    ) -> Result<f64, crate::CdfError> {
+        let low = InterpCdf::from_points(min, max, thresholds, &self.lo)?;
+        let high = InterpCdf::from_points(min, max, thresholds, &self.hi)?;
+        Ok(max_distance(truth, &low).max(max_distance(truth, &high)))
+    }
+
+    /// Like [`aggregate_max_error`](Self::aggregate_max_error) but over the
+    /// discrete attribute domain (the paper's metric).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CdfError`](crate::CdfError) if the envelope values cannot
+    /// form valid CDFs.
+    pub fn aggregate_discrete_max_error(
+        &self,
+        truth: &StepCdf,
+        min: f64,
+        max: f64,
+        thresholds: &[f64],
+    ) -> Result<f64, crate::CdfError> {
+        let low = InterpCdf::from_points(min, max, thresholds, &self.lo)?;
+        let high = InterpCdf::from_points(min, max, thresholds, &self.hi)?;
+        Ok(discrete_max_distance(truth, &low).max(discrete_max_distance(truth, &high)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn uniform_truth() -> StepCdf {
+        StepCdf::from_values((1..=100).map(f64::from).collect())
+    }
+
+    #[test]
+    fn identical_cdfs_have_near_zero_error() {
+        let truth = uniform_truth();
+        let est = InterpCdf::from_sample(truth.values());
+        assert_eq!(max_distance(&truth, &est), 0.0);
+        assert_eq!(avg_distance(&truth, &est), 0.0);
+    }
+
+    #[test]
+    fn max_distance_of_diagonal_vs_uniform_steps() {
+        // F: uniform on 1..=100 (steps of 0.01); G: straight line 1 -> 100.
+        let truth = uniform_truth();
+        let est = InterpCdf::new(vec![(1.0, 0.01), (100.0, 1.0)]).unwrap();
+        // The diagonal matches F at each step top, so the max gap is just
+        // below one step (0.01).
+        let d = max_distance(&truth, &est);
+        assert!(d <= 0.0101 && d > 0.005, "d = {d}");
+    }
+
+    #[test]
+    fn max_distance_detects_step_miss() {
+        // Truth: all mass at 10; estimate: smooth ramp 0..20.
+        let truth = StepCdf::from_values(vec![10.0; 50]);
+        let est = InterpCdf::new(vec![(0.0, 0.0), (20.0, 1.0)]).unwrap();
+        let d = max_distance(&truth, &est);
+        // Just left of 10 the truth is 0 but the ramp is ~0.5.
+        assert!((d - 0.5).abs() < 1e-9, "d = {d}");
+    }
+
+    #[test]
+    fn avg_distance_triangle_area() {
+        // Truth: single value at 0 (F = 1 everywhere in range [0, 0]...).
+        // Use a two-value truth spanning [0, 10] instead.
+        let truth = StepCdf::from_values(vec![0.0, 10.0]);
+        // Estimate: exact staircase -> zero error.
+        let est = InterpCdf::from_sample(truth.values());
+        assert_eq!(avg_distance(&truth, &est), 0.0);
+        // Estimate: diagonal. F = 0.5 on (0, 10); G ramps 0 -> 1.
+        // |F - G| is two triangles of height 0.5 and width 5 => area 2.5,
+        // normalised by 10 => 0.25.
+        let diag = InterpCdf::new(vec![(0.0, 0.5), (10.0, 1.0)]).unwrap();
+        let a = avg_distance(&truth, &diag);
+        // F = 0.5 on (0, 10); G ramps 0.5 -> 1, so |F - G| ramps 0 -> 0.5
+        // with mean 0.25.
+        assert!((a - 0.25).abs() < 1e-9, "a = {a}");
+    }
+
+    #[test]
+    fn avg_distance_degenerate_range() {
+        let truth = StepCdf::from_values(vec![5.0, 5.0]);
+        let est = InterpCdf::new(vec![(5.0, 1.0)]).unwrap();
+        assert_eq!(avg_distance(&truth, &est), 0.0);
+    }
+
+    #[test]
+    fn segment_area_no_crossing() {
+        // c = 0, line 1 -> 3 over width 2: trapezoid (1+3)/2*2 = 4.
+        assert!((segment_area(0.0, 1.0, 3.0, 2.0) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn segment_area_with_crossing() {
+        // c = 0, line -1 -> 1 over width 2: two triangles 0.5 + 0.5 = ...
+        // areas: |d0|*t/2*w + |d1|*(1-t)/2*w with t=0.5: (0.5*0.5 + 0.5*0.5)*2?
+        // = (1*0.5 + 1*0.5)/2 * 2 = 1.0.
+        assert!((segment_area(0.0, -1.0, 1.0, 2.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn point_errors_exact() {
+        let truth = uniform_truth();
+        let (max, avg) = point_errors(&truth, &[50.0, 100.0], &[0.5, 0.9]);
+        assert!((max - 0.1).abs() < 1e-12);
+        assert!((avg - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn envelope_tracks_extremes_and_mean() {
+        let mut env = FractionEnvelope::new(2);
+        env.add_peer(&[0.2, 0.8]);
+        env.add_peer(&[0.4, 0.6]);
+        assert_eq!(env.peers(), 2);
+        assert_eq!(env.lower(), &[0.2, 0.6]);
+        assert_eq!(env.upper(), &[0.4, 0.8]);
+        let mean = env.mean();
+        assert!((mean[0] - 0.3).abs() < 1e-12 && (mean[1] - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn envelope_aggregate_equals_worst_peer() {
+        let truth = uniform_truth();
+        let thresholds = [25.0, 50.0, 75.0];
+        let peers = [
+            [0.25, 0.50, 0.75], // exact
+            [0.20, 0.50, 0.80], // worse
+            [0.27, 0.49, 0.74],
+        ];
+        let mut env = FractionEnvelope::new(3);
+        let mut worst = 0.0f64;
+        for p in &peers {
+            env.add_peer(p);
+            let est = InterpCdf::from_points(1.0, 100.0, &thresholds, p).unwrap();
+            worst = worst.max(max_distance(&truth, &est));
+        }
+        let agg = env
+            .aggregate_max_error(&truth, 1.0, 100.0, &thresholds)
+            .unwrap();
+        assert!(
+            (agg - worst).abs() < 1e-12,
+            "envelope {agg} vs direct {worst}"
+        );
+    }
+}

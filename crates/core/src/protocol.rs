@@ -1,0 +1,820 @@
+//! The Adam2 gossip protocol (Section IV), as an [`adam2_sim::Protocol`].
+//!
+//! Per round, every node:
+//!
+//! 1. finalises any aggregation instance whose TTL expired, producing a new
+//!    [`DistributionEstimate`];
+//! 2. (probabilistic scheduling only) starts a new instance with
+//!    probability `1 / (N̂ · R)`;
+//! 3. initiates one symmetric push–pull exchange with a random neighbour,
+//!    carrying its state for every running instance. A peer that sees an
+//!    instance id for the first time *joins*: it initialises its indicator
+//!    contributions and weight 0, then the exchange averages both sides —
+//!    conserving the total mass exactly (see DESIGN.md on why the
+//!    mass-conserving reading of the paper's join rule is the right one).
+//!
+//! Nodes that joined the *system* after an instance started ignore that
+//! instance (Section VII-G), so late arrivals do not distort a running
+//! average; they bootstrap their estimate and system-size guess from a
+//! neighbour instead.
+
+use std::sync::Arc;
+
+use rand::rngs::StdRng;
+use rand::RngExt as _;
+
+use adam2_sim::{Ctx, ExchangeFate, NodeId, Protocol};
+
+use crate::confidence::verification_thresholds;
+use crate::config::{Adam2Config, Scheduling};
+use crate::estimate::DistributionEstimate;
+use crate::instance::{AttrValue, InstanceId, InstanceLocal, InstanceMeta};
+use crate::selection::{select_thresholds, SelectionInput};
+use crate::wire;
+
+/// Per-node state of the Adam2 protocol.
+#[derive(Debug, Clone)]
+pub struct Adam2Node {
+    value: AttrValue,
+    instances: Vec<InstanceLocal>,
+    estimate: Option<DistributionEstimate>,
+    n_estimate: f64,
+    joined_round: u64,
+}
+
+impl Adam2Node {
+    /// Creates a node with the given attribute value(s).
+    pub fn new(value: AttrValue, initial_n_estimate: f64) -> Self {
+        Self {
+            value,
+            instances: Vec::new(),
+            estimate: None,
+            n_estimate: initial_n_estimate,
+            joined_round: 0,
+        }
+    }
+
+    /// The node's attribute value(s).
+    pub fn value(&self) -> &AttrValue {
+        &self.value
+    }
+
+    /// Replaces the node's attribute value (dynamic attributes,
+    /// Section VII-F: the new value takes effect the next time the node
+    /// creates or joins an instance).
+    pub fn set_value(&mut self, value: AttrValue) {
+        self.value = value;
+    }
+
+    /// The node's latest completed distribution estimate.
+    pub fn estimate(&self) -> Option<&DistributionEstimate> {
+        self.estimate.as_ref()
+    }
+
+    /// The node's current system-size estimate `N̂`.
+    pub fn n_estimate(&self) -> f64 {
+        self.n_estimate
+    }
+
+    /// The round in which this node joined the system (0 for the initial
+    /// population).
+    pub fn joined_round(&self) -> u64 {
+        self.joined_round
+    }
+
+    /// The aggregation instances this node currently participates in.
+    pub fn active_instances(&self) -> &[InstanceLocal] {
+        &self.instances
+    }
+
+    /// This node's state for a specific running instance.
+    pub fn active_instance(&self, id: InstanceId) -> Option<&InstanceLocal> {
+        self.instances.iter().find(|i| i.meta.id == id)
+    }
+
+    /// Enrols this node in an aggregation instance as its *initiator*
+    /// (weight 1). The usual entry point is
+    /// [`Adam2Protocol::start_instance`], which also selects the
+    /// thresholds; this method is for custom drivers that construct
+    /// [`InstanceMeta`] themselves (and for tests).
+    ///
+    /// Does nothing if the node already participates in the instance.
+    pub fn begin_instance(&mut self, meta: Arc<InstanceMeta>) {
+        if self.find_index(meta.id).is_none() {
+            self.instances
+                .push(InstanceLocal::join(meta, &self.value, true));
+        }
+    }
+
+    /// Finalises every instance whose TTL expired at `round`, adopting the
+    /// newest resulting estimate and system-size value. Returns
+    /// `(successful, failed)` finalisation counts.
+    pub fn finalize_due_instances(&mut self, round: u64) -> (u64, u64) {
+        let mut completed = 0;
+        let mut failed = 0;
+        let mut i = 0;
+        while i < self.instances.len() {
+            if !self.instances[i].is_due(round) {
+                i += 1;
+                continue;
+            }
+            let inst = self.instances.swap_remove(i);
+            match inst.finalize(round) {
+                Ok(est) => {
+                    let newer = self
+                        .estimate
+                        .as_ref()
+                        .is_none_or(|old| est.completed_round >= old.completed_round);
+                    if newer {
+                        if let Some(n) = est.n_hat {
+                            self.n_estimate = n;
+                        }
+                        self.estimate = Some(est);
+                    }
+                    completed += 1;
+                }
+                Err(_) => failed += 1,
+            }
+        }
+        (completed, failed)
+    }
+
+    /// Joins an instance as a non-initiator (indicator contributions,
+    /// weight 0) without merging anything, respecting the
+    /// joined-after-start exclusion rule. Used by the asynchronous
+    /// protocol, where joining and averaging are separate steps.
+    pub fn join_instance_passively(&mut self, meta: Arc<InstanceMeta>) {
+        if self.joined_round > meta.start_round {
+            return;
+        }
+        if self.find_index(meta.id).is_none() {
+            self.instances
+                .push(InstanceLocal::join(meta, &self.value, false));
+        }
+    }
+
+    /// Absorbs a *snapshot* of another peer's instance state, as received
+    /// over an asynchronous network: joins the instance if unknown (and
+    /// the node was in the system when it started), then performs a
+    /// one-sided average with the snapshot.
+    ///
+    /// Unlike the atomic [`gossip_exchange`], one-sided absorption does
+    /// not conserve mass exactly when exchanges interleave; see
+    /// [`AsyncAdam2`](crate::AsyncAdam2).
+    pub fn absorb_snapshot(&mut self, snapshot: &InstanceLocal, round: u64) {
+        if snapshot.is_due(round) {
+            return;
+        }
+        let idx = match self.find_index(snapshot.meta.id) {
+            Some(idx) => idx,
+            None => {
+                if self.joined_round > snapshot.meta.start_round {
+                    return;
+                }
+                self.instances.push(InstanceLocal::join(
+                    snapshot.meta.clone(),
+                    &self.value,
+                    false,
+                ));
+                self.instances.len() - 1
+            }
+        };
+        let mut other = snapshot.clone();
+        InstanceLocal::merge_symmetric(&mut self.instances[idx], &mut other);
+    }
+
+    fn find_index(&self, id: InstanceId) -> Option<usize> {
+        self.instances.iter().position(|i| i.meta.id == id)
+    }
+}
+
+/// Performs one symmetric push–pull exchange between two nodes at `round`,
+/// covering all running instances: instance discovery (join), and
+/// mass-conserving averaging.
+///
+/// Returns `(request_bytes, response_bytes)` as they would appear on the
+/// wire ([`wire::message_len`]).
+pub fn gossip_exchange(a: &mut Adam2Node, b: &mut Adam2Node, round: u64) -> (usize, usize) {
+    let request_bytes = wire::message_len(a.instances.iter().filter(|i| !i.is_due(round)));
+
+    // The receiver joins every instance it can: it learned the thresholds
+    // from the request and enters with its indicator values and weight 0.
+    let a_metas: Vec<Arc<InstanceMeta>> = a
+        .instances
+        .iter()
+        .filter(|i| !i.is_due(round))
+        .map(|i| i.meta.clone())
+        .collect();
+    for meta in &a_metas {
+        if b.joined_round <= meta.start_round && b.find_index(meta.id).is_none() {
+            b.instances
+                .push(InstanceLocal::join(meta.clone(), &b.value, false));
+        }
+    }
+
+    // The response carries b's (possibly freshly initialised) state.
+    let response_bytes = wire::message_len(b.instances.iter().filter(|i| !i.is_due(round)));
+    let b_metas: Vec<Arc<InstanceMeta>> = b
+        .instances
+        .iter()
+        .filter(|i| !i.is_due(round))
+        .map(|i| i.meta.clone())
+        .collect();
+    for meta in &b_metas {
+        if a.joined_round <= meta.start_round && a.find_index(meta.id).is_none() {
+            a.instances
+                .push(InstanceLocal::join(meta.clone(), &a.value, false));
+        }
+    }
+
+    // Symmetric averaging of every instance both sides now share.
+    for meta in &b_metas {
+        let (Some(ia), Some(ib)) = (a.find_index(meta.id), b.find_index(meta.id)) else {
+            continue;
+        };
+        InstanceLocal::merge_symmetric(&mut a.instances[ia], &mut b.instances[ib]);
+    }
+    // Instances only a announced (b could not join them): already merged
+    // above if shared; a-only ones stay untouched, which is correct — b
+    // refused to participate.
+    for meta in &a_metas {
+        if b_metas.iter().any(|m| m.id == meta.id) {
+            continue;
+        }
+        let (Some(ia), Some(ib)) = (a.find_index(meta.id), b.find_index(meta.id)) else {
+            continue;
+        };
+        InstanceLocal::merge_symmetric(&mut a.instances[ia], &mut b.instances[ib]);
+    }
+
+    (request_bytes, response_bytes)
+}
+
+/// The asymmetric half-exchange that results when the *response* of a
+/// push–pull exchange is lost: `b` processes `a`'s request (joining and
+/// averaging against a snapshot of `a`), but `a` never hears back and
+/// keeps its state.
+///
+/// This variant does **not** conserve mass — exactly the perturbation a
+/// lossy network inflicts on averaging — and exists to study Adam2 under
+/// message loss (an extension beyond the paper, see the `exp_loss`
+/// experiment).
+///
+/// Returns `(request_bytes, response_bytes)`; the response was sent (and
+/// must be charged) even though it never arrived.
+pub fn gossip_exchange_response_lost(
+    a: &Adam2Node,
+    b: &mut Adam2Node,
+    round: u64,
+) -> (usize, usize) {
+    let request_bytes = wire::message_len(a.instances.iter().filter(|i| !i.is_due(round)));
+    let snapshots: Vec<InstanceLocal> = a
+        .instances
+        .iter()
+        .filter(|i| !i.is_due(round))
+        .cloned()
+        .collect();
+    for snap in &snapshots {
+        b.join_instance_passively(snap.meta.clone());
+    }
+    let response_bytes = wire::message_len(b.instances.iter().filter(|i| !i.is_due(round)));
+    for snap in &snapshots {
+        b.absorb_snapshot(snap, round);
+    }
+    (request_bytes, response_bytes)
+}
+
+/// The Adam2 protocol driver (one per simulation).
+pub struct Adam2Protocol {
+    config: Adam2Config,
+    source: Box<dyn FnMut(&mut StdRng) -> AttrValue + Send>,
+    nonce: u64,
+    started: Vec<Arc<InstanceMeta>>,
+    completed: u64,
+    finalize_failures: u64,
+}
+
+impl std::fmt::Debug for Adam2Protocol {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Adam2Protocol")
+            .field("config", &self.config)
+            .field("started", &self.started.len())
+            .field("completed", &self.completed)
+            .finish()
+    }
+}
+
+impl Adam2Protocol {
+    /// Creates a protocol whose nodes draw their attribute values from
+    /// `source` (called once per created node, including churn
+    /// replacements).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid; call
+    /// [`Adam2Config::validate`] first to handle errors gracefully.
+    pub fn new(
+        config: Adam2Config,
+        source: impl FnMut(&mut StdRng) -> AttrValue + Send + 'static,
+    ) -> Self {
+        config.validate().expect("invalid Adam2 configuration");
+        Self {
+            config,
+            source: Box::new(source),
+            nonce: 0,
+            started: Vec::new(),
+            completed: 0,
+            finalize_failures: 0,
+        }
+    }
+
+    /// Convenience constructor: node `i` of the initial population gets
+    /// `initial[i]` as a single-valued attribute; churn replacements draw
+    /// from `fresh`.
+    pub fn with_population(
+        config: Adam2Config,
+        initial: Vec<f64>,
+        mut fresh: impl FnMut(&mut StdRng) -> f64 + Send + 'static,
+    ) -> Self {
+        let mut queue = std::collections::VecDeque::from(initial);
+        Self::new(config, move |rng| {
+            AttrValue::Single(match queue.pop_front() {
+                Some(v) => v,
+                None => fresh(rng),
+            })
+        })
+    }
+
+    /// The protocol configuration.
+    pub fn config(&self) -> &Adam2Config {
+        &self.config
+    }
+
+    /// Mutable configuration access (e.g. to switch the refinement
+    /// heuristic between instances in an experiment).
+    pub fn config_mut(&mut self) -> &mut Adam2Config {
+        &mut self.config
+    }
+
+    /// Metadata of every instance started so far, in start order.
+    pub fn started_instances(&self) -> &[Arc<InstanceMeta>] {
+        &self.started
+    }
+
+    /// Number of per-node instance completions.
+    pub fn completed_count(&self) -> u64 {
+        self.completed
+    }
+
+    /// Number of per-node finalisations that failed to produce a valid
+    /// estimate (e.g. a peer that never exchanged a message).
+    pub fn finalize_failure_count(&self) -> u64 {
+        self.finalize_failures
+    }
+
+    /// Starts a new aggregation instance at `initiator`, selecting
+    /// interpolation points per the configured bootstrap/refinement and
+    /// verification points per the configured metric.
+    ///
+    /// Returns the instance metadata, or `None` if the initiator is not
+    /// live.
+    pub fn start_instance(
+        &mut self,
+        initiator: NodeId,
+        ctx: &mut Ctx<'_, Adam2Node>,
+    ) -> Option<Arc<InstanceMeta>> {
+        let (value, prev) = {
+            let node = ctx.nodes.get(initiator)?;
+            (node.value.clone(), node.estimate.clone())
+        };
+
+        // Gather neighbour attribute values for the bootstrap.
+        let sample = self.config.effective_neighbour_sample();
+        let neighbour_ids = ctx.neighbour_sample(initiator, sample);
+        let mut neighbour_values = Vec::with_capacity(neighbour_ids.len() + 1);
+        for nid in neighbour_ids {
+            if let Some(nb) = ctx.nodes.get(nid) {
+                if let Some(v) = nb.value.clone().representative(ctx.rng) {
+                    neighbour_values.push(v);
+                }
+            }
+        }
+        if let Some(v) = value.representative(ctx.rng) {
+            neighbour_values.push(v);
+        }
+
+        let input = SelectionInput {
+            prev: prev.as_ref(),
+            neighbour_values: &neighbour_values,
+            domain_hint: self.config.domain_hint,
+        };
+        let (lo, hi) = input.range();
+        let thresholds = select_thresholds(
+            self.config.bootstrap,
+            self.config.refine,
+            input,
+            self.config.lambda,
+            ctx.rng,
+        );
+        let verify = verification_thresholds(
+            self.config.verify_metric,
+            prev.as_ref().map(|e| &e.cdf),
+            self.config.verify_points,
+            lo,
+            hi,
+        );
+
+        self.nonce += 1;
+        let meta = Arc::new(InstanceMeta {
+            id: InstanceId::derive(ctx.round, initiator.slot() as u64, self.nonce),
+            thresholds: thresholds.into(),
+            verify_thresholds: verify.into(),
+            start_round: ctx.round,
+            end_round: ctx.round + self.config.rounds_per_instance,
+            multi: value.is_multi(),
+        });
+        let node = ctx.nodes.get_mut(initiator)?;
+        node.instances
+            .push(InstanceLocal::join(meta.clone(), &value, true));
+        self.started.push(meta.clone());
+        Some(meta)
+    }
+
+    fn finalize_due(&mut self, id: NodeId, ctx: &mut Ctx<'_, Adam2Node>) {
+        let round = ctx.round;
+        let Some(node) = ctx.nodes.get_mut(id) else {
+            return;
+        };
+        let (completed, failed) = node.finalize_due_instances(round);
+        self.completed += completed;
+        self.finalize_failures += failed;
+    }
+}
+
+impl Protocol for Adam2Protocol {
+    type Node = Adam2Node;
+
+    fn make_node(&mut self, rng: &mut StdRng) -> Adam2Node {
+        Adam2Node::new((self.source)(rng), self.config.initial_n_estimate)
+    }
+
+    fn on_round(&mut self, id: NodeId, ctx: &mut Ctx<'_, Adam2Node>) {
+        self.finalize_due(id, ctx);
+
+        if let Scheduling::Probabilistic {
+            mean_rounds_between,
+        } = self.config.scheduling
+        {
+            let n_est = match ctx.nodes.get(id) {
+                Some(node) => node.n_estimate.max(1.0),
+                None => return,
+            };
+            let p = 1.0 / (n_est * mean_rounds_between);
+            if ctx.rng.random::<f64>() < p {
+                self.start_instance(id, ctx);
+            }
+        }
+
+        let Some(partner) = ctx.random_neighbour(id) else {
+            return;
+        };
+        let round = ctx.round;
+        let fate = ctx.sample_exchange_fate();
+        let Some((a, b)) = ctx.nodes.pair_mut(id, partner) else {
+            return;
+        };
+        match fate {
+            ExchangeFate::Complete => {
+                let (req, resp) = gossip_exchange(a, b, round);
+                ctx.net.charge_exchange(id, partner, req, resp);
+            }
+            ExchangeFate::RequestLost => {
+                // The sender still paid for the request.
+                let req = wire::message_len(a.instances.iter().filter(|i| !i.is_due(round)));
+                ctx.net.charge_message(id, partner, req);
+            }
+            ExchangeFate::ResponseLost => {
+                let (req, resp) = gossip_exchange_response_lost(a, b, round);
+                ctx.net.charge_message(id, partner, req);
+                ctx.net.charge_message(partner, id, resp);
+            }
+        }
+    }
+
+    fn on_join(&mut self, id: NodeId, ctx: &mut Ctx<'_, Adam2Node>) {
+        let round = ctx.round;
+        // "Nodes joining the system are bootstrapped by their initial
+        // neighbours": inherit a current estimate and size guess. Retry a
+        // few neighbours in case the first one is itself a fresh joiner
+        // without an estimate yet.
+        let mut bootstrap = None;
+        for _ in 0..8 {
+            let Some(nb) = ctx.random_neighbour(id) else {
+                break;
+            };
+            if let Some(node) = ctx.nodes.get(nb) {
+                if node.estimate.is_some() {
+                    bootstrap = Some((node.estimate.clone(), node.n_estimate));
+                    break;
+                }
+                bootstrap.get_or_insert((None, node.n_estimate));
+            }
+        }
+        if let Some(node) = ctx.nodes.get_mut(id) {
+            node.joined_round = round;
+            if let Some((est, n)) = bootstrap {
+                node.estimate = est;
+                node.n_estimate = n;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cdf::StepCdf;
+    use crate::metrics::point_errors;
+    use crate::selection::BootstrapKind;
+    use adam2_sim::{ChurnModel, Engine, EngineConfig};
+
+    fn engine_with_values(
+        values: Vec<f64>,
+        config: Adam2Config,
+        seed: u64,
+    ) -> Engine<Adam2Protocol> {
+        let n = values.len();
+        let proto = Adam2Protocol::with_population(config, values, |rng| {
+            rng.random_range(1.0..=100.0f64).round()
+        });
+        Engine::new(EngineConfig::new(n, seed), proto)
+    }
+
+    fn start_manual(engine: &mut Engine<Adam2Protocol>) -> Arc<InstanceMeta> {
+        engine
+            .with_ctx(|proto, ctx| {
+                let initiator = ctx.nodes.random_id(ctx.rng).expect("non-empty");
+                proto.start_instance(initiator, ctx)
+            })
+            .expect("instance started")
+    }
+
+    #[test]
+    fn single_instance_converges_to_true_fractions() {
+        let values: Vec<f64> = (1..=200).map(f64::from).collect();
+        let truth = StepCdf::from_values(values.clone());
+        let config = Adam2Config::new()
+            .with_lambda(10)
+            .with_rounds_per_instance(40)
+            .with_bootstrap(BootstrapKind::Uniform)
+            .with_domain_hint(1.0, 200.0);
+        let mut engine = engine_with_values(values, config, 11);
+        let meta = start_manual(&mut engine);
+        engine.run_rounds(41);
+
+        let mut checked = 0;
+        for (_, node) in engine.nodes().iter() {
+            let est = node.estimate().expect("estimate after instance end");
+            let (max_err, _) = point_errors(&truth, &est.thresholds, &est.fractions);
+            assert!(max_err < 1e-6, "point error {max_err} too high");
+            let n = est.n_hat.expect("weight mass received");
+            assert!((n - 200.0).abs() < 0.5, "N estimate {n}");
+            assert_eq!(est.instance, meta.id);
+            checked += 1;
+        }
+        assert_eq!(checked, 200);
+    }
+
+    #[test]
+    fn mass_is_conserved_mid_instance() {
+        let values: Vec<f64> = (1..=100).map(f64::from).collect();
+        let config = Adam2Config::new()
+            .with_lambda(4)
+            .with_rounds_per_instance(50)
+            .with_bootstrap(BootstrapKind::Uniform)
+            .with_domain_hint(1.0, 100.0);
+        let mut engine = engine_with_values(values.clone(), config, 13);
+        let meta = start_manual(&mut engine);
+        for _ in 0..20 {
+            engine.run_round();
+            // Sum of weights over participants must stay exactly 1; sum of
+            // fraction components must equal the indicator mass of the
+            // participants.
+            let mut weight = 0.0;
+            let mut frac0 = 0.0;
+            let mut indicator0 = 0.0;
+            let t0 = meta.thresholds[0];
+            for (_, node) in engine.nodes().iter() {
+                if let Some(inst) = node.active_instance(meta.id) {
+                    weight += inst.weight;
+                    frac0 += inst.fractions[0];
+                    indicator0 += node.value().indicator(t0);
+                }
+            }
+            assert!((weight - 1.0).abs() < 1e-9, "weight mass {weight}");
+            assert!((frac0 - indicator0).abs() < 1e-6, "fraction mass leaked");
+        }
+    }
+
+    #[test]
+    fn probabilistic_scheduling_starts_instances() {
+        let values: Vec<f64> = (1..=100).map(f64::from).collect();
+        let config = Adam2Config::new()
+            .with_lambda(5)
+            .with_rounds_per_instance(10)
+            .with_scheduling(Scheduling::Probabilistic {
+                mean_rounds_between: 5.0,
+            })
+            .with_initial_n_estimate(100.0);
+        let mut engine = engine_with_values(values, config, 17);
+        engine.run_rounds(100);
+        let started = engine.protocol().started_instances().len();
+        // Expect about one instance per 5 rounds => ~20; allow wide slack.
+        assert!((8..=40).contains(&started), "started {started}");
+        // Estimates eventually exist.
+        let with_estimate = engine
+            .nodes()
+            .iter()
+            .filter(|(_, n)| n.estimate().is_some())
+            .count();
+        assert!(
+            with_estimate > 90,
+            "only {with_estimate} nodes have estimates"
+        );
+    }
+
+    #[test]
+    fn refinement_reduces_point_count_error_over_instances() {
+        // Step distribution: two heavy steps.
+        let mut values = vec![512.0; 400];
+        values.extend(vec![2048.0; 600]);
+        let truth = StepCdf::from_values(values.clone());
+        let config = Adam2Config::new()
+            .with_lambda(24)
+            .with_rounds_per_instance(30);
+        let mut engine = engine_with_values(values, config, 19);
+
+        let mut errors = Vec::new();
+        for _ in 0..4 {
+            start_manual(&mut engine);
+            engine.run_rounds(31);
+            let (_, node) = engine.nodes().iter().next().expect("nodes");
+            let est = node.estimate().expect("estimate");
+            errors.push(crate::metrics::discrete_max_distance(&truth, &est.cdf));
+        }
+        assert!(
+            errors.last().unwrap() <= errors.first().unwrap(),
+            "refinement made things worse: {errors:?}"
+        );
+        assert!(
+            *errors.last().unwrap() < 0.05,
+            "final error too high: {errors:?}"
+        );
+    }
+
+    #[test]
+    fn late_joiners_ignore_running_instances_and_bootstrap() {
+        let values: Vec<f64> = (1..=100).map(f64::from).collect();
+        let config = Adam2Config::new()
+            .with_lambda(5)
+            .with_rounds_per_instance(40)
+            .with_bootstrap(BootstrapKind::Uniform)
+            .with_domain_hint(1.0, 100.0);
+        let mut engine = engine_with_values(values, config, 23);
+        // Complete one instance so estimates exist for bootstrap.
+        start_manual(&mut engine);
+        engine.run_rounds(41);
+        // Start a second instance, then switch churn on mid-instance.
+        let meta = start_manual(&mut engine);
+        engine.run_rounds(5);
+        engine.set_churn(ChurnModel::uniform(0.02));
+        engine.run_rounds(10);
+        for (_, node) in engine.nodes().iter() {
+            if node.joined_round() > meta.start_round {
+                assert!(
+                    node.active_instance(meta.id).is_none(),
+                    "late joiner participated in an older instance"
+                );
+                assert!(node.estimate().is_some(), "joiner not bootstrapped");
+            }
+        }
+    }
+
+    #[test]
+    fn multi_value_instance_estimates_value_distribution() {
+        // 3 nodes with value sets; global multiset {1,2,3,4,10,10}.
+        let sets = [vec![1.0, 2.0], vec![3.0, 4.0], vec![10.0, 10.0]];
+        let mut queue: std::collections::VecDeque<Vec<f64>> = sets.iter().cloned().collect();
+        let config = Adam2Config::new()
+            .with_lambda(3)
+            .with_rounds_per_instance(30)
+            .with_bootstrap(BootstrapKind::Uniform)
+            .with_domain_hint(1.0, 10.0);
+        let proto = Adam2Protocol::new(config, move |_rng| {
+            AttrValue::Multi(queue.pop_front().unwrap_or_default())
+        });
+        let mut engine = Engine::new(EngineConfig::new(3, 29), proto);
+        start_manual(&mut engine);
+        engine.run_rounds(31);
+        for (_, node) in engine.nodes().iter() {
+            let est = node.estimate().expect("estimate");
+            // The aggregated fractions at the thresholds are exact: with
+            // domain hint (1, 10) and lambda = 3, thresholds sit at
+            // 3.25 / 5.5 / 7.75 with true multiset fractions 3/6, 4/6, 4/6.
+            let truth = StepCdf::from_values(vec![1.0, 2.0, 3.0, 4.0, 10.0, 10.0]);
+            let (max_err, _) = point_errors(&truth, &est.thresholds, &est.fractions);
+            assert!(max_err < 1e-9, "point error {max_err}");
+            assert_eq!(est.min, 1.0);
+            assert_eq!(est.max, 10.0);
+        }
+    }
+
+    #[test]
+    fn exchange_charges_wire_sized_messages() {
+        let values: Vec<f64> = (1..=10).map(f64::from).collect();
+        let config = Adam2Config::new()
+            .with_lambda(50)
+            .with_rounds_per_instance(25)
+            .with_bootstrap(BootstrapKind::Uniform)
+            .with_domain_hint(1.0, 10.0);
+        let mut engine = engine_with_values(values, config, 31);
+        start_manual(&mut engine);
+        engine.run_round();
+        // At least the initiator's exchange carried a full payload
+        // (~860 B for lambda = 50).
+        let expected = wire::payload_len(50, 0) + 2;
+        assert!(engine.net().total_bytes() >= expected as u64);
+    }
+
+    #[test]
+    fn idle_nodes_exchange_empty_messages() {
+        let values: Vec<f64> = (1..=10).map(f64::from).collect();
+        let config = Adam2Config::new();
+        let mut engine = engine_with_values(values, config, 37);
+        engine.run_round();
+        // 10 exchanges of 2 x 2-byte empty messages.
+        assert_eq!(engine.net().total_bytes(), 40);
+    }
+
+    #[test]
+    fn message_loss_degrades_gracefully() {
+        let values: Vec<f64> = (1..=300).map(f64::from).collect();
+        let truth = StepCdf::from_values(values.clone());
+        let config = Adam2Config::new()
+            .with_lambda(10)
+            .with_rounds_per_instance(40)
+            .with_bootstrap(BootstrapKind::Uniform)
+            .with_domain_hint(1.0, 300.0);
+        let proto = Adam2Protocol::with_population(config, values, |_| 1.0);
+        let engine_config = adam2_sim::EngineConfig::new(300, 43).with_loss_rate(0.2);
+        let mut engine = Engine::new(engine_config, proto);
+        start_manual(&mut engine);
+        engine.run_rounds(41);
+        let mut worst = 0.0f64;
+        let mut with_estimate = 0;
+        for (_, node) in engine.nodes().iter() {
+            if let Some(est) = node.estimate() {
+                with_estimate += 1;
+                let (m, _) = point_errors(&truth, &est.thresholds, &est.fractions);
+                worst = worst.max(m);
+            }
+        }
+        assert_eq!(with_estimate, 300, "loss must not block the epidemic");
+        // 20% loss perturbs the averaging but accuracy stays usable.
+        assert!(worst < 0.1, "error under 20% loss: {worst}");
+        assert!(worst > 1e-12, "loss should leave a visible perturbation");
+    }
+
+    #[test]
+    fn lost_requests_charge_one_message() {
+        let values: Vec<f64> = (1..=10).map(f64::from).collect();
+        let config = Adam2Config::new();
+        let proto = Adam2Protocol::with_population(config, values, |_| 1.0);
+        let engine_config = adam2_sim::EngineConfig::new(10, 44).with_loss_rate(1.0);
+        let mut engine = Engine::new(engine_config, proto);
+        engine.run_round();
+        // Every exchange degenerates to one lost 2-byte request.
+        assert_eq!(engine.net().total_msgs(), 10);
+        assert_eq!(engine.net().total_bytes(), 20);
+    }
+
+    #[test]
+    fn estimate_keeps_latest_instance() {
+        let values: Vec<f64> = (1..=50).map(f64::from).collect();
+        let config = Adam2Config::new()
+            .with_lambda(5)
+            .with_rounds_per_instance(20)
+            .with_bootstrap(BootstrapKind::Uniform)
+            .with_domain_hint(1.0, 50.0);
+        let mut engine = engine_with_values(values, config, 41);
+        let first = start_manual(&mut engine);
+        engine.run_rounds(21);
+        let second = start_manual(&mut engine);
+        engine.run_rounds(21);
+        for (_, node) in engine.nodes().iter() {
+            let est = node.estimate().expect("estimate");
+            assert_ne!(est.instance, first.id);
+            assert_eq!(est.instance, second.id);
+        }
+    }
+}

@@ -1,0 +1,241 @@
+//! Rank, slice and outlier queries on top of a distribution estimate.
+//!
+//! The paper positions Adam2 against dedicated rank/slicing protocols
+//! (Montresor et al.; Jelasity & Kermarrec; Fernández et al.) and the
+//! gossip outlier detection of Eyal et al.: a full *distribution* estimate
+//! strictly subsumes them — "node ranks by definition are always assigned
+//! between 1 and N, regardless of the actual attribute distribution",
+//! whereas the CDF also reveals skew, imbalance and outliers. This module
+//! derives those classic queries from a [`DistributionEstimate`], so a
+//! deployment gets ranking, ordered slicing and outlier detection "for
+//! free" once Adam2 runs.
+
+use serde::{Deserialize, Serialize};
+
+use crate::estimate::DistributionEstimate;
+
+impl DistributionEstimate {
+    /// The node's estimated *rank* (1 = smallest value) among the `N`
+    /// nodes of the system, from `F(value) · N`.
+    ///
+    /// Returns `None` if the estimate carries no system-size value.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// # use adam2_core::{DistributionEstimate, InterpCdf, InstanceId};
+    /// # let estimate = DistributionEstimate {
+    /// #     cdf: InterpCdf::new(vec![(0.0, 0.0), (100.0, 1.0)]).unwrap(),
+    /// #     n_hat: Some(1000.0), min: 0.0, max: 100.0,
+    /// #     est_err_avg: None, est_err_max: None,
+    /// #     instance: InstanceId::from_u64(0), completed_round: 0,
+    /// #     thresholds: vec![], fractions: vec![],
+    /// # };
+    /// // A node holding the median value ranks around N/2.
+    /// assert_eq!(estimate.rank_of(50.0), Some(500));
+    /// ```
+    pub fn rank_of(&self, value: f64) -> Option<u64> {
+        let n = self.n_hat?;
+        let rank = (self.cdf.eval(value) * n).round();
+        Some((rank.max(1.0)) as u64)
+    }
+
+    /// The ordered *slice* (0-based, of `slices` equal-population slices)
+    /// that a node holding `value` belongs to — decentralised ordered
+    /// slicing à la Jelasity & Kermarrec.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slices` is zero.
+    pub fn slice_of(&self, value: f64, slices: usize) -> usize {
+        assert!(slices > 0, "slices must be positive");
+        let f = self.cdf.eval(value);
+        ((f * slices as f64) as usize).min(slices - 1)
+    }
+
+    /// Classifies `value` against quantile fences (e.g. `0.01` / `0.99`
+    /// for percentile outliers).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the quantiles are not ordered within `[0, 1]`.
+    pub fn classify(&self, value: f64, lower_quantile: f64, upper_quantile: f64) -> Outlier {
+        assert!(
+            (0.0..=1.0).contains(&lower_quantile)
+                && (0.0..=1.0).contains(&upper_quantile)
+                && lower_quantile <= upper_quantile,
+            "quantile fences must be ordered within [0, 1]"
+        );
+        let f = self.cdf.eval(value);
+        let f_left = self.cdf.eval_left(value);
+        // Use the left limit for the low fence so an atom exactly at the
+        // fence quantile is not flagged.
+        if f < lower_quantile {
+            Outlier::Low
+        } else if f_left > upper_quantile {
+            Outlier::High
+        } else {
+            Outlier::Normal
+        }
+    }
+}
+
+/// Outlier classification of a value against the estimated distribution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Outlier {
+    /// Below the lower quantile fence.
+    Low,
+    /// Within the fences.
+    Normal,
+    /// Above the upper quantile fence.
+    High,
+}
+
+/// A reusable outlier detector with fixed quantile fences.
+///
+/// # Examples
+///
+/// ```
+/// use adam2_core::OutlierDetector;
+///
+/// let detector = OutlierDetector::new(0.05, 0.95);
+/// assert_eq!(detector.lower_quantile(), 0.05);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OutlierDetector {
+    lower: f64,
+    upper: f64,
+}
+
+impl OutlierDetector {
+    /// Creates a detector flagging values outside the
+    /// `[lower_quantile, upper_quantile]` band.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the quantiles are not ordered within `[0, 1]`.
+    pub fn new(lower_quantile: f64, upper_quantile: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&lower_quantile)
+                && (0.0..=1.0).contains(&upper_quantile)
+                && lower_quantile <= upper_quantile,
+            "quantile fences must be ordered within [0, 1]"
+        );
+        Self {
+            lower: lower_quantile,
+            upper: upper_quantile,
+        }
+    }
+
+    /// The lower fence.
+    pub fn lower_quantile(&self) -> f64 {
+        self.lower
+    }
+
+    /// The upper fence.
+    pub fn upper_quantile(&self) -> f64 {
+        self.upper
+    }
+
+    /// Classifies `value` against `estimate`.
+    pub fn classify(&self, estimate: &DistributionEstimate, value: f64) -> Outlier {
+        estimate.classify(value, self.lower, self.upper)
+    }
+
+    /// The attribute band considered normal under `estimate`.
+    pub fn normal_band(&self, estimate: &DistributionEstimate) -> (f64, f64) {
+        (
+            estimate.cdf.quantile(self.lower),
+            estimate.cdf.quantile(self.upper),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cdf::InterpCdf;
+    use crate::instance::InstanceId;
+
+    fn estimate(n: Option<f64>) -> DistributionEstimate {
+        DistributionEstimate {
+            cdf: InterpCdf::new(vec![(0.0, 0.0), (100.0, 1.0)]).unwrap(),
+            n_hat: n,
+            min: 0.0,
+            max: 100.0,
+            est_err_avg: None,
+            est_err_max: None,
+            instance: InstanceId::from_u64(1),
+            completed_round: 30,
+            thresholds: vec![],
+            fractions: vec![],
+        }
+    }
+
+    #[test]
+    fn rank_scales_with_n() {
+        let est = estimate(Some(1000.0));
+        assert_eq!(est.rank_of(0.0), Some(1), "minimum never ranks below 1");
+        assert_eq!(est.rank_of(50.0), Some(500));
+        assert_eq!(est.rank_of(100.0), Some(1000));
+        assert_eq!(estimate(None).rank_of(50.0), None);
+    }
+
+    #[test]
+    fn slices_partition_the_population() {
+        let est = estimate(Some(100.0));
+        assert_eq!(est.slice_of(5.0, 4), 0);
+        assert_eq!(est.slice_of(30.0, 4), 1);
+        assert_eq!(est.slice_of(60.0, 4), 2);
+        assert_eq!(est.slice_of(99.0, 4), 3);
+        // The top value stays in the last slice.
+        assert_eq!(est.slice_of(100.0, 4), 3);
+        assert_eq!(est.slice_of(50.0, 1), 0);
+    }
+
+    #[test]
+    fn classification_fences() {
+        let est = estimate(Some(100.0));
+        assert_eq!(est.classify(0.5, 0.05, 0.95), Outlier::Low);
+        assert_eq!(est.classify(50.0, 0.05, 0.95), Outlier::Normal);
+        assert_eq!(est.classify(99.9, 0.05, 0.95), Outlier::High);
+        // Fence values themselves are normal.
+        assert_eq!(est.classify(5.0, 0.05, 0.95), Outlier::Normal);
+        assert_eq!(est.classify(95.0, 0.05, 0.95), Outlier::Normal);
+    }
+
+    #[test]
+    fn atoms_at_the_fence_are_not_flagged() {
+        // Step CDF: 90% of mass at 10, the rest at 20.
+        let est = DistributionEstimate {
+            cdf: InterpCdf::new(vec![(10.0, 0.0), (10.0, 0.9), (20.0, 0.9), (20.0, 1.0)]).unwrap(),
+            ..estimate(Some(100.0))
+        };
+        // A node holding the dominant value must not be a "high" outlier
+        // even though F(10) = 0.9 >= upper fence 0.85: its left limit is 0.
+        assert_eq!(est.classify(10.0, 0.05, 0.85), Outlier::Normal);
+        assert_eq!(est.classify(20.0, 0.05, 0.85), Outlier::High);
+    }
+
+    #[test]
+    fn detector_reports_band() {
+        let est = estimate(Some(100.0));
+        let d = OutlierDetector::new(0.1, 0.9);
+        let (lo, hi) = d.normal_band(&est);
+        assert!((lo - 10.0).abs() < 1e-9);
+        assert!((hi - 90.0).abs() < 1e-9);
+        assert_eq!(d.classify(&est, 95.0), Outlier::High);
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile fences must be ordered")]
+    fn detector_rejects_inverted_fences() {
+        OutlierDetector::new(0.9, 0.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "slices must be positive")]
+    fn zero_slices_rejected() {
+        estimate(Some(10.0)).slice_of(1.0, 0);
+    }
+}

@@ -1,0 +1,66 @@
+//! The HCut refinement heuristic.
+
+use crate::cdf::InterpCdf;
+
+/// Places λ thresholds at the `(λ+1)`-quantiles of the previous estimate:
+/// `t_k = F_p⁻¹(k / (λ+1))`.
+///
+/// Since `Err_m(p)` is bounded by the largest vertical gap between
+/// consecutive interpolation points, equal-quantile placement attempts to
+/// bound the maximum error by `1/(λ+1)` — assuming the CDF does not change
+/// between instances. On step CDFs many quantiles collapse onto the same
+/// attribute value; the duplicates are removed here and the caller pads the
+/// set back to λ distinct points.
+///
+/// # Examples
+///
+/// ```
+/// use adam2_core::{hcut_thresholds, InterpCdf};
+///
+/// let prev = InterpCdf::new(vec![(0.0, 0.0), (100.0, 1.0)])?;
+/// let ts = hcut_thresholds(&prev, 3);
+/// assert_eq!(ts, vec![25.0, 50.0, 75.0]);
+/// # Ok::<(), adam2_core::CdfError>(())
+/// ```
+pub fn hcut_thresholds(prev: &InterpCdf, lambda: usize) -> Vec<f64> {
+    let mut ts: Vec<f64> = (1..=lambda)
+        .map(|k| prev.quantile(k as f64 / (lambda + 1) as f64))
+        .collect();
+    ts.sort_by(f64::total_cmp);
+    ts.dedup();
+    ts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn diagonal_gives_even_quantiles() {
+        let prev = InterpCdf::new(vec![(0.0, 0.0), (10.0, 1.0)]).unwrap();
+        let ts = hcut_thresholds(&prev, 4);
+        assert_eq!(ts, vec![2.0, 4.0, 6.0, 8.0]);
+    }
+
+    #[test]
+    fn quantiles_concentrate_where_mass_is() {
+        // 90% of the mass below x=1, the rest spread to x=100.
+        let prev = InterpCdf::new(vec![(0.0, 0.0), (1.0, 0.9), (100.0, 1.0)]).unwrap();
+        let ts = hcut_thresholds(&prev, 9);
+        let below_one = ts.iter().filter(|t| **t <= 1.0).count();
+        assert!(
+            below_one >= 7,
+            "only {below_one} of 9 points below the mass"
+        );
+    }
+
+    #[test]
+    fn step_cdf_collapses_to_fewer_points() {
+        // Single step at x=5 holding 80% of the mass.
+        let prev = InterpCdf::new(vec![(0.0, 0.0), (5.0, 0.1), (5.0, 0.9), (10.0, 1.0)]).unwrap();
+        let ts = hcut_thresholds(&prev, 8);
+        // Most quantiles land exactly on the step.
+        assert!(ts.len() < 8);
+        assert!(ts.contains(&5.0));
+    }
+}

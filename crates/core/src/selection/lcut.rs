@@ -1,0 +1,72 @@
+//! The LCut refinement heuristic.
+
+use crate::cdf::InterpCdf;
+
+/// Places λ thresholds at equal *Euclidean arc-length* intervals along the
+/// previous interpolation curve.
+///
+/// The x-axis is rescaled by `1 / (max - min)` so both coordinates span
+/// `[0, 1]`, then the polyline is divided into `λ + 1` equal-length
+/// segments; the x-coordinates of the division points become the new
+/// thresholds. Compared to HCut, arc-length placement also spends points on
+/// *flat* (horizontal) stretches of the CDF, which reduces the area between
+/// the curves — `Err_a` — at the expense of `Err_m` on heavily stepped
+/// CDFs (Section VII-C).
+///
+/// Points that land on a vertical jump share the same x and collapse when
+/// deduplicated; the caller pads the set back to λ distinct thresholds.
+pub fn lcut_thresholds(prev: &InterpCdf, lambda: usize) -> Vec<f64> {
+    let total = prev.scaled_arc_length();
+    let mut ts: Vec<f64> = (1..=lambda)
+        .map(|k| prev.point_at_arc(total * k as f64 / (lambda + 1) as f64).0)
+        .collect();
+    ts.sort_by(f64::total_cmp);
+    ts.dedup();
+    ts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn diagonal_gives_even_spacing() {
+        let prev = InterpCdf::new(vec![(0.0, 0.0), (10.0, 1.0)]).unwrap();
+        let ts = lcut_thresholds(&prev, 4);
+        assert_eq!(ts.len(), 4);
+        for (k, t) in ts.iter().enumerate() {
+            let expected = 10.0 * (k + 1) as f64 / 5.0;
+            assert!((t - expected).abs() < 1e-9, "t[{k}] = {t}");
+        }
+    }
+
+    #[test]
+    fn flat_stretches_receive_points() {
+        // 10% of mass at x<=1, then flat until x=100, then the rest.
+        // HCut would put almost everything below x=1; LCut must cover the
+        // long flat run.
+        let prev = InterpCdf::new(vec![(0.0, 0.0), (1.0, 0.9), (100.0, 1.0)]).unwrap();
+        let ts = lcut_thresholds(&prev, 9);
+        let beyond = ts.iter().filter(|t| **t > 1.0).count();
+        assert!(beyond >= 5, "flat stretch under-covered: {ts:?}");
+    }
+
+    #[test]
+    fn vertical_jumps_collapse() {
+        // A pure step CDF: half the scaled arc is the vertical jump at 5.
+        let prev = InterpCdf::new(vec![(0.0, 0.0), (5.0, 0.0), (5.0, 1.0), (10.0, 1.0)]).unwrap();
+        let ts = lcut_thresholds(&prev, 8);
+        // Several points land exactly on x=5 and dedup to one.
+        assert!(ts.len() < 8);
+        assert!(ts.contains(&5.0));
+    }
+
+    #[test]
+    fn thresholds_stay_within_domain() {
+        let prev = InterpCdf::new(vec![(2.0, 0.0), (3.0, 0.7), (9.0, 1.0)]).unwrap();
+        for lambda in [1, 5, 17] {
+            let ts = lcut_thresholds(&prev, lambda);
+            assert!(ts.iter().all(|t| (2.0..=9.0).contains(t)));
+        }
+    }
+}

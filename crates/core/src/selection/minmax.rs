@@ -1,0 +1,182 @@
+//! The MinMax refinement heuristic (Fig. 3 of the paper).
+
+use crate::cdf::InterpCdf;
+
+/// Iteratively splits the widest vertical gap of the previous interpolation
+/// while removing the midpoint of the narrowest three-point cluster.
+///
+/// This is the paper's Fig. 3 algorithm, run on the previous estimate's
+/// knots (the λ interpolation points plus the `(min, 0)` / `(max, 1)`
+/// anchors, which are never removed):
+///
+/// 1. find consecutive points `n-1, n` in the working set `H` maximising
+///    the vertical gap `|f_n - f_{n-1}|`;
+/// 2. find an interior point `m` in the shrinking set `H_old` minimising
+///    the cluster height `|f_{m+1} - f_{m-1}|`;
+/// 3. if the gap exceeds the cluster height, move the cluster midpoint to
+///    the middle of the gap (remove from both sets, insert the interpolated
+///    midpoint into `H`); otherwise stop.
+///
+/// By repeatedly splitting the steepest fragment, MinMax homes in on the
+/// *steps* of discrete real-world CDFs — the paper's RAM distribution —
+/// where HCut and LCut waste points (Section VII-C).
+///
+/// Returns the interior thresholds of the final `H` (the anchors are
+/// re-added by the aggregation instance itself). The output may contain
+/// duplicates on pathological inputs; the caller deduplicates and pads.
+pub fn minmax_thresholds(prev: &InterpCdf, lambda: usize) -> Vec<f64> {
+    // Working sets of (t, f) points, seeded from the previous estimate.
+    let mut h: Vec<(f64, f64)> = resample_knots(prev, lambda);
+    let mut h_old = h.clone();
+
+    // Each iteration removes one interior point and inserts one midpoint,
+    // so |H| is invariant; the iteration cap guards pathological cycles.
+    let max_iterations = lambda * 4 + 16;
+    for _ in 0..max_iterations {
+        if h.len() < 3 || h_old.len() < 3 {
+            break;
+        }
+        // Step 1: widest vertical gap in H. Zero-width segments (vertical
+        // jumps, e.g. an atom sitting exactly at the attribute minimum)
+        // cannot be bisected in x and are skipped.
+        let (mut gap_idx, mut gap) = (usize::MAX, f64::NEG_INFINITY);
+        for i in 1..h.len() {
+            if h[i].0 <= h[i - 1].0 {
+                continue;
+            }
+            let g = (h[i].1 - h[i - 1].1).abs();
+            if g > gap {
+                gap = g;
+                gap_idx = i;
+            }
+        }
+        if gap_idx == usize::MAX {
+            break;
+        }
+        // Step 2: narrowest three-point cluster in H_old (interior only:
+        // the anchors must survive).
+        let (mut cl_idx, mut cluster) = (1usize, f64::INFINITY);
+        for m in 1..h_old.len() - 1 {
+            let c = (h_old[m + 1].1 - h_old[m - 1].1).abs();
+            if c < cluster {
+                cluster = c;
+                cl_idx = m;
+            }
+        }
+        if gap <= cluster {
+            break;
+        }
+        // Step 3: compute the gap midpoint before mutating, then move the
+        // cluster midpoint there.
+        let midpoint = (
+            (h[gap_idx].0 + h[gap_idx - 1].0) / 2.0,
+            (h[gap_idx].1 + h[gap_idx - 1].1) / 2.0,
+        );
+        let removed = h_old.remove(cl_idx);
+        if let Some(pos) = h.iter().position(|p| *p == removed) {
+            h.remove(pos);
+        }
+        let pos = h.partition_point(|p| p.0 < midpoint.0);
+        h.insert(pos, midpoint);
+    }
+
+    // Strip the anchors; the interior points are the new thresholds.
+    h.iter()
+        .skip(1)
+        .take(h.len().saturating_sub(2))
+        .map(|(t, _)| *t)
+        .collect()
+}
+
+/// Seeds the working set with `lambda` interior points plus the two
+/// anchors.
+///
+/// When the previous estimate has exactly λ interior knots they are used
+/// verbatim; otherwise (first refinement after a bootstrap with a different
+/// λ, or a staircase estimate) the knots are resampled at equal quantiles.
+fn resample_knots(prev: &InterpCdf, lambda: usize) -> Vec<(f64, f64)> {
+    let knots = prev.knots();
+    if knots.len() == lambda + 2 {
+        return knots.to_vec();
+    }
+    let mut out = Vec::with_capacity(lambda + 2);
+    out.push(knots[0]);
+    for k in 1..=lambda {
+        let q = k as f64 / (lambda + 1) as f64;
+        let t = prev.quantile(q);
+        out.push((t, prev.eval(t)));
+    }
+    out.push(*knots.last().expect("non-empty"));
+    out.sort_by(|a, b| a.0.total_cmp(&b.0));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_point_count() {
+        let prev = InterpCdf::new(vec![(0.0, 0.0), (2.0, 0.1), (4.0, 0.2), (10.0, 1.0)]).unwrap();
+        let ts = minmax_thresholds(&prev, 2);
+        assert_eq!(ts.len(), 2);
+    }
+
+    #[test]
+    fn splits_the_large_gap() {
+        // Knots: anchors plus interior points at y=0.05 and y=0.10; the
+        // last segment (0.10 -> 1.0) is a huge gap that must be split.
+        let prev = InterpCdf::new(vec![(0.0, 0.0), (1.0, 0.05), (2.0, 0.10), (10.0, 1.0)]).unwrap();
+        let ts = minmax_thresholds(&prev, 2);
+        assert_eq!(ts.len(), 2);
+        // At least one point moved into the (2, 10) gap.
+        assert!(
+            ts.iter().any(|t| *t > 2.0 && *t < 10.0),
+            "thresholds: {ts:?}"
+        );
+    }
+
+    #[test]
+    fn uniform_diagonal_is_a_fixed_point() {
+        // Evenly spread points on a diagonal: every gap equals every
+        // cluster/2, so no move should happen and thresholds are retained.
+        let prev = InterpCdf::new(vec![
+            (0.0, 0.0),
+            (2.0, 0.2),
+            (4.0, 0.4),
+            (6.0, 0.6),
+            (8.0, 0.8),
+            (10.0, 1.0),
+        ])
+        .unwrap();
+        let ts = minmax_thresholds(&prev, 4);
+        assert_eq!(ts, vec![2.0, 4.0, 6.0, 8.0]);
+    }
+
+    #[test]
+    fn resamples_when_knot_count_differs() {
+        let prev = InterpCdf::new(vec![(0.0, 0.0), (10.0, 1.0)]).unwrap();
+        let ts = minmax_thresholds(&prev, 5);
+        assert_eq!(ts.len(), 5);
+        assert!(ts.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn converges_toward_step_location() {
+        // Previous estimate roughly sees a step near x=50 (big vertical
+        // move between 40 and 60). Iterating MinMax should concentrate
+        // points inside (40, 60).
+        let prev = InterpCdf::new(vec![
+            (0.0, 0.0),
+            (20.0, 0.05),
+            (40.0, 0.10),
+            (60.0, 0.90),
+            (80.0, 0.95),
+            (100.0, 1.0),
+        ])
+        .unwrap();
+        let ts = minmax_thresholds(&prev, 4);
+        let inside = ts.iter().filter(|t| **t > 40.0 && **t < 60.0).count();
+        assert!(inside >= 1, "no point moved into the step region: {ts:?}");
+    }
+}

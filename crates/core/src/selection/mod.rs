@@ -1,0 +1,408 @@
+//! Interpolation-point selection (Section V).
+//!
+//! When a peer starts a new aggregation instance it must place the λ
+//! thresholds `t_i`. With no prior estimate it *bootstraps* — uniformly
+//! over the attribute domain or from attribute values sampled at its
+//! overlay neighbours (Section VII-B shows the latter converges much
+//! faster). Once an estimate exists, a *refinement* heuristic places the
+//! next instance's thresholds using the previous CDF approximation:
+//!
+//! * [`RefineKind::HCut`] — thresholds at the `(λ+1)`-quantiles of the
+//!   previous estimate, bounding the vertical gap between consecutive
+//!   points to ≈ `1/(λ+1)`.
+//! * [`RefineKind::MinMax`] — iteratively splits the widest vertical gap
+//!   while removing the midpoint of the narrowest three-point cluster
+//!   (Fig. 3); excels at locating the steps of discrete CDFs.
+//! * [`RefineKind::LCut`] — thresholds at equal *Euclidean arc-length*
+//!   intervals along the previous interpolation curve (x rescaled by
+//!   `max - min`), optimising the average error.
+//! * [`RefineKind::Hybrid`] — an extension beyond the paper (its "future
+//!   work"): alternate MinMax and LCut placements within one threshold
+//!   set.
+//!
+//! All selectors return exactly λ *distinct*, sorted thresholds; where a
+//! heuristic would produce duplicates (quantiles collapsing on a step),
+//! the set is padded with uniformly spaced fill-ins, since a duplicated
+//! threshold measures the same CDF value twice and carries no information.
+
+mod hcut;
+mod lcut;
+mod minmax;
+
+pub use hcut::hcut_thresholds;
+pub use lcut::lcut_thresholds;
+pub use minmax::minmax_thresholds;
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+
+use crate::estimate::DistributionEstimate;
+
+/// How to place thresholds when no previous estimate exists.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BootstrapKind {
+    /// Uniformly spaced over the attribute domain (requires a domain hint
+    /// or neighbour values for the range).
+    Uniform,
+    /// A random subset of the attribute values observed at the initiator's
+    /// neighbours (the paper's recommended bootstrap).
+    #[default]
+    Neighbours,
+}
+
+/// How to refine thresholds once a previous estimate exists.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RefineKind {
+    /// Never refine; always use the bootstrap placement.
+    Bootstrap,
+    /// Equal-quantile placement (minimises `Err_m` on smooth CDFs).
+    HCut,
+    /// Gap-splitting placement of Fig. 3 (minimises `Err_m` on step CDFs).
+    #[default]
+    MinMax,
+    /// Equal-arc-length placement (minimises `Err_a`).
+    LCut,
+    /// Extension: interleaved MinMax + LCut placement.
+    Hybrid,
+}
+
+/// Inputs available to threshold selection at instance start.
+#[derive(Debug, Clone, Copy)]
+pub struct SelectionInput<'a> {
+    /// The initiator's previous estimate, if any.
+    pub prev: Option<&'a DistributionEstimate>,
+    /// Attribute values sampled from the initiator's neighbours (plus its
+    /// own).
+    pub neighbour_values: &'a [f64],
+    /// Optional a-priori attribute range (used by the Uniform bootstrap,
+    /// mirroring the paper's PeerSim setup where the domain is known).
+    pub domain_hint: Option<(f64, f64)>,
+}
+
+impl SelectionInput<'_> {
+    /// The best available `(lo, hi)` range: the previous estimate's
+    /// converged extrema, else the domain hint, else the neighbour-value
+    /// span, else `(0, 1)`.
+    pub fn range(&self) -> (f64, f64) {
+        if let Some(prev) = self.prev {
+            return (prev.min, prev.max);
+        }
+        if let Some(hint) = self.domain_hint {
+            return hint;
+        }
+        let lo = self
+            .neighbour_values
+            .iter()
+            .copied()
+            .fold(f64::INFINITY, f64::min);
+        let hi = self
+            .neighbour_values
+            .iter()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max);
+        if lo.is_finite() && hi.is_finite() && lo <= hi {
+            (lo, hi)
+        } else {
+            (0.0, 1.0)
+        }
+    }
+}
+
+/// Selects λ distinct sorted thresholds for a new aggregation instance.
+///
+/// Uses `refine` when a previous estimate is available (unless it is
+/// [`RefineKind::Bootstrap`]); falls back to `bootstrap` otherwise.
+///
+/// # Panics
+///
+/// Panics if `lambda` is zero.
+pub fn select_thresholds(
+    bootstrap: BootstrapKind,
+    refine: RefineKind,
+    input: SelectionInput<'_>,
+    lambda: usize,
+    rng: &mut StdRng,
+) -> Vec<f64> {
+    assert!(lambda > 0, "lambda must be positive");
+    if let Some(prev) = input.prev {
+        let ts = match refine {
+            RefineKind::Bootstrap => bootstrap_thresholds(bootstrap, &input, lambda, rng),
+            RefineKind::HCut => hcut_thresholds(&prev.cdf, lambda),
+            RefineKind::MinMax => minmax_thresholds(&prev.cdf, lambda),
+            RefineKind::LCut => lcut_thresholds(&prev.cdf, lambda),
+            RefineKind::Hybrid => {
+                let half = lambda / 2;
+                let mut ts = minmax_thresholds(&prev.cdf, lambda - half);
+                ts.extend(lcut_thresholds(&prev.cdf, half.max(1)));
+                ts
+            }
+        };
+        let (lo, hi) = input.range();
+        normalise(ts, lambda, lo, hi)
+    } else {
+        let ts = bootstrap_thresholds(bootstrap, &input, lambda, rng);
+        let (lo, hi) = input.range();
+        normalise(ts, lambda, lo, hi)
+    }
+}
+
+fn bootstrap_thresholds(
+    kind: BootstrapKind,
+    input: &SelectionInput<'_>,
+    lambda: usize,
+    rng: &mut StdRng,
+) -> Vec<f64> {
+    match kind {
+        BootstrapKind::Uniform => {
+            let (lo, hi) = input.range();
+            uniform_points(lo, hi, lambda)
+        }
+        BootstrapKind::Neighbours => {
+            let mut values: Vec<f64> = input.neighbour_values.to_vec();
+            values.shuffle(rng);
+            values.truncate(lambda);
+            values
+        }
+    }
+}
+
+/// λ points uniformly spaced strictly inside `(lo, hi)`:
+/// `t_k = lo + (hi - lo) * k / (λ + 1)`.
+pub fn uniform_points(lo: f64, hi: f64, lambda: usize) -> Vec<f64> {
+    let span = hi - lo;
+    (1..=lambda)
+        .map(|k| lo + span * k as f64 / (lambda + 1) as f64)
+        .collect()
+}
+
+/// Sorts, deduplicates and pads a threshold set to exactly `lambda`
+/// distinct values within `[lo, hi]`.
+pub(crate) fn normalise(mut ts: Vec<f64>, lambda: usize, lo: f64, hi: f64) -> Vec<f64> {
+    ts.retain(|t| t.is_finite());
+    ts.sort_by(f64::total_cmp);
+    ts.dedup();
+    ts.truncate(lambda);
+    if ts.len() < lambda {
+        // Pad with uniform fill-ins not colliding with existing points.
+        let mut denom = lambda + 1;
+        while ts.len() < lambda && denom < (lambda + 1) * 1024 {
+            for k in 1..denom {
+                if ts.len() >= lambda {
+                    break;
+                }
+                let candidate = lo + (hi - lo) * k as f64 / denom as f64;
+                if ts.binary_search_by(|t| t.total_cmp(&candidate)).is_err() {
+                    let pos = ts.partition_point(|t| *t < candidate);
+                    ts.insert(pos, candidate);
+                }
+            }
+            denom *= 2;
+        }
+        // Degenerate domains (lo == hi) cannot yield distinct fill-ins;
+        // fall back to offset duplicates beyond the domain, which are
+        // harmless (they measure F = 0 or 1).
+        let mut bump = 1.0;
+        while ts.len() < lambda {
+            let candidate = hi + bump;
+            if ts.binary_search_by(|t| t.total_cmp(&candidate)).is_err() {
+                ts.push(candidate);
+            }
+            bump += 1.0;
+        }
+    }
+    ts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cdf::InterpCdf;
+    use crate::instance::InstanceId;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0x5E1E)
+    }
+
+    fn estimate_from(cdf: InterpCdf) -> DistributionEstimate {
+        let (min, max) = (cdf.min(), cdf.max());
+        DistributionEstimate {
+            cdf,
+            n_hat: Some(100.0),
+            min,
+            max,
+            est_err_avg: None,
+            est_err_max: None,
+            instance: InstanceId::derive(0, 0, 0),
+            completed_round: 25,
+            thresholds: vec![],
+            fractions: vec![],
+        }
+    }
+
+    #[test]
+    fn uniform_points_are_evenly_spaced() {
+        let ts = uniform_points(0.0, 100.0, 4);
+        assert_eq!(ts, vec![20.0, 40.0, 60.0, 80.0]);
+    }
+
+    #[test]
+    fn uniform_bootstrap_uses_domain_hint() {
+        let input = SelectionInput {
+            prev: None,
+            neighbour_values: &[],
+            domain_hint: Some((10.0, 20.0)),
+        };
+        let ts = select_thresholds(
+            BootstrapKind::Uniform,
+            RefineKind::MinMax,
+            input,
+            9,
+            &mut rng(),
+        );
+        assert_eq!(ts.len(), 9);
+        assert!(ts.iter().all(|t| (10.0..=20.0).contains(t)));
+        assert!((ts[0] - 11.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn neighbour_bootstrap_draws_from_values() {
+        let values: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let input = SelectionInput {
+            prev: None,
+            neighbour_values: &values,
+            domain_hint: None,
+        };
+        let ts = select_thresholds(
+            BootstrapKind::Neighbours,
+            RefineKind::MinMax,
+            input,
+            10,
+            &mut rng(),
+        );
+        assert_eq!(ts.len(), 10);
+        assert!(ts.windows(2).all(|w| w[0] < w[1]), "sorted distinct");
+        assert!(ts.iter().all(|t| values.contains(t)));
+    }
+
+    #[test]
+    fn neighbour_bootstrap_pads_when_values_collapse() {
+        // All neighbours report the same value (a heavy RAM step).
+        let values = vec![1024.0; 30];
+        let input = SelectionInput {
+            prev: None,
+            neighbour_values: &values,
+            domain_hint: None,
+        };
+        let ts = select_thresholds(
+            BootstrapKind::Neighbours,
+            RefineKind::MinMax,
+            input,
+            5,
+            &mut rng(),
+        );
+        assert_eq!(ts.len(), 5);
+        let mut d = ts.clone();
+        d.dedup();
+        assert_eq!(d.len(), 5, "thresholds must be distinct");
+    }
+
+    #[test]
+    fn refinement_is_used_once_estimate_exists() {
+        let est = estimate_from(InterpCdf::new(vec![(0.0, 0.0), (100.0, 1.0)]).unwrap());
+        let input = SelectionInput {
+            prev: Some(&est),
+            neighbour_values: &[5.0],
+            domain_hint: None,
+        };
+        let ts = select_thresholds(
+            BootstrapKind::Neighbours,
+            RefineKind::HCut,
+            input,
+            3,
+            &mut rng(),
+        );
+        // HCut on a straight diagonal: quartile positions.
+        assert_eq!(ts.len(), 3);
+        assert!((ts[0] - 25.0).abs() < 1e-9);
+        assert!((ts[1] - 50.0).abs() < 1e-9);
+        assert!((ts[2] - 75.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn refine_bootstrap_ignores_previous_estimate() {
+        let est = estimate_from(InterpCdf::new(vec![(0.0, 0.0), (100.0, 1.0)]).unwrap());
+        let input = SelectionInput {
+            prev: Some(&est),
+            neighbour_values: &[],
+            domain_hint: Some((0.0, 100.0)),
+        };
+        let ts = select_thresholds(
+            BootstrapKind::Uniform,
+            RefineKind::Bootstrap,
+            input,
+            4,
+            &mut rng(),
+        );
+        assert_eq!(ts, uniform_points(0.0, 100.0, 4));
+    }
+
+    #[test]
+    fn hybrid_returns_lambda_points() {
+        let est = estimate_from(
+            InterpCdf::new(vec![(0.0, 0.0), (50.0, 0.1), (50.0, 0.8), (100.0, 1.0)]).unwrap(),
+        );
+        let input = SelectionInput {
+            prev: Some(&est),
+            neighbour_values: &[],
+            domain_hint: None,
+        };
+        let ts = select_thresholds(
+            BootstrapKind::Uniform,
+            RefineKind::Hybrid,
+            input,
+            11,
+            &mut rng(),
+        );
+        assert_eq!(ts.len(), 11);
+        assert!(ts.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn normalise_handles_degenerate_domain() {
+        let ts = normalise(vec![5.0, 5.0, 5.0], 3, 5.0, 5.0);
+        assert_eq!(ts.len(), 3);
+        let mut d = ts.clone();
+        d.dedup();
+        assert_eq!(d.len(), 3);
+    }
+
+    #[test]
+    fn range_prefers_prev_then_hint_then_values() {
+        let est = estimate_from(InterpCdf::new(vec![(1.0, 0.0), (9.0, 1.0)]).unwrap());
+        let with_prev = SelectionInput {
+            prev: Some(&est),
+            neighbour_values: &[100.0],
+            domain_hint: Some((0.0, 1000.0)),
+        };
+        assert_eq!(with_prev.range(), (1.0, 9.0));
+        let with_hint = SelectionInput {
+            prev: None,
+            neighbour_values: &[100.0],
+            domain_hint: Some((0.0, 1000.0)),
+        };
+        assert_eq!(with_hint.range(), (0.0, 1000.0));
+        let with_values = SelectionInput {
+            prev: None,
+            neighbour_values: &[3.0, 7.0],
+            domain_hint: None,
+        };
+        assert_eq!(with_values.range(), (3.0, 7.0));
+        let empty = SelectionInput {
+            prev: None,
+            neighbour_values: &[],
+            domain_hint: None,
+        };
+        assert_eq!(empty.range(), (0.0, 1.0));
+    }
+}

@@ -1,0 +1,158 @@
+//! Self-tuning of protocol parameters from confidence feedback.
+//!
+//! Section VI motivates confidence estimation with dynamic parameter
+//! tuning: "this can be used to dynamically tune the algorithm parameters
+//! — such as the number of interpolation points and the number of executed
+//! instances — according to application-specific accuracy requirements".
+//! This module makes that concrete (an extension beyond the paper's
+//! evaluation, flagged as such in DESIGN.md): a [`SelfTuner`] watches the
+//! self-assessed error of each completed instance and recommends the λ for
+//! the next one.
+//!
+//! The controller is deliberately simple and conservative — multiplicative
+//! increase when the estimate misses the target, gentle decrease when it
+//! beats the target by a wide margin — because each λ step costs exactly
+//! 16 bytes per message per point (Section VII-D: "with 10 extra points,
+//! the size of the messages increases by about 160 bytes").
+
+use crate::metrics::ErrorMetric;
+
+/// Recommends interpolation-point counts from self-assessed accuracy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SelfTuner {
+    target_error: f64,
+    metric: ErrorMetric,
+    min_lambda: usize,
+    max_lambda: usize,
+}
+
+impl SelfTuner {
+    /// Creates a tuner aiming at `target_error` under `metric`, with λ
+    /// bounded to `[min_lambda, max_lambda]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `target_error` is not in `(0, 1)`, `min_lambda` is zero,
+    /// or the λ bounds are inverted.
+    pub fn new(
+        target_error: f64,
+        metric: ErrorMetric,
+        min_lambda: usize,
+        max_lambda: usize,
+    ) -> Self {
+        assert!(
+            target_error > 0.0 && target_error < 1.0,
+            "target_error must be in (0, 1)"
+        );
+        assert!(min_lambda > 0, "min_lambda must be positive");
+        assert!(min_lambda <= max_lambda, "lambda bounds inverted");
+        Self {
+            target_error,
+            metric,
+            min_lambda,
+            max_lambda,
+        }
+    }
+
+    /// The accuracy target.
+    pub fn target_error(&self) -> f64 {
+        self.target_error
+    }
+
+    /// The metric the tuner optimises.
+    pub fn metric(&self) -> ErrorMetric {
+        self.metric
+    }
+
+    /// Recommends the λ for the next instance given the current λ and the
+    /// last self-assessed error (`None` leaves λ unchanged — no feedback
+    /// yet).
+    ///
+    /// * error > 2× target → λ × 2 (far off: grow fast);
+    /// * error > target → λ × 1.25 (close: grow gently);
+    /// * error < target / 4 → λ × 0.8 (comfortably within budget: shed
+    ///   overhead);
+    /// * otherwise → unchanged.
+    pub fn next_lambda(&self, current: usize, self_assessed_error: Option<f64>) -> usize {
+        let Some(err) = self_assessed_error else {
+            return current.clamp(self.min_lambda, self.max_lambda);
+        };
+        let next = if err > self.target_error * 2.0 {
+            current * 2
+        } else if err > self.target_error {
+            (current as f64 * 1.25).ceil() as usize
+        } else if err < self.target_error / 4.0 {
+            ((current as f64 * 0.8).floor() as usize).max(1)
+        } else {
+            current
+        };
+        next.clamp(self.min_lambda, self.max_lambda)
+    }
+
+    /// Whether the last estimate met the target.
+    pub fn is_satisfied(&self, self_assessed_error: Option<f64>) -> bool {
+        self_assessed_error
+            .map(|e| e <= self.target_error)
+            .unwrap_or(false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tuner() -> SelfTuner {
+        SelfTuner::new(0.01, ErrorMetric::Average, 5, 200)
+    }
+
+    #[test]
+    fn grows_fast_when_far_off() {
+        assert_eq!(tuner().next_lambda(20, Some(0.1)), 40);
+    }
+
+    #[test]
+    fn grows_gently_when_close() {
+        assert_eq!(tuner().next_lambda(20, Some(0.015)), 25);
+    }
+
+    #[test]
+    fn holds_inside_the_band() {
+        assert_eq!(tuner().next_lambda(20, Some(0.005)), 20);
+    }
+
+    #[test]
+    fn sheds_points_when_overachieving() {
+        assert_eq!(tuner().next_lambda(20, Some(0.001)), 16);
+    }
+
+    #[test]
+    fn respects_bounds() {
+        assert_eq!(tuner().next_lambda(150, Some(0.5)), 200);
+        assert_eq!(tuner().next_lambda(6, Some(0.0001)), 5);
+    }
+
+    #[test]
+    fn no_feedback_means_no_change() {
+        assert_eq!(tuner().next_lambda(20, None), 20);
+    }
+
+    #[test]
+    fn satisfaction() {
+        let t = tuner();
+        assert!(t.is_satisfied(Some(0.01)));
+        assert!(!t.is_satisfied(Some(0.02)));
+        assert!(!t.is_satisfied(None));
+    }
+
+    #[test]
+    #[should_panic(expected = "target_error must be in (0, 1)")]
+    fn rejects_bad_target() {
+        SelfTuner::new(0.0, ErrorMetric::Max, 1, 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "lambda bounds inverted")]
+    fn rejects_inverted_bounds() {
+        SelfTuner::new(0.1, ErrorMetric::Max, 10, 5);
+    }
+}

@@ -1,0 +1,349 @@
+//! Wire encoding of gossip messages.
+//!
+//! The simulator exchanges state in-memory, but communication *cost* is a
+//! first-class result of the paper (Section VII-I: ≈800 B per message at
+//! λ = 50, ≈120 kB per node for a 3-instance estimate). This module defines
+//! the concrete wire format a real deployment would use, so every exchange
+//! can be charged its exact encoded size; a unit test pins
+//! [`GossipMessage::encoded_len`] to the actual encoder output.
+//!
+//! Layout (little-endian):
+//!
+//! ```text
+//! message  := u16 instance_count, instance*
+//! instance := u64 id, u64 start_round, u64 end_round, u8 flags,
+//!             u16 lambda, u16 verify_count,
+//!             f64 thresholds[lambda], f64 fractions[lambda],
+//!             f64 verify_thresholds[verify], f64 verify_fractions[verify],
+//!             f64 weight, f64 count, f64 min, f64 max
+//! ```
+
+use std::sync::Arc;
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use crate::error::WireError;
+use crate::instance::{InstanceId, InstanceLocal, InstanceMeta};
+
+const FLAG_MULTI: u8 = 0b0000_0001;
+
+/// The per-instance payload of a gossip message.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InstancePayload {
+    /// Instance identifier.
+    pub id: u64,
+    /// Round the instance started.
+    pub start_round: u64,
+    /// Round the instance terminates.
+    pub end_round: u64,
+    /// Whether nodes contribute multi-value counts.
+    pub multi: bool,
+    /// Interpolation thresholds.
+    pub thresholds: Vec<f64>,
+    /// Running averaged fractions.
+    pub fractions: Vec<f64>,
+    /// Verification thresholds.
+    pub verify_thresholds: Vec<f64>,
+    /// Running averaged verification fractions.
+    pub verify_fractions: Vec<f64>,
+    /// System-size weight.
+    pub weight: f64,
+    /// Averaged per-node value count.
+    pub count: f64,
+    /// Running global minimum.
+    pub min: f64,
+    /// Running global maximum.
+    pub max: f64,
+}
+
+impl From<&InstanceLocal> for InstancePayload {
+    fn from(local: &InstanceLocal) -> Self {
+        Self {
+            id: local.meta.id.as_u64(),
+            start_round: local.meta.start_round,
+            end_round: local.meta.end_round,
+            multi: local.meta.multi,
+            thresholds: local.meta.thresholds.to_vec(),
+            fractions: local.fractions.clone(),
+            verify_thresholds: local.meta.verify_thresholds.to_vec(),
+            verify_fractions: local.verify_fractions.clone(),
+            weight: local.weight,
+            count: local.count,
+            min: local.min,
+            max: local.max,
+        }
+    }
+}
+
+impl InstancePayload {
+    /// Size of this payload on the wire.
+    pub fn encoded_len(&self) -> usize {
+        payload_len(self.thresholds.len(), self.verify_thresholds.len())
+    }
+
+    /// Reconstructs a receiver-side [`InstanceLocal`] from the payload
+    /// (used when a real deployment joins an instance it learned from the
+    /// wire).
+    pub fn to_local(&self) -> InstanceLocal {
+        let meta = Arc::new(InstanceMeta {
+            id: InstanceId::from_u64(self.id),
+            thresholds: self.thresholds.clone().into(),
+            verify_thresholds: self.verify_thresholds.clone().into(),
+            start_round: self.start_round,
+            end_round: self.end_round,
+            multi: self.multi,
+        });
+        InstanceLocal {
+            meta,
+            fractions: self.fractions.clone(),
+            verify_fractions: self.verify_fractions.clone(),
+            count: self.count,
+            weight: self.weight,
+            min: self.min,
+            max: self.max,
+        }
+    }
+
+    fn encode(&self, buf: &mut BytesMut) {
+        buf.put_u64_le(self.id);
+        buf.put_u64_le(self.start_round);
+        buf.put_u64_le(self.end_round);
+        buf.put_u8(if self.multi { FLAG_MULTI } else { 0 });
+        buf.put_u16_le(self.thresholds.len() as u16);
+        buf.put_u16_le(self.verify_thresholds.len() as u16);
+        for v in &self.thresholds {
+            buf.put_f64_le(*v);
+        }
+        for v in &self.fractions {
+            buf.put_f64_le(*v);
+        }
+        for v in &self.verify_thresholds {
+            buf.put_f64_le(*v);
+        }
+        for v in &self.verify_fractions {
+            buf.put_f64_le(*v);
+        }
+        buf.put_f64_le(self.weight);
+        buf.put_f64_le(self.count);
+        buf.put_f64_le(self.min);
+        buf.put_f64_le(self.max);
+    }
+
+    fn decode(buf: &mut Bytes) -> Result<Self, WireError> {
+        if buf.remaining() < 8 * 3 + 1 + 2 + 2 {
+            return Err(WireError::Truncated);
+        }
+        let id = buf.get_u64_le();
+        let start_round = buf.get_u64_le();
+        let end_round = buf.get_u64_le();
+        let flags = buf.get_u8();
+        if flags & !FLAG_MULTI != 0 {
+            return Err(WireError::UnknownTag { tag: flags });
+        }
+        let lambda = buf.get_u16_le() as usize;
+        let verify = buf.get_u16_le() as usize;
+        let floats = lambda * 2 + verify * 2 + 4;
+        if buf.remaining() < floats * 8 {
+            return Err(WireError::Truncated);
+        }
+        fn read_vec(buf: &mut Bytes, n: usize) -> Vec<f64> {
+            (0..n).map(|_| buf.get_f64_le()).collect()
+        }
+        let thresholds = read_vec(buf, lambda);
+        let fractions = read_vec(buf, lambda);
+        let verify_thresholds = read_vec(buf, verify);
+        let verify_fractions = read_vec(buf, verify);
+        Ok(Self {
+            id,
+            start_round,
+            end_round,
+            multi: flags & FLAG_MULTI != 0,
+            thresholds,
+            fractions,
+            verify_thresholds,
+            verify_fractions,
+            weight: buf.get_f64_le(),
+            count: buf.get_f64_le(),
+            min: buf.get_f64_le(),
+            max: buf.get_f64_le(),
+        })
+    }
+}
+
+/// A complete gossip message: the sender's state for every instance it is
+/// currently participating in.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct GossipMessage {
+    /// Per-instance payloads.
+    pub instances: Vec<InstancePayload>,
+}
+
+impl GossipMessage {
+    /// Builds a message from a node's active instances.
+    pub fn from_locals<'a, I>(locals: I) -> Self
+    where
+        I: IntoIterator<Item = &'a InstanceLocal>,
+    {
+        Self {
+            instances: locals.into_iter().map(InstancePayload::from).collect(),
+        }
+    }
+
+    /// Size of the message on the wire.
+    pub fn encoded_len(&self) -> usize {
+        2 + self
+            .instances
+            .iter()
+            .map(InstancePayload::encoded_len)
+            .sum::<usize>()
+    }
+
+    /// Encodes the message.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the message carries more than 65 535 instances (a node
+    /// participates in a handful at most).
+    pub fn encode(&self) -> Bytes {
+        assert!(
+            self.instances.len() <= u16::MAX as usize,
+            "too many instances"
+        );
+        let mut buf = BytesMut::with_capacity(self.encoded_len());
+        buf.put_u16_le(self.instances.len() as u16);
+        for inst in &self.instances {
+            inst.encode(&mut buf);
+        }
+        buf.freeze()
+    }
+
+    /// Decodes a message.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError`] on truncation or unknown flags.
+    pub fn decode(mut buf: Bytes) -> Result<Self, WireError> {
+        if buf.remaining() < 2 {
+            return Err(WireError::Truncated);
+        }
+        let count = buf.get_u16_le() as usize;
+        let mut instances = Vec::with_capacity(count.min(64));
+        for _ in 0..count {
+            instances.push(InstancePayload::decode(&mut buf)?);
+        }
+        Ok(Self { instances })
+    }
+}
+
+/// Wire size of one instance payload with `lambda` interpolation and
+/// `verify` verification points.
+pub fn payload_len(lambda: usize, verify: usize) -> usize {
+    8 * 3 + 1 + 2 + 2 + (lambda * 2 + verify * 2 + 4) * 8
+}
+
+/// Wire size of a gossip message carrying the given instances — the value
+/// charged to [`NetStats`](adam2_sim::NetStats) per direction of an
+/// exchange, without actually serialising on the hot path.
+pub fn message_len<'a, I>(locals: I) -> usize
+where
+    I: IntoIterator<Item = &'a InstanceLocal>,
+{
+    2 + locals
+        .into_iter()
+        .map(|l| payload_len(l.meta.thresholds.len(), l.meta.verify_thresholds.len()))
+        .sum::<usize>()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::AttrValue;
+
+    fn sample_local(verify: usize) -> InstanceLocal {
+        let meta = Arc::new(InstanceMeta {
+            id: InstanceId::derive(3, 7, 1),
+            thresholds: vec![1.0, 2.0, 3.0].into(),
+            verify_thresholds: (0..verify)
+                .map(|i| i as f64 + 0.5)
+                .collect::<Vec<_>>()
+                .into(),
+            start_round: 3,
+            end_round: 33,
+            multi: false,
+        });
+        InstanceLocal::join(meta, &AttrValue::Single(2.5), true)
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let locals = [sample_local(0), sample_local(4)];
+        let msg = GossipMessage::from_locals(&locals);
+        let encoded = msg.encode();
+        let decoded = GossipMessage::decode(encoded).unwrap();
+        assert_eq!(msg, decoded);
+    }
+
+    #[test]
+    fn encoded_len_matches_actual_encoding() {
+        for verify in [0, 1, 20] {
+            let locals = [sample_local(verify)];
+            let msg = GossipMessage::from_locals(&locals);
+            assert_eq!(msg.encode().len(), msg.encoded_len());
+            assert_eq!(msg.encoded_len(), message_len(&locals));
+        }
+    }
+
+    #[test]
+    fn paper_message_size_at_lambda_50() {
+        // Section VII-I: "for λ = 50 the size of a gossip message is
+        // approximately 800 bytes" — 50 (t, f) pairs = 800 B of payload
+        // data; our framing adds a small header.
+        let size = payload_len(50, 0) + 2;
+        assert!(size >= 800, "payload data itself is 800 B");
+        assert!(size < 900, "framing overhead must stay small, got {size}");
+    }
+
+    #[test]
+    fn decode_rejects_truncation() {
+        let locals = [sample_local(2)];
+        let encoded = GossipMessage::from_locals(&locals).encode();
+        for cut in [0, 1, 5, encoded.len() - 1] {
+            let partial = encoded.slice(..cut);
+            assert!(
+                matches!(GossipMessage::decode(partial), Err(WireError::Truncated)),
+                "cut at {cut} not detected"
+            );
+        }
+    }
+
+    #[test]
+    fn decode_rejects_unknown_flags() {
+        let locals = [sample_local(0)];
+        let mut raw = GossipMessage::from_locals(&locals).encode().to_vec();
+        raw[2 + 24] = 0xFF; // flags byte of the first instance
+        assert!(matches!(
+            GossipMessage::decode(Bytes::from(raw)),
+            Err(WireError::UnknownTag { .. })
+        ));
+    }
+
+    #[test]
+    fn payload_to_local_roundtrip() {
+        let local = sample_local(3);
+        let payload = InstancePayload::from(&local);
+        let back = payload.to_local();
+        assert_eq!(back.meta.id, local.meta.id);
+        assert_eq!(back.fractions, local.fractions);
+        assert_eq!(back.weight, local.weight);
+        assert_eq!(back.meta.thresholds, local.meta.thresholds);
+        assert_eq!(back.min, local.min);
+    }
+
+    #[test]
+    fn empty_message_roundtrip() {
+        let msg = GossipMessage::default();
+        assert_eq!(msg.encoded_len(), 2);
+        let decoded = GossipMessage::decode(msg.encode()).unwrap();
+        assert!(decoded.instances.is_empty());
+    }
+}

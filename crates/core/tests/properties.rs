@@ -1,0 +1,362 @@
+//! Property-based tests of the core data structures and protocol
+//! invariants.
+
+use proptest::prelude::*;
+
+use adam2_core::{
+    avg_distance, gossip_exchange, max_distance, select_thresholds, uniform_points,
+    wire::GossipMessage, wire::InstancePayload, Adam2Node, AttrValue, BootstrapKind, InstanceId,
+    InstanceLocal, InstanceMeta, InterpCdf, RefineKind, SelectionInput, StepCdf,
+};
+use std::sync::Arc;
+
+fn finite_values(max_len: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(0.0f64..1e6, 1..max_len)
+}
+
+fn sorted_thresholds() -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(0.0f64..1e6, 1..40).prop_map(|mut v| {
+        v.sort_by(f64::total_cmp);
+        v.dedup();
+        v
+    })
+}
+
+fn meta_for(thresholds: Vec<f64>, multi: bool) -> Arc<InstanceMeta> {
+    Arc::new(InstanceMeta {
+        id: InstanceId::derive(0, 0, 9),
+        thresholds: thresholds.into(),
+        verify_thresholds: Vec::new().into(),
+        start_round: 0,
+        end_round: 100,
+        multi,
+    })
+}
+
+proptest! {
+    // ---- StepCdf ---------------------------------------------------------
+
+    #[test]
+    fn step_cdf_is_monotone_and_bounded(values in finite_values(200), probes in finite_values(50)) {
+        let cdf = StepCdf::from_values(values);
+        let mut sorted_probes = probes;
+        sorted_probes.sort_by(f64::total_cmp);
+        let mut prev = 0.0;
+        for x in sorted_probes {
+            let y = cdf.eval(x);
+            prop_assert!((0.0..=1.0).contains(&y));
+            prop_assert!(y + 1e-15 >= prev, "monotonicity violated");
+            prop_assert!(cdf.eval_left(x) <= y + 1e-15);
+            prev = y;
+        }
+        prop_assert_eq!(cdf.eval(cdf.max()), 1.0);
+        prop_assert_eq!(cdf.eval_left(cdf.min()), 0.0);
+    }
+
+    #[test]
+    fn empirical_interp_matches_step_cdf(values in finite_values(100), probes in finite_values(30)) {
+        let step = StepCdf::from_values(values.clone());
+        let interp = InterpCdf::from_sample(&values);
+        for x in probes {
+            prop_assert!((step.eval(x) - interp.eval(x)).abs() < 1e-12);
+        }
+    }
+
+    // ---- InterpCdf -------------------------------------------------------
+
+    #[test]
+    fn from_points_always_builds_valid_cdf(
+        thresholds in sorted_thresholds(),
+        raw_fractions in prop::collection::vec(-0.5f64..1.5, 40),
+        lo in 0.0f64..1000.0,
+        span in 0.0f64..1e6,
+    ) {
+        let fractions = &raw_fractions[..thresholds.len().min(raw_fractions.len())];
+        let thresholds = &thresholds[..fractions.len()];
+        let cdf = InterpCdf::from_points(lo, lo + span, thresholds, fractions).unwrap();
+        // Valid: monotone y in [0,1], sorted x.
+        let ys: Vec<f64> = cdf.knots().iter().map(|(_, y)| *y).collect();
+        prop_assert!(ys.windows(2).all(|w| w[0] <= w[1]));
+        prop_assert!(ys.iter().all(|y| (0.0..=1.0).contains(y)));
+        prop_assert_eq!(cdf.eval(lo + span), 1.0);
+    }
+
+    #[test]
+    fn quantile_is_pseudo_inverse(
+        values in finite_values(50),
+        qs in prop::collection::vec(0.0f64..=1.0, 20),
+    ) {
+        let cdf = InterpCdf::from_sample(&values);
+        for q in qs {
+            let x = cdf.quantile(q);
+            // Generalised inverse: F(x) >= q and F(x') < q for x' < x.
+            prop_assert!(cdf.eval(x) + 1e-12 >= q);
+        }
+    }
+
+    #[test]
+    fn arc_walk_is_monotone(values in finite_values(50)) {
+        let cdf = InterpCdf::from_sample(&values);
+        let total = cdf.scaled_arc_length();
+        let mut prev_x = f64::NEG_INFINITY;
+        for k in 0..=20 {
+            let (x, y) = cdf.point_at_arc(total * k as f64 / 20.0);
+            prop_assert!(x + 1e-9 >= prev_x);
+            prop_assert!((0.0..=1.0 + 1e-12).contains(&y));
+            prev_x = x;
+        }
+    }
+
+    // ---- Metrics ---------------------------------------------------------
+
+    #[test]
+    fn distances_are_bounded_and_zero_on_self(values in finite_values(100)) {
+        let truth = StepCdf::from_values(values.clone());
+        let exact = InterpCdf::from_sample(&values);
+        prop_assert!(max_distance(&truth, &exact) < 1e-12);
+        prop_assert!(avg_distance(&truth, &exact) < 1e-12);
+        let crude = InterpCdf::new(vec![(truth.min(), 0.0), (truth.max(), 1.0)]).unwrap();
+        let m = max_distance(&truth, &crude);
+        let a = avg_distance(&truth, &crude);
+        prop_assert!((0.0..=1.0).contains(&m));
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&a));
+        prop_assert!(a <= m + 1e-12, "average exceeds maximum");
+    }
+
+    // ---- Instance merging ------------------------------------------------
+
+    #[test]
+    fn merge_conserves_mass_and_commutes(
+        va in 0.0f64..1000.0,
+        vb in 0.0f64..1000.0,
+        thresholds in sorted_thresholds(),
+    ) {
+        let meta = meta_for(thresholds, false);
+        let mut a = InstanceLocal::join(meta.clone(), &AttrValue::Single(va), true);
+        let mut b = InstanceLocal::join(meta.clone(), &AttrValue::Single(vb), false);
+        let mass: Vec<f64> = a.fractions.iter().zip(&b.fractions).map(|(x, y)| x + y).collect();
+        let weight = a.weight + b.weight;
+        InstanceLocal::merge_symmetric(&mut a, &mut b);
+        for ((fa, fb), m) in a.fractions.iter().zip(&b.fractions).zip(&mass) {
+            prop_assert!((fa + fb - m).abs() < 1e-12);
+            prop_assert!((fa - fb).abs() < 1e-15, "merge must equalise");
+        }
+        prop_assert!((a.weight + b.weight - weight).abs() < 1e-15);
+        prop_assert_eq!(a.min, va.min(vb));
+        prop_assert_eq!(a.max, va.max(vb));
+    }
+
+    #[test]
+    fn multi_value_mass_conserved(
+        sa in prop::collection::vec(0.0f64..100.0, 0..10),
+        sb in prop::collection::vec(0.0f64..100.0, 0..10),
+        thresholds in sorted_thresholds(),
+    ) {
+        let meta = meta_for(thresholds, true);
+        let mut a = InstanceLocal::join(meta.clone(), &AttrValue::Multi(sa.clone()), true);
+        let mut b = InstanceLocal::join(meta, &AttrValue::Multi(sb.clone()), false);
+        let count = a.count + b.count;
+        InstanceLocal::merge_symmetric(&mut a, &mut b);
+        prop_assert!((a.count + b.count - count).abs() < 1e-12);
+        prop_assert!((a.count - (sa.len() + sb.len()) as f64 / 2.0).abs() < 1e-12);
+    }
+
+    // ---- Exchange (join + merge) ------------------------------------------
+
+    #[test]
+    fn exchange_conserves_weight_mass(
+        values in prop::collection::vec(0.0f64..1000.0, 2..8),
+        thresholds in sorted_thresholds(),
+    ) {
+        // A chain of pairwise exchanges spreading one instance.
+        let meta = meta_for(thresholds, false);
+        let mut nodes: Vec<Adam2Node> =
+            values.iter().map(|v| Adam2Node::new(AttrValue::Single(*v), 10.0)).collect();
+        nodes[0].begin_instance(meta.clone());
+        for i in 1..nodes.len() {
+            let (left, right) = nodes.split_at_mut(i);
+            gossip_exchange(&mut left[i - 1], &mut right[0], 1);
+        }
+        let weight: f64 = nodes
+            .iter()
+            .filter_map(|n| n.active_instance(meta.id).map(|i| i.weight))
+            .sum();
+        prop_assert!((weight - 1.0).abs() < 1e-9, "weight mass {weight}");
+        // Everybody joined along the chain.
+        prop_assert!(nodes.iter().all(|n| n.active_instance(meta.id).is_some()));
+    }
+
+    // ---- Selection --------------------------------------------------------
+
+    #[test]
+    fn selection_yields_lambda_distinct_sorted(
+        values in prop::collection::vec(1.0f64..1e6, 1..60),
+        lambda in 1usize..60,
+        refine_idx in 0usize..4,
+        seed in 0u64..1000,
+    ) {
+        let refine = [RefineKind::HCut, RefineKind::MinMax, RefineKind::LCut, RefineKind::Hybrid][refine_idx];
+        let prev_cdf = InterpCdf::from_sample(&values);
+        let est = adam2_core::DistributionEstimate {
+            min: prev_cdf.min(),
+            max: prev_cdf.max(),
+            cdf: prev_cdf,
+            n_hat: Some(values.len() as f64),
+            est_err_avg: None,
+            est_err_max: None,
+            instance: InstanceId::derive(0, 0, 0),
+            completed_round: 1,
+            thresholds: vec![],
+            fractions: vec![],
+        };
+        let mut rng = adam2_sim::seeded_rng(seed);
+        let input = SelectionInput { prev: Some(&est), neighbour_values: &values, domain_hint: None };
+        let ts = select_thresholds(BootstrapKind::Neighbours, refine, input, lambda, &mut rng);
+        prop_assert_eq!(ts.len(), lambda);
+        prop_assert!(ts.windows(2).all(|w| w[0] < w[1]), "not sorted-distinct: {:?}", ts);
+    }
+
+    #[test]
+    fn uniform_points_stay_strictly_inside(lo in 0.0f64..100.0, span in 0.001f64..1e5, lambda in 1usize..100) {
+        let ts = uniform_points(lo, lo + span, lambda);
+        prop_assert_eq!(ts.len(), lambda);
+        prop_assert!(ts.iter().all(|t| *t > lo && *t < lo + span));
+    }
+
+    // ---- Wire codec --------------------------------------------------------
+
+    #[test]
+    fn wire_roundtrips_arbitrary_payloads(
+        thresholds in sorted_thresholds(),
+        verify in prop::collection::vec(0.0f64..1e6, 0..20),
+        weight in 0.0f64..1.0,
+        value in 0.0f64..1e6,
+        multi in any::<bool>(),
+    ) {
+        let meta = Arc::new(InstanceMeta {
+            id: InstanceId::derive(7, 3, 1),
+            thresholds: thresholds.into(),
+            verify_thresholds: verify.into(),
+            start_round: 5,
+            end_round: 35,
+            multi,
+        });
+        let mut local = InstanceLocal::join(meta, &AttrValue::Single(value), false);
+        local.weight = weight;
+        let locals = [local];
+        let msg = GossipMessage::from_locals(&locals);
+        let bytes = msg.encode();
+        prop_assert_eq!(bytes.len(), msg.encoded_len());
+        let decoded = GossipMessage::decode(bytes).unwrap();
+        prop_assert_eq!(&decoded, &msg);
+        // And payload -> local roundtrip preserves the averaging state.
+        let back = decoded.instances[0].to_local();
+        prop_assert_eq!(&back.fractions, &locals[0].fractions);
+        prop_assert_eq!(back.weight, locals[0].weight);
+        let payload = InstancePayload::from(&locals[0]);
+        prop_assert_eq!(payload.encoded_len() + 2, msg.encoded_len());
+    }
+}
+
+proptest! {
+    // ---- Monotone cubic interpolation ---------------------------------
+
+    #[test]
+    fn pchip_is_monotone_and_matches_knots(values in finite_values(60)) {
+        let linear = InterpCdf::from_sample(&values);
+        let cubic = adam2_core::MonotoneCubicCdf::from_linear(&linear);
+        // Knots are interpolated exactly (right-continuous at jumps).
+        for (x, _) in linear.knots() {
+            prop_assert!((cubic.eval(*x) - linear.eval(*x)).abs() < 1e-9);
+        }
+        // Monotone and bounded on a dense probe grid.
+        let (lo, hi) = (linear.min(), linear.max());
+        let mut prev = -1.0f64;
+        for k in 0..=200 {
+            let x = lo + (hi - lo) * k as f64 / 200.0;
+            let y = cubic.eval(x);
+            prop_assert!((0.0..=1.0 + 1e-12).contains(&y), "out of range at {x}: {y}");
+            prop_assert!(y + 1e-9 >= prev, "non-monotone at {x}");
+            prev = y;
+        }
+    }
+
+    // ---- Estimate combination -----------------------------------------
+
+    #[test]
+    fn combining_estimates_always_yields_a_valid_cdf(
+        ta in sorted_thresholds(),
+        tb in sorted_thresholds(),
+        fa in prop::collection::vec(0.0f64..=1.0, 40),
+        fb in prop::collection::vec(0.0f64..=1.0, 40),
+    ) {
+        let build = |ts: &[f64], fs: &[f64], round: u64| {
+            let n = ts.len().min(fs.len());
+            let mut fs: Vec<f64> = fs[..n].to_vec();
+            fs.sort_by(f64::total_cmp);
+            let ts = &ts[..n];
+            let cdf = InterpCdf::from_points(0.0, 2e6, ts, &fs).unwrap();
+            adam2_core::DistributionEstimate {
+                cdf,
+                n_hat: Some(100.0),
+                min: 0.0,
+                max: 2e6,
+                est_err_avg: None,
+                est_err_max: None,
+                instance: InstanceId::derive(0, 0, round),
+                completed_round: round,
+                thresholds: ts.to_vec(),
+                fractions: fs,
+            }
+        };
+        let a = build(&ta, &fa, 30);
+        let b = build(&tb, &fb, 60);
+        let c = a.combined_with(&b).unwrap();
+        // Pooled point count (minus exact-duplicate thresholds).
+        prop_assert!(c.thresholds.len() <= a.thresholds.len() + b.thresholds.len());
+        prop_assert!(c.thresholds.len() >= a.thresholds.len().max(b.thresholds.len()));
+        // Distinct sorted thresholds and a monotone CDF come out.
+        prop_assert!(c.thresholds.windows(2).all(|w| w[0] < w[1]));
+        let ys: Vec<f64> = c.cdf.knots().iter().map(|(_, y)| *y).collect();
+        prop_assert!(ys.windows(2).all(|w| w[0] <= w[1]));
+        // Commutative on the threshold set.
+        prop_assert_eq!(b.combined_with(&a).unwrap().thresholds, c.thresholds);
+    }
+
+    // ---- Rank / slice / outlier ----------------------------------------
+
+    #[test]
+    fn ranks_and_slices_are_consistent(
+        values in finite_values(80),
+        probes in finite_values(20),
+        slices in 1usize..12,
+    ) {
+        let cdf = InterpCdf::from_sample(&values);
+        let est = adam2_core::DistributionEstimate {
+            min: cdf.min(),
+            max: cdf.max(),
+            cdf,
+            n_hat: Some(values.len() as f64),
+            est_err_avg: None,
+            est_err_max: None,
+            instance: InstanceId::derive(0, 0, 1),
+            completed_round: 1,
+            thresholds: vec![],
+            fractions: vec![],
+        };
+        let mut sorted_probes = probes;
+        sorted_probes.sort_by(f64::total_cmp);
+        let mut prev_rank = 0u64;
+        let mut prev_slice = 0usize;
+        for x in sorted_probes {
+            let rank = est.rank_of(x).unwrap();
+            prop_assert!((1..=values.len() as u64).contains(&rank));
+            prop_assert!(rank >= prev_rank, "rank must be monotone in the value");
+            let slice = est.slice_of(x, slices);
+            prop_assert!(slice < slices);
+            prop_assert!(slice >= prev_slice, "slice must be monotone in the value");
+            prev_rank = rank;
+            prev_slice = slice;
+        }
+    }
+}

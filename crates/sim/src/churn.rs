@@ -1,0 +1,201 @@
+//! Membership churn models.
+//!
+//! Section VII-G of the paper models churn by "randomly removing a fixed
+//! fraction of nodes in the overlay with new nodes at each simulation
+//! round" — e.g. 0.1 %/round for a 15-minute mean session at 1 s gossip
+//! periodicity, swept up to 1 %/round in Fig. 13. [`ChurnModel::Uniform`]
+//! reproduces exactly that. [`ChurnModel::Sessions`] additionally offers
+//! exponential session lengths (Stutzbach & Rejaie, IMC 2006) as a more
+//! realistic extension; both keep the population size constant.
+
+use rand::rngs::StdRng;
+use rand::RngExt as _;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::node::NodeId;
+
+/// How membership changes between rounds.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum ChurnModel {
+    /// Static membership (no churn).
+    #[default]
+    None,
+    /// Every round, a fraction `rate` of nodes leaves and is replaced by
+    /// fresh nodes (the paper's model). `rate` is clamped to `[0, 1]`.
+    Uniform {
+        /// Fraction of nodes replaced per round (e.g. `0.001` = 0.1 %).
+        rate: f64,
+    },
+    /// Each node lives for an exponentially distributed number of rounds
+    /// with the given mean, then is replaced by a fresh node.
+    Sessions {
+        /// Mean session length in rounds.
+        mean_rounds: f64,
+    },
+}
+
+impl ChurnModel {
+    /// Per-round uniform replacement churn.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is not in `[0, 1]`.
+    pub fn uniform(rate: f64) -> Self {
+        assert!((0.0..=1.0).contains(&rate), "rate must be in [0, 1]");
+        ChurnModel::Uniform { rate }
+    }
+
+    /// Exponential session-length churn.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mean_rounds` is not strictly positive.
+    pub fn sessions(mean_rounds: f64) -> Self {
+        assert!(mean_rounds > 0.0, "mean_rounds must be positive");
+        ChurnModel::Sessions { mean_rounds }
+    }
+
+    /// Whether this model ever replaces nodes.
+    pub fn is_active(&self) -> bool {
+        !matches!(self, ChurnModel::None | ChurnModel::Uniform { rate: 0.0 })
+    }
+}
+
+/// Mutable bookkeeping for a churn model (owned by the engine).
+#[derive(Debug, Default)]
+pub(crate) struct ChurnState {
+    /// Fractional-node carry for `Uniform` so that, e.g., a 0.05 %/round
+    /// rate on 1000 nodes still replaces one node every other round.
+    carry: f64,
+    /// Scheduled departures for `Sessions`: (death_round, node).
+    deaths: BinaryHeap<Reverse<(u64, NodeId)>>,
+}
+
+impl ChurnState {
+    pub(crate) fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a node's session when it joins (only used by `Sessions`).
+    pub(crate) fn on_insert(&mut self, model: &ChurnModel, id: NodeId, now: u64, rng: &mut StdRng) {
+        if let ChurnModel::Sessions { mean_rounds } = model {
+            let u: f64 = 1.0 - rng.random::<f64>();
+            let life = (-u.ln() * mean_rounds).ceil().max(1.0) as u64;
+            self.deaths.push(Reverse((now + life, id)));
+        }
+    }
+
+    /// Computes how many uniform-churn replacements to perform this round.
+    pub(crate) fn uniform_replacements(&mut self, rate: f64, live: usize) -> usize {
+        let want = rate.clamp(0.0, 1.0) * live as f64 + self.carry;
+        let k = want.floor();
+        self.carry = want - k;
+        (k as usize).min(live)
+    }
+
+    /// Pops the nodes whose sessions end at or before `now`.
+    pub(crate) fn due_deaths(&mut self, now: u64) -> Vec<NodeId> {
+        let mut out = Vec::new();
+        while let Some(Reverse((when, _))) = self.deaths.peek() {
+            if *when > now {
+                break;
+            }
+            let Reverse((_, id)) = self.deaths.pop().expect("peeked entry");
+            out.push(id);
+        }
+        out
+    }
+
+    pub(crate) fn clear(&mut self) {
+        self.carry = 0.0;
+        self.deaths.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::NodeSlab;
+    use crate::rng::seeded_rng;
+
+    #[test]
+    fn uniform_carry_accumulates_fractions() {
+        let mut state = ChurnState::new();
+        // 0.05% of 1000 = 0.5 nodes/round -> 1 node every 2 rounds.
+        let counts: Vec<usize> = (0..10)
+            .map(|_| state.uniform_replacements(0.0005, 1000))
+            .collect();
+        assert_eq!(counts.iter().sum::<usize>(), 5);
+        assert!(counts.iter().all(|c| *c <= 1));
+    }
+
+    #[test]
+    fn uniform_zero_rate_replaces_nobody() {
+        let mut state = ChurnState::new();
+        for _ in 0..100 {
+            assert_eq!(state.uniform_replacements(0.0, 1000), 0);
+        }
+    }
+
+    #[test]
+    fn uniform_full_rate_replaces_everyone() {
+        let mut state = ChurnState::new();
+        assert_eq!(state.uniform_replacements(1.0, 500), 500);
+    }
+
+    #[test]
+    fn sessions_schedule_and_fire() {
+        let mut state = ChurnState::new();
+        let mut slab = NodeSlab::new();
+        let mut rng = seeded_rng(9);
+        let model = ChurnModel::sessions(5.0);
+        let ids: Vec<NodeId> = (0..100).map(|i| slab.insert(i)).collect();
+        for id in &ids {
+            state.on_insert(&model, *id, 0, &mut rng);
+        }
+        let mut died = 0;
+        for round in 1..=200 {
+            died += state.due_deaths(round).len();
+        }
+        assert_eq!(died, 100, "all sessions eventually end");
+        assert!(state.due_deaths(10_000).is_empty());
+    }
+
+    #[test]
+    fn session_lengths_average_near_mean() {
+        let mut state = ChurnState::new();
+        let mut slab = NodeSlab::new();
+        let mut rng = seeded_rng(10);
+        let model = ChurnModel::sessions(20.0);
+        for i in 0..5000 {
+            let id = slab.insert(i);
+            state.on_insert(&model, id, 0, &mut rng);
+        }
+        let mut total_rounds = 0u64;
+        let mut n = 0u64;
+        for round in 1..=10_000 {
+            for _ in state.due_deaths(round) {
+                total_rounds += round;
+                n += 1;
+            }
+        }
+        assert_eq!(n, 5000);
+        let mean = total_rounds as f64 / n as f64;
+        assert!((mean - 20.0).abs() < 1.5, "mean session {mean} not near 20");
+    }
+
+    #[test]
+    #[should_panic(expected = "rate must be in [0, 1]")]
+    fn uniform_rejects_bad_rate() {
+        ChurnModel::uniform(1.5);
+    }
+
+    #[test]
+    fn activity_flags() {
+        assert!(!ChurnModel::None.is_active());
+        assert!(!ChurnModel::uniform(0.0).is_active());
+        assert!(ChurnModel::uniform(0.01).is_active());
+        assert!(ChurnModel::sessions(10.0).is_active());
+    }
+}

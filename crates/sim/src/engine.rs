@@ -1,0 +1,605 @@
+//! The cycle-driven simulation engine.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::RngExt as _;
+
+use crate::churn::{ChurnModel, ChurnState};
+use crate::node::{NodeId, NodeSlab};
+use crate::overlay::{Overlay, OverlayConfig};
+use crate::rng::seeded_rng;
+use crate::stats::NetStats;
+
+/// A gossip protocol driven by the [`Engine`].
+///
+/// One protocol instance is shared across all nodes (it plays the role of
+/// PeerSim's protocol class); per-node state lives in [`Protocol::Node`].
+pub trait Protocol {
+    /// Per-node protocol state.
+    type Node;
+
+    /// Creates the state of a fresh node (initial population and churn
+    /// replacements).
+    fn make_node(&mut self, rng: &mut StdRng) -> Self::Node;
+
+    /// Executes one round step for node `id`: typically one push–pull
+    /// gossip exchange with a random neighbour plus local bookkeeping.
+    ///
+    /// The node is guaranteed to be live when called. Implementations use
+    /// [`Ctx::random_neighbour`] to pick a partner and
+    /// [`NodeSlab::pair_mut`] for the symmetric exchange.
+    fn on_round(&mut self, id: NodeId, ctx: &mut Ctx<'_, Self::Node>);
+
+    /// Called after a node joined a running system (churn replacement),
+    /// with the node already registered in the overlay. The default does
+    /// nothing; protocols can use it to bootstrap the newcomer from its
+    /// neighbours.
+    fn on_join(&mut self, id: NodeId, ctx: &mut Ctx<'_, Self::Node>) {
+        let _ = (id, ctx);
+    }
+
+    /// Called when a node leaves (churn). The default drops the state.
+    fn on_leave(&mut self, id: NodeId, node: Self::Node) {
+        let _ = (id, node);
+    }
+}
+
+/// What happened to the two messages of one push–pull exchange.
+///
+/// Sampled by [`Ctx::sample_exchange_fate`] according to the engine's
+/// configured loss rate. Protocols that ignore it behave as on a lossless
+/// network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExchangeFate {
+    /// Both messages delivered.
+    Complete,
+    /// The request never reached the partner: no state changes anywhere,
+    /// but the sender paid for the request.
+    RequestLost,
+    /// The partner processed the request but its response was lost: only
+    /// the partner's state changes (an *asymmetric* exchange).
+    ResponseLost,
+}
+
+/// Per-round execution context handed to [`Protocol`] callbacks.
+///
+/// Fields are public so a protocol can split-borrow them (e.g. hold a
+/// [`NodeSlab::pair_mut`] result while charging [`NetStats`]).
+pub struct Ctx<'a, N> {
+    /// Current round number (starts at 0).
+    pub round: u64,
+    /// All live nodes.
+    pub nodes: &'a mut NodeSlab<N>,
+    /// The overlay (read-only during a round).
+    pub overlay: &'a Overlay,
+    /// Engine RNG.
+    pub rng: &'a mut StdRng,
+    /// Network accounting.
+    pub net: &'a mut NetStats,
+    /// Per-message loss probability (0 by default).
+    pub loss_rate: f64,
+}
+
+impl<N> Ctx<'_, N> {
+    /// Samples the fate of one request/response exchange under the
+    /// engine's loss rate: each of the two messages is lost independently
+    /// with probability `loss_rate`.
+    pub fn sample_exchange_fate(&mut self) -> ExchangeFate {
+        if self.loss_rate <= 0.0 {
+            return ExchangeFate::Complete;
+        }
+        if self.rng.random::<f64>() < self.loss_rate {
+            ExchangeFate::RequestLost
+        } else if self.rng.random::<f64>() < self.loss_rate {
+            ExchangeFate::ResponseLost
+        } else {
+            ExchangeFate::Complete
+        }
+    }
+
+    /// Draws a random live neighbour of `of`.
+    pub fn random_neighbour(&mut self, of: NodeId) -> Option<NodeId> {
+        self.overlay.random_neighbour(of, self.nodes, self.rng)
+    }
+
+    /// Samples up to `count` distinct live neighbours of `of`.
+    pub fn neighbour_sample(&mut self, of: NodeId, count: usize) -> Vec<NodeId> {
+        self.overlay
+            .neighbour_sample(of, self.nodes, count, self.rng)
+    }
+
+    /// Number of live nodes (the simulator's ground truth, *not* available
+    /// to a real decentralised node — protocols must estimate it).
+    pub fn live_count(&self) -> usize {
+        self.nodes.len()
+    }
+}
+
+/// Engine configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EngineConfig {
+    /// Initial number of nodes.
+    pub n: usize,
+    /// Master seed; all engine randomness derives from it.
+    pub seed: u64,
+    /// Overlay configuration.
+    pub overlay: OverlayConfig,
+    /// Churn model.
+    pub churn: ChurnModel,
+    /// Per-message loss probability in `[0, 1]` (see
+    /// [`Ctx::sample_exchange_fate`]).
+    pub loss_rate: f64,
+}
+
+impl EngineConfig {
+    /// Creates a configuration for `n` nodes with the default oracle
+    /// overlay and no churn.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn new(n: usize, seed: u64) -> Self {
+        assert!(n > 0, "n must be positive");
+        Self {
+            n,
+            seed,
+            overlay: OverlayConfig::default(),
+            churn: ChurnModel::None,
+            loss_rate: 0.0,
+        }
+    }
+
+    /// Replaces the overlay configuration.
+    pub fn with_overlay(mut self, overlay: OverlayConfig) -> Self {
+        self.overlay = overlay;
+        self
+    }
+
+    /// Replaces the churn model.
+    pub fn with_churn(mut self, churn: ChurnModel) -> Self {
+        self.churn = churn;
+        self
+    }
+
+    /// Sets the per-message loss probability.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `loss_rate` is outside `[0, 1]`.
+    pub fn with_loss_rate(mut self, loss_rate: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&loss_rate),
+            "loss_rate must be in [0, 1]"
+        );
+        self.loss_rate = loss_rate;
+        self
+    }
+}
+
+/// The cycle-driven simulator.
+///
+/// Each [`run_round`](Engine::run_round):
+///
+/// 1. applies churn (replacing departed nodes with fresh ones),
+/// 2. runs overlay maintenance (view shuffling, if configured),
+/// 3. calls [`Protocol::on_round`] once per live node, in a fresh random
+///    order.
+pub struct Engine<P: Protocol> {
+    protocol: P,
+    nodes: NodeSlab<P::Node>,
+    overlay: Overlay,
+    churn: ChurnModel,
+    churn_state: ChurnState,
+    rng: StdRng,
+    round: u64,
+    net: NetStats,
+    loss_rate: f64,
+}
+
+impl<P: Protocol> std::fmt::Debug for Engine<P> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Engine")
+            .field("round", &self.round)
+            .field("live_nodes", &self.nodes.len())
+            .field("churn", &self.churn)
+            .finish()
+    }
+}
+
+impl<P: Protocol> Engine<P> {
+    /// Builds an engine with `config.n` fresh nodes.
+    pub fn new(config: EngineConfig, mut protocol: P) -> Self {
+        assert!(config.n > 0, "n must be positive");
+        let mut rng = seeded_rng(config.seed);
+        let mut nodes = NodeSlab::with_capacity(config.n);
+        let mut overlay = Overlay::new(config.overlay);
+        let mut churn_state = ChurnState::new();
+        let mut net = NetStats::new();
+        for _ in 0..config.n {
+            let state = protocol.make_node(&mut rng);
+            let id = nodes.insert(state);
+            churn_state.on_insert(&config.churn, id, 0, &mut rng);
+        }
+        net.ensure_slots(nodes.slot_count());
+        // Register views only after the whole population exists so initial
+        // views are uniform over it.
+        for id in nodes.id_vec() {
+            overlay.register_node(id, &nodes, &mut rng);
+        }
+        Self {
+            protocol,
+            nodes,
+            overlay,
+            churn: config.churn,
+            churn_state,
+            rng,
+            round: 0,
+            net,
+            loss_rate: config.loss_rate,
+        }
+    }
+
+    /// Runs a single round.
+    pub fn run_round(&mut self) {
+        self.net.begin_round();
+        self.apply_churn();
+        self.overlay.maintain(&self.nodes, &mut self.rng);
+        let mut order = self.nodes.id_vec();
+        order.shuffle(&mut self.rng);
+        for id in order {
+            if !self.nodes.contains(id) {
+                continue;
+            }
+            let mut ctx = Ctx {
+                round: self.round,
+                nodes: &mut self.nodes,
+                overlay: &self.overlay,
+                rng: &mut self.rng,
+                net: &mut self.net,
+                loss_rate: self.loss_rate,
+            };
+            self.protocol.on_round(id, &mut ctx);
+        }
+        self.round += 1;
+    }
+
+    /// Runs `n` rounds.
+    pub fn run_rounds(&mut self, n: u64) {
+        for _ in 0..n {
+            self.run_round();
+        }
+    }
+
+    fn apply_churn(&mut self) {
+        let victims: Vec<NodeId> = match self.churn {
+            ChurnModel::None => return,
+            ChurnModel::Uniform { rate } => {
+                let k = self
+                    .churn_state
+                    .uniform_replacements(rate, self.nodes.len());
+                let mut picked = Vec::with_capacity(k);
+                for _ in 0..k {
+                    if let Some(id) = self.nodes.random_id(&mut self.rng) {
+                        if !picked.contains(&id) {
+                            picked.push(id);
+                        }
+                    }
+                }
+                picked
+            }
+            ChurnModel::Sessions { .. } => self.churn_state.due_deaths(self.round),
+        };
+        if victims.is_empty() {
+            return;
+        }
+        let count = victims.len();
+        for id in victims {
+            if let Some(state) = self.nodes.remove(id) {
+                self.overlay.remove_node(id);
+                self.protocol.on_leave(id, state);
+            }
+        }
+        // Replace departures to keep the population size constant, as the
+        // paper's churn model does.
+        let mut joined = Vec::with_capacity(count);
+        for _ in 0..count {
+            let state = self.protocol.make_node(&mut self.rng);
+            let id = self.nodes.insert(state);
+            self.net.reset_slot(id.slot());
+            self.churn_state
+                .on_insert(&self.churn, id, self.round, &mut self.rng);
+            self.overlay.register_node(id, &self.nodes, &mut self.rng);
+            joined.push(id);
+        }
+        for id in joined {
+            let mut ctx = Ctx {
+                round: self.round,
+                nodes: &mut self.nodes,
+                overlay: &self.overlay,
+                rng: &mut self.rng,
+                net: &mut self.net,
+                loss_rate: self.loss_rate,
+            };
+            self.protocol.on_join(id, &mut ctx);
+        }
+    }
+
+    /// Current round number (number of completed rounds).
+    pub fn round(&self) -> u64 {
+        self.round
+    }
+
+    /// The live nodes.
+    pub fn nodes(&self) -> &NodeSlab<P::Node> {
+        &self.nodes
+    }
+
+    /// Mutable access to the live nodes (for test/experiment setup).
+    pub fn nodes_mut(&mut self) -> &mut NodeSlab<P::Node> {
+        &mut self.nodes
+    }
+
+    /// The protocol instance.
+    pub fn protocol(&self) -> &P {
+        &self.protocol
+    }
+
+    /// Mutable access to the protocol instance (e.g. to trigger an
+    /// aggregation instance from the experiment harness).
+    pub fn protocol_mut(&mut self) -> &mut P {
+        &mut self.protocol
+    }
+
+    /// Network statistics.
+    pub fn net(&self) -> &NetStats {
+        &self.net
+    }
+
+    /// Mutable network statistics (e.g. to reset between phases).
+    pub fn net_mut(&mut self) -> &mut NetStats {
+        &mut self.net
+    }
+
+    /// The overlay.
+    pub fn overlay(&self) -> &Overlay {
+        &self.overlay
+    }
+
+    /// Engine RNG (e.g. for experiment-level sampling decisions that
+    /// should be reproducible with the run).
+    pub fn rng_mut(&mut self) -> &mut StdRng {
+        &mut self.rng
+    }
+
+    /// Splits the network into `k` uniformly random partition groups from
+    /// the next round on: gossip partners are only drawn within a node's
+    /// group. Churn replacements land in group 0. Use
+    /// [`heal_partition`](Engine::heal_partition) to reconnect.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is zero.
+    pub fn partition_into(&mut self, k: u32) {
+        assert!(k > 0, "k must be positive");
+        let mut groups = vec![0u32; self.nodes.slot_count()];
+        for id in self.nodes.id_vec() {
+            groups[id.slot()] = self.rng.random_range(0..k);
+        }
+        self.overlay.set_partition(groups);
+    }
+
+    /// Heals a network partition.
+    pub fn heal_partition(&mut self) {
+        self.overlay.clear_partition();
+    }
+
+    /// The partition group of a node (0 when unpartitioned).
+    pub fn partition_group(&self, id: NodeId) -> u32 {
+        self.overlay.group_of(id)
+    }
+
+    /// Replaces the churn model from the next round on.
+    pub fn set_churn(&mut self, churn: ChurnModel) {
+        self.churn = churn;
+        self.churn_state.clear();
+        if let ChurnModel::Sessions { .. } = churn {
+            // (Re)schedule sessions for the existing population.
+            for id in self.nodes.id_vec() {
+                self.churn_state
+                    .on_insert(&churn, id, self.round, &mut self.rng);
+            }
+        }
+    }
+
+    /// Invokes `f` with an execution context outside a round (used by
+    /// experiment harnesses to trigger protocol actions deterministically).
+    pub fn with_ctx<R>(&mut self, f: impl FnOnce(&mut P, &mut Ctx<'_, P::Node>) -> R) -> R {
+        let mut ctx = Ctx {
+            round: self.round,
+            nodes: &mut self.nodes,
+            overlay: &self.overlay,
+            rng: &mut self.rng,
+            net: &mut self.net,
+            loss_rate: self.loss_rate,
+        };
+        f(&mut self.protocol, &mut ctx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::overlay::OverlayKind;
+
+    /// Test protocol: push–pull averaging of a per-node value.
+    struct Averaging {
+        next_value: f64,
+    }
+
+    impl Protocol for Averaging {
+        type Node = f64;
+
+        fn make_node(&mut self, _rng: &mut StdRng) -> f64 {
+            self.next_value += 1.0;
+            self.next_value
+        }
+
+        fn on_round(&mut self, id: NodeId, ctx: &mut Ctx<'_, f64>) {
+            let Some(partner) = ctx.random_neighbour(id) else {
+                return;
+            };
+            let Some((a, b)) = ctx.nodes.pair_mut(id, partner) else {
+                return;
+            };
+            let mean = (*a + *b) / 2.0;
+            *a = mean;
+            *b = mean;
+            ctx.net.charge_exchange(id, partner, 8, 8);
+        }
+    }
+
+    #[test]
+    fn averaging_converges_to_global_mean() {
+        let mut engine = Engine::new(EngineConfig::new(128, 42), Averaging { next_value: 0.0 });
+        engine.run_rounds(60);
+        let expected = 129.0 / 2.0;
+        for (_, v) in engine.nodes().iter() {
+            assert!((v - expected).abs() < 1e-9, "value {v} far from {expected}");
+        }
+    }
+
+    #[test]
+    fn averaging_conserves_mass_every_round() {
+        let mut engine = Engine::new(EngineConfig::new(64, 7), Averaging { next_value: 0.0 });
+        let initial: f64 = engine.nodes().iter().map(|(_, v)| *v).sum();
+        for _ in 0..20 {
+            engine.run_round();
+            let sum: f64 = engine.nodes().iter().map(|(_, v)| *v).sum();
+            assert!(
+                (sum - initial).abs() < 1e-6,
+                "mass leaked: {sum} vs {initial}"
+            );
+        }
+    }
+
+    #[test]
+    fn averaging_converges_on_shuffle_overlay_too() {
+        let config = EngineConfig::new(128, 42).with_overlay(OverlayConfig {
+            kind: OverlayKind::Shuffle,
+            degree: 10,
+            shuffle_len: 3,
+        });
+        let mut engine = Engine::new(config, Averaging { next_value: 0.0 });
+        engine.run_rounds(60);
+        let expected = 129.0 / 2.0;
+        for (_, v) in engine.nodes().iter() {
+            assert!((v - expected).abs() < 1e-6, "value {v} far from {expected}");
+        }
+    }
+
+    #[test]
+    fn churn_keeps_population_constant() {
+        let config = EngineConfig::new(100, 1).with_churn(ChurnModel::uniform(0.05));
+        let mut engine = Engine::new(config, Averaging { next_value: 0.0 });
+        for _ in 0..50 {
+            engine.run_round();
+            assert_eq!(engine.nodes().len(), 100);
+        }
+    }
+
+    #[test]
+    fn session_churn_keeps_population_constant() {
+        let config = EngineConfig::new(100, 2).with_churn(ChurnModel::sessions(10.0));
+        let mut engine = Engine::new(config, Averaging { next_value: 0.0 });
+        for _ in 0..100 {
+            engine.run_round();
+            assert_eq!(engine.nodes().len(), 100);
+        }
+    }
+
+    #[test]
+    fn network_traffic_is_recorded() {
+        let mut engine = Engine::new(EngineConfig::new(10, 3), Averaging { next_value: 0.0 });
+        engine.run_round();
+        // Every node initiates one exchange of 8+8 bytes.
+        assert_eq!(engine.net().total_msgs(), 20);
+        assert_eq!(engine.net().total_bytes(), 160);
+    }
+
+    #[test]
+    fn rounds_advance() {
+        let mut engine = Engine::new(EngineConfig::new(4, 4), Averaging { next_value: 0.0 });
+        assert_eq!(engine.round(), 0);
+        engine.run_rounds(5);
+        assert_eq!(engine.round(), 5);
+    }
+
+    #[test]
+    fn partitions_prevent_cross_group_averaging() {
+        let mut engine = Engine::new(EngineConfig::new(200, 8), Averaging { next_value: 0.0 });
+        engine.partition_into(2);
+        engine.run_rounds(40);
+        // Each group converges to its own mean; the two means must differ
+        // (groups hold different value subsets with probability ~1).
+        let mut groups: [Vec<f64>; 2] = [Vec::new(), Vec::new()];
+        for (id, v) in engine.nodes().iter() {
+            groups[engine.partition_group(id) as usize].push(*v);
+        }
+        assert!(!groups[0].is_empty() && !groups[1].is_empty());
+        for g in &groups {
+            let mean = g.iter().sum::<f64>() / g.len() as f64;
+            for v in g {
+                assert!((v - mean).abs() < 1e-6, "group not internally converged");
+            }
+        }
+        let m0 = groups[0].iter().sum::<f64>() / groups[0].len() as f64;
+        let m1 = groups[1].iter().sum::<f64>() / groups[1].len() as f64;
+        assert!((m0 - m1).abs() > 1e-6, "groups should disagree while split");
+
+        // Healing reconnects: everyone converges to the global mean.
+        engine.heal_partition();
+        engine.run_rounds(60);
+        let expected = 201.0 / 2.0;
+        for (_, v) in engine.nodes().iter() {
+            assert!((v - expected).abs() < 1e-6, "post-heal value {v}");
+        }
+    }
+
+    struct JoinTracker {
+        joins: usize,
+        leaves: usize,
+    }
+
+    impl Protocol for JoinTracker {
+        type Node = ();
+
+        fn make_node(&mut self, _rng: &mut StdRng) {}
+
+        fn on_round(&mut self, _id: NodeId, _ctx: &mut Ctx<'_, ()>) {}
+
+        fn on_join(&mut self, _id: NodeId, _ctx: &mut Ctx<'_, ()>) {
+            self.joins += 1;
+        }
+
+        fn on_leave(&mut self, _id: NodeId, _node: ()) {
+            self.leaves += 1;
+        }
+    }
+
+    #[test]
+    fn join_and_leave_hooks_fire_under_churn() {
+        let config = EngineConfig::new(200, 5).with_churn(ChurnModel::uniform(0.01));
+        let mut engine = Engine::new(
+            config,
+            JoinTracker {
+                joins: 0,
+                leaves: 0,
+            },
+        );
+        engine.run_rounds(50);
+        let p = engine.protocol();
+        assert_eq!(p.joins, p.leaves);
+        // 1%/round * 200 nodes * 50 rounds = ~100 replacements.
+        assert!((80..=120).contains(&p.joins), "joins {}", p.joins);
+    }
+}

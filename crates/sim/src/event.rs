@@ -1,0 +1,590 @@
+//! Event-driven simulation: asynchronous messages with latency.
+//!
+//! The cycle-driven [`Engine`](crate::Engine) models PeerSim's synchronous
+//! rounds where a push–pull exchange is *atomic*. Real networks are not
+//! synchronous: a request and its response are separate messages with
+//! latency, gossip timers drift, and concurrent exchanges interleave. This
+//! module provides PeerSim's *other* execution model — an event queue with
+//! per-message latencies — so protocols can be validated against the
+//! asynchrony the cycle model hides (e.g. the mass-conservation variance
+//! of non-atomic push–pull averaging, Jelasity et al. 2005, §4).
+//!
+//! Time is measured in abstract *ticks* (1 tick ≈ 1 ms at the paper's 1 s
+//! gossip period with `gossip_period = 1000`).
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use rand::rngs::StdRng;
+use rand::RngExt as _;
+
+use crate::node::{NodeId, NodeSlab};
+use crate::rng::seeded_rng;
+use crate::stats::NetStats;
+
+/// Message latency model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LatencyModel {
+    /// Every message takes exactly this many ticks.
+    Fixed(u64),
+    /// Uniform latency in `[min, max]` ticks.
+    Uniform {
+        /// Minimum latency.
+        min: u64,
+        /// Maximum latency.
+        max: u64,
+    },
+}
+
+impl LatencyModel {
+    fn sample(&self, rng: &mut StdRng) -> u64 {
+        match self {
+            LatencyModel::Fixed(t) => *t,
+            LatencyModel::Uniform { min, max } => {
+                if min >= max {
+                    *min
+                } else {
+                    rng.random_range(*min..=*max)
+                }
+            }
+        }
+    }
+}
+
+/// Configuration of the event-driven engine.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EventConfig {
+    /// Initial number of nodes.
+    pub n: usize,
+    /// Master seed.
+    pub seed: u64,
+    /// Gossip timer period in ticks (each node fires once per period, with
+    /// a random initial phase).
+    pub gossip_period: u64,
+    /// Message latency model.
+    pub latency: LatencyModel,
+    /// Probability that any individual message is lost in transit.
+    pub loss_rate: f64,
+}
+
+impl EventConfig {
+    /// A configuration with 1000-tick periods and 10–150-tick uniform
+    /// latency (a wide-area network at a 1 s gossip period).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn new(n: usize, seed: u64) -> Self {
+        assert!(n > 0, "n must be positive");
+        Self {
+            n,
+            seed,
+            gossip_period: 1000,
+            latency: LatencyModel::Uniform { min: 10, max: 150 },
+            loss_rate: 0.0,
+        }
+    }
+
+    /// Replaces the gossip period.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period` is zero.
+    pub fn with_gossip_period(mut self, period: u64) -> Self {
+        assert!(period > 0, "period must be positive");
+        self.gossip_period = period;
+        self
+    }
+
+    /// Replaces the latency model.
+    pub fn with_latency(mut self, latency: LatencyModel) -> Self {
+        self.latency = latency;
+        self
+    }
+
+    /// Sets the message loss probability.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `loss_rate` is outside `[0, 1]`.
+    pub fn with_loss_rate(mut self, loss_rate: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&loss_rate),
+            "loss_rate must be in [0, 1]"
+        );
+        self.loss_rate = loss_rate;
+        self
+    }
+}
+
+/// An asynchronous protocol driven by the [`EventEngine`].
+pub trait AsyncProtocol {
+    /// Per-node protocol state.
+    type Node;
+    /// Message type exchanged between nodes.
+    type Message;
+
+    /// Creates the state of a fresh node.
+    fn make_node(&mut self, rng: &mut StdRng) -> Self::Node;
+
+    /// The node's gossip timer fired.
+    fn on_timer(&mut self, id: NodeId, ctx: &mut EventCtx<'_, Self::Node, Self::Message>);
+
+    /// A message arrived.
+    fn on_message(
+        &mut self,
+        id: NodeId,
+        from: NodeId,
+        message: Self::Message,
+        ctx: &mut EventCtx<'_, Self::Node, Self::Message>,
+    );
+}
+
+/// Execution context for [`AsyncProtocol`] callbacks.
+pub struct EventCtx<'a, N, M> {
+    /// Current simulation time in ticks.
+    pub now: u64,
+    /// All live nodes.
+    pub nodes: &'a mut NodeSlab<N>,
+    /// Engine RNG.
+    pub rng: &'a mut StdRng,
+    /// Network accounting (messages are charged when sent, even if later
+    /// lost).
+    pub net: &'a mut NetStats,
+    outbox: &'a mut Vec<(NodeId, NodeId, M, usize)>,
+}
+
+impl<N, M> EventCtx<'_, N, M> {
+    /// Sends `message` of `bytes` from `from` to `to` (delivered after the
+    /// configured latency unless lost).
+    pub fn send(&mut self, from: NodeId, to: NodeId, message: M, bytes: usize) {
+        self.net.charge_message(from, to, bytes);
+        self.outbox.push((from, to, message, bytes));
+    }
+
+    /// Draws a uniformly random live node other than `of` (the idealised
+    /// peer-sampling service).
+    pub fn random_neighbour(&mut self, of: NodeId) -> Option<NodeId> {
+        self.nodes.random_other(of, self.rng)
+    }
+}
+
+#[derive(Debug)]
+enum Event<M> {
+    Timer(NodeId),
+    Deliver {
+        from: NodeId,
+        to: NodeId,
+        message: M,
+    },
+}
+
+/// The event-driven engine: a time-ordered event queue over the same node
+/// slab and accounting as the cycle-driven engine.
+pub struct EventEngine<P: AsyncProtocol> {
+    protocol: P,
+    nodes: NodeSlab<P::Node>,
+    config: EventConfig,
+    rng: StdRng,
+    now: u64,
+    queue: BinaryHeap<Reverse<(u64, u64, usize)>>,
+    /// Event payloads, indexed by the sequence number carried in the queue
+    /// (keeps the heap entries `Ord` without requiring `M: Ord`).
+    events: Vec<Option<Event<P::Message>>>,
+    /// Recycled `events` slots (the queue never empties while timers are
+    /// scheduled, so without reuse the store would grow for ever).
+    free_slots: Vec<usize>,
+    seq: u64,
+    net: NetStats,
+    delivered: u64,
+    lost: u64,
+}
+
+impl<P: AsyncProtocol> EventEngine<P> {
+    /// Builds the engine, creating `config.n` nodes and scheduling their
+    /// first gossip timers at random phases within one period.
+    pub fn new(config: EventConfig, mut protocol: P) -> Self {
+        let mut rng = seeded_rng(config.seed);
+        let mut nodes = NodeSlab::with_capacity(config.n);
+        for _ in 0..config.n {
+            let state = protocol.make_node(&mut rng);
+            nodes.insert(state);
+        }
+        let mut engine = Self {
+            protocol,
+            nodes,
+            config,
+            rng,
+            now: 0,
+            queue: BinaryHeap::new(),
+            events: Vec::new(),
+            free_slots: Vec::new(),
+            seq: 0,
+            net: NetStats::new(),
+            delivered: 0,
+            lost: 0,
+        };
+        for id in engine.nodes.id_vec() {
+            let phase = engine.rng.random_range(0..engine.config.gossip_period);
+            engine.schedule(phase, Event::Timer(id));
+        }
+        engine
+    }
+
+    fn schedule(&mut self, at: u64, event: Event<P::Message>) {
+        let idx = match self.free_slots.pop() {
+            Some(idx) => {
+                self.events[idx] = Some(event);
+                idx
+            }
+            None => {
+                self.events.push(Some(event));
+                self.events.len() - 1
+            }
+        };
+        self.seq += 1;
+        self.queue.push(Reverse((at, self.seq, idx)));
+    }
+
+    /// Runs until simulation time reaches `until` ticks.
+    pub fn run_until(&mut self, until: u64) {
+        while let Some(Reverse((at, _, idx))) = self.queue.peek().copied() {
+            if at > until {
+                break;
+            }
+            self.queue.pop();
+            self.now = at;
+            let Some(event) = self.events[idx].take() else {
+                continue;
+            };
+            self.free_slots.push(idx);
+            match event {
+                Event::Timer(id) => {
+                    if self.nodes.contains(id) {
+                        self.dispatch_timer(id);
+                        let next = self.now + self.config.gossip_period;
+                        self.schedule(next, Event::Timer(id));
+                    }
+                }
+                Event::Deliver { from, to, message } => {
+                    if self.nodes.contains(to) {
+                        self.dispatch_message(to, from, message);
+                    }
+                }
+            }
+            // Compact the event store opportunistically.
+            if self.queue.is_empty() {
+                self.events.clear();
+                self.free_slots.clear();
+            }
+        }
+        self.now = self.now.max(until);
+    }
+
+    fn dispatch_timer(&mut self, id: NodeId) {
+        let mut outbox = Vec::new();
+        let mut ctx = EventCtx {
+            now: self.now,
+            nodes: &mut self.nodes,
+            rng: &mut self.rng,
+            net: &mut self.net,
+            outbox: &mut outbox,
+        };
+        self.protocol.on_timer(id, &mut ctx);
+        self.flush(outbox);
+    }
+
+    fn dispatch_message(&mut self, to: NodeId, from: NodeId, message: P::Message) {
+        self.delivered += 1;
+        let mut outbox = Vec::new();
+        let mut ctx = EventCtx {
+            now: self.now,
+            nodes: &mut self.nodes,
+            rng: &mut self.rng,
+            net: &mut self.net,
+            outbox: &mut outbox,
+        };
+        self.protocol.on_message(to, from, message, &mut ctx);
+        self.flush(outbox);
+    }
+
+    fn flush(&mut self, outbox: Vec<(NodeId, NodeId, P::Message, usize)>) {
+        for (from, to, message, _bytes) in outbox {
+            if self.config.loss_rate > 0.0 && self.rng.random::<f64>() < self.config.loss_rate {
+                self.lost += 1;
+                continue;
+            }
+            let latency = self.config.latency.sample(&mut self.rng).max(1);
+            let at = self.now + latency;
+            self.schedule(at, Event::Deliver { from, to, message });
+        }
+    }
+
+    /// Current simulation time in ticks.
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// The live nodes.
+    pub fn nodes(&self) -> &NodeSlab<P::Node> {
+        &self.nodes
+    }
+
+    /// Mutable node access.
+    pub fn nodes_mut(&mut self) -> &mut NodeSlab<P::Node> {
+        &mut self.nodes
+    }
+
+    /// The protocol instance.
+    pub fn protocol(&self) -> &P {
+        &self.protocol
+    }
+
+    /// Mutable protocol access.
+    pub fn protocol_mut(&mut self) -> &mut P {
+        &mut self.protocol
+    }
+
+    /// Network statistics.
+    pub fn net(&self) -> &NetStats {
+        &self.net
+    }
+
+    /// Engine RNG.
+    pub fn rng_mut(&mut self) -> &mut StdRng {
+        &mut self.rng
+    }
+
+    /// Messages delivered so far.
+    pub fn delivered_count(&self) -> u64 {
+        self.delivered
+    }
+
+    /// Messages lost in transit so far.
+    pub fn lost_count(&self) -> u64 {
+        self.lost
+    }
+
+    /// Invokes `f` with an execution context outside an event (used by
+    /// drivers to trigger protocol actions deterministically).
+    pub fn with_ctx<R>(
+        &mut self,
+        f: impl FnOnce(&mut P, &mut EventCtx<'_, P::Node, P::Message>) -> R,
+    ) -> R {
+        let mut outbox = Vec::new();
+        let mut ctx = EventCtx {
+            now: self.now,
+            nodes: &mut self.nodes,
+            rng: &mut self.rng,
+            net: &mut self.net,
+            outbox: &mut outbox,
+        };
+        let result = f(&mut self.protocol, &mut ctx);
+        self.flush(outbox);
+        result
+    }
+}
+
+impl<P: AsyncProtocol> std::fmt::Debug for EventEngine<P> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EventEngine")
+            .field("now", &self.now)
+            .field("live_nodes", &self.nodes.len())
+            .field("pending_events", &self.queue.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Asynchronous push–pull averaging: the classic non-atomic variant.
+    struct AsyncAveraging {
+        next: f64,
+    }
+
+    enum Msg {
+        Request(f64),
+        Response(f64),
+    }
+
+    impl AsyncProtocol for AsyncAveraging {
+        type Node = f64;
+        type Message = Msg;
+
+        fn make_node(&mut self, _rng: &mut StdRng) -> f64 {
+            self.next += 1.0;
+            self.next
+        }
+
+        fn on_timer(&mut self, id: NodeId, ctx: &mut EventCtx<'_, f64, Msg>) {
+            let Some(partner) = ctx.random_neighbour(id) else {
+                return;
+            };
+            let Some(v) = ctx.nodes.get(id).copied() else {
+                return;
+            };
+            ctx.send(id, partner, Msg::Request(v), 8);
+        }
+
+        fn on_message(
+            &mut self,
+            id: NodeId,
+            from: NodeId,
+            message: Msg,
+            ctx: &mut EventCtx<'_, f64, Msg>,
+        ) {
+            match message {
+                Msg::Request(theirs) => {
+                    let Some(mine) = ctx.nodes.get(id).copied() else {
+                        return;
+                    };
+                    ctx.send(id, from, Msg::Response(mine), 8);
+                    if let Some(v) = ctx.nodes.get_mut(id) {
+                        *v = (mine + theirs) / 2.0;
+                    }
+                }
+                Msg::Response(theirs) => {
+                    if let Some(v) = ctx.nodes.get_mut(id) {
+                        *v = (*v + theirs) / 2.0;
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn async_averaging_converges_near_the_mean() {
+        let config = EventConfig::new(128, 5)
+            .with_gossip_period(100)
+            .with_latency(LatencyModel::Uniform { min: 5, max: 30 });
+        let mut engine = EventEngine::new(config, AsyncAveraging { next: 0.0 });
+        engine.run_until(100 * 60);
+        let expected = 129.0 / 2.0;
+        // Non-atomic push-pull does not conserve mass exactly, but with
+        // short latencies relative to the period the drift is small.
+        let mean: f64 =
+            engine.nodes().iter().map(|(_, v)| *v).sum::<f64>() / engine.nodes().len() as f64;
+        assert!(
+            (mean - expected).abs() / expected < 0.05,
+            "mean {mean} vs {expected}"
+        );
+        for (_, v) in engine.nodes().iter() {
+            assert!((v - mean).abs() < 1.0, "value {v} not converged to {mean}");
+        }
+    }
+
+    #[test]
+    fn timers_fire_once_per_period() {
+        struct TimerCounter {
+            fires: u64,
+        }
+        impl AsyncProtocol for TimerCounter {
+            type Node = ();
+            type Message = ();
+            fn make_node(&mut self, _rng: &mut StdRng) {}
+            fn on_timer(&mut self, _id: NodeId, _ctx: &mut EventCtx<'_, (), ()>) {
+                self.fires += 1;
+            }
+            fn on_message(&mut self, _: NodeId, _: NodeId, _: (), _: &mut EventCtx<'_, (), ()>) {}
+        }
+        let config = EventConfig::new(10, 6).with_gossip_period(100);
+        let mut engine = EventEngine::new(config, TimerCounter { fires: 0 });
+        engine.run_until(1000);
+        // 10 nodes x ~10 periods (random phases make it 90..110).
+        let fires = engine.protocol().fires;
+        assert!((90..=110).contains(&fires), "fires = {fires}");
+    }
+
+    #[test]
+    fn message_loss_is_applied_and_counted() {
+        let config = EventConfig::new(64, 7)
+            .with_gossip_period(50)
+            .with_loss_rate(0.5);
+        let mut engine = EventEngine::new(config, AsyncAveraging { next: 0.0 });
+        engine.run_until(50 * 40);
+        let lost = engine.lost_count();
+        let delivered = engine.delivered_count();
+        let total = lost + delivered;
+        let loss_frac = lost as f64 / total as f64;
+        assert!((loss_frac - 0.5).abs() < 0.05, "loss fraction {loss_frac}");
+        // Averaging still roughly works under 50% loss.
+        let expected = 65.0 / 2.0;
+        let mean: f64 =
+            engine.nodes().iter().map(|(_, v)| *v).sum::<f64>() / engine.nodes().len() as f64;
+        assert!((mean - expected).abs() / expected < 0.25, "mean {mean}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let run = |seed| {
+            let config = EventConfig::new(32, seed).with_gossip_period(80);
+            let mut engine = EventEngine::new(config, AsyncAveraging { next: 0.0 });
+            engine.run_until(2000);
+            engine.nodes().iter().map(|(_, v)| *v).collect::<Vec<f64>>()
+        };
+        assert_eq!(run(9), run(9));
+        assert_ne!(run(9), run(10));
+    }
+
+    #[test]
+    fn fixed_latency_model() {
+        let mut rng = seeded_rng(1);
+        assert_eq!(LatencyModel::Fixed(42).sample(&mut rng), 42);
+        let l = LatencyModel::Uniform { min: 5, max: 5 }.sample(&mut rng);
+        assert_eq!(l, 5);
+        for _ in 0..100 {
+            let l = LatencyModel::Uniform { min: 3, max: 9 }.sample(&mut rng);
+            assert!((3..=9).contains(&l));
+        }
+    }
+
+    #[test]
+    fn network_bytes_are_charged_even_for_lost_messages() {
+        let config = EventConfig::new(16, 11)
+            .with_gossip_period(50)
+            .with_loss_rate(1.0);
+        let mut engine = EventEngine::new(config, AsyncAveraging { next: 0.0 });
+        engine.run_until(500);
+        assert!(
+            engine.net().total_bytes() > 0,
+            "senders still pay for lost messages"
+        );
+        assert_eq!(engine.delivered_count(), 0);
+    }
+}
+
+#[cfg(test)]
+mod store_tests {
+    use super::*;
+
+    struct Ping;
+    impl AsyncProtocol for Ping {
+        type Node = ();
+        type Message = u64;
+        fn make_node(&mut self, _rng: &mut StdRng) {}
+        fn on_timer(&mut self, id: NodeId, ctx: &mut EventCtx<'_, (), u64>) {
+            if let Some(p) = ctx.random_neighbour(id) {
+                ctx.send(id, p, ctx.now, 8);
+            }
+        }
+        fn on_message(&mut self, _: NodeId, _: NodeId, _: u64, _: &mut EventCtx<'_, (), u64>) {}
+    }
+
+    #[test]
+    fn event_store_is_bounded_by_pending_events() {
+        let config = EventConfig::new(64, 21).with_gossip_period(10);
+        let mut engine = EventEngine::new(config, Ping);
+        // Long run: thousands of events scheduled and consumed.
+        engine.run_until(10 * 2_000);
+        // The store must stay near the number of *pending* events (one
+        // timer per node plus in-flight messages), not the total ever
+        // scheduled (~192k here).
+        let capacity = engine.events.len();
+        assert!(
+            capacity < 64 * 20,
+            "event store grew unboundedly: {capacity} slots"
+        );
+    }
+}

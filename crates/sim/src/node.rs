@@ -1,0 +1,395 @@
+//! Generational node storage.
+//!
+//! Under churn the simulator constantly removes and inserts nodes. A plain
+//! `Vec` would either leak slots or let a stale [`NodeId`] silently address
+//! a *different* node after slot reuse. [`NodeSlab`] therefore pairs each
+//! slot with a generation counter; a `NodeId` is only valid while its
+//! generation matches.
+
+use rand::rngs::StdRng;
+use rand::RngExt as _;
+
+/// Identifier of a node in a [`NodeSlab`].
+///
+/// Ids are cheap `Copy` handles. An id becomes *stale* once its node is
+/// removed; stale ids are safely rejected by all slab accessors (overlay
+/// views hold stale ids routinely under churn).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId {
+    slot: u32,
+    generation: u32,
+}
+
+impl NodeId {
+    /// The slot index, useful for dense per-node side tables (traffic
+    /// counters, etc.). Slots are reused across generations.
+    pub fn slot(&self) -> usize {
+        self.slot as usize
+    }
+
+    /// The generation of this id.
+    pub fn generation(&self) -> u32 {
+        self.generation
+    }
+}
+
+impl std::fmt::Display for NodeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "n{}g{}", self.slot, self.generation)
+    }
+}
+
+#[derive(Debug)]
+struct Slot<N> {
+    generation: u32,
+    /// Index of this slot in `live`, valid only while occupied.
+    live_pos: u32,
+    node: Option<N>,
+}
+
+/// Generational slab of live nodes with O(1) insert, remove, lookup and
+/// uniform random selection.
+///
+/// # Examples
+///
+/// ```
+/// let mut slab = adam2_sim::NodeSlab::new();
+/// let a = slab.insert("alpha");
+/// let b = slab.insert("beta");
+/// assert_eq!(slab.len(), 2);
+/// assert_eq!(slab.remove(a), Some("alpha"));
+/// assert!(slab.get(a).is_none());
+/// assert_eq!(slab.get(b), Some(&"beta"));
+/// ```
+#[derive(Debug)]
+pub struct NodeSlab<N> {
+    slots: Vec<Slot<N>>,
+    free: Vec<u32>,
+    live: Vec<u32>,
+}
+
+impl<N> Default for NodeSlab<N> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<N> NodeSlab<N> {
+    /// Creates an empty slab.
+    pub fn new() -> Self {
+        Self {
+            slots: Vec::new(),
+            free: Vec::new(),
+            live: Vec::new(),
+        }
+    }
+
+    /// Creates an empty slab with capacity for `n` nodes.
+    pub fn with_capacity(n: usize) -> Self {
+        Self {
+            slots: Vec::with_capacity(n),
+            free: Vec::new(),
+            live: Vec::with_capacity(n),
+        }
+    }
+
+    /// Number of live nodes.
+    pub fn len(&self) -> usize {
+        self.live.len()
+    }
+
+    /// Whether no nodes are live.
+    pub fn is_empty(&self) -> bool {
+        self.live.is_empty()
+    }
+
+    /// Total number of slots ever allocated (live + free). Useful for
+    /// sizing dense side tables indexed by [`NodeId::slot`].
+    pub fn slot_count(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Inserts a node and returns its id.
+    pub fn insert(&mut self, node: N) -> NodeId {
+        let slot = match self.free.pop() {
+            Some(slot) => {
+                let s = &mut self.slots[slot as usize];
+                s.generation = s.generation.wrapping_add(1);
+                s.live_pos = self.live.len() as u32;
+                s.node = Some(node);
+                slot
+            }
+            None => {
+                let slot = self.slots.len() as u32;
+                self.slots.push(Slot {
+                    generation: 0,
+                    live_pos: self.live.len() as u32,
+                    node: Some(node),
+                });
+                slot
+            }
+        };
+        self.live.push(slot);
+        NodeId {
+            slot,
+            generation: self.slots[slot as usize].generation,
+        }
+    }
+
+    /// Removes a node, returning its state, or `None` if `id` is stale.
+    pub fn remove(&mut self, id: NodeId) -> Option<N> {
+        if !self.contains(id) {
+            return None;
+        }
+        let slot = id.slot as usize;
+        let node = self.slots[slot].node.take();
+        let pos = self.slots[slot].live_pos as usize;
+        // Swap-remove from the live list, fixing the moved entry's back
+        // pointer.
+        let last = *self.live.last().expect("live list non-empty");
+        self.live.swap_remove(pos);
+        if pos < self.live.len() {
+            self.slots[last as usize].live_pos = pos as u32;
+        }
+        self.free.push(id.slot);
+        node
+    }
+
+    /// Whether `id` addresses a live node.
+    pub fn contains(&self, id: NodeId) -> bool {
+        self.slots
+            .get(id.slot as usize)
+            .map(|s| s.generation == id.generation && s.node.is_some())
+            .unwrap_or(false)
+    }
+
+    /// Shared access to a node.
+    pub fn get(&self, id: NodeId) -> Option<&N> {
+        let s = self.slots.get(id.slot as usize)?;
+        if s.generation != id.generation {
+            return None;
+        }
+        s.node.as_ref()
+    }
+
+    /// Exclusive access to a node.
+    pub fn get_mut(&mut self, id: NodeId) -> Option<&mut N> {
+        let s = self.slots.get_mut(id.slot as usize)?;
+        if s.generation != id.generation {
+            return None;
+        }
+        s.node.as_mut()
+    }
+
+    /// Exclusive access to two *distinct* nodes at once, as needed for an
+    /// atomic push–pull gossip exchange.
+    ///
+    /// Returns `None` if the ids are equal, either is stale, or either is
+    /// dead.
+    pub fn pair_mut(&mut self, a: NodeId, b: NodeId) -> Option<(&mut N, &mut N)> {
+        if a.slot == b.slot || !self.contains(a) || !self.contains(b) {
+            return None;
+        }
+        let (lo, hi) = if a.slot < b.slot { (a, b) } else { (b, a) };
+        let (head, tail) = self.slots.split_at_mut(hi.slot as usize);
+        let lo_ref = head[lo.slot as usize].node.as_mut()?;
+        let hi_ref = tail[0].node.as_mut()?;
+        if a.slot < b.slot {
+            Some((lo_ref, hi_ref))
+        } else {
+            Some((hi_ref, lo_ref))
+        }
+    }
+
+    /// The id of the live node in `slot`, if any.
+    pub fn id_at_slot(&self, slot: usize) -> Option<NodeId> {
+        let s = self.slots.get(slot)?;
+        s.node.as_ref()?;
+        Some(NodeId {
+            slot: slot as u32,
+            generation: s.generation,
+        })
+    }
+
+    /// A uniformly random live node id, or `None` if the slab is empty.
+    pub fn random_id(&self, rng: &mut StdRng) -> Option<NodeId> {
+        if self.live.is_empty() {
+            return None;
+        }
+        let slot = self.live[rng.random_range(0..self.live.len())];
+        self.id_at_slot(slot as usize)
+    }
+
+    /// A uniformly random live node id different from `not`, or `None` if
+    /// no such node exists.
+    pub fn random_other(&self, not: NodeId, rng: &mut StdRng) -> Option<NodeId> {
+        if self.live.len() < 2 {
+            let only = self.ids().next()?;
+            return (only != not).then_some(only);
+        }
+        // Rejection sampling terminates quickly because len >= 2.
+        loop {
+            let candidate = self.random_id(rng)?;
+            if candidate != not {
+                return Some(candidate);
+            }
+        }
+    }
+
+    /// Iterates over live `(id, &node)` pairs in slot order.
+    pub fn iter(&self) -> impl Iterator<Item = (NodeId, &N)> {
+        self.slots.iter().enumerate().filter_map(|(slot, s)| {
+            s.node.as_ref().map(|n| {
+                (
+                    NodeId {
+                        slot: slot as u32,
+                        generation: s.generation,
+                    },
+                    n,
+                )
+            })
+        })
+    }
+
+    /// Iterates over live `(id, &mut node)` pairs in slot order.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = (NodeId, &mut N)> {
+        self.slots.iter_mut().enumerate().filter_map(|(slot, s)| {
+            let generation = s.generation;
+            s.node.as_mut().map(move |n| {
+                (
+                    NodeId {
+                        slot: slot as u32,
+                        generation,
+                    },
+                    n,
+                )
+            })
+        })
+    }
+
+    /// Iterates over live node ids in slot order.
+    pub fn ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.slots.iter().enumerate().filter_map(|(slot, s)| {
+            s.node.as_ref().map(|_| NodeId {
+                slot: slot as u32,
+                generation: s.generation,
+            })
+        })
+    }
+
+    /// Collects the live ids into a vector (handy for iteration orders that
+    /// must survive concurrent mutation of the slab).
+    pub fn id_vec(&self) -> Vec<NodeId> {
+        self.ids().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn insert_get_remove() {
+        let mut slab = NodeSlab::new();
+        let a = slab.insert(10);
+        let b = slab.insert(20);
+        assert_eq!(slab.len(), 2);
+        assert_eq!(slab.get(a), Some(&10));
+        assert_eq!(slab.get(b), Some(&20));
+        assert_eq!(slab.remove(a), Some(10));
+        assert_eq!(slab.len(), 1);
+        assert_eq!(slab.get(a), None);
+        assert_eq!(slab.remove(a), None);
+    }
+
+    #[test]
+    fn stale_ids_are_rejected_after_reuse() {
+        let mut slab = NodeSlab::new();
+        let a = slab.insert(1);
+        slab.remove(a);
+        let b = slab.insert(2);
+        // Slot is reused but generation differs.
+        assert_eq!(a.slot(), b.slot());
+        assert_ne!(a, b);
+        assert_eq!(slab.get(a), None);
+        assert_eq!(slab.get(b), Some(&2));
+        assert!(!slab.contains(a));
+        assert!(slab.contains(b));
+    }
+
+    #[test]
+    fn pair_mut_gives_both_nodes_in_argument_order() {
+        let mut slab = NodeSlab::new();
+        let a = slab.insert(1);
+        let b = slab.insert(2);
+        {
+            let (x, y) = slab.pair_mut(a, b).unwrap();
+            assert_eq!((*x, *y), (1, 2));
+            *x = 100;
+        }
+        let (y, x) = slab.pair_mut(b, a).unwrap();
+        assert_eq!((*y, *x), (2, 100));
+    }
+
+    #[test]
+    fn pair_mut_rejects_same_or_stale() {
+        let mut slab = NodeSlab::new();
+        let a = slab.insert(1);
+        let b = slab.insert(2);
+        assert!(slab.pair_mut(a, a).is_none());
+        slab.remove(b);
+        assert!(slab.pair_mut(a, b).is_none());
+    }
+
+    #[test]
+    fn random_other_never_returns_self() {
+        let mut slab = NodeSlab::new();
+        let ids: Vec<_> = (0..10).map(|i| slab.insert(i)).collect();
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..200 {
+            let other = slab.random_other(ids[0], &mut rng).unwrap();
+            assert_ne!(other, ids[0]);
+        }
+    }
+
+    #[test]
+    fn random_other_in_singleton_slab_is_none() {
+        let mut slab = NodeSlab::new();
+        let a = slab.insert(1);
+        let mut rng = StdRng::seed_from_u64(2);
+        assert_eq!(slab.random_other(a, &mut rng), None);
+    }
+
+    #[test]
+    fn live_list_stays_consistent_under_churn() {
+        let mut slab = NodeSlab::new();
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut ids: Vec<NodeId> = (0..100).map(|i| slab.insert(i)).collect();
+        for round in 0..1000 {
+            if !ids.is_empty() && round % 3 != 0 {
+                let pick = rng.random_range(0..ids.len());
+                let id = ids.swap_remove(pick);
+                assert!(slab.remove(id).is_some());
+            } else {
+                ids.push(slab.insert(round));
+            }
+            assert_eq!(slab.len(), ids.len());
+        }
+        // All remembered ids are still addressable.
+        for id in &ids {
+            assert!(slab.contains(*id));
+        }
+        assert_eq!(slab.ids().count(), ids.len());
+    }
+
+    #[test]
+    fn iter_mut_visits_every_live_node() {
+        let mut slab = NodeSlab::new();
+        let a = slab.insert(1);
+        let _b = slab.insert(2);
+        slab.remove(a);
+        let visited: Vec<i32> = slab.iter_mut().map(|(_, n)| *n).collect();
+        assert_eq!(visited, vec![2]);
+    }
+}

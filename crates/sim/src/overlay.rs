@@ -1,0 +1,555 @@
+//! Random peer-sampling overlays.
+//!
+//! Adam2 assumes "each peer maintains links to a small number of randomly
+//! selected nodes ... the set of neighbours of a peer changes over time, as
+//! peers exchange neighbour lists" — i.e. a gossip-based peer-sampling
+//! service (Jelasity et al., TOCS 2007). Two implementations are provided:
+//!
+//! * [`OverlayKind::Oracle`] — an idealised service where every live node is
+//!   a potential neighbour. This is what PeerSim evaluations typically use
+//!   and is the default.
+//! * [`OverlayKind::Shuffle`] — fixed-degree partial views maintained by
+//!   the full generic peer-sampling framework of
+//!   [`peersampling`](crate::peersampling) (aged descriptors, tail peer
+//!   selection, healing and swapping), with re-bootstrap when a view
+//!   empties. Use it to check that results do not depend on the oracle
+//!   idealisation.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::RngExt as _;
+
+use crate::node::{NodeId, NodeSlab};
+use crate::peersampling::{ps_exchange, PeerSamplingPolicy, PsView};
+
+/// Which peer-sampling implementation to use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OverlayKind {
+    /// Idealised peer sampling: any live node can be drawn as a neighbour.
+    #[default]
+    Oracle,
+    /// Fixed-degree partial views maintained by the generic peer-sampling
+    /// framework (see [`crate::peersampling`]).
+    Shuffle,
+}
+
+/// Overlay configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OverlayConfig {
+    /// Peer-sampling implementation.
+    pub kind: OverlayKind,
+    /// Target view size (only meaningful for [`OverlayKind::Shuffle`]; also
+    /// the default sample size for neighbour-based bootstrap in the oracle).
+    pub degree: usize,
+    /// Number of view entries exchanged per shuffle.
+    pub shuffle_len: usize,
+}
+
+impl Default for OverlayConfig {
+    fn default() -> Self {
+        Self {
+            kind: OverlayKind::Oracle,
+            degree: 20,
+            shuffle_len: 5,
+        }
+    }
+}
+
+impl OverlayConfig {
+    /// An oracle overlay with the default degree.
+    pub fn oracle() -> Self {
+        Self::default()
+    }
+
+    /// A shuffling overlay with the given view size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `degree` is zero.
+    pub fn shuffle(degree: usize) -> Self {
+        assert!(degree > 0, "degree must be positive");
+        Self {
+            kind: OverlayKind::Shuffle,
+            degree,
+            shuffle_len: (degree / 4).max(1),
+        }
+    }
+}
+
+/// The overlay network: who can gossip with whom.
+#[derive(Debug)]
+pub struct Overlay {
+    config: OverlayConfig,
+    /// Per-slot partial views (only used by [`OverlayKind::Shuffle`]).
+    views: Vec<PsView>,
+    /// Optional network partition: per-slot group ids; nodes can only
+    /// gossip within their group while set.
+    partition: Option<Vec<u32>>,
+}
+
+impl Overlay {
+    /// Creates an empty overlay.
+    pub fn new(config: OverlayConfig) -> Self {
+        Self {
+            config,
+            views: Vec::new(),
+            partition: None,
+        }
+    }
+
+    /// The peer-sampling policy derived from the configured degree and
+    /// shuffle length.
+    pub fn sampling_policy(&self) -> PeerSamplingPolicy {
+        let exchange_len = (self.config.shuffle_len + 1).clamp(1, self.config.degree.max(1));
+        let healing = usize::from(exchange_len >= 2);
+        let swap = (exchange_len - healing) / 2;
+        PeerSamplingPolicy {
+            view_size: self.config.degree.max(1),
+            exchange_len,
+            healing,
+            swap,
+            selection: crate::peersampling::PeerSelection::Tail,
+        }
+    }
+
+    /// The configuration this overlay was built with.
+    pub fn config(&self) -> OverlayConfig {
+        self.config
+    }
+
+    /// Imposes a network partition: node in slot `i` belongs to group
+    /// `groups[i]` and can only reach nodes of the same group. Slots
+    /// beyond the vector default to group 0.
+    pub fn set_partition(&mut self, groups: Vec<u32>) {
+        self.partition = Some(groups);
+    }
+
+    /// Heals a partition.
+    pub fn clear_partition(&mut self) {
+        self.partition = None;
+    }
+
+    /// Whether a partition is currently in force.
+    pub fn is_partitioned(&self) -> bool {
+        self.partition.is_some()
+    }
+
+    /// The partition group of a node (0 when unpartitioned).
+    pub fn group_of(&self, id: NodeId) -> u32 {
+        self.partition
+            .as_ref()
+            .and_then(|g| g.get(id.slot()).copied())
+            .unwrap_or(0)
+    }
+
+    fn reachable(&self, from: NodeId, to: NodeId) -> bool {
+        match &self.partition {
+            None => true,
+            Some(_) => self.group_of(from) == self.group_of(to),
+        }
+    }
+
+    /// Registers a (possibly recycled) node: initialises its view with up
+    /// to `degree` random live peers (fresh descriptors).
+    pub fn register_node<N>(&mut self, id: NodeId, slab: &NodeSlab<N>, rng: &mut StdRng) {
+        if self.views.len() <= id.slot() {
+            self.views.resize(id.slot() + 1, PsView::new());
+        }
+        self.views[id.slot()] = PsView::new();
+        if self.config.kind == OverlayKind::Oracle {
+            return;
+        }
+        let view = &mut self.views[id.slot()];
+        for _ in 0..self.config.degree * 3 {
+            if view.len() >= self.config.degree {
+                break;
+            }
+            match slab.random_other(id, rng) {
+                Some(other) => view.insert(other, 0),
+                None => break,
+            }
+        }
+    }
+
+    /// Forgets a node's view (its descriptor ages out of other views via
+    /// healing).
+    pub fn remove_node(&mut self, id: NodeId) {
+        if let Some(view) = self.views.get_mut(id.slot()) {
+            *view = PsView::new();
+        }
+    }
+
+    /// Draws a random live neighbour of `of`, or `None` if the node is
+    /// alone.
+    ///
+    /// For the shuffle overlay, if every view entry turns out to be dead
+    /// the peer-sampling service's recovery is modelled by falling back to
+    /// a uniform random live node.
+    pub fn random_neighbour<N>(
+        &self,
+        of: NodeId,
+        slab: &NodeSlab<N>,
+        rng: &mut StdRng,
+    ) -> Option<NodeId> {
+        match self.config.kind {
+            OverlayKind::Oracle => {
+                if self.partition.is_none() {
+                    return slab.random_other(of, rng);
+                }
+                // Rejection-sample within the partition group.
+                for _ in 0..64 {
+                    let candidate = slab.random_other(of, rng)?;
+                    if self.reachable(of, candidate) {
+                        return Some(candidate);
+                    }
+                }
+                None
+            }
+            OverlayKind::Shuffle => {
+                let view = self.views.get(of.slot())?;
+                if !view.is_empty() {
+                    let entries = view.entries();
+                    for _ in 0..entries.len().min(8) {
+                        let candidate = entries[rng.random_range(0..entries.len())].id;
+                        if candidate != of
+                            && slab.contains(candidate)
+                            && self.reachable(of, candidate)
+                        {
+                            return Some(candidate);
+                        }
+                    }
+                }
+                if self.partition.is_none() {
+                    return slab.random_other(of, rng);
+                }
+                for _ in 0..64 {
+                    let candidate = slab.random_other(of, rng)?;
+                    if self.reachable(of, candidate) {
+                        return Some(candidate);
+                    }
+                }
+                None
+            }
+        }
+    }
+
+    /// Samples up to `count` distinct live neighbours of `of` (used for
+    /// neighbour-based interpolation-point bootstrap).
+    pub fn neighbour_sample<N>(
+        &self,
+        of: NodeId,
+        slab: &NodeSlab<N>,
+        count: usize,
+        rng: &mut StdRng,
+    ) -> Vec<NodeId> {
+        let mut out = Vec::with_capacity(count);
+        match self.config.kind {
+            OverlayKind::Oracle => {
+                // The oracle view is "count random peers right now".
+                let mut attempts = 0;
+                while out.len() < count && attempts < count * 8 {
+                    attempts += 1;
+                    if let Some(other) = slab.random_other(of, rng) {
+                        if self.reachable(of, other) && !out.contains(&other) {
+                            out.push(other);
+                        }
+                    } else {
+                        break;
+                    }
+                }
+            }
+            OverlayKind::Shuffle => {
+                if let Some(view) = self.views.get(of.slot()) {
+                    let mut shuffled: Vec<NodeId> = view
+                        .ids()
+                        .filter(|id| *id != of && slab.contains(*id) && self.reachable(of, *id))
+                        .collect();
+                    shuffled.shuffle(rng);
+                    shuffled.truncate(count);
+                    out = shuffled;
+                }
+            }
+        }
+        out
+    }
+
+    /// Runs one round of overlay maintenance (shuffle overlays only):
+    /// ages descriptors, prunes dead entries, re-bootstraps empty views,
+    /// and performs one peer-sampling exchange per node (healing +
+    /// swapping per the derived [`PeerSamplingPolicy`]).
+    pub fn maintain<N>(&mut self, slab: &NodeSlab<N>, rng: &mut StdRng) {
+        if self.config.kind == OverlayKind::Oracle {
+            return;
+        }
+        let policy = self.sampling_policy();
+        let ids = slab.id_vec();
+        if let Some(max_slot) = ids.iter().map(|id| id.slot()).max() {
+            if self.views.len() <= max_slot {
+                self.views.resize(max_slot + 1, PsView::new());
+            }
+        }
+        for id in &ids {
+            let view = &mut self.views[id.slot()];
+            view.increase_ages();
+            view.prune_dead(slab);
+            // Re-bootstrap an empty view (the service's recovery path).
+            let mut attempts = 0;
+            while view.is_empty() && attempts < 16 {
+                attempts += 1;
+                if let Some(other) = slab.random_other(*id, rng) {
+                    view.insert(other, 0);
+                } else {
+                    break;
+                }
+            }
+        }
+        for id in ids {
+            if !slab.contains(id) {
+                continue;
+            }
+            let partner = {
+                let view = &self.views[id.slot()];
+                let candidates: Vec<NodeId> = view
+                    .ids()
+                    .filter(|p| *p != id && slab.contains(*p) && self.reachable(id, *p))
+                    .collect();
+                if candidates.is_empty() {
+                    continue;
+                }
+                match policy.selection {
+                    crate::peersampling::PeerSelection::Random => {
+                        candidates[rng.random_range(0..candidates.len())]
+                    }
+                    crate::peersampling::PeerSelection::Tail => {
+                        // Oldest reachable descriptor.
+                        let view = &self.views[id.slot()];
+                        view.entries()
+                            .iter()
+                            .filter(|e| candidates.contains(&e.id))
+                            .max_by_key(|e| e.age)
+                            .map(|e| e.id)
+                            .expect("candidates checked non-empty")
+                    }
+                }
+            };
+            if partner.slot() >= self.views.len() || partner.slot() == id.slot() {
+                continue;
+            }
+            let (a, b) = pair_views(&mut self.views, id.slot(), partner.slot());
+            ps_exchange(id, a, partner, b, &policy, rng);
+        }
+    }
+
+    /// The current view of `of` as descriptors (empty for oracle
+    /// overlays).
+    pub fn view(&self, of: NodeId) -> Vec<NodeId> {
+        self.views
+            .get(of.slot())
+            .map(|v| v.ids().collect())
+            .unwrap_or_default()
+    }
+}
+
+/// Mutable access to two distinct view slots at once.
+fn pair_views(views: &mut [PsView], a: usize, b: usize) -> (&mut PsView, &mut PsView) {
+    debug_assert_ne!(a, b);
+    if a < b {
+        let (l, r) = views.split_at_mut(b);
+        (&mut l[a], &mut r[0])
+    } else {
+        let (l, r) = views.split_at_mut(a);
+        (&mut r[0], &mut l[b])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::seeded_rng;
+
+    fn slab_of(n: usize) -> (NodeSlab<u32>, Vec<NodeId>) {
+        let mut slab = NodeSlab::new();
+        let ids = (0..n as u32).map(|i| slab.insert(i)).collect();
+        (slab, ids)
+    }
+
+    #[test]
+    fn oracle_returns_random_other_nodes() {
+        let (slab, ids) = slab_of(10);
+        let overlay = Overlay::new(OverlayConfig::oracle());
+        let mut rng = seeded_rng(1);
+        for _ in 0..100 {
+            let n = overlay.random_neighbour(ids[0], &slab, &mut rng).unwrap();
+            assert_ne!(n, ids[0]);
+            assert!(slab.contains(n));
+        }
+    }
+
+    #[test]
+    fn oracle_neighbour_sample_is_distinct() {
+        let (slab, ids) = slab_of(50);
+        let overlay = Overlay::new(OverlayConfig::oracle());
+        let mut rng = seeded_rng(2);
+        let sample = overlay.neighbour_sample(ids[3], &slab, 10, &mut rng);
+        assert_eq!(sample.len(), 10);
+        let mut dedup = sample.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), 10);
+        assert!(!sample.contains(&ids[3]));
+    }
+
+    #[test]
+    fn shuffle_views_are_initialised_to_degree() {
+        let (slab, _) = slab_of(100);
+        let mut overlay = Overlay::new(OverlayConfig::shuffle(8));
+        let mut rng = seeded_rng(3);
+        for id in slab.ids() {
+            overlay.register_node(id, &slab, &mut rng);
+        }
+        for id in slab.ids() {
+            assert_eq!(overlay.view(id).len(), 8);
+            assert!(!overlay.view(id).contains(&id));
+        }
+    }
+
+    #[test]
+    fn shuffle_maintain_keeps_views_live() {
+        let (mut slab, ids) = slab_of(60);
+        let mut overlay = Overlay::new(OverlayConfig::shuffle(6));
+        let mut rng = seeded_rng(4);
+        for id in slab.ids() {
+            overlay.register_node(id, &slab, &mut rng);
+        }
+        // Kill a third of the network.
+        for id in &ids[..20] {
+            slab.remove(*id);
+            overlay.remove_node(*id);
+        }
+        for _ in 0..5 {
+            overlay.maintain(&slab, &mut rng);
+        }
+        for id in slab.ids() {
+            let view = overlay.view(id);
+            assert!(!view.is_empty());
+            assert!(
+                view.iter().all(|n| slab.contains(*n)),
+                "dead entries survived"
+            );
+            assert!(!view.contains(&id), "self loop");
+        }
+    }
+
+    #[test]
+    fn shuffle_random_neighbour_is_live() {
+        let (mut slab, ids) = slab_of(30);
+        let mut overlay = Overlay::new(OverlayConfig::shuffle(5));
+        let mut rng = seeded_rng(5);
+        for id in slab.ids() {
+            overlay.register_node(id, &slab, &mut rng);
+        }
+        for id in &ids[..10] {
+            slab.remove(*id);
+        }
+        for id in slab.ids() {
+            for _ in 0..20 {
+                if let Some(n) = overlay.random_neighbour(id, &slab, &mut rng) {
+                    assert!(slab.contains(n));
+                    assert_ne!(n, id);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn views_mix_over_time() {
+        let (slab, ids) = slab_of(200);
+        let mut overlay = Overlay::new(OverlayConfig::shuffle(10));
+        let mut rng = seeded_rng(6);
+        for id in slab.ids() {
+            overlay.register_node(id, &slab, &mut rng);
+        }
+        let before: Vec<NodeId> = overlay.view(ids[0]).to_vec();
+        for _ in 0..20 {
+            overlay.maintain(&slab, &mut rng);
+        }
+        let after = overlay.view(ids[0]);
+        let overlap = after.iter().filter(|n| before.contains(n)).count();
+        assert!(
+            overlap < before.len(),
+            "view should change over 20 shuffle rounds (overlap {overlap}/{})",
+            before.len()
+        );
+    }
+}
+
+#[cfg(test)]
+mod sampling_quality_tests {
+    use super::*;
+    use crate::node::NodeSlab;
+    use crate::rng::seeded_rng;
+
+    /// The shuffle overlay must approximate uniform peer sampling: over
+    /// many rounds, how often each node is selected as a partner should
+    /// concentrate around the mean (Jelasity et al. show shuffling views
+    /// approach uniform random graphs).
+    #[test]
+    fn shuffle_overlay_samples_near_uniformly() {
+        let n = 200;
+        let mut slab = NodeSlab::new();
+        let ids: Vec<NodeId> = (0..n as u32).map(|i| slab.insert(i)).collect();
+        let mut overlay = Overlay::new(OverlayConfig::shuffle(12));
+        let mut rng = seeded_rng(99);
+        for id in &ids {
+            overlay.register_node(*id, &slab, &mut rng);
+        }
+        let mut selected = vec![0u32; n];
+        let rounds = 300;
+        for _ in 0..rounds {
+            overlay.maintain(&slab, &mut rng);
+            for id in &ids {
+                if let Some(partner) = overlay.random_neighbour(*id, &slab, &mut rng) {
+                    selected[partner.slot()] += 1;
+                }
+            }
+        }
+        let mean = selected.iter().sum::<u32>() as f64 / n as f64;
+        assert!(mean > 250.0, "selection volume too low: {mean}");
+        // No node may be starved or wildly over-selected.
+        for (slot, count) in selected.iter().enumerate() {
+            let ratio = *count as f64 / mean;
+            assert!(
+                (0.5..2.0).contains(&ratio),
+                "slot {slot} selected {count} times (mean {mean:.1})"
+            );
+        }
+    }
+
+    #[test]
+    fn partitioned_overlay_never_crosses_groups() {
+        let n = 100;
+        let mut slab = NodeSlab::new();
+        let ids: Vec<NodeId> = (0..n as u32).map(|i| slab.insert(i)).collect();
+        let mut overlay = Overlay::new(OverlayConfig::oracle());
+        let mut rng = seeded_rng(100);
+        let groups: Vec<u32> = (0..n as u32).map(|i| i % 3).collect();
+        overlay.set_partition(groups.clone());
+        assert!(overlay.is_partitioned());
+        for id in &ids {
+            for _ in 0..30 {
+                if let Some(p) = overlay.random_neighbour(*id, &slab, &mut rng) {
+                    assert_eq!(
+                        groups[p.slot()],
+                        groups[id.slot()],
+                        "cross-partition neighbour"
+                    );
+                }
+            }
+            let sample = overlay.neighbour_sample(*id, &slab, 10, &mut rng);
+            assert!(sample.iter().all(|p| groups[p.slot()] == groups[id.slot()]));
+        }
+        overlay.clear_partition();
+        assert!(!overlay.is_partitioned());
+        assert_eq!(overlay.group_of(ids[5]), 0);
+    }
+}

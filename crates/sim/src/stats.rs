@@ -1,0 +1,349 @@
+//! Network-traffic accounting and streaming statistics.
+//!
+//! Section VII-I of the paper evaluates Adam2's communication cost: with
+//! λ = 50 interpolation points a gossip message is ≈800 B, each peer sends
+//! about 40 kB per 25-round instance, and three instances cost ≈120 kB per
+//! node *independent of system size*. [`NetStats`] records exactly the
+//! quantities needed to reproduce that table: per-node and global message
+//! and byte counters, with per-round deltas.
+
+use crate::node::NodeId;
+
+/// Per-node traffic counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NodeTraffic {
+    /// Bytes sent by this node.
+    pub sent_bytes: u64,
+    /// Bytes received by this node.
+    pub recv_bytes: u64,
+    /// Messages sent by this node.
+    pub sent_msgs: u64,
+    /// Messages received by this node.
+    pub recv_msgs: u64,
+}
+
+impl NodeTraffic {
+    /// Sum of sent and received bytes.
+    pub fn total_bytes(&self) -> u64 {
+        self.sent_bytes + self.recv_bytes
+    }
+
+    /// Sum of sent and received messages.
+    pub fn total_msgs(&self) -> u64 {
+        self.sent_msgs + self.recv_msgs
+    }
+}
+
+/// Global and per-node network statistics.
+///
+/// The engine resizes the per-slot table as nodes are inserted; counters of
+/// a recycled slot are reset so they always describe the *current* occupant.
+#[derive(Debug, Clone, Default)]
+pub struct NetStats {
+    per_slot: Vec<NodeTraffic>,
+    total_bytes: u64,
+    total_msgs: u64,
+    round_bytes: u64,
+    round_msgs: u64,
+}
+
+impl NetStats {
+    /// Creates empty statistics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Ensures the per-slot table covers `slots` entries.
+    pub(crate) fn ensure_slots(&mut self, slots: usize) {
+        if self.per_slot.len() < slots {
+            self.per_slot.resize(slots, NodeTraffic::default());
+        }
+    }
+
+    /// Resets the counters of `slot` (called when a slot is reused by a
+    /// fresh node).
+    pub(crate) fn reset_slot(&mut self, slot: usize) {
+        self.ensure_slots(slot + 1);
+        self.per_slot[slot] = NodeTraffic::default();
+    }
+
+    /// Marks the beginning of a round, resetting the per-round deltas.
+    pub(crate) fn begin_round(&mut self) {
+        self.round_bytes = 0;
+        self.round_msgs = 0;
+    }
+
+    /// Records one symmetric push–pull exchange: `from` sends a request of
+    /// `request_bytes` to `to`, which replies with `response_bytes`.
+    ///
+    /// Charges two messages (one in each direction), as in the paper's cost
+    /// model.
+    pub fn charge_exchange(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        request_bytes: usize,
+        response_bytes: usize,
+    ) {
+        self.charge_message(from, to, request_bytes);
+        self.charge_message(to, from, response_bytes);
+    }
+
+    /// Records a single one-way message of `bytes` from `from` to `to`.
+    pub fn charge_message(&mut self, from: NodeId, to: NodeId, bytes: usize) {
+        let bytes = bytes as u64;
+        self.ensure_slots(from.slot().max(to.slot()) + 1);
+        self.per_slot[from.slot()].sent_bytes += bytes;
+        self.per_slot[from.slot()].sent_msgs += 1;
+        self.per_slot[to.slot()].recv_bytes += bytes;
+        self.per_slot[to.slot()].recv_msgs += 1;
+        self.total_bytes += bytes;
+        self.total_msgs += 1;
+        self.round_bytes += bytes;
+        self.round_msgs += 1;
+    }
+
+    /// Traffic counters for a node.
+    pub fn node(&self, id: NodeId) -> NodeTraffic {
+        self.per_slot.get(id.slot()).copied().unwrap_or_default()
+    }
+
+    /// Total bytes carried by the network so far.
+    pub fn total_bytes(&self) -> u64 {
+        self.total_bytes
+    }
+
+    /// Total messages carried by the network so far.
+    pub fn total_msgs(&self) -> u64 {
+        self.total_msgs
+    }
+
+    /// Bytes carried during the current round so far.
+    pub fn round_bytes(&self) -> u64 {
+        self.round_bytes
+    }
+
+    /// Messages carried during the current round so far.
+    pub fn round_msgs(&self) -> u64 {
+        self.round_msgs
+    }
+
+    /// Summary (count / mean / min / max) of *sent bytes* across the given
+    /// nodes — the paper's "each node sends on average 120 kB" metric.
+    pub fn sent_bytes_summary<I>(&self, ids: I) -> Accumulator
+    where
+        I: IntoIterator<Item = NodeId>,
+    {
+        let mut acc = Accumulator::new();
+        for id in ids {
+            acc.add(self.node(id).sent_bytes as f64);
+        }
+        acc
+    }
+
+    /// Clears all counters (used between experiment phases).
+    pub fn reset(&mut self) {
+        self.per_slot
+            .iter_mut()
+            .for_each(|t| *t = NodeTraffic::default());
+        self.total_bytes = 0;
+        self.total_msgs = 0;
+        self.round_bytes = 0;
+        self.round_msgs = 0;
+    }
+}
+
+/// Streaming mean/variance/min/max accumulator (Welford's algorithm).
+///
+/// # Examples
+///
+/// ```
+/// let mut acc = adam2_sim::Accumulator::new();
+/// for v in [1.0, 2.0, 3.0, 4.0] {
+///     acc.add(v);
+/// }
+/// assert_eq!(acc.count(), 4);
+/// assert!((acc.mean() - 2.5).abs() < 1e-12);
+/// assert_eq!(acc.max(), 4.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Accumulator {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Default for Accumulator {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Accumulator {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Adds one observation.
+    pub fn add(&mut self, value: f64) {
+        self.count += 1;
+        let delta = value - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (value - self.mean);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Arithmetic mean (0 if empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population variance (0 for fewer than two observations).
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / self.count as f64
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Minimum observation (+inf if empty).
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Maximum observation (-inf if empty).
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Merges another accumulator into this one (parallel Welford).
+    pub fn merge(&mut self, other: &Accumulator) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        let total = self.count + other.count;
+        let delta = other.mean - self.mean;
+        self.mean += delta * other.count as f64 / total as f64;
+        self.m2 += other.m2 + delta * delta * self.count as f64 * other.count as f64 / total as f64;
+        self.count = total;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::NodeSlab;
+
+    #[test]
+    fn exchange_charges_both_directions() {
+        let mut slab = NodeSlab::new();
+        let a = slab.insert(());
+        let b = slab.insert(());
+        let mut net = NetStats::new();
+        net.begin_round();
+        net.charge_exchange(a, b, 100, 50);
+        assert_eq!(net.total_msgs(), 2);
+        assert_eq!(net.total_bytes(), 150);
+        assert_eq!(net.round_bytes(), 150);
+        let ta = net.node(a);
+        let tb = net.node(b);
+        assert_eq!(ta.sent_bytes, 100);
+        assert_eq!(ta.recv_bytes, 50);
+        assert_eq!(tb.sent_bytes, 50);
+        assert_eq!(tb.recv_bytes, 100);
+        assert_eq!(ta.total_msgs(), 2);
+    }
+
+    #[test]
+    fn round_deltas_reset() {
+        let mut slab = NodeSlab::new();
+        let a = slab.insert(());
+        let b = slab.insert(());
+        let mut net = NetStats::new();
+        net.begin_round();
+        net.charge_message(a, b, 10);
+        assert_eq!(net.round_bytes(), 10);
+        net.begin_round();
+        assert_eq!(net.round_bytes(), 0);
+        assert_eq!(net.total_bytes(), 10);
+    }
+
+    #[test]
+    fn slot_reset_clears_old_traffic() {
+        let mut slab = NodeSlab::new();
+        let a = slab.insert(());
+        let b = slab.insert(());
+        let mut net = NetStats::new();
+        net.charge_message(a, b, 10);
+        net.reset_slot(a.slot());
+        assert_eq!(net.node(a).sent_bytes, 0);
+        assert_eq!(net.total_bytes(), 10, "global counters unaffected");
+    }
+
+    #[test]
+    fn accumulator_mean_and_variance() {
+        let mut acc = Accumulator::new();
+        for v in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            acc.add(v);
+        }
+        assert_eq!(acc.count(), 8);
+        assert!((acc.mean() - 5.0).abs() < 1e-12);
+        assert!((acc.variance() - 4.0).abs() < 1e-12);
+        assert_eq!(acc.min(), 2.0);
+        assert_eq!(acc.max(), 9.0);
+    }
+
+    #[test]
+    fn accumulator_merge_matches_sequential() {
+        let values: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0).collect();
+        let mut all = Accumulator::new();
+        values.iter().for_each(|v| all.add(*v));
+        let mut left = Accumulator::new();
+        let mut right = Accumulator::new();
+        values[..37].iter().for_each(|v| left.add(*v));
+        values[37..].iter().for_each(|v| right.add(*v));
+        left.merge(&right);
+        assert_eq!(left.count(), all.count());
+        assert!((left.mean() - all.mean()).abs() < 1e-9);
+        assert!((left.variance() - all.variance()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_accumulator_is_safe() {
+        let acc = Accumulator::new();
+        assert_eq!(acc.count(), 0);
+        assert_eq!(acc.mean(), 0.0);
+        assert_eq!(acc.variance(), 0.0);
+    }
+}

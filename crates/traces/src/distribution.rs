@@ -1,0 +1,485 @@
+//! Primitive random distributions used to synthesise attribute traces.
+//!
+//! Only [`rand`] is used; shapes that would normally come from `rand_distr`
+//! (log-normal) are implemented directly via the Box–Muller transform.
+
+use rand::{Rng, RngExt as _};
+
+/// A source of attribute values.
+///
+/// Implementors generate one attribute value per call. The trait is
+/// object-safe so heterogeneous populations can mix samplers at runtime.
+///
+/// # Examples
+///
+/// ```
+/// use adam2_traces::{Distribution, UniformRange};
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let d = UniformRange::new(10.0, 20.0);
+/// let v = d.sample(&mut rng);
+/// assert!((10.0..=20.0).contains(&v));
+/// ```
+pub trait Distribution {
+    /// Draws one value.
+    fn sample(&self, rng: &mut dyn Rng) -> f64;
+
+    /// Draws `n` values into a fresh vector.
+    fn sample_n(&self, n: usize, rng: &mut dyn Rng) -> Vec<f64> {
+        (0..n).map(|_| self.sample(rng)).collect()
+    }
+}
+
+/// Uniform distribution over a closed range `[lo, hi]`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UniformRange {
+    lo: f64,
+    hi: f64,
+}
+
+impl UniformRange {
+    /// Creates a uniform distribution over `[lo, hi]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi` or either bound is not finite.
+    pub fn new(lo: f64, hi: f64) -> Self {
+        assert!(lo.is_finite() && hi.is_finite(), "bounds must be finite");
+        assert!(lo <= hi, "lo must not exceed hi");
+        Self { lo, hi }
+    }
+
+    /// Lower bound of the range.
+    pub fn lo(&self) -> f64 {
+        self.lo
+    }
+
+    /// Upper bound of the range.
+    pub fn hi(&self) -> f64 {
+        self.hi
+    }
+}
+
+impl Distribution for UniformRange {
+    fn sample(&self, rng: &mut dyn Rng) -> f64 {
+        if self.lo == self.hi {
+            return self.lo;
+        }
+        rng.random_range(self.lo..=self.hi)
+    }
+}
+
+/// Log-normal distribution, optionally clamped to `[min, max]`.
+///
+/// `ln X ~ Normal(mu, sigma)`. Sampling uses the Box–Muller transform so no
+/// extra dependency is needed. Clamping (rather than rejection) mirrors the
+/// paper's filtering of out-of-range faulty readings.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogNormal {
+    mu: f64,
+    sigma: f64,
+    min: f64,
+    max: f64,
+}
+
+impl LogNormal {
+    /// Creates a log-normal distribution with log-mean `mu` and log-std
+    /// `sigma`, clamped to `[min, max]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sigma < 0`, any parameter is not finite, or `min > max`.
+    pub fn new(mu: f64, sigma: f64, min: f64, max: f64) -> Self {
+        assert!(sigma >= 0.0, "sigma must be non-negative");
+        assert!(
+            mu.is_finite() && sigma.is_finite() && min.is_finite() && max.is_finite(),
+            "parameters must be finite"
+        );
+        assert!(min <= max, "min must not exceed max");
+        Self {
+            mu,
+            sigma,
+            min,
+            max,
+        }
+    }
+
+    /// Draws one standard-normal variate via Box–Muller.
+    fn standard_normal(rng: &mut dyn Rng) -> f64 {
+        // Avoid ln(0) by drawing u1 from (0, 1].
+        let u1: f64 = 1.0 - rng.random::<f64>();
+        let u2: f64 = rng.random::<f64>();
+        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    }
+}
+
+impl Distribution for LogNormal {
+    fn sample(&self, rng: &mut dyn Rng) -> f64 {
+        let z = Self::standard_normal(rng);
+        (self.mu + self.sigma * z).exp().clamp(self.min, self.max)
+    }
+}
+
+/// A discrete step distribution with an optional "noise" component.
+///
+/// With probability `1 - noise_fraction` a value is drawn from the weighted
+/// set of `steps`; otherwise a uniform value from `noise` is used. This
+/// produces the step-function CDFs of real-world attributes such as
+/// installed RAM, where most machines report one of a handful of standard
+/// sizes but a few report odd values.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StepMixture {
+    steps: Vec<(f64, f64)>,
+    cumulative: Vec<f64>,
+    noise_fraction: f64,
+    noise: UniformRange,
+}
+
+impl StepMixture {
+    /// Creates a step mixture from `(value, weight)` pairs, a noise fraction
+    /// in `[0, 1)` and a uniform noise range.
+    ///
+    /// Weights need not be normalised.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `steps` is empty, any weight is negative, all weights are
+    /// zero, or `noise_fraction` is outside `[0, 1)`.
+    pub fn new(steps: Vec<(f64, f64)>, noise_fraction: f64, noise: UniformRange) -> Self {
+        assert!(!steps.is_empty(), "steps must not be empty");
+        assert!(
+            (0.0..1.0).contains(&noise_fraction),
+            "noise_fraction must be in [0, 1)"
+        );
+        let total: f64 = steps.iter().map(|(_, w)| *w).sum();
+        assert!(
+            steps.iter().all(|(_, w)| *w >= 0.0) && total > 0.0,
+            "weights must be non-negative and not all zero"
+        );
+        let mut cumulative = Vec::with_capacity(steps.len());
+        let mut acc = 0.0;
+        for (_, w) in &steps {
+            acc += w / total;
+            cumulative.push(acc);
+        }
+        // Guard against floating point drift in the final bucket.
+        if let Some(last) = cumulative.last_mut() {
+            *last = 1.0;
+        }
+        Self {
+            steps,
+            cumulative,
+            noise_fraction,
+            noise,
+        }
+    }
+
+    /// The step values, in insertion order.
+    pub fn step_values(&self) -> impl Iterator<Item = f64> + '_ {
+        self.steps.iter().map(|(v, _)| *v)
+    }
+}
+
+impl Distribution for StepMixture {
+    fn sample(&self, rng: &mut dyn Rng) -> f64 {
+        if self.noise_fraction > 0.0 && rng.random::<f64>() < self.noise_fraction {
+            return self.noise.sample(rng);
+        }
+        let u: f64 = rng.random();
+        let idx = self
+            .cumulative
+            .partition_point(|c| *c < u)
+            .min(self.steps.len() - 1);
+        self.steps[idx].0
+    }
+}
+
+/// Wraps a base distribution so that a fraction of samples is *undercut*:
+/// reduced by a small relative amount drawn from a fixed set.
+///
+/// This models how real machines report attribute values slightly below
+/// the nominal hardware size — BOINC hosts with 1 GB installed report
+/// 1 024, 1 015, 1 007, 960 ... MB depending on memory reserved by
+/// firmware and integrated graphics. The effect matters for CDF
+/// estimation: each nominal step is accompanied by a scatter of sub-steps
+/// just below it, which caps the height of any single atom.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Undercut<D> {
+    base: D,
+    probability: f64,
+    relative_cuts: Vec<f64>,
+}
+
+impl<D: Distribution> Undercut<D> {
+    /// Wraps `base`: with `probability`, a sample is reduced by one of the
+    /// `relative_cuts` (fractions of the value, e.g. `0.015` = 1.5 %).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `probability` is outside `[0, 1]`, `relative_cuts` is
+    /// empty, or any cut is outside `[0, 1)`.
+    pub fn new(base: D, probability: f64, relative_cuts: Vec<f64>) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&probability),
+            "probability must be in [0, 1]"
+        );
+        assert!(!relative_cuts.is_empty(), "relative_cuts must not be empty");
+        assert!(
+            relative_cuts.iter().all(|c| (0.0..1.0).contains(c)),
+            "cuts must be fractions in [0, 1)"
+        );
+        Self {
+            base,
+            probability,
+            relative_cuts,
+        }
+    }
+}
+
+impl<D: Distribution> Distribution for Undercut<D> {
+    fn sample(&self, rng: &mut dyn Rng) -> f64 {
+        let v = self.base.sample(rng);
+        if rng.random::<f64>() < self.probability {
+            let cut = self.relative_cuts[rng.random_range(0..self.relative_cuts.len())];
+            v * (1.0 - cut)
+        } else {
+            v
+        }
+    }
+}
+
+/// A weighted mixture of arbitrary component distributions.
+#[derive(Default)]
+pub struct Mixture {
+    components: Vec<(f64, Box<dyn Distribution + Send + Sync>)>,
+    total_weight: f64,
+}
+
+impl std::fmt::Debug for Mixture {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Mixture")
+            .field("components", &self.components.len())
+            .field("total_weight", &self.total_weight)
+            .finish()
+    }
+}
+
+impl Mixture {
+    /// Creates an empty mixture. At least one component must be pushed
+    /// before sampling.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a component with the given weight, returning `self` for
+    /// chaining.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weight` is not strictly positive and finite.
+    pub fn with(
+        mut self,
+        weight: f64,
+        component: impl Distribution + Send + Sync + 'static,
+    ) -> Self {
+        assert!(
+            weight > 0.0 && weight.is_finite(),
+            "weight must be positive"
+        );
+        self.total_weight += weight;
+        self.components.push((weight, Box::new(component)));
+        self
+    }
+
+    /// Number of components.
+    pub fn len(&self) -> usize {
+        self.components.len()
+    }
+
+    /// Whether the mixture has no components yet.
+    pub fn is_empty(&self) -> bool {
+        self.components.is_empty()
+    }
+}
+
+impl Distribution for Mixture {
+    /// # Panics
+    ///
+    /// Panics if the mixture is empty.
+    fn sample(&self, rng: &mut dyn Rng) -> f64 {
+        assert!(!self.components.is_empty(), "mixture has no components");
+        let mut u = rng.random::<f64>() * self.total_weight;
+        for (w, c) in &self.components {
+            if u < *w {
+                return c.sample(rng);
+            }
+            u -= w;
+        }
+        self.components.last().expect("non-empty").1.sample(rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0xAD42)
+    }
+
+    #[test]
+    fn uniform_respects_bounds() {
+        let d = UniformRange::new(5.0, 7.0);
+        let mut r = rng();
+        for _ in 0..1000 {
+            let v = d.sample(&mut r);
+            assert!((5.0..=7.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn uniform_degenerate_range_is_constant() {
+        let d = UniformRange::new(3.0, 3.0);
+        let mut r = rng();
+        assert_eq!(d.sample(&mut r), 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "lo must not exceed hi")]
+    fn uniform_rejects_inverted_bounds() {
+        UniformRange::new(2.0, 1.0);
+    }
+
+    #[test]
+    fn lognormal_is_clamped() {
+        let d = LogNormal::new(0.0, 3.0, 0.5, 2.0);
+        let mut r = rng();
+        for _ in 0..1000 {
+            let v = d.sample(&mut r);
+            assert!((0.5..=2.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn lognormal_median_near_exp_mu() {
+        let d = LogNormal::new(3.0, 0.5, 0.0, f64::MAX);
+        let mut r = rng();
+        let mut vs = d.sample_n(20_000, &mut r);
+        vs.sort_by(f64::total_cmp);
+        let median = vs[vs.len() / 2];
+        let expected = 3.0_f64.exp();
+        assert!(
+            (median / expected - 1.0).abs() < 0.05,
+            "median {median} too far from {expected}"
+        );
+    }
+
+    #[test]
+    fn step_mixture_hits_only_steps_without_noise() {
+        let d = StepMixture::new(
+            vec![(512.0, 1.0), (1024.0, 2.0), (2048.0, 1.0)],
+            0.0,
+            UniformRange::new(0.0, 1.0),
+        );
+        let mut r = rng();
+        for _ in 0..1000 {
+            let v = d.sample(&mut r);
+            assert!(v == 512.0 || v == 1024.0 || v == 2048.0);
+        }
+    }
+
+    #[test]
+    fn step_mixture_weights_are_respected() {
+        let d = StepMixture::new(
+            vec![(1.0, 3.0), (2.0, 1.0)],
+            0.0,
+            UniformRange::new(0.0, 1.0),
+        );
+        let mut r = rng();
+        let n = 40_000;
+        let ones = d
+            .sample_n(n, &mut r)
+            .into_iter()
+            .filter(|v| *v == 1.0)
+            .count();
+        let frac = ones as f64 / n as f64;
+        assert!((frac - 0.75).abs() < 0.02, "fraction {frac} not near 0.75");
+    }
+
+    #[test]
+    fn step_mixture_noise_fraction() {
+        let d = StepMixture::new(vec![(100.0, 1.0)], 0.25, UniformRange::new(0.0, 1.0));
+        let mut r = rng();
+        let n = 40_000;
+        let noisy = d
+            .sample_n(n, &mut r)
+            .into_iter()
+            .filter(|v| *v != 100.0)
+            .count();
+        let frac = noisy as f64 / n as f64;
+        assert!(
+            (frac - 0.25).abs() < 0.02,
+            "noise fraction {frac} not near 0.25"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "steps must not be empty")]
+    fn step_mixture_rejects_empty_steps() {
+        StepMixture::new(vec![], 0.0, UniformRange::new(0.0, 1.0));
+    }
+
+    #[test]
+    fn undercut_reduces_a_fraction_of_samples() {
+        let d = Undercut::new(
+            StepMixture::new(vec![(1000.0, 1.0)], 0.0, UniformRange::new(0.0, 1.0)),
+            0.5,
+            vec![0.1],
+        );
+        let mut r = rng();
+        let n = 10_000;
+        let cut = d
+            .sample_n(n, &mut r)
+            .into_iter()
+            .filter(|v| *v == 900.0)
+            .count();
+        let frac = cut as f64 / n as f64;
+        assert!((frac - 0.5).abs() < 0.03, "undercut fraction {frac}");
+    }
+
+    #[test]
+    fn undercut_with_zero_probability_is_identity() {
+        let d = Undercut::new(UniformRange::new(5.0, 5.0), 0.0, vec![0.5]);
+        let mut r = rng();
+        assert_eq!(d.sample(&mut r), 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "cuts must be fractions")]
+    fn undercut_rejects_bad_cuts() {
+        Undercut::new(UniformRange::new(0.0, 1.0), 0.5, vec![1.5]);
+    }
+
+    #[test]
+    fn mixture_draws_from_all_components() {
+        let d = Mixture::new()
+            .with(1.0, UniformRange::new(0.0, 1.0))
+            .with(1.0, UniformRange::new(10.0, 11.0));
+        let mut r = rng();
+        let vs = d.sample_n(1000, &mut r);
+        assert!(vs.iter().any(|v| *v < 2.0));
+        assert!(vs.iter().any(|v| *v > 9.0));
+        assert!(vs.iter().all(|v| *v <= 11.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "mixture has no components")]
+    fn empty_mixture_panics() {
+        let d = Mixture::new();
+        let mut r = rng();
+        d.sample(&mut r);
+    }
+}

@@ -1,0 +1,115 @@
+//! Small empirical-statistics helpers shared by tests and the harness.
+
+/// Returns the `q`-quantile (`0 <= q <= 1`) of an unsorted slice by the
+/// nearest-rank method.
+///
+/// # Panics
+///
+/// Panics if `values` is empty or `q` is outside `[0, 1]`.
+///
+/// # Examples
+///
+/// ```
+/// let q = adam2_traces::quantile(&[3.0, 1.0, 2.0, 4.0], 0.5);
+/// assert_eq!(q, 2.0);
+/// ```
+pub fn quantile(values: &[f64], q: f64) -> f64 {
+    assert!(!values.is_empty(), "values must not be empty");
+    assert!((0.0..=1.0).contains(&q), "q must be in [0, 1]");
+    let mut sorted = values.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    let rank = ((q * sorted.len() as f64).ceil() as usize).saturating_sub(1);
+    sorted[rank.min(sorted.len() - 1)]
+}
+
+/// Summary statistics of an empirical sample.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EmpiricalSummary {
+    /// Number of observations.
+    pub count: usize,
+    /// Smallest observation.
+    pub min: f64,
+    /// Largest observation.
+    pub max: f64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Sample standard deviation (0 for fewer than two observations).
+    pub std_dev: f64,
+    /// Median (nearest rank).
+    pub median: f64,
+}
+
+impl EmpiricalSummary {
+    /// Computes summary statistics over `values`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values` is empty.
+    pub fn of(values: &[f64]) -> Self {
+        assert!(!values.is_empty(), "values must not be empty");
+        let count = values.len();
+        let min = values.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let mean = values.iter().sum::<f64>() / count as f64;
+        let var = if count > 1 {
+            values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / (count as f64 - 1.0)
+        } else {
+            0.0
+        };
+        Self {
+            count,
+            min,
+            max,
+            mean,
+            std_dev: var.sqrt(),
+            median: quantile(values, 0.5),
+        }
+    }
+}
+
+impl std::fmt::Display for EmpiricalSummary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "n={} min={:.3} median={:.3} mean={:.3} max={:.3} sd={:.3}",
+            self.count, self.min, self.median, self.mean, self.max, self.std_dev
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantile_nearest_rank() {
+        let v = [1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(quantile(&v, 0.0), 1.0);
+        assert_eq!(quantile(&v, 0.2), 1.0);
+        assert_eq!(quantile(&v, 0.5), 3.0);
+        assert_eq!(quantile(&v, 1.0), 5.0);
+    }
+
+    #[test]
+    fn summary_basics() {
+        let s = EmpiricalSummary::of(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert_eq!(s.count, 8);
+        assert_eq!(s.min, 2.0);
+        assert_eq!(s.max, 9.0);
+        assert!((s.mean - 5.0).abs() < 1e-12);
+        assert!((s.std_dev - 2.138).abs() < 0.01);
+    }
+
+    #[test]
+    fn summary_single_value() {
+        let s = EmpiricalSummary::of(&[3.5]);
+        assert_eq!(s.std_dev, 0.0);
+        assert_eq!(s.median, 3.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "values must not be empty")]
+    fn summary_rejects_empty() {
+        EmpiricalSummary::of(&[]);
+    }
+}

@@ -1,0 +1,45 @@
+//! Synthetic attribute traces for the Adam2 reproduction.
+//!
+//! The Adam2 paper evaluates its protocol on *real-world* node attribute
+//! distributions extracted from the BOINC volunteer-computing project
+//! (Anderson & Reed, HICSS 2009): measured CPU performance, installed
+//! memory, installed disk space and downstream bandwidth. That data set is a
+//! proprietary snapshot that cannot be redistributed, so this crate provides
+//! synthetic generators shaped like the distributions in Fig. 4 of the
+//! paper:
+//!
+//! * **CPU (MFLOPS)** — a smooth, heavy-tailed (log-normal) distribution
+//!   spanning roughly `[10, 100 000]` MFLOPS. This is the paper's "easy"
+//!   case: smooth CDFs are well approximated by linear interpolation.
+//! * **RAM (MB)** — a *step* distribution concentrated on a small set of
+//!   common memory sizes (512 MB, 1 GB, 2 GB, ...). This is the paper's
+//!   "hard" case: step CDFs defeat naive interpolation-point placement.
+//! * **Disk (GB)** and **Bandwidth (kbps)** — analogous mixtures used by the
+//!   paper's "other attributes generated similar results" remark.
+//!
+//! All generators are deterministic given an RNG, produce *discrete*
+//! (integer-valued) attributes as the paper assumes, and reject the
+//! obviously-faulty readings that the paper filters out of the raw trace.
+//!
+//! # Examples
+//!
+//! ```
+//! use adam2_traces::{Attribute, Population};
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+//! let pop = Population::generate(Attribute::Ram, 10_000, &mut rng);
+//! assert_eq!(pop.len(), 10_000);
+//! // RAM values are positive, discrete megabyte counts.
+//! assert!(pop.values().iter().all(|v| *v > 0.0 && v.fract() == 0.0));
+//! ```
+
+mod distribution;
+mod empirical;
+mod multivalue;
+mod population;
+
+pub use distribution::{Distribution, LogNormal, Mixture, StepMixture, Undercut, UniformRange};
+pub use empirical::{quantile, EmpiricalSummary};
+pub use multivalue::{FileSizeGenerator, MultiValuePopulation};
+pub use population::{Attribute, Population};

@@ -1,0 +1,149 @@
+//! Multi-value-per-node traces.
+//!
+//! Section IV of the paper extends Adam2 to attributes with *multiple*
+//! values per node — the motivating example is the distribution of file
+//! sizes across all files at all nodes. This module synthesises such
+//! workloads: each node holds a variable-size set of file sizes drawn from a
+//! heavy-tailed distribution.
+
+use rand::{Rng, RngExt as _};
+
+use crate::distribution::{Distribution, LogNormal};
+
+/// Generates per-node sets of file sizes (in KB).
+///
+/// File counts per node are uniform in `[min_files, max_files]`; sizes are
+/// log-normal (most files are small, a few are very large), rounded to whole
+/// kilobytes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FileSizeGenerator {
+    min_files: usize,
+    max_files: usize,
+    sizes: LogNormal,
+}
+
+impl FileSizeGenerator {
+    /// Creates a generator with the given per-node file-count range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `min_files > max_files` or `max_files == 0`.
+    pub fn new(min_files: usize, max_files: usize) -> Self {
+        assert!(
+            min_files <= max_files,
+            "min_files must not exceed max_files"
+        );
+        assert!(max_files > 0, "max_files must be positive");
+        Self {
+            min_files,
+            max_files,
+            // Median ~64 KB, heavy tail up to 4 GB.
+            sizes: LogNormal::new(64.0_f64.ln(), 1.6, 1.0, 4.0 * 1024.0 * 1024.0),
+        }
+    }
+
+    /// Generates one node's file-size set.
+    pub fn node_files(&self, rng: &mut dyn Rng) -> Vec<f64> {
+        let count = if self.min_files == self.max_files {
+            self.min_files
+        } else {
+            rng.random_range(self.min_files..=self.max_files)
+        };
+        (0..count)
+            .map(|_| self.sizes.sample(rng).round().max(1.0))
+            .collect()
+    }
+}
+
+/// A population where each node holds a *set* of attribute values.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MultiValuePopulation {
+    per_node: Vec<Vec<f64>>,
+    total_values: usize,
+}
+
+impl MultiValuePopulation {
+    /// Generates `n` nodes' value sets using `generator`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn generate(generator: &FileSizeGenerator, n: usize, rng: &mut dyn Rng) -> Self {
+        assert!(n > 0, "population must not be empty");
+        let per_node: Vec<Vec<f64>> = (0..n).map(|_| generator.node_files(rng)).collect();
+        let total_values = per_node.iter().map(Vec::len).sum();
+        Self {
+            per_node,
+            total_values,
+        }
+    }
+
+    /// Per-node value sets.
+    pub fn per_node(&self) -> &[Vec<f64>] {
+        &self.per_node
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.per_node.len()
+    }
+
+    /// Whether there are no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.per_node.is_empty()
+    }
+
+    /// Total number of values across all nodes (`|A|` in the paper).
+    pub fn total_values(&self) -> usize {
+        self.total_values
+    }
+
+    /// Flattens all values into one vector (the global multiset `A`).
+    pub fn all_values(&self) -> Vec<f64> {
+        self.per_node.iter().flatten().copied().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn file_counts_respect_range() {
+        let g = FileSizeGenerator::new(2, 5);
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..200 {
+            let files = g.node_files(&mut rng);
+            assert!((2..=5).contains(&files.len()));
+            assert!(files.iter().all(|s| *s >= 1.0 && s.fract() == 0.0));
+        }
+    }
+
+    #[test]
+    fn fixed_count_generator() {
+        let g = FileSizeGenerator::new(3, 3);
+        let mut rng = StdRng::seed_from_u64(12);
+        assert_eq!(g.node_files(&mut rng).len(), 3);
+    }
+
+    #[test]
+    fn population_totals_are_consistent() {
+        let g = FileSizeGenerator::new(0, 10);
+        let mut rng = StdRng::seed_from_u64(13);
+        let pop = MultiValuePopulation::generate(&g, 500, &mut rng);
+        assert_eq!(pop.len(), 500);
+        assert_eq!(pop.total_values(), pop.all_values().len());
+        assert_eq!(
+            pop.total_values(),
+            pop.per_node().iter().map(Vec::len).sum::<usize>()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "min_files must not exceed max_files")]
+    fn generator_rejects_inverted_range() {
+        FileSizeGenerator::new(5, 2);
+    }
+}

@@ -1,0 +1,110 @@
+//! Decentralised load balancing — the paper's motivating application.
+//!
+//! Every node carries a load value. Using Adam2, each node learns the
+//! *distribution* of load across the entire system and can therefore
+//! decide autonomously whether it is overloaded relative to everyone else
+//! (say, above the 90th percentile) — something a plain gossip *average*
+//! cannot tell it. Overloaded nodes then shed load and a second estimation
+//! round confirms the imbalance is gone.
+//!
+//! Run with: `cargo run --release --example load_balancing`
+
+use adam2::core::{Adam2Config, Adam2Node, Adam2Protocol, AttrValue};
+use adam2::sim::{Engine, EngineConfig};
+use rand::{RngExt as _, SeedableRng};
+
+const NODES: usize = 3_000;
+const OVERLOAD_QUANTILE: f64 = 0.9;
+
+fn main() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+
+    // A skewed cluster: most nodes lightly loaded, a hot minority heavily
+    // loaded (e.g. popular content holders).
+    let loads: Vec<f64> = (0..NODES)
+        .map(|_| {
+            if rng.random::<f64>() < 0.1 {
+                rng.random_range(800.0..1000.0f64).round()
+            } else {
+                rng.random_range(10.0..200.0f64).round()
+            }
+        })
+        .collect();
+
+    let config = Adam2Config::new()
+        .with_lambda(30)
+        .with_rounds_per_instance(30);
+    let protocol = Adam2Protocol::with_population(config, loads, |rng| {
+        rng.random_range(10.0..200.0f64).round()
+    });
+    let mut engine = Engine::new(EngineConfig::new(NODES, 7), protocol);
+
+    run_estimation(&mut engine, 2);
+    report("before rebalancing", &engine);
+
+    // Each node decides *locally* from its own estimate whether it is in
+    // the overloaded tail, and sheds load if so (e.g. migrates work).
+    let mut shed = 0;
+    let decisions: Vec<_> = engine
+        .nodes()
+        .iter()
+        .map(|(id, node)| (id, is_overloaded(node)))
+        .collect();
+    for (id, overloaded) in decisions {
+        if overloaded {
+            if let Some(node) = engine.nodes_mut().get_mut(id) {
+                node.set_value(AttrValue::Single(150.0));
+                shed += 1;
+            }
+        }
+    }
+    println!(
+        "\n{shed} nodes detected themselves above p{:.0} and shed load\n",
+        OVERLOAD_QUANTILE * 100.0
+    );
+
+    // Fresh estimation confirms the new, balanced distribution.
+    run_estimation(&mut engine, 2);
+    report("after rebalancing", &engine);
+}
+
+fn is_overloaded(node: &Adam2Node) -> bool {
+    let AttrValue::Single(load) = *node.value() else {
+        return false;
+    };
+    let Some(estimate) = node.estimate() else {
+        return false;
+    };
+    estimate.fraction_below(load) > OVERLOAD_QUANTILE
+}
+
+fn run_estimation(engine: &mut Engine<Adam2Protocol>, instances: usize) {
+    for _ in 0..instances {
+        engine.with_ctx(|proto, ctx| {
+            let initiator = ctx.nodes.random_id(ctx.rng).expect("nodes exist");
+            proto.start_instance(initiator, ctx)
+        });
+        engine.run_rounds(31);
+    }
+}
+
+fn report(label: &str, engine: &Engine<Adam2Protocol>) {
+    let (_, node) = engine.nodes().iter().next().expect("nodes exist");
+    let estimate = node.estimate().expect("estimation ran");
+    println!("{label}: one node's view of the global load distribution");
+    println!(
+        "  p50 = {:>5.0}   p90 = {:>5.0}   p99 = {:>5.0}   max = {:>5.0}",
+        estimate.value_at_quantile(0.50),
+        estimate.value_at_quantile(0.90),
+        estimate.value_at_quantile(0.99),
+        estimate.max,
+    );
+    let spread = estimate.value_at_quantile(0.99) / estimate.value_at_quantile(0.50).max(1.0);
+    println!("  p99/p50 imbalance factor: {spread:.1}x");
+    let actually_hot = engine
+        .nodes()
+        .iter()
+        .filter(|(_, n)| is_overloaded(n))
+        .count();
+    println!("  nodes currently judging themselves overloaded: {actually_hot}");
+}

@@ -1,0 +1,72 @@
+//! Self-tuning accuracy: use Adam2's confidence estimation (Section VI)
+//! to adapt the number of interpolation points until an application
+//! target is met — without ever consulting ground truth.
+//!
+//! The system starts deliberately under-provisioned (lambda = 6) and the
+//! [`SelfTuner`](adam2::core::SelfTuner) grows lambda between instances
+//! based only on the nodes' *self-assessed* error from verification
+//! points.
+//!
+//! Run with: `cargo run --release --example self_tuning`
+
+use adam2::core::{
+    discrete_avg_distance, Adam2Config, Adam2Protocol, ErrorMetric, SelfTuner, StepCdf,
+};
+use adam2::sim::{Engine, EngineConfig};
+use adam2::traces::{Attribute, Population};
+use rand::SeedableRng;
+
+fn main() {
+    let nodes = 3_000;
+    let target = 0.002; // application wants Err_a below 0.2%
+    let mut rng = rand::rngs::StdRng::seed_from_u64(21);
+    let population = Population::generate(Attribute::Ram, nodes, &mut rng);
+    let truth = StepCdf::from_values(population.values().to_vec());
+
+    let config = Adam2Config::new()
+        .with_lambda(6)
+        .with_verify_points(20)
+        .with_verify_metric(ErrorMetric::Average)
+        .with_refine(adam2::core::RefineKind::LCut)
+        .with_rounds_per_instance(30);
+    let fresh = {
+        let population = population.clone();
+        move |rng: &mut rand::rngs::StdRng| population.draw_fresh(rng)
+    };
+    let protocol = Adam2Protocol::with_population(config, population.values().to_vec(), fresh);
+    let mut engine = Engine::new(EngineConfig::new(nodes, 21), protocol);
+
+    let tuner = SelfTuner::new(target, ErrorMetric::Average, 4, 200);
+    println!("target Err_a: {target} — tuner adjusts lambda from self-assessed error only\n");
+    println!("instance  lambda  self-assessed  actual Err_a  verdict");
+
+    for instance in 1..=8 {
+        engine.with_ctx(|proto, ctx| {
+            let initiator = ctx.nodes.random_id(ctx.rng).expect("nodes exist");
+            proto.start_instance(initiator, ctx)
+        });
+        engine.run_rounds(31);
+
+        let (_, node) = engine.nodes().iter().next().expect("nodes exist");
+        let estimate = node.estimate().expect("instance completed").clone();
+        let assessed = estimate.est_err_avg;
+        let actual = discrete_avg_distance(&truth, &estimate.cdf);
+        let lambda = engine.protocol().config().lambda;
+        let satisfied = tuner.is_satisfied(assessed);
+        println!(
+            "{instance:>8}  {lambda:>6}  {:>13}  {actual:>12.2e}  {}",
+            assessed.map_or("n/a".into(), |e| format!("{e:.2e}")),
+            if satisfied {
+                "target met"
+            } else {
+                "growing lambda"
+            }
+        );
+        if satisfied {
+            println!("\ntarget reached at lambda = {lambda} after {instance} instances");
+            break;
+        }
+        let next = tuner.next_lambda(lambda, assessed);
+        engine.protocol_mut().config_mut().lambda = next;
+    }
+}

@@ -1,0 +1,14 @@
+//! Umbrella crate for the Adam2 reproduction.
+//!
+//! Re-exports the workspace crates under one roof:
+//!
+//! * [`core`] — the Adam2 protocol (aggregation instances, interpolation
+//!   point selection, confidence estimation).
+//! * [`sim`] — the cycle-driven peer-to-peer simulator.
+//! * [`traces`] — synthetic BOINC-like attribute distributions.
+//! * [`baselines`] — EquiDepth and random-sampling estimators.
+
+pub use adam2_baselines as baselines;
+pub use adam2_core as core;
+pub use adam2_sim as sim;
+pub use adam2_traces as traces;

@@ -1,0 +1,159 @@
+//! Churn resilience integration tests (paper Section VII-G).
+
+use adam2::core::{
+    discrete_max_distance, Adam2Config, Adam2Protocol, AttrValue, RefineKind, StepCdf,
+};
+use adam2::sim::{seeded_rng, ChurnModel, Engine, EngineConfig};
+use adam2::traces::{Attribute, Population};
+
+const NODES: usize = 1_200;
+const ROUNDS: u64 = 30;
+
+fn engine_with_churn(churn: ChurnModel, seed: u64) -> Engine<Adam2Protocol> {
+    let mut rng = seeded_rng(seed);
+    let pop = Population::generate(Attribute::Ram, NODES, &mut rng);
+    let config = Adam2Config::new()
+        .with_lambda(40)
+        .with_rounds_per_instance(ROUNDS)
+        .with_refine(RefineKind::MinMax);
+    let fresh = {
+        let pop = pop.clone();
+        move |rng: &mut rand::rngs::StdRng| pop.draw_fresh(rng)
+    };
+    let proto = Adam2Protocol::with_population(config, pop.values().to_vec(), fresh);
+    Engine::new(EngineConfig::new(NODES, seed).with_churn(churn), proto)
+}
+
+fn run_instances(engine: &mut Engine<Adam2Protocol>, count: usize) {
+    for _ in 0..count {
+        engine.with_ctx(|proto, ctx| {
+            let initiator = ctx.nodes.random_id(ctx.rng).expect("nodes");
+            proto.start_instance(initiator, ctx)
+        });
+        engine.run_rounds(ROUNDS + 1);
+    }
+}
+
+fn truth_of(engine: &Engine<Adam2Protocol>) -> StepCdf {
+    let values: Vec<f64> = engine
+        .nodes()
+        .iter()
+        .map(|(_, n)| match n.value() {
+            AttrValue::Single(v) => *v,
+            AttrValue::Multi(_) => unreachable!(),
+        })
+        .collect();
+    StepCdf::from_values(values)
+}
+
+#[test]
+fn typical_churn_preserves_accuracy() {
+    // The paper's typical rate: 0.1% per round.
+    let mut engine = engine_with_churn(ChurnModel::uniform(0.001), 7);
+    run_instances(&mut engine, 4);
+    let truth = truth_of(&engine);
+    let mut worst: f64 = 0.0;
+    let mut with_estimate = 0usize;
+    for (_, node) in engine.nodes().iter() {
+        if let Some(est) = node.estimate() {
+            with_estimate += 1;
+            if with_estimate <= 25 {
+                worst = worst.max(discrete_max_distance(&truth, &est.cdf));
+            }
+        }
+    }
+    // Bootstrapped joiners count: nearly everyone has an estimate.
+    assert!(
+        with_estimate as f64 / NODES as f64 > 0.97,
+        "coverage {with_estimate}/{NODES}"
+    );
+    assert!(worst < 0.12, "accuracy under 0.1% churn degraded: {worst}");
+}
+
+#[test]
+fn heavy_churn_degrades_gracefully() {
+    let mut light = engine_with_churn(ChurnModel::uniform(0.001), 8);
+    let mut heavy = engine_with_churn(ChurnModel::uniform(0.05), 8);
+    run_instances(&mut light, 3);
+    run_instances(&mut heavy, 3);
+    let (lt, ht) = (truth_of(&light), truth_of(&heavy));
+    let sample_err = |engine: &Engine<Adam2Protocol>, truth: &StepCdf| {
+        let mut worst: f64 = 0.0;
+        for (_, node) in engine.nodes().iter().take(25) {
+            if let Some(est) = node.estimate() {
+                worst = worst.max(discrete_max_distance(truth, &est.cdf));
+            } else {
+                worst = 1.0;
+            }
+        }
+        worst
+    };
+    let light_err = sample_err(&light, &lt);
+    let heavy_err = sample_err(&heavy, &ht);
+    assert!(
+        heavy_err >= light_err * 0.5,
+        "5% churn ({heavy_err}) should not beat 0.1% churn ({light_err})"
+    );
+    // Graceful: still a usable estimate, not garbage.
+    assert!(
+        heavy_err < 0.5,
+        "5%/round churn collapsed the estimate: {heavy_err}"
+    );
+}
+
+#[test]
+fn population_and_weight_invariants_hold_under_churn() {
+    let mut engine = engine_with_churn(ChurnModel::uniform(0.01), 9);
+    let meta = engine
+        .with_ctx(|proto, ctx| {
+            let initiator = ctx.nodes.random_id(ctx.rng).expect("nodes");
+            proto.start_instance(initiator, ctx)
+        })
+        .expect("instance");
+    for _ in 0..ROUNDS {
+        engine.run_round();
+        assert_eq!(engine.nodes().len(), NODES, "population drifted");
+        // Weight mass can only shrink when weight-holding nodes leave; it
+        // must never grow (that would inflate 1/N estimates).
+        let weight: f64 = engine
+            .nodes()
+            .iter()
+            .filter_map(|(_, n)| n.active_instance(meta.id).map(|i| i.weight))
+            .sum();
+        assert!(weight <= 1.0 + 1e-9, "weight mass grew to {weight}");
+    }
+}
+
+#[test]
+fn session_churn_behaves_like_uniform_churn() {
+    // Mean session of 1000 rounds ~ 0.1% replacement per round.
+    let mut engine = engine_with_churn(ChurnModel::sessions(1000.0), 10);
+    run_instances(&mut engine, 3);
+    let truth = truth_of(&engine);
+    let mut worst: f64 = 0.0;
+    for (_, node) in engine.nodes().iter().take(25) {
+        if let Some(est) = node.estimate() {
+            worst = worst.max(discrete_max_distance(&truth, &est.cdf));
+        } else {
+            worst = 1.0;
+        }
+    }
+    assert!(worst < 0.15, "session churn error {worst}");
+}
+
+#[test]
+fn joiners_inherit_estimates_from_neighbours() {
+    let mut engine = engine_with_churn(ChurnModel::None, 11);
+    run_instances(&mut engine, 1);
+    engine.set_churn(ChurnModel::uniform(0.02));
+    engine.run_rounds(20);
+    for (_, node) in engine.nodes().iter() {
+        if node.joined_round() > 0 {
+            assert!(
+                node.estimate().is_some(),
+                "joiner at round {} was not bootstrapped",
+                node.joined_round()
+            );
+        }
+    }
+}

@@ -1,0 +1,153 @@
+//! Integration tests of confidence estimation (Section VI) and the
+//! self-tuning extension.
+
+use adam2::core::{
+    discrete_avg_distance, Adam2Config, Adam2Protocol, ErrorMetric, RefineKind, SelfTuner, StepCdf,
+};
+use adam2::sim::{seeded_rng, Engine, EngineConfig};
+use adam2::traces::{Attribute, Population};
+
+const NODES: usize = 1_000;
+
+fn build(config: Adam2Config, seed: u64) -> (Engine<Adam2Protocol>, StepCdf) {
+    let mut rng = seeded_rng(seed);
+    let pop = Population::generate(Attribute::Ram, NODES, &mut rng);
+    let truth = StepCdf::from_values(pop.values().to_vec());
+    let fresh = {
+        let pop = pop.clone();
+        move |rng: &mut rand::rngs::StdRng| pop.draw_fresh(rng)
+    };
+    let proto = Adam2Protocol::with_population(config, pop.values().to_vec(), fresh);
+    (Engine::new(EngineConfig::new(NODES, seed), proto), truth)
+}
+
+fn run_instance(engine: &mut Engine<Adam2Protocol>, rounds: u64) {
+    engine.with_ctx(|proto, ctx| {
+        let initiator = ctx.nodes.random_id(ctx.rng).expect("nodes");
+        proto.start_instance(initiator, ctx)
+    });
+    engine.run_rounds(rounds + 1);
+}
+
+#[test]
+fn self_assessment_tracks_actual_average_error() {
+    let config = Adam2Config::new()
+        .with_lambda(40)
+        .with_rounds_per_instance(30)
+        .with_refine(RefineKind::LCut)
+        .with_verify_points(20)
+        .with_verify_metric(ErrorMetric::Average);
+    let (mut engine, truth) = build(config, 51);
+    for _ in 0..3 {
+        run_instance(&mut engine, 30);
+    }
+    let mut checked = 0;
+    for (_, node) in engine.nodes().iter().take(20) {
+        let est = node.estimate().expect("estimate");
+        let assessed = est.est_err_avg.expect("verification points configured");
+        let actual = discrete_avg_distance(&truth, &est.cdf);
+        // Paper: ~10% relative estimation error with 20 points. Allow a
+        // generous factor at this reduced scale: same order of magnitude.
+        assert!(
+            assessed < actual * 8.0 && assessed * 8.0 > actual,
+            "assessed {assessed} vs actual {actual}"
+        );
+        checked += 1;
+    }
+    assert_eq!(checked, 20);
+}
+
+#[test]
+fn verification_points_cost_traffic_proportionally() {
+    // Paper: 20 verification points on lambda = 50 add ~40% traffic.
+    let base = Adam2Config::new()
+        .with_lambda(50)
+        .with_rounds_per_instance(25);
+    let verified = base.with_verify_points(20);
+    let (mut plain_engine, _) = build(base, 52);
+    let (mut verified_engine, _) = build(verified, 52);
+    run_instance(&mut plain_engine, 25);
+    run_instance(&mut verified_engine, 25);
+    let plain = plain_engine.net().total_bytes() as f64;
+    let with_verify = verified_engine.net().total_bytes() as f64;
+    let overhead = with_verify / plain - 1.0;
+    assert!(
+        (0.25..0.55).contains(&overhead),
+        "verification overhead {overhead} (expected ~0.40)"
+    );
+}
+
+#[test]
+fn self_tuner_reaches_the_accuracy_target() {
+    let target = 0.004;
+    let config = Adam2Config::new()
+        .with_lambda(6)
+        .with_rounds_per_instance(30)
+        .with_refine(RefineKind::LCut)
+        .with_verify_points(20)
+        .with_verify_metric(ErrorMetric::Average);
+    let (mut engine, truth) = build(config, 53);
+    let tuner = SelfTuner::new(target, ErrorMetric::Average, 4, 400);
+
+    let mut reached = false;
+    for _ in 0..10 {
+        run_instance(&mut engine, 30);
+        let (_, node) = engine.nodes().iter().next().expect("nodes");
+        let est = node.estimate().expect("estimate");
+        let assessed = est.est_err_avg;
+        if tuner.is_satisfied(assessed) {
+            // Check the *actual* error is also at target scale.
+            let actual = discrete_avg_distance(&truth, &est.cdf);
+            assert!(
+                actual < target * 10.0,
+                "satisfied but actual error {actual}"
+            );
+            reached = true;
+            break;
+        }
+        let lambda = engine.protocol().config().lambda;
+        engine.protocol_mut().config_mut().lambda = tuner.next_lambda(lambda, assessed);
+    }
+    assert!(reached, "tuner never reached the target");
+    assert!(
+        engine.protocol().config().lambda > 6,
+        "tuner should have grown lambda"
+    );
+}
+
+#[test]
+fn max_metric_verification_points_are_denser_near_steps() {
+    // With ErrorMetric::Max the verification points come from gap
+    // bisection of the previous estimate — after one instance on RAM they
+    // should concentrate where the CDF moves.
+    let config = Adam2Config::new()
+        .with_lambda(30)
+        .with_rounds_per_instance(30)
+        .with_verify_points(30)
+        .with_verify_metric(ErrorMetric::Max);
+    let (mut engine, truth) = build(config, 54);
+    run_instance(&mut engine, 30); // bootstrap instance (uniform verify)
+    run_instance(&mut engine, 30); // refined instance (bisection verify)
+    let meta = engine
+        .protocol()
+        .started_instances()
+        .last()
+        .expect("two instances")
+        .clone();
+    assert_eq!(meta.verify_thresholds.len(), 30);
+    // Count verification points in the busy half of the domain (below the
+    // median): must hold a clear majority since the mass is there.
+    let median = {
+        let v = truth.values();
+        v[v.len() / 2]
+    };
+    let busy = meta
+        .verify_thresholds
+        .iter()
+        .filter(|t| **t <= median)
+        .count();
+    assert!(
+        busy > 15,
+        "only {busy}/30 verification points near the mass (median {median})"
+    );
+}

@@ -1,0 +1,130 @@
+//! Integration tests of the multi-value extension (file sizes) and of
+//! realistic overlay/peer-sampling variants.
+
+use adam2::core::{
+    discrete_max_distance, point_errors, Adam2Config, Adam2Protocol, AttrValue, StepCdf,
+};
+use adam2::sim::{seeded_rng, Engine, EngineConfig, OverlayConfig};
+use adam2::traces::{Attribute, FileSizeGenerator, MultiValuePopulation, Population};
+
+#[test]
+fn file_size_distribution_is_estimated_over_the_multiset() {
+    let nodes = 600;
+    let mut rng = seeded_rng(31);
+    let generator = FileSizeGenerator::new(0, 25);
+    let population = MultiValuePopulation::generate(&generator, nodes, &mut rng);
+    let truth = StepCdf::from_values(population.all_values());
+
+    let mut sets: std::collections::VecDeque<Vec<f64>> =
+        population.per_node().iter().cloned().collect();
+    let config = Adam2Config::new()
+        .with_lambda(40)
+        .with_rounds_per_instance(30);
+    let proto = Adam2Protocol::new(config, move |rng| {
+        AttrValue::Multi(
+            sets.pop_front()
+                .unwrap_or_else(|| generator.node_files(rng)),
+        )
+    });
+    let mut engine = Engine::new(EngineConfig::new(nodes, 31), proto);
+    for _ in 0..3 {
+        engine.with_ctx(|proto, ctx| {
+            let initiator = ctx.nodes.random_id(ctx.rng).expect("nodes");
+            proto.start_instance(initiator, ctx)
+        });
+        engine.run_rounds(31);
+    }
+
+    for (_, node) in engine.nodes().iter().take(20) {
+        let est = node.estimate().expect("estimate");
+        // The aggregated fractions at the thresholds are essentially exact
+        // even in multi-value mode.
+        let (max_err, _) = point_errors(&truth, &est.thresholds, &est.fractions);
+        assert!(max_err < 1e-6, "point error {max_err}");
+        // The interpolated CDF is a decent fit of the multiset CDF.
+        let errm = discrete_max_distance(&truth, &est.cdf);
+        assert!(errm < 0.1, "multiset Err_m {errm}");
+        // Extrema over all values of all nodes.
+        assert_eq!(est.min, truth.min());
+        assert_eq!(est.max, truth.max());
+    }
+}
+
+#[test]
+fn nodes_with_no_values_participate_harmlessly() {
+    // A third of the nodes hold no files at all.
+    let nodes = 300;
+    let mut rng = seeded_rng(32);
+    let mut sets = Vec::new();
+    let mut all = Vec::new();
+    for i in 0..nodes {
+        if i % 3 == 0 {
+            sets.push(Vec::new());
+        } else {
+            let files: Vec<f64> = (0..5)
+                .map(|k| ((i * 7 + k * 13) % 100 + 1) as f64)
+                .collect();
+            all.extend(files.iter().copied());
+            sets.push(files);
+        }
+    }
+    let truth = StepCdf::from_values(all);
+    let mut queue: std::collections::VecDeque<Vec<f64>> = sets.into_iter().collect();
+    let config = Adam2Config::new()
+        .with_lambda(20)
+        .with_rounds_per_instance(30);
+    let proto = Adam2Protocol::new(config, move |_| {
+        AttrValue::Multi(queue.pop_front().unwrap_or_default())
+    });
+    let mut engine = Engine::new(EngineConfig::new(nodes, 32), proto);
+    let _ = &mut rng;
+    for _ in 0..2 {
+        engine.with_ctx(|proto, ctx| {
+            let initiator = ctx.nodes.random_id(ctx.rng).expect("nodes");
+            proto.start_instance(initiator, ctx)
+        });
+        engine.run_rounds(31);
+    }
+    for (_, node) in engine.nodes().iter().take(20) {
+        let est = node.estimate().expect("estimate");
+        let (max_err, _) = point_errors(&truth, &est.thresholds, &est.fractions);
+        assert!(max_err < 1e-6, "point error {max_err} with empty-set nodes");
+    }
+}
+
+#[test]
+fn results_hold_on_cyclon_style_shuffle_overlay() {
+    // The oracle overlay is an idealisation; the protocol must also work
+    // on a realistic partial-view peer-sampling service.
+    let nodes = 800;
+    let mut rng = seeded_rng(33);
+    let pop = Population::generate(Attribute::Ram, nodes, &mut rng);
+    let truth = StepCdf::from_values(pop.values().to_vec());
+    let config = Adam2Config::new()
+        .with_lambda(40)
+        .with_rounds_per_instance(35);
+    let fresh = {
+        let pop = pop.clone();
+        move |rng: &mut rand::rngs::StdRng| pop.draw_fresh(rng)
+    };
+    let proto = Adam2Protocol::with_population(config, pop.values().to_vec(), fresh);
+    let engine_config = EngineConfig::new(nodes, 33).with_overlay(OverlayConfig::shuffle(20));
+    let mut engine = Engine::new(engine_config, proto);
+    for _ in 0..2 {
+        engine.with_ctx(|proto, ctx| {
+            let initiator = ctx.nodes.random_id(ctx.rng).expect("nodes");
+            proto.start_instance(initiator, ctx)
+        });
+        engine.run_rounds(36);
+    }
+    for (_, node) in engine.nodes().iter().take(20) {
+        let est = node.estimate().expect("estimate");
+        let (max_err, _) = point_errors(&truth, &est.thresholds, &est.fractions);
+        assert!(max_err < 1e-4, "shuffle-overlay point error {max_err}");
+        let n = est.n_hat.expect("weight");
+        assert!(
+            (n - nodes as f64).abs() / (nodes as f64) < 0.05,
+            "size estimate {n} on shuffle overlay"
+        );
+    }
+}

@@ -1,0 +1,114 @@
+//! Network-partition (split-brain) behaviour of Adam2.
+//!
+//! Gossip protocols cannot cross a network partition: each side of a
+//! split converges to *its own* sub-population's distribution and size.
+//! After healing, the next aggregation instance restores a global view.
+
+use adam2::core::{point_errors, Adam2Config, Adam2Protocol, AttrValue, StepCdf};
+use adam2::sim::{Engine, EngineConfig};
+
+const NODES: usize = 1_000;
+const ROUNDS: u64 = 40;
+
+fn build() -> Engine<Adam2Protocol> {
+    // Deterministic bimodal values: evens low, odds high.
+    let values: Vec<f64> = (0..NODES)
+        .map(|i| {
+            if i % 2 == 0 {
+                100.0
+            } else {
+                900.0 + (i % 50) as f64
+            }
+        })
+        .collect();
+    let config = Adam2Config::new()
+        .with_lambda(20)
+        .with_rounds_per_instance(ROUNDS);
+    let proto = Adam2Protocol::with_population(config, values, |_| 100.0);
+    Engine::new(EngineConfig::new(NODES, 1234), proto)
+}
+
+fn run_instance(engine: &mut Engine<Adam2Protocol>) {
+    engine.with_ctx(|proto, ctx| {
+        let initiator = ctx.nodes.random_id(ctx.rng).expect("nodes");
+        proto.start_instance(initiator, ctx)
+    });
+    engine.run_rounds(ROUNDS + 1);
+}
+
+#[test]
+fn split_brain_estimates_cover_only_the_local_partition() {
+    let mut engine = build();
+    engine.partition_into(2);
+    run_instance(&mut engine);
+
+    // Work out which partition the instance ran in: nodes with estimates.
+    let mut in_group = [0usize; 2];
+    let mut group_values: [Vec<f64>; 2] = [Vec::new(), Vec::new()];
+    let mut estimates_per_group = [0usize; 2];
+    for (id, node) in engine.nodes().iter() {
+        let g = engine.partition_group(id) as usize;
+        in_group[g] += 1;
+        let AttrValue::Single(v) = *node.value() else {
+            continue;
+        };
+        group_values[g].push(v);
+        if node.estimate().is_some() {
+            estimates_per_group[g] += 1;
+        }
+    }
+    let active = if estimates_per_group[0] > 0 { 0 } else { 1 };
+    let silent = 1 - active;
+    assert_eq!(
+        estimates_per_group[active], in_group[active],
+        "every node of the initiator's partition finishes the instance"
+    );
+    assert_eq!(
+        estimates_per_group[silent], 0,
+        "the other partition must never see the instance"
+    );
+
+    // The estimates describe the *local* sub-population, including its
+    // size.
+    let local_truth = StepCdf::from_values(group_values[active].clone());
+    for (id, node) in engine.nodes().iter() {
+        if engine.partition_group(id) as usize != active {
+            continue;
+        }
+        let est = node.estimate().expect("active partition finished");
+        let (max_err, _) = point_errors(&local_truth, &est.thresholds, &est.fractions);
+        assert!(max_err < 1e-6, "split estimate not local-exact: {max_err}");
+        let n = est.n_hat.expect("weight stays inside the partition");
+        assert!(
+            (n - in_group[active] as f64).abs() < 1.0,
+            "split N estimate {n} vs partition size {}",
+            in_group[active]
+        );
+    }
+}
+
+#[test]
+fn healing_restores_the_global_view() {
+    let mut engine = build();
+    engine.partition_into(2);
+    run_instance(&mut engine);
+    engine.heal_partition();
+    run_instance(&mut engine);
+
+    let values: Vec<f64> = engine
+        .nodes()
+        .iter()
+        .map(|(_, n)| match n.value() {
+            AttrValue::Single(v) => *v,
+            AttrValue::Multi(_) => unreachable!(),
+        })
+        .collect();
+    let truth = StepCdf::from_values(values);
+    for (_, node) in engine.nodes().iter() {
+        let est = node.estimate().expect("estimate after heal");
+        let (max_err, _) = point_errors(&truth, &est.thresholds, &est.fractions);
+        assert!(max_err < 1e-6, "post-heal estimate error {max_err}");
+        let n = est.n_hat.expect("weight");
+        assert!((n - NODES as f64).abs() < 1.0, "post-heal N {n}");
+    }
+}
