@@ -7,7 +7,9 @@ use std::sync::Arc;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
 use adam2_baselines::{EquiDepthConfig, EquiDepthProtocol};
-use adam2_bench::{adam2_engine, equidepth_engine, setup, start_instance, start_phase};
+use adam2_bench::{
+    adam2_engine, adam2_engine_threaded, equidepth_engine, setup, start_instance, start_phase,
+};
 use adam2_core::{
     uniform_points, Adam2Config, Adam2Protocol, AsyncAdam2, InstanceId, InstanceMeta,
 };
@@ -25,6 +27,23 @@ fn adam2_round_engine(nodes: usize, with_instance: bool) -> Engine<Adam2Protocol
         start_instance(&mut engine);
         // Let the instance spread so rounds carry full payloads.
         engine.run_rounds(10);
+    }
+    engine
+}
+
+fn adam2_round_engine_par(
+    nodes: usize,
+    with_instance: bool,
+    threads: usize,
+) -> Engine<Adam2Protocol> {
+    let s = setup(Attribute::Ram, nodes, 42);
+    let config = Adam2Config::new()
+        .with_lambda(50)
+        .with_rounds_per_instance(1_000_000);
+    let mut engine = adam2_engine_threaded(&s, config, 42, ChurnModel::None, threads);
+    if with_instance {
+        start_instance(&mut engine);
+        engine.run_rounds_parallel(10);
     }
     engine
 }
@@ -64,6 +83,24 @@ fn bench_rounds(c: &mut Criterion) {
             |b, &n| {
                 let mut engine = equidepth_round_engine(n);
                 b.iter(|| engine.run_round());
+            },
+        );
+        // Phase-split parallel path: inline (1 thread, measures the
+        // phase-split overhead) and auto-detected thread count.
+        group.bench_with_input(
+            BenchmarkId::new("adam2_instance_par_t1", nodes),
+            &nodes,
+            |b, &n| {
+                let mut engine = adam2_round_engine_par(n, true, 1);
+                b.iter(|| engine.run_round_parallel());
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("adam2_instance_par_auto", nodes),
+            &nodes,
+            |b, &n| {
+                let mut engine = adam2_round_engine_par(n, true, 0);
+                b.iter(|| engine.run_round_parallel());
             },
         );
     }

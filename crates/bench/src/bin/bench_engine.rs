@@ -1,0 +1,123 @@
+//! Sequential vs. parallel engine throughput (rounds/sec).
+//!
+//! Measures `Engine::run_round` against `Engine::run_round_parallel` on an
+//! Adam2 simulation with one spread λ=50 instance, for N ∈ {1k, 10k, 100k},
+//! and writes the results as JSON to `BENCH_engine.json` at the repository
+//! root (override with `--out PATH`).
+//!
+//! Extra flags: `--threads T` (parallel worker threads, default 0 = auto),
+//! `--out PATH`. The standard `--seed` / `--lambda` flags also apply.
+
+use std::time::Instant;
+
+use adam2_bench::{adam2_engine, adam2_engine_threaded, setup, start_instance, Args};
+use adam2_core::Adam2Config;
+use adam2_sim::ChurnModel;
+use adam2_traces::Attribute;
+
+struct SizeResult {
+    nodes: usize,
+    rounds: u64,
+    seq_rounds_per_sec: f64,
+    par_rounds_per_sec: f64,
+    speedup: f64,
+}
+
+fn measured_rounds(nodes: usize) -> u64 {
+    // Keep each measurement in the seconds range across three decades.
+    ((2_000_000 / nodes) as u64).clamp(5, 50)
+}
+
+fn main() {
+    let args = Args::parse("bench_engine");
+    let threads: usize = args
+        .extra_parsed("threads")
+        .unwrap_or_else(|e| panic!("{e}"))
+        .unwrap_or(0);
+    let default_out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_engine.json");
+    let out = args.extra("out").unwrap_or(default_out).to_string();
+    let detected = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let effective_threads = if threads == 0 { detected } else { threads };
+
+    println!("== bench_engine — sequential vs parallel rounds/sec ==");
+    println!(
+        "seed={} lambda={} threads={} (detected cores: {})",
+        args.seed, args.lambda, effective_threads, detected
+    );
+    println!();
+
+    let config = Adam2Config::new()
+        .with_lambda(args.lambda)
+        .with_rounds_per_instance(1_000_000);
+
+    let mut results = Vec::new();
+    for nodes in [1_000usize, 10_000, 100_000] {
+        let rounds = measured_rounds(nodes);
+        let s = setup(Attribute::Ram, nodes, args.seed);
+
+        let mut seq = adam2_engine(&s, config, args.seed, ChurnModel::None);
+        start_instance(&mut seq);
+        seq.run_rounds(10); // spread the instance so rounds carry payloads
+        let t0 = Instant::now();
+        seq.run_rounds(rounds);
+        let seq_secs = t0.elapsed().as_secs_f64();
+
+        let mut par = adam2_engine_threaded(&s, config, args.seed, ChurnModel::None, threads);
+        start_instance(&mut par);
+        par.run_rounds_parallel(10);
+        let t0 = Instant::now();
+        par.run_rounds_parallel(rounds);
+        let par_secs = t0.elapsed().as_secs_f64();
+
+        // Both paths must have carried the same number of messages.
+        assert_eq!(
+            seq.net().total_msgs(),
+            par.net().total_msgs(),
+            "message-count equivalence violated at n={nodes}"
+        );
+
+        let r = SizeResult {
+            nodes,
+            rounds,
+            seq_rounds_per_sec: rounds as f64 / seq_secs,
+            par_rounds_per_sec: rounds as f64 / par_secs,
+            speedup: seq_secs / par_secs,
+        };
+        println!(
+            "n={:>7}  rounds={:>3}  seq {:>9.2} r/s  par {:>9.2} r/s  speedup {:.2}x",
+            r.nodes, r.rounds, r.seq_rounds_per_sec, r.par_rounds_per_sec, r.speedup
+        );
+        results.push(r);
+    }
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"benchmark\": \"engine_rounds_per_sec\",\n");
+    json.push_str(&format!("  \"seed\": {},\n", args.seed));
+    json.push_str(&format!("  \"lambda\": {},\n", args.lambda));
+    json.push_str(&format!("  \"threads\": {effective_threads},\n"));
+    json.push_str(&format!("  \"detected_cores\": {detected},\n"));
+    json.push_str("  \"results\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"nodes\": {}, \"rounds\": {}, \"seq_rounds_per_sec\": {:.4}, \
+             \"par_rounds_per_sec\": {:.4}, \"speedup\": {:.4}}}{}\n",
+            r.nodes,
+            r.rounds,
+            r.seq_rounds_per_sec,
+            r.par_rounds_per_sec,
+            r.speedup,
+            if i + 1 < results.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    match std::fs::write(&out, &json) {
+        Ok(()) => println!("\nwrote {out}"),
+        Err(e) => {
+            eprintln!("bench_engine: cannot write {out}: {e}");
+            std::process::exit(1);
+        }
+    }
+}

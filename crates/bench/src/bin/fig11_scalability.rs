@@ -1,8 +1,15 @@
 //! Reproduces Fig. 11: approximation accuracy as a function of system
 //! size (100 .. 100 000 nodes).
+//!
+//! Extra flags: `--instances K` (aggregation instances per size, default
+//! 4) and `--threads T` (run rounds on the parallel engine with `T`
+//! worker threads, `0` = auto-detect; omitted = sequential reference
+//! path). Thanks to the deterministic phase-split design, `--threads`
+//! changes wall-clock time, not results.
 
 use adam2_bench::{
-    adam2_engine, complete_instance, evaluate_estimates, fmt_err, start_instance, Args, Table,
+    adam2_engine, adam2_engine_threaded, complete_instance, complete_instance_parallel,
+    evaluate_estimates, fmt_err, start_instance, Args, Table,
 };
 use adam2_core::{Adam2Config, RefineKind};
 use adam2_sim::ChurnModel;
@@ -14,6 +21,13 @@ fn main() {
         .extra_parsed("instances")
         .unwrap_or_else(|e| panic!("{e}"))
         .unwrap_or(4);
+    let threads: Option<usize> = args
+        .extra_parsed("threads")
+        .unwrap_or_else(|e| panic!("{e}"));
+    if let Some(t) = threads {
+        println!("engine: parallel round path, threads={t} (0 = auto)");
+        println!();
+    }
     let mut sizes: Vec<usize> = vec![100, 316, 1_000, 3_162, 10_000];
     if args.full {
         sizes.push(31_623);
@@ -35,10 +49,18 @@ fn main() {
                     .with_lambda(args.lambda)
                     .with_rounds_per_instance(args.rounds)
                     .with_refine(refine);
-                let mut engine = adam2_engine(&setup, config, args.seed, ChurnModel::None);
+                let mut engine = match threads {
+                    Some(t) => {
+                        adam2_engine_threaded(&setup, config, args.seed, ChurnModel::None, t)
+                    }
+                    None => adam2_engine(&setup, config, args.seed, ChurnModel::None),
+                };
                 for _ in 0..instances {
                     start_instance(&mut engine);
-                    complete_instance(&mut engine, args.rounds);
+                    match threads {
+                        Some(_) => complete_instance_parallel(&mut engine, args.rounds),
+                        None => complete_instance(&mut engine, args.rounds),
+                    }
                 }
                 let report =
                     evaluate_estimates(&engine, &setup.truth, args.sample_peers, args.seed);

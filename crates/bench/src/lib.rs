@@ -29,7 +29,8 @@ pub mod runner;
 pub use args::Args;
 pub use report::{fmt_err, AsciiChart, Table};
 pub use runner::{
-    adam2_engine, complete_instance, current_truth, equidepth_engine, equidepth_truth,
-    evaluate_equidepth_estimates, evaluate_estimates, run_instance_tracked, setup, start_instance,
-    start_phase, ErrorReport, ExperimentSetup, RoundSample,
+    adam2_engine, adam2_engine_threaded, complete_instance, complete_instance_parallel,
+    current_truth, equidepth_engine, equidepth_truth, evaluate_equidepth_estimates,
+    evaluate_estimates, run_instance_tracked, setup, start_instance, start_phase, ErrorReport,
+    ExperimentSetup, RoundSample,
 };

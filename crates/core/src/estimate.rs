@@ -42,6 +42,9 @@ pub struct DistributionEstimate {
     pub fractions: Vec<f64>,
 }
 
+// Referenced only from the `#[serde(default = ...)]` attribute above, which
+// the offline serde stand-in expands to nothing.
+#[allow(dead_code)]
 fn unknown_instance() -> InstanceId {
     InstanceId::from_u64(0)
 }

@@ -23,7 +23,7 @@ use std::sync::Arc;
 use rand::rngs::StdRng;
 use rand::RngExt as _;
 
-use adam2_sim::{Ctx, ExchangeFate, NodeId, Protocol};
+use adam2_sim::{Ctx, ExchangeFate, ExchangeTraffic, NodeId, ParLocal, PlannedExchange, Protocol};
 
 use crate::confidence::verification_thresholds;
 use crate::config::{Adam2Config, Scheduling};
@@ -287,7 +287,7 @@ pub fn gossip_exchange_response_lost(
 /// The Adam2 protocol driver (one per simulation).
 pub struct Adam2Protocol {
     config: Adam2Config,
-    source: Box<dyn FnMut(&mut StdRng) -> AttrValue + Send>,
+    source: Box<dyn FnMut(&mut StdRng) -> AttrValue + Send + Sync>,
     nonce: u64,
     started: Vec<Arc<InstanceMeta>>,
     completed: u64,
@@ -315,7 +315,7 @@ impl Adam2Protocol {
     /// [`Adam2Config::validate`] first to handle errors gracefully.
     pub fn new(
         config: Adam2Config,
-        source: impl FnMut(&mut StdRng) -> AttrValue + Send + 'static,
+        source: impl FnMut(&mut StdRng) -> AttrValue + Send + Sync + 'static,
     ) -> Self {
         config.validate().expect("invalid Adam2 configuration");
         Self {
@@ -334,7 +334,7 @@ impl Adam2Protocol {
     pub fn with_population(
         config: Adam2Config,
         initial: Vec<f64>,
-        mut fresh: impl FnMut(&mut StdRng) -> f64 + Send + 'static,
+        mut fresh: impl FnMut(&mut StdRng) -> f64 + Send + Sync + 'static,
     ) -> Self {
         let mut queue = std::collections::VecDeque::from(initial);
         Self::new(config, move |rng| {
@@ -501,6 +501,83 @@ impl Protocol for Adam2Protocol {
         }
     }
 
+    fn parallel_capable(&self) -> bool {
+        true
+    }
+
+    /// Plan-phase half of [`on_round`](Protocol::on_round): finalise due
+    /// instances and draw the probabilistic start decision, both from the
+    /// node's own RNG stream. The start itself needs `&mut self` (nonce,
+    /// instance registry) and neighbour sampling, so it is deferred to
+    /// [`par_absorb`](Protocol::par_absorb) via `wants_sequential`.
+    fn par_local(
+        &self,
+        _id: NodeId,
+        node: &mut Adam2Node,
+        round: u64,
+        rng: &mut StdRng,
+    ) -> ParLocal {
+        let (completed, failed) = node.finalize_due_instances(round);
+        let mut wants_sequential = false;
+        if let Scheduling::Probabilistic {
+            mean_rounds_between,
+        } = self.config.scheduling
+        {
+            let p = 1.0 / (node.n_estimate.max(1.0) * mean_rounds_between);
+            wants_sequential = rng.random::<f64>() < p;
+        }
+        ParLocal {
+            completions: completed,
+            failures: failed,
+            wants_sequential,
+            initiates: true,
+        }
+    }
+
+    fn par_absorb(&mut self, id: NodeId, report: &ParLocal, ctx: &mut Ctx<'_, Adam2Node>) {
+        self.completed += report.completions;
+        self.finalize_failures += report.failures;
+        if report.wants_sequential {
+            self.start_instance(id, ctx);
+        }
+    }
+
+    /// Apply-phase half of [`on_round`](Protocol::on_round): the planned
+    /// push–pull exchange itself, identical state transitions to the
+    /// sequential path for each [`ExchangeFate`].
+    fn par_apply(
+        &self,
+        plan: &PlannedExchange,
+        round: u64,
+        a: &mut Adam2Node,
+        b: &mut Adam2Node,
+    ) -> ExchangeTraffic {
+        match plan.fate {
+            ExchangeFate::Complete => {
+                let (req, resp) = gossip_exchange(a, b, round);
+                ExchangeTraffic {
+                    request: Some(req),
+                    response: Some(resp),
+                }
+            }
+            ExchangeFate::RequestLost => {
+                // The sender still paid for the request.
+                let req = wire::message_len(a.instances.iter().filter(|i| !i.is_due(round)));
+                ExchangeTraffic {
+                    request: Some(req),
+                    response: None,
+                }
+            }
+            ExchangeFate::ResponseLost => {
+                let (req, resp) = gossip_exchange_response_lost(a, b, round);
+                ExchangeTraffic {
+                    request: Some(req),
+                    response: Some(resp),
+                }
+            }
+        }
+    }
+
     fn on_join(&mut self, id: NodeId, ctx: &mut Ctx<'_, Adam2Node>) {
         let round = ctx.round;
         // "Nodes joining the system are bootstrapped by their initial
@@ -583,6 +660,93 @@ mod tests {
             checked += 1;
         }
         assert_eq!(checked, 200);
+    }
+
+    #[test]
+    fn parallel_round_matches_sequential_convergence() {
+        // Statistical-equivalence gate for the phase-split parallel path:
+        // same population, same seed, one manually started instance. The
+        // two paths interleave exchanges differently, so node states are
+        // not bit-equal — but both must converge to the true fractions,
+        // and on a lossless network they carry the same message count
+        // (one push–pull exchange per live node per round).
+        let values: Vec<f64> = (1..=200).map(f64::from).collect();
+        let truth = StepCdf::from_values(values.clone());
+        let config = Adam2Config::new()
+            .with_lambda(10)
+            .with_rounds_per_instance(40)
+            .with_bootstrap(BootstrapKind::Uniform)
+            .with_domain_hint(1.0, 200.0);
+
+        let mut seq = engine_with_values(values.clone(), config, 11);
+        start_manual(&mut seq);
+        seq.run_rounds(41);
+
+        let n = values.len();
+        let proto = Adam2Protocol::with_population(config, values, |rng| {
+            rng.random_range(1.0..=100.0f64).round()
+        });
+        let mut par = Engine::new(EngineConfig::new(n, 11).with_threads(4), proto);
+        start_manual(&mut par);
+        par.run_rounds_parallel(41);
+
+        assert_eq!(par.net().total_msgs(), seq.net().total_msgs());
+        for engine in [&seq, &par] {
+            for (_, node) in engine.nodes().iter() {
+                let est = node.estimate().expect("estimate after instance end");
+                let (max_err, _) = point_errors(&truth, &est.thresholds, &est.fractions);
+                assert!(max_err < 1e-6, "point error {max_err} too high");
+                let n_hat = est.n_hat.expect("weight mass received");
+                assert!((n_hat - 200.0).abs() < 0.5, "N estimate {n_hat}");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_rounds_are_deterministic_for_adam2() {
+        // Same config + seed + thread count twice, and across thread
+        // counts: bit-identical estimates and traffic totals.
+        let snapshot = |threads: usize| {
+            let values: Vec<f64> = (1..=150).map(f64::from).collect();
+            let config = Adam2Config::new()
+                .with_lambda(8)
+                .with_rounds_per_instance(25)
+                .with_scheduling(Scheduling::Probabilistic {
+                    mean_rounds_between: 10.0,
+                })
+                .with_initial_n_estimate(150.0);
+            let n = values.len();
+            let proto = Adam2Protocol::with_population(config, values, |rng| {
+                rng.random_range(1.0..=100.0f64).round()
+            });
+            let engine_config = EngineConfig::new(n, 23)
+                .with_churn(ChurnModel::uniform(0.01))
+                .with_threads(threads);
+            let mut engine = Engine::new(engine_config, proto);
+            engine.run_rounds_parallel(60);
+            let states: Vec<(usize, u64, Vec<u64>)> = engine
+                .nodes()
+                .iter()
+                .map(|(id, node)| {
+                    let fracs = node
+                        .estimate()
+                        .map(|e| e.fractions.iter().map(|f| f.to_bits()).collect())
+                        .unwrap_or_default();
+                    (id.slot(), node.n_estimate().to_bits(), fracs)
+                })
+                .collect();
+            (
+                states,
+                engine.net().total_bytes(),
+                engine.net().total_msgs(),
+                engine.protocol().started_instances().len(),
+                engine.protocol().completed_count(),
+            )
+        };
+        let reference = snapshot(2);
+        assert_eq!(snapshot(2), reference, "same thread count must repeat");
+        assert_eq!(snapshot(1), reference, "thread count must not matter");
+        assert_eq!(snapshot(4), reference, "thread count must not matter");
     }
 
     #[test]

@@ -1,14 +1,42 @@
 //! The cycle-driven simulation engine.
+//!
+//! Two execution paths drive a round:
+//!
+//! * [`Engine::run_round`] — the sequential reference semantics: every live
+//!   node runs [`Protocol::on_round`] in a fresh random order, exchanges
+//!   applied immediately.
+//! * [`Engine::run_round_parallel`] — a phase-split path for protocols that
+//!   opt in via the `par_*` methods of [`Protocol`]: a *plan* phase where
+//!   every node concurrently does its local work and picks its gossip
+//!   partner using a counter-based per-node RNG stream, and an *apply*
+//!   phase where the planned exchanges are bucketed into slot-disjoint
+//!   batches and applied conflict-free across threads (with a sequential
+//!   fallback for small, contended batches). Results are bit-identical for
+//!   every thread count.
 
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::RngExt as _;
 
 use crate::churn::{ChurnModel, ChurnState};
+use crate::executor;
 use crate::node::{NodeId, NodeSlab};
 use crate::overlay::{Overlay, OverlayConfig};
-use crate::rng::seeded_rng;
-use crate::stats::NetStats;
+use crate::rng::{derive_seed, par_stream_rng, seeded_rng};
+use crate::stats::{NetShard, NetStats};
+
+/// Stream tag separating the parallel path's per-node RNG streams from the
+/// main engine RNG (both derive from the master seed).
+const PAR_SEED_STREAM: u64 = 0x7061_7261; // "para"
+
+/// RNG phase counters for [`par_stream_rng`]: local work vs. planning.
+const PAR_PHASE_LOCAL: u64 = 0;
+const PAR_PHASE_PLAN: u64 = 1;
+
+/// Batches smaller than this are applied inline on the driving thread: the
+/// contended tail of the batch schedule is typically a handful of pairs,
+/// where spawn overhead would dwarf the work.
+const PAR_APPLY_MIN_BATCH: usize = 64;
 
 /// A gossip protocol driven by the [`Engine`].
 ///
@@ -42,6 +70,105 @@ pub trait Protocol {
     fn on_leave(&mut self, id: NodeId, node: Self::Node) {
         let _ = (id, node);
     }
+
+    /// Whether this protocol implements the plan/apply parallel round API
+    /// (`par_local` / `par_absorb` / `par_apply`).
+    ///
+    /// The default is `false`, in which case
+    /// [`Engine::run_round_parallel`] transparently adapts to the
+    /// sequential [`on_round`](Protocol::on_round) path.
+    fn parallel_capable(&self) -> bool {
+        false
+    }
+
+    /// Parallel phase 1 — purely local per-node work (e.g. finalising due
+    /// aggregation instances and drawing scheduling decisions).
+    ///
+    /// Called concurrently for every live node with exclusive access to
+    /// that node only; implementations must not touch shared protocol
+    /// state (hence `&self`) — shared effects are deferred to
+    /// [`par_absorb`](Protocol::par_absorb) via the returned [`ParLocal`].
+    /// `rng` is a deterministic stream unique to `(seed, round, node slot)`.
+    fn par_local(
+        &self,
+        id: NodeId,
+        node: &mut Self::Node,
+        round: u64,
+        rng: &mut StdRng,
+    ) -> ParLocal {
+        let _ = (id, node, round, rng);
+        ParLocal::default()
+    }
+
+    /// Parallel phase 2 — sequential absorption of one node's [`ParLocal`]
+    /// report into shared protocol state, in deterministic slot order.
+    ///
+    /// This is where work that genuinely needs `&mut self` or the full
+    /// [`Ctx`] happens (counters, starting new aggregation instances, ...).
+    /// Implementations must not remove nodes — liveness is fixed for the
+    /// rest of the round.
+    fn par_absorb(&mut self, id: NodeId, report: &ParLocal, ctx: &mut Ctx<'_, Self::Node>) {
+        let _ = (id, report, ctx);
+    }
+
+    /// Parallel phase 3 — applies one planned exchange between `initiator`
+    /// and `partner`, both exclusively borrowed.
+    ///
+    /// Called concurrently for slot-disjoint pairs; shared state access is
+    /// `&self` only. Returns the wire traffic, which the engine charges to
+    /// [`NetStats`] through per-thread shards.
+    fn par_apply(
+        &self,
+        plan: &PlannedExchange,
+        round: u64,
+        initiator: &mut Self::Node,
+        partner: &mut Self::Node,
+    ) -> ExchangeTraffic {
+        let _ = (plan, round, initiator, partner);
+        ExchangeTraffic::default()
+    }
+}
+
+/// Result of one node's [`Protocol::par_local`] step.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ParLocal {
+    /// Locally completed events (for Adam2: finalised instances that
+    /// produced an estimate), summed into shared state by `par_absorb`.
+    pub completions: u64,
+    /// Locally failed events (for Adam2: instances that expired without
+    /// reaching all-values mode).
+    pub failures: u64,
+    /// Whether the engine must invoke [`Protocol::par_absorb`]-side
+    /// sequential work beyond counter sums (for Adam2: start a new
+    /// aggregation instance at this node).
+    pub wants_sequential: bool,
+    /// Whether this node initiates a gossip exchange this round.
+    pub initiates: bool,
+}
+
+/// One gossip exchange scheduled by the parallel plan phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlannedExchange {
+    /// The node that initiates the push–pull exchange.
+    pub initiator: NodeId,
+    /// Its chosen gossip partner (always a distinct live node).
+    pub partner: NodeId,
+    /// The sampled fate of the two messages under the engine's loss rate.
+    pub fate: ExchangeFate,
+}
+
+/// Wire traffic of one applied exchange, as reported by
+/// [`Protocol::par_apply`].
+///
+/// `request` is charged initiator → partner, `response` partner →
+/// initiator; `None` means the message was never sent (e.g. the response
+/// after a lost request).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExchangeTraffic {
+    /// Bytes of the request message, if sent.
+    pub request: Option<usize>,
+    /// Bytes of the response message, if sent.
+    pub response: Option<usize>,
 }
 
 /// What happened to the two messages of one push–pull exchange.
@@ -85,16 +212,7 @@ impl<N> Ctx<'_, N> {
     /// engine's loss rate: each of the two messages is lost independently
     /// with probability `loss_rate`.
     pub fn sample_exchange_fate(&mut self) -> ExchangeFate {
-        if self.loss_rate <= 0.0 {
-            return ExchangeFate::Complete;
-        }
-        if self.rng.random::<f64>() < self.loss_rate {
-            ExchangeFate::RequestLost
-        } else if self.rng.random::<f64>() < self.loss_rate {
-            ExchangeFate::ResponseLost
-        } else {
-            ExchangeFate::Complete
-        }
+        sample_fate(self.rng, self.loss_rate)
     }
 
     /// Draws a random live neighbour of `of`.
@@ -115,6 +233,35 @@ impl<N> Ctx<'_, N> {
     }
 }
 
+/// Samples the fate of one request/response exchange: each of the two
+/// messages is lost independently with probability `loss_rate`. Shared by
+/// the sequential [`Ctx::sample_exchange_fate`] and the parallel plan
+/// phase (which draws from per-node streams).
+/// Charges the traffic of one applied exchange directly to [`NetStats`]
+/// (the inline/contended apply path; the threaded path goes through
+/// [`NetShard`]s with identical arithmetic).
+fn charge_traffic(net: &mut NetStats, plan: &PlannedExchange, traffic: ExchangeTraffic) {
+    if let Some(bytes) = traffic.request {
+        net.charge_message(plan.initiator, plan.partner, bytes);
+    }
+    if let Some(bytes) = traffic.response {
+        net.charge_message(plan.partner, plan.initiator, bytes);
+    }
+}
+
+fn sample_fate(rng: &mut StdRng, loss_rate: f64) -> ExchangeFate {
+    if loss_rate <= 0.0 {
+        return ExchangeFate::Complete;
+    }
+    if rng.random::<f64>() < loss_rate {
+        ExchangeFate::RequestLost
+    } else if rng.random::<f64>() < loss_rate {
+        ExchangeFate::ResponseLost
+    } else {
+        ExchangeFate::Complete
+    }
+}
+
 /// Engine configuration.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct EngineConfig {
@@ -129,6 +276,10 @@ pub struct EngineConfig {
     /// Per-message loss probability in `[0, 1]` (see
     /// [`Ctx::sample_exchange_fate`]).
     pub loss_rate: f64,
+    /// Worker threads for [`Engine::run_round_parallel`]: `0` means "use
+    /// [`std::thread::available_parallelism`]", `1` runs the parallel
+    /// semantics inline. Thread count never affects results.
+    pub threads: usize,
 }
 
 impl EngineConfig {
@@ -146,6 +297,7 @@ impl EngineConfig {
             overlay: OverlayConfig::default(),
             churn: ChurnModel::None,
             loss_rate: 0.0,
+            threads: 1,
         }
     }
 
@@ -174,6 +326,13 @@ impl EngineConfig {
         self.loss_rate = loss_rate;
         self
     }
+
+    /// Sets the worker-thread count for [`Engine::run_round_parallel`]
+    /// (`0` = auto-detect).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
 }
 
 /// The cycle-driven simulator.
@@ -191,9 +350,15 @@ pub struct Engine<P: Protocol> {
     churn: ChurnModel,
     churn_state: ChurnState,
     rng: StdRng,
+    /// Base of the counter-based per-node streams used by the parallel
+    /// path; independent of `rng` so both paths share one master seed.
+    par_seed: u64,
+    threads: usize,
     round: u64,
     net: NetStats,
     loss_rate: f64,
+    /// Reused per-round shuffle buffer (avoids one allocation per round).
+    order_buf: Vec<NodeId>,
 }
 
 impl<P: Protocol> std::fmt::Debug for Engine<P> {
@@ -233,9 +398,12 @@ impl<P: Protocol> Engine<P> {
             churn: config.churn,
             churn_state,
             rng,
+            par_seed: derive_seed(config.seed, PAR_SEED_STREAM),
+            threads: config.threads,
             round: 0,
             net,
             loss_rate: config.loss_rate,
+            order_buf: Vec::new(),
         }
     }
 
@@ -244,9 +412,11 @@ impl<P: Protocol> Engine<P> {
         self.net.begin_round();
         self.apply_churn();
         self.overlay.maintain(&self.nodes, &mut self.rng);
-        let mut order = self.nodes.id_vec();
+        let mut order = std::mem::take(&mut self.order_buf);
+        order.clear();
+        order.extend(self.nodes.ids());
         order.shuffle(&mut self.rng);
-        for id in order {
+        for &id in &order {
             if !self.nodes.contains(id) {
                 continue;
             }
@@ -260,6 +430,7 @@ impl<P: Protocol> Engine<P> {
             };
             self.protocol.on_round(id, &mut ctx);
         }
+        self.order_buf = order;
         self.round += 1;
     }
 
@@ -267,6 +438,197 @@ impl<P: Protocol> Engine<P> {
     pub fn run_rounds(&mut self, n: u64) {
         for _ in 0..n {
             self.run_round();
+        }
+    }
+
+    /// Runs a single round on the phase-split parallel path.
+    ///
+    /// Falls back to [`run_round`](Engine::run_round) when the protocol is
+    /// not [`parallel_capable`](Protocol::parallel_capable). Otherwise the
+    /// round proceeds in phases:
+    ///
+    /// 1. churn + overlay maintenance (sequential, engine RNG — identical
+    ///    to the sequential path),
+    /// 2. **plan** — concurrently for every live node: local work
+    ///    ([`Protocol::par_local`]) and partner/fate selection, each node
+    ///    drawing from its own counter-based RNG stream,
+    /// 3. **absorb** — sequential slot-order fold of the local reports
+    ///    into shared protocol state ([`Protocol::par_absorb`]),
+    /// 4. **apply** — the planned exchanges are greedily coloured into
+    ///    slot-disjoint batches; big batches run conflict-free across
+    ///    threads ([`Protocol::par_apply`]) with traffic accumulated in
+    ///    per-thread [`NetShard`]s, small contended batches run inline.
+    ///
+    /// Because every random draw is keyed by `(seed, round, slot)` and all
+    /// stat reductions are commutative sums, the outcome is bit-identical
+    /// for every thread count (including 1).
+    pub fn run_round_parallel(&mut self)
+    where
+        P: Sync,
+        P::Node: Send + Sync,
+    {
+        if !self.protocol.parallel_capable() {
+            self.run_round();
+            return;
+        }
+        let threads = self.resolved_threads();
+        self.net.begin_round();
+        self.apply_churn();
+        self.overlay.maintain(&self.nodes, &mut self.rng);
+
+        let round = self.round;
+        let par_seed = self.par_seed;
+        let loss_rate = self.loss_rate;
+        let slot_count = self.nodes.slot_count();
+        self.net.ensure_slots(slot_count);
+
+        // Phase 2a: local work, exclusive per-node access, slot-chunked.
+        let mut reports: Vec<Option<ParLocal>> = vec![None; slot_count];
+        {
+            let protocol = &self.protocol;
+            self.nodes
+                .par_for_each_live_mut(threads, &mut reports, |id, node| {
+                    let mut rng =
+                        par_stream_rng(par_seed, round, id.slot() as u64, PAR_PHASE_LOCAL);
+                    protocol.par_local(id, node, round, &mut rng)
+                });
+        }
+
+        // Phase 2b: partner + fate selection, shared slab/overlay access.
+        let mut ids = self.nodes.id_vec();
+        let mut plans: Vec<Option<PlannedExchange>> = vec![None; ids.len()];
+        {
+            let nodes = &self.nodes;
+            let overlay = &self.overlay;
+            let reports = &reports;
+            executor::par_zip(&mut ids, &mut plans, threads, |_, id_chunk, plan_chunk| {
+                for (id, plan) in id_chunk.iter().zip(plan_chunk.iter_mut()) {
+                    let initiates = reports[id.slot()].is_some_and(|r| r.initiates);
+                    if !initiates {
+                        continue;
+                    }
+                    let mut rng = par_stream_rng(par_seed, round, id.slot() as u64, PAR_PHASE_PLAN);
+                    let Some(partner) = overlay.random_neighbour(*id, nodes, &mut rng) else {
+                        continue;
+                    };
+                    *plan = Some(PlannedExchange {
+                        initiator: *id,
+                        partner,
+                        fate: sample_fate(&mut rng, loss_rate),
+                    });
+                }
+            });
+        }
+
+        // Phase 3: absorb local reports sequentially, in slot order.
+        for &id in &ids {
+            let Some(report) = reports[id.slot()] else {
+                continue;
+            };
+            let mut ctx = Ctx {
+                round: self.round,
+                nodes: &mut self.nodes,
+                overlay: &self.overlay,
+                rng: &mut self.rng,
+                net: &mut self.net,
+                loss_rate: self.loss_rate,
+            };
+            self.protocol.par_absorb(id, &report, &mut ctx);
+        }
+
+        // Phase 4: colour the exchanges into slot-disjoint batches. The
+        // greedy rule assigns each exchange the earliest batch after the
+        // last batch touching either endpoint, so within one batch every
+        // slot appears at most once.
+        let plans: Vec<PlannedExchange> = plans.into_iter().flatten().collect();
+        let mut next_batch = vec![0u32; slot_count];
+        let mut num_batches = 0u32;
+        let mut batch_of = Vec::with_capacity(plans.len());
+        for p in &plans {
+            let b = next_batch[p.initiator.slot()].max(next_batch[p.partner.slot()]);
+            batch_of.push(b);
+            next_batch[p.initiator.slot()] = b + 1;
+            next_batch[p.partner.slot()] = b + 1;
+            num_batches = num_batches.max(b + 1);
+        }
+        let mut batches: Vec<Vec<PlannedExchange>> = vec![Vec::new(); num_batches as usize];
+        for (p, b) in plans.iter().zip(&batch_of) {
+            batches[*b as usize].push(*p);
+        }
+
+        for batch in &batches {
+            if threads <= 1 || batch.len() < PAR_APPLY_MIN_BATCH {
+                // Contended / tiny tail: apply inline, charging NetStats
+                // directly (same commutative sums as the shard path).
+                for p in batch {
+                    let Some((a, b)) = self.nodes.pair_mut(p.initiator, p.partner) else {
+                        continue;
+                    };
+                    let traffic = self.protocol.par_apply(p, round, a, b);
+                    charge_traffic(&mut self.net, p, traffic);
+                }
+            } else {
+                let protocol = &self.protocol;
+                let raw = self.nodes.raw_slots();
+                let shards = executor::par_chunks_map(batch, threads, |chunk| {
+                    let mut shard = NetShard::with_slots(slot_count);
+                    for p in chunk {
+                        // Safety: slots within one batch are pairwise
+                        // distinct by construction, and batches are applied
+                        // one at a time, so these two borrows are the only
+                        // live references to their slots.
+                        let (Some(a), Some(b)) = (unsafe { raw.get_mut(p.initiator) }, unsafe {
+                            raw.get_mut(p.partner)
+                        }) else {
+                            continue;
+                        };
+                        let traffic = protocol.par_apply(p, round, a, b);
+                        if let Some(bytes) = traffic.request {
+                            shard.charge_message(p.initiator, p.partner, bytes);
+                        }
+                        if let Some(bytes) = traffic.response {
+                            shard.charge_message(p.partner, p.initiator, bytes);
+                        }
+                    }
+                    shard
+                });
+                for shard in &shards {
+                    self.net.merge_shard(shard);
+                }
+            }
+        }
+        self.round += 1;
+    }
+
+    /// Runs `n` rounds on the parallel path.
+    pub fn run_rounds_parallel(&mut self, n: u64)
+    where
+        P: Sync,
+        P::Node: Send + Sync,
+    {
+        for _ in 0..n {
+            self.run_round_parallel();
+        }
+    }
+
+    /// Replaces the worker-thread count (`0` = auto-detect) used by
+    /// [`run_round_parallel`](Engine::run_round_parallel).
+    pub fn set_threads(&mut self, threads: usize) {
+        self.threads = threads;
+    }
+
+    /// The configured worker-thread count (`0` = auto-detect).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    fn resolved_threads(&self) -> usize {
+        if self.threads == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            self.threads
         }
     }
 
@@ -278,9 +640,10 @@ impl<P: Protocol> Engine<P> {
                     .churn_state
                     .uniform_replacements(rate, self.nodes.len());
                 let mut picked = Vec::with_capacity(k);
+                let mut seen = std::collections::HashSet::with_capacity(k);
                 for _ in 0..k {
                     if let Some(id) = self.nodes.random_id(&mut self.rng) {
-                        if !picked.contains(&id) {
+                        if seen.insert(id) {
                             picked.push(id);
                         }
                     }
@@ -456,6 +819,78 @@ mod tests {
             *b = mean;
             ctx.net.charge_exchange(id, partner, 8, 8);
         }
+
+        fn parallel_capable(&self) -> bool {
+            true
+        }
+
+        fn par_local(
+            &self,
+            _id: NodeId,
+            _node: &mut f64,
+            _round: u64,
+            _rng: &mut StdRng,
+        ) -> ParLocal {
+            ParLocal {
+                initiates: true,
+                ..ParLocal::default()
+            }
+        }
+
+        fn par_apply(
+            &self,
+            plan: &PlannedExchange,
+            _round: u64,
+            a: &mut f64,
+            b: &mut f64,
+        ) -> ExchangeTraffic {
+            match plan.fate {
+                ExchangeFate::Complete => {
+                    let mean = (*a + *b) / 2.0;
+                    *a = mean;
+                    *b = mean;
+                    ExchangeTraffic {
+                        request: Some(8),
+                        response: Some(8),
+                    }
+                }
+                ExchangeFate::RequestLost => ExchangeTraffic {
+                    request: Some(8),
+                    response: None,
+                },
+                ExchangeFate::ResponseLost => {
+                    *b = (*a + *b) / 2.0;
+                    ExchangeTraffic {
+                        request: Some(8),
+                        response: Some(8),
+                    }
+                }
+            }
+        }
+    }
+
+    /// Full observable state of an engine run, for bit-exact comparisons.
+    #[allow(clippy::type_complexity)]
+    fn snapshot(engine: &Engine<Averaging>) -> (Vec<(usize, u64)>, u64, u64, Vec<(u64, u64)>) {
+        let values: Vec<(usize, u64)> = engine
+            .nodes()
+            .iter()
+            .map(|(id, v)| (id.slot(), v.to_bits()))
+            .collect();
+        let traffic: Vec<(u64, u64)> = engine
+            .nodes()
+            .iter()
+            .map(|(id, _)| {
+                let t = engine.net().node(id);
+                (t.total_bytes(), t.total_msgs())
+            })
+            .collect();
+        (
+            values,
+            engine.net().total_bytes(),
+            engine.net().total_msgs(),
+            traffic,
+        )
     }
 
     #[test]
@@ -584,6 +1019,126 @@ mod tests {
         fn on_leave(&mut self, _id: NodeId, _node: ()) {
             self.leaves += 1;
         }
+    }
+
+    #[test]
+    fn parallel_averaging_converges_to_global_mean() {
+        let config = EngineConfig::new(128, 42).with_threads(4);
+        let mut engine = Engine::new(config, Averaging { next_value: 0.0 });
+        engine.run_rounds_parallel(60);
+        let expected = 129.0 / 2.0;
+        for (_, v) in engine.nodes().iter() {
+            assert!((v - expected).abs() < 1e-9, "value {v} far from {expected}");
+        }
+    }
+
+    #[test]
+    fn parallel_conserves_mass_every_round() {
+        let config = EngineConfig::new(300, 7).with_threads(4);
+        let mut engine = Engine::new(config, Averaging { next_value: 0.0 });
+        let initial: f64 = engine.nodes().iter().map(|(_, v)| *v).sum();
+        for _ in 0..20 {
+            engine.run_round_parallel();
+            let sum: f64 = engine.nodes().iter().map(|(_, v)| *v).sum();
+            assert!(
+                (sum - initial).abs() < 1e-6,
+                "mass leaked: {sum} vs {initial}"
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_records_same_message_count_as_sequential() {
+        // Lossless network: both paths carry exactly one exchange per node
+        // per round, so the counters must agree exactly.
+        let mut seq = Engine::new(EngineConfig::new(10, 3), Averaging { next_value: 0.0 });
+        seq.run_round();
+        let config = EngineConfig::new(10, 3).with_threads(2);
+        let mut par = Engine::new(config, Averaging { next_value: 0.0 });
+        par.run_round_parallel();
+        assert_eq!(par.net().total_msgs(), seq.net().total_msgs());
+        assert_eq!(par.net().total_bytes(), seq.net().total_bytes());
+        assert_eq!(par.net().round_msgs(), 20);
+    }
+
+    #[test]
+    fn parallel_is_bit_identical_across_thread_counts() {
+        // Churn + shuffle overlay + loss: the full feature surface must be
+        // thread-count invariant, including per-node traffic tables.
+        let base = EngineConfig::new(300, 11)
+            .with_overlay(OverlayConfig {
+                kind: OverlayKind::Shuffle,
+                degree: 10,
+                shuffle_len: 3,
+            })
+            .with_churn(ChurnModel::uniform(0.02))
+            .with_loss_rate(0.05);
+        let mut reference = None;
+        for threads in [1, 2, 4, 7] {
+            let config = base.with_threads(threads);
+            let mut engine = Engine::new(config, Averaging { next_value: 0.0 });
+            engine.run_rounds_parallel(25);
+            let snap = snapshot(&engine);
+            match &reference {
+                None => reference = Some(snap),
+                Some(r) => assert_eq!(&snap, r, "threads={threads} diverged"),
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_same_config_twice_is_identical() {
+        let config = EngineConfig::new(200, 9)
+            .with_churn(ChurnModel::uniform(0.01))
+            .with_threads(4);
+        let runs: Vec<_> = (0..2)
+            .map(|_| {
+                let mut engine = Engine::new(config, Averaging { next_value: 0.0 });
+                engine.run_rounds_parallel(30);
+                snapshot(&engine)
+            })
+            .collect();
+        assert_eq!(runs[0], runs[1]);
+    }
+
+    #[test]
+    fn sequential_same_config_twice_is_identical() {
+        let config = EngineConfig::new(200, 9).with_churn(ChurnModel::uniform(0.01));
+        let runs: Vec<_> = (0..2)
+            .map(|_| {
+                let mut engine = Engine::new(config, Averaging { next_value: 0.0 });
+                engine.run_rounds(30);
+                snapshot(&engine)
+            })
+            .collect();
+        assert_eq!(runs[0], runs[1]);
+    }
+
+    #[test]
+    fn parallel_falls_back_for_non_capable_protocols() {
+        // JoinTracker does not implement the parallel API; the parallel
+        // entry point must behave exactly like the sequential path.
+        let config = EngineConfig::new(100, 5)
+            .with_churn(ChurnModel::uniform(0.02))
+            .with_threads(4);
+        let mut seq = Engine::new(
+            config,
+            JoinTracker {
+                joins: 0,
+                leaves: 0,
+            },
+        );
+        seq.run_rounds(20);
+        let mut par = Engine::new(
+            config,
+            JoinTracker {
+                joins: 0,
+                leaves: 0,
+            },
+        );
+        par.run_rounds_parallel(20);
+        assert_eq!(par.protocol().joins, seq.protocol().joins);
+        assert_eq!(par.protocol().leaves, seq.protocol().leaves);
     }
 
     #[test]

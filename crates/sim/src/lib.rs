@@ -56,6 +56,7 @@
 mod churn;
 mod engine;
 mod event;
+mod executor;
 mod node;
 mod overlay;
 pub mod peersampling;
@@ -63,10 +64,12 @@ mod rng;
 mod stats;
 
 pub use churn::ChurnModel;
-pub use engine::{Ctx, Engine, EngineConfig, ExchangeFate, Protocol};
+pub use engine::{
+    Ctx, Engine, EngineConfig, ExchangeFate, ExchangeTraffic, ParLocal, PlannedExchange, Protocol,
+};
 pub use event::{AsyncProtocol, EventConfig, EventCtx, EventEngine, LatencyModel};
 pub use node::{NodeId, NodeSlab};
 pub use overlay::{Overlay, OverlayConfig, OverlayKind};
 pub use peersampling::{PeerSamplingPolicy, PeerSelection, PsView, ViewEntry};
-pub use rng::{derive_seed, seeded_rng};
-pub use stats::{Accumulator, NetStats, NodeTraffic};
+pub use rng::{derive_seed, par_stream_rng, seeded_rng};
+pub use stats::{Accumulator, NetShard, NetStats, NodeTraffic};

@@ -282,6 +282,86 @@ impl<N> NodeSlab<N> {
     pub fn id_vec(&self) -> Vec<NodeId> {
         self.ids().collect()
     }
+
+    /// Visits every live node with exclusive access, splitting the slot
+    /// space into contiguous chunks processed by up to `threads` scoped
+    /// threads, and stores each node's result at `out[id.slot()]`.
+    ///
+    /// The chunks partition the slot array, so each node is owned by exactly
+    /// one thread — no synchronisation is needed. Entries of `out` at free
+    /// slots are left untouched.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len() != self.slot_count()`.
+    pub(crate) fn par_for_each_live_mut<R, F>(
+        &mut self,
+        threads: usize,
+        out: &mut [Option<R>],
+        f: F,
+    ) where
+        N: Send,
+        R: Send,
+        F: Fn(NodeId, &mut N) -> R + Sync,
+    {
+        crate::executor::par_zip(&mut self.slots, out, threads, |base, slots, outs| {
+            for (i, (s, out)) in slots.iter_mut().zip(outs.iter_mut()).enumerate() {
+                let generation = s.generation;
+                if let Some(node) = s.node.as_mut() {
+                    let id = NodeId {
+                        slot: (base + i) as u32,
+                        generation,
+                    };
+                    *out = Some(f(id, node));
+                }
+            }
+        });
+    }
+
+    /// An unsynchronised shared handle over the slots, for the parallel
+    /// apply phase where the *caller* guarantees disjointness (each slot
+    /// touched by at most one thread at a time).
+    pub(crate) fn raw_slots(&mut self) -> RawSlots<'_, N> {
+        RawSlots {
+            ptr: self.slots.as_mut_ptr(),
+            len: self.slots.len(),
+            _marker: std::marker::PhantomData,
+        }
+    }
+}
+
+/// Shared handle that hands out `&mut N` by raw pointer for slot-disjoint
+/// parallel mutation (see [`NodeSlab::raw_slots`]).
+pub(crate) struct RawSlots<'a, N> {
+    ptr: *mut Slot<N>,
+    len: usize,
+    _marker: std::marker::PhantomData<&'a mut Slot<N>>,
+}
+
+// One RawSlots is shared across the scoped worker threads of a single apply
+// batch; the engine guarantees the slots they dereference are disjoint.
+unsafe impl<N: Send> Sync for RawSlots<'_, N> {}
+unsafe impl<N: Send> Send for RawSlots<'_, N> {}
+
+impl<'a, N> RawSlots<'a, N> {
+    /// Exclusive access to the node addressed by `id`, or `None` if the id
+    /// is stale or out of range.
+    ///
+    /// # Safety
+    ///
+    /// The caller must guarantee that no other reference to the same slot
+    /// (through this handle or otherwise) is alive for the duration of the
+    /// returned borrow.
+    pub(crate) unsafe fn get_mut(&self, id: NodeId) -> Option<&'a mut N> {
+        if id.slot() >= self.len {
+            return None;
+        }
+        let s = &mut *self.ptr.add(id.slot());
+        if s.generation != id.generation {
+            return None;
+        }
+        s.node.as_mut()
+    }
 }
 
 #[cfg(test)]
@@ -391,5 +471,43 @@ mod tests {
         slab.remove(a);
         let visited: Vec<i32> = slab.iter_mut().map(|(_, n)| *n).collect();
         assert_eq!(visited, vec![2]);
+    }
+
+    #[test]
+    fn par_for_each_live_mut_visits_exactly_the_live_nodes() {
+        for threads in [1, 2, 4] {
+            let mut slab = NodeSlab::new();
+            let ids: Vec<NodeId> = (0..50).map(|i| slab.insert(i)).collect();
+            for id in ids.iter().step_by(3) {
+                slab.remove(*id);
+            }
+            let mut out: Vec<Option<i32>> = vec![None; slab.slot_count()];
+            slab.par_for_each_live_mut(threads, &mut out, |id, n| {
+                *n += 1;
+                assert_eq!(id.slot(), *n as usize - 1);
+                *n
+            });
+            for (slot, o) in out.iter().enumerate() {
+                match slab.id_at_slot(slot) {
+                    Some(_) => assert_eq!(*o, Some(slot as i32 + 1)),
+                    None => assert_eq!(*o, None),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn raw_slots_checks_generation_and_bounds() {
+        let mut slab = NodeSlab::new();
+        let a = slab.insert(1);
+        let b = slab.insert(2);
+        slab.remove(a);
+        let c = slab.insert(3); // reuses a's slot with a newer generation
+        let raw = slab.raw_slots();
+        unsafe {
+            assert_eq!(raw.get_mut(a), None, "stale id rejected");
+            assert_eq!(raw.get_mut(b).map(|n| *n), Some(2));
+            assert_eq!(raw.get_mut(c).map(|n| *n), Some(3));
+        }
     }
 }

@@ -151,6 +151,74 @@ impl NetStats {
         self.round_bytes = 0;
         self.round_msgs = 0;
     }
+
+    /// Folds a per-thread [`NetShard`] into these statistics, crediting its
+    /// traffic to the current round.
+    pub fn merge_shard(&mut self, shard: &NetShard) {
+        self.ensure_slots(shard.per_slot.len());
+        for (mine, theirs) in self.per_slot.iter_mut().zip(&shard.per_slot) {
+            mine.sent_bytes += theirs.sent_bytes;
+            mine.recv_bytes += theirs.recv_bytes;
+            mine.sent_msgs += theirs.sent_msgs;
+            mine.recv_msgs += theirs.recv_msgs;
+        }
+        self.total_bytes += shard.total_bytes;
+        self.total_msgs += shard.total_msgs;
+        self.round_bytes += shard.total_bytes;
+        self.round_msgs += shard.total_msgs;
+    }
+}
+
+/// A thread-local slice of [`NetStats`], accumulated during the parallel
+/// apply phase and folded back with [`NetStats::merge_shard`] at round end.
+///
+/// Every field is a plain sum, so shards merge commutatively: the totals
+/// are identical no matter how the work was distributed over threads — the
+/// property the parallel engine's determinism guarantee rests on.
+#[derive(Debug, Clone, Default)]
+pub struct NetShard {
+    per_slot: Vec<NodeTraffic>,
+    total_bytes: u64,
+    total_msgs: u64,
+}
+
+impl NetShard {
+    /// Creates a shard covering `slots` node slots.
+    pub fn with_slots(slots: usize) -> Self {
+        Self {
+            per_slot: vec![NodeTraffic::default(); slots],
+            total_bytes: 0,
+            total_msgs: 0,
+        }
+    }
+
+    /// Records a single one-way message of `bytes` from `from` to `to`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either slot is outside the range this shard was sized for.
+    pub fn charge_message(&mut self, from: NodeId, to: NodeId, bytes: usize) {
+        let bytes = bytes as u64;
+        self.per_slot[from.slot()].sent_bytes += bytes;
+        self.per_slot[from.slot()].sent_msgs += 1;
+        self.per_slot[to.slot()].recv_bytes += bytes;
+        self.per_slot[to.slot()].recv_msgs += 1;
+        self.total_bytes += bytes;
+        self.total_msgs += 1;
+    }
+
+    /// Records one symmetric push–pull exchange (two messages), mirroring
+    /// [`NetStats::charge_exchange`].
+    pub fn charge_exchange(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        request_bytes: usize,
+        response_bytes: usize,
+    ) {
+        self.charge_message(from, to, request_bytes);
+        self.charge_message(to, from, response_bytes);
+    }
 }
 
 /// Streaming mean/variance/min/max accumulator (Welford's algorithm).
@@ -309,6 +377,39 @@ mod tests {
         net.reset_slot(a.slot());
         assert_eq!(net.node(a).sent_bytes, 0);
         assert_eq!(net.total_bytes(), 10, "global counters unaffected");
+    }
+
+    #[test]
+    fn shard_merge_matches_direct_charging() {
+        let mut slab = NodeSlab::new();
+        let a = slab.insert(());
+        let b = slab.insert(());
+        let c = slab.insert(());
+
+        let mut direct = NetStats::new();
+        direct.ensure_slots(slab.slot_count());
+        direct.begin_round();
+        direct.charge_exchange(a, b, 100, 50);
+        direct.charge_message(c, a, 30);
+
+        // Same traffic split across two shards, merged in either order.
+        let mut sharded = NetStats::new();
+        sharded.ensure_slots(slab.slot_count());
+        sharded.begin_round();
+        let mut s1 = NetShard::with_slots(slab.slot_count());
+        let mut s2 = NetShard::with_slots(slab.slot_count());
+        s1.charge_exchange(a, b, 100, 50);
+        s2.charge_message(c, a, 30);
+        sharded.merge_shard(&s2);
+        sharded.merge_shard(&s1);
+
+        assert_eq!(sharded.total_bytes(), direct.total_bytes());
+        assert_eq!(sharded.total_msgs(), direct.total_msgs());
+        assert_eq!(sharded.round_bytes(), direct.round_bytes());
+        assert_eq!(sharded.round_msgs(), direct.round_msgs());
+        for id in [a, b, c] {
+            assert_eq!(sharded.node(id), direct.node(id));
+        }
     }
 
     #[test]

@@ -1,0 +1,278 @@
+//! Offline stand-in for the `bytes` crate.
+//!
+//! The build environment has no crates.io access, so this vendors the small
+//! slice of the `bytes` API the wire codec uses: [`BytesMut`] as an
+//! append-only build buffer, [`Bytes`] as a cheaply cloneable immutable
+//! view (`Arc<[u8]>` plus a window), and the [`Buf`] / [`BufMut`] traits
+//! carrying the little-endian accessors. Reads consume from the front,
+//! exactly like the real crate's cursor semantics.
+
+use std::ops::{Bound, RangeBounds};
+use std::sync::Arc;
+
+/// Read cursor over a byte source; getters consume from the front.
+pub trait Buf {
+    /// Bytes left to read.
+    fn remaining(&self) -> usize;
+
+    /// Consumes `n` bytes from the front, returning them as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than `n` bytes remain; codec code is expected to
+    /// check [`remaining`](Buf::remaining) first.
+    fn take_front(&mut self, n: usize) -> &[u8];
+
+    /// Reads one byte.
+    fn get_u8(&mut self) -> u8 {
+        self.take_front(1)[0]
+    }
+
+    /// Reads a little-endian `u16`.
+    fn get_u16_le(&mut self) -> u16 {
+        u16::from_le_bytes(self.take_front(2).try_into().unwrap())
+    }
+
+    /// Reads a little-endian `u32`.
+    fn get_u32_le(&mut self) -> u32 {
+        u32::from_le_bytes(self.take_front(4).try_into().unwrap())
+    }
+
+    /// Reads a little-endian `u64`.
+    fn get_u64_le(&mut self) -> u64 {
+        u64::from_le_bytes(self.take_front(8).try_into().unwrap())
+    }
+
+    /// Reads a little-endian `f64`.
+    fn get_f64_le(&mut self) -> f64 {
+        f64::from_le_bytes(self.take_front(8).try_into().unwrap())
+    }
+}
+
+/// Write sink for bytes; putters append at the back.
+pub trait BufMut {
+    /// Appends raw bytes.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Appends one byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    /// Appends a little-endian `u16`.
+    fn put_u16_le(&mut self, v: u16) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u32`.
+    fn put_u32_le(&mut self, v: u32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u64`.
+    fn put_u64_le(&mut self, v: u64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `f64`.
+    fn put_f64_le(&mut self, v: f64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+}
+
+/// Immutable, cheaply cloneable byte buffer: shared storage plus a
+/// `[start, end)` window that reads advance through.
+#[derive(Debug, Clone)]
+pub struct Bytes {
+    data: Arc<[u8]>,
+    start: usize,
+    end: usize,
+}
+
+impl Bytes {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        Self {
+            data: Arc::from(&[][..]),
+            start: 0,
+            end: 0,
+        }
+    }
+
+    /// Number of readable bytes.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Whether no bytes remain.
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// The remaining bytes as a slice.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.data[self.start..self.end]
+    }
+
+    /// Copies the remaining bytes into a fresh `Vec`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.as_slice().to_vec()
+    }
+
+    /// A sub-view sharing the same storage.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds or decreasing.
+    pub fn slice(&self, range: impl RangeBounds<usize>) -> Self {
+        let lo = match range.start_bound() {
+            Bound::Included(&i) => i,
+            Bound::Excluded(&i) => i + 1,
+            Bound::Unbounded => 0,
+        };
+        let hi = match range.end_bound() {
+            Bound::Included(&i) => i + 1,
+            Bound::Excluded(&i) => i,
+            Bound::Unbounded => self.len(),
+        };
+        assert!(lo <= hi && hi <= self.len(), "slice out of bounds");
+        Self {
+            data: self.data.clone(),
+            start: self.start + lo,
+            end: self.start + hi,
+        }
+    }
+}
+
+impl Default for Bytes {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn take_front(&mut self, n: usize) -> &[u8] {
+        assert!(n <= self.len(), "buffer underflow");
+        let out = &self.data[self.start..self.start + n];
+        self.start += n;
+        out
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        let end = v.len();
+        Self {
+            data: Arc::from(v),
+            start: 0,
+            end,
+        }
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(v: &[u8]) -> Self {
+        v.to_vec().into()
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for Bytes {}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+/// Growable build buffer; freeze into [`Bytes`] when done.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An empty buffer with `cap` bytes pre-reserved.
+    pub fn with_capacity(cap: usize) -> Self {
+        Self {
+            data: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Number of bytes written so far.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Converts into an immutable [`Bytes`] without copying.
+    pub fn freeze(self) -> Bytes {
+        Bytes::from(self.data)
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.data.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_widths() {
+        let mut buf = BytesMut::with_capacity(32);
+        buf.put_u8(7);
+        buf.put_u16_le(513);
+        buf.put_u64_le(u64::MAX - 3);
+        buf.put_f64_le(2.5);
+        let mut bytes = buf.freeze();
+        assert_eq!(bytes.len(), 1 + 2 + 8 + 8);
+        assert_eq!(bytes.get_u8(), 7);
+        assert_eq!(bytes.get_u16_le(), 513);
+        assert_eq!(bytes.get_u64_le(), u64::MAX - 3);
+        assert_eq!(bytes.get_f64_le(), 2.5);
+        assert_eq!(bytes.remaining(), 0);
+    }
+
+    #[test]
+    fn slice_shares_and_windows() {
+        let bytes = Bytes::from(vec![0u8, 1, 2, 3, 4, 5]);
+        let head = bytes.slice(..3);
+        assert_eq!(head.to_vec(), vec![0, 1, 2]);
+        let mid = bytes.slice(2..5);
+        assert_eq!(mid.to_vec(), vec![2, 3, 4]);
+        // Original is untouched by reads on the slice.
+        let mut cursor = head.clone();
+        cursor.get_u8();
+        assert_eq!(head.len(), 3);
+        assert_eq!(bytes.len(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "buffer underflow")]
+    fn underflow_panics() {
+        let mut bytes = Bytes::from(vec![1u8]);
+        bytes.get_u16_le();
+    }
+}

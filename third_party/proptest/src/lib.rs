@@ -1,0 +1,401 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment cannot fetch crates.io, so this vendors a small
+//! deterministic property-testing runner with the API surface the
+//! workspace's tests use:
+//!
+//! * the [`proptest!`] macro wrapping `#[test]` functions whose arguments
+//!   are drawn from strategies (`arg in strategy`);
+//! * [`strategy::Strategy`] with `prop_map`, implemented for numeric
+//!   ranges;
+//! * [`collection::vec`] with exact or ranged sizes;
+//! * [`arbitrary::any`] for primitives;
+//! * [`prop_assert!`] / [`prop_assert_eq!`] / [`prop_assert_ne!`].
+//!
+//! Differences from the real crate: inputs are drawn from a fixed-seed
+//! generator derived from the test name (fully reproducible runs, no
+//! persistence files) and failing cases are not shrunk — the assertion
+//! message reports the raw case. The default of 64 cases per property can
+//! be raised with the `PROPTEST_CASES` environment variable.
+
+/// Deterministic test-case generation plumbing used by the
+/// [`proptest!`] macro expansion.
+pub mod test_runner {
+    /// Splittable deterministic generator (SplitMix64) feeding all
+    /// strategies of one property test.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Seeds from the property-test name so every test gets a distinct
+        /// but reproducible stream.
+        pub fn for_test(name: &str) -> Self {
+            // FNV-1a over the name.
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            Self { state: h }
+        }
+
+        /// Next 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform `f64` in `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+
+        /// Uniform integer in `[0, bound)`.
+        pub fn below(&mut self, bound: u64) -> u64 {
+            assert!(bound > 0, "empty sampling bound");
+            self.next_u64() % bound
+        }
+    }
+
+    /// Number of cases per property (`PROPTEST_CASES`, default 64).
+    pub fn case_count() -> u32 {
+        std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(64)
+    }
+}
+
+/// Value-generation strategies.
+pub mod strategy {
+    use crate::test_runner::TestRng;
+
+    /// A recipe for generating values of one type.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Draws one value.
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Post-processes generated values with `f`.
+        fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> U,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_map`].
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, U, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> U,
+    {
+        type Value = U;
+
+        fn sample(&self, rng: &mut TestRng) -> U {
+            (self.f)(self.inner.sample(rng))
+        }
+    }
+
+    /// Always yields a clone of the given value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn sample(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    macro_rules! int_strategies {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as u128 - self.start as u128) as u64;
+                    self.start.wrapping_add(rng.below(span) as $t)
+                }
+            }
+
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    let span = (hi as u128 - lo as u128 + 1) as u64;
+                    lo.wrapping_add(rng.below(span) as $t)
+                }
+            }
+        )*};
+    }
+
+    int_strategies!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! float_strategies {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    self.start + rng.unit_f64() as $t * (self.end - self.start)
+                }
+            }
+
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    // Map the closed unit interval by including the top ulp
+                    // step: draw in [0, 1] via a 53-bit lattice.
+                    let u = (rng.next_u64() >> 11) as $t
+                        / ((1u64 << 53) - 1) as $t;
+                    lo + u * (hi - lo)
+                }
+            }
+        )*};
+    }
+
+    float_strategies!(f32, f64);
+}
+
+/// Strategies for container types.
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Admissible element counts for [`vec`]: either exact or a
+    /// half-open range.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            Self { lo: n, hi: n + 1 }
+        }
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            Self {
+                lo: r.start,
+                hi: r.end,
+            }
+        }
+    }
+
+    impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+            assert!(r.start() <= r.end(), "empty size range");
+            Self {
+                lo: *r.start(),
+                hi: *r.end() + 1,
+            }
+        }
+    }
+
+    /// Strategy producing `Vec`s whose elements come from `element`.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Generates vectors with `size.into()` elements drawn from
+    /// `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            let span = (self.size.hi - self.size.lo) as u64;
+            let len = self.size.lo
+                + if span > 1 {
+                    rng.below(span) as usize
+                } else {
+                    0
+                };
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// `any::<T>()` support for primitives.
+pub mod arbitrary {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Types with a canonical full-domain strategy.
+    pub trait Arbitrary: Sized {
+        /// The canonical strategy type.
+        type Strategy: Strategy<Value = Self>;
+
+        /// The canonical strategy instance.
+        fn arbitrary() -> Self::Strategy;
+    }
+
+    /// Canonical full-domain strategy for `T`.
+    pub fn any<T: Arbitrary>() -> T::Strategy {
+        T::arbitrary()
+    }
+
+    /// Full-domain strategy for a primitive type.
+    #[derive(Debug, Clone, Copy, Default)]
+    pub struct PrimitiveAny<T>(core::marker::PhantomData<T>);
+
+    macro_rules! primitive_any {
+        ($($t:ty => $draw:expr),* $(,)?) => {$(
+            impl Strategy for PrimitiveAny<$t> {
+                type Value = $t;
+
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    let draw: fn(&mut TestRng) -> $t = $draw;
+                    draw(rng)
+                }
+            }
+
+            impl Arbitrary for $t {
+                type Strategy = PrimitiveAny<$t>;
+
+                fn arbitrary() -> Self::Strategy {
+                    PrimitiveAny(core::marker::PhantomData)
+                }
+            }
+        )*};
+    }
+
+    primitive_any! {
+        bool => |rng| rng.next_u64() & 1 == 1,
+        u8 => |rng| rng.next_u64() as u8,
+        u16 => |rng| rng.next_u64() as u16,
+        u32 => |rng| rng.next_u64() as u32,
+        u64 => |rng| rng.next_u64(),
+        usize => |rng| rng.next_u64() as usize,
+        i32 => |rng| rng.next_u64() as i32,
+        i64 => |rng| rng.next_u64() as i64,
+        f64 => |rng| rng.unit_f64(),
+    }
+}
+
+/// Everything a property-test module needs.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Declares property tests: `#[test]` functions whose arguments are drawn
+/// from strategies via `name in strategy`. Each body runs for
+/// [`test_runner::case_count`] deterministic cases.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)+) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let cases = $crate::test_runner::case_count();
+                let mut proptest_rng =
+                    $crate::test_runner::TestRng::for_test(stringify!($name));
+                for _ in 0..cases {
+                    $(
+                        let $arg = $crate::strategy::Strategy::sample(
+                            &($strat),
+                            &mut proptest_rng,
+                        );
+                    )+
+                    $body
+                }
+            }
+        )+
+    };
+}
+
+/// Asserts a condition inside a property test.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Asserts inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_and_vecs_respect_bounds(
+            xs in prop::collection::vec(0.0f64..10.0, 1..20),
+            exact in prop::collection::vec(0u64..5, 3),
+            q in 0.0f64..=1.0,
+            flag in any::<bool>(),
+        ) {
+            prop_assert!(!xs.is_empty() && xs.len() < 20);
+            prop_assert!(xs.iter().all(|x| (0.0..10.0).contains(x)));
+            prop_assert_eq!(exact.len(), 3);
+            prop_assert!((0.0..=1.0).contains(&q));
+            prop_assert!(matches!(flag, true | false));
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn prop_map_applies(v in prop::collection::vec(0.0f64..1.0, 2..9)
+            .prop_map(|mut v| { v.sort_by(f64::total_cmp); v })) {
+            prop_assert!(v.windows(2).all(|w| w[0] <= w[1]));
+        }
+    }
+
+    #[test]
+    fn streams_are_reproducible_per_name() {
+        use crate::test_runner::TestRng;
+        let mut a = TestRng::for_test("x");
+        let mut b = TestRng::for_test("x");
+        let mut c = TestRng::for_test("y");
+        assert_eq!(a.next_u64(), b.next_u64());
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+}

@@ -1,0 +1,21 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The workspace derives `Serialize` / `Deserialize` on its data types so
+//! they are ready for a real serialisation backend, but no code path
+//! actually serialises anything yet (the wire codec in `adam2-core` is
+//! hand-rolled). Since the build environment cannot fetch crates.io, this
+//! stub provides just enough for those derives to compile: empty marker
+//! traits, and (behind the `derive` feature) no-op derive macros that
+//! accept the `#[serde(...)]` helper attribute and emit nothing.
+//!
+//! Swapping in the real `serde` later is a one-line change in the
+//! workspace `[patch.crates-io]` table; no source edits needed.
+
+/// Marker for types that would be serialisable with the real `serde`.
+pub trait Serialize {}
+
+/// Marker for types that would be deserialisable with the real `serde`.
+pub trait Deserialize {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,19 @@
+//! No-op `Serialize` / `Deserialize` derives for the offline `serde`
+//! stand-in: they validate nothing, emit nothing, and exist so that
+//! `#[derive(...)]` and `#[serde(...)]` helper attributes parse.
+
+use proc_macro::TokenStream;
+
+/// Accepts `#[derive(Serialize)]` (and `#[serde(...)]` helpers) and emits
+/// no code.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts `#[derive(Deserialize)]` (and `#[serde(...)]` helpers) and
+/// emits no code.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
