@@ -10,7 +10,7 @@ use adam2_baselines::{EquiDepthConfig, EquiDepthProtocol, PhaseMeta};
 use adam2_core::{
     discrete_errors_over, Adam2Config, Adam2Protocol, AttrValue, InstanceMeta, InterpCdf, StepCdf,
 };
-use adam2_sim::{derive_seed, seeded_rng, ChurnModel, Engine, EngineConfig, NodeId};
+use adam2_sim::{derive_seed, seeded_rng, ChurnModel, Engine, EngineConfig, MassAuditor, NodeId};
 use adam2_traces::{Attribute, Population};
 
 /// A generated population with its exact CDF.
@@ -65,6 +65,29 @@ pub fn adam2_engine_threaded(
     let engine_config = EngineConfig::new(setup.population.len(), derive_seed(seed, 0xE7_61))
         .with_churn(churn)
         .with_threads(threads);
+    Engine::new(engine_config, proto)
+}
+
+/// Builds an Adam2 engine with full control over the engine configuration:
+/// `configure` receives the base config (population size + derived seed)
+/// and can layer loss rates, exchange repair, fault scenarios via
+/// [`Engine::set_fault_scenario`] afterwards, thread counts, or churn on
+/// top. The population and seed derivation match [`adam2_engine`], so
+/// faulted and fault-free runs are directly comparable.
+pub fn adam2_engine_with(
+    setup: &ExperimentSetup,
+    config: Adam2Config,
+    seed: u64,
+    configure: impl FnOnce(EngineConfig) -> EngineConfig,
+) -> Engine<Adam2Protocol> {
+    let pop = setup.population.clone();
+    let proto = Adam2Protocol::with_population(config, pop.values().to_vec(), move |rng| {
+        pop.draw_fresh(rng)
+    });
+    let engine_config = configure(EngineConfig::new(
+        setup.population.len(),
+        derive_seed(seed, 0xE7_61),
+    ));
     Engine::new(engine_config, proto)
 }
 
@@ -326,6 +349,88 @@ pub fn evaluate_equidepth_estimates(
     }
 }
 
+/// Conservation defect of one running instance, aggregated over its
+/// current participants.
+///
+/// Both quantities are invariant under joins and symmetric merges, so any
+/// departure from 0 measures mass injected or destroyed by the network
+/// (asymmetric half-exchanges, crashed participants):
+///
+/// * `weight` — `Σ w_p − 1` (the system-size mass; exactly 0 on a
+///   fault-free run);
+/// * `fraction` — `max_i |Σ_p f_i(p) − Σ_p indicator_p(t_i)|` (the
+///   averaging mass at the worst interpolation point).
+///
+/// Restart epochs re-seed both masses, so defects are meaningful within
+/// one epoch (the bench fault scenarios run with self-healing off).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MassDefect {
+    /// `Σ w_p − 1` over participants.
+    pub weight: f64,
+    /// Worst-threshold averaging-mass defect over participants.
+    pub fraction: f64,
+}
+
+/// Measures the conservation defect of `meta`'s instance right now.
+pub fn mass_defect(engine: &Engine<Adam2Protocol>, meta: &InstanceMeta) -> MassDefect {
+    let lambda = meta.thresholds.len();
+    let mut weight = 0.0f64;
+    let mut fractions = vec![0.0f64; lambda];
+    let mut indicators = vec![0.0f64; lambda];
+    let mut participants = 0usize;
+    for (_, node) in engine.nodes().iter() {
+        let Some(inst) = node.active_instance(meta.id) else {
+            continue;
+        };
+        participants += 1;
+        weight += inst.weight;
+        for (acc, f) in fractions.iter_mut().zip(&inst.fractions) {
+            *acc += f;
+        }
+        for (acc, t) in indicators.iter_mut().zip(meta.thresholds.iter()) {
+            *acc += node.value().indicator(*t);
+        }
+    }
+    let fraction = fractions
+        .iter()
+        .zip(&indicators)
+        .map(|(f, x)| (f - x).abs())
+        .fold(0.0f64, f64::max);
+    MassDefect {
+        weight: if participants > 0 { weight - 1.0 } else { 0.0 },
+        fraction,
+    }
+}
+
+/// Keys used by [`run_instance_audited`] in its [`MassAuditor`].
+pub const AUDIT_WEIGHT: u64 = 0;
+/// See [`AUDIT_WEIGHT`].
+pub const AUDIT_FRACTION: u64 = 1;
+
+/// Runs `rounds` gossip rounds, feeding the per-round [`MassDefect`] of
+/// `meta`'s instance into a [`MassAuditor`] (component [`AUDIT_WEIGHT`]
+/// tracks the weight defect, [`AUDIT_FRACTION`] the averaging-mass
+/// defect). `auditor.max_drift()` over a run bounds the worst conservation
+/// violation any round exhibited.
+pub fn run_instance_audited(
+    engine: &mut Engine<Adam2Protocol>,
+    meta: &InstanceMeta,
+    rounds: u64,
+) -> MassAuditor {
+    let mut auditor = MassAuditor::new();
+    // Baseline both components at exactly 0 so recorded drifts are the
+    // defects themselves.
+    auditor.observe(AUDIT_WEIGHT, 0.0);
+    auditor.observe(AUDIT_FRACTION, 0.0);
+    for _ in 0..rounds {
+        engine.run_round();
+        let defect = mass_defect(engine, meta);
+        auditor.observe(AUDIT_WEIGHT, defect.weight);
+        auditor.observe(AUDIT_FRACTION, defect.fraction);
+    }
+    auditor
+}
+
 /// Per-round error sample of a *running* instance (Figs. 6 and 12).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RoundSample {
@@ -507,6 +612,63 @@ mod tests {
         assert_eq!(report.peers_without_estimate, 0);
         assert!(report.max_cdf < 0.7);
         assert!(report.avg_cdf > 0.0);
+    }
+
+    #[test]
+    fn repaired_protocol_survives_burst_loss_and_partition() {
+        // The PR's acceptance scenario: 20 % burst loss over rounds 5..15
+        // plus a 10-round overlay bisection over rounds 10..20, one
+        // 35-round instance. With the two-phase repair the mass auditor
+        // stays flat and the final Err_a lands within 2x of the fault-free
+        // run; without it the burst visibly destroys averaging mass.
+        use adam2_sim::{ExchangeRepair, FaultScenario, PartitionKind};
+
+        let s = small_setup();
+        let config = Adam2Config::new()
+            .with_lambda(20)
+            .with_rounds_per_instance(35)
+            .with_bootstrap(BootstrapKind::Neighbours);
+        let scenario = || {
+            FaultScenario::new(7)
+                .with_burst_loss(5, 15, 0.2)
+                .with_partition(10, 20, PartitionKind::Bisect)
+        };
+
+        let mut fault_free = adam2_engine(&s, config, 2, ChurnModel::None);
+        let meta = start_instance(&mut fault_free);
+        let clean_audit = run_instance_audited(&mut fault_free, &meta, 36);
+        let clean = evaluate_estimates(&fault_free, &s.truth, 16, 2);
+        assert!(clean_audit.max_drift() < 1e-9, "clean run must conserve");
+
+        let mut repaired =
+            adam2_engine_with(&s, config, 2, |c| c.with_repair(ExchangeRepair::enabled()));
+        repaired.set_fault_scenario(scenario()).expect("valid");
+        let meta = start_instance(&mut repaired);
+        let repaired_audit = run_instance_audited(&mut repaired, &meta, 36);
+        let repaired_report = evaluate_estimates(&repaired, &s.truth, 16, 2);
+
+        let mut unrepaired = adam2_engine(&s, config, 2, ChurnModel::None);
+        unrepaired.set_fault_scenario(scenario()).expect("valid");
+        let meta = start_instance(&mut unrepaired);
+        let unrepaired_audit = run_instance_audited(&mut unrepaired, &meta, 36);
+
+        assert!(
+            repaired_audit.max_drift() < 1e-9,
+            "repair must conserve mass: {}",
+            repaired_audit.max_drift()
+        );
+        assert!(
+            unrepaired_audit.max_drift() > 1e-4,
+            "unrepaired burst should measurably leak: {}",
+            unrepaired_audit.max_drift()
+        );
+        assert!(
+            repaired_report.avg_cdf <= clean.avg_cdf * 2.0 + 1e-9,
+            "repaired Err_a {} vs fault-free {}",
+            repaired_report.avg_cdf,
+            clean.avg_cdf
+        );
+        assert_eq!(repaired_report.peers_without_estimate, 0);
     }
 
     #[test]

@@ -50,7 +50,22 @@ impl Adam2Message {
             Adam2Message::Request(m) | Adam2Message::Response(m) => m.encoded_len(),
         }
     }
+
+    /// Per-exchange sequence number: assigned by the initiator's timer,
+    /// echoed by the response. Duplicate deliveries of the same message
+    /// repeat it, which is how [`AsyncAdam2`] detects them.
+    pub fn seq(&self) -> u64 {
+        match self {
+            Adam2Message::Request(m) | Adam2Message::Response(m) => m.seq,
+        }
+    }
 }
+
+/// Bound on the duplicate-detection window (FIFO-evicted `(sender,
+/// receiver, seq)` triples). Duplicates injected by the fault framework
+/// arrive within one latency draw of the original, so a small window
+/// suffices; the bound keeps long runs at constant memory.
+const SEEN_CAP: usize = 1024;
 
 /// Event-driven Adam2: one gossip exchange per timer fire, with join and
 /// merge driven entirely by decoded wire payloads.
@@ -60,6 +75,10 @@ pub struct AsyncAdam2 {
     /// interpreted against `now / ticks_per_round`.
     ticks_per_round: u64,
     completed: u64,
+    next_seq: u64,
+    seen: std::collections::HashSet<(usize, usize, u64)>,
+    seen_order: std::collections::VecDeque<(usize, usize, u64)>,
+    duplicates_dropped: u64,
 }
 
 impl std::fmt::Debug for AsyncAdam2 {
@@ -87,6 +106,10 @@ impl AsyncAdam2 {
             source: Box::new(source),
             ticks_per_round,
             completed: 0,
+            next_seq: 0,
+            seen: std::collections::HashSet::new(),
+            seen_order: std::collections::VecDeque::new(),
+            duplicates_dropped: 0,
         }
     }
 
@@ -109,6 +132,29 @@ impl AsyncAdam2 {
     /// Number of per-node instance completions so far.
     pub fn completed_count(&self) -> u64 {
         self.completed
+    }
+
+    /// Number of received messages dropped as duplicates (same sender,
+    /// receiver and sequence number as an already-processed message).
+    pub fn duplicates_dropped(&self) -> u64 {
+        self.duplicates_dropped
+    }
+
+    /// Records `(from, to, seq)` in the dedup window; returns `false` (and
+    /// counts the drop) when the triple was already seen.
+    fn note_seen(&mut self, from: NodeId, to: NodeId, seq: u64) -> bool {
+        let key = (from.slot(), to.slot(), seq);
+        if !self.seen.insert(key) {
+            self.duplicates_dropped += 1;
+            return false;
+        }
+        self.seen_order.push_back(key);
+        if self.seen_order.len() > SEEN_CAP {
+            if let Some(old) = self.seen_order.pop_front() {
+                self.seen.remove(&old);
+            }
+        }
+        true
     }
 
     /// Enrols `initiator` in a new instance with explicit metadata (the
@@ -203,8 +249,10 @@ impl AsyncProtocol for AsyncAdam2 {
         let Some(node) = ctx.nodes.get(id) else {
             return;
         };
-        let message =
+        let mut message =
             GossipMessage::from_locals(node.active_instances().iter().filter(|i| !i.is_due(round)));
+        self.next_seq += 1;
+        message.seq = self.next_seq;
         let bytes = message.encoded_len();
         ctx.send(id, partner, Adam2Message::Request(message), bytes);
     }
@@ -216,6 +264,11 @@ impl AsyncProtocol for AsyncAdam2 {
         message: Adam2Message,
         ctx: &mut EventCtx<'_, Adam2Node, Adam2Message>,
     ) {
+        // Duplicate suppression: the fault framework can deliver the same
+        // message twice; absorbing it twice would double-count its mass.
+        if !self.note_seen(from, id, message.seq()) {
+            return;
+        }
         let now = ctx.now;
         self.finalize_due(id, now, ctx);
         let round = self.round_of(now);
@@ -229,9 +282,10 @@ impl AsyncProtocol for AsyncAdam2 {
                     return;
                 };
                 Self::join_unknown(node, message.payloads(), round);
-                let response = GossipMessage::from_locals(
+                let mut response = GossipMessage::from_locals(
                     node.active_instances().iter().filter(|i| !i.is_due(round)),
                 );
+                response.seq = message.seq();
                 let bytes = response.encoded_len();
                 Self::absorb(node, message.payloads(), round, true);
                 ctx.send(id, from, Adam2Message::Response(response), bytes);
@@ -326,6 +380,62 @@ mod tests {
             "short latency ({}) should not be much worse than long ({})",
             errs[0],
             errs[1]
+        );
+    }
+
+    #[test]
+    fn duplicated_messages_are_dropped_by_sequence_numbers() {
+        use adam2_sim::FaultScenario;
+        let values: Vec<f64> = (1..=100).map(f64::from).collect();
+        let truth = StepCdf::from_values(values.clone());
+        let period = 100;
+        let proto = AsyncAdam2::with_population(period, values, |_| 1.0);
+        let config = EventConfig::new(100, 77)
+            .with_gossip_period(period)
+            .with_latency(LatencyModel::Fixed(10));
+        let mut engine = EventEngine::new(config, proto);
+        engine
+            .set_fault_scenario(FaultScenario::new(5).with_duplication(0, 40, 0.5))
+            .expect("valid scenario");
+        let meta = Arc::new(InstanceMeta {
+            id: InstanceId::derive(0, 0, 1),
+            thresholds: vec![25.0, 50.0, 75.0].into(),
+            verify_thresholds: Vec::new().into(),
+            start_round: 0,
+            end_round: 40,
+            multi: false,
+        });
+        engine.with_ctx(|proto, ctx| {
+            let initiator = ctx.nodes.random_id(ctx.rng).expect("nodes");
+            proto.start_instance(initiator, meta.clone(), ctx)
+        });
+        engine.run_until(period * 42);
+        assert!(
+            engine.duplicated_count() > 0,
+            "fault injected no duplicates"
+        );
+        assert!(
+            engine.protocol().duplicates_dropped() > 0,
+            "dedup never fired"
+        );
+        // Suppressing duplicates keeps the absorbed mass sane: estimates
+        // converge and the size estimate is not inflated by re-counted
+        // weight.
+        let mut sizes = Vec::new();
+        for (_, node) in engine.nodes().iter() {
+            if let Some(est) = node.estimate() {
+                let (max_err, _) = point_errors(&truth, &est.thresholds, &est.fractions);
+                assert!(max_err < 0.05, "point error {max_err} under duplication");
+                if let Some(n) = est.n_hat {
+                    sizes.push(n);
+                }
+            }
+        }
+        assert!(!sizes.is_empty());
+        let mean = sizes.iter().sum::<f64>() / sizes.len() as f64;
+        assert!(
+            (mean - 100.0).abs() / 100.0 < 0.2,
+            "N estimate drifted under duplication: {mean}"
         );
     }
 

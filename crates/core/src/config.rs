@@ -23,6 +23,20 @@ pub enum Scheduling {
     },
 }
 
+/// Self-healing policy (robustness extension of Section VI's confidence
+/// machinery): when a due instance's self-assessed verification error
+/// `EstErr_a` exceeds `err_threshold`, the node votes to restart the
+/// instance instead of finalising it — the restart epoch spreads
+/// epidemically and the swarm re-enters averaging with fresh indicators.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SelfHealPolicy {
+    /// Restart when `EstErr_a` exceeds this (must be finite and positive).
+    pub err_threshold: f64,
+    /// Maximum restarts per instance (the epoch ceiling); the instance
+    /// finalises with whatever it has once exhausted.
+    pub max_restarts: u32,
+}
+
 /// Configuration of the Adam2 protocol.
 ///
 /// Defaults follow the paper's evaluation: λ = 50 interpolation points,
@@ -66,6 +80,10 @@ pub struct Adam2Config {
     /// How many neighbours to sample for the neighbour-based bootstrap
     /// (0 = λ).
     pub neighbour_sample: usize,
+    /// Self-healing instance restarts (`None` disables them). Requires
+    /// `verify_points > 0` — the restart vote is driven by the
+    /// verification-point error estimate.
+    pub self_heal: Option<SelfHealPolicy>,
 }
 
 impl Default for Adam2Config {
@@ -88,6 +106,7 @@ impl Adam2Config {
             initial_n_estimate: 100.0,
             domain_hint: None,
             neighbour_sample: 0,
+            self_heal: None,
         }
     }
 
@@ -151,6 +170,16 @@ impl Adam2Config {
         self
     }
 
+    /// Enables self-healing: instances whose verification error exceeds
+    /// `err_threshold` restart (up to `max_restarts` times).
+    pub fn with_self_heal(mut self, err_threshold: f64, max_restarts: u32) -> Self {
+        self.self_heal = Some(SelfHealPolicy {
+            err_threshold,
+            max_restarts,
+        });
+        self
+    }
+
     /// The effective neighbour-sample size (λ when unset).
     pub fn effective_neighbour_sample(&self) -> usize {
         if self.neighbour_sample == 0 {
@@ -188,6 +217,19 @@ impl Adam2Config {
         if let Some((lo, hi)) = self.domain_hint {
             if !lo.is_finite() || !hi.is_finite() || lo > hi {
                 return Err(ConfigError::new("domain_hint must be a finite range"));
+            }
+        }
+        if let Some(heal) = self.self_heal {
+            if !heal.err_threshold.is_finite() || heal.err_threshold <= 0.0 {
+                return Err(ConfigError::new(
+                    "self_heal err_threshold must be finite and positive",
+                ));
+            }
+            if self.verify_points == 0 {
+                return Err(ConfigError::new(
+                    "self_heal requires verify_points > 0 (restarts are driven \
+                     by the verification error estimate)",
+                ));
             }
         }
         Ok(())
@@ -253,6 +295,37 @@ mod tests {
             .is_err());
         assert!(Adam2Config::new()
             .with_domain_hint(5.0, 1.0)
+            .validate()
+            .is_err());
+    }
+
+    #[test]
+    fn self_heal_validation() {
+        let ok = Adam2Config::new()
+            .with_verify_points(10)
+            .with_self_heal(1e-3, 2);
+        assert!(ok.validate().is_ok());
+        assert_eq!(
+            ok.self_heal,
+            Some(SelfHealPolicy {
+                err_threshold: 1e-3,
+                max_restarts: 2
+            })
+        );
+        // Needs verification points to measure the error it keys off.
+        assert!(Adam2Config::new()
+            .with_self_heal(1e-3, 2)
+            .validate()
+            .is_err());
+        // Threshold must be a positive finite number.
+        assert!(Adam2Config::new()
+            .with_verify_points(10)
+            .with_self_heal(0.0, 2)
+            .validate()
+            .is_err());
+        assert!(Adam2Config::new()
+            .with_verify_points(10)
+            .with_self_heal(f64::NAN, 2)
             .validate()
             .is_err());
     }

@@ -187,6 +187,15 @@ pub struct InstanceLocal {
     pub min: f64,
     /// Running global maximum attribute value (max-merged).
     pub max: f64,
+    /// Restart epoch (self-healing, Section VI): 0 for the original
+    /// averaging run; incremented each time the swarm votes to restart the
+    /// instance with fresh indicators. Reconciled epidemically — the
+    /// highest epoch wins and lower-epoch peers re-enter from their own
+    /// value.
+    pub epoch: u32,
+    /// Whether this peer initiated the instance (it re-contributes weight 1
+    /// on every restart, keeping the global weight mass exactly 1).
+    pub initiator: bool,
 }
 
 impl InstanceLocal {
@@ -213,8 +222,48 @@ impl InstanceLocal {
             weight: if initiator { 1.0 } else { 0.0 },
             min: value.local_min(),
             max: value.local_max(),
+            epoch: 0,
+            initiator,
             meta,
         }
+    }
+
+    /// Re-enters the averaging run at `epoch`, resetting every averaged
+    /// component from this peer's own value — the state a fresh joiner of
+    /// that epoch would have. The initiator re-contributes weight 1 so the
+    /// global weight mass of the new epoch is exactly 1 again.
+    pub fn adopt_epoch(&mut self, epoch: u32, value: &AttrValue) {
+        self.epoch = epoch;
+        self.fractions = self
+            .meta
+            .thresholds
+            .iter()
+            .map(|t| value.indicator(*t))
+            .collect();
+        self.verify_fractions = self
+            .meta
+            .verify_thresholds
+            .iter()
+            .map(|t| value.indicator(*t))
+            .collect();
+        self.count = value.count();
+        self.weight = if self.initiator { 1.0 } else { 0.0 };
+        self.min = value.local_min();
+        self.max = value.local_max();
+    }
+
+    /// Votes to restart the instance: bumps the epoch and resets the local
+    /// state ([`adopt_epoch`](InstanceLocal::adopt_epoch)); gossip spreads
+    /// the new epoch epidemically.
+    pub fn restart(&mut self, value: &AttrValue) {
+        self.adopt_epoch(self.epoch + 1, value);
+    }
+
+    /// First round at which this instance may be finalised: each restart
+    /// epoch extends the deadline by one instance duration so the new
+    /// averaging run gets the same number of rounds as the original.
+    pub fn due_round(&self) -> u64 {
+        self.meta.end_round + u64::from(self.epoch) * self.meta.duration()
     }
 
     /// Performs the symmetric push–pull merge of two peers' states:
@@ -227,6 +276,7 @@ impl InstanceLocal {
     /// instances.
     pub fn merge_symmetric(a: &mut InstanceLocal, b: &mut InstanceLocal) {
         debug_assert_eq!(a.meta.id, b.meta.id, "instance id mismatch");
+        debug_assert_eq!(a.epoch, b.epoch, "epochs must be reconciled before merging");
         for (fa, fb) in a.fractions.iter_mut().zip(&mut b.fractions) {
             let mean = (*fa + *fb) / 2.0;
             *fa = mean;
@@ -251,9 +301,10 @@ impl InstanceLocal {
         b.max = max;
     }
 
-    /// Whether the instance should be finalised at `round`.
+    /// Whether the instance should be finalised at `round` (epoch-aware:
+    /// see [`due_round`](InstanceLocal::due_round)).
     pub fn is_due(&self, round: u64) -> bool {
-        round >= self.meta.end_round
+        round >= self.due_round()
     }
 
     /// The current CDF fractions, normalised for multi-value mode
@@ -484,5 +535,40 @@ mod tests {
         assert!(!a.is_due(24));
         assert!(a.is_due(25));
         assert!(a.is_due(26));
+    }
+
+    #[test]
+    fn restart_bumps_epoch_and_extends_deadline() {
+        let m = meta(&[5.0], false);
+        let value = AttrValue::Single(3.0);
+        let mut a = InstanceLocal::join(m.clone(), &value, true);
+        let mut b = InstanceLocal::join(m, &AttrValue::Single(8.0), false);
+        InstanceLocal::merge_symmetric(&mut a, &mut b);
+        assert_eq!(a.due_round(), 25);
+        a.restart(&value);
+        assert_eq!(a.epoch, 1);
+        // Deadline extended by one 25-round duration.
+        assert_eq!(a.due_round(), 50);
+        assert!(!a.is_due(25));
+        assert!(a.is_due(50));
+        // State reset to a fresh initiator contribution.
+        assert_eq!(a.fractions, vec![1.0]);
+        assert_eq!(a.weight, 1.0);
+        assert_eq!(a.min, 3.0);
+        assert_eq!(a.max, 3.0);
+    }
+
+    #[test]
+    fn adopt_epoch_resets_non_initiator_weight() {
+        let m = meta(&[5.0], false);
+        let value = AttrValue::Single(8.0);
+        let mut b = InstanceLocal::join(m.clone(), &value, false);
+        let mut a = InstanceLocal::join(m, &AttrValue::Single(3.0), true);
+        InstanceLocal::merge_symmetric(&mut a, &mut b);
+        assert_eq!(b.weight, 0.5);
+        b.adopt_epoch(2, &value);
+        assert_eq!(b.epoch, 2);
+        assert_eq!(b.weight, 0.0, "only the initiator re-seeds weight");
+        assert_eq!(b.fractions, vec![0.0]);
     }
 }

@@ -75,7 +75,7 @@ pub use aggregation::{CountAggregation, Extrema, ExtremaAggregation, MeanAggrega
 pub use async_protocol::{Adam2Message, AsyncAdam2};
 pub use cdf::{InterpCdf, StepCdf};
 pub use confidence::verification_thresholds;
-pub use config::{Adam2Config, Scheduling};
+pub use config::{Adam2Config, Scheduling, SelfHealPolicy};
 pub use error::{CdfError, ConfigError, WireError};
 pub use estimate::DistributionEstimate;
 pub use instance::{AttrValue, InstanceId, InstanceLocal, InstanceMeta};

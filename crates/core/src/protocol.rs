@@ -26,7 +26,7 @@ use rand::RngExt as _;
 use adam2_sim::{Ctx, ExchangeFate, ExchangeTraffic, NodeId, ParLocal, PlannedExchange, Protocol};
 
 use crate::confidence::verification_thresholds;
-use crate::config::{Adam2Config, Scheduling};
+use crate::config::{Adam2Config, Scheduling, SelfHealPolicy};
 use crate::estimate::DistributionEstimate;
 use crate::instance::{AttrValue, InstanceId, InstanceLocal, InstanceMeta};
 use crate::selection::{select_thresholds, SelectionInput};
@@ -110,16 +110,47 @@ impl Adam2Node {
     /// newest resulting estimate and system-size value. Returns
     /// `(successful, failed)` finalisation counts.
     pub fn finalize_due_instances(&mut self, round: u64) -> (u64, u64) {
+        let (completed, failed, _) = self.finalize_or_heal(round, None);
+        (completed, failed)
+    }
+
+    /// Epoch-aware finalisation with optional self-healing: a due instance
+    /// whose tentative estimate self-assesses `EstErr_a` above the policy
+    /// threshold *restarts* (epoch bump, state reset from this node's own
+    /// value) instead of finalising, as long as its epoch is still below
+    /// `max_restarts`; the bumped epoch then spreads epidemically through
+    /// the regular exchanges. Returns `(completed, failed, restarted)`.
+    pub fn finalize_or_heal(
+        &mut self,
+        round: u64,
+        heal: Option<SelfHealPolicy>,
+    ) -> (u64, u64, u64) {
         let mut completed = 0;
         let mut failed = 0;
+        let mut restarted = 0;
         let mut i = 0;
         while i < self.instances.len() {
             if !self.instances[i].is_due(round) {
                 i += 1;
                 continue;
             }
-            let inst = self.instances.swap_remove(i);
-            match inst.finalize(round) {
+            let result = self.instances[i].finalize(round);
+            if let Some(policy) = heal {
+                let vote_restart = self.instances[i].epoch < policy.max_restarts
+                    && result
+                        .as_ref()
+                        .ok()
+                        .and_then(|est| est.est_err_avg)
+                        .is_some_and(|err| err > policy.err_threshold);
+                if vote_restart {
+                    self.instances[i].restart(&self.value);
+                    restarted += 1;
+                    i += 1;
+                    continue;
+                }
+            }
+            self.instances.swap_remove(i);
+            match result {
                 Ok(est) => {
                     let newer = self
                         .estimate
@@ -136,7 +167,7 @@ impl Adam2Node {
                 Err(_) => failed += 1,
             }
         }
-        (completed, failed)
+        (completed, failed, restarted)
     }
 
     /// Joins an instance as a non-initiator (indicator contributions,
@@ -179,6 +210,15 @@ impl Adam2Node {
                 self.instances.len() - 1
             }
         };
+        // Epoch reconciliation (self-healing): a stale-epoch snapshot is
+        // superseded by our restart and must be ignored; a newer epoch makes
+        // us re-enter the averaging run from our own value first.
+        if snapshot.epoch < self.instances[idx].epoch {
+            return;
+        }
+        if snapshot.epoch > self.instances[idx].epoch {
+            self.instances[idx].adopt_epoch(snapshot.epoch, &self.value);
+        }
         let mut other = snapshot.clone();
         InstanceLocal::merge_symmetric(&mut self.instances[idx], &mut other);
     }
@@ -232,7 +272,7 @@ pub fn gossip_exchange(a: &mut Adam2Node, b: &mut Adam2Node, round: u64) -> (usi
         let (Some(ia), Some(ib)) = (a.find_index(meta.id), b.find_index(meta.id)) else {
             continue;
         };
-        InstanceLocal::merge_symmetric(&mut a.instances[ia], &mut b.instances[ib]);
+        reconcile_and_merge(a, ia, b, ib);
     }
     // Instances only a announced (b could not join them): already merged
     // above if shared; a-only ones stay untouched, which is correct — b
@@ -244,10 +284,43 @@ pub fn gossip_exchange(a: &mut Adam2Node, b: &mut Adam2Node, round: u64) -> (usi
         let (Some(ia), Some(ib)) = (a.find_index(meta.id), b.find_index(meta.id)) else {
             continue;
         };
-        InstanceLocal::merge_symmetric(&mut a.instances[ia], &mut b.instances[ib]);
+        reconcile_and_merge(a, ia, b, ib);
     }
 
     (request_bytes, response_bytes)
+}
+
+/// Reconciles the restart epochs of two peers' states for the same
+/// instance (highest epoch wins; the lower side re-enters from its own
+/// value), then performs the mass-conserving symmetric merge.
+fn reconcile_and_merge(a: &mut Adam2Node, ia: usize, b: &mut Adam2Node, ib: usize) {
+    use std::cmp::Ordering;
+    match a.instances[ia].epoch.cmp(&b.instances[ib].epoch) {
+        Ordering::Less => {
+            let epoch = b.instances[ib].epoch;
+            a.instances[ia].adopt_epoch(epoch, &a.value);
+        }
+        Ordering::Greater => {
+            let epoch = a.instances[ia].epoch;
+            b.instances[ib].adopt_epoch(epoch, &b.value);
+        }
+        Ordering::Equal => {}
+    }
+    InstanceLocal::merge_symmetric(&mut a.instances[ia], &mut b.instances[ib]);
+}
+
+/// The response length `b` would send after joining every instance in
+/// `a`'s request, *without* mutating either node — the wire size of the
+/// response of an exchange whose staged state is later rolled back
+/// ([`ExchangeFate::Aborted`]).
+fn response_len_after_join(a: &Adam2Node, b: &Adam2Node, round: u64) -> usize {
+    let own = b.instances.iter().filter(|i| !i.is_due(round));
+    let joined = a.instances.iter().filter(|i| {
+        !i.is_due(round)
+            && b.joined_round <= i.meta.start_round
+            && b.find_index(i.meta.id).is_none()
+    });
+    wire::message_len(own.chain(joined))
 }
 
 /// The asymmetric half-exchange that results when the *response* of a
@@ -292,6 +365,7 @@ pub struct Adam2Protocol {
     started: Vec<Arc<InstanceMeta>>,
     completed: u64,
     finalize_failures: u64,
+    healed: u64,
 }
 
 impl std::fmt::Debug for Adam2Protocol {
@@ -325,6 +399,7 @@ impl Adam2Protocol {
             started: Vec::new(),
             completed: 0,
             finalize_failures: 0,
+            healed: 0,
         }
     }
 
@@ -370,6 +445,12 @@ impl Adam2Protocol {
     /// estimate (e.g. a peer that never exchanged a message).
     pub fn finalize_failure_count(&self) -> u64 {
         self.finalize_failures
+    }
+
+    /// Number of per-node self-healing restart votes (0 unless
+    /// [`Adam2Config::with_self_heal`] is configured).
+    pub fn healed_count(&self) -> u64 {
+        self.healed
     }
 
     /// Starts a new aggregation instance at `initiator`, selecting
@@ -445,9 +526,10 @@ impl Adam2Protocol {
         let Some(node) = ctx.nodes.get_mut(id) else {
             return;
         };
-        let (completed, failed) = node.finalize_due_instances(round);
+        let (completed, failed, restarted) = node.finalize_or_heal(round, self.config.self_heal);
         self.completed += completed;
         self.finalize_failures += failed;
+        self.healed += restarted;
     }
 }
 
@@ -479,24 +561,44 @@ impl Protocol for Adam2Protocol {
             return;
         };
         let round = ctx.round;
-        let fate = ctx.sample_exchange_fate();
+        let outcome = ctx.sample_exchange();
         let Some((a, b)) = ctx.nodes.pair_mut(id, partner) else {
             return;
         };
-        match fate {
+        match outcome.fate {
             ExchangeFate::Complete => {
                 let (req, resp) = gossip_exchange(a, b, round);
-                ctx.net.charge_exchange(id, partner, req, resp);
+                for _ in 0..outcome.request_msgs.max(1) {
+                    ctx.net.charge_message(id, partner, req);
+                }
+                for _ in 0..outcome.response_msgs.max(1) {
+                    ctx.net.charge_message(partner, id, resp);
+                }
             }
             ExchangeFate::RequestLost => {
-                // The sender still paid for the request.
+                // The sender still paid for every (re)transmission.
                 let req = wire::message_len(a.instances.iter().filter(|i| !i.is_due(round)));
-                ctx.net.charge_message(id, partner, req);
+                for _ in 0..outcome.request_msgs.max(1) {
+                    ctx.net.charge_message(id, partner, req);
+                }
             }
             ExchangeFate::ResponseLost => {
                 let (req, resp) = gossip_exchange_response_lost(a, b, round);
                 ctx.net.charge_message(id, partner, req);
                 ctx.net.charge_message(partner, id, resp);
+            }
+            ExchangeFate::Aborted => {
+                // Two-phase repair ran out of retries: the partner rolled
+                // its staged half back, so no state changes — but every
+                // transmission of both messages is paid for.
+                let req = wire::message_len(a.instances.iter().filter(|i| !i.is_due(round)));
+                let resp = response_len_after_join(a, b, round);
+                for _ in 0..outcome.request_msgs.max(1) {
+                    ctx.net.charge_message(id, partner, req);
+                }
+                for _ in 0..outcome.response_msgs.max(1) {
+                    ctx.net.charge_message(partner, id, resp);
+                }
             }
         }
     }
@@ -517,7 +619,7 @@ impl Protocol for Adam2Protocol {
         round: u64,
         rng: &mut StdRng,
     ) -> ParLocal {
-        let (completed, failed) = node.finalize_due_instances(round);
+        let (completed, failed, restarted) = node.finalize_or_heal(round, self.config.self_heal);
         let mut wants_sequential = false;
         if let Scheduling::Probabilistic {
             mean_rounds_between,
@@ -529,6 +631,7 @@ impl Protocol for Adam2Protocol {
         ParLocal {
             completions: completed,
             failures: failed,
+            restarts: restarted,
             wants_sequential,
             initiates: true,
         }
@@ -537,6 +640,7 @@ impl Protocol for Adam2Protocol {
     fn par_absorb(&mut self, id: NodeId, report: &ParLocal, ctx: &mut Ctx<'_, Adam2Node>) {
         self.completed += report.completions;
         self.finalize_failures += report.failures;
+        self.healed += report.restarts;
         if report.wants_sequential {
             self.start_instance(id, ctx);
         }
@@ -570,6 +674,17 @@ impl Protocol for Adam2Protocol {
             }
             ExchangeFate::ResponseLost => {
                 let (req, resp) = gossip_exchange_response_lost(a, b, round);
+                ExchangeTraffic {
+                    request: Some(req),
+                    response: Some(resp),
+                }
+            }
+            ExchangeFate::Aborted => {
+                // Rolled-back two-phase exchange: no state change; the
+                // engine multiplies the charges by the transmission counts
+                // recorded in the plan.
+                let req = wire::message_len(a.instances.iter().filter(|i| !i.is_due(round)));
+                let resp = response_len_after_join(a, b, round);
                 ExchangeTraffic {
                     request: Some(req),
                     response: Some(resp),
@@ -613,7 +728,7 @@ mod tests {
     use crate::cdf::StepCdf;
     use crate::metrics::point_errors;
     use crate::selection::BootstrapKind;
-    use adam2_sim::{ChurnModel, Engine, EngineConfig};
+    use adam2_sim::{ChurnModel, Engine, EngineConfig, ExchangeRepair};
 
     fn engine_with_values(
         values: Vec<f64>,
@@ -906,7 +1021,7 @@ mod tests {
         engine.run_round();
         // At least the initiator's exchange carried a full payload
         // (~860 B for lambda = 50).
-        let expected = wire::payload_len(50, 0) + 2;
+        let expected = wire::payload_len(50, 0) + wire::HEADER_LEN;
         assert!(engine.net().total_bytes() >= expected as u64);
     }
 
@@ -916,8 +1031,9 @@ mod tests {
         let config = Adam2Config::new();
         let mut engine = engine_with_values(values, config, 37);
         engine.run_round();
-        // 10 exchanges of 2 x 2-byte empty messages.
-        assert_eq!(engine.net().total_bytes(), 40);
+        // 10 exchanges of 2 x 10-byte empty messages (8-byte sequence
+        // number + 2-byte instance count).
+        assert_eq!(engine.net().total_bytes(), 200);
     }
 
     #[test]
@@ -957,9 +1073,188 @@ mod tests {
         let engine_config = adam2_sim::EngineConfig::new(10, 44).with_loss_rate(1.0);
         let mut engine = Engine::new(engine_config, proto);
         engine.run_round();
-        // Every exchange degenerates to one lost 2-byte request.
+        // Every exchange degenerates to one lost 10-byte request.
         assert_eq!(engine.net().total_msgs(), 10);
-        assert_eq!(engine.net().total_bytes(), 20);
+        assert_eq!(engine.net().total_bytes(), 100);
+    }
+
+    #[test]
+    fn repair_keeps_weight_mass_exact_under_loss() {
+        // With the two-phase repair enabled, every exchange either commits
+        // on both sides or aborts with no state change — the asymmetric
+        // ResponseLost mass leak cannot occur, so the weight mass stays
+        // exactly 1 even on a heavily lossy network.
+        let values: Vec<f64> = (1..=100).map(f64::from).collect();
+        let config = Adam2Config::new()
+            .with_lambda(4)
+            .with_rounds_per_instance(50)
+            .with_bootstrap(BootstrapKind::Uniform)
+            .with_domain_hint(1.0, 100.0);
+        let proto = Adam2Protocol::with_population(config, values, |_| 1.0);
+        let engine_config = EngineConfig::new(100, 47)
+            .with_loss_rate(0.3)
+            .with_repair(ExchangeRepair::enabled());
+        let mut engine = Engine::new(engine_config, proto);
+        let meta = start_manual(&mut engine);
+        for _ in 0..20 {
+            engine.run_round();
+            let weight: f64 = engine
+                .nodes()
+                .iter()
+                .filter_map(|(_, n)| n.active_instance(meta.id))
+                .map(|i| i.weight)
+                .sum();
+            assert!((weight - 1.0).abs() < 1e-9, "weight mass {weight}");
+        }
+    }
+
+    #[test]
+    fn repair_retransmissions_are_charged() {
+        // Total loss + repair: each exchange sends 1 + max_retries = 3
+        // requests (all lost) and no response.
+        let values: Vec<f64> = (1..=10).map(f64::from).collect();
+        let proto = Adam2Protocol::with_population(Adam2Config::new(), values, |_| 1.0);
+        let engine_config = EngineConfig::new(10, 48)
+            .with_loss_rate(1.0)
+            .with_repair(ExchangeRepair::enabled());
+        let mut engine = Engine::new(engine_config, proto);
+        engine.run_round();
+        assert_eq!(engine.net().total_msgs(), 30);
+        assert_eq!(engine.net().total_bytes(), 300);
+    }
+
+    #[test]
+    fn aborted_response_length_matches_a_committed_exchange() {
+        // The rolled-back response must be charged at the same wire size
+        // the committed response would have had (the partner sent it; only
+        // the commit was lost), including instances the partner would have
+        // joined on request receipt.
+        let meta = Arc::new(InstanceMeta {
+            id: InstanceId::derive(0, 0, 1),
+            thresholds: vec![5.0, 9.0].into(),
+            verify_thresholds: vec![7.0].into(),
+            start_round: 0,
+            end_round: 25,
+            multi: false,
+        });
+        let mut a = Adam2Node::new(AttrValue::Single(3.0), 100.0);
+        a.begin_instance(meta.clone());
+        let b = Adam2Node::new(AttrValue::Single(8.0), 100.0);
+        let predicted = response_len_after_join(&a, &b, 1);
+        let (mut a2, mut b2) = (a.clone(), b.clone());
+        let (_, actual) = gossip_exchange(&mut a2, &mut b2, 1);
+        assert_eq!(predicted, actual);
+        // And the prediction left both nodes untouched.
+        assert!(b.active_instance(meta.id).is_none());
+    }
+
+    #[test]
+    fn epoch_reconciliation_spreads_restarts_and_conserves_mass() {
+        let meta = Arc::new(InstanceMeta {
+            id: InstanceId::derive(0, 0, 2),
+            thresholds: vec![5.0].into(),
+            verify_thresholds: Vec::new().into(),
+            start_round: 0,
+            end_round: 25,
+            multi: false,
+        });
+        let mut a = Adam2Node::new(AttrValue::Single(3.0), 100.0);
+        a.begin_instance(meta.clone());
+        let mut b = Adam2Node::new(AttrValue::Single(8.0), 100.0);
+        b.join_instance_passively(meta.clone());
+        gossip_exchange(&mut a, &mut b, 1);
+
+        // The initiator votes to restart; the next exchange must pull the
+        // partner into the new epoch and re-establish the mass invariants.
+        let value = a.value.clone();
+        a.instances[0].restart(&value);
+        gossip_exchange(&mut a, &mut b, 2);
+        let ia = a.active_instance(meta.id).unwrap();
+        let ib = b.active_instance(meta.id).unwrap();
+        assert_eq!(ia.epoch, 1);
+        assert_eq!(ib.epoch, 1);
+        // Fresh epoch: weight mass 1 (initiator re-seeded), fraction mass
+        // equals the indicator mass of the two participants (only a <= 5).
+        assert!((ia.weight + ib.weight - 1.0).abs() < 1e-12);
+        assert!((ia.fractions[0] + ib.fractions[0] - 1.0).abs() < 1e-12);
+
+        // A stale-epoch snapshot of the pre-restart state is ignored.
+        let mut stale = ib.clone();
+        stale.epoch = 0;
+        stale.weight = 0.7;
+        let before = b.active_instance(meta.id).unwrap().clone();
+        b.absorb_snapshot(&stale, 3);
+        assert_eq!(*b.active_instance(meta.id).unwrap(), before);
+    }
+
+    #[test]
+    fn self_healing_restarts_inaccurate_instances() {
+        // A step distribution interpolated by a smooth CDF leaves a large
+        // verification error, so a tiny threshold makes every node vote to
+        // restart exactly once (max_restarts = 1); the healed instance then
+        // runs a full second epoch and finalises at the extended deadline.
+        let mut values = vec![512.0; 40];
+        values.extend(vec![2048.0; 60]);
+        let config = Adam2Config::new()
+            .with_lambda(8)
+            .with_rounds_per_instance(25)
+            .with_verify_points(6)
+            .with_bootstrap(BootstrapKind::Uniform)
+            .with_domain_hint(512.0, 2048.0)
+            .with_self_heal(1e-15, 1);
+        let mut engine = engine_with_values(values, config, 53);
+        let meta = start_manual(&mut engine);
+        engine.run_rounds(26);
+        // Round 25: nobody finalised — nodes either voted to restart
+        // themselves or were pulled into the new epoch by an exchange with
+        // an already-restarted peer before their own finalisation ran.
+        let healed = engine.protocol().healed_count();
+        assert!((1..=100).contains(&healed), "restart votes: {healed}");
+        assert_eq!(engine.protocol().completed_count(), 0);
+        for (_, node) in engine.nodes().iter() {
+            let inst = node.active_instance(meta.id).expect("still running");
+            assert_eq!(inst.epoch, 1);
+        }
+        // Epoch 1 runs rounds 25..50 and finalises at round 50 — the
+        // restart budget is exhausted, so the estimate is adopted even
+        // though the verification error is still above the threshold.
+        engine.run_rounds(25);
+        assert_eq!(engine.protocol().healed_count(), healed);
+        assert_eq!(engine.protocol().completed_count(), 100);
+        for (_, node) in engine.nodes().iter() {
+            let est = node.estimate().expect("estimate after healed instance");
+            assert_eq!(est.completed_round, 50);
+            let n = est.n_hat.expect("weight mass received");
+            assert!((n - 100.0).abs() < 0.5, "N estimate {n} after restart");
+        }
+    }
+
+    #[test]
+    fn self_healing_runs_on_the_parallel_path() {
+        let snapshot = |threads: usize| {
+            let mut values = vec![512.0; 40];
+            values.extend(vec![2048.0; 60]);
+            let config = Adam2Config::new()
+                .with_lambda(8)
+                .with_rounds_per_instance(25)
+                .with_verify_points(6)
+                .with_bootstrap(BootstrapKind::Uniform)
+                .with_domain_hint(512.0, 2048.0)
+                .with_self_heal(1e-15, 1);
+            let proto = Adam2Protocol::with_population(config, values, |_| 1.0);
+            let mut engine = Engine::new(EngineConfig::new(100, 53).with_threads(threads), proto);
+            start_manual(&mut engine);
+            engine.run_rounds_parallel(51);
+            (
+                engine.protocol().healed_count(),
+                engine.protocol().completed_count(),
+                engine.net().total_bytes(),
+            )
+        };
+        let reference = snapshot(2);
+        assert_eq!(reference.0, 100, "every node restarts once");
+        assert_eq!(reference.1, 100, "every node finalises the healed epoch");
+        assert_eq!(snapshot(4), reference, "thread count must not matter");
     }
 
     #[test]

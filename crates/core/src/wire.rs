@@ -10,13 +10,18 @@
 //! Layout (little-endian):
 //!
 //! ```text
-//! message  := u16 instance_count, instance*
+//! message  := u64 seq, u16 instance_count, instance*
 //! instance := u64 id, u64 start_round, u64 end_round, u8 flags,
-//!             u16 lambda, u16 verify_count,
+//!             u32 epoch, u16 lambda, u16 verify_count,
 //!             f64 thresholds[lambda], f64 fractions[lambda],
 //!             f64 verify_thresholds[verify], f64 verify_fractions[verify],
 //!             f64 weight, f64 count, f64 min, f64 max
 //! ```
+//!
+//! `seq` is the per-exchange sequence number of the two-phase repair path
+//! (retransmissions and duplicate deliveries carry the same value, letting
+//! the receiver deduplicate idempotently); `epoch` is the instance's
+//! self-healing restart epoch.
 
 use std::sync::Arc;
 
@@ -26,6 +31,9 @@ use crate::error::WireError;
 use crate::instance::{InstanceId, InstanceLocal, InstanceMeta};
 
 const FLAG_MULTI: u8 = 0b0000_0001;
+
+/// Wire size of the fixed message header (`u64 seq` + `u16 count`).
+pub const HEADER_LEN: usize = 10;
 
 /// The per-instance payload of a gossip message.
 #[derive(Debug, Clone, PartialEq)]
@@ -38,6 +46,8 @@ pub struct InstancePayload {
     pub end_round: u64,
     /// Whether nodes contribute multi-value counts.
     pub multi: bool,
+    /// Self-healing restart epoch of the sender's state.
+    pub epoch: u32,
     /// Interpolation thresholds.
     pub thresholds: Vec<f64>,
     /// Running averaged fractions.
@@ -63,6 +73,7 @@ impl From<&InstanceLocal> for InstancePayload {
             start_round: local.meta.start_round,
             end_round: local.meta.end_round,
             multi: local.meta.multi,
+            epoch: local.epoch,
             thresholds: local.meta.thresholds.to_vec(),
             fractions: local.fractions.clone(),
             verify_thresholds: local.meta.verify_thresholds.to_vec(),
@@ -101,6 +112,8 @@ impl InstancePayload {
             weight: self.weight,
             min: self.min,
             max: self.max,
+            epoch: self.epoch,
+            initiator: false,
         }
     }
 
@@ -109,6 +122,7 @@ impl InstancePayload {
         buf.put_u64_le(self.start_round);
         buf.put_u64_le(self.end_round);
         buf.put_u8(if self.multi { FLAG_MULTI } else { 0 });
+        buf.put_u32_le(self.epoch);
         buf.put_u16_le(self.thresholds.len() as u16);
         buf.put_u16_le(self.verify_thresholds.len() as u16);
         for v in &self.thresholds {
@@ -130,7 +144,7 @@ impl InstancePayload {
     }
 
     fn decode(buf: &mut Bytes) -> Result<Self, WireError> {
-        if buf.remaining() < 8 * 3 + 1 + 2 + 2 {
+        if buf.remaining() < 8 * 3 + 1 + 4 + 2 + 2 {
             return Err(WireError::Truncated);
         }
         let id = buf.get_u64_le();
@@ -140,6 +154,7 @@ impl InstancePayload {
         if flags & !FLAG_MULTI != 0 {
             return Err(WireError::UnknownTag { tag: flags });
         }
+        let epoch = buf.get_u32_le();
         let lambda = buf.get_u16_le() as usize;
         let verify = buf.get_u16_le() as usize;
         let floats = lambda * 2 + verify * 2 + 4;
@@ -158,6 +173,7 @@ impl InstancePayload {
             start_round,
             end_round,
             multi: flags & FLAG_MULTI != 0,
+            epoch,
             thresholds,
             fractions,
             verify_thresholds,
@@ -171,31 +187,39 @@ impl InstancePayload {
 }
 
 /// A complete gossip message: the sender's state for every instance it is
-/// currently participating in.
+/// currently participating in, tagged with the per-exchange sequence
+/// number of the two-phase repair path.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct GossipMessage {
+    /// Per-exchange sequence number: a retransmitted request and the
+    /// (re)sent response of one exchange all carry the same value, so the
+    /// receiver can deduplicate idempotently.
+    pub seq: u64,
     /// Per-instance payloads.
     pub instances: Vec<InstancePayload>,
 }
 
 impl GossipMessage {
-    /// Builds a message from a node's active instances.
+    /// Builds a message from a node's active instances (sequence number 0;
+    /// set [`seq`](GossipMessage::seq) for the repair path).
     pub fn from_locals<'a, I>(locals: I) -> Self
     where
         I: IntoIterator<Item = &'a InstanceLocal>,
     {
         Self {
+            seq: 0,
             instances: locals.into_iter().map(InstancePayload::from).collect(),
         }
     }
 
     /// Size of the message on the wire.
     pub fn encoded_len(&self) -> usize {
-        2 + self
-            .instances
-            .iter()
-            .map(InstancePayload::encoded_len)
-            .sum::<usize>()
+        HEADER_LEN
+            + self
+                .instances
+                .iter()
+                .map(InstancePayload::encoded_len)
+                .sum::<usize>()
     }
 
     /// Encodes the message.
@@ -210,6 +234,7 @@ impl GossipMessage {
             "too many instances"
         );
         let mut buf = BytesMut::with_capacity(self.encoded_len());
+        buf.put_u64_le(self.seq);
         buf.put_u16_le(self.instances.len() as u16);
         for inst in &self.instances {
             inst.encode(&mut buf);
@@ -223,22 +248,23 @@ impl GossipMessage {
     ///
     /// Returns [`WireError`] on truncation or unknown flags.
     pub fn decode(mut buf: Bytes) -> Result<Self, WireError> {
-        if buf.remaining() < 2 {
+        if buf.remaining() < HEADER_LEN {
             return Err(WireError::Truncated);
         }
+        let seq = buf.get_u64_le();
         let count = buf.get_u16_le() as usize;
         let mut instances = Vec::with_capacity(count.min(64));
         for _ in 0..count {
             instances.push(InstancePayload::decode(&mut buf)?);
         }
-        Ok(Self { instances })
+        Ok(Self { seq, instances })
     }
 }
 
 /// Wire size of one instance payload with `lambda` interpolation and
 /// `verify` verification points.
 pub fn payload_len(lambda: usize, verify: usize) -> usize {
-    8 * 3 + 1 + 2 + 2 + (lambda * 2 + verify * 2 + 4) * 8
+    8 * 3 + 1 + 4 + 2 + 2 + (lambda * 2 + verify * 2 + 4) * 8
 }
 
 /// Wire size of a gossip message carrying the given instances — the value
@@ -248,10 +274,11 @@ pub fn message_len<'a, I>(locals: I) -> usize
 where
     I: IntoIterator<Item = &'a InstanceLocal>,
 {
-    2 + locals
-        .into_iter()
-        .map(|l| payload_len(l.meta.thresholds.len(), l.meta.verify_thresholds.len()))
-        .sum::<usize>()
+    HEADER_LEN
+        + locals
+            .into_iter()
+            .map(|l| payload_len(l.meta.thresholds.len(), l.meta.verify_thresholds.len()))
+            .sum::<usize>()
 }
 
 #[cfg(test)]
@@ -298,7 +325,7 @@ mod tests {
         // Section VII-I: "for λ = 50 the size of a gossip message is
         // approximately 800 bytes" — 50 (t, f) pairs = 800 B of payload
         // data; our framing adds a small header.
-        let size = payload_len(50, 0) + 2;
+        let size = payload_len(50, 0) + HEADER_LEN;
         assert!(size >= 800, "payload data itself is 800 B");
         assert!(size < 900, "framing overhead must stay small, got {size}");
     }
@@ -320,7 +347,7 @@ mod tests {
     fn decode_rejects_unknown_flags() {
         let locals = [sample_local(0)];
         let mut raw = GossipMessage::from_locals(&locals).encode().to_vec();
-        raw[2 + 24] = 0xFF; // flags byte of the first instance
+        raw[HEADER_LEN + 24] = 0xFF; // flags byte of the first instance
         assert!(matches!(
             GossipMessage::decode(Bytes::from(raw)),
             Err(WireError::UnknownTag { .. })
@@ -342,8 +369,21 @@ mod tests {
     #[test]
     fn empty_message_roundtrip() {
         let msg = GossipMessage::default();
-        assert_eq!(msg.encoded_len(), 2);
+        assert_eq!(msg.encoded_len(), HEADER_LEN);
         let decoded = GossipMessage::decode(msg.encode()).unwrap();
         assert!(decoded.instances.is_empty());
+        assert_eq!(decoded.seq, 0);
+    }
+
+    #[test]
+    fn seq_and_epoch_survive_the_roundtrip() {
+        let mut local = sample_local(2);
+        local.epoch = 3;
+        let mut msg = GossipMessage::from_locals([&local]);
+        msg.seq = 0xDEAD_BEEF_0042;
+        let decoded = GossipMessage::decode(msg.encode()).unwrap();
+        assert_eq!(decoded.seq, 0xDEAD_BEEF_0042);
+        assert_eq!(decoded.instances[0].epoch, 3);
+        assert_eq!(decoded.instances[0].to_local().epoch, 3);
     }
 }

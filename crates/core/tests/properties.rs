@@ -254,7 +254,7 @@ proptest! {
         prop_assert_eq!(&back.fractions, &locals[0].fractions);
         prop_assert_eq!(back.weight, locals[0].weight);
         let payload = InstancePayload::from(&locals[0]);
-        prop_assert_eq!(payload.encoded_len() + 2, msg.encoded_len());
+        prop_assert_eq!(payload.encoded_len() + adam2_core::wire::HEADER_LEN, msg.encoded_len());
     }
 }
 

@@ -20,10 +20,34 @@ use rand::RngExt as _;
 
 use crate::churn::{ChurnModel, ChurnState};
 use crate::executor;
+use crate::faults::{FaultRuntime, FaultScenario, FaultTrace, RoundFaults};
 use crate::node::{NodeId, NodeSlab};
 use crate::overlay::{Overlay, OverlayConfig};
 use crate::rng::{derive_seed, par_stream_rng, seeded_rng};
 use crate::stats::{NetShard, NetStats};
+
+/// Error returned when a simulator configuration is invalid (see
+/// [`EngineConfig::validate`] and [`FaultScenario::validate`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SimConfigError {
+    message: String,
+}
+
+impl SimConfigError {
+    pub(crate) fn new(message: impl Into<String>) -> Self {
+        Self {
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for SimConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid simulator configuration: {}", self.message)
+    }
+}
+
+impl std::error::Error for SimConfigError {}
 
 /// Stream tag separating the parallel path's per-node RNG streams from the
 /// main engine RNG (both derive from the master seed).
@@ -138,6 +162,9 @@ pub struct ParLocal {
     /// Locally failed events (for Adam2: instances that expired without
     /// reaching all-values mode).
     pub failures: u64,
+    /// Locally restarted events (for Adam2: self-healing instances that
+    /// voted to re-enter averaging instead of finalising).
+    pub restarts: u64,
     /// Whether the engine must invoke [`Protocol::par_absorb`]-side
     /// sequential work beyond counter sums (for Adam2: start a new
     /// aggregation instance at this node).
@@ -153,8 +180,13 @@ pub struct PlannedExchange {
     pub initiator: NodeId,
     /// Its chosen gossip partner (always a distinct live node).
     pub partner: NodeId,
-    /// The sampled fate of the two messages under the engine's loss rate.
+    /// The sampled fate of the exchange under the engine's loss rate and
+    /// repair policy.
     pub fate: ExchangeFate,
+    /// Number of request transmissions (> 1 under retransmission).
+    pub request_msgs: u32,
+    /// Number of response transmissions (> 1 under retransmission).
+    pub response_msgs: u32,
 }
 
 /// Wire traffic of one applied exchange, as reported by
@@ -184,8 +216,65 @@ pub enum ExchangeFate {
     /// but the sender paid for the request.
     RequestLost,
     /// The partner processed the request but its response was lost: only
-    /// the partner's state changes (an *asymmetric* exchange).
+    /// the partner's state changes (an *asymmetric* exchange). Never
+    /// produced when [`ExchangeRepair`] is enabled — the retransmission
+    /// path converts it into `Complete` or `Aborted`.
     ResponseLost,
+    /// Repair-path outcome: retransmissions were exhausted after the
+    /// partner had received at least one request, so the partner rolled
+    /// back its staged half of the exchange. No state changes anywhere,
+    /// but every transmission was paid for.
+    Aborted,
+}
+
+/// Push–pull atomicity repair policy.
+///
+/// When enabled, an exchange becomes a two-phase commit: the partner
+/// *stages* its half of the merge when a request arrives and resends the
+/// cached response idempotently for re-requests carrying the same sequence
+/// number; the initiator commits on receipt. If all `1 + max_retries`
+/// attempts fail, the partner rolls the staged state back on timeout and
+/// the exchange aborts with no state change anywhere — the asymmetric
+/// [`ExchangeFate::ResponseLost`] mass leak cannot occur.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExchangeRepair {
+    /// Whether the two-phase repair path is active.
+    pub enabled: bool,
+    /// Retransmission attempts after the first (so `1 + max_retries`
+    /// request transmissions in total before aborting).
+    pub max_retries: u32,
+}
+
+impl Default for ExchangeRepair {
+    fn default() -> Self {
+        Self {
+            enabled: false,
+            max_retries: 2,
+        }
+    }
+}
+
+impl ExchangeRepair {
+    /// An enabled policy with the default retry budget.
+    pub fn enabled() -> Self {
+        Self {
+            enabled: true,
+            ..Self::default()
+        }
+    }
+}
+
+/// Sampled outcome of one exchange: its fate plus how many times each of
+/// the two messages was actually transmitted (for byte accounting under
+/// retransmission).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExchangeOutcome {
+    /// What happened to the exchange.
+    pub fate: ExchangeFate,
+    /// Request transmissions (initiator → partner).
+    pub request_msgs: u32,
+    /// Response transmissions (partner → initiator).
+    pub response_msgs: u32,
 }
 
 /// Per-round execution context handed to [`Protocol`] callbacks.
@@ -205,6 +294,8 @@ pub struct Ctx<'a, N> {
     pub net: &'a mut NetStats,
     /// Per-message loss probability (0 by default).
     pub loss_rate: f64,
+    /// Exchange repair policy (disabled by default).
+    pub repair: ExchangeRepair,
 }
 
 impl<N> Ctx<'_, N> {
@@ -213,6 +304,12 @@ impl<N> Ctx<'_, N> {
     /// with probability `loss_rate`.
     pub fn sample_exchange_fate(&mut self) -> ExchangeFate {
         sample_fate(self.rng, self.loss_rate)
+    }
+
+    /// Samples the full outcome of one exchange under the engine's loss
+    /// rate and repair policy, including transmission counts.
+    pub fn sample_exchange(&mut self) -> ExchangeOutcome {
+        sample_exchange(self.rng, self.loss_rate, self.repair)
     }
 
     /// Draws a random live neighbour of `of`.
@@ -242,10 +339,14 @@ impl<N> Ctx<'_, N> {
 /// [`NetShard`]s with identical arithmetic).
 fn charge_traffic(net: &mut NetStats, plan: &PlannedExchange, traffic: ExchangeTraffic) {
     if let Some(bytes) = traffic.request {
-        net.charge_message(plan.initiator, plan.partner, bytes);
+        for _ in 0..plan.request_msgs.max(1) {
+            net.charge_message(plan.initiator, plan.partner, bytes);
+        }
     }
     if let Some(bytes) = traffic.response {
-        net.charge_message(plan.partner, plan.initiator, bytes);
+        for _ in 0..plan.response_msgs.max(1) {
+            net.charge_message(plan.partner, plan.initiator, bytes);
+        }
     }
 }
 
@@ -259,6 +360,66 @@ fn sample_fate(rng: &mut StdRng, loss_rate: f64) -> ExchangeFate {
         ExchangeFate::ResponseLost
     } else {
         ExchangeFate::Complete
+    }
+}
+
+/// Samples one exchange under `loss_rate` and the `repair` policy.
+///
+/// With repair disabled this is [`sample_fate`] plus the trivial
+/// transmission counts (a lost request still costs one request message, a
+/// lost response costs both). With repair enabled the exchange is retried
+/// up to `1 + max_retries` times: each attempt transmits a request, and the
+/// partner (once it has received any request) retransmits its staged
+/// response for every request that arrives. Exhausting the budget yields
+/// [`ExchangeFate::Aborted`] (partner received something, rolls back) or
+/// [`ExchangeFate::RequestLost`] (partner never heard from the initiator).
+fn sample_exchange(rng: &mut StdRng, loss_rate: f64, repair: ExchangeRepair) -> ExchangeOutcome {
+    if loss_rate <= 0.0 {
+        return ExchangeOutcome {
+            fate: ExchangeFate::Complete,
+            request_msgs: 1,
+            response_msgs: 1,
+        };
+    }
+    if !repair.enabled {
+        let fate = sample_fate(rng, loss_rate);
+        let response_msgs = match fate {
+            ExchangeFate::RequestLost => 0,
+            _ => 1,
+        };
+        return ExchangeOutcome {
+            fate,
+            request_msgs: 1,
+            response_msgs,
+        };
+    }
+    let mut request_msgs = 0u32;
+    let mut response_msgs = 0u32;
+    let mut partner_received = false;
+    for _ in 0..=repair.max_retries {
+        request_msgs += 1;
+        if rng.random::<f64>() < loss_rate {
+            continue; // request lost; initiator times out and retries
+        }
+        partner_received = true;
+        response_msgs += 1;
+        if rng.random::<f64>() < loss_rate {
+            continue; // response lost; re-request resends the staged reply
+        }
+        return ExchangeOutcome {
+            fate: ExchangeFate::Complete,
+            request_msgs,
+            response_msgs,
+        };
+    }
+    ExchangeOutcome {
+        fate: if partner_received {
+            ExchangeFate::Aborted
+        } else {
+            ExchangeFate::RequestLost
+        },
+        request_msgs,
+        response_msgs,
     }
 }
 
@@ -276,6 +437,9 @@ pub struct EngineConfig {
     /// Per-message loss probability in `[0, 1]` (see
     /// [`Ctx::sample_exchange_fate`]).
     pub loss_rate: f64,
+    /// Exchange repair policy (two-phase commit with retransmission);
+    /// disabled by default.
+    pub repair: ExchangeRepair,
     /// Worker threads for [`Engine::run_round_parallel`]: `0` means "use
     /// [`std::thread::available_parallelism`]", `1` runs the parallel
     /// semantics inline. Thread count never affects results.
@@ -286,17 +450,18 @@ impl EngineConfig {
     /// Creates a configuration for `n` nodes with the default oracle
     /// overlay and no churn.
     ///
-    /// # Panics
-    ///
-    /// Panics if `n` is zero.
+    /// Invariants (checked by [`validate`](EngineConfig::validate), which
+    /// [`Engine::try_new`] calls): `n > 0`; `loss_rate` finite and in
+    /// `[0, 1]` (NaN rejected); churn rates finite and valid for their
+    /// model.
     pub fn new(n: usize, seed: u64) -> Self {
-        assert!(n > 0, "n must be positive");
         Self {
             n,
             seed,
             overlay: OverlayConfig::default(),
             churn: ChurnModel::None,
             loss_rate: 0.0,
+            repair: ExchangeRepair::default(),
             threads: 1,
         }
     }
@@ -313,17 +478,17 @@ impl EngineConfig {
         self
     }
 
-    /// Sets the per-message loss probability.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `loss_rate` is outside `[0, 1]`.
+    /// Sets the per-message loss probability. Must be finite and in
+    /// `[0, 1]`; violations are reported by
+    /// [`validate`](EngineConfig::validate) rather than panicking here.
     pub fn with_loss_rate(mut self, loss_rate: f64) -> Self {
-        assert!(
-            (0.0..=1.0).contains(&loss_rate),
-            "loss_rate must be in [0, 1]"
-        );
         self.loss_rate = loss_rate;
+        self
+    }
+
+    /// Replaces the exchange repair policy.
+    pub fn with_repair(mut self, repair: ExchangeRepair) -> Self {
+        self.repair = repair;
         self
     }
 
@@ -332,6 +497,43 @@ impl EngineConfig {
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads;
         self
+    }
+
+    /// Validates the configuration, collecting every rate/size invariant
+    /// in one place instead of scattered panics:
+    ///
+    /// * `n > 0`,
+    /// * `loss_rate` finite and in `[0, 1]` — NaN is rejected explicitly
+    ///   (NaN comparisons would silently disable loss sampling),
+    /// * churn rates finite and within their model's domain.
+    pub fn validate(&self) -> Result<(), SimConfigError> {
+        if self.n == 0 {
+            return Err(SimConfigError::new("n must be positive"));
+        }
+        if !self.loss_rate.is_finite() || !(0.0..=1.0).contains(&self.loss_rate) {
+            return Err(SimConfigError::new(format!(
+                "loss_rate must be finite and in [0, 1], got {}",
+                self.loss_rate
+            )));
+        }
+        match self.churn {
+            ChurnModel::None => {}
+            ChurnModel::Uniform { rate } => {
+                if !rate.is_finite() || !(0.0..=1.0).contains(&rate) {
+                    return Err(SimConfigError::new(format!(
+                        "uniform churn rate must be finite and in [0, 1], got {rate}"
+                    )));
+                }
+            }
+            ChurnModel::Sessions { mean_rounds } => {
+                if !mean_rounds.is_finite() || mean_rounds <= 0.0 {
+                    return Err(SimConfigError::new(format!(
+                        "session churn mean_rounds must be finite and positive, got {mean_rounds}"
+                    )));
+                }
+            }
+        }
+        Ok(())
     }
 }
 
@@ -356,7 +558,12 @@ pub struct Engine<P: Protocol> {
     threads: usize,
     round: u64,
     net: NetStats,
+    /// Effective loss rate this round (fault bursts may override the base).
     loss_rate: f64,
+    /// Configured loss rate, restored when no burst is active.
+    base_loss_rate: f64,
+    repair: ExchangeRepair,
+    faults: Option<FaultRuntime>,
     /// Reused per-round shuffle buffer (avoids one allocation per round).
     order_buf: Vec<NodeId>,
 }
@@ -373,8 +580,19 @@ impl<P: Protocol> std::fmt::Debug for Engine<P> {
 
 impl<P: Protocol> Engine<P> {
     /// Builds an engine with `config.n` fresh nodes.
-    pub fn new(config: EngineConfig, mut protocol: P) -> Self {
-        assert!(config.n > 0, "n must be positive");
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid; use
+    /// [`try_new`](Engine::try_new) for a fallible build.
+    pub fn new(config: EngineConfig, protocol: P) -> Self {
+        Self::try_new(config, protocol).expect("invalid engine configuration")
+    }
+
+    /// Builds an engine with `config.n` fresh nodes, validating the
+    /// configuration first.
+    pub fn try_new(config: EngineConfig, mut protocol: P) -> Result<Self, SimConfigError> {
+        config.validate()?;
         let mut rng = seeded_rng(config.seed);
         let mut nodes = NodeSlab::with_capacity(config.n);
         let mut overlay = Overlay::new(config.overlay);
@@ -391,7 +609,7 @@ impl<P: Protocol> Engine<P> {
         for id in nodes.id_vec() {
             overlay.register_node(id, &nodes, &mut rng);
         }
-        Self {
+        Ok(Self {
             protocol,
             nodes,
             overlay,
@@ -403,13 +621,31 @@ impl<P: Protocol> Engine<P> {
             round: 0,
             net,
             loss_rate: config.loss_rate,
+            base_loss_rate: config.loss_rate,
+            repair: config.repair,
+            faults: None,
             order_buf: Vec::new(),
-        }
+        })
+    }
+
+    /// Attaches a [`FaultScenario`] to replay from the next round on,
+    /// validating it first. Replaces any previously attached scenario and
+    /// clears its trace.
+    pub fn set_fault_scenario(&mut self, scenario: FaultScenario) -> Result<(), SimConfigError> {
+        scenario.validate()?;
+        self.faults = Some(FaultRuntime::new(scenario));
+        Ok(())
+    }
+
+    /// The trace of injected faults, if a scenario is attached.
+    pub fn fault_trace(&self) -> Option<&FaultTrace> {
+        self.faults.as_ref().map(|rt| &rt.trace)
     }
 
     /// Runs a single round.
     pub fn run_round(&mut self) {
         self.net.begin_round();
+        self.begin_round_faults();
         self.apply_churn();
         self.overlay.maintain(&self.nodes, &mut self.rng);
         let mut order = std::mem::take(&mut self.order_buf);
@@ -427,6 +663,7 @@ impl<P: Protocol> Engine<P> {
                 rng: &mut self.rng,
                 net: &mut self.net,
                 loss_rate: self.loss_rate,
+                repair: self.repair,
             };
             self.protocol.on_round(id, &mut ctx);
         }
@@ -473,12 +710,14 @@ impl<P: Protocol> Engine<P> {
         }
         let threads = self.resolved_threads();
         self.net.begin_round();
+        self.begin_round_faults();
         self.apply_churn();
         self.overlay.maintain(&self.nodes, &mut self.rng);
 
         let round = self.round;
         let par_seed = self.par_seed;
         let loss_rate = self.loss_rate;
+        let repair = self.repair;
         let slot_count = self.nodes.slot_count();
         self.net.ensure_slots(slot_count);
 
@@ -511,10 +750,13 @@ impl<P: Protocol> Engine<P> {
                     let Some(partner) = overlay.random_neighbour(*id, nodes, &mut rng) else {
                         continue;
                     };
+                    let outcome = sample_exchange(&mut rng, loss_rate, repair);
                     *plan = Some(PlannedExchange {
                         initiator: *id,
                         partner,
-                        fate: sample_fate(&mut rng, loss_rate),
+                        fate: outcome.fate,
+                        request_msgs: outcome.request_msgs,
+                        response_msgs: outcome.response_msgs,
                     });
                 }
             });
@@ -532,6 +774,7 @@ impl<P: Protocol> Engine<P> {
                 rng: &mut self.rng,
                 net: &mut self.net,
                 loss_rate: self.loss_rate,
+                repair: self.repair,
             };
             self.protocol.par_absorb(id, &report, &mut ctx);
         }
@@ -584,10 +827,14 @@ impl<P: Protocol> Engine<P> {
                         };
                         let traffic = protocol.par_apply(p, round, a, b);
                         if let Some(bytes) = traffic.request {
-                            shard.charge_message(p.initiator, p.partner, bytes);
+                            for _ in 0..p.request_msgs.max(1) {
+                                shard.charge_message(p.initiator, p.partner, bytes);
+                            }
                         }
                         if let Some(bytes) = traffic.response {
-                            shard.charge_message(p.partner, p.initiator, bytes);
+                            for _ in 0..p.response_msgs.max(1) {
+                                shard.charge_message(p.partner, p.initiator, bytes);
+                            }
                         }
                     }
                     shard
@@ -632,6 +879,125 @@ impl<P: Protocol> Engine<P> {
         }
     }
 
+    /// Applies the attached fault scenario for the round about to run:
+    /// burst-loss overrides, partition set/heal, crash waves, and
+    /// recoveries. All fault randomness comes from scenario-seeded streams
+    /// (never the engine RNG), so the injected faults are identical under
+    /// the sequential and parallel paths at any thread count.
+    fn begin_round_faults(&mut self) {
+        let Some(mut rt) = self.faults.take() else {
+            return;
+        };
+        let round = self.round;
+
+        // 1. Burst loss: override or restore the effective loss rate.
+        let loss_override = rt.scenario.loss_rate_at(round);
+        self.loss_rate = loss_override.unwrap_or(self.base_loss_rate);
+
+        // 2. Partition: (re)compute the group assignment while a window is
+        // active (covering slots created by recoveries/churn since the cut)
+        // and heal when it closes. Groups are a pure function of the
+        // scenario seed, window start and slot.
+        let active = rt.scenario.active_partition(round);
+        let mut partition_checksum = 0u64;
+        match active {
+            Some((start, kind)) => {
+                let k = kind.groups();
+                let mut groups = vec![0u32; self.nodes.slot_count()];
+                for id in self.nodes.id_vec() {
+                    let g = rt.scenario.partition_group(start, id.slot(), k);
+                    groups[id.slot()] = g;
+                    partition_checksum ^= derive_seed(id.slot() as u64, u64::from(g));
+                }
+                self.overlay.set_partition(groups);
+                rt.partition_applied = Some(start);
+            }
+            None => {
+                if rt.partition_applied.take().is_some() {
+                    self.overlay.clear_partition();
+                }
+            }
+        }
+
+        // 3. Crash waves firing this round: victims are drawn from a
+        // scenario-seeded shuffle of the live population (taken in slot
+        // order), state wiped, removed from the overlay.
+        let mut crashed_slots: Vec<u32> = Vec::new();
+        for (recover_round, fraction) in rt.scenario.crashes_at(round) {
+            let live = self.nodes.len();
+            let k = ((fraction * live as f64).round() as usize).min(live.saturating_sub(1));
+            if k == 0 {
+                continue;
+            }
+            let mut ids = self.nodes.id_vec();
+            let mut rng = rt.crash_rng(round);
+            ids.shuffle(&mut rng);
+            let mut wave = 0u32;
+            for id in ids.into_iter().take(k) {
+                if let Some(state) = self.nodes.remove(id) {
+                    self.overlay.remove_node(id);
+                    self.protocol.on_leave(id, state);
+                    crashed_slots.push(id.slot() as u32);
+                    wave += 1;
+                }
+            }
+            if wave > 0 {
+                rt.pending_recoveries.push((recover_round, wave));
+            }
+        }
+
+        // 4. Recoveries due this round: the same number of fresh nodes
+        // rejoins via peer sampling. Their initial state comes from a
+        // scenario-seeded stream so it is execution-path independent; the
+        // `on_join` bootstrap uses the engine RNG like any churn join.
+        let mut recovered = 0u32;
+        rt.pending_recoveries.retain(|&(when, count)| {
+            if when <= round {
+                recovered += count;
+                false
+            } else {
+                true
+            }
+        });
+        if recovered > 0 {
+            let mut rng = rt.recover_rng(round);
+            let mut joined = Vec::with_capacity(recovered as usize);
+            for _ in 0..recovered {
+                let state = self.protocol.make_node(&mut rng);
+                let id = self.nodes.insert(state);
+                self.net.reset_slot(id.slot());
+                self.churn_state.on_insert(&self.churn, id, round, &mut rng);
+                self.overlay.register_node(id, &self.nodes, &mut rng);
+                joined.push(id);
+            }
+            for id in joined {
+                let mut ctx = Ctx {
+                    round: self.round,
+                    nodes: &mut self.nodes,
+                    overlay: &self.overlay,
+                    rng: &mut self.rng,
+                    net: &mut self.net,
+                    loss_rate: self.loss_rate,
+                    repair: self.repair,
+                };
+                self.protocol.on_join(id, &mut ctx);
+            }
+        }
+
+        if loss_override.is_some() || active.is_some() || !crashed_slots.is_empty() || recovered > 0
+        {
+            rt.trace.records.push(RoundFaults {
+                round,
+                loss_rate: self.loss_rate,
+                partition_active: active.is_some(),
+                partition_checksum,
+                crashed: crashed_slots,
+                recovered,
+            });
+        }
+        self.faults = Some(rt);
+    }
+
     fn apply_churn(&mut self) {
         let victims: Vec<NodeId> = match self.churn {
             ChurnModel::None => return,
@@ -655,12 +1021,24 @@ impl<P: Protocol> Engine<P> {
         if victims.is_empty() {
             return;
         }
-        let count = victims.len();
+        // Count only *successful* removals: a session victim may already be
+        // gone (crashed by a fault wave, or scheduled twice after
+        // `set_churn` re-registered the population), and replacing a node
+        // that never left would grow the population.
+        let mut count = 0;
+        let mut seen = std::collections::HashSet::with_capacity(victims.len());
         for id in victims {
+            if !seen.insert(id) {
+                continue;
+            }
             if let Some(state) = self.nodes.remove(id) {
                 self.overlay.remove_node(id);
                 self.protocol.on_leave(id, state);
+                count += 1;
             }
+        }
+        if count == 0 {
+            return;
         }
         // Replace departures to keep the population size constant, as the
         // paper's churn model does.
@@ -682,6 +1060,7 @@ impl<P: Protocol> Engine<P> {
                 rng: &mut self.rng,
                 net: &mut self.net,
                 loss_rate: self.loss_rate,
+                repair: self.repair,
             };
             self.protocol.on_join(id, &mut ctx);
         }
@@ -784,6 +1163,7 @@ impl<P: Protocol> Engine<P> {
             rng: &mut self.rng,
             net: &mut self.net,
             loss_rate: self.loss_rate,
+            repair: self.repair,
         };
         f(&mut self.protocol, &mut ctx)
     }
@@ -865,6 +1245,10 @@ mod tests {
                         response: Some(8),
                     }
                 }
+                ExchangeFate::Aborted => ExchangeTraffic {
+                    request: Some(8),
+                    response: Some(8),
+                },
             }
         }
     }
@@ -1139,6 +1523,261 @@ mod tests {
         par.run_rounds_parallel(20);
         assert_eq!(par.protocol().joins, seq.protocol().joins);
         assert_eq!(par.protocol().leaves, seq.protocol().leaves);
+    }
+
+    #[test]
+    fn sample_fate_zero_loss_is_complete_without_consuming_rng() {
+        let mut rng = seeded_rng(5);
+        let mut fresh = seeded_rng(5);
+        for _ in 0..16 {
+            assert_eq!(sample_fate(&mut rng, 0.0), ExchangeFate::Complete);
+            assert_eq!(sample_fate(&mut rng, -1.0), ExchangeFate::Complete);
+        }
+        // No draws were consumed: the stream is still aligned with a fresh
+        // generator.
+        assert_eq!(rng.random::<u64>(), fresh.random::<u64>());
+    }
+
+    #[test]
+    fn sample_fate_full_loss_always_drops_request() {
+        let mut rng = seeded_rng(6);
+        for _ in 0..64 {
+            assert_eq!(sample_fate(&mut rng, 1.0), ExchangeFate::RequestLost);
+        }
+    }
+
+    #[test]
+    fn sample_exchange_repair_full_loss_exhausts_retries() {
+        let repair = ExchangeRepair {
+            enabled: true,
+            max_retries: 3,
+        };
+        let mut rng = seeded_rng(7);
+        let outcome = sample_exchange(&mut rng, 1.0, repair);
+        assert_eq!(outcome.fate, ExchangeFate::RequestLost);
+        assert_eq!(outcome.request_msgs, 4);
+        assert_eq!(outcome.response_msgs, 0);
+        // Lossless: single attempt, both messages.
+        let outcome = sample_exchange(&mut rng, 0.0, repair);
+        assert_eq!(
+            outcome,
+            ExchangeOutcome {
+                fate: ExchangeFate::Complete,
+                request_msgs: 1,
+                response_msgs: 1,
+            }
+        );
+    }
+
+    #[test]
+    fn sample_exchange_repair_never_yields_response_lost() {
+        let repair = ExchangeRepair {
+            enabled: true,
+            max_retries: 2,
+        };
+        let mut rng = seeded_rng(8);
+        let mut aborted = 0;
+        for _ in 0..2000 {
+            let outcome = sample_exchange(&mut rng, 0.3, repair);
+            assert_ne!(outcome.fate, ExchangeFate::ResponseLost);
+            if outcome.fate == ExchangeFate::Aborted {
+                aborted += 1;
+                assert!(outcome.response_msgs > 0, "abort implies partner heard us");
+            }
+        }
+        assert!(aborted > 0, "30% loss should produce some aborts");
+    }
+
+    #[test]
+    fn config_validation_rejects_bad_rates() {
+        assert!(EngineConfig::new(10, 0).validate().is_ok());
+        let mut zero_n = EngineConfig::new(10, 0);
+        zero_n.n = 0;
+        assert!(zero_n.validate().is_err());
+        assert!(EngineConfig::new(10, 0)
+            .with_loss_rate(f64::NAN)
+            .validate()
+            .is_err());
+        assert!(EngineConfig::new(10, 0)
+            .with_loss_rate(1.5)
+            .validate()
+            .is_err());
+        assert!(EngineConfig::new(10, 0)
+            .with_loss_rate(-0.1)
+            .validate()
+            .is_err());
+        let mut bad_churn = EngineConfig::new(10, 0);
+        bad_churn.churn = ChurnModel::Uniform { rate: f64::NAN };
+        assert!(bad_churn.validate().is_err());
+        let mut bad_sessions = EngineConfig::new(10, 0);
+        bad_sessions.churn = ChurnModel::Sessions { mean_rounds: 0.0 };
+        assert!(bad_sessions.validate().is_err());
+        assert!(
+            Engine::try_new(bad_sessions, Averaging { next_value: 0.0 }).is_err(),
+            "try_new must surface validation errors"
+        );
+    }
+
+    #[test]
+    fn session_churn_rescheduling_does_not_grow_population() {
+        // `set_churn` re-registers every node's session; duplicate heap
+        // entries for the same node must not cause double replacement.
+        let config = EngineConfig::new(100, 3).with_churn(ChurnModel::sessions(5.0));
+        let mut engine = Engine::new(config, Averaging { next_value: 0.0 });
+        for round in 0..60 {
+            if round % 10 == 0 {
+                engine.set_churn(ChurnModel::sessions(5.0));
+            }
+            engine.run_round();
+            assert_eq!(engine.nodes().len(), 100, "round {round}");
+        }
+    }
+
+    fn crash_scenario() -> crate::faults::FaultScenario {
+        crate::faults::FaultScenario::new(99)
+            .with_burst_loss(3, 8, 0.4)
+            .with_partition(5, 12, crate::faults::PartitionKind::Bisect)
+            .with_crash_recover(2, 9, 0.2)
+    }
+
+    #[test]
+    fn crash_recover_restores_population() {
+        let mut engine = Engine::new(EngineConfig::new(100, 21), Averaging { next_value: 0.0 });
+        engine
+            .set_fault_scenario(crate::faults::FaultScenario::new(5).with_crash_recover(2, 5, 0.2))
+            .unwrap();
+        engine.run_rounds(2);
+        assert_eq!(engine.nodes().len(), 100);
+        engine.run_round(); // round 2: crash fires
+        assert_eq!(engine.nodes().len(), 80);
+        engine.run_rounds(2); // rounds 3, 4
+        assert_eq!(engine.nodes().len(), 80);
+        engine.run_round(); // round 5: recovery
+        assert_eq!(engine.nodes().len(), 100);
+        let trace = engine.fault_trace().unwrap();
+        assert_eq!(trace.total_crashed(), 20);
+        assert_eq!(trace.total_recovered(), 20);
+    }
+
+    #[test]
+    fn fault_partition_applies_and_heals() {
+        let mut engine = Engine::new(EngineConfig::new(64, 22), Averaging { next_value: 0.0 });
+        engine
+            .set_fault_scenario(crate::faults::FaultScenario::new(4).with_partition(
+                1,
+                3,
+                crate::faults::PartitionKind::Islands(4),
+            ))
+            .unwrap();
+        engine.run_round();
+        assert!(!engine.overlay().is_partitioned());
+        engine.run_round();
+        assert!(engine.overlay().is_partitioned());
+        let groups: std::collections::HashSet<u32> = engine
+            .nodes()
+            .id_vec()
+            .into_iter()
+            .map(|id| engine.partition_group(id))
+            .collect();
+        assert!(groups.len() > 1, "expected several islands, got {groups:?}");
+        engine.run_rounds(2);
+        assert!(!engine.overlay().is_partitioned(), "window closed");
+    }
+
+    #[test]
+    fn fault_burst_overrides_and_restores_loss_rate() {
+        let mut engine = Engine::new(
+            EngineConfig::new(50, 23).with_loss_rate(0.01),
+            Averaging { next_value: 0.0 },
+        );
+        engine
+            .set_fault_scenario(crate::faults::FaultScenario::new(6).with_burst_loss(1, 3, 0.9))
+            .unwrap();
+        engine.run_rounds(4);
+        let trace = engine.fault_trace().unwrap();
+        let rates: Vec<(u64, f64)> = trace
+            .records
+            .iter()
+            .map(|r| (r.round, r.loss_rate))
+            .collect();
+        assert_eq!(rates, vec![(1, 0.9), (2, 0.9)]);
+    }
+
+    #[test]
+    fn fault_trace_is_identical_across_engine_paths_and_threads() {
+        // The injector draws only from scenario-seeded streams, so the
+        // sequential path and the parallel path at any thread count must
+        // inject byte-identical faults (no churn: uniform churn victims
+        // come from the engine RNG, whose draw sequence legitimately
+        // differs between paths).
+        let config = EngineConfig::new(200, 31).with_loss_rate(0.05);
+        let mut seq = Engine::new(config, Averaging { next_value: 0.0 });
+        seq.set_fault_scenario(crash_scenario()).unwrap();
+        for _ in 0..15 {
+            seq.run_round();
+        }
+        let reference = seq.fault_trace().unwrap().clone();
+        assert!(!reference.is_empty());
+        for threads in [1, 2, 4] {
+            let mut par = Engine::new(config.with_threads(threads), Averaging { next_value: 0.0 });
+            par.set_fault_scenario(crash_scenario()).unwrap();
+            par.run_rounds_parallel(15);
+            assert_eq!(
+                par.fault_trace().unwrap(),
+                &reference,
+                "threads={threads} trace diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_faulted_run_is_bit_identical_across_thread_counts() {
+        let base = EngineConfig::new(300, 17)
+            .with_loss_rate(0.05)
+            .with_repair(ExchangeRepair::enabled());
+        let mut reference = None;
+        for threads in [1, 2, 4, 7] {
+            let mut engine = Engine::new(base.with_threads(threads), Averaging { next_value: 0.0 });
+            engine.set_fault_scenario(crash_scenario()).unwrap();
+            engine.run_rounds_parallel(20);
+            let snap = snapshot(&engine);
+            match &reference {
+                None => reference = Some(snap),
+                Some(r) => assert_eq!(&snap, r, "threads={threads} diverged"),
+            }
+        }
+    }
+
+    #[test]
+    fn repair_conserves_mass_under_loss() {
+        // With repair enabled an exchange either completes on both sides
+        // or aborts with no state change, so the global sum is exact even
+        // at 30% loss; without repair the asymmetric ResponseLost path
+        // leaks mass almost surely.
+        let repaired = EngineConfig::new(200, 13)
+            .with_loss_rate(0.3)
+            .with_repair(ExchangeRepair::enabled())
+            .with_threads(2);
+        let mut engine = Engine::new(repaired, Averaging { next_value: 0.0 });
+        let initial: f64 = engine.nodes().iter().map(|(_, v)| *v).sum();
+        engine.run_rounds_parallel(30);
+        let sum: f64 = engine.nodes().iter().map(|(_, v)| *v).sum();
+        assert!(
+            (sum - initial).abs() < 1e-6,
+            "repaired path leaked mass: {sum} vs {initial}"
+        );
+
+        let unrepaired = EngineConfig::new(200, 13)
+            .with_loss_rate(0.3)
+            .with_threads(2);
+        let mut engine = Engine::new(unrepaired, Averaging { next_value: 0.0 });
+        let initial: f64 = engine.nodes().iter().map(|(_, v)| *v).sum();
+        engine.run_rounds_parallel(30);
+        let sum: f64 = engine.nodes().iter().map(|(_, v)| *v).sum();
+        assert!(
+            (sum - initial).abs() > 1e-3,
+            "unrepaired path should visibly drift: {sum} vs {initial}"
+        );
     }
 
     #[test]

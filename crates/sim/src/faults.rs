@@ -1,0 +1,539 @@
+//! Scenario-driven fault injection.
+//!
+//! A [`FaultScenario`] is a declarative list of [`FaultEvent`]s — correlated
+//! burst loss, overlay partitions, crash–recover waves, extra delivery delay
+//! and message duplication — each active over a round window. Scenarios are
+//! attached to an engine ([`crate::Engine::set_fault_scenario`] for the
+//! cycle-driven engine, [`crate::EventEngine::set_fault_scenario`] for the
+//! async one) and replayed deterministically: every random draw the injector
+//! makes comes from counter-based streams keyed by the *scenario* seed and
+//! the round (never from the engine RNG), so the same scenario produces the
+//! same faults under the sequential and parallel round paths at any thread
+//! count.
+//!
+//! The engine records what it injected each round in a [`FaultTrace`] of
+//! [`RoundFaults`] records, which tests compare across execution paths and
+//! benches report alongside protocol error.
+
+use crate::engine::SimConfigError;
+use crate::rng::{derive_seed, seeded_rng};
+
+/// Fault-stream tags for [`derive_seed`], disjoint from the engine's
+/// parallel-phase counters (0, 1) by a wide margin.
+pub(crate) const PHASE_PARTITION: u64 = 16;
+pub(crate) const PHASE_CRASH: u64 = 17;
+pub(crate) const PHASE_RECOVER: u64 = 18;
+
+/// Shape of an injected network partition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PartitionKind {
+    /// Split the network into two halves.
+    Bisect,
+    /// Split the network into `k ≥ 2` islands.
+    Islands(u32),
+}
+
+impl PartitionKind {
+    /// Number of partition groups this cut produces.
+    pub fn groups(self) -> u32 {
+        match self {
+            PartitionKind::Bisect => 2,
+            PartitionKind::Islands(k) => k,
+        }
+    }
+}
+
+/// One declarative fault, active over a round window.
+///
+/// Round windows are half-open: `[from_round, to_round)`. A `CrashRecover`
+/// fires once at `at_round` and the crashed nodes rejoin at `recover_round`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultEvent {
+    /// Correlated burst loss: while active, the engine's per-message loss
+    /// probability is overridden with `loss_rate` (the maximum over all
+    /// active bursts wins).
+    BurstLoss {
+        /// First affected round (inclusive).
+        from_round: u64,
+        /// First unaffected round (exclusive).
+        to_round: u64,
+        /// Per-message loss probability in `[0, 1]`.
+        loss_rate: f64,
+    },
+    /// Overlay-aware partition: while active, gossip partners are only
+    /// drawn within a node's partition group. Group assignment is a pure
+    /// function of the scenario seed, the window start and the node slot,
+    /// so it is identical across execution paths and rounds.
+    Partition {
+        /// First affected round (inclusive).
+        from_round: u64,
+        /// First unaffected round (exclusive); the partition heals here.
+        to_round: u64,
+        /// Shape of the cut.
+        kind: PartitionKind,
+    },
+    /// Crash a fraction of live nodes at `at_round` (state wiped, removed
+    /// from the overlay) and let the same number of fresh nodes rejoin via
+    /// peer sampling at `recover_round`.
+    CrashRecover {
+        /// Round at which the nodes crash.
+        at_round: u64,
+        /// Round at which replacements rejoin (`> at_round`).
+        recover_round: u64,
+        /// Fraction of the live population to crash, in `[0, 1]`.
+        fraction: f64,
+    },
+    /// Extra delivery delay for the [`crate::EventEngine`]: while active,
+    /// every delivered message takes `extra_ticks` additional ticks. The
+    /// cycle-driven engine ignores it (its exchanges are intra-round).
+    Delay {
+        /// First affected round (inclusive).
+        from_round: u64,
+        /// First unaffected round (exclusive).
+        to_round: u64,
+        /// Additional delivery latency in ticks.
+        extra_ticks: u64,
+    },
+    /// Message duplication for the [`crate::EventEngine`]: while active,
+    /// each sent message is delivered twice with probability `rate`. The
+    /// cycle-driven engine ignores it (exchanges are idempotent per round).
+    Duplicate {
+        /// First affected round (inclusive).
+        from_round: u64,
+        /// First unaffected round (exclusive).
+        to_round: u64,
+        /// Duplication probability in `[0, 1]`.
+        rate: f64,
+    },
+}
+
+/// A declarative, deterministically replayable fault schedule.
+///
+/// Build with the `with_*` methods, then attach to an engine. The scenario
+/// `seed` drives all fault randomness (crash victim selection, partition
+/// group assignment); it is independent of the engine seed so the same
+/// scenario can be replayed against different populations.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultScenario {
+    /// Seed for all fault randomness.
+    pub seed: u64,
+    /// The scheduled faults.
+    pub events: Vec<FaultEvent>,
+}
+
+impl FaultScenario {
+    /// Creates an empty scenario.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            seed,
+            events: Vec::new(),
+        }
+    }
+
+    /// Adds a correlated burst-loss window `[from, to)`.
+    pub fn with_burst_loss(mut self, from: u64, to: u64, loss_rate: f64) -> Self {
+        self.events.push(FaultEvent::BurstLoss {
+            from_round: from,
+            to_round: to,
+            loss_rate,
+        });
+        self
+    }
+
+    /// Adds a partition window `[from, to)`.
+    pub fn with_partition(mut self, from: u64, to: u64, kind: PartitionKind) -> Self {
+        self.events.push(FaultEvent::Partition {
+            from_round: from,
+            to_round: to,
+            kind,
+        });
+        self
+    }
+
+    /// Adds a crash–recover wave: `fraction` of live nodes crash at `at`
+    /// and replacements rejoin at `recover`.
+    pub fn with_crash_recover(mut self, at: u64, recover: u64, fraction: f64) -> Self {
+        self.events.push(FaultEvent::CrashRecover {
+            at_round: at,
+            recover_round: recover,
+            fraction,
+        });
+        self
+    }
+
+    /// Adds an extra-delay window `[from, to)` (async engine only).
+    pub fn with_delay(mut self, from: u64, to: u64, extra_ticks: u64) -> Self {
+        self.events.push(FaultEvent::Delay {
+            from_round: from,
+            to_round: to,
+            extra_ticks,
+        });
+        self
+    }
+
+    /// Adds a duplication window `[from, to)` (async engine only).
+    pub fn with_duplication(mut self, from: u64, to: u64, rate: f64) -> Self {
+        self.events.push(FaultEvent::Duplicate {
+            from_round: from,
+            to_round: to,
+            rate,
+        });
+        self
+    }
+
+    /// Validates every event: probabilities must be finite and in `[0, 1]`,
+    /// windows non-inverted, recovery strictly after the crash, island cuts
+    /// need at least two groups.
+    pub fn validate(&self) -> Result<(), SimConfigError> {
+        fn probability(name: &str, p: f64) -> Result<(), SimConfigError> {
+            if !p.is_finite() || !(0.0..=1.0).contains(&p) {
+                return Err(SimConfigError::new(format!(
+                    "{name} must be finite and in [0, 1], got {p}"
+                )));
+            }
+            Ok(())
+        }
+        fn window(from: u64, to: u64) -> Result<(), SimConfigError> {
+            if from > to {
+                return Err(SimConfigError::new(format!(
+                    "fault window [{from}, {to}) is inverted"
+                )));
+            }
+            Ok(())
+        }
+        for event in &self.events {
+            match *event {
+                FaultEvent::BurstLoss {
+                    from_round,
+                    to_round,
+                    loss_rate,
+                } => {
+                    window(from_round, to_round)?;
+                    probability("burst loss_rate", loss_rate)?;
+                }
+                FaultEvent::Partition {
+                    from_round,
+                    to_round,
+                    kind,
+                } => {
+                    window(from_round, to_round)?;
+                    if kind.groups() < 2 {
+                        return Err(SimConfigError::new(
+                            "partition needs at least 2 groups".to_string(),
+                        ));
+                    }
+                }
+                FaultEvent::CrashRecover {
+                    at_round,
+                    recover_round,
+                    fraction,
+                } => {
+                    if recover_round <= at_round {
+                        return Err(SimConfigError::new(format!(
+                            "recover_round {recover_round} must be after at_round {at_round}"
+                        )));
+                    }
+                    probability("crash fraction", fraction)?;
+                }
+                FaultEvent::Delay {
+                    from_round,
+                    to_round,
+                    ..
+                } => window(from_round, to_round)?,
+                FaultEvent::Duplicate {
+                    from_round,
+                    to_round,
+                    rate,
+                } => {
+                    window(from_round, to_round)?;
+                    probability("duplication rate", rate)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The loss-rate override active at `round`, if any (maximum over all
+    /// active bursts).
+    pub fn loss_rate_at(&self, round: u64) -> Option<f64> {
+        let mut max: Option<f64> = None;
+        for event in &self.events {
+            if let FaultEvent::BurstLoss {
+                from_round,
+                to_round,
+                loss_rate,
+            } = *event
+            {
+                if (from_round..to_round).contains(&round) {
+                    max = Some(max.map_or(loss_rate, |m: f64| m.max(loss_rate)));
+                }
+            }
+        }
+        max
+    }
+
+    /// Extra delivery delay (ticks) active at `round` (sum over windows).
+    pub fn extra_delay_at(&self, round: u64) -> u64 {
+        self.events
+            .iter()
+            .filter_map(|event| match *event {
+                FaultEvent::Delay {
+                    from_round,
+                    to_round,
+                    extra_ticks,
+                } if (from_round..to_round).contains(&round) => Some(extra_ticks),
+                _ => None,
+            })
+            .sum()
+    }
+
+    /// Duplication probability active at `round` (maximum over windows).
+    pub fn duplication_rate_at(&self, round: u64) -> f64 {
+        self.events
+            .iter()
+            .filter_map(|event| match *event {
+                FaultEvent::Duplicate {
+                    from_round,
+                    to_round,
+                    rate,
+                } if (from_round..to_round).contains(&round) => Some(rate),
+                _ => None,
+            })
+            .fold(0.0, f64::max)
+    }
+
+    /// The partition active at `round`, as `(window_start, kind)`. When
+    /// windows overlap, the latest-starting one wins.
+    pub(crate) fn active_partition(&self, round: u64) -> Option<(u64, PartitionKind)> {
+        let mut active: Option<(u64, PartitionKind)> = None;
+        for event in &self.events {
+            if let FaultEvent::Partition {
+                from_round,
+                to_round,
+                kind,
+            } = *event
+            {
+                if (from_round..to_round).contains(&round)
+                    && active.is_none_or(|(start, _)| from_round >= start)
+                {
+                    active = Some((from_round, kind));
+                }
+            }
+        }
+        active
+    }
+
+    /// Crash waves firing exactly at `round`, as `(recover_round, fraction)`.
+    pub(crate) fn crashes_at(&self, round: u64) -> Vec<(u64, f64)> {
+        self.events
+            .iter()
+            .filter_map(|event| match *event {
+                FaultEvent::CrashRecover {
+                    at_round,
+                    recover_round,
+                    fraction,
+                } if at_round == round => Some((recover_round, fraction)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Whether any event references rounds at or after `round` (used to
+    /// know when a scenario is fully played out).
+    pub fn last_round(&self) -> u64 {
+        self.events
+            .iter()
+            .map(|event| match *event {
+                FaultEvent::BurstLoss { to_round, .. }
+                | FaultEvent::Partition { to_round, .. }
+                | FaultEvent::Delay { to_round, .. }
+                | FaultEvent::Duplicate { to_round, .. } => to_round,
+                FaultEvent::CrashRecover { recover_round, .. } => recover_round,
+            })
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Deterministic partition group of `slot` for the partition window
+    /// starting at `window_start`: a pure function of the scenario seed, so
+    /// identical across execution paths, rounds, and thread counts.
+    pub(crate) fn partition_group(&self, window_start: u64, slot: usize, k: u32) -> u32 {
+        let h = derive_seed(
+            derive_seed(derive_seed(self.seed, PHASE_PARTITION), window_start),
+            slot as u64,
+        );
+        (h % u64::from(k.max(1))) as u32
+    }
+}
+
+/// What the fault injector did in one round (for replay comparison).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoundFaults {
+    /// The round the faults were injected into.
+    pub round: u64,
+    /// Effective per-message loss rate this round.
+    pub loss_rate: f64,
+    /// Whether a partition was active.
+    pub partition_active: bool,
+    /// Checksum over the partition group assignment (0 when unpartitioned).
+    pub partition_checksum: u64,
+    /// Slots crashed this round, in removal order.
+    pub crashed: Vec<u32>,
+    /// Number of nodes that recovered (rejoined) this round.
+    pub recovered: u32,
+}
+
+/// Chronological record of injected faults, one entry per round with any
+/// fault activity. Two engines replaying the same scenario must produce
+/// equal traces.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultTrace {
+    /// Per-round records (only rounds with fault activity).
+    pub records: Vec<RoundFaults>,
+}
+
+impl FaultTrace {
+    /// Number of recorded rounds.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether no fault activity was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Total nodes crashed over the run.
+    pub fn total_crashed(&self) -> u64 {
+        self.records.iter().map(|r| r.crashed.len() as u64).sum()
+    }
+
+    /// Total nodes recovered over the run.
+    pub fn total_recovered(&self) -> u64 {
+        self.records.iter().map(|r| u64::from(r.recovered)).sum()
+    }
+}
+
+/// Engine-side runtime state for an attached scenario.
+#[derive(Debug, Clone)]
+pub(crate) struct FaultRuntime {
+    /// The scenario being replayed.
+    pub(crate) scenario: FaultScenario,
+    /// Window start of the currently applied partition, if any.
+    pub(crate) partition_applied: Option<u64>,
+    /// Crashed-node batches waiting to rejoin, as `(recover_round, count)`.
+    pub(crate) pending_recoveries: Vec<(u64, u32)>,
+    /// Record of everything injected so far.
+    pub(crate) trace: FaultTrace,
+}
+
+impl FaultRuntime {
+    pub(crate) fn new(scenario: FaultScenario) -> Self {
+        Self {
+            scenario,
+            partition_applied: None,
+            pending_recoveries: Vec::new(),
+            trace: FaultTrace::default(),
+        }
+    }
+
+    /// Deterministic RNG for selecting crash victims at `round`.
+    pub(crate) fn crash_rng(&self, round: u64) -> rand::rngs::StdRng {
+        seeded_rng(derive_seed(
+            derive_seed(self.scenario.seed, PHASE_CRASH),
+            round,
+        ))
+    }
+
+    /// Deterministic RNG for rebuilding recovered nodes at `round`.
+    pub(crate) fn recover_rng(&self, round: u64) -> rand::rngs::StdRng {
+        seeded_rng(derive_seed(
+            derive_seed(self.scenario.seed, PHASE_RECOVER),
+            round,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scenario() -> FaultScenario {
+        FaultScenario::new(7)
+            .with_burst_loss(5, 10, 0.2)
+            .with_burst_loss(8, 12, 0.5)
+            .with_partition(10, 20, PartitionKind::Bisect)
+            .with_crash_recover(15, 25, 0.1)
+            .with_delay(0, 4, 3)
+            .with_duplication(2, 6, 0.25)
+    }
+
+    #[test]
+    fn validates_good_scenario() {
+        assert!(scenario().validate().is_ok());
+    }
+
+    #[test]
+    fn rejects_bad_rates_and_windows() {
+        let bad = [
+            FaultScenario::new(0).with_burst_loss(0, 5, 1.5),
+            FaultScenario::new(0).with_burst_loss(0, 5, f64::NAN),
+            FaultScenario::new(0).with_burst_loss(5, 0, 0.1),
+            FaultScenario::new(0).with_crash_recover(5, 5, 0.1),
+            FaultScenario::new(0).with_crash_recover(5, 10, -0.1),
+            FaultScenario::new(0).with_duplication(0, 5, 2.0),
+            FaultScenario::new(0).with_partition(0, 5, PartitionKind::Islands(1)),
+        ];
+        for s in bad {
+            assert!(s.validate().is_err(), "{s:?} should be rejected");
+        }
+    }
+
+    #[test]
+    fn loss_rate_takes_burst_maximum() {
+        let s = scenario();
+        assert_eq!(s.loss_rate_at(4), None);
+        assert_eq!(s.loss_rate_at(5), Some(0.2));
+        assert_eq!(s.loss_rate_at(9), Some(0.5));
+        assert_eq!(s.loss_rate_at(11), Some(0.5));
+        assert_eq!(s.loss_rate_at(12), None);
+    }
+
+    #[test]
+    fn delay_and_duplication_windows() {
+        let s = scenario();
+        assert_eq!(s.extra_delay_at(0), 3);
+        assert_eq!(s.extra_delay_at(4), 0);
+        assert_eq!(s.duplication_rate_at(3), 0.25);
+        assert_eq!(s.duplication_rate_at(6), 0.0);
+    }
+
+    #[test]
+    fn partition_window_and_groups_are_deterministic() {
+        let s = scenario();
+        assert_eq!(s.active_partition(9), None);
+        let (start, kind) = s.active_partition(10).unwrap();
+        assert_eq!((start, kind), (10, PartitionKind::Bisect));
+        assert_eq!(s.active_partition(20), None);
+        // Pure function of (seed, window, slot): stable and 2-valued.
+        let groups: Vec<u32> = (0..64).map(|slot| s.partition_group(10, slot, 2)).collect();
+        let again: Vec<u32> = (0..64).map(|slot| s.partition_group(10, slot, 2)).collect();
+        assert_eq!(groups, again);
+        assert!(groups.contains(&0) && groups.contains(&1));
+        assert!(groups.iter().all(|&g| g < 2));
+    }
+
+    #[test]
+    fn crash_schedule_fires_once() {
+        let s = scenario();
+        assert!(s.crashes_at(14).is_empty());
+        assert_eq!(s.crashes_at(15), vec![(25, 0.1)]);
+        assert!(s.crashes_at(16).is_empty());
+    }
+
+    #[test]
+    fn last_round_covers_all_events() {
+        assert_eq!(scenario().last_round(), 25);
+        assert_eq!(FaultScenario::new(0).last_round(), 0);
+    }
+}

@@ -57,6 +57,7 @@ mod churn;
 mod engine;
 mod event;
 mod executor;
+mod faults;
 mod node;
 mod overlay;
 pub mod peersampling;
@@ -65,11 +66,13 @@ mod stats;
 
 pub use churn::ChurnModel;
 pub use engine::{
-    Ctx, Engine, EngineConfig, ExchangeFate, ExchangeTraffic, ParLocal, PlannedExchange, Protocol,
+    Ctx, Engine, EngineConfig, ExchangeFate, ExchangeOutcome, ExchangeRepair, ExchangeTraffic,
+    ParLocal, PlannedExchange, Protocol, SimConfigError,
 };
 pub use event::{AsyncProtocol, EventConfig, EventCtx, EventEngine, LatencyModel};
+pub use faults::{FaultEvent, FaultScenario, FaultTrace, PartitionKind, RoundFaults};
 pub use node::{NodeId, NodeSlab};
 pub use overlay::{Overlay, OverlayConfig, OverlayKind};
 pub use peersampling::{PeerSamplingPolicy, PeerSelection, PsView, ViewEntry};
 pub use rng::{derive_seed, par_stream_rng, seeded_rng};
-pub use stats::{Accumulator, NetShard, NetStats, NodeTraffic};
+pub use stats::{Accumulator, MassAuditor, NetShard, NetStats, NodeTraffic};

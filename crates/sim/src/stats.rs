@@ -221,6 +221,92 @@ impl NetShard {
     }
 }
 
+/// Tracks conserved quantities ("mass") across rounds and reports drift.
+///
+/// Push–pull averaging only converges to the correct result if the global
+/// sum of estimates is conserved; an interrupted exchange (request applied,
+/// response lost) silently destroys mass. The auditor captures a baseline
+/// the first time each component is observed and reports the signed drift
+/// of every later observation, so tests and benches can assert the
+/// invariant `Σ xᵢ = const` (or the fraction-mass defect for protocols
+/// with churn) to floating-point tolerance.
+///
+/// # Examples
+///
+/// ```
+/// let mut auditor = adam2_sim::MassAuditor::new();
+/// auditor.observe(0, 10.0); // baseline
+/// auditor.observe(0, 10.0 + 1e-12);
+/// assert!(auditor.max_drift() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct MassAuditor {
+    components: std::collections::HashMap<u64, MassComponent>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct MassComponent {
+    baseline: f64,
+    last: f64,
+    max_abs_drift: f64,
+    observations: u64,
+}
+
+impl MassAuditor {
+    /// Creates an auditor with no observed components.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Observes the current value of component `key`. The first
+    /// observation becomes the component's baseline; later ones update the
+    /// drift statistics.
+    pub fn observe(&mut self, key: u64, value: f64) {
+        let entry = self.components.entry(key).or_insert(MassComponent {
+            baseline: value,
+            last: value,
+            max_abs_drift: 0.0,
+            observations: 0,
+        });
+        entry.observations += 1;
+        entry.last = value;
+        let drift = (value - entry.baseline).abs();
+        if drift > entry.max_abs_drift {
+            entry.max_abs_drift = drift;
+        }
+    }
+
+    /// Largest absolute drift from baseline seen on any component (0 when
+    /// nothing was observed).
+    pub fn max_drift(&self) -> f64 {
+        self.components
+            .values()
+            .map(|c| c.max_abs_drift)
+            .fold(0.0, f64::max)
+    }
+
+    /// Signed drift of component `key`'s latest observation from its
+    /// baseline, if the component was observed.
+    pub fn drift_of(&self, key: u64) -> Option<f64> {
+        self.components.get(&key).map(|c| c.last - c.baseline)
+    }
+
+    /// Largest absolute drift ever seen on component `key`.
+    pub fn max_drift_of(&self, key: u64) -> Option<f64> {
+        self.components.get(&key).map(|c| c.max_abs_drift)
+    }
+
+    /// Number of observed components.
+    pub fn component_count(&self) -> usize {
+        self.components.len()
+    }
+
+    /// Forgets everything (e.g. between experiment phases).
+    pub fn reset(&mut self) {
+        self.components.clear();
+    }
+}
+
 /// Streaming mean/variance/min/max accumulator (Welford's algorithm).
 ///
 /// # Examples
@@ -446,5 +532,25 @@ mod tests {
         assert_eq!(acc.count(), 0);
         assert_eq!(acc.mean(), 0.0);
         assert_eq!(acc.variance(), 0.0);
+    }
+
+    #[test]
+    fn mass_auditor_tracks_drift_per_component() {
+        let mut auditor = MassAuditor::new();
+        auditor.observe(0, 100.0);
+        auditor.observe(1, 1.0);
+        auditor.observe(0, 100.0);
+        assert_eq!(auditor.max_drift(), 0.0);
+        auditor.observe(0, 99.5);
+        auditor.observe(0, 100.25);
+        assert_eq!(auditor.drift_of(0), Some(0.25));
+        assert_eq!(auditor.max_drift_of(0), Some(0.5));
+        assert_eq!(auditor.drift_of(1), Some(0.0));
+        assert_eq!(auditor.max_drift(), 0.5);
+        assert_eq!(auditor.component_count(), 2);
+        assert_eq!(auditor.drift_of(7), None);
+        auditor.reset();
+        assert_eq!(auditor.component_count(), 0);
+        assert_eq!(auditor.max_drift(), 0.0);
     }
 }
