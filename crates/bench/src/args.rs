@@ -11,6 +11,7 @@
 //! --peers P      peers sampled for Err_a aggregation (default 32)
 //! --attr LIST    comma-separated attributes (default cpu,ram)
 //! --csv PATH     also write the result table as CSV
+//! --telemetry D  export per-round telemetry (JSONL/CSV + manifest) to D
 //! --full         paper scale: 100000 nodes
 //! --help         print usage
 //! ```
@@ -36,6 +37,9 @@ pub struct Args {
     pub attrs: Vec<Attribute>,
     /// Optional CSV output path.
     pub csv: Option<String>,
+    /// Optional telemetry export directory (`--telemetry DIR`): runs
+    /// attach a telemetry store and export rounds/events/manifest files.
+    pub telemetry: Option<String>,
     /// Paper-scale run requested.
     pub full: bool,
     extras: HashMap<String, String>,
@@ -51,6 +55,7 @@ impl Default for Args {
             sample_peers: 32,
             attrs: vec![Attribute::Cpu, Attribute::Ram],
             csv: None,
+            telemetry: None,
             full: false,
             extras: HashMap::new(),
         }
@@ -67,7 +72,7 @@ impl Args {
                 eprintln!("{experiment}: {msg}");
                 eprintln!(
                     "usage: {experiment} [--nodes N] [--seed S] [--lambda L] [--rounds R] \
-                     [--peers P] [--attr cpu,ram] [--csv PATH] [--full]"
+                     [--peers P] [--attr cpu,ram] [--csv PATH] [--telemetry DIR] [--full]"
                 );
                 std::process::exit(if msg == "help requested" { 0 } else { 2 });
             }
@@ -126,6 +131,7 @@ impl Args {
                         .collect::<Result<_, _>>()?;
                 }
                 "--csv" => out.csv = Some(value_of("--csv")?),
+                "--telemetry" => out.telemetry = Some(value_of("--telemetry")?),
                 other if other.starts_with("--") => {
                     // Experiment-specific extras: --key value.
                     let key = other.trim_start_matches("--").to_string();
@@ -221,6 +227,8 @@ mod tests {
             "ram",
             "--csv",
             "/tmp/x.csv",
+            "--telemetry",
+            "/tmp/telemetry",
         ])
         .unwrap();
         assert_eq!(a.nodes, 500);
@@ -230,6 +238,7 @@ mod tests {
         assert_eq!(a.sample_peers, 16);
         assert_eq!(a.attrs, vec![Attribute::Ram]);
         assert_eq!(a.csv.as_deref(), Some("/tmp/x.csv"));
+        assert_eq!(a.telemetry.as_deref(), Some("/tmp/telemetry"));
     }
 
     #[test]

@@ -10,9 +10,12 @@
 
 use std::time::Instant;
 
-use adam2_bench::{adam2_engine, adam2_engine_threaded, setup, start_instance, Args};
+use adam2_bench::{
+    adam2_engine, adam2_engine_threaded, export_telemetry, maybe_attach_telemetry, setup,
+    start_instance, Args,
+};
 use adam2_core::Adam2Config;
-use adam2_sim::ChurnModel;
+use adam2_sim::{ChurnModel, RunManifest};
 use adam2_traces::Attribute;
 
 struct SizeResult {
@@ -65,11 +68,27 @@ fn main() {
         let seq_secs = t0.elapsed().as_secs_f64();
 
         let mut par = adam2_engine_threaded(&s, config, args.seed, ChurnModel::None, threads);
+        // Telemetry only on the parallel leg, and only when requested:
+        // with the flag absent both legs run with the zero-cost no-op sink.
+        maybe_attach_telemetry(&mut par, args.telemetry.as_ref());
         start_instance(&mut par);
         par.run_rounds_parallel(10);
         let t0 = Instant::now();
         par.run_rounds_parallel(rounds);
         let par_secs = t0.elapsed().as_secs_f64();
+        if let Some(dir) = &args.telemetry {
+            export_telemetry(
+                &mut par,
+                dir,
+                &format!("n{nodes}"),
+                "bench_engine",
+                &format!(
+                    "nodes={nodes} lambda={} threads={effective_threads}",
+                    args.lambda
+                ),
+                args.seed,
+            );
+        }
 
         // Both paths must have carried the same number of messages.
         assert_eq!(
@@ -92,9 +111,16 @@ fn main() {
         results.push(r);
     }
 
+    let manifest = RunManifest::new(
+        "bench_engine",
+        &format!("lambda={} threads={effective_threads}", args.lambda),
+        args.seed,
+        effective_threads,
+    );
     let mut json = String::new();
     json.push_str("{\n");
     json.push_str("  \"benchmark\": \"engine_rounds_per_sec\",\n");
+    json.push_str(&format!("  \"manifest\": {},\n", manifest.to_inline_json()));
     json.push_str(&format!("  \"seed\": {},\n", args.seed));
     json.push_str(&format!("  \"lambda\": {},\n", args.lambda));
     json.push_str(&format!("  \"threads\": {effective_threads},\n"));

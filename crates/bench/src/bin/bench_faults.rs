@@ -12,14 +12,20 @@
 //! job). The standard `--nodes` / `--seed` / `--lambda` flags also apply.
 
 use adam2_bench::{
-    adam2_engine_with, evaluate_estimates, run_instance_audited, setup, start_instance, Args,
-    AUDIT_FRACTION, AUDIT_WEIGHT,
+    adam2_engine_with, evaluate_estimates, export_telemetry, run_instance_audited, setup,
+    start_instance, Args, AUDIT_FRACTION, AUDIT_WEIGHT,
 };
 use adam2_core::Adam2Config;
-use adam2_sim::{Engine, ExchangeRepair, FaultScenario, PartitionKind};
+use adam2_sim::{Engine, ExchangeRepair, FaultScenario, PartitionKind, RunManifest, SimTelemetry};
 use adam2_traces::Attribute;
 
 const ROUNDS: u64 = 35;
+
+/// Extra fault-free rounds after finalisation so crash-recovered
+/// (estimate-less) nodes can bootstrap their estimate from the completed
+/// snapshot of a gossip partner. Two rounds cover the unlucky case of a
+/// recovered node first pairing with another recovered node.
+const SETTLE_ROUNDS: u64 = 2;
 
 struct ScenarioResult {
     name: &'static str,
@@ -31,6 +37,7 @@ struct ScenarioResult {
     fraction_drift: f64,
     peers_without_estimate: usize,
     healed: u64,
+    bootstraps: u64,
 }
 
 fn scenario_of(name: &str, seed: u64) -> Option<FaultScenario> {
@@ -85,15 +92,7 @@ fn main() {
                     .set_fault_scenario(scenario)
                     .expect("canned scenario is valid");
             }
-            results.push(run_one(
-                name,
-                repair,
-                false,
-                engine,
-                &s,
-                args.sample_peers,
-                args.seed,
-            ));
+            results.push(run_one(name, repair, false, engine, &s, &args));
         }
     }
     // Self-healing run: a threshold below the interpolation error floor
@@ -114,15 +113,14 @@ fn main() {
             true,
             engine,
             &s,
-            args.sample_peers,
-            args.seed,
+            &args,
         ));
     }
 
     for r in &results {
         println!(
-            "{:<22} repair={:<5} heal={:<5} Err_a={:.3e} Err_m={:.3e} w-drift={:.3e} f-drift={:.3e} healed={}",
-            r.name, r.repair, r.self_heal, r.avg_cdf, r.max_cdf, r.weight_drift, r.fraction_drift, r.healed
+            "{:<22} repair={:<5} heal={:<5} Err_a={:.3e} Err_m={:.3e} w-drift={:.3e} f-drift={:.3e} healed={} bootstraps={}",
+            r.name, r.repair, r.self_heal, r.avg_cdf, r.max_cdf, r.weight_drift, r.fraction_drift, r.healed, r.bootstraps
         );
     }
 
@@ -147,19 +145,60 @@ fn run_one(
     self_heal: bool,
     mut engine: Engine<adam2_core::Adam2Protocol>,
     s: &adam2_bench::ExperimentSetup,
-    sample_peers: usize,
-    seed: u64,
+    args: &Args,
 ) -> ScenarioResult {
+    // Telemetry is always attached here (it is observation-only, so the
+    // results are identical either way) — it supplies the bootstrap count;
+    // the full export happens only under `--telemetry DIR`.
+    engine.attach_telemetry(SimTelemetry::new());
     let meta = start_instance(&mut engine);
     // One extra healing epoch when self-healing is on: a restarted
     // instance needs its extended deadline to pass before finalising.
+    // SETTLE_ROUNDS more let crash-recovered nodes bootstrap estimates.
     let rounds = if self_heal {
         2 * ROUNDS + 1
     } else {
         ROUNDS + 1
-    };
+    } + SETTLE_ROUNDS;
     let auditor = run_instance_audited(&mut engine, &meta, rounds);
-    let report = evaluate_estimates(&engine, &s.truth, sample_peers, seed);
+    let report = evaluate_estimates(&engine, &s.truth, args.sample_peers, args.seed);
+    let last_round = engine.round() - 1;
+    let bootstraps = {
+        let t = engine.telemetry_mut().expect("telemetry attached above");
+        // Stamp the headline errors onto the final exported round so the
+        // JSONL series reproduces the BENCH_faults.json numbers.
+        t.annotate_round(
+            last_round,
+            report.max_cdf,
+            report.avg_cdf,
+            f64::NAN,
+            f64::NAN,
+        );
+        t.telemetry()
+            .metrics
+            .counters()
+            .find(|(n, _)| *n == "estimate_bootstraps")
+            .map_or(0, |(_, v)| v)
+    };
+    if let Some(dir) = &args.telemetry {
+        let label = format!(
+            "{name}_{}{}",
+            if repair { "repair" } else { "norepair" },
+            if self_heal { "_heal" } else { "" }
+        );
+        let config_desc = format!(
+            "nodes={} lambda={} rounds={ROUNDS} scenario={name} repair={repair} heal={self_heal}",
+            args.nodes, args.lambda
+        );
+        export_telemetry(
+            &mut engine,
+            dir,
+            &label,
+            "bench_faults",
+            &config_desc,
+            args.seed,
+        );
+    }
     ScenarioResult {
         name,
         repair,
@@ -170,13 +209,21 @@ fn run_one(
         fraction_drift: auditor.max_drift_of(AUDIT_FRACTION).unwrap_or(0.0),
         peers_without_estimate: report.peers_without_estimate,
         healed: engine.protocol().healed_count(),
+        bootstraps,
     }
 }
 
 fn render_json(args: &Args, nodes: usize, results: &[ScenarioResult]) -> String {
+    let manifest = RunManifest::new(
+        "bench_faults",
+        &format!("nodes={nodes} lambda={} rounds={ROUNDS}", args.lambda),
+        args.seed,
+        1,
+    );
     let mut json = String::new();
     json.push_str("{\n");
     json.push_str("  \"benchmark\": \"fault_matrix\",\n");
+    json.push_str(&format!("  \"manifest\": {},\n", manifest.to_inline_json()));
     json.push_str(&format!("  \"nodes\": {nodes},\n"));
     json.push_str(&format!("  \"seed\": {},\n", args.seed));
     json.push_str(&format!("  \"lambda\": {},\n", args.lambda));
@@ -186,7 +233,8 @@ fn render_json(args: &Args, nodes: usize, results: &[ScenarioResult]) -> String 
         json.push_str(&format!(
             "    {{\"scenario\": \"{}\", \"repair\": {}, \"self_heal\": {}, \
              \"err_a\": {:.6e}, \"err_m\": {:.6e}, \"weight_drift\": {:.6e}, \
-             \"fraction_drift\": {:.6e}, \"peers_without_estimate\": {}, \"healed\": {}}}{}\n",
+             \"fraction_drift\": {:.6e}, \"peers_without_estimate\": {}, \"healed\": {}, \
+             \"bootstraps\": {}}}{}\n",
             r.name,
             r.repair,
             r.self_heal,
@@ -196,6 +244,7 @@ fn render_json(args: &Args, nodes: usize, results: &[ScenarioResult]) -> String 
             r.fraction_drift,
             r.peers_without_estimate,
             r.healed,
+            r.bootstraps,
             if i + 1 < results.len() { "," } else { "" }
         ));
     }
@@ -258,15 +307,24 @@ fn run_checks(results: &[ScenarioResult], nodes: usize) {
         }
     }
 
-    // Crash–recover: with a single instance, only the recovered wave
-    // (which re-joined after the start round and so cannot participate)
-    // may end without an estimate — everyone who stayed up must have one.
+    // Crash–recover: recovered nodes re-joined after the start round and
+    // cannot participate in the instance, but during the settle rounds
+    // each must bootstrap its estimate from a completed partner snapshot —
+    // nobody may end estimate-less, and the bootstraps must be recorded.
     let crash = find(results, "crash_recover", true, false);
     let wave = (nodes as f64 * 0.1).ceil() as usize;
-    if crash.peers_without_estimate > wave {
+    if crash.peers_without_estimate > 0 {
         failures.push(format!(
-            "crash_recover+repair left {} peers without an estimate (wave {wave})",
+            "crash_recover+repair left {} peers without an estimate despite \
+             recovery bootstraps (wave {wave})",
             crash.peers_without_estimate
+        ));
+    }
+    if crash.bootstraps < wave as u64 {
+        failures.push(format!(
+            "crash_recover+repair recorded only {} estimate bootstraps for a \
+             recovered wave of {wave}",
+            crash.bootstraps
         ));
     }
 

@@ -5,8 +5,8 @@
 
 use adam2_baselines::EquiDepthConfig;
 use adam2_bench::{
-    adam2_engine, equidepth_engine, fmt_err, run_instance_tracked, start_instance, start_phase,
-    Args, AsciiChart, Table,
+    adam2_engine, equidepth_engine, export_telemetry, fmt_err, maybe_attach_telemetry,
+    run_instance_tracked, start_instance, start_phase, Args, AsciiChart, Table,
 };
 use adam2_core::{discrete_errors_over, Adam2Config, StepCdf};
 use adam2_sim::{derive_seed, seeded_rng, ChurnModel};
@@ -35,6 +35,7 @@ fn main() {
         .with_lambda(args.lambda)
         .with_rounds_per_instance(rounds);
     let mut engine = adam2_engine(&setup, config, args.seed, ChurnModel::None);
+    maybe_attach_telemetry(&mut engine, args.telemetry.as_ref());
     let meta = start_instance(&mut engine);
     let truth = setup.truth.clone();
     let series = run_instance_tracked(
@@ -45,6 +46,19 @@ fn main() {
         args.sample_peers,
         args.seed,
     );
+    if let Some(dir) = &args.telemetry {
+        export_telemetry(
+            &mut engine,
+            dir,
+            "adam2",
+            "fig06_single_instance",
+            &format!(
+                "nodes={} lambda={} rounds={rounds}",
+                args.nodes, args.lambda
+            ),
+            args.seed,
+        );
+    }
 
     let mut table = Table::new(vec![
         "round",

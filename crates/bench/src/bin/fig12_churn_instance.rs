@@ -3,8 +3,9 @@
 
 use adam2_baselines::EquiDepthConfig;
 use adam2_bench::{
-    adam2_engine, current_truth, equidepth_engine, equidepth_truth, fmt_err, run_instance_tracked,
-    start_instance, start_phase, Args, AsciiChart, Table,
+    adam2_engine, current_truth, equidepth_engine, equidepth_truth, export_telemetry, fmt_err,
+    maybe_attach_telemetry, run_instance_tracked, start_instance, start_phase, Args, AsciiChart,
+    Table,
 };
 use adam2_core::{discrete_errors_over, Adam2Config};
 use adam2_sim::{derive_seed, seeded_rng, ChurnModel};
@@ -37,6 +38,7 @@ fn main() {
         .with_lambda(args.lambda)
         .with_rounds_per_instance(rounds);
     let mut engine = adam2_engine(&setup, config, args.seed, ChurnModel::uniform(churn_rate));
+    maybe_attach_telemetry(&mut engine, args.telemetry.as_ref());
     let meta = start_instance(&mut engine);
     let series = run_instance_tracked(
         &mut engine,
@@ -46,6 +48,19 @@ fn main() {
         args.sample_peers,
         args.seed,
     );
+    if let Some(dir) = &args.telemetry {
+        export_telemetry(
+            &mut engine,
+            dir,
+            "adam2",
+            "fig12_churn_instance",
+            &format!(
+                "nodes={} lambda={} rounds={rounds} churn={churn_rate}",
+                args.nodes, args.lambda
+            ),
+            args.seed,
+        );
+    }
 
     let mut table = Table::new(vec![
         "round",

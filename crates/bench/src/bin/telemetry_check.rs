@@ -1,0 +1,435 @@
+//! Validates telemetry export directories against the documented schema.
+//!
+//! Usage: `telemetry_check DIR...` where each `DIR` either contains a
+//! single export (`manifest.json`, `rounds.jsonl`, `rounds.csv`,
+//! `events.jsonl`) or is a parent whose subdirectories are exports (the
+//! layout `--telemetry DIR` produces for multi-scenario binaries).
+//!
+//! Every record must carry exactly the documented fields — unknown and
+//! missing fields both fail — with the documented types, and every event
+//! `kind` must be one of the known wire names (see DESIGN.md's telemetry
+//! section). CI runs this against a faulted smoke run so schema drift in
+//! either the exporter or the docs breaks the build.
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+/// Expected type of one schema field.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum FieldType {
+    /// Non-negative integer.
+    Uint,
+    /// JSON number or `null` (unmeasured round annotations).
+    NumberOrNull,
+    /// JSON string.
+    Str,
+    /// JSON string or `null` (e.g. `git_rev` outside a checkout).
+    StrOrNull,
+}
+
+/// `rounds.jsonl` / `rounds.csv` schema: the 18 per-round fields.
+const ROUND_FIELDS: &[(&str, FieldType)] = &[
+    ("round", FieldType::Uint),
+    ("live_nodes", FieldType::Uint),
+    ("err_max", FieldType::NumberOrNull),
+    ("err_avg", FieldType::NumberOrNull),
+    ("mass_weight_defect", FieldType::NumberOrNull),
+    ("mass_fraction_defect", FieldType::NumberOrNull),
+    ("round_bytes", FieldType::Uint),
+    ("round_msgs", FieldType::Uint),
+    ("exchanges", FieldType::Uint),
+    ("repairs", FieldType::Uint),
+    ("aborts", FieldType::Uint),
+    ("faults", FieldType::Uint),
+    ("crashes", FieldType::Uint),
+    ("recoveries", FieldType::Uint),
+    ("joins", FieldType::Uint),
+    ("leaves", FieldType::Uint),
+    ("heal_bumps", FieldType::Uint),
+    ("bootstraps", FieldType::Uint),
+];
+
+/// `events.jsonl` schema.
+const EVENT_FIELDS: &[(&str, FieldType)] = &[
+    ("round", FieldType::Uint),
+    ("slot", FieldType::Uint),
+    ("instance", FieldType::Uint),
+    ("kind", FieldType::Str),
+    ("detail", FieldType::Uint),
+];
+
+/// Known event wire names.
+const EVENT_KINDS: &[&str] = &[
+    "exchange_started",
+    "exchange_repaired",
+    "exchange_aborted",
+    "fault_loss",
+    "fault_partition",
+    "fault_crash",
+    "fault_recovery",
+    "self_heal_bump",
+    "churn_join",
+    "churn_leave",
+    "instance_started",
+];
+
+/// `manifest.json` schema.
+const MANIFEST_FIELDS: &[(&str, FieldType)] = &[
+    ("schema_version", FieldType::Uint),
+    ("experiment", FieldType::Str),
+    ("config_hash", FieldType::Uint),
+    ("seed", FieldType::Uint),
+    ("threads", FieldType::Uint),
+    ("detected_cores", FieldType::Uint),
+    ("git_rev", FieldType::StrOrNull),
+];
+
+/// A scalar from a flat (non-nested) JSON object.
+#[derive(Debug, Clone, PartialEq)]
+enum Scalar {
+    Uint(u64),
+    Number(f64),
+    Str(String),
+    Null,
+}
+
+/// Parses a flat JSON object of scalar values. Exported telemetry never
+/// nests objects or arrays, so this covers the full schema.
+fn parse_flat_object(text: &str) -> Result<BTreeMap<String, Scalar>, String> {
+    let mut out = BTreeMap::new();
+    let mut chars = text.chars().peekable();
+    let skip_ws = |chars: &mut std::iter::Peekable<std::str::Chars>| {
+        while chars.peek().is_some_and(|c| c.is_whitespace()) {
+            chars.next();
+        }
+    };
+    let parse_string =
+        |chars: &mut std::iter::Peekable<std::str::Chars>| -> Result<String, String> {
+            if chars.next() != Some('"') {
+                return Err("expected '\"'".into());
+            }
+            let mut s = String::new();
+            for c in chars.by_ref() {
+                if c == '"' {
+                    return Ok(s);
+                }
+                if c == '\\' {
+                    return Err("escape sequences are not part of the schema".into());
+                }
+                s.push(c);
+            }
+            Err("unterminated string".into())
+        };
+    skip_ws(&mut chars);
+    if chars.next() != Some('{') {
+        return Err("expected '{'".into());
+    }
+    skip_ws(&mut chars);
+    if chars.peek() == Some(&'}') {
+        chars.next();
+        return Ok(out);
+    }
+    loop {
+        skip_ws(&mut chars);
+        let key = parse_string(&mut chars)?;
+        skip_ws(&mut chars);
+        if chars.next() != Some(':') {
+            return Err(format!("expected ':' after key '{key}'"));
+        }
+        skip_ws(&mut chars);
+        let value = if chars.peek() == Some(&'"') {
+            Scalar::Str(parse_string(&mut chars)?)
+        } else {
+            let mut raw = String::new();
+            while chars
+                .peek()
+                .is_some_and(|&c| c != ',' && c != '}' && !c.is_whitespace())
+            {
+                raw.push(chars.next().expect("peeked"));
+            }
+            if raw == "null" {
+                Scalar::Null
+            } else if let Ok(u) = raw.parse::<u64>() {
+                Scalar::Uint(u)
+            } else if let Ok(f) = raw.parse::<f64>() {
+                Scalar::Number(f)
+            } else {
+                return Err(format!("key '{key}': unparsable value '{raw}'"));
+            }
+        };
+        if out.insert(key.clone(), value).is_some() {
+            return Err(format!("duplicate key '{key}'"));
+        }
+        skip_ws(&mut chars);
+        match chars.next() {
+            Some(',') => continue,
+            Some('}') => break,
+            other => return Err(format!("expected ',' or '}}', got {other:?}")),
+        }
+    }
+    skip_ws(&mut chars);
+    if chars.next().is_some() {
+        return Err("trailing content after object".into());
+    }
+    Ok(out)
+}
+
+/// Checks one parsed object against a schema: exact key set, field types.
+fn check_fields(
+    obj: &BTreeMap<String, Scalar>,
+    schema: &[(&str, FieldType)],
+) -> Result<(), String> {
+    for key in obj.keys() {
+        if !schema.iter().any(|(name, _)| name == key) {
+            return Err(format!("unknown field '{key}'"));
+        }
+    }
+    for (name, ty) in schema {
+        let value = obj
+            .get(*name)
+            .ok_or_else(|| format!("missing field '{name}'"))?;
+        let ok = match ty {
+            FieldType::Uint => matches!(value, Scalar::Uint(_)),
+            FieldType::NumberOrNull => {
+                matches!(value, Scalar::Uint(_) | Scalar::Number(_) | Scalar::Null)
+            }
+            FieldType::Str => matches!(value, Scalar::Str(_)),
+            FieldType::StrOrNull => matches!(value, Scalar::Str(_) | Scalar::Null),
+        };
+        if !ok {
+            return Err(format!("field '{name}': expected {ty:?}, got {value:?}"));
+        }
+    }
+    Ok(())
+}
+
+fn check_event(obj: &BTreeMap<String, Scalar>) -> Result<(), String> {
+    check_fields(obj, EVENT_FIELDS)?;
+    match obj.get("kind") {
+        Some(Scalar::Str(kind)) if EVENT_KINDS.contains(&kind.as_str()) => Ok(()),
+        Some(Scalar::Str(kind)) => Err(format!("unknown event kind '{kind}'")),
+        _ => unreachable!("check_fields enforces kind is a string"),
+    }
+}
+
+fn check_manifest(obj: &BTreeMap<String, Scalar>) -> Result<(), String> {
+    check_fields(obj, MANIFEST_FIELDS)?;
+    match obj.get("schema_version") {
+        Some(Scalar::Uint(1)) => Ok(()),
+        other => Err(format!("unsupported schema_version {other:?}")),
+    }
+}
+
+/// The documented CSV header, derived from the same field list the JSONL
+/// check uses so the two cannot drift apart.
+fn expected_csv_header() -> String {
+    ROUND_FIELDS
+        .iter()
+        .map(|(name, _)| *name)
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+struct ExportSummary {
+    rounds: usize,
+    events: usize,
+}
+
+/// Validates one export directory; returns counts on success.
+fn validate_export(dir: &Path) -> Result<ExportSummary, String> {
+    let read = |name: &str| -> Result<String, String> {
+        std::fs::read_to_string(dir.join(name))
+            .map_err(|e| format!("{}: {e}", dir.join(name).display()))
+    };
+
+    let manifest =
+        parse_flat_object(&read("manifest.json")?).map_err(|e| format!("manifest.json: {e}"))?;
+    check_manifest(&manifest).map_err(|e| format!("manifest.json: {e}"))?;
+
+    let rounds_text = read("rounds.jsonl")?;
+    let mut rounds = 0usize;
+    for (i, line) in rounds_text.lines().enumerate() {
+        let obj =
+            parse_flat_object(line).map_err(|e| format!("rounds.jsonl line {}: {e}", i + 1))?;
+        check_fields(&obj, ROUND_FIELDS)
+            .map_err(|e| format!("rounds.jsonl line {}: {e}", i + 1))?;
+        rounds += 1;
+    }
+
+    let csv_text = read("rounds.csv")?;
+    let mut csv_lines = csv_text.lines();
+    let header = csv_lines.next().unwrap_or_default();
+    if header != expected_csv_header() {
+        return Err(format!(
+            "rounds.csv: header mismatch\n  expected: {}\n  found:    {header}",
+            expected_csv_header()
+        ));
+    }
+    let csv_rows = csv_lines.count();
+    if csv_rows != rounds {
+        return Err(format!(
+            "rounds.csv has {csv_rows} rows but rounds.jsonl has {rounds} records"
+        ));
+    }
+
+    let events_text = read("events.jsonl")?;
+    let mut events = 0usize;
+    for (i, line) in events_text.lines().enumerate() {
+        let obj =
+            parse_flat_object(line).map_err(|e| format!("events.jsonl line {}: {e}", i + 1))?;
+        check_event(&obj).map_err(|e| format!("events.jsonl line {}: {e}", i + 1))?;
+        events += 1;
+    }
+
+    Ok(ExportSummary { rounds, events })
+}
+
+/// Expands an argument directory into export directories: itself when it
+/// holds `rounds.jsonl` directly, otherwise its matching subdirectories.
+fn collect_exports(dir: &Path) -> Result<Vec<PathBuf>, String> {
+    if dir.join("rounds.jsonl").is_file() {
+        return Ok(vec![dir.to_path_buf()]);
+    }
+    let entries = std::fs::read_dir(dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+    let mut exports: Vec<PathBuf> = entries
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .filter(|p| p.join("rounds.jsonl").is_file())
+        .collect();
+    exports.sort();
+    if exports.is_empty() {
+        return Err(format!(
+            "{}: no telemetry exports found (no rounds.jsonl here or in subdirectories)",
+            dir.display()
+        ));
+    }
+    Ok(exports)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
+        eprintln!("usage: telemetry_check DIR...");
+        eprintln!("validates telemetry exports (manifest.json, rounds.jsonl/.csv, events.jsonl)");
+        return if args.is_empty() {
+            ExitCode::from(2)
+        } else {
+            ExitCode::SUCCESS
+        };
+    }
+    let mut failed = false;
+    for arg in &args {
+        let exports = match collect_exports(Path::new(arg)) {
+            Ok(found) => found,
+            Err(e) => {
+                eprintln!("telemetry_check: {e}");
+                failed = true;
+                continue;
+            }
+        };
+        for export in exports {
+            match validate_export(&export) {
+                Ok(s) => println!(
+                    "ok: {} ({} rounds, {} events)",
+                    export.display(),
+                    s.rounds,
+                    s.events
+                ),
+                Err(e) => {
+                    eprintln!("FAIL: {}: {e}", export.display());
+                    failed = true;
+                }
+            }
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_flat_objects() {
+        let obj = parse_flat_object(r#"{"a":1,"b":2.5,"c":"x","d":null}"#).unwrap();
+        assert_eq!(obj["a"], Scalar::Uint(1));
+        assert_eq!(obj["b"], Scalar::Number(2.5));
+        assert_eq!(obj["c"], Scalar::Str("x".into()));
+        assert_eq!(obj["d"], Scalar::Null);
+        // Pretty-printed (manifest.json style) parses too.
+        let pretty = parse_flat_object("{\n  \"seed\": 42,\n  \"experiment\": \"t\"\n}").unwrap();
+        assert_eq!(pretty["seed"], Scalar::Uint(42));
+        assert!(parse_flat_object(r#"{"a":1"#).is_err());
+        assert!(parse_flat_object(r#"{"a":1,"a":2}"#).is_err());
+        assert!(parse_flat_object(r#"{"a":1} extra"#).is_err());
+    }
+
+    fn valid_round_line() -> String {
+        let fields: Vec<String> = ROUND_FIELDS
+            .iter()
+            .map(|(name, ty)| match ty {
+                FieldType::NumberOrNull => format!("\"{name}\":null"),
+                _ => format!("\"{name}\":0"),
+            })
+            .collect();
+        format!("{{{}}}", fields.join(","))
+    }
+
+    #[test]
+    fn round_schema_catches_unknown_and_missing_fields() {
+        let good = parse_flat_object(&valid_round_line()).unwrap();
+        check_fields(&good, ROUND_FIELDS).unwrap();
+
+        let unknown = valid_round_line().replace("\"bootstraps\":0", "\"bootstrapz\":0");
+        let err = check_fields(&parse_flat_object(&unknown).unwrap(), ROUND_FIELDS).unwrap_err();
+        assert!(err.contains("unknown field 'bootstrapz'"), "{err}");
+
+        let missing = valid_round_line().replace(",\"bootstraps\":0", "");
+        let err = check_fields(&parse_flat_object(&missing).unwrap(), ROUND_FIELDS).unwrap_err();
+        assert!(err.contains("missing field 'bootstraps'"), "{err}");
+
+        let wrong_type = valid_round_line().replace("\"round\":0", "\"round\":null");
+        let err = check_fields(&parse_flat_object(&wrong_type).unwrap(), ROUND_FIELDS).unwrap_err();
+        assert!(err.contains("field 'round'"), "{err}");
+    }
+
+    #[test]
+    fn event_schema_requires_known_kind() {
+        let good = parse_flat_object(
+            r#"{"round":3,"slot":7,"instance":9,"kind":"exchange_repaired","detail":1}"#,
+        )
+        .unwrap();
+        check_event(&good).unwrap();
+        let bad =
+            parse_flat_object(r#"{"round":3,"slot":7,"instance":9,"kind":"made_up","detail":1}"#)
+                .unwrap();
+        assert!(check_event(&bad)
+            .unwrap_err()
+            .contains("unknown event kind"));
+    }
+
+    #[test]
+    fn manifest_schema_pins_version() {
+        let good = parse_flat_object(
+            r#"{"schema_version":1,"experiment":"t","config_hash":5,"seed":1,"threads":2,"detected_cores":4,"git_rev":null}"#,
+        )
+        .unwrap();
+        check_manifest(&good).unwrap();
+        let v2 = parse_flat_object(
+            r#"{"schema_version":2,"experiment":"t","config_hash":5,"seed":1,"threads":2,"detected_cores":4,"git_rev":"abc"}"#,
+        )
+        .unwrap();
+        assert!(check_manifest(&v2).unwrap_err().contains("schema_version"));
+    }
+
+    #[test]
+    fn csv_header_tracks_round_fields() {
+        assert_eq!(expected_csv_header().split(',').count(), ROUND_FIELDS.len());
+        assert_eq!(ROUND_FIELDS.len(), 18);
+    }
+}

@@ -10,7 +10,10 @@ use adam2_baselines::{EquiDepthConfig, EquiDepthProtocol, PhaseMeta};
 use adam2_core::{
     discrete_errors_over, Adam2Config, Adam2Protocol, AttrValue, InstanceMeta, InterpCdf, StepCdf,
 };
-use adam2_sim::{derive_seed, seeded_rng, ChurnModel, Engine, EngineConfig, MassAuditor, NodeId};
+use adam2_sim::{
+    derive_seed, seeded_rng, ChurnModel, Engine, EngineConfig, MassAuditor, NodeId, RunManifest,
+    SimTelemetry,
+};
 use adam2_traces::{Attribute, Population};
 
 /// A generated population with its exact CDF.
@@ -427,6 +430,16 @@ pub fn run_instance_audited(
         let defect = mass_defect(engine, meta);
         auditor.observe(AUDIT_WEIGHT, defect.weight);
         auditor.observe(AUDIT_FRACTION, defect.fraction);
+        let completed = engine.round() - 1;
+        if let Some(t) = engine.telemetry_mut() {
+            t.annotate_round(
+                completed,
+                f64::NAN,
+                f64::NAN,
+                defect.weight,
+                defect.fraction,
+            );
+        }
     }
     auditor
 }
@@ -532,6 +545,10 @@ pub fn run_instance_tracked(
         let avg_cdf = (sampled_mean * participants.len() as f64 + absent as f64)
             / (participants.len() + absent).max(1) as f64;
 
+        let completed = engine.round() - 1;
+        if let Some(t) = engine.telemetry_mut() {
+            t.annotate_round(completed, max_cdf, avg_cdf, f64::NAN, f64::NAN);
+        }
         series.push(RoundSample {
             round: r,
             max_points,
@@ -546,6 +563,39 @@ pub fn run_instance_tracked(
         });
     }
     series
+}
+
+/// Attaches a fresh telemetry store to `engine` when `dir` is set (the
+/// `--telemetry <dir>` flag). Recording is purely observational, so
+/// attaching never changes experiment results.
+pub fn maybe_attach_telemetry<P: adam2_sim::Protocol>(
+    engine: &mut Engine<P>,
+    dir: Option<&String>,
+) {
+    if dir.is_some() {
+        engine.attach_telemetry(SimTelemetry::new());
+    }
+}
+
+/// Detaches `engine`'s telemetry (if any) and exports it under
+/// `dir/<label>/` — `manifest.json`, `rounds.jsonl`, `rounds.csv`, and
+/// `events.jsonl` — with a [`RunManifest`] describing the run. A no-op
+/// when no telemetry is attached. Returns the manifest that was written.
+pub fn export_telemetry<P: adam2_sim::Protocol>(
+    engine: &mut Engine<P>,
+    dir: &str,
+    label: &str,
+    experiment: &str,
+    config_desc: &str,
+    seed: u64,
+) -> Option<RunManifest> {
+    let telemetry = engine.detach_telemetry()?;
+    let manifest = RunManifest::new(experiment, config_desc, seed, engine.threads());
+    let out = std::path::Path::new(dir).join(label);
+    telemetry
+        .export(&out, &manifest)
+        .unwrap_or_else(|e| panic!("telemetry export to {} failed: {e}", out.display()));
+    Some(manifest)
 }
 
 #[cfg(test)]

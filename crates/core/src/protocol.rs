@@ -357,6 +357,34 @@ pub fn gossip_exchange_response_lost(
     (request_bytes, response_bytes)
 }
 
+/// Crash-recover estimate bootstrap (closing the ROADMAP gap): a node that
+/// (re)joined the system after round 0 and still has no completed estimate
+/// adopts its gossip partner's estimate and system-size guess the first
+/// time a *completed* exchange pairs them. The paper's late-joiner rule
+/// keeps such nodes out of running instances, so without this they would
+/// stay estimate-less until the *next* instance completes; copying the
+/// partner's finished snapshot is exactly the `on_join` bootstrap, retried
+/// once estimates exist.
+///
+/// Runs on both engine paths (the sequential `on_round` delegates to
+/// `par_apply`). Returns the bootstrap bitmask for
+/// [`ExchangeTraffic::bootstraps`] (bit 0 = `a`, bit 1 = `b`) so telemetry
+/// can count recoveries healed this way.
+fn bootstrap_estimates(a: &mut Adam2Node, b: &mut Adam2Node) -> u32 {
+    let mut mask = 0u32;
+    if a.estimate.is_none() && a.joined_round > 0 && b.estimate.is_some() {
+        a.estimate = b.estimate.clone();
+        a.n_estimate = b.n_estimate;
+        mask |= 1;
+    }
+    if b.estimate.is_none() && b.joined_round > 0 && a.estimate.is_some() {
+        b.estimate = a.estimate.clone();
+        b.n_estimate = a.n_estimate;
+        mask |= 1 << 1;
+    }
+    mask
+}
+
 /// The Adam2 protocol driver (one per simulation).
 pub struct Adam2Protocol {
     config: Adam2Config,
@@ -518,6 +546,8 @@ impl Adam2Protocol {
         node.instances
             .push(InstanceLocal::join(meta.clone(), &value, true));
         self.started.push(meta.clone());
+        ctx.telemetry
+            .record_instance_started(ctx.round, initiator.slot() as u32, meta.id.as_u64());
         Some(meta)
     }
 
@@ -530,6 +560,8 @@ impl Adam2Protocol {
         self.completed += completed;
         self.finalize_failures += failed;
         self.healed += restarted;
+        ctx.telemetry
+            .record_heal_bump(round, id.slot() as u32, restarted);
     }
 }
 
@@ -562,45 +594,22 @@ impl Protocol for Adam2Protocol {
         };
         let round = ctx.round;
         let outcome = ctx.sample_exchange();
+        // The exchange state transitions and per-message byte sizes are one
+        // code path for both engine paths: build the plan the parallel
+        // engine would have produced and apply it, then charge the traffic
+        // (multiplied by the transmission counts) and record telemetry.
+        let plan = PlannedExchange {
+            initiator: id,
+            partner,
+            fate: outcome.fate,
+            request_msgs: outcome.request_msgs,
+            response_msgs: outcome.response_msgs,
+        };
         let Some((a, b)) = ctx.nodes.pair_mut(id, partner) else {
             return;
         };
-        match outcome.fate {
-            ExchangeFate::Complete => {
-                let (req, resp) = gossip_exchange(a, b, round);
-                for _ in 0..outcome.request_msgs.max(1) {
-                    ctx.net.charge_message(id, partner, req);
-                }
-                for _ in 0..outcome.response_msgs.max(1) {
-                    ctx.net.charge_message(partner, id, resp);
-                }
-            }
-            ExchangeFate::RequestLost => {
-                // The sender still paid for every (re)transmission.
-                let req = wire::message_len(a.instances.iter().filter(|i| !i.is_due(round)));
-                for _ in 0..outcome.request_msgs.max(1) {
-                    ctx.net.charge_message(id, partner, req);
-                }
-            }
-            ExchangeFate::ResponseLost => {
-                let (req, resp) = gossip_exchange_response_lost(a, b, round);
-                ctx.net.charge_message(id, partner, req);
-                ctx.net.charge_message(partner, id, resp);
-            }
-            ExchangeFate::Aborted => {
-                // Two-phase repair ran out of retries: the partner rolled
-                // its staged half back, so no state changes — but every
-                // transmission of both messages is paid for.
-                let req = wire::message_len(a.instances.iter().filter(|i| !i.is_due(round)));
-                let resp = response_len_after_join(a, b, round);
-                for _ in 0..outcome.request_msgs.max(1) {
-                    ctx.net.charge_message(id, partner, req);
-                }
-                for _ in 0..outcome.response_msgs.max(1) {
-                    ctx.net.charge_message(partner, id, resp);
-                }
-            }
-        }
+        let traffic = self.par_apply(&plan, round, a, b);
+        ctx.charge_planned(&plan, traffic);
     }
 
     fn parallel_capable(&self) -> bool {
@@ -641,6 +650,8 @@ impl Protocol for Adam2Protocol {
         self.completed += report.completions;
         self.finalize_failures += report.failures;
         self.healed += report.restarts;
+        ctx.telemetry
+            .record_heal_bump(ctx.round, id.slot() as u32, report.restarts);
         if report.wants_sequential {
             self.start_instance(id, ctx);
         }
@@ -659,9 +670,11 @@ impl Protocol for Adam2Protocol {
         match plan.fate {
             ExchangeFate::Complete => {
                 let (req, resp) = gossip_exchange(a, b, round);
+                let bootstraps = bootstrap_estimates(a, b);
                 ExchangeTraffic {
                     request: Some(req),
                     response: Some(resp),
+                    bootstraps,
                 }
             }
             ExchangeFate::RequestLost => {
@@ -670,6 +683,7 @@ impl Protocol for Adam2Protocol {
                 ExchangeTraffic {
                     request: Some(req),
                     response: None,
+                    bootstraps: 0,
                 }
             }
             ExchangeFate::ResponseLost => {
@@ -677,6 +691,7 @@ impl Protocol for Adam2Protocol {
                 ExchangeTraffic {
                     request: Some(req),
                     response: Some(resp),
+                    bootstraps: 0,
                 }
             }
             ExchangeFate::Aborted => {
@@ -688,6 +703,7 @@ impl Protocol for Adam2Protocol {
                 ExchangeTraffic {
                     request: Some(req),
                     response: Some(resp),
+                    bootstraps: 0,
                 }
             }
         }
@@ -1255,6 +1271,116 @@ mod tests {
         assert_eq!(reference.0, 100, "every node restarts once");
         assert_eq!(reference.1, 100, "every node finalises the healed epoch");
         assert_eq!(snapshot(4), reference, "thread count must not matter");
+    }
+
+    #[test]
+    fn recovered_node_bootstraps_estimate_from_partner() {
+        // Crash-recover gap: a node that rejoined after every estimate had
+        // already completed used to stay estimate-less until the *next*
+        // instance finished. It must now adopt the first completed snapshot
+        // a gossip partner offers, and telemetry must count the bootstrap.
+        let values: Vec<f64> = (1..=50).map(f64::from).collect();
+        let config = Adam2Config::new()
+            .with_lambda(5)
+            .with_rounds_per_instance(15)
+            .with_bootstrap(BootstrapKind::Uniform)
+            .with_domain_hint(1.0, 50.0);
+        let mut engine = engine_with_values(values, config, 61);
+        start_manual(&mut engine);
+        engine.run_rounds(16);
+        let victim = engine.nodes().iter().next().map(|(id, _)| id).unwrap();
+        {
+            let node = engine.nodes_mut().get_mut(victim).unwrap();
+            assert!(node.estimate.is_some(), "instance completed");
+            // Model a crash-recover: state lost, rejoined mid-run.
+            node.estimate = None;
+            node.n_estimate = 1.0;
+            node.joined_round = 16;
+        }
+        engine.attach_telemetry(adam2_sim::SimTelemetry::new());
+        engine.run_round();
+        let node = engine.nodes().get(victim).unwrap();
+        let est = node.estimate.as_ref().expect("bootstrapped from partner");
+        assert_eq!(est.completed_round, 15);
+        assert!(node.n_estimate > 1.0, "system-size guess adopted too");
+        let t = engine.detach_telemetry().unwrap();
+        let (_, bootstraps) = t
+            .telemetry()
+            .metrics
+            .counters()
+            .find(|(name, _)| *name == "estimate_bootstraps")
+            .unwrap();
+        assert!(bootstraps >= 1, "bootstrap counted: {bootstraps}");
+    }
+
+    #[test]
+    fn round_zero_members_do_not_bootstrap() {
+        // Original members (joined_round == 0) wait for their own instance
+        // to finalise; only rejoined/recovered nodes take the shortcut.
+        let mut a = Adam2Node::new(AttrValue::Single(1.0), 1.0);
+        let mut b = Adam2Node::new(AttrValue::Single(2.0), 1.0);
+        assert_eq!(bootstrap_estimates(&mut a, &mut b), 0);
+        assert!(a.estimate.is_none() && b.estimate.is_none());
+        a.joined_round = 3; // recovered, but the partner has nothing to give
+        assert_eq!(bootstrap_estimates(&mut a, &mut b), 0);
+        assert!(a.estimate.is_none());
+    }
+
+    #[test]
+    fn telemetry_attach_is_bit_identical_for_adam2() {
+        // Full-protocol determinism check: self-healing + loss repair with
+        // telemetry attached must produce bit-identical estimates and
+        // traffic to a bare run, sequentially and at 1 and 4 threads.
+        let run = |threads: usize, with_telemetry: bool| {
+            let mut values = vec![512.0; 40];
+            values.extend(vec![2048.0; 60]);
+            let config = Adam2Config::new()
+                .with_lambda(8)
+                .with_rounds_per_instance(25)
+                .with_verify_points(6)
+                .with_bootstrap(BootstrapKind::Uniform)
+                .with_domain_hint(512.0, 2048.0)
+                .with_self_heal(1e-15, 1);
+            let proto = Adam2Protocol::with_population(config, values, |_| 1.0);
+            let engine_config = EngineConfig::new(100, 53)
+                .with_loss_rate(0.05)
+                .with_threads(threads.max(1));
+            let mut engine = Engine::new(engine_config, proto);
+            if with_telemetry {
+                engine.attach_telemetry(adam2_sim::SimTelemetry::new());
+            }
+            start_manual(&mut engine);
+            if threads == 0 {
+                engine.run_rounds(51);
+            } else {
+                engine.run_rounds_parallel(51);
+            }
+            let estimates: Vec<(usize, u64, u64)> = engine
+                .nodes()
+                .iter()
+                .map(|(id, node)| {
+                    let est = node.estimate.as_ref();
+                    (
+                        id.slot(),
+                        est.map_or(0, |e| e.completed_round),
+                        est.and_then(|e| e.n_hat).map_or(0, f64::to_bits),
+                    )
+                })
+                .collect();
+            (
+                estimates,
+                engine.net().total_bytes(),
+                engine.net().total_msgs(),
+                engine.protocol().healed_count(),
+            )
+        };
+        for threads in [0, 1, 4] {
+            assert_eq!(
+                run(threads, true),
+                run(threads, false),
+                "threads={threads} (0 = sequential path)"
+            );
+        }
     }
 
     #[test]

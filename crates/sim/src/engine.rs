@@ -25,6 +25,7 @@ use crate::node::{NodeId, NodeSlab};
 use crate::overlay::{Overlay, OverlayConfig};
 use crate::rng::{derive_seed, par_stream_rng, seeded_rng};
 use crate::stats::{NetShard, NetStats};
+use crate::telemetry::{SimTelemetry, TelemetryHandle};
 
 /// Error returned when a simulator configuration is invalid (see
 /// [`EngineConfig::validate`] and [`FaultScenario::validate`]).
@@ -201,6 +202,11 @@ pub struct ExchangeTraffic {
     pub request: Option<usize>,
     /// Bytes of the response message, if sent.
     pub response: Option<usize>,
+    /// Bitmask of estimate bootstraps this exchange performed: bit 0 = the
+    /// initiator adopted its partner's completed estimate, bit 1 = the
+    /// partner adopted the initiator's. Purely observational (telemetry
+    /// counts the set bits); zero for protocols without bootstrap.
+    pub bootstraps: u32,
 }
 
 /// What happened to the two messages of one push–pull exchange.
@@ -296,6 +302,9 @@ pub struct Ctx<'a, N> {
     pub loss_rate: f64,
     /// Exchange repair policy (disabled by default).
     pub repair: ExchangeRepair,
+    /// Telemetry sink; a zero-cost no-op unless the engine has telemetry
+    /// attached (see [`Engine::attach_telemetry`]).
+    pub telemetry: TelemetryHandle<'a>,
 }
 
 impl<N> Ctx<'_, N> {
@@ -327,6 +336,15 @@ impl<N> Ctx<'_, N> {
     /// to a real decentralised node — protocols must estimate it).
     pub fn live_count(&self) -> usize {
         self.nodes.len()
+    }
+
+    /// Charges the traffic of one applied exchange to [`NetStats`] and
+    /// records it in telemetry (when attached) — the sequential-path
+    /// counterpart of the engine's parallel apply accounting, using the
+    /// identical arithmetic.
+    pub fn charge_planned(&mut self, plan: &PlannedExchange, traffic: ExchangeTraffic) {
+        charge_traffic(self.net, plan, traffic);
+        self.telemetry.record_exchange(self.round, plan, &traffic);
     }
 }
 
@@ -566,6 +584,8 @@ pub struct Engine<P: Protocol> {
     faults: Option<FaultRuntime>,
     /// Reused per-round shuffle buffer (avoids one allocation per round).
     order_buf: Vec<NodeId>,
+    /// Attached telemetry store; `None` (the default) records nothing.
+    telemetry: Option<Box<SimTelemetry>>,
 }
 
 impl<P: Protocol> std::fmt::Debug for Engine<P> {
@@ -625,7 +645,32 @@ impl<P: Protocol> Engine<P> {
             repair: config.repair,
             faults: None,
             order_buf: Vec::new(),
+            telemetry: None,
         })
+    }
+
+    /// Attaches a telemetry store; subsequent rounds record metrics,
+    /// events, and per-round snapshots into it. Recording never touches
+    /// any engine RNG, so an instrumented run is bit-identical to an
+    /// uninstrumented one.
+    pub fn attach_telemetry(&mut self, telemetry: SimTelemetry) {
+        self.telemetry = Some(Box::new(telemetry));
+    }
+
+    /// Detaches and returns the telemetry store, if one was attached.
+    pub fn detach_telemetry(&mut self) -> Option<SimTelemetry> {
+        self.telemetry.take().map(|b| *b)
+    }
+
+    /// The attached telemetry store, if any.
+    pub fn telemetry(&self) -> Option<&SimTelemetry> {
+        self.telemetry.as_deref()
+    }
+
+    /// Mutable access to the attached telemetry store, if any (e.g. for
+    /// bench harnesses to annotate rounds with error measurements).
+    pub fn telemetry_mut(&mut self) -> Option<&mut SimTelemetry> {
+        self.telemetry.as_deref_mut()
     }
 
     /// Attaches a [`FaultScenario`] to replay from the next round on,
@@ -664,11 +709,26 @@ impl<P: Protocol> Engine<P> {
                 net: &mut self.net,
                 loss_rate: self.loss_rate,
                 repair: self.repair,
+                telemetry: TelemetryHandle::new(self.telemetry.as_deref_mut()),
             };
             self.protocol.on_round(id, &mut ctx);
         }
         self.order_buf = order;
+        self.end_round_telemetry();
         self.round += 1;
+    }
+
+    /// Closes the telemetry round (if attached) with the engine-known
+    /// totals. Must run after all round work, before `round` advances.
+    fn end_round_telemetry(&mut self) {
+        if let Some(t) = self.telemetry.as_deref_mut() {
+            t.end_round(
+                self.round,
+                self.nodes.len() as u64,
+                self.net.round_bytes(),
+                self.net.round_msgs(),
+            );
+        }
     }
 
     /// Runs `n` rounds.
@@ -775,6 +835,7 @@ impl<P: Protocol> Engine<P> {
                 net: &mut self.net,
                 loss_rate: self.loss_rate,
                 repair: self.repair,
+                telemetry: TelemetryHandle::new(self.telemetry.as_deref_mut()),
             };
             self.protocol.par_absorb(id, &report, &mut ctx);
         }
@@ -784,6 +845,15 @@ impl<P: Protocol> Engine<P> {
         // last batch touching either endpoint, so within one batch every
         // slot appears at most once.
         let plans: Vec<PlannedExchange> = plans.into_iter().flatten().collect();
+        // Plan-derived telemetry (started/repaired/aborted events and
+        // counters) is emitted here, in deterministic slot order, for every
+        // planned exchange — identical at any thread count. The
+        // traffic-derived half is recorded at apply time below.
+        if let Some(t) = self.telemetry.as_deref_mut() {
+            for p in &plans {
+                t.record_exchange_plan(round, p);
+            }
+        }
         let mut next_batch = vec![0u32; slot_count];
         let mut num_batches = 0u32;
         let mut batch_of = Vec::with_capacity(plans.len());
@@ -809,12 +879,20 @@ impl<P: Protocol> Engine<P> {
                     };
                     let traffic = self.protocol.par_apply(p, round, a, b);
                     charge_traffic(&mut self.net, p, traffic);
+                    if let Some(t) = self.telemetry.as_deref_mut() {
+                        t.record_exchange_traffic(&traffic);
+                    }
                 }
             } else {
                 let protocol = &self.protocol;
                 let raw = self.nodes.raw_slots();
+                // Telemetry traffic recording shards like NetStats does: a
+                // clone of an empty shard per chunk, merged in chunk order.
+                let tshard_seed = self.telemetry.as_deref().map(|t| t.shard());
+                let histograms = self.telemetry.as_deref().map(|t| t.traffic_histograms());
                 let shards = executor::par_chunks_map(batch, threads, |chunk| {
                     let mut shard = NetShard::with_slots(slot_count);
+                    let mut tshard = tshard_seed.clone();
                     for p in chunk {
                         // Safety: slots within one batch are pairwise
                         // distinct by construction, and batches are applied
@@ -826,6 +904,9 @@ impl<P: Protocol> Engine<P> {
                             continue;
                         };
                         let traffic = protocol.par_apply(p, round, a, b);
+                        if let (Some(ts), Some((hreq, hresp))) = (tshard.as_mut(), histograms) {
+                            ts.record_traffic(&traffic, hreq, hresp);
+                        }
                         if let Some(bytes) = traffic.request {
                             for _ in 0..p.request_msgs.max(1) {
                                 shard.charge_message(p.initiator, p.partner, bytes);
@@ -837,13 +918,17 @@ impl<P: Protocol> Engine<P> {
                             }
                         }
                     }
-                    shard
+                    (shard, tshard)
                 });
-                for shard in &shards {
+                for (shard, tshard) in &shards {
                     self.net.merge_shard(shard);
+                    if let (Some(t), Some(ts)) = (self.telemetry.as_deref_mut(), tshard.as_ref()) {
+                        t.merge_shard(ts);
+                    }
                 }
             }
         }
+        self.end_round_telemetry();
         self.round += 1;
     }
 
@@ -893,6 +978,11 @@ impl<P: Protocol> Engine<P> {
         // 1. Burst loss: override or restore the effective loss rate.
         let loss_override = rt.scenario.loss_rate_at(round);
         self.loss_rate = loss_override.unwrap_or(self.base_loss_rate);
+        if loss_override.is_some() {
+            if let Some(t) = self.telemetry.as_deref_mut() {
+                t.record_fault_loss(round, self.loss_rate);
+            }
+        }
 
         // 2. Partition: (re)compute the group assignment while a window is
         // active (covering slots created by recoveries/churn since the cut)
@@ -911,6 +1001,9 @@ impl<P: Protocol> Engine<P> {
                 }
                 self.overlay.set_partition(groups);
                 rt.partition_applied = Some(start);
+                if let Some(t) = self.telemetry.as_deref_mut() {
+                    t.record_fault_partition(round, partition_checksum);
+                }
             }
             None => {
                 if rt.partition_applied.take().is_some() {
@@ -939,6 +1032,9 @@ impl<P: Protocol> Engine<P> {
                     self.protocol.on_leave(id, state);
                     crashed_slots.push(id.slot() as u32);
                     wave += 1;
+                    if let Some(t) = self.telemetry.as_deref_mut() {
+                        t.record_crash(round, id.slot() as u32);
+                    }
                 }
             }
             if wave > 0 {
@@ -971,6 +1067,9 @@ impl<P: Protocol> Engine<P> {
                 joined.push(id);
             }
             for id in joined {
+                if let Some(t) = self.telemetry.as_deref_mut() {
+                    t.record_recovery(round, id.slot() as u32);
+                }
                 let mut ctx = Ctx {
                     round: self.round,
                     nodes: &mut self.nodes,
@@ -979,6 +1078,7 @@ impl<P: Protocol> Engine<P> {
                     net: &mut self.net,
                     loss_rate: self.loss_rate,
                     repair: self.repair,
+                    telemetry: TelemetryHandle::new(self.telemetry.as_deref_mut()),
                 };
                 self.protocol.on_join(id, &mut ctx);
             }
@@ -1035,6 +1135,9 @@ impl<P: Protocol> Engine<P> {
                 self.overlay.remove_node(id);
                 self.protocol.on_leave(id, state);
                 count += 1;
+                if let Some(t) = self.telemetry.as_deref_mut() {
+                    t.record_churn_leave(self.round, id.slot() as u32);
+                }
             }
         }
         if count == 0 {
@@ -1053,6 +1156,9 @@ impl<P: Protocol> Engine<P> {
             joined.push(id);
         }
         for id in joined {
+            if let Some(t) = self.telemetry.as_deref_mut() {
+                t.record_churn_join(self.round, id.slot() as u32);
+            }
             let mut ctx = Ctx {
                 round: self.round,
                 nodes: &mut self.nodes,
@@ -1061,6 +1167,7 @@ impl<P: Protocol> Engine<P> {
                 net: &mut self.net,
                 loss_rate: self.loss_rate,
                 repair: self.repair,
+                telemetry: TelemetryHandle::new(self.telemetry.as_deref_mut()),
             };
             self.protocol.on_join(id, &mut ctx);
         }
@@ -1164,6 +1271,7 @@ impl<P: Protocol> Engine<P> {
             net: &mut self.net,
             loss_rate: self.loss_rate,
             repair: self.repair,
+            telemetry: TelemetryHandle::new(self.telemetry.as_deref_mut()),
         };
         f(&mut self.protocol, &mut ctx)
     }
@@ -1232,22 +1340,26 @@ mod tests {
                     ExchangeTraffic {
                         request: Some(8),
                         response: Some(8),
+                        bootstraps: 0,
                     }
                 }
                 ExchangeFate::RequestLost => ExchangeTraffic {
                     request: Some(8),
                     response: None,
+                    bootstraps: 0,
                 },
                 ExchangeFate::ResponseLost => {
                     *b = (*a + *b) / 2.0;
                     ExchangeTraffic {
                         request: Some(8),
                         response: Some(8),
+                        bootstraps: 0,
                     }
                 }
                 ExchangeFate::Aborted => ExchangeTraffic {
                     request: Some(8),
                     response: Some(8),
+                    bootstraps: 0,
                 },
             }
         }
@@ -1468,6 +1580,71 @@ mod tests {
                 Some(r) => assert_eq!(&snap, r, "threads={threads} diverged"),
             }
         }
+    }
+
+    #[test]
+    fn telemetry_attach_leaves_simulation_bit_identical() {
+        // Tentpole invariant: recording is purely observational — it never
+        // consumes engine RNG or touches simulation state, so runs with and
+        // without an attached store are bit-identical under both engine
+        // paths at any thread count.
+        let base = EngineConfig::new(300, 11)
+            .with_overlay(OverlayConfig {
+                kind: OverlayKind::Shuffle,
+                degree: 10,
+                shuffle_len: 3,
+            })
+            .with_churn(ChurnModel::uniform(0.02))
+            .with_loss_rate(0.05);
+        let run = |parallel: bool, threads: usize, with_telemetry: bool| {
+            let config = base.with_threads(threads);
+            let mut engine = Engine::new(config, Averaging { next_value: 0.0 });
+            if with_telemetry {
+                engine.attach_telemetry(SimTelemetry::new());
+            }
+            if parallel {
+                engine.run_rounds_parallel(25);
+            } else {
+                engine.run_rounds(25);
+            }
+            snapshot(&engine)
+        };
+        for (parallel, threads) in [(false, 1), (true, 1), (true, 4)] {
+            assert_eq!(
+                run(parallel, threads, true),
+                run(parallel, threads, false),
+                "parallel={parallel} threads={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn telemetry_output_is_thread_count_invariant() {
+        // The recorded telemetry itself must not depend on the thread
+        // count: plan-derived events are emitted on the driver in slot
+        // order, and shard merges are commutative sums.
+        let base = EngineConfig::new(300, 11)
+            .with_churn(ChurnModel::uniform(0.02))
+            .with_loss_rate(0.05);
+        let run = |threads: usize| {
+            let mut engine = Engine::new(base.with_threads(threads), Averaging { next_value: 0.0 });
+            engine.attach_telemetry(SimTelemetry::new());
+            engine.run_rounds_parallel(25);
+            let t = engine.detach_telemetry().unwrap();
+            let counters: Vec<(&str, u64)> = t.telemetry().metrics.counters().collect();
+            let rounds: Vec<String> = t
+                .telemetry()
+                .snapshots()
+                .iter()
+                .map(|s| s.jsonl())
+                .collect();
+            let events: Vec<String> = t.telemetry().events.iter().map(|e| e.jsonl()).collect();
+            (counters, rounds, events)
+        };
+        let single = run(1);
+        assert!(!single.2.is_empty(), "events recorded");
+        assert_eq!(single.1.len(), 25, "one snapshot per round");
+        assert_eq!(single, run(4));
     }
 
     #[test]

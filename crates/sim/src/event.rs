@@ -23,6 +23,7 @@ use crate::faults::FaultScenario;
 use crate::node::{NodeId, NodeSlab};
 use crate::rng::seeded_rng;
 use crate::stats::NetStats;
+use crate::telemetry::SimTelemetry;
 
 /// Message latency model.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -203,6 +204,7 @@ pub struct EventEngine<P: AsyncProtocol> {
     lost: u64,
     duplicated: u64,
     faults: Option<FaultScenario>,
+    telemetry: Option<Box<SimTelemetry>>,
 }
 
 impl<P: AsyncProtocol> EventEngine<P> {
@@ -230,6 +232,7 @@ impl<P: AsyncProtocol> EventEngine<P> {
             lost: 0,
             duplicated: 0,
             faults: None,
+            telemetry: None,
         };
         for id in engine.nodes.id_vec() {
             let phase = engine.rng.random_range(0..engine.config.gossip_period);
@@ -303,6 +306,9 @@ impl<P: AsyncProtocol> EventEngine<P> {
 
     fn dispatch_message(&mut self, to: NodeId, from: NodeId, message: P::Message) {
         self.delivered += 1;
+        if let Some(t) = self.telemetry.as_deref_mut() {
+            t.record_async_delivery();
+        }
         let mut outbox = Vec::new();
         let mut ctx = EventCtx {
             now: self.now,
@@ -330,6 +336,43 @@ impl<P: AsyncProtocol> EventEngine<P> {
         self.duplicated
     }
 
+    /// Attaches a telemetry store. The event-driven engine records
+    /// delivery/loss/duplication counters into it; recording is purely
+    /// observational and never consumes engine RNG, so attaching telemetry
+    /// leaves the simulation bit-identical.
+    pub fn attach_telemetry(&mut self, telemetry: SimTelemetry) {
+        self.telemetry = Some(Box::new(telemetry));
+    }
+
+    /// Detaches and returns the telemetry store, if any.
+    pub fn detach_telemetry(&mut self) -> Option<SimTelemetry> {
+        self.telemetry.take().map(|b| *b)
+    }
+
+    /// The attached telemetry store, if any.
+    pub fn telemetry(&self) -> Option<&SimTelemetry> {
+        self.telemetry.as_deref()
+    }
+
+    /// Mutable access to the attached telemetry store, if any.
+    pub fn telemetry_mut(&mut self) -> Option<&mut SimTelemetry> {
+        self.telemetry.as_deref_mut()
+    }
+
+    /// Emits a [`RoundSnapshot`](adam2_telemetry::RoundSnapshot) for the
+    /// current gossip period (`now / gossip_period`) carrying the live-node
+    /// count and cumulative traffic totals. A no-op without telemetry.
+    /// Event-driven drivers call this at period boundaries; the cycle
+    /// engine snapshots automatically instead.
+    pub fn snapshot_telemetry(&mut self) {
+        let round = self.now / self.config.gossip_period;
+        let live = self.nodes.len() as u64;
+        let (bytes, msgs) = (self.net.total_bytes(), self.net.total_msgs());
+        if let Some(t) = self.telemetry.as_deref_mut() {
+            t.end_round(round, live, bytes, msgs);
+        }
+    }
+
     fn flush(&mut self, outbox: Vec<(NodeId, NodeId, P::Message, usize)>) {
         let round = self.now / self.config.gossip_period;
         let (loss_rate, extra_delay, dup_rate) = match &self.faults {
@@ -343,12 +386,18 @@ impl<P: AsyncProtocol> EventEngine<P> {
         for (from, to, message, _bytes) in outbox {
             if loss_rate > 0.0 && self.rng.random::<f64>() < loss_rate {
                 self.lost += 1;
+                if let Some(t) = self.telemetry.as_deref_mut() {
+                    t.record_async_loss();
+                }
                 continue;
             }
             let latency = self.config.latency.sample(&mut self.rng).max(1) + extra_delay;
             let at = self.now + latency;
             if dup_rate > 0.0 && self.rng.random::<f64>() < dup_rate {
                 self.duplicated += 1;
+                if let Some(t) = self.telemetry.as_deref_mut() {
+                    t.record_async_duplicate();
+                }
                 let dup_latency = self.config.latency.sample(&mut self.rng).max(1) + extra_delay;
                 self.schedule(
                     self.now + dup_latency,
@@ -636,6 +685,51 @@ mod tests {
         assert_eq!(engine.delivered_count(), 0, "deliveries pushed past t=205");
         engine.run_until(400);
         assert!(engine.delivered_count() > 0);
+    }
+
+    #[test]
+    fn telemetry_counts_async_deliveries_and_losses() {
+        let run = |attach: bool| {
+            let config = EventConfig::new(32, 17)
+                .with_gossip_period(50)
+                .with_loss_rate(0.3);
+            let mut engine = EventEngine::new(config, AsyncAveraging { next: 0.0 });
+            if attach {
+                engine.attach_telemetry(SimTelemetry::new());
+            }
+            engine.run_until(50 * 20);
+            engine.snapshot_telemetry();
+            engine
+        };
+        let mut engine = run(true);
+        let t = engine.detach_telemetry().expect("telemetry attached");
+        let counter = |name| {
+            let (_, v) = t
+                .telemetry()
+                .metrics
+                .counters()
+                .find(|(n, _)| *n == name)
+                .unwrap();
+            v
+        };
+        assert_eq!(counter("async_delivered"), engine.delivered_count());
+        assert_eq!(counter("async_lost"), engine.lost_count());
+        let snaps = t.telemetry().snapshots();
+        assert_eq!(snaps.len(), 1);
+        assert_eq!(snaps[0].round, 20);
+        assert_eq!(snaps[0].live_nodes, 32);
+        assert_eq!(snaps[0].round_bytes, engine.net().total_bytes());
+
+        // Attaching telemetry must not perturb the simulation.
+        let bare = run(false);
+        let values = |e: &EventEngine<AsyncAveraging>| {
+            e.nodes()
+                .iter()
+                .map(|(_, v)| v.to_bits())
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(values(&engine), values(&bare));
+        assert_eq!(engine.delivered_count(), bare.delivered_count());
     }
 
     #[test]

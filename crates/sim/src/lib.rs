@@ -63,6 +63,7 @@ mod overlay;
 pub mod peersampling;
 mod rng;
 mod stats;
+mod telemetry;
 
 pub use churn::ChurnModel;
 pub use engine::{
@@ -76,3 +77,11 @@ pub use overlay::{Overlay, OverlayConfig, OverlayKind};
 pub use peersampling::{PeerSamplingPolicy, PeerSelection, PsView, ViewEntry};
 pub use rng::{derive_seed, par_stream_rng, seeded_rng};
 pub use stats::{Accumulator, MassAuditor, NetShard, NetStats, NodeTraffic};
+pub use telemetry::{SimTelemetry, TelemetryHandle, TelemetryShard};
+
+// Re-exported so downstream crates (core, bench) can use telemetry types
+// without their own `adam2-telemetry` dependency.
+pub use adam2_telemetry::{
+    fnv1a, git_revision, json_f64, Event as TelemetryEvent, EventKind as TelemetryEventKind,
+    Histogram, RoundSnapshot, RunManifest, Telemetry, MANIFEST_SCHEMA_VERSION,
+};

@@ -31,6 +31,13 @@ impl NodeId {
     pub fn generation(&self) -> u32 {
         self.generation
     }
+
+    /// Builds an id from raw parts, for unit tests that need ids without a
+    /// slab.
+    #[cfg(test)]
+    pub(crate) fn for_tests(slot: u32, generation: u32) -> Self {
+        Self { slot, generation }
+    }
 }
 
 impl std::fmt::Display for NodeId {

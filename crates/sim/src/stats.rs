@@ -535,6 +535,49 @@ mod tests {
     }
 
     #[test]
+    fn mass_auditor_empty_round_reports_zero_drift() {
+        // A round in which no instance has any participant (e.g. settle
+        // rounds after completion) produces no observations: the invariant
+        // check `max_drift() <= tol` must hold vacuously, not panic or
+        // return NaN.
+        let auditor = MassAuditor::new();
+        assert_eq!(auditor.max_drift(), 0.0);
+        assert_eq!(auditor.component_count(), 0);
+        assert_eq!(auditor.drift_of(0), None);
+        assert_eq!(auditor.max_drift_of(0), None);
+    }
+
+    #[test]
+    fn mass_auditor_single_node_instance_is_baseline_only() {
+        // A single-node instance never gossips, so each round observes the
+        // same (weight, fraction) pair: the first observation sets the
+        // baseline and all drift statistics stay exactly zero.
+        let mut auditor = MassAuditor::new();
+        for _ in 0..5 {
+            auditor.observe(42, 1.0);
+        }
+        assert_eq!(auditor.drift_of(42), Some(0.0));
+        assert_eq!(auditor.max_drift_of(42), Some(0.0));
+        assert_eq!(auditor.max_drift(), 0.0);
+        assert_eq!(auditor.component_count(), 1);
+    }
+
+    #[test]
+    fn mass_auditor_post_abort_rollback_round_keeps_peak_drift() {
+        // An aborted exchange rolls state back before the next round, so
+        // the *latest* drift returns to the baseline — but the auditor must
+        // remember the mid-abort excursion in `max_drift_of` so the
+        // invariant check still flags transiently destroyed mass.
+        let mut auditor = MassAuditor::new();
+        auditor.observe(3, 50.0); // baseline
+        auditor.observe(3, 47.5); // abort destroyed mass mid-round
+        auditor.observe(3, 50.0); // rollback round restored it
+        assert_eq!(auditor.drift_of(3), Some(0.0), "rollback restores mass");
+        assert_eq!(auditor.max_drift_of(3), Some(2.5), "excursion remembered");
+        assert_eq!(auditor.max_drift(), 2.5);
+    }
+
+    #[test]
     fn mass_auditor_tracks_drift_per_component() {
         let mut auditor = MassAuditor::new();
         auditor.observe(0, 100.0);

@@ -1,0 +1,209 @@
+//! Ring-buffered structured event trace.
+//!
+//! Every event carries the simulation round, the acting node's slot, an
+//! instance tag (0 when the event is not tied to one protocol instance),
+//! and a kind-specific `detail` word. The trace is a bounded ring: when
+//! full, the oldest events are dropped and counted, so a long run can keep
+//! tracing its tail without unbounded memory.
+
+use std::collections::VecDeque;
+
+/// What happened. Each variant maps to a stable wire name used in the
+/// exported `events.jsonl`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// A gossip exchange was initiated; `detail` = partner slot.
+    ExchangeStarted,
+    /// A lossy exchange was completed via repair retransmissions;
+    /// `detail` = number of retransmitted messages.
+    ExchangeRepaired,
+    /// An exchange was abandoned after exhausting repair attempts.
+    ExchangeAborted,
+    /// A fault scenario overrode the round loss rate; `detail` = the new
+    /// rate's `f64::to_bits`.
+    FaultLoss,
+    /// An overlay partition became active; `detail` = partition checksum.
+    FaultPartition,
+    /// A node crashed; `slot` identifies it.
+    FaultCrash,
+    /// A crashed node recovered and re-joined; `slot` identifies it.
+    FaultRecovery,
+    /// Self-healing restarted an instance epoch; `detail` = number of
+    /// restarts voted at that node this round.
+    SelfHealBump,
+    /// A churn replacement joined; `slot` identifies it.
+    ChurnJoin,
+    /// A node left under churn; `slot` identifies it.
+    ChurnLeave,
+    /// A protocol instance was started; `instance` carries its id.
+    InstanceStarted,
+}
+
+impl EventKind {
+    /// Stable wire name for JSONL export.
+    pub fn name(self) -> &'static str {
+        match self {
+            EventKind::ExchangeStarted => "exchange_started",
+            EventKind::ExchangeRepaired => "exchange_repaired",
+            EventKind::ExchangeAborted => "exchange_aborted",
+            EventKind::FaultLoss => "fault_loss",
+            EventKind::FaultPartition => "fault_partition",
+            EventKind::FaultCrash => "fault_crash",
+            EventKind::FaultRecovery => "fault_recovery",
+            EventKind::SelfHealBump => "self_heal_bump",
+            EventKind::ChurnJoin => "churn_join",
+            EventKind::ChurnLeave => "churn_leave",
+            EventKind::InstanceStarted => "instance_started",
+        }
+    }
+}
+
+/// One traced event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Event {
+    /// Simulation round the event occurred in.
+    pub round: u64,
+    /// Slot of the acting node (0 for engine-wide events).
+    pub slot: u32,
+    /// Instance tag (`InstanceId::as_u64`), 0 when not instance-scoped.
+    pub instance: u64,
+    /// Event kind.
+    pub kind: EventKind,
+    /// Kind-specific payload word.
+    pub detail: u64,
+}
+
+impl Event {
+    /// Renders the event as one JSON Lines record.
+    pub fn jsonl(&self) -> String {
+        format!(
+            "{{\"round\":{},\"slot\":{},\"instance\":{},\"kind\":\"{}\",\"detail\":{}}}",
+            self.round,
+            self.slot,
+            self.instance,
+            self.kind.name(),
+            self.detail
+        )
+    }
+}
+
+/// Bounded ring buffer of [`Event`]s.
+#[derive(Debug)]
+pub struct EventTrace {
+    ring: VecDeque<Event>,
+    capacity: usize,
+    dropped: u64,
+    total: u64,
+}
+
+impl EventTrace {
+    /// Creates a trace holding at most `capacity` events (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            ring: VecDeque::with_capacity(capacity.max(1)),
+            capacity: capacity.max(1),
+            dropped: 0,
+            total: 0,
+        }
+    }
+
+    /// Appends an event, evicting the oldest when full.
+    pub fn push(&mut self, event: Event) {
+        if self.ring.len() == self.capacity {
+            self.ring.pop_front();
+            self.dropped += 1;
+        }
+        self.ring.push_back(event);
+        self.total += 1;
+    }
+
+    /// Number of events currently retained.
+    pub fn len(&self) -> usize {
+        self.ring.len()
+    }
+
+    /// True when no events are retained.
+    pub fn is_empty(&self) -> bool {
+        self.ring.is_empty()
+    }
+
+    /// Number of events evicted by the ring.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Number of events ever pushed.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Iterates retained events oldest-first.
+    pub fn iter(&self) -> impl Iterator<Item = &Event> {
+        self.ring.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(round: u64, kind: EventKind) -> Event {
+        Event {
+            round,
+            slot: 3,
+            instance: 0,
+            kind,
+            detail: 0,
+        }
+    }
+
+    #[test]
+    fn ring_evicts_oldest() {
+        let mut trace = EventTrace::new(2);
+        trace.push(ev(1, EventKind::ChurnJoin));
+        trace.push(ev(2, EventKind::ChurnLeave));
+        trace.push(ev(3, EventKind::FaultCrash));
+        assert_eq!(trace.len(), 2);
+        assert_eq!(trace.dropped(), 1);
+        assert_eq!(trace.total(), 3);
+        let rounds: Vec<u64> = trace.iter().map(|e| e.round).collect();
+        assert_eq!(rounds, vec![2, 3]);
+    }
+
+    #[test]
+    fn jsonl_record_shape() {
+        let e = Event {
+            round: 7,
+            slot: 12,
+            instance: 99,
+            kind: EventKind::ExchangeRepaired,
+            detail: 2,
+        };
+        assert_eq!(
+            e.jsonl(),
+            "{\"round\":7,\"slot\":12,\"instance\":99,\"kind\":\"exchange_repaired\",\"detail\":2}"
+        );
+    }
+
+    #[test]
+    fn every_kind_has_a_distinct_name() {
+        let kinds = [
+            EventKind::ExchangeStarted,
+            EventKind::ExchangeRepaired,
+            EventKind::ExchangeAborted,
+            EventKind::FaultLoss,
+            EventKind::FaultPartition,
+            EventKind::FaultCrash,
+            EventKind::FaultRecovery,
+            EventKind::SelfHealBump,
+            EventKind::ChurnJoin,
+            EventKind::ChurnLeave,
+            EventKind::InstanceStarted,
+        ];
+        let names: Vec<&str> = kinds.iter().map(|k| k.name()).collect();
+        let mut unique = names.clone();
+        unique.sort_unstable();
+        unique.dedup();
+        assert_eq!(unique.len(), names.len());
+    }
+}

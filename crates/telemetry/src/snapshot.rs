@@ -1,0 +1,200 @@
+//! Per-round snapshot records exported as JSON Lines and CSV.
+
+/// One per-round observation of the simulation, with a fixed schema shared
+/// by the JSONL and CSV exporters (documented in DESIGN.md and validated by
+/// the `telemetry_check` CI binary).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoundSnapshot {
+    /// Round index the snapshot describes.
+    pub round: u64,
+    /// Live (non-crashed) nodes at round end.
+    pub live_nodes: u64,
+    /// Max CDF error Err_m over the evaluation sample (NaN = not measured).
+    pub err_max: f64,
+    /// Average CDF error Err_a over the evaluation sample (NaN = not
+    /// measured).
+    pub err_avg: f64,
+    /// Signed weight-mass defect from `MassAuditor` (NaN = not measured).
+    pub mass_weight_defect: f64,
+    /// Signed fraction-mass defect from `MassAuditor` (NaN = not measured).
+    pub mass_fraction_defect: f64,
+    /// Bytes carried this round.
+    pub round_bytes: u64,
+    /// Messages carried this round.
+    pub round_msgs: u64,
+    /// Gossip exchanges initiated this round.
+    pub exchanges: u64,
+    /// Repair retransmissions this round.
+    pub repairs: u64,
+    /// Exchanges aborted after exhausting repair this round.
+    pub aborts: u64,
+    /// Fault events fired this round (loss overrides + partitions).
+    pub faults: u64,
+    /// Nodes crashed this round.
+    pub crashes: u64,
+    /// Nodes recovered this round.
+    pub recoveries: u64,
+    /// Churn joins this round.
+    pub joins: u64,
+    /// Churn leaves this round.
+    pub leaves: u64,
+    /// Self-heal epoch restarts voted this round.
+    pub heal_bumps: u64,
+    /// Recovered/late nodes that bootstrapped an estimate from a completed
+    /// partner snapshot this round.
+    pub bootstraps: u64,
+}
+
+impl RoundSnapshot {
+    /// Creates an all-zero snapshot for a round, with the measured-by-bench
+    /// fields (errors, mass defects) marked unmeasured (NaN).
+    pub fn empty(round: u64) -> Self {
+        Self {
+            round,
+            live_nodes: 0,
+            err_max: f64::NAN,
+            err_avg: f64::NAN,
+            mass_weight_defect: f64::NAN,
+            mass_fraction_defect: f64::NAN,
+            round_bytes: 0,
+            round_msgs: 0,
+            exchanges: 0,
+            repairs: 0,
+            aborts: 0,
+            faults: 0,
+            crashes: 0,
+            recoveries: 0,
+            joins: 0,
+            leaves: 0,
+            heal_bumps: 0,
+            bootstraps: 0,
+        }
+    }
+
+    /// Renders the snapshot as one JSON Lines record. Unmeasured floats
+    /// (NaN or infinite) render as `null`.
+    pub fn jsonl(&self) -> String {
+        format!(
+            "{{\"round\":{},\"live_nodes\":{},\"err_max\":{},\"err_avg\":{},\
+             \"mass_weight_defect\":{},\"mass_fraction_defect\":{},\
+             \"round_bytes\":{},\"round_msgs\":{},\"exchanges\":{},\
+             \"repairs\":{},\"aborts\":{},\"faults\":{},\"crashes\":{},\
+             \"recoveries\":{},\"joins\":{},\"leaves\":{},\"heal_bumps\":{},\
+             \"bootstraps\":{}}}",
+            self.round,
+            self.live_nodes,
+            json_f64(self.err_max),
+            json_f64(self.err_avg),
+            json_f64(self.mass_weight_defect),
+            json_f64(self.mass_fraction_defect),
+            self.round_bytes,
+            self.round_msgs,
+            self.exchanges,
+            self.repairs,
+            self.aborts,
+            self.faults,
+            self.crashes,
+            self.recoveries,
+            self.joins,
+            self.leaves,
+            self.heal_bumps,
+            self.bootstraps,
+        )
+    }
+
+    /// CSV header matching [`RoundSnapshot::csv_row`].
+    pub const CSV_HEADER: &'static str = "round,live_nodes,err_max,err_avg,\
+        mass_weight_defect,mass_fraction_defect,round_bytes,round_msgs,\
+        exchanges,repairs,aborts,faults,crashes,recoveries,joins,leaves,\
+        heal_bumps,bootstraps";
+
+    /// Renders the snapshot as one CSV row (unmeasured floats are empty
+    /// cells).
+    pub fn csv_row(&self) -> String {
+        format!(
+            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+            self.round,
+            self.live_nodes,
+            csv_f64(self.err_max),
+            csv_f64(self.err_avg),
+            csv_f64(self.mass_weight_defect),
+            csv_f64(self.mass_fraction_defect),
+            self.round_bytes,
+            self.round_msgs,
+            self.exchanges,
+            self.repairs,
+            self.aborts,
+            self.faults,
+            self.crashes,
+            self.recoveries,
+            self.joins,
+            self.leaves,
+            self.heal_bumps,
+            self.bootstraps,
+        )
+    }
+}
+
+/// Renders an `f64` as a JSON value: `null` when NaN/infinite, otherwise
+/// the shortest round-trip decimal (Rust's `Display` for `f64` never emits
+/// exponent notation, so the output is always valid JSON).
+pub fn json_f64(value: f64) -> String {
+    if value.is_finite() {
+        let mut s = format!("{value}");
+        if !s.contains('.') {
+            s.push_str(".0");
+        }
+        s
+    } else {
+        "null".to_string()
+    }
+}
+
+fn csv_f64(value: f64) -> String {
+    if value.is_finite() {
+        format!("{value}")
+    } else {
+        String::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jsonl_renders_nan_as_null() {
+        let s = RoundSnapshot::empty(4);
+        let line = s.jsonl();
+        assert!(line.starts_with("{\"round\":4,"));
+        assert!(line.contains("\"err_max\":null"));
+        assert!(line.contains("\"bootstraps\":0}"));
+    }
+
+    #[test]
+    fn jsonl_renders_finite_floats_plainly() {
+        let mut s = RoundSnapshot::empty(0);
+        s.err_avg = 0.015625;
+        s.mass_weight_defect = -2.0;
+        let line = s.jsonl();
+        assert!(line.contains("\"err_avg\":0.015625"));
+        assert!(line.contains("\"mass_weight_defect\":-2.0"));
+    }
+
+    #[test]
+    fn csv_header_matches_row_arity() {
+        let s = RoundSnapshot::empty(1);
+        let cols = RoundSnapshot::CSV_HEADER.split(',').count();
+        assert_eq!(s.csv_row().split(',').count(), cols);
+    }
+
+    #[test]
+    fn json_f64_always_valid_json_number_or_null() {
+        assert_eq!(json_f64(f64::NAN), "null");
+        assert_eq!(json_f64(f64::INFINITY), "null");
+        assert_eq!(json_f64(3.0), "3.0");
+        assert_eq!(json_f64(0.5), "0.5");
+        // Tiny values must not use exponent notation.
+        assert!(!json_f64(1e-12).contains('e'));
+    }
+}

@@ -7,18 +7,18 @@
 //! [`criterion_main!`] macros (both forms).
 //!
 //! Measurement is deliberately simple: a short warm-up sizes the batch,
-//! then one timed batch yields a mean ns/iter, printed per benchmark. No
-//! statistics, plots, or baselines — swap in the real crate via
-//! `[patch.crates-io]` for those. When invoked by `cargo test` (cargo
-//! passes `--test` to bench targets), every benchmark body runs exactly
-//! once so test runs stay fast.
+//! then several timed batches yield per-iteration samples reported as
+//! median with min/max/stddev. No plots or baselines — swap in the real
+//! crate via `[patch.crates-io]` for those. When invoked by `cargo test`
+//! (cargo passes `--test` to bench targets), every benchmark body runs
+//! exactly once so test runs stay fast.
 
 use std::time::{Duration, Instant};
 
 /// Measurement knobs plus the top-level entry point benches receive.
 pub struct Criterion {
-    /// Accepted for API compatibility; the stub's batch sizing is
-    /// time-based rather than sample-count-based.
+    /// Number of timed batches per benchmark (clamped to 5..=100); the
+    /// total timed budget is split evenly across them.
     sample_size: usize,
     test_mode: bool,
 }
@@ -34,7 +34,7 @@ impl Default for Criterion {
 }
 
 impl Criterion {
-    /// Sets the nominal sample count (accepted, minimally used).
+    /// Sets the number of timed batches per benchmark.
     pub fn sample_size(mut self, n: usize) -> Self {
         self.sample_size = n;
         self
@@ -45,7 +45,13 @@ impl Criterion {
     where
         F: FnMut(&mut Bencher),
     {
-        run_one(&id.into().label, self.test_mode, &mut f, None);
+        run_one(
+            &id.into().label,
+            self.test_mode,
+            self.sample_size,
+            &mut f,
+            None,
+        );
         self
     }
 
@@ -73,7 +79,7 @@ impl BenchmarkGroup<'_> {
         self
     }
 
-    /// Sets the nominal sample count (accepted, minimally used).
+    /// Sets the number of timed batches per benchmark.
     pub fn sample_size(&mut self, n: usize) -> &mut Self {
         self.criterion.sample_size = n;
         self
@@ -85,7 +91,13 @@ impl BenchmarkGroup<'_> {
         F: FnMut(&mut Bencher),
     {
         let label = format!("{}/{}", self.name, id.into().label);
-        run_one(&label, self.criterion.test_mode, &mut f, self.throughput);
+        run_one(
+            &label,
+            self.criterion.test_mode,
+            self.criterion.sample_size,
+            &mut f,
+            self.throughput,
+        );
         self
     }
 
@@ -103,6 +115,7 @@ impl BenchmarkGroup<'_> {
         run_one(
             &label,
             self.criterion.test_mode,
+            self.criterion.sample_size,
             &mut |b| f(b, input),
             self.throughput,
         );
@@ -156,22 +169,80 @@ pub enum Throughput {
     Bytes(u64),
 }
 
+/// Per-iteration wall-clock samples from the timed batches of one
+/// benchmark, each sample the mean ns/iter of one batch.
+#[derive(Debug, Clone)]
+pub struct SampleStats {
+    /// Iterations per timed batch.
+    pub iters_per_sample: u64,
+    /// Mean ns/iter of each timed batch.
+    pub samples: Vec<f64>,
+}
+
+impl SampleStats {
+    /// Median ns/iter across batches (mean of middle pair when even).
+    pub fn median_ns(&self) -> f64 {
+        let mut sorted = self.samples.clone();
+        sorted.sort_by(|a, b| a.total_cmp(b));
+        let n = sorted.len();
+        if n == 0 {
+            return 0.0;
+        }
+        if n % 2 == 1 {
+            sorted[n / 2]
+        } else {
+            (sorted[n / 2 - 1] + sorted[n / 2]) / 2.0
+        }
+    }
+
+    /// Fastest batch's ns/iter.
+    pub fn min_ns(&self) -> f64 {
+        self.samples.iter().copied().fold(f64::INFINITY, f64::min)
+    }
+
+    /// Slowest batch's ns/iter.
+    pub fn max_ns(&self) -> f64 {
+        self.samples.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// Sample standard deviation of batch ns/iter (0 for < 2 samples).
+    pub fn stddev_ns(&self) -> f64 {
+        let n = self.samples.len();
+        if n < 2 {
+            return 0.0;
+        }
+        let mean = self.samples.iter().sum::<f64>() / n as f64;
+        let var = self
+            .samples
+            .iter()
+            .map(|s| (s - mean) * (s - mean))
+            .sum::<f64>()
+            / (n - 1) as f64;
+        var.sqrt()
+    }
+}
+
 /// Passed to benchmark bodies; call [`iter`](Bencher::iter) with the
 /// code under test.
 pub struct Bencher {
     test_mode: bool,
-    measured: Option<(u64, Duration)>,
+    sample_count: usize,
+    measured: Option<SampleStats>,
 }
 
 impl Bencher {
-    /// Times `f`, storing mean wall-clock duration per call.
+    /// Times `f` over several batches, storing per-batch ns/iter samples.
     pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
         if self.test_mode {
             std::hint::black_box(f());
-            self.measured = Some((1, Duration::ZERO));
+            self.measured = Some(SampleStats {
+                iters_per_sample: 1,
+                samples: vec![0.0],
+            });
             return;
         }
-        // Warm-up sizes the timed batch to roughly 200 ms.
+        // Warm-up estimates per-iteration cost, then the total timed
+        // budget (~200 ms) is split across the sample batches.
         let warmup = Duration::from_millis(50);
         let start = Instant::now();
         let mut warm_iters: u64 = 0;
@@ -180,27 +251,38 @@ impl Bencher {
             warm_iters += 1;
         }
         let per_iter = start.elapsed().as_nanos().max(1) / warm_iters.max(1) as u128;
-        let batch = (200_000_000 / per_iter.max(1)).clamp(1, 10_000_000) as u64;
-        let timed = Instant::now();
-        for _ in 0..batch {
-            std::hint::black_box(f());
+        let sample_count = self.sample_count.clamp(5, 100);
+        let batch =
+            (200_000_000 / per_iter.max(1) / sample_count as u128).clamp(1, 10_000_000) as u64;
+        let mut samples = Vec::with_capacity(sample_count);
+        for _ in 0..sample_count {
+            let timed = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(f());
+            }
+            samples.push(timed.elapsed().as_nanos() as f64 / batch as f64);
         }
-        self.measured = Some((batch, timed.elapsed()));
+        self.measured = Some(SampleStats {
+            iters_per_sample: batch,
+            samples,
+        });
     }
 }
 
 fn run_one<F: FnMut(&mut Bencher)>(
     label: &str,
     test_mode: bool,
+    sample_count: usize,
     f: &mut F,
     throughput: Option<Throughput>,
 ) {
     let mut bencher = Bencher {
         test_mode,
+        sample_count,
         measured: None,
     };
     f(&mut bencher);
-    let Some((iters, elapsed)) = bencher.measured else {
+    let Some(stats) = bencher.measured else {
         println!("bench {label}: body never called Bencher::iter");
         return;
     };
@@ -208,13 +290,19 @@ fn run_one<F: FnMut(&mut Bencher)>(
         println!("bench {label}: ok (test mode, 1 iteration)");
         return;
     }
-    let ns = elapsed.as_nanos() as f64 / iters as f64;
+    let ns = stats.median_ns();
     let rate = throughput.map(|t| match t {
         Throughput::Elements(n) => format!(", {:.0} elem/s", n as f64 / (ns / 1e9)),
         Throughput::Bytes(n) => format!(", {:.0} B/s", n as f64 / (ns / 1e9)),
     });
     println!(
-        "bench {label}: {ns:.0} ns/iter over {iters} iters{}",
+        "bench {label}: median {ns:.0} ns/iter (min {:.0}, max {:.0}, stddev {:.1}) over {} \
+         samples x {} iters{}",
+        stats.min_ns(),
+        stats.max_ns(),
+        stats.stddev_ns(),
+        stats.samples.len(),
+        stats.iters_per_sample,
         rate.unwrap_or_default()
     );
 }
@@ -274,5 +362,29 @@ mod tests {
         });
         group.finish();
         assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn sample_stats_summarise_batches() {
+        let stats = SampleStats {
+            iters_per_sample: 10,
+            samples: vec![4.0, 2.0, 8.0, 6.0],
+        };
+        assert_eq!(stats.median_ns(), 5.0);
+        assert_eq!(stats.min_ns(), 2.0);
+        assert_eq!(stats.max_ns(), 8.0);
+        // Sample stddev of {2,4,6,8}: sqrt(20/3).
+        assert!((stats.stddev_ns() - (20.0f64 / 3.0).sqrt()).abs() < 1e-12);
+        let odd = SampleStats {
+            iters_per_sample: 1,
+            samples: vec![3.0, 1.0, 2.0],
+        };
+        assert_eq!(odd.median_ns(), 2.0);
+        let single = SampleStats {
+            iters_per_sample: 1,
+            samples: vec![7.0],
+        };
+        assert_eq!(single.stddev_ns(), 0.0);
+        assert_eq!(single.median_ns(), 7.0);
     }
 }
