@@ -1,0 +1,403 @@
+//! Deploy-runtime benchmark: the socket-based cluster vs the sequential
+//! simulator on an identical trace.
+//!
+//! Runs the sequential simulator once to get the ground-truth accuracy of
+//! one aggregation instance, then launches a real N-node loopback cluster
+//! (`adam2-deploy`), injects an instance with the *same thresholds* over a
+//! control socket, lets the nodes gossip over TCP to convergence, collects
+//! every node's estimate back over the control sockets, and scores both
+//! through the same [`evaluate_peer_estimates`] pipeline. Two cluster
+//! scenarios run: clean, and a 10 % socket-loss shim exercising the
+//! retransmit/seq-cache repair path. Results go to `BENCH_deploy.json` at
+//! the repository root (override with `--out PATH`).
+//!
+//! Extra flags: `--out PATH`, `--check 1` (assert convergence — deploy
+//! Err_a within 2x of the simulator — plus full estimate coverage and a
+//! clean shutdown; CI's deploy-smoke job uses this), `--tick-ms T` (gossip
+//! round length, default 40). The standard `--nodes` / `--seed` /
+//! `--lambda` / `--telemetry` flags also apply; `--nodes` is clamped to
+//! 256 because every deployed node runs three OS threads.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use adam2_bench::{
+    adam2_engine, complete_instance, evaluate_estimates, evaluate_peer_estimates, setup,
+    start_instance, Args, ErrorReport, PeerEstimate,
+};
+use adam2_core::{Adam2Config, AttrValue, InstanceMeta};
+use adam2_deploy::{Cluster, ClusterConfig, ClusterTelemetry, EstimateWire, LossShim, NodeConfig};
+use adam2_sim::{ChurnModel, RunManifest};
+use adam2_traces::Attribute;
+
+/// Gossip rounds per instance, simulator and deploy alike.
+const ROUNDS: u64 = 30;
+
+/// Rounds between cluster launch and the instance's start round: enough
+/// for the injected `StartInstance` to land before gossip begins.
+const WARMUP_ROUNDS: u64 = 3;
+
+/// Thread budget: three OS threads per node.
+const MAX_DEPLOY_NODES: usize = 256;
+
+struct ScenarioResult {
+    name: &'static str,
+    report: ErrorReport,
+    mean_n_hat: f64,
+    exchanges: u64,
+    repairs: u64,
+    aborts: u64,
+    shim_drops: u64,
+    malformed: u64,
+    backpressure_drops: u64,
+    clean_shutdown: bool,
+}
+
+fn main() {
+    let args = Args::parse("bench_deploy");
+    let check = args.extra("check").is_some();
+    let default_out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_deploy.json");
+    let out = args.extra("out").unwrap_or(default_out).to_string();
+    let tick_ms: u64 = args
+        .extra_parsed("tick-ms")
+        .unwrap_or_else(|e| {
+            eprintln!("bench_deploy: {e}");
+            std::process::exit(2);
+        })
+        .unwrap_or(40);
+
+    let nodes = args.nodes.clamp(2, MAX_DEPLOY_NODES);
+    if nodes != args.nodes {
+        println!(
+            "note: --nodes {} clamped to {nodes} (3 threads/node)",
+            args.nodes
+        );
+    }
+
+    println!("== bench_deploy — socket runtime vs sequential simulator ==");
+    println!(
+        "nodes={nodes} seed={} lambda={} rounds={ROUNDS} tick={tick_ms}ms",
+        args.seed, args.lambda
+    );
+    println!();
+
+    // Ground truth: the sequential simulator on the same population.
+    let s = setup(Attribute::Ram, nodes, args.seed);
+    let config = Adam2Config::new()
+        .with_lambda(args.lambda)
+        .with_rounds_per_instance(ROUNDS);
+    let mut engine = adam2_engine(&s, config, args.seed, ChurnModel::None);
+    let sim_meta = start_instance(&mut engine);
+    complete_instance(&mut engine, ROUNDS);
+    let sim_report = evaluate_estimates(&engine, &s.truth, args.sample_peers, args.seed);
+    println!(
+        "simulator     Err_a={:.3e} Err_m={:.3e}",
+        sim_report.avg_cdf, sim_report.max_cdf
+    );
+
+    // Deploy scenarios: same population, same thresholds, real sockets.
+    let node_config = NodeConfig {
+        tick: Duration::from_millis(tick_ms),
+        io_timeout: Duration::from_millis((tick_ms / 2).clamp(10, 50)),
+        retries: 2,
+        queue_capacity: 4,
+        view_size: 12,
+        seed: args.seed,
+    };
+    let scenarios: [(&'static str, LossShim); 2] = [
+        ("clean", LossShim::none()),
+        ("loss10", LossShim::flat(args.seed, 0.10)),
+    ];
+    let mut results = Vec::new();
+    for (name, shim) in scenarios {
+        let result = run_deploy(name, shim, &s.population, &sim_meta, &node_config, &args);
+        println!(
+            "deploy/{name:<7} Err_a={:.3e} Err_m={:.3e} peers_without={} exchanges={} \
+             repairs={} aborts={} shim_drops={} clean_shutdown={}",
+            result.report.avg_cdf,
+            result.report.max_cdf,
+            result.report.peers_without_estimate,
+            result.exchanges,
+            result.repairs,
+            result.aborts,
+            result.shim_drops,
+            result.clean_shutdown,
+        );
+        results.push(result);
+    }
+
+    let json = render_json(&args, nodes, tick_ms, &sim_report, &results);
+    match std::fs::write(&out, &json) {
+        Ok(()) => println!("\nwrote {out}"),
+        Err(e) => {
+            eprintln!("bench_deploy: cannot write {out}: {e}");
+            std::process::exit(1);
+        }
+    }
+
+    if check {
+        run_checks(&sim_report, &results);
+        println!("all deploy checks passed");
+    }
+}
+
+fn run_deploy(
+    name: &'static str,
+    shim: LossShim,
+    population: &adam2_traces::Population,
+    sim_meta: &InstanceMeta,
+    node_config: &NodeConfig,
+    args: &Args,
+) -> ScenarioResult {
+    let values: Vec<AttrValue> = population
+        .values()
+        .iter()
+        .map(|v| AttrValue::Single(*v))
+        .collect();
+    let n = values.len();
+    let cluster = Cluster::launch(
+        values,
+        ClusterConfig {
+            node: node_config.clone(),
+            shim,
+            initial_n_estimate: 1.0,
+        },
+    )
+    .expect("cluster launch");
+    let mut sampler = ClusterTelemetry::new(n);
+
+    // Same instance, rebased onto the deploy clock: identical thresholds
+    // (and verify thresholds), identical duration.
+    let start_round = cluster.current_round() + WARMUP_ROUNDS;
+    let meta = Arc::new(InstanceMeta {
+        id: sim_meta.id,
+        thresholds: sim_meta.thresholds.clone(),
+        verify_thresholds: sim_meta.verify_thresholds.clone(),
+        start_round,
+        end_round: start_round + ROUNDS,
+        multi: sim_meta.multi,
+    });
+    cluster
+        .start_instance(0, Arc::clone(&meta))
+        .expect("start instance");
+
+    // Drive the sampler once per completed round until one round past the
+    // instance deadline (the finalisation round).
+    let mut last = cluster.current_round();
+    while last <= meta.end_round + 1 {
+        std::thread::sleep(node_config.tick / 4);
+        let now = cluster.current_round();
+        if now > last {
+            sampler.sample(&cluster, now - 1);
+            last = now;
+        }
+    }
+
+    let estimates = cluster.collect_estimates(Duration::from_secs(10));
+    let peers: Vec<Option<PeerEstimate>> = estimates
+        .iter()
+        .map(|e| e.as_ref().map(peer_estimate))
+        .collect();
+    let report = evaluate_peer_estimates(
+        &peers,
+        &population_truth(population),
+        args.sample_peers,
+        args.seed,
+    );
+    let n_hats: Vec<f64> = estimates.iter().flatten().filter_map(|e| e.n_hat).collect();
+    let mean_n_hat = if n_hats.is_empty() {
+        f64::NAN
+    } else {
+        n_hats.iter().sum::<f64>() / n_hats.len() as f64
+    };
+
+    let mut exchanges = 0;
+    let mut repairs = 0;
+    let mut aborts = 0;
+    let mut shim_drops = 0;
+    let mut malformed = 0;
+    let mut backpressure_drops = 0;
+    for node in cluster.nodes() {
+        let snap = node.shared.stats.snapshot();
+        exchanges += snap.exchanges_started;
+        repairs += snap.retransmissions;
+        aborts += snap.exchanges_aborted;
+        shim_drops += snap.shim_dropped;
+        malformed += snap.malformed_frames;
+        backpressure_drops += snap.backpressure_drops;
+    }
+
+    if let Some(dir) = &args.telemetry {
+        let manifest = RunManifest::new(
+            &format!("bench_deploy_{name}"),
+            &format!(
+                "nodes={n} lambda={} rounds={ROUNDS} tick_ms={} scenario={name}",
+                args.lambda,
+                node_config.tick.as_millis()
+            ),
+            args.seed,
+            1,
+        );
+        let path = std::path::Path::new(dir).join(format!("deploy_{name}"));
+        if let Err(e) = sampler.export(&path, &manifest) {
+            eprintln!(
+                "bench_deploy: telemetry export to {} failed: {e}",
+                path.display()
+            );
+        }
+    }
+
+    let shutdown = cluster.shutdown();
+    ScenarioResult {
+        name,
+        report,
+        mean_n_hat,
+        exchanges,
+        repairs,
+        aborts,
+        shim_drops,
+        malformed,
+        backpressure_drops,
+        clean_shutdown: shutdown.clean,
+    }
+}
+
+fn peer_estimate(e: &EstimateWire) -> PeerEstimate {
+    PeerEstimate {
+        instance: e.instance,
+        thresholds: e.thresholds.clone(),
+        fractions: e.fractions.clone(),
+        min: e.min,
+        max: e.max,
+    }
+}
+
+fn population_truth(population: &adam2_traces::Population) -> adam2_core::StepCdf {
+    adam2_core::StepCdf::from_values(population.values().to_vec())
+}
+
+fn render_json(
+    args: &Args,
+    nodes: usize,
+    tick_ms: u64,
+    sim: &ErrorReport,
+    results: &[ScenarioResult],
+) -> String {
+    let manifest = RunManifest::new(
+        "bench_deploy",
+        &format!(
+            "nodes={nodes} lambda={} rounds={ROUNDS} tick_ms={tick_ms}",
+            args.lambda
+        ),
+        args.seed,
+        1,
+    );
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"benchmark\": \"deploy_runtime\",\n");
+    json.push_str(&format!("  \"manifest\": {},\n", manifest.to_inline_json()));
+    json.push_str(&format!("  \"nodes\": {nodes},\n"));
+    json.push_str(&format!("  \"seed\": {},\n", args.seed));
+    json.push_str(&format!("  \"lambda\": {},\n", args.lambda));
+    json.push_str(&format!("  \"rounds\": {ROUNDS},\n"));
+    json.push_str(&format!("  \"tick_ms\": {tick_ms},\n"));
+    json.push_str(&format!(
+        "  \"simulator\": {{\"err_a\": {:.6e}, \"err_m\": {:.6e}}},\n",
+        sim.avg_cdf, sim.max_cdf
+    ));
+    json.push_str("  \"results\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"scenario\": \"{}\", \"err_a\": {:.6e}, \"err_m\": {:.6e}, \
+             \"peers_without_estimate\": {}, \"mean_n_hat\": {:.4}, \"exchanges\": {}, \
+             \"repairs\": {}, \"aborts\": {}, \"shim_drops\": {}, \"malformed_frames\": {}, \
+             \"backpressure_drops\": {}, \"clean_shutdown\": {}}}{}\n",
+            r.name,
+            r.report.avg_cdf,
+            r.report.max_cdf,
+            r.report.peers_without_estimate,
+            r.mean_n_hat,
+            r.exchanges,
+            r.repairs,
+            r.aborts,
+            r.shim_drops,
+            r.malformed,
+            r.backpressure_drops,
+            r.clean_shutdown,
+            if i + 1 < results.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    json
+}
+
+fn find<'a>(results: &'a [ScenarioResult], name: &str) -> &'a ScenarioResult {
+    results
+        .iter()
+        .find(|r| r.name == name)
+        .expect("scenario present")
+}
+
+fn run_checks(sim: &ErrorReport, results: &[ScenarioResult]) {
+    let mut failures = Vec::new();
+
+    for r in results {
+        if !r.clean_shutdown {
+            failures.push(format!(
+                "{}: node threads did not shut down cleanly",
+                r.name
+            ));
+        }
+        if r.malformed > 0 {
+            failures.push(format!(
+                "{}: {} malformed frames on a trusted loopback cluster",
+                r.name, r.malformed
+            ));
+        }
+        if r.report.peers_with_estimate == 0 {
+            failures.push(format!("{}: no peer produced an estimate", r.name));
+        }
+    }
+
+    // Convergence: the clean cluster matches the simulator within 2x (plus
+    // a tiny absolute floor for when the simulator's error is ~0).
+    let clean = find(results, "clean");
+    let bound = sim.avg_cdf * 2.0 + 1e-3;
+    if clean.report.avg_cdf > bound {
+        failures.push(format!(
+            "clean deploy Err_a {:.3e} exceeds 2x simulator {:.3e}",
+            clean.report.avg_cdf, sim.avg_cdf
+        ));
+    }
+    if clean.report.peers_without_estimate > 0 {
+        failures.push(format!(
+            "clean deploy left {} peers without an estimate",
+            clean.report.peers_without_estimate
+        ));
+    }
+
+    // Under 10% socket loss the retransmit path must still converge.
+    let lossy = find(results, "loss10");
+    if lossy.shim_drops == 0 {
+        failures.push("loss10 ran but the shim never dropped a frame".into());
+    }
+    if lossy.report.avg_cdf > sim.avg_cdf * 2.0 + 1e-2 {
+        failures.push(format!(
+            "loss10 deploy Err_a {:.3e} did not converge (simulator {:.3e})",
+            lossy.report.avg_cdf, sim.avg_cdf
+        ));
+    }
+    if lossy.report.peers_without_estimate > 0 {
+        failures.push(format!(
+            "loss10 deploy left {} peers without an estimate",
+            lossy.report.peers_without_estimate
+        ));
+    }
+
+    if !failures.is_empty() {
+        for f in &failures {
+            eprintln!("bench_deploy check FAILED: {f}");
+        }
+        std::process::exit(1);
+    }
+}

@@ -28,7 +28,7 @@ enum FieldType {
     StrOrNull,
 }
 
-/// `rounds.jsonl` / `rounds.csv` schema: the 18 per-round fields.
+/// `rounds.jsonl` / `rounds.csv` schema: the 20 per-round fields.
 const ROUND_FIELDS: &[(&str, FieldType)] = &[
     ("round", FieldType::Uint),
     ("live_nodes", FieldType::Uint),
@@ -48,6 +48,8 @@ const ROUND_FIELDS: &[(&str, FieldType)] = &[
     ("leaves", FieldType::Uint),
     ("heal_bumps", FieldType::Uint),
     ("bootstraps", FieldType::Uint),
+    ("inflight_exchanges", FieldType::Uint),
+    ("queue_depth_max", FieldType::Uint),
 ];
 
 /// `events.jsonl` schema.
@@ -430,6 +432,6 @@ mod tests {
     #[test]
     fn csv_header_tracks_round_fields() {
         assert_eq!(expected_csv_header().split(',').count(), ROUND_FIELDS.len());
-        assert_eq!(ROUND_FIELDS.len(), 18);
+        assert_eq!(ROUND_FIELDS.len(), 20);
     }
 }

@@ -190,6 +190,25 @@ pub struct ErrorReport {
     pub peers_without_estimate: usize,
 }
 
+/// One peer's completed estimate in engine-independent form: the
+/// interpolation points plus the converged extrema, from which the full
+/// CDF rebuilds exactly (a [`crate::runner`] evaluation does not care
+/// whether the peer ran inside the simulator or behind a socket in the
+/// deploy runtime).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PeerEstimate {
+    /// Instance the estimate came from (estimates are grouped by it).
+    pub instance: u64,
+    /// Interpolation thresholds `t_i`.
+    pub thresholds: Vec<f64>,
+    /// Normalised fractions `f_i`.
+    pub fractions: Vec<f64>,
+    /// Converged global minimum.
+    pub min: f64,
+    /// Converged global maximum.
+    pub max: f64,
+}
+
 /// Evaluates every node's *latest completed estimate* against `truth`.
 ///
 /// `Err_m` over the whole domain is exact across all peers (estimates are
@@ -200,6 +219,32 @@ pub struct ErrorReport {
 /// in the paper's churn evaluation.
 pub fn evaluate_estimates(
     engine: &Engine<Adam2Protocol>,
+    truth: &StepCdf,
+    sample_peers: usize,
+    seed: u64,
+) -> ErrorReport {
+    let peers: Vec<Option<PeerEstimate>> = engine
+        .nodes()
+        .iter()
+        .map(|(_, node)| {
+            node.estimate().map(|est| PeerEstimate {
+                instance: est.instance.as_u64(),
+                thresholds: est.thresholds.clone(),
+                fractions: est.fractions.clone(),
+                min: est.min,
+                max: est.max,
+            })
+        })
+        .collect();
+    evaluate_peer_estimates(&peers, truth, sample_peers, seed)
+}
+
+/// Engine-independent core of [`evaluate_estimates`]: scores a list of
+/// per-peer estimates (one slot per peer; `None` = no estimate, error 1.0)
+/// against `truth`. The deploy harness feeds estimates collected over
+/// control sockets through the same metric pipeline the simulator uses.
+pub fn evaluate_peer_estimates(
+    estimates: &[Option<PeerEstimate>],
     truth: &StepCdf,
     sample_peers: usize,
     seed: u64,
@@ -217,15 +262,22 @@ pub fn evaluate_estimates(
     let mut sum_points = 0.0f64;
     let mut with = 0usize;
     let mut without = 0usize;
-    let mut cdfs: Vec<&InterpCdf> = Vec::new();
+    let mut cdfs: Vec<InterpCdf> = Vec::new();
 
-    for (_, node) in engine.nodes().iter() {
-        let Some(est) = node.estimate() else {
+    for est in estimates {
+        let Some(est) = est else {
+            without += 1;
+            continue;
+        };
+        // The stored fractions are the normalised values the estimate's
+        // CDF was interpolated from, so the rebuild is exact.
+        let Ok(cdf) = InterpCdf::from_points(est.min, est.max, &est.thresholds, &est.fractions)
+        else {
             without += 1;
             continue;
         };
         with += 1;
-        cdfs.push(&est.cdf);
+        cdfs.push(cdf);
         // Point errors, exact over all peers.
         let mut peer_sum = 0.0f64;
         for (t, f) in est.thresholds.iter().zip(&est.fractions) {
@@ -237,15 +289,13 @@ pub fn evaluate_estimates(
             sum_points += peer_sum / est.thresholds.len() as f64;
         }
         // Envelope per instance for the exact whole-domain Err_m.
-        let group = groups
-            .entry(est.instance.as_u64())
-            .or_insert_with(|| Group {
-                thresholds: est.thresholds.clone(),
-                min: est.min,
-                max: est.max,
-                lo: vec![f64::INFINITY; est.fractions.len()],
-                hi: vec![f64::NEG_INFINITY; est.fractions.len()],
-            });
+        let group = groups.entry(est.instance).or_insert_with(|| Group {
+            thresholds: est.thresholds.clone(),
+            min: est.min,
+            max: est.max,
+            lo: vec![f64::INFINITY; est.fractions.len()],
+            hi: vec![f64::NEG_INFINITY; est.fractions.len()],
+        });
         group.min = group.min.min(est.min);
         group.max = group.max.max(est.max);
         for (i, f) in est.fractions.iter().enumerate() {
@@ -271,7 +321,7 @@ pub fn evaluate_estimates(
     let mut sum_cdf = without as f64; // absent estimates count as 1.0
     let samples = sample_peers.min(cdfs.len());
     for _ in 0..samples {
-        let cdf = cdfs[rng.random_range(0..cdfs.len())];
+        let cdf = &cdfs[rng.random_range(0..cdfs.len())];
         let (_, a) = discrete_errors_over(truth, cdf, truth.min(), truth.max());
         sum_cdf += a;
     }

@@ -67,6 +67,7 @@ mod metrics;
 mod pchip;
 mod protocol;
 mod rank;
+pub mod runtime;
 mod selection;
 mod tuning;
 pub mod wire;

@@ -35,11 +35,11 @@ use crate::wire;
 /// Per-node state of the Adam2 protocol.
 #[derive(Debug, Clone)]
 pub struct Adam2Node {
-    value: AttrValue,
-    instances: Vec<InstanceLocal>,
-    estimate: Option<DistributionEstimate>,
-    n_estimate: f64,
-    joined_round: u64,
+    pub(crate) value: AttrValue,
+    pub(crate) instances: Vec<InstanceLocal>,
+    pub(crate) estimate: Option<DistributionEstimate>,
+    pub(crate) n_estimate: f64,
+    pub(crate) joined_round: u64,
 }
 
 impl Adam2Node {
@@ -223,7 +223,7 @@ impl Adam2Node {
         InstanceLocal::merge_symmetric(&mut self.instances[idx], &mut other);
     }
 
-    fn find_index(&self, id: InstanceId) -> Option<usize> {
+    pub(crate) fn find_index(&self, id: InstanceId) -> Option<usize> {
         self.instances.iter().position(|i| i.meta.id == id)
     }
 }
@@ -366,21 +366,46 @@ pub fn gossip_exchange_response_lost(
 /// partner's finished snapshot is exactly the `on_join` bootstrap, retried
 /// once estimates exist.
 ///
+/// Bootstrapping is *staleness-aware*: when several completed snapshots
+/// circulate (long-running systems start a new instance every `R` rounds,
+/// so a recovering node can meet partners holding estimates of different
+/// ages), a recovered node keeps upgrading to the freshest snapshot it
+/// encounters — highest `completed_round`, which orders instances by
+/// `end_round` plus any self-healing epoch extensions — rather than
+/// sticking with whatever it happened to adopt first. A staler partner
+/// snapshot never downgrades an already-adopted estimate.
+///
 /// Runs on both engine paths (the sequential `on_round` delegates to
 /// `par_apply`). Returns the bootstrap bitmask for
 /// [`ExchangeTraffic::bootstraps`] (bit 0 = `a`, bit 1 = `b`) so telemetry
-/// can count recoveries healed this way.
+/// can count recoveries healed this way; only the first adoption (no prior
+/// estimate) counts as a bootstrap, freshness upgrades are silent.
 fn bootstrap_estimates(a: &mut Adam2Node, b: &mut Adam2Node) -> u32 {
-    let mut mask = 0u32;
-    if a.estimate.is_none() && a.joined_round > 0 && b.estimate.is_some() {
-        a.estimate = b.estimate.clone();
-        a.n_estimate = b.n_estimate;
-        mask |= 1;
+    fn fresher(candidate: &DistributionEstimate, current: Option<&DistributionEstimate>) -> bool {
+        current.is_none_or(|cur| candidate.completed_round > cur.completed_round)
     }
-    if b.estimate.is_none() && b.joined_round > 0 && a.estimate.is_some() {
-        b.estimate = a.estimate.clone();
-        b.n_estimate = a.n_estimate;
-        mask |= 1 << 1;
+    let mut mask = 0u32;
+    if a.joined_round > 0 {
+        if let Some(offer) = b.estimate.as_ref() {
+            if fresher(offer, a.estimate.as_ref()) {
+                if a.estimate.is_none() {
+                    mask |= 1;
+                }
+                a.estimate = Some(offer.clone());
+                a.n_estimate = b.n_estimate;
+            }
+        }
+    }
+    if b.joined_round > 0 {
+        if let Some(offer) = a.estimate.as_ref() {
+            if fresher(offer, b.estimate.as_ref()) {
+                if b.estimate.is_none() {
+                    mask |= 1 << 1;
+                }
+                b.estimate = Some(offer.clone());
+                b.n_estimate = a.n_estimate;
+            }
+        }
     }
     mask
 }
@@ -741,7 +766,7 @@ impl Protocol for Adam2Protocol {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::cdf::StepCdf;
+    use crate::cdf::{InterpCdf, StepCdf};
     use crate::metrics::point_errors;
     use crate::selection::BootstrapKind;
     use adam2_sim::{ChurnModel, Engine, EngineConfig, ExchangeRepair};
@@ -1324,6 +1349,63 @@ mod tests {
         a.joined_round = 3; // recovered, but the partner has nothing to give
         assert_eq!(bootstrap_estimates(&mut a, &mut b), 0);
         assert!(a.estimate.is_none());
+    }
+
+    fn completed_estimate(completed_round: u64, n_hat: f64) -> DistributionEstimate {
+        let thresholds = vec![2.0, 3.0];
+        let fractions = vec![0.25, 0.75];
+        DistributionEstimate {
+            cdf: InterpCdf::from_points(1.0, 4.0, &thresholds, &fractions).unwrap(),
+            n_hat: Some(n_hat),
+            min: 1.0,
+            max: 4.0,
+            est_err_avg: None,
+            est_err_max: None,
+            instance: InstanceId::from_u64(7),
+            completed_round,
+            thresholds,
+            fractions,
+        }
+    }
+
+    #[test]
+    fn recovered_node_upgrades_to_fresher_estimate() {
+        // Staleness-aware bootstrap: a recovered node holding an estimate
+        // from an old instance upgrades when a partner offers a snapshot
+        // from a later-completed instance — but the upgrade is not counted
+        // as a bootstrap (the node was not estimate-less).
+        let mut a = Adam2Node::new(AttrValue::Single(1.0), 1.0);
+        let mut b = Adam2Node::new(AttrValue::Single(2.0), 1.0);
+        a.joined_round = 5;
+        a.estimate = Some(completed_estimate(15, 80.0));
+        a.n_estimate = 80.0;
+        b.estimate = Some(completed_estimate(45, 120.0));
+        b.n_estimate = 120.0;
+        assert_eq!(bootstrap_estimates(&mut a, &mut b), 0);
+        assert_eq!(a.estimate.as_ref().unwrap().completed_round, 45);
+        assert_eq!(a.n_estimate, 120.0);
+    }
+
+    #[test]
+    fn staler_snapshot_never_downgrades_an_estimate() {
+        // The reverse pairing: an already-fresh recovered node keeps its
+        // estimate when the partner's snapshot is older or the same age.
+        let mut a = Adam2Node::new(AttrValue::Single(1.0), 1.0);
+        let mut b = Adam2Node::new(AttrValue::Single(2.0), 1.0);
+        a.joined_round = 5;
+        a.estimate = Some(completed_estimate(45, 120.0));
+        a.n_estimate = 120.0;
+        b.estimate = Some(completed_estimate(15, 80.0));
+        b.n_estimate = 80.0;
+        assert_eq!(bootstrap_estimates(&mut a, &mut b), 0);
+        assert_eq!(a.estimate.as_ref().unwrap().completed_round, 45);
+        assert_eq!(a.n_estimate, 120.0);
+        // Equal freshness: also a no-op.
+        b.joined_round = 5;
+        b.estimate = Some(completed_estimate(45, 90.0));
+        b.n_estimate = 90.0;
+        assert_eq!(bootstrap_estimates(&mut a, &mut b), 0);
+        assert_eq!(b.n_estimate, 90.0);
     }
 
     #[test]

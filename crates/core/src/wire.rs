@@ -330,6 +330,69 @@ mod tests {
         assert!(size < 900, "framing overhead must stay small, got {size}");
     }
 
+    fn sized_payload(lambda: usize, verify: usize) -> InstancePayload {
+        InstancePayload {
+            id: 1,
+            start_round: 0,
+            end_round: 30,
+            multi: false,
+            epoch: 0,
+            thresholds: vec![0.5; lambda],
+            fractions: vec![0.25; lambda],
+            verify_thresholds: vec![0.75; verify],
+            verify_fractions: vec![0.5; verify],
+            weight: 1.0,
+            count: 1.0,
+            min: 0.0,
+            max: 1.0,
+        }
+    }
+
+    #[test]
+    fn payload_len_matches_encoding_at_size_edges() {
+        // The sim charges bytes via payload_len/message_len without
+        // serialising; the deploy runtime serialises for real. Both
+        // accountings must agree at the λ/verify extremes the u16 length
+        // fields allow: 0, 1, and u16::MAX-adjacent.
+        let max = u16::MAX as usize;
+        for (lambda, verify) in [
+            (0, 0),
+            (0, 1),
+            (1, 0),
+            (1, 1),
+            (max - 1, 0),
+            (max, 0),
+            (0, max),
+            (1, max - 1),
+        ] {
+            let msg = GossipMessage {
+                seq: 9,
+                instances: vec![sized_payload(lambda, verify)],
+            };
+            let encoded = msg.encode();
+            assert_eq!(
+                encoded.len(),
+                HEADER_LEN + payload_len(lambda, verify),
+                "λ={lambda} verify={verify}"
+            );
+            assert_eq!(encoded.len(), msg.encoded_len());
+            let decoded = GossipMessage::decode(encoded).unwrap();
+            assert_eq!(decoded.instances[0].thresholds.len(), lambda);
+            assert_eq!(decoded.instances[0].verify_thresholds.len(), verify);
+        }
+    }
+
+    #[test]
+    fn message_len_matches_encoding_for_mixed_instances() {
+        let locals = [sample_local(0), sample_local(1), sample_local(7)];
+        let msg = GossipMessage::from_locals(&locals);
+        assert_eq!(msg.encode().len(), message_len(&locals));
+        assert_eq!(
+            message_len(std::iter::empty::<&InstanceLocal>()),
+            HEADER_LEN
+        );
+    }
+
     #[test]
     fn decode_rejects_truncation() {
         let locals = [sample_local(2)];

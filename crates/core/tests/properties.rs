@@ -360,3 +360,61 @@ proptest! {
         }
     }
 }
+
+fn fuzz_message(thresholds: Vec<f64>) -> bytes::Bytes {
+    let meta = meta_for(thresholds, false);
+    let local = InstanceLocal::join(meta, &AttrValue::Single(1.0), true);
+    GossipMessage::from_locals([&local]).encode()
+}
+
+proptest! {
+    // ---- Wire hardening (fuzz) -----------------------------------------
+    //
+    // The deploy runtime feeds frames straight off a socket into
+    // `GossipMessage::decode`; a malformed frame must come back as a
+    // `WireError` — never a panic, never an unbounded allocation.
+
+    #[test]
+    fn decode_never_panics_on_garbage(raw in prop::collection::vec(any::<u8>(), 0..2048)) {
+        let _ = GossipMessage::decode(bytes::Bytes::from(raw));
+    }
+
+    #[test]
+    fn decode_rejects_every_truncation(
+        thresholds in sorted_thresholds(),
+        cut_frac in 0.0f64..1.0,
+    ) {
+        let encoded = fuzz_message(thresholds);
+        let cut = ((encoded.len() - 1) as f64 * cut_frac) as usize;
+        prop_assert!(
+            GossipMessage::decode(encoded.slice(..cut)).is_err(),
+            "prefix of {cut} bytes decoded"
+        );
+    }
+
+    #[test]
+    fn decode_survives_single_byte_corruption(
+        thresholds in sorted_thresholds(),
+        pos_frac in 0.0f64..1.0,
+        xor in 1u8..=255,
+    ) {
+        let mut raw = fuzz_message(thresholds).to_vec();
+        let pos = ((raw.len() - 1) as f64 * pos_frac) as usize;
+        raw[pos] ^= xor;
+        // May decode to different values or fail — must not panic.
+        let _ = GossipMessage::decode(bytes::Bytes::from(raw));
+    }
+
+    #[test]
+    fn decode_rejects_inflated_instance_counts(
+        thresholds in sorted_thresholds(),
+        count in 2u16..=u16::MAX,
+    ) {
+        // The header claims `count` instances but only one follows: the
+        // decoder must hit Truncated instead of trusting the count (which
+        // would also be an allocation amplification vector).
+        let mut raw = fuzz_message(thresholds).to_vec();
+        raw[8..10].copy_from_slice(&count.to_le_bytes());
+        prop_assert!(GossipMessage::decode(bytes::Bytes::from(raw)).is_err());
+    }
+}

@@ -1,0 +1,483 @@
+//! Cluster driver: boots N loopback nodes, bootstraps their views through
+//! a seed node, injects aggregation instances, samples telemetry, collects
+//! estimates over the control sockets, and joins everything on shutdown.
+//!
+//! The driver is the deploy-side analogue of the simulator's engine loop,
+//! except the nodes run themselves — the driver only observes (per-tick
+//! stats sampling into `adam2-telemetry`) and speaks the control frames
+//! ([`Frame::StartInstance`], [`Frame::GetEstimate`]).
+
+use std::io;
+use std::net::{Ipv4Addr, SocketAddr, TcpStream};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use adam2_core::wire::GossipMessage;
+use adam2_core::{AttrValue, InstanceLocal, InstanceMeta};
+use adam2_telemetry::{CounterId, GaugeId, HistogramId, RoundSnapshot, RunManifest, Telemetry};
+
+use crate::frame::{read_frame, write_frame, EstimateWire, Frame};
+use crate::node::{NodeConfig, NodeHandle};
+use crate::shim::LossShim;
+use crate::stats::StatsSnapshot;
+
+/// Everything needed to boot a cluster.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Per-node timing and robustness knobs.
+    pub node: NodeConfig,
+    /// Socket-level fault injection shared by every node.
+    pub shim: LossShim,
+    /// Initial system-size guess handed to every `Adam2Node`.
+    pub initial_n_estimate: f64,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        Self {
+            node: NodeConfig::default(),
+            shim: LossShim::none(),
+            initial_n_estimate: 1.0,
+        }
+    }
+}
+
+/// Summary returned by [`Cluster::shutdown`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClusterReport {
+    /// Whether every node thread joined without panicking.
+    pub clean: bool,
+    /// Nodes the cluster ran.
+    pub nodes: usize,
+}
+
+/// A running loopback cluster.
+pub struct Cluster {
+    nodes: Vec<NodeHandle>,
+    config: ClusterConfig,
+}
+
+impl Cluster {
+    /// Spawns one node per attribute value and bootstraps every view
+    /// through the first node (the seed/introducer): each joiner sends a
+    /// real `Join` frame to the seed's listener and admits the `JoinAck`
+    /// digest it gets back.
+    pub fn launch(values: Vec<AttrValue>, config: ClusterConfig) -> io::Result<Self> {
+        assert!(values.len() >= 2, "a cluster needs at least two nodes");
+        let epoch = Instant::now();
+        let shim = Arc::new(config.shim.clone());
+        let mut nodes = Vec::with_capacity(values.len());
+        for (i, value) in values.into_iter().enumerate() {
+            let mut node_config = config.node.clone();
+            node_config.seed = config.node.seed.wrapping_add(i as u64);
+            nodes.push(NodeHandle::spawn(
+                value,
+                config.initial_n_estimate,
+                node_config,
+                Arc::clone(&shim),
+                epoch,
+            )?);
+        }
+        let cluster = Self { nodes, config };
+        cluster.bootstrap()?;
+        Ok(cluster)
+    }
+
+    /// Joins every non-seed node through the introducer, with retries so a
+    /// listener that is still starting up doesn't fail the boot.
+    fn bootstrap(&self) -> io::Result<()> {
+        let seed_port = self.nodes[0].port;
+        let timeout = self.config.node.io_timeout.max(Duration::from_millis(50));
+        for node in &self.nodes[1..] {
+            let mut last_err = io::Error::other("join never attempted");
+            let mut joined = false;
+            for _ in 0..10 {
+                match control_request(seed_port, &Frame::Join { port: node.port }, timeout) {
+                    Ok(Frame::JoinAck { peers }) => {
+                        node.shared.admit_peers(&peers);
+                        joined = true;
+                        break;
+                    }
+                    Ok(_) => {
+                        last_err = io::Error::other("unexpected join reply");
+                    }
+                    Err(e) => last_err = e,
+                }
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            if !joined {
+                return Err(last_err);
+            }
+        }
+        Ok(())
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Always false — [`Cluster::launch`] requires two nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The cluster's current gossip round (all nodes share the clock).
+    pub fn current_round(&self) -> u64 {
+        self.nodes[0].shared.current_round()
+    }
+
+    /// Listener port of node `i`.
+    pub fn port(&self, i: usize) -> u16 {
+        self.nodes[i].port
+    }
+
+    /// The running nodes (driver-side observation only).
+    pub fn nodes(&self) -> &[NodeHandle] {
+        &self.nodes
+    }
+
+    /// Injects `meta` as a new aggregation instance by sending
+    /// `StartInstance` to node `initiator` over its control socket. The
+    /// instance then spreads epidemically through the gossip exchanges.
+    pub fn start_instance(&self, initiator: usize, meta: Arc<InstanceMeta>) -> io::Result<()> {
+        // Only the meta fields travel; the carried indicator state is a
+        // placeholder the receiving node ignores (it re-joins from its own
+        // value as initiator).
+        let local = InstanceLocal::join(meta, &AttrValue::Single(0.0), false);
+        let msg = GossipMessage::from_locals(std::iter::once(&local));
+        let timeout = self.config.node.io_timeout.max(Duration::from_millis(50));
+        match control_request(
+            self.nodes[initiator].port,
+            &Frame::StartInstance { msg },
+            timeout,
+        )? {
+            Frame::Ack => Ok(()),
+            _ => Err(io::Error::other("unexpected start reply")),
+        }
+    }
+
+    /// Polls every node's control socket for a distribution estimate until
+    /// all answered or `deadline` elapses. Returns one entry per node.
+    pub fn collect_estimates(&self, deadline: Duration) -> Vec<Option<EstimateWire>> {
+        let started = Instant::now();
+        let timeout = self.config.node.io_timeout.max(Duration::from_millis(50));
+        let mut out: Vec<Option<EstimateWire>> = vec![None; self.nodes.len()];
+        loop {
+            for (slot, node) in out.iter_mut().zip(&self.nodes) {
+                if slot.is_some() {
+                    continue;
+                }
+                if let Ok(Frame::Estimate(est)) =
+                    control_request(node.port, &Frame::GetEstimate, timeout)
+                {
+                    *slot = est;
+                }
+            }
+            if out.iter().all(Option::is_some) || started.elapsed() >= deadline {
+                return out;
+            }
+            std::thread::sleep(self.config.node.tick / 2);
+        }
+    }
+
+    /// Stops every node and joins all threads; the listeners close when
+    /// their threads exit.
+    pub fn shutdown(self) -> ClusterReport {
+        let nodes = self.nodes.len();
+        let mut clean = true;
+        for node in self.nodes {
+            clean &= node.shutdown();
+        }
+        ClusterReport { clean, nodes }
+    }
+}
+
+/// One control round-trip: connect, send `frame`, read the reply.
+fn control_request(port: u16, frame: &Frame, timeout: Duration) -> io::Result<Frame> {
+    let addr = SocketAddr::from((Ipv4Addr::LOCALHOST, port));
+    let mut stream = TcpStream::connect_timeout(&addr, timeout)?;
+    stream.set_read_timeout(Some(timeout))?;
+    stream.set_write_timeout(Some(timeout))?;
+    let _ = stream.set_nodelay(true);
+    write_frame(&mut stream, frame)?;
+    match read_frame(&mut stream)? {
+        Ok(frame) => Ok(frame),
+        Err(e) => Err(io::Error::new(io::ErrorKind::InvalidData, e.to_string())),
+    }
+}
+
+/// Per-tick telemetry sampler: diffs every node's [`StatsSnapshot`] against
+/// the previous sample and folds the deltas into one [`RoundSnapshot`] plus
+/// the deploy gauge/counter/histogram set.
+pub struct ClusterTelemetry {
+    /// The backing store, exported via [`ClusterTelemetry::export`].
+    pub telemetry: Telemetry,
+    g_live_nodes: GaugeId,
+    g_inflight: GaugeId,
+    g_queue_depth: GaugeId,
+    c_frames: CounterId,
+    c_bytes: CounterId,
+    c_malformed: CounterId,
+    c_shim_drops: CounterId,
+    c_retransmissions: CounterId,
+    c_backpressure: CounterId,
+    c_connections: CounterId,
+    h_latency: HistogramId,
+    prev: Vec<StatsSnapshot>,
+}
+
+impl ClusterTelemetry {
+    /// Registers the deploy metric set for an `n`-node cluster.
+    pub fn new(n: usize) -> Self {
+        let mut telemetry = Telemetry::default();
+        let m = &mut telemetry.metrics;
+        let g_live_nodes = m.gauge("live_nodes");
+        let g_inflight = m.gauge("inflight_exchanges");
+        let g_queue_depth = m.gauge("queue_depth");
+        let c_frames = m.counter("deploy_frames");
+        let c_bytes = m.counter("deploy_bytes");
+        let c_malformed = m.counter("deploy_malformed_frames");
+        let c_shim_drops = m.counter("deploy_shim_drops");
+        let c_retransmissions = m.counter("deploy_retransmissions");
+        let c_backpressure = m.counter("deploy_backpressure_drops");
+        let c_connections = m.counter("deploy_connections_accepted");
+        let h_latency = m.histogram("exchange_latency_us");
+        Self {
+            telemetry,
+            g_live_nodes,
+            g_inflight,
+            g_queue_depth,
+            c_frames,
+            c_bytes,
+            c_malformed,
+            c_shim_drops,
+            c_retransmissions,
+            c_backpressure,
+            c_connections,
+            h_latency,
+            prev: vec![StatsSnapshot::default(); n],
+        }
+    }
+
+    /// Samples every node and records one snapshot for `round`. Call once
+    /// per tick from the driver loop.
+    pub fn sample(&mut self, cluster: &Cluster, round: u64) {
+        let mut snap = RoundSnapshot::empty(round);
+        snap.live_nodes = cluster.len() as u64;
+        let mut latencies = Vec::new();
+        for (node, prev) in cluster.nodes().iter().zip(self.prev.iter_mut()) {
+            let now = node.shared.stats.snapshot();
+            let delta = now.delta(prev);
+            *prev = now;
+            snap.round_bytes += delta.bytes_sent;
+            snap.round_msgs += delta.frames_sent;
+            snap.exchanges += delta.exchanges_started;
+            snap.repairs += delta.retransmissions;
+            snap.aborts += delta.exchanges_aborted;
+            // Cluster-wide peak concurrency is bounded by the sum of the
+            // per-node peaks; the max of per-node queue peaks is exact.
+            snap.inflight_exchanges += delta.inflight_peak;
+            snap.queue_depth_max = snap.queue_depth_max.max(delta.queue_depth_peak);
+            let m = &mut self.telemetry.metrics;
+            m.add(self.c_frames, delta.frames_sent + delta.frames_received);
+            m.add(self.c_bytes, delta.bytes_sent + delta.bytes_received);
+            m.add(self.c_malformed, delta.malformed_frames);
+            m.add(self.c_shim_drops, delta.shim_dropped);
+            m.add(self.c_retransmissions, delta.retransmissions);
+            m.add(self.c_backpressure, delta.backpressure_drops);
+            m.add(self.c_connections, delta.connections_accepted);
+            latencies.extend(node.shared.stats.take_latencies());
+            node.shared.stats.reset_peaks();
+        }
+        let m = &mut self.telemetry.metrics;
+        m.set(self.g_live_nodes, snap.live_nodes as f64);
+        m.set(self.g_inflight, snap.inflight_exchanges as f64);
+        m.set(self.g_queue_depth, snap.queue_depth_max as f64);
+        for us in latencies {
+            m.record(self.h_latency, us);
+        }
+        self.telemetry.push_snapshot(snap);
+    }
+
+    /// Exports the standard telemetry file set under `dir`.
+    pub fn export(&self, dir: &std::path::Path, manifest: &RunManifest) -> io::Result<()> {
+        self.telemetry.export(dir, manifest)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adam2_core::InstanceId;
+    use std::io::Write as _;
+
+    fn test_meta(cluster: &Cluster, duration: u64, lambda_points: &[f64]) -> Arc<InstanceMeta> {
+        let start_round = cluster.current_round() + 2;
+        Arc::new(InstanceMeta {
+            id: InstanceId::from_u64(7),
+            thresholds: lambda_points.to_vec().into(),
+            verify_thresholds: Vec::new().into(),
+            start_round,
+            end_round: start_round + duration,
+            multi: false,
+        })
+    }
+
+    fn fast_config() -> ClusterConfig {
+        ClusterConfig {
+            node: NodeConfig {
+                tick: Duration::from_millis(25),
+                io_timeout: Duration::from_millis(15),
+                retries: 2,
+                queue_capacity: 4,
+                view_size: 10,
+                seed: 99,
+            },
+            shim: LossShim::none(),
+            initial_n_estimate: 1.0,
+        }
+    }
+
+    fn wait_past(cluster: &Cluster, round: u64) {
+        while cluster.current_round() <= round {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+    }
+
+    #[test]
+    fn loopback_cluster_converges_to_an_estimate() {
+        let n = 8;
+        let values: Vec<AttrValue> = (0..n).map(|i| AttrValue::Single(i as f64)).collect();
+        let cluster = Cluster::launch(values, fast_config()).expect("launch");
+        let mut sampler = ClusterTelemetry::new(n);
+
+        let meta = test_meta(&cluster, 24, &[2.0, 4.0, 6.0]);
+        cluster.start_instance(0, meta.clone()).expect("start");
+        while cluster.current_round() <= meta.end_round {
+            sampler.sample(&cluster, cluster.current_round());
+            std::thread::sleep(Duration::from_millis(25));
+        }
+        let estimates = cluster.collect_estimates(Duration::from_secs(5));
+        let got = estimates.iter().flatten().count();
+        assert_eq!(got, n, "every node must report an estimate");
+        for est in estimates.iter().flatten() {
+            assert_eq!(est.instance, 7);
+            assert_eq!(est.thresholds, vec![2.0, 4.0, 6.0]);
+            // 8 values 0..=7, so F(4.0) should be around 5/8.
+            let f = est.fractions[1];
+            assert!(
+                (0.0..=1.0).contains(&f),
+                "normalised fraction out of range: {f}"
+            );
+        }
+        // Push-pull averaging keeps total weight mass at 1, so size
+        // estimates land near the true N for most nodes.
+        let n_hats: Vec<f64> = estimates.iter().flatten().filter_map(|e| e.n_hat).collect();
+        assert!(!n_hats.is_empty(), "at least one node estimates N");
+        let mean = n_hats.iter().sum::<f64>() / n_hats.len() as f64;
+        assert!(
+            mean > 2.0 && mean < 32.0,
+            "mean N-hat {mean} implausible for an 8-node cluster"
+        );
+
+        let exchanges: u64 = sampler
+            .telemetry
+            .snapshots()
+            .iter()
+            .map(|s| s.exchanges)
+            .sum();
+        assert!(exchanges > 0, "telemetry must see gossip traffic");
+
+        let report = cluster.shutdown();
+        assert!(report.clean, "threads must join cleanly");
+        assert_eq!(report.nodes, n);
+    }
+
+    #[test]
+    fn garbage_frames_are_counted_not_fatal() {
+        let values = vec![AttrValue::Single(1.0), AttrValue::Single(2.0)];
+        let cluster = Cluster::launch(values, fast_config()).expect("launch");
+        let port = cluster.port(0);
+
+        // A syntactically valid length prefix followed by junk.
+        let addr = SocketAddr::from((Ipv4Addr::LOCALHOST, port));
+        let mut stream =
+            TcpStream::connect_timeout(&addr, Duration::from_millis(200)).expect("connect");
+        let mut garbage = vec![9u8; 64];
+        garbage.splice(0..4, 60u32.to_le_bytes());
+        stream.write_all(&garbage).expect("write garbage");
+        drop(stream);
+
+        // An oversized length prefix.
+        let mut stream =
+            TcpStream::connect_timeout(&addr, Duration::from_millis(200)).expect("connect");
+        stream
+            .write_all(&(crate::frame::MAX_FRAME as u32 + 1).to_le_bytes())
+            .expect("write oversized");
+        drop(stream);
+
+        // Give the listener a moment to process both connections.
+        let deadline = Instant::now() + Duration::from_secs(2);
+        while cluster.nodes()[0].shared.stats.snapshot().malformed_frames < 2
+            && Instant::now() < deadline
+        {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(
+            cluster.nodes()[0].shared.stats.snapshot().malformed_frames,
+            2,
+            "both bad frames must be counted as malformed"
+        );
+
+        // The node still answers control traffic afterwards.
+        let reply = control_request(port, &Frame::GetEstimate, Duration::from_millis(200))
+            .expect("control after garbage");
+        assert!(matches!(reply, Frame::Estimate(None)));
+
+        assert!(cluster.shutdown().clean);
+    }
+
+    #[test]
+    fn lossy_cluster_still_converges_via_repair() {
+        let n = 6;
+        let values: Vec<AttrValue> = (0..n).map(|i| AttrValue::Single(i as f64)).collect();
+        let mut config = fast_config();
+        config.shim = LossShim::flat(7, 0.10);
+        let cluster = Cluster::launch(values, config).expect("launch");
+
+        let meta = test_meta(&cluster, 24, &[1.0, 3.0]);
+        cluster.start_instance(0, meta.clone()).expect("start");
+        wait_past(&cluster, meta.end_round);
+
+        let estimates = cluster.collect_estimates(Duration::from_secs(5));
+        let got = estimates.iter().flatten().count();
+        assert!(
+            got >= n - 1,
+            "only {got}/{n} nodes produced an estimate under 10% loss"
+        );
+        // Loss must actually have been injected for this test to mean
+        // anything.
+        let drops: u64 = cluster
+            .nodes()
+            .iter()
+            .map(|node| node.shared.stats.snapshot().shim_dropped)
+            .sum();
+        assert!(drops > 0, "shim never fired at 10% loss");
+        assert!(cluster.shutdown().clean);
+    }
+
+    #[test]
+    fn views_bootstrap_through_the_seed() {
+        let values: Vec<AttrValue> = (0..4).map(|i| AttrValue::Single(i as f64)).collect();
+        let cluster = Cluster::launch(values, fast_config()).expect("launch");
+        // The seed learned every joiner; every joiner knows at least the
+        // seed.
+        let seed_view = cluster.nodes()[0].shared.view();
+        for node in &cluster.nodes()[1..] {
+            assert!(seed_view.contains(&node.port));
+            assert!(node.shared.view().contains(&cluster.port(0)));
+        }
+        assert!(cluster.shutdown().clean);
+    }
+}

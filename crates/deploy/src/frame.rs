@@ -1,0 +1,475 @@
+//! Length-prefixed frame protocol spoken on the loopback sockets.
+//!
+//! Every frame is `u32 length (LE) + u8 kind + body`; the length covers
+//! the kind byte and the body and is capped at [`MAX_FRAME`] so a garbage
+//! length prefix can never trigger an unbounded read or allocation. Gossip
+//! payloads are the exact [`GossipMessage`] bytes from `adam2_core::wire`
+//! — the format the simulator charges per exchange — so the deploy runtime
+//! and the simulator account identical bytes for identical state.
+//!
+//! All nodes live on 127.0.0.1, so peers are identified by their u16
+//! listener port throughout.
+
+use std::io::{self, Read, Write};
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use adam2_core::wire::GossipMessage;
+use adam2_core::{DistributionEstimate, WireError};
+
+/// Hard cap on the encoded size of one frame (kind byte + body).
+pub const MAX_FRAME: usize = 1 << 20;
+
+const KIND_REQUEST: u8 = 1;
+const KIND_RESPONSE: u8 = 2;
+const KIND_JOIN: u8 = 3;
+const KIND_JOIN_ACK: u8 = 4;
+const KIND_START_INSTANCE: u8 = 5;
+const KIND_GET_ESTIMATE: u8 = 6;
+const KIND_ESTIMATE: u8 = 7;
+const KIND_ACK: u8 = 8;
+
+/// Why an incoming frame was rejected. The runtime counts these and drops
+/// the connection — a malformed frame must never panic a node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrameError {
+    /// The length prefix exceeds [`MAX_FRAME`].
+    Oversized(usize),
+    /// The kind byte is not part of the protocol.
+    UnknownKind(u8),
+    /// The body ended before its declared contents.
+    Truncated,
+    /// The embedded gossip payload failed to decode.
+    Wire(WireError),
+}
+
+impl From<WireError> for FrameError {
+    fn from(e: WireError) -> Self {
+        FrameError::Wire(e)
+    }
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Oversized(len) => write!(f, "frame length {len} exceeds {MAX_FRAME}"),
+            FrameError::UnknownKind(kind) => write!(f, "unknown frame kind {kind}"),
+            FrameError::Truncated => write!(f, "truncated frame body"),
+            FrameError::Wire(e) => write!(f, "bad gossip payload: {e:?}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// A node's distribution estimate as sent over the control socket —
+/// everything the bench harness needs to rebuild the interpolated CDF and
+/// score it against ground truth.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EstimateWire {
+    /// Instance that produced the estimate.
+    pub instance: u64,
+    /// Round (deploy gossip clock) at which it completed.
+    pub completed_round: u64,
+    /// System-size estimate (`NaN` encodes "no weight received").
+    pub n_hat: Option<f64>,
+    /// Converged global minimum.
+    pub min: f64,
+    /// Converged global maximum.
+    pub max: f64,
+    /// Interpolation thresholds.
+    pub thresholds: Vec<f64>,
+    /// Aggregated fractions at the thresholds.
+    pub fractions: Vec<f64>,
+}
+
+impl From<&DistributionEstimate> for EstimateWire {
+    fn from(est: &DistributionEstimate) -> Self {
+        Self {
+            instance: est.instance.as_u64(),
+            completed_round: est.completed_round,
+            n_hat: est.n_hat,
+            min: est.min,
+            max: est.max,
+            thresholds: est.thresholds.clone(),
+            fractions: est.fractions.clone(),
+        }
+    }
+}
+
+/// One frame of the deploy protocol.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Frame {
+    /// Push half of an exchange: the initiator's gossip state plus the
+    /// port its own listener answers on (so the responder can extend its
+    /// view).
+    Request {
+        /// Initiator's listener port.
+        sender_port: u16,
+        /// Initiator's instance state snapshot.
+        msg: GossipMessage,
+    },
+    /// Pull half of an exchange: the responder's pre-merge state plus a
+    /// peer-sampling digest of its view.
+    Response {
+        /// Sample of the responder's view (its own port included).
+        peers: Vec<u16>,
+        /// Responder's pre-merge instance state.
+        msg: GossipMessage,
+    },
+    /// Bootstrap: a starting node introduces itself to the seed node.
+    Join {
+        /// Joiner's listener port.
+        port: u16,
+    },
+    /// Bootstrap reply: ports the joiner should seed its view with.
+    JoinAck {
+        /// Current member sample.
+        peers: Vec<u16>,
+    },
+    /// Control: instructs the receiving node to begin the carried instance
+    /// as initiator (the harness injects the instance this way).
+    StartInstance {
+        /// Exactly one instance payload describing the new instance.
+        msg: GossipMessage,
+    },
+    /// Control: asks for the node's current distribution estimate.
+    GetEstimate,
+    /// Control reply: the estimate, if any instance completed yet.
+    Estimate(Option<EstimateWire>),
+    /// Generic acknowledgement for control frames.
+    Ack,
+}
+
+fn put_ports(buf: &mut BytesMut, ports: &[u16]) {
+    buf.put_u16_le(ports.len() as u16);
+    for p in ports {
+        buf.put_u16_le(*p);
+    }
+}
+
+fn get_ports(buf: &mut Bytes) -> Result<Vec<u16>, FrameError> {
+    if buf.remaining() < 2 {
+        return Err(FrameError::Truncated);
+    }
+    let n = buf.get_u16_le() as usize;
+    if buf.remaining() < n * 2 {
+        return Err(FrameError::Truncated);
+    }
+    Ok((0..n).map(|_| buf.get_u16_le()).collect())
+}
+
+fn put_f64_vec(buf: &mut BytesMut, values: &[f64]) {
+    buf.put_u16_le(values.len() as u16);
+    for v in values {
+        buf.put_f64_le(*v);
+    }
+}
+
+fn get_f64_vec(buf: &mut Bytes) -> Result<Vec<f64>, FrameError> {
+    if buf.remaining() < 2 {
+        return Err(FrameError::Truncated);
+    }
+    let n = buf.get_u16_le() as usize;
+    if buf.remaining() < n * 8 {
+        return Err(FrameError::Truncated);
+    }
+    Ok((0..n).map(|_| buf.get_f64_le()).collect())
+}
+
+impl Frame {
+    fn kind(&self) -> u8 {
+        match self {
+            Frame::Request { .. } => KIND_REQUEST,
+            Frame::Response { .. } => KIND_RESPONSE,
+            Frame::Join { .. } => KIND_JOIN,
+            Frame::JoinAck { .. } => KIND_JOIN_ACK,
+            Frame::StartInstance { .. } => KIND_START_INSTANCE,
+            Frame::GetEstimate => KIND_GET_ESTIMATE,
+            Frame::Estimate(_) => KIND_ESTIMATE,
+            Frame::Ack => KIND_ACK,
+        }
+    }
+
+    /// Encodes the frame, length prefix included.
+    pub fn encode(&self) -> Bytes {
+        let mut body = BytesMut::new();
+        body.put_u8(self.kind());
+        match self {
+            Frame::Request { sender_port, msg } => {
+                body.put_u16_le(*sender_port);
+                body.put_slice(msg.encode().as_slice());
+            }
+            Frame::Response { peers, msg } => {
+                put_ports(&mut body, peers);
+                body.put_slice(msg.encode().as_slice());
+            }
+            Frame::Join { port } => body.put_u16_le(*port),
+            Frame::JoinAck { peers } => put_ports(&mut body, peers),
+            Frame::StartInstance { msg } => body.put_slice(msg.encode().as_slice()),
+            Frame::GetEstimate | Frame::Ack => {}
+            Frame::Estimate(est) => match est {
+                None => body.put_u8(0),
+                Some(e) => {
+                    body.put_u8(1);
+                    body.put_u64_le(e.instance);
+                    body.put_u64_le(e.completed_round);
+                    body.put_f64_le(e.n_hat.unwrap_or(f64::NAN));
+                    body.put_f64_le(e.min);
+                    body.put_f64_le(e.max);
+                    put_f64_vec(&mut body, &e.thresholds);
+                    put_f64_vec(&mut body, &e.fractions);
+                }
+            },
+        }
+        assert!(body.len() <= MAX_FRAME, "frame exceeds MAX_FRAME");
+        let body = body.freeze();
+        let mut framed = BytesMut::with_capacity(4 + body.len());
+        framed.put_u32_le(body.len() as u32);
+        framed.put_slice(body.as_slice());
+        framed.freeze()
+    }
+
+    /// Decodes a frame body (kind byte + payload, length prefix already
+    /// stripped and validated against [`MAX_FRAME`]).
+    pub fn decode(mut body: Bytes) -> Result<Self, FrameError> {
+        if body.remaining() < 1 {
+            return Err(FrameError::Truncated);
+        }
+        let kind = body.get_u8();
+        match kind {
+            KIND_REQUEST => {
+                if body.remaining() < 2 {
+                    return Err(FrameError::Truncated);
+                }
+                let sender_port = body.get_u16_le();
+                let msg = GossipMessage::decode(body)?;
+                Ok(Frame::Request { sender_port, msg })
+            }
+            KIND_RESPONSE => {
+                let peers = get_ports(&mut body)?;
+                let msg = GossipMessage::decode(body)?;
+                Ok(Frame::Response { peers, msg })
+            }
+            KIND_JOIN => {
+                if body.remaining() < 2 {
+                    return Err(FrameError::Truncated);
+                }
+                Ok(Frame::Join {
+                    port: body.get_u16_le(),
+                })
+            }
+            KIND_JOIN_ACK => Ok(Frame::JoinAck {
+                peers: get_ports(&mut body)?,
+            }),
+            KIND_START_INSTANCE => Ok(Frame::StartInstance {
+                msg: GossipMessage::decode(body)?,
+            }),
+            KIND_GET_ESTIMATE => Ok(Frame::GetEstimate),
+            KIND_ESTIMATE => {
+                if body.remaining() < 1 {
+                    return Err(FrameError::Truncated);
+                }
+                if body.get_u8() == 0 {
+                    return Ok(Frame::Estimate(None));
+                }
+                if body.remaining() < 8 * 5 {
+                    return Err(FrameError::Truncated);
+                }
+                let instance = body.get_u64_le();
+                let completed_round = body.get_u64_le();
+                let n_hat = body.get_f64_le();
+                let min = body.get_f64_le();
+                let max = body.get_f64_le();
+                let thresholds = get_f64_vec(&mut body)?;
+                let fractions = get_f64_vec(&mut body)?;
+                Ok(Frame::Estimate(Some(EstimateWire {
+                    instance,
+                    completed_round,
+                    n_hat: if n_hat.is_nan() { None } else { Some(n_hat) },
+                    min,
+                    max,
+                    thresholds,
+                    fractions,
+                })))
+            }
+            KIND_ACK => Ok(Frame::Ack),
+            other => Err(FrameError::UnknownKind(other)),
+        }
+    }
+}
+
+/// Reads one frame. The outer `io::Result` carries socket-level failures
+/// (timeout, reset, EOF mid-frame); the inner result reports protocol
+/// violations the caller should count as malformed and answer by dropping
+/// the connection.
+pub fn read_frame(stream: &mut impl Read) -> io::Result<Result<Frame, FrameError>> {
+    read_frame_counted(stream).map(|(_, frame)| frame)
+}
+
+/// Like [`read_frame`], additionally reporting the total bytes consumed
+/// (length prefix included) so callers can meter traffic.
+pub fn read_frame_counted(
+    stream: &mut impl Read,
+) -> io::Result<(usize, Result<Frame, FrameError>)> {
+    let mut len_buf = [0u8; 4];
+    stream.read_exact(&mut len_buf)?;
+    let len = u32::from_le_bytes(len_buf) as usize;
+    if len > MAX_FRAME {
+        // Don't try to drain an adversarial length; the caller closes the
+        // connection.
+        return Ok((4, Err(FrameError::Oversized(len))));
+    }
+    let mut body = vec![0u8; len];
+    stream.read_exact(&mut body)?;
+    Ok((4 + len, Frame::decode(Bytes::from(body))))
+}
+
+/// Writes one frame (length prefix included). Returns the bytes written.
+pub fn write_frame(stream: &mut impl Write, frame: &Frame) -> io::Result<usize> {
+    let bytes = frame.encode();
+    stream.write_all(bytes.as_slice())?;
+    stream.flush()?;
+    Ok(bytes.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    use adam2_core::wire::InstancePayload;
+    use adam2_core::{AttrValue, InstanceId, InstanceLocal, InstanceMeta};
+
+    fn sample_msg() -> GossipMessage {
+        let meta = Arc::new(InstanceMeta {
+            id: InstanceId::from_u64(99),
+            thresholds: vec![1.0, 2.0].into(),
+            verify_thresholds: vec![1.5].into(),
+            start_round: 0,
+            end_round: 30,
+            multi: false,
+        });
+        let local = InstanceLocal::join(meta, &AttrValue::Single(1.25), true);
+        let mut msg = GossipMessage {
+            seq: 77,
+            instances: vec![InstancePayload::from(&local)],
+        };
+        msg.seq = 77;
+        msg
+    }
+
+    fn roundtrip(frame: Frame) -> Frame {
+        let encoded = frame.encode();
+        let len = u32::from_le_bytes(encoded.as_slice()[..4].try_into().unwrap()) as usize;
+        assert_eq!(len + 4, encoded.len());
+        Frame::decode(encoded.slice(4..)).expect("roundtrip decode")
+    }
+
+    #[test]
+    fn every_variant_roundtrips() {
+        let frames = vec![
+            Frame::Request {
+                sender_port: 4501,
+                msg: sample_msg(),
+            },
+            Frame::Response {
+                peers: vec![4501, 4502, 4503],
+                msg: sample_msg(),
+            },
+            Frame::Join { port: 9999 },
+            Frame::JoinAck {
+                peers: vec![1, 2, 3, 4],
+            },
+            Frame::StartInstance { msg: sample_msg() },
+            Frame::GetEstimate,
+            Frame::Estimate(None),
+            Frame::Estimate(Some(EstimateWire {
+                instance: 99,
+                completed_round: 30,
+                n_hat: Some(64.0),
+                min: 0.5,
+                max: 9.5,
+                thresholds: vec![1.0, 2.0, 3.0],
+                fractions: vec![0.1, 0.6, 0.9],
+            })),
+            Frame::Estimate(Some(EstimateWire {
+                instance: 1,
+                completed_round: 2,
+                n_hat: None, // NaN-encoded on the wire
+                min: 0.0,
+                max: 1.0,
+                thresholds: vec![],
+                fractions: vec![],
+            })),
+            Frame::Ack,
+        ];
+        for frame in frames {
+            assert_eq!(roundtrip(frame.clone()), frame);
+        }
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_rejected_without_reading() {
+        let mut raw = Vec::new();
+        raw.extend_from_slice(&(MAX_FRAME as u32 + 1).to_le_bytes());
+        raw.extend_from_slice(&[0u8; 16]);
+        let mut cursor = std::io::Cursor::new(raw);
+        let err = read_frame(&mut cursor).unwrap().unwrap_err();
+        assert!(matches!(err, FrameError::Oversized(_)));
+    }
+
+    #[test]
+    fn unknown_kind_and_truncations_are_errors_not_panics() {
+        assert!(matches!(
+            Frame::decode(Bytes::from(vec![200u8])),
+            Err(FrameError::UnknownKind(200))
+        ));
+        assert!(matches!(
+            Frame::decode(Bytes::new()),
+            Err(FrameError::Truncated)
+        ));
+        // Truncate a valid frame body at every length.
+        let full = Frame::Request {
+            sender_port: 1,
+            msg: sample_msg(),
+        }
+        .encode();
+        for cut in 4..full.len() - 1 {
+            assert!(
+                Frame::decode(full.slice(4..cut)).is_err(),
+                "cut at {cut} decoded"
+            );
+        }
+    }
+
+    #[test]
+    fn garbage_bodies_never_panic() {
+        let mut state = 0x1234_5678_9abc_def0u64;
+        for len in 0..256 {
+            let body: Vec<u8> = (0..len)
+                .map(|_| {
+                    state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                    (state >> 56) as u8
+                })
+                .collect();
+            let _ = Frame::decode(Bytes::from(body));
+        }
+    }
+
+    #[test]
+    fn frames_stream_back_to_back() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &Frame::Join { port: 7 }).unwrap();
+        write_frame(&mut buf, &Frame::GetEstimate).unwrap();
+        let mut cursor = std::io::Cursor::new(buf);
+        assert_eq!(
+            read_frame(&mut cursor).unwrap().unwrap(),
+            Frame::Join { port: 7 }
+        );
+        assert_eq!(
+            read_frame(&mut cursor).unwrap().unwrap(),
+            Frame::GetEstimate
+        );
+    }
+}

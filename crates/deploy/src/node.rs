@@ -1,0 +1,564 @@
+//! The per-node actor: one `Adam2Node` behind a TCP listener.
+//!
+//! Each deployed node runs three threads over shared state:
+//!
+//! - **listener** — accepts loopback connections and answers one frame per
+//!   connection: gossip requests go through
+//!   [`adam2_core::runtime::serve_exchange`], bootstrap joins extend the
+//!   peer view, and control frames (instance injection, estimate
+//!   collection) service the harness. Responses to gossip requests are
+//!   cached by sequence number so a retransmitted request replays the
+//!   original response instead of re-applying the merge — the same dedup
+//!   contract the simulator's exchange-repair path relies on.
+//! - **clock** — derives the gossip round from wall time against the
+//!   cluster-wide epoch instant, finalises due instances, and enqueues one
+//!   exchange job per round onto the bounded outbound queue.
+//! - **sender** — drains the queue, performing each exchange with
+//!   per-attempt loss draws from the [`LossShim`], connect/read/write
+//!   timeouts, and bounded retries; permanently failed exchanges are
+//!   counted and abandoned rather than blocking the queue.
+//!
+//! Nothing here panics on network input: malformed frames are counted and
+//! the connection dropped.
+
+use std::collections::{HashMap, VecDeque};
+use std::io;
+use std::net::{Ipv4Addr, SocketAddr, SocketAddrV4, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use adam2_core::runtime::{absorb_exchange_response, serve_exchange, snapshot_for_round};
+use adam2_core::wire::GossipMessage;
+use adam2_core::{Adam2Node, AttrValue};
+use bytes::Bytes;
+use rand::rngs::StdRng;
+use rand::RngExt as _;
+use rand::SeedableRng;
+
+use crate::frame::{read_frame_counted, write_frame, EstimateWire, Frame};
+use crate::shim::{Direction, LossShim};
+use crate::stats::NodeStats;
+
+/// How often blocked loops (accept polling, queue waits) re-check the
+/// shutdown flag.
+const POLL: Duration = Duration::from_millis(1);
+
+/// Entries kept in the per-node response cache before the oldest sequence
+/// numbers are evicted.
+const SEQ_CACHE_CAP: usize = 256;
+
+/// Timing and robustness knobs shared by every node of a cluster.
+#[derive(Debug, Clone)]
+pub struct NodeConfig {
+    /// Wall-clock length of one gossip round.
+    pub tick: Duration,
+    /// Read/write/connect timeout for every socket operation.
+    pub io_timeout: Duration,
+    /// Additional delivery attempts after a failed or dropped exchange.
+    pub retries: u32,
+    /// Outbound queue bound; jobs beyond it are dropped (backpressure).
+    pub queue_capacity: usize,
+    /// Maximum peer-view size.
+    pub view_size: usize,
+    /// Seed for the node's exchange-partner RNG.
+    pub seed: u64,
+}
+
+impl Default for NodeConfig {
+    fn default() -> Self {
+        Self {
+            tick: Duration::from_millis(40),
+            io_timeout: Duration::from_millis(15),
+            retries: 2,
+            queue_capacity: 4,
+            view_size: 12,
+            seed: 0,
+        }
+    }
+}
+
+/// One queued exchange attempt: gossip with a peer for a given round.
+struct ExchangeJob {
+    peer: u16,
+    round: u64,
+}
+
+/// Bounded multi-producer queue with a condvar for the sender thread.
+#[derive(Default)]
+struct OutboundQueue {
+    jobs: Mutex<VecDeque<ExchangeJob>>,
+    ready: Condvar,
+}
+
+struct CacheEntry {
+    response: Bytes,
+    times_seen: u32,
+}
+
+/// Bounded seq → cached-response map (FIFO eviction).
+struct SeqCache {
+    entries: HashMap<u64, CacheEntry>,
+    order: VecDeque<u64>,
+}
+
+impl SeqCache {
+    fn new() -> Self {
+        Self {
+            entries: HashMap::new(),
+            order: VecDeque::new(),
+        }
+    }
+
+    /// Bumps and returns the delivery count for `seq` if cached.
+    fn replay(&mut self, seq: u64) -> Option<(Bytes, u32)> {
+        let entry = self.entries.get_mut(&seq)?;
+        entry.times_seen += 1;
+        Some((entry.response.clone(), entry.times_seen))
+    }
+
+    fn insert(&mut self, seq: u64, response: Bytes) {
+        if self.entries.len() >= SEQ_CACHE_CAP {
+            if let Some(old) = self.order.pop_front() {
+                self.entries.remove(&old);
+            }
+        }
+        self.order.push_back(seq);
+        self.entries.insert(
+            seq,
+            CacheEntry {
+                response,
+                times_seen: 0,
+            },
+        );
+    }
+}
+
+/// Mutable node state: everything the three threads contend on.
+struct NodeInner {
+    node: Adam2Node,
+    view: Vec<u16>,
+    seq_cache: SeqCache,
+    next_seq: u64,
+    rng: StdRng,
+}
+
+/// State shared between a node's threads and the cluster driver.
+pub struct NodeShared {
+    inner: Mutex<NodeInner>,
+    queue: OutboundQueue,
+    /// Lock-free counters sampled by the cluster driver.
+    pub stats: NodeStats,
+    shutdown: AtomicBool,
+    /// Cluster-wide round-zero instant; all nodes share it so their clocks
+    /// agree on round numbers.
+    epoch: Instant,
+    config: NodeConfig,
+    shim: Arc<LossShim>,
+    port: u16,
+}
+
+impl NodeShared {
+    /// Current gossip round according to the shared clock.
+    pub fn current_round(&self) -> u64 {
+        (self.epoch.elapsed().as_nanos() / self.config.tick.as_nanos().max(1)) as u64
+    }
+
+    fn is_shutdown(&self) -> bool {
+        self.shutdown.load(Ordering::Relaxed)
+    }
+
+    /// Snapshot of the node's current peer view (for tests and the driver).
+    pub fn view(&self) -> Vec<u16> {
+        self.inner.lock().expect("node lock").view.clone()
+    }
+
+    /// Seeds the node's peer view from outside — the cluster bootstrap path
+    /// feeds `JoinAck` digests here on the joiner's behalf.
+    pub fn admit_peers(&self, peers: &[u16]) {
+        let mut inner = self.inner.lock().expect("node lock");
+        self.merge_peers(&mut inner, peers);
+    }
+
+    /// The node's current distribution estimate, if any instance completed.
+    pub fn estimate_wire(&self) -> Option<EstimateWire> {
+        let inner = self.inner.lock().expect("node lock");
+        inner.node.estimate().map(EstimateWire::from)
+    }
+
+    fn merge_peers(&self, inner: &mut NodeInner, peers: &[u16]) {
+        for &p in peers {
+            if p != self.port && !inner.view.contains(&p) {
+                inner.view.push(p);
+            }
+        }
+        let cap = self.config.view_size;
+        if inner.view.len() > cap {
+            // Keep the freshest tail: newly learned peers displace the
+            // oldest entries, a crude but serviceable view shuffle.
+            let excess = inner.view.len() - cap;
+            inner.view.drain(..excess);
+        }
+    }
+
+    /// Sample of this node's view plus its own port, piggybacked on
+    /// responses so initiators keep their views fresh.
+    fn view_digest(&self, inner: &mut NodeInner) -> Vec<u16> {
+        let mut digest = Vec::with_capacity(5);
+        digest.push(self.port);
+        let len = inner.view.len();
+        for _ in 0..4.min(len) {
+            let idx = inner.rng.random_range(0..len);
+            let pick = inner.view[idx];
+            if !digest.contains(&pick) {
+                digest.push(pick);
+            }
+        }
+        digest
+    }
+}
+
+/// A running node: its listener port, shared state, and thread handles.
+pub struct NodeHandle {
+    /// Loopback port the node's listener answers on.
+    pub port: u16,
+    /// State shared with the node's threads.
+    pub shared: Arc<NodeShared>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl NodeHandle {
+    /// Binds a listener on an ephemeral loopback port and spawns the three
+    /// node threads. The node starts with an empty view; the cluster
+    /// bootstraps it through the seed node afterwards.
+    pub fn spawn(
+        value: AttrValue,
+        initial_n_estimate: f64,
+        config: NodeConfig,
+        shim: Arc<LossShim>,
+        epoch: Instant,
+    ) -> io::Result<Self> {
+        let listener = TcpListener::bind(SocketAddrV4::new(Ipv4Addr::LOCALHOST, 0))?;
+        listener.set_nonblocking(true)?;
+        let port = listener.local_addr()?.port();
+        let shared = Arc::new(NodeShared {
+            inner: Mutex::new(NodeInner {
+                node: Adam2Node::new(value, initial_n_estimate),
+                view: Vec::new(),
+                seq_cache: SeqCache::new(),
+                next_seq: u64::from(port) << 40,
+                rng: StdRng::seed_from_u64(config.seed ^ u64::from(port)),
+            }),
+            queue: OutboundQueue::default(),
+            stats: NodeStats::default(),
+            shutdown: AtomicBool::new(false),
+            epoch,
+            config,
+            shim,
+            port,
+        });
+        let threads = vec![
+            spawn_named("listener", {
+                let shared = Arc::clone(&shared);
+                move || listener_loop(&shared, listener)
+            }),
+            spawn_named("clock", {
+                let shared = Arc::clone(&shared);
+                move || clock_loop(&shared)
+            }),
+            spawn_named("sender", {
+                let shared = Arc::clone(&shared);
+                move || sender_loop(&shared)
+            }),
+        ];
+        Ok(Self {
+            port,
+            shared,
+            threads,
+        })
+    }
+
+    /// Signals every thread to stop and joins them. Returns `true` when all
+    /// threads exited cleanly (none panicked).
+    pub fn shutdown(mut self) -> bool {
+        self.shared.shutdown.store(true, Ordering::Relaxed);
+        self.shared.queue.ready.notify_all();
+        let mut clean = true;
+        for handle in self.threads.drain(..) {
+            clean &= handle.join().is_ok();
+        }
+        clean
+    }
+}
+
+fn spawn_named(name: &str, f: impl FnOnce() + Send + 'static) -> JoinHandle<()> {
+    std::thread::Builder::new()
+        .name(format!("adam2-{name}"))
+        .spawn(f)
+        .expect("spawn node thread")
+}
+
+// ---------------------------------------------------------------------------
+// Listener thread
+// ---------------------------------------------------------------------------
+
+fn listener_loop(shared: &NodeShared, listener: TcpListener) {
+    while !shared.is_shutdown() {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                shared.stats.record_connection_accepted();
+                handle_connection(shared, stream);
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => std::thread::sleep(POLL),
+            Err(_) => std::thread::sleep(POLL),
+        }
+    }
+}
+
+fn handle_connection(shared: &NodeShared, mut stream: TcpStream) {
+    if stream.set_nonblocking(false).is_err() {
+        return;
+    }
+    let _ = stream.set_read_timeout(Some(shared.config.io_timeout));
+    let _ = stream.set_write_timeout(Some(shared.config.io_timeout));
+    let _ = stream.set_nodelay(true);
+    let frame = match read_frame_counted(&mut stream) {
+        Ok((n, Ok(frame))) => {
+            shared.stats.record_frame_received(n);
+            frame
+        }
+        Ok((_, Err(_))) => {
+            // Protocol violation: count it, drop the connection, move on.
+            shared.stats.record_malformed_frame();
+            return;
+        }
+        Err(_) => return, // timeout / reset mid-frame
+    };
+    match frame {
+        Frame::Request { sender_port, msg } => serve_request(shared, stream, sender_port, msg),
+        Frame::Join { port } => {
+            let mut inner = shared.inner.lock().expect("node lock");
+            shared.merge_peers(&mut inner, &[port]);
+            let digest = shared.view_digest(&mut inner);
+            drop(inner);
+            send_reply(shared, &mut stream, &Frame::JoinAck { peers: digest });
+        }
+        Frame::StartInstance { msg } => {
+            if let Some(payload) = msg.instances.first() {
+                let meta = payload.to_local().meta;
+                let mut inner = shared.inner.lock().expect("node lock");
+                inner.node.begin_instance(meta);
+            }
+            send_reply(shared, &mut stream, &Frame::Ack);
+        }
+        Frame::GetEstimate => {
+            let estimate = shared.estimate_wire();
+            send_reply(shared, &mut stream, &Frame::Estimate(estimate));
+        }
+        // Peers never open a connection with these; ignore.
+        Frame::Response { .. } | Frame::JoinAck { .. } | Frame::Estimate(_) | Frame::Ack => {}
+    }
+}
+
+/// Serves one gossip request: replays the cached response on a retransmit,
+/// otherwise merges and caches. The response write is subject to the shim's
+/// response-loss draw *after* the merge — reproducing exactly the
+/// "response lost" perturbation the repair path is built to heal.
+fn serve_request(shared: &NodeShared, mut stream: TcpStream, sender_port: u16, msg: GossipMessage) {
+    let round = shared.current_round();
+    let seq = msg.seq;
+    let mut inner = shared.inner.lock().expect("node lock");
+    let (encoded, attempt) = if let Some((cached, times_seen)) = inner.seq_cache.replay(seq) {
+        shared.stats.record_retransmission();
+        (cached, times_seen)
+    } else {
+        let (response_msg, _outcome) = serve_exchange(&mut inner.node, &msg, round);
+        let digest = shared.view_digest(&mut inner);
+        let frame = Frame::Response {
+            peers: digest,
+            msg: response_msg,
+        };
+        let encoded = frame.encode();
+        inner.seq_cache.insert(seq, encoded.clone());
+        (encoded, 0)
+    };
+    shared.merge_peers(&mut inner, &[sender_port]);
+    drop(inner);
+    if shared
+        .shim
+        .should_drop(round, seq, attempt, Direction::Response)
+    {
+        shared.stats.record_shim_drop();
+        return;
+    }
+    use std::io::Write as _;
+    if stream.write_all(encoded.as_slice()).is_ok() && stream.flush().is_ok() {
+        shared.stats.record_frame_sent(encoded.len());
+    }
+}
+
+fn send_reply(shared: &NodeShared, stream: &mut TcpStream, frame: &Frame) {
+    if let Ok(n) = write_frame(stream, frame) {
+        shared.stats.record_frame_sent(n);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Clock thread
+// ---------------------------------------------------------------------------
+
+fn clock_loop(shared: &NodeShared) {
+    let mut last_round: Option<u64> = None;
+    while !shared.is_shutdown() {
+        let round = shared.current_round();
+        if last_round != Some(round) {
+            last_round = Some(round);
+            on_round_start(shared, round);
+        }
+        std::thread::sleep(POLL.max(shared.config.tick / 8));
+    }
+}
+
+fn on_round_start(shared: &NodeShared, round: u64) {
+    let peer = {
+        let mut inner = shared.inner.lock().expect("node lock");
+        inner.node.finalize_due_instances(round);
+        // Gossip every round even without instances: an empty request
+        // pulls the responder's running instances back (anti-entropy), so
+        // nodes that no view currently points at still get infected, and
+        // the piggybacked peer digests keep views fresh.
+        if inner.view.is_empty() {
+            None
+        } else {
+            let len = inner.view.len();
+            let pick = inner.rng.random_range(0..len);
+            Some(inner.view[pick])
+        }
+    };
+    let Some(peer) = peer else { return };
+    let mut jobs = shared.queue.jobs.lock().expect("queue lock");
+    if jobs.len() >= shared.config.queue_capacity {
+        // Backpressure: the sender can't keep up (slow or dead peers);
+        // shedding this round's exchange is the graceful option.
+        shared.stats.record_backpressure_drop();
+        return;
+    }
+    jobs.push_back(ExchangeJob { peer, round });
+    shared.stats.record_queue_depth(jobs.len());
+    drop(jobs);
+    shared.queue.ready.notify_one();
+}
+
+// ---------------------------------------------------------------------------
+// Sender thread
+// ---------------------------------------------------------------------------
+
+fn sender_loop(shared: &NodeShared) {
+    while !shared.is_shutdown() {
+        let job = {
+            let jobs = shared.queue.jobs.lock().expect("queue lock");
+            let (mut jobs, _) = shared
+                .queue
+                .ready
+                .wait_timeout_while(jobs, shared.config.tick, |q| q.is_empty())
+                .expect("queue lock");
+            jobs.pop_front()
+        };
+        if let Some(job) = job {
+            run_exchange(shared, &job);
+        }
+    }
+}
+
+/// One push–pull exchange against `job.peer`, with shim loss draws and
+/// bounded retries. Request loss is emulated *before* connecting (the frame
+/// never reaches the peer, and the initiator waits out its timeout);
+/// response loss happens responder-side after the merge. Either way the
+/// initiator retries with the same sequence number, so the responder's
+/// cache replays rather than re-merging.
+fn run_exchange(shared: &NodeShared, job: &ExchangeJob) {
+    let (sent, seq) = {
+        let mut inner = shared.inner.lock().expect("node lock");
+        let seq = inner.next_seq;
+        inner.next_seq += 1;
+        let snapshot = snapshot_for_round(&inner.node, job.round, seq);
+        (snapshot, seq)
+    };
+    shared.stats.record_exchange_started();
+    shared.stats.enter_flight();
+    let started = Instant::now();
+    let delay_ticks = shared.shim.extra_delay_ticks(job.round);
+    if delay_ticks > 0 {
+        std::thread::sleep(shared.config.tick.min(Duration::from_millis(2)) * delay_ticks as u32);
+    }
+    let mut completed = false;
+    for attempt in 0..=shared.config.retries {
+        if attempt > 0 {
+            shared.stats.record_retransmission();
+        }
+        if shared
+            .shim
+            .should_drop(job.round, seq, attempt, Direction::Request)
+        {
+            // The request "left" but never arrives: burn the timeout the
+            // initiator would have spent waiting, then retry.
+            shared.stats.record_shim_drop();
+            std::thread::sleep(shared.config.io_timeout);
+            continue;
+        }
+        match attempt_exchange(shared, job.peer, &sent) {
+            Ok(Some(response)) => {
+                let mut inner = shared.inner.lock().expect("node lock");
+                absorb_exchange_response(&mut inner.node, &sent, &response.1, job.round);
+                shared.merge_peers(&mut inner, &response.0);
+                drop(inner);
+                completed = true;
+                break;
+            }
+            Ok(None) | Err(_) => continue, // non-response or socket failure
+        }
+    }
+    shared.stats.leave_flight();
+    if completed {
+        shared.stats.record_exchange_completed();
+        shared
+            .stats
+            .record_latency_us(started.elapsed().as_micros() as u64);
+    } else {
+        shared.stats.record_exchange_aborted();
+    }
+}
+
+type PeersAndMessage = (Vec<u16>, GossipMessage);
+
+fn attempt_exchange(
+    shared: &NodeShared,
+    peer: u16,
+    sent: &GossipMessage,
+) -> io::Result<Option<PeersAndMessage>> {
+    let addr = SocketAddr::from((Ipv4Addr::LOCALHOST, peer));
+    let mut stream = TcpStream::connect_timeout(&addr, shared.config.io_timeout)?;
+    let _ = stream.set_read_timeout(Some(shared.config.io_timeout));
+    let _ = stream.set_write_timeout(Some(shared.config.io_timeout));
+    let _ = stream.set_nodelay(true);
+    let n = write_frame(
+        &mut stream,
+        &Frame::Request {
+            sender_port: shared.port,
+            msg: sent.clone(),
+        },
+    )?;
+    shared.stats.record_frame_sent(n);
+    match read_frame_counted(&mut stream)? {
+        (n, Ok(Frame::Response { peers, msg })) => {
+            shared.stats.record_frame_received(n);
+            Ok(Some((peers, msg)))
+        }
+        (_, Ok(_)) => Ok(None),
+        (_, Err(_)) => {
+            shared.stats.record_malformed_frame();
+            Ok(None)
+        }
+    }
+}

@@ -870,6 +870,11 @@ impl<P: Protocol> Engine<P> {
         }
 
         for batch in &batches {
+            // A batch is slot-disjoint, so its exchanges apply
+            // concurrently: its width is the round's in-flight peak.
+            if let Some(t) = self.telemetry.as_deref_mut() {
+                t.record_inflight_exchanges(batch.len() as u64);
+            }
             if threads <= 1 || batch.len() < PAR_APPLY_MIN_BATCH {
                 // Contended / tiny tail: apply inline, charging NetStats
                 // directly (same commutative sums as the shard path).

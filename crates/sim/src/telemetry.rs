@@ -17,7 +17,8 @@
 //! are commutative sums, merged totals are thread-count invariant.
 
 use adam2_telemetry::{
-    CounterId, Event, EventKind, HistogramId, MetricShard, RoundSnapshot, RunManifest, Telemetry,
+    CounterId, Event, EventKind, GaugeId, HistogramId, MetricShard, RoundSnapshot, RunManifest,
+    Telemetry,
 };
 
 use crate::engine::{ExchangeFate, ExchangeTraffic, PlannedExchange};
@@ -35,6 +36,8 @@ struct RoundScratch {
     leaves: u64,
     heal_bumps: u64,
     bootstraps: u64,
+    inflight_peak: u64,
+    queue_depth_peak: u64,
 }
 
 /// Telemetry store wired to the simulator's vocabulary: exchange, fault,
@@ -57,6 +60,9 @@ pub struct SimTelemetry {
     c_async_delivered: CounterId,
     c_async_lost: CounterId,
     c_async_duplicated: CounterId,
+    g_live_nodes: GaugeId,
+    g_inflight: GaugeId,
+    g_queue_depth: GaugeId,
     scratch: RoundScratch,
 }
 
@@ -91,6 +97,9 @@ impl SimTelemetry {
         let c_async_delivered = m.counter("async_delivered");
         let c_async_lost = m.counter("async_lost");
         let c_async_duplicated = m.counter("async_duplicated");
+        let g_live_nodes = m.gauge("live_nodes");
+        let g_inflight = m.gauge("inflight_exchanges");
+        let g_queue_depth = m.gauge("queue_depth");
         Self {
             inner,
             c_exchanges,
@@ -108,6 +117,9 @@ impl SimTelemetry {
             c_async_delivered,
             c_async_lost,
             c_async_duplicated,
+            g_live_nodes,
+            g_inflight,
+            g_queue_depth,
             scratch: RoundScratch::default(),
         }
     }
@@ -127,6 +139,10 @@ impl SimTelemetry {
     /// it can be emitted on the driver thread in deterministic order.
     pub fn record_exchange_plan(&mut self, round: u64, plan: &PlannedExchange) {
         self.scratch.exchanges += 1;
+        // The sequential path applies exchanges one at a time, so at least
+        // one is in flight whenever any exchange ran this round; the
+        // parallel engine raises the peak via record_inflight_exchanges.
+        self.scratch.inflight_peak = self.scratch.inflight_peak.max(1);
         self.inner.metrics.add(self.c_exchanges, 1);
         self.event(
             round,
@@ -180,6 +196,21 @@ impl SimTelemetry {
             self.scratch.bootstraps += bootstraps;
             self.inner.metrics.add(self.c_bootstraps, bootstraps);
         }
+    }
+
+    /// Records `n` exchanges being applied concurrently (the parallel
+    /// engine's conflict-free batch width, or the deploy runtime's live
+    /// in-flight count). The per-round peak lands in the round snapshot
+    /// and the `inflight_exchanges` gauge.
+    pub fn record_inflight_exchanges(&mut self, n: u64) {
+        self.scratch.inflight_peak = self.scratch.inflight_peak.max(n);
+    }
+
+    /// Records an observed outbound-queue depth (deploy runtime; the
+    /// in-memory simulator has no queues). The per-round peak lands in the
+    /// round snapshot and the `queue_depth` gauge.
+    pub fn record_queue_depth(&mut self, depth: u64) {
+        self.scratch.queue_depth_peak = self.scratch.queue_depth_peak.max(depth);
     }
 
     /// Records a round-level loss-rate override from a fault scenario.
@@ -288,6 +319,12 @@ impl SimTelemetry {
         snap.leaves = s.leaves;
         snap.heal_bumps = s.heal_bumps;
         snap.bootstraps = s.bootstraps;
+        snap.inflight_exchanges = s.inflight_peak;
+        snap.queue_depth_max = s.queue_depth_peak;
+        let m = &mut self.inner.metrics;
+        m.set(self.g_live_nodes, live_nodes as f64);
+        m.set(self.g_inflight, s.inflight_peak as f64);
+        m.set(self.g_queue_depth, s.queue_depth_peak as f64);
         self.inner.push_snapshot(snap);
         self.scratch = RoundScratch::default();
     }
@@ -528,6 +565,42 @@ mod tests {
         assert!(snap.mass_weight_defect.is_nan());
         assert_eq!(snap.mass_fraction_defect, 1e-9);
         assert!(!t.annotate_round(7, 0.0, 0.0, 0.0, 0.0));
+    }
+
+    #[test]
+    fn gauges_land_in_rounds_jsonl() {
+        let mut t = SimTelemetry::new();
+        t.record_exchange_plan(0, &plan(1, 1, ExchangeFate::Complete));
+        t.record_inflight_exchanges(7);
+        t.record_queue_depth(3);
+        t.end_round(0, 42, 0, 1);
+        // The gauges reflect the just-closed round...
+        let gauges: std::collections::HashMap<&str, f64> = t.telemetry().metrics.gauges().collect();
+        assert_eq!(gauges["live_nodes"], 42.0);
+        assert_eq!(gauges["inflight_exchanges"], 7.0);
+        assert_eq!(gauges["queue_depth"], 3.0);
+        // ...and the per-round peaks are exported in rounds.jsonl.
+        let dir = std::env::temp_dir().join(format!("adam2-gauge-export-{}", std::process::id()));
+        let manifest = RunManifest::new("gauge-test", "default", 1, 1);
+        t.export(&dir, &manifest).unwrap();
+        let rounds = std::fs::read_to_string(dir.join("rounds.jsonl")).unwrap();
+        assert!(rounds.contains("\"live_nodes\":42"), "{rounds}");
+        assert!(rounds.contains("\"inflight_exchanges\":7"), "{rounds}");
+        assert!(rounds.contains("\"queue_depth_max\":3"), "{rounds}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn inflight_peak_defaults_to_exchange_presence() {
+        // Sequential path: record_exchange_plan alone must yield peak 1,
+        // and an idle round must reset it to 0.
+        let mut t = SimTelemetry::new();
+        t.record_exchange_plan(0, &plan(1, 1, ExchangeFate::Complete));
+        t.end_round(0, 2, 0, 0);
+        t.end_round(1, 2, 0, 0);
+        let snaps = t.telemetry().snapshots();
+        assert_eq!(snaps[0].inflight_exchanges, 1);
+        assert_eq!(snaps[1].inflight_exchanges, 0);
     }
 
     #[test]

@@ -43,6 +43,14 @@ pub struct RoundSnapshot {
     /// Recovered/late nodes that bootstrapped an estimate from a completed
     /// partner snapshot this round.
     pub bootstraps: u64,
+    /// Peak number of exchanges simultaneously in flight this round
+    /// (parallel engine: the widest conflict-free batch; deploy runtime:
+    /// the peak of the live in-flight gauge).
+    pub inflight_exchanges: u64,
+    /// Peak outbound queue depth observed this round (0 in the simulator,
+    /// which has no queues; the deploy runtime reports the deepest per-node
+    /// bounded sender queue).
+    pub queue_depth_max: u64,
 }
 
 impl RoundSnapshot {
@@ -68,6 +76,8 @@ impl RoundSnapshot {
             leaves: 0,
             heal_bumps: 0,
             bootstraps: 0,
+            inflight_exchanges: 0,
+            queue_depth_max: 0,
         }
     }
 
@@ -80,7 +90,7 @@ impl RoundSnapshot {
              \"round_bytes\":{},\"round_msgs\":{},\"exchanges\":{},\
              \"repairs\":{},\"aborts\":{},\"faults\":{},\"crashes\":{},\
              \"recoveries\":{},\"joins\":{},\"leaves\":{},\"heal_bumps\":{},\
-             \"bootstraps\":{}}}",
+             \"bootstraps\":{},\"inflight_exchanges\":{},\"queue_depth_max\":{}}}",
             self.round,
             self.live_nodes,
             json_f64(self.err_max),
@@ -99,6 +109,8 @@ impl RoundSnapshot {
             self.leaves,
             self.heal_bumps,
             self.bootstraps,
+            self.inflight_exchanges,
+            self.queue_depth_max,
         )
     }
 
@@ -106,13 +118,13 @@ impl RoundSnapshot {
     pub const CSV_HEADER: &'static str = "round,live_nodes,err_max,err_avg,\
         mass_weight_defect,mass_fraction_defect,round_bytes,round_msgs,\
         exchanges,repairs,aborts,faults,crashes,recoveries,joins,leaves,\
-        heal_bumps,bootstraps";
+        heal_bumps,bootstraps,inflight_exchanges,queue_depth_max";
 
     /// Renders the snapshot as one CSV row (unmeasured floats are empty
     /// cells).
     pub fn csv_row(&self) -> String {
         format!(
-            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
             self.round,
             self.live_nodes,
             csv_f64(self.err_max),
@@ -131,6 +143,8 @@ impl RoundSnapshot {
             self.leaves,
             self.heal_bumps,
             self.bootstraps,
+            self.inflight_exchanges,
+            self.queue_depth_max,
         )
     }
 }
@@ -168,7 +182,8 @@ mod tests {
         let line = s.jsonl();
         assert!(line.starts_with("{\"round\":4,"));
         assert!(line.contains("\"err_max\":null"));
-        assert!(line.contains("\"bootstraps\":0}"));
+        assert!(line.contains("\"bootstraps\":0,"));
+        assert!(line.contains("\"queue_depth_max\":0}"));
     }
 
     #[test]
