@@ -20,7 +20,7 @@ use std::sync::Arc;
 
 use rand::rngs::StdRng;
 
-use adam2_sim::{AsyncProtocol, EventCtx, NodeId};
+use adam2_sim::{AsyncProtocol, BatchAsyncProtocol, BatchCtx, EventCtx, NodeId};
 
 use crate::instance::{AttrValue, InstanceMeta};
 use crate::protocol::Adam2Node;
@@ -70,7 +70,7 @@ const SEEN_CAP: usize = 1024;
 /// Event-driven Adam2: one gossip exchange per timer fire, with join and
 /// merge driven entirely by decoded wire payloads.
 pub struct AsyncAdam2 {
-    source: Box<dyn FnMut(&mut StdRng) -> AttrValue + Send>,
+    source: Box<dyn FnMut(&mut StdRng) -> AttrValue + Send + Sync>,
     /// Gossip timer ticks per protocol round; instance `end_round`s are
     /// interpreted against `now / ticks_per_round`.
     ticks_per_round: u64,
@@ -99,7 +99,7 @@ impl AsyncAdam2 {
     /// Panics if `ticks_per_round` is zero.
     pub fn new(
         ticks_per_round: u64,
-        source: impl FnMut(&mut StdRng) -> AttrValue + Send + 'static,
+        source: impl FnMut(&mut StdRng) -> AttrValue + Send + Sync + 'static,
     ) -> Self {
         assert!(ticks_per_round > 0, "ticks_per_round must be positive");
         Self {
@@ -118,7 +118,7 @@ impl AsyncAdam2 {
     pub fn with_population(
         ticks_per_round: u64,
         initial: Vec<f64>,
-        mut fresh: impl FnMut(&mut StdRng) -> f64 + Send + 'static,
+        mut fresh: impl FnMut(&mut StdRng) -> f64 + Send + Sync + 'static,
     ) -> Self {
         let mut queue = std::collections::VecDeque::from(initial);
         Self::new(ticks_per_round, move |rng| {
@@ -299,6 +299,86 @@ impl AsyncProtocol for AsyncAdam2 {
     }
 }
 
+/// Per-shard report of the batch driver: whole-protocol counters that
+/// batch handlers cannot update directly (they only hold `&self`).
+#[derive(Debug, Default)]
+pub struct AsyncBatchReport {
+    /// Instance completions observed while handling the shard's events.
+    pub completed: u64,
+}
+
+/// Batch-mode Adam2 for [`EventEngine::run_until_parallel`]
+/// (`adam2_sim::EventEngine`). Differences from the sequential driver:
+///
+/// * Exchange sequence numbers come from [`BatchCtx::event_stamp`] (the
+///   globally unique, thread-count-invariant wheel stamp of the timer
+///   event) instead of a shared `next_seq` counter.
+/// * Duplicate deliveries are already suppressed by the engine's
+///   `send_seq` bookkeeping, so no `note_seen` window is consulted —
+///   [`AsyncAdam2::duplicates_dropped`] stays zero in batch runs.
+///
+/// Both choices keep handlers free of shared mutable state, which is what
+/// makes batch runs bit-identical at any thread count. Batch trajectories
+/// are *different* from sequential ones (randomness is drawn from
+/// per-event streams), but equally valid samples of the same model.
+impl BatchAsyncProtocol for AsyncAdam2 {
+    type Report = AsyncBatchReport;
+
+    fn par_on_timer(
+        &self,
+        id: NodeId,
+        node: &mut Adam2Node,
+        ctx: &mut BatchCtx<'_, '_, Adam2Message>,
+        report: &mut AsyncBatchReport,
+    ) {
+        let round = self.round_of(ctx.now());
+        report.completed += node.finalize_due_instances(round).0;
+        let Some(partner) = ctx.random_neighbour(id) else {
+            return;
+        };
+        let mut message =
+            GossipMessage::from_locals(node.active_instances().iter().filter(|i| !i.is_due(round)));
+        message.seq = ctx.event_stamp();
+        let bytes = message.encoded_len();
+        ctx.send(id, partner, Adam2Message::Request(message), bytes);
+    }
+
+    fn par_on_message(
+        &self,
+        id: NodeId,
+        node: &mut Adam2Node,
+        from: NodeId,
+        message: Adam2Message,
+        ctx: &mut BatchCtx<'_, '_, Adam2Message>,
+        report: &mut AsyncBatchReport,
+    ) {
+        let round = self.round_of(ctx.now());
+        report.completed += node.finalize_due_instances(round).0;
+        match &message {
+            Adam2Message::Request(_) => {
+                // Same order as the sequential path: join first so the
+                // response carries pre-merge state, reply with the echoed
+                // seq, then absorb.
+                Self::join_unknown(node, message.payloads(), round);
+                let mut response = GossipMessage::from_locals(
+                    node.active_instances().iter().filter(|i| !i.is_due(round)),
+                );
+                response.seq = message.seq();
+                let bytes = response.encoded_len();
+                Self::absorb(node, message.payloads(), round, true);
+                ctx.send(id, from, Adam2Message::Response(response), bytes);
+            }
+            Adam2Message::Response(_) => {
+                Self::absorb(node, message.payloads(), round, false);
+            }
+        }
+    }
+
+    fn absorb_report(&mut self, report: AsyncBatchReport) {
+        self.completed += report.completed;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -437,6 +517,84 @@ mod tests {
             (mean - 100.0).abs() / 100.0 < 0.2,
             "N estimate drifted under duplication: {mean}"
         );
+    }
+
+    fn run_batch_instance(
+        threads: usize,
+        loss: f64,
+        rounds: u64,
+    ) -> (EventEngine<AsyncAdam2>, StepCdf) {
+        let values: Vec<f64> = (1..=100).map(f64::from).collect();
+        let truth = StepCdf::from_values(values.clone());
+        let period = 100;
+        let proto = AsyncAdam2::with_population(period, values, |_| 1.0);
+        let config = EventConfig::new(100, 77)
+            .with_gossip_period(period)
+            .with_latency(LatencyModel::Uniform { min: 10, max: 60 })
+            .with_loss_rate(loss)
+            .with_threads(threads);
+        let mut engine = EventEngine::new(config, proto);
+        let meta = Arc::new(InstanceMeta {
+            id: InstanceId::derive(0, 0, 1),
+            thresholds: vec![25.0, 50.0, 75.0].into(),
+            verify_thresholds: Vec::new().into(),
+            start_round: 0,
+            end_round: rounds,
+            multi: false,
+        });
+        engine.with_ctx(|proto, ctx| {
+            let initiator = ctx.nodes.random_id(ctx.rng).expect("nodes");
+            proto.start_instance(initiator, meta.clone(), ctx)
+        });
+        engine.run_until_parallel(period * (rounds + 2));
+        (engine, truth)
+    }
+
+    #[test]
+    fn batch_driver_completes_an_instance() {
+        let (engine, truth) = run_batch_instance(2, 0.0, 40);
+        let mut with_estimate = 0;
+        for (_, node) in engine.nodes().iter() {
+            if let Some(est) = node.estimate() {
+                with_estimate += 1;
+                let (max_err, _) = point_errors(&truth, &est.thresholds, &est.fractions);
+                assert!(max_err < 0.05, "batch point error {max_err}");
+            }
+        }
+        assert!(with_estimate >= 99, "only {with_estimate} nodes finished");
+        assert!(engine.protocol().completed_count() >= 99);
+    }
+
+    /// The acceptance-criterion bit-identity check: the full Adam2
+    /// protocol under the batch driver must produce byte-for-byte equal
+    /// node estimates, counters, and traffic at 1, 2, and 4 threads.
+    #[test]
+    fn batch_driver_is_bit_identical_across_thread_counts() {
+        let fingerprint = |threads: usize| {
+            let (engine, _) = run_batch_instance(threads, 0.05, 40);
+            let mut bits = Vec::new();
+            for (_, node) in engine.nodes().iter() {
+                match node.estimate() {
+                    Some(est) => {
+                        bits.push(1);
+                        bits.extend(est.fractions.iter().map(|f| f.to_bits()));
+                        bits.push(est.n_hat.map_or(0, f64::to_bits));
+                    }
+                    None => bits.push(0),
+                }
+            }
+            (
+                bits,
+                engine.delivered_count(),
+                engine.lost_count(),
+                engine.net().total_bytes(),
+                engine.net().total_msgs(),
+                engine.protocol().completed_count(),
+            )
+        };
+        let base = fingerprint(1);
+        assert_eq!(base, fingerprint(2), "threads=2 diverged from threads=1");
+        assert_eq!(base, fingerprint(4), "threads=4 diverged from threads=1");
     }
 
     #[test]

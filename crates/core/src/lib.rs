@@ -73,7 +73,7 @@ mod tuning;
 pub mod wire;
 
 pub use aggregation::{CountAggregation, Extrema, ExtremaAggregation, MeanAggregation};
-pub use async_protocol::{Adam2Message, AsyncAdam2};
+pub use async_protocol::{Adam2Message, AsyncAdam2, AsyncBatchReport};
 pub use cdf::{InterpCdf, StepCdf};
 pub use confidence::verification_thresholds;
 pub use config::{Adam2Config, Scheduling, SelfHealPolicy};

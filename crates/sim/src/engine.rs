@@ -584,6 +584,8 @@ pub struct Engine<P: Protocol> {
     faults: Option<FaultRuntime>,
     /// Reused per-round shuffle buffer (avoids one allocation per round).
     order_buf: Vec<NodeId>,
+    /// Reused per-round live-id buffer for the parallel path.
+    ids_buf: Vec<NodeId>,
     /// Attached telemetry store; `None` (the default) records nothing.
     telemetry: Option<Box<SimTelemetry>>,
 }
@@ -645,6 +647,7 @@ impl<P: Protocol> Engine<P> {
             repair: config.repair,
             faults: None,
             order_buf: Vec::new(),
+            ids_buf: Vec::new(),
             telemetry: None,
         })
     }
@@ -794,7 +797,8 @@ impl<P: Protocol> Engine<P> {
         }
 
         // Phase 2b: partner + fate selection, shared slab/overlay access.
-        let mut ids = self.nodes.id_vec();
+        let mut ids = std::mem::take(&mut self.ids_buf);
+        self.nodes.collect_ids(&mut ids);
         let mut plans: Vec<Option<PlannedExchange>> = vec![None; ids.len()];
         {
             let nodes = &self.nodes;
@@ -839,6 +843,7 @@ impl<P: Protocol> Engine<P> {
             };
             self.protocol.par_absorb(id, &report, &mut ctx);
         }
+        self.ids_buf = ids;
 
         // Phase 4: colour the exchanges into slot-disjoint batches. The
         // greedy rule assigns each exchange the earliest batch after the

@@ -11,19 +11,47 @@
 //!
 //! Time is measured in abstract *ticks* (1 tick ≈ 1 ms at the paper's 1 s
 //! gossip period with `gossip_period = 1000`).
+//!
+//! # Execution modes
+//!
+//! Future events live in a sharded [`TimerWheel`] (O(1) push/pop, buckets
+//! per tick, shards by destination slot range). Two drivers drain it:
+//!
+//! * [`EventEngine::run_until`] — the sequential reference: events are
+//!   handled one at a time in `(tick, seq)` order, exactly as the old
+//!   `BinaryHeap` queue did.
+//! * [`EventEngine::run_until_parallel`] — the batch mode for
+//!   [`BatchAsyncProtocol`] implementations. Each tick is processed as one
+//!   batch in three phases mirroring `Engine::run_round_parallel`:
+//!   a sequential pre-pass (drop events for dead nodes, engine-level
+//!   duplicate suppression, canonical delivery accounting), a parallel
+//!   compute phase over the slot-disjoint wheel shards (per-event RNG
+//!   streams derived from `(seed, tick, slot, seq)` counters, never from
+//!   the thread), and a sequential merge that applies sends, faults, and
+//!   timer reschedules in canonical `(shard, seq)` order. Every mutation
+//!   order is thread-count-invariant, so results are bit-identical for any
+//!   `threads` setting (asserted by tests below).
 
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use std::collections::{HashSet, VecDeque};
 
 use rand::rngs::StdRng;
 use rand::RngExt as _;
 
 use crate::engine::SimConfigError;
 use crate::faults::FaultScenario;
-use crate::node::{NodeId, NodeSlab};
-use crate::rng::seeded_rng;
+use crate::node::{NodeId, NodeSlab, PeerView};
+use crate::rng::{derive_seed, par_stream_rng, seeded_rng};
 use crate::stats::NetStats;
 use crate::telemetry::SimTelemetry;
+use crate::wheel::TimerWheel;
+
+/// Destination-slot shards in the timer wheel; also the unit of parallel
+/// work in [`EventEngine::run_until_parallel`].
+const EVENT_SHARDS: usize = 8;
+
+/// Seed stream separating batch-mode per-event RNGs from the engine RNG
+/// (ASCII "evnt").
+const EVENT_PAR_STREAM: u64 = 0x65766e74;
 
 /// Message latency model.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -44,12 +72,20 @@ impl LatencyModel {
         match self {
             LatencyModel::Fixed(t) => *t,
             LatencyModel::Uniform { min, max } => {
-                if min >= max {
+                if min == max {
                     *min
                 } else {
                     rng.random_range(*min..=*max)
                 }
             }
+        }
+    }
+
+    /// Upper bound on a sampled latency (used to size the wheel horizon).
+    fn max_ticks(&self) -> u64 {
+        match self {
+            LatencyModel::Fixed(t) => *t,
+            LatencyModel::Uniform { max, .. } => *max,
         }
     }
 }
@@ -68,6 +104,9 @@ pub struct EventConfig {
     pub latency: LatencyModel,
     /// Probability that any individual message is lost in transit.
     pub loss_rate: f64,
+    /// Worker threads for [`EventEngine::run_until_parallel`]. Results are
+    /// bit-identical for every value; `<= 1` runs inline.
+    pub threads: usize,
 }
 
 impl EventConfig {
@@ -85,6 +124,7 @@ impl EventConfig {
             gossip_period: 1000,
             latency: LatencyModel::Uniform { min: 10, max: 150 },
             loss_rate: 0.0,
+            threads: 1,
         }
     }
 
@@ -118,6 +158,39 @@ impl EventConfig {
         self.loss_rate = loss_rate;
         self
     }
+
+    /// Sets the worker-thread count for the parallel batch driver.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Validates the configuration. [`EventEngine::try_new`] calls this;
+    /// use it directly to vet configs built by struct literal. In
+    /// particular a `Uniform` latency with `min > max` is rejected here
+    /// rather than silently degrading to `min` at sample time.
+    pub fn validate(&self) -> Result<(), SimConfigError> {
+        if self.n == 0 {
+            return Err(SimConfigError::new("n must be positive"));
+        }
+        if self.gossip_period == 0 {
+            return Err(SimConfigError::new("gossip_period must be positive"));
+        }
+        if !self.loss_rate.is_finite() || !(0.0..=1.0).contains(&self.loss_rate) {
+            return Err(SimConfigError::new(format!(
+                "loss_rate {} must be in [0, 1]",
+                self.loss_rate
+            )));
+        }
+        if let LatencyModel::Uniform { min, max } = self.latency {
+            if min > max {
+                return Err(SimConfigError::new(format!(
+                    "uniform latency min {min} exceeds max {max}"
+                )));
+            }
+        }
+        Ok(())
+    }
 }
 
 /// An asynchronous protocol driven by the [`EventEngine`].
@@ -142,6 +215,52 @@ pub trait AsyncProtocol {
         message: Self::Message,
         ctx: &mut EventCtx<'_, Self::Node, Self::Message>,
     );
+}
+
+/// The parallel-batch extension of [`AsyncProtocol`], driven by
+/// [`EventEngine::run_until_parallel`].
+///
+/// Batch handlers take `&self` (they run concurrently on slot-disjoint
+/// node chunks) and a `&mut` to exactly the node the event targets.
+/// Whole-protocol mutations are deferred: handlers accumulate them into a
+/// per-shard [`Report`](BatchAsyncProtocol::Report), which the engine
+/// feeds to [`absorb_report`](BatchAsyncProtocol::absorb_report)
+/// sequentially in canonical shard order after the parallel phase joins.
+///
+/// Implementations must derive any randomness from the per-event RNG in
+/// [`BatchCtx`] (a counter-based stream keyed on `(tick, slot, seq)`),
+/// never from shared state — that is what makes batch runs bit-identical
+/// across thread counts.
+pub trait BatchAsyncProtocol: AsyncProtocol {
+    /// Per-shard accumulator for deferred whole-protocol mutations
+    /// (completion counts, dedup statistics, ...).
+    type Report: Default + Send;
+
+    /// The node's gossip timer fired (batch mode).
+    fn par_on_timer(
+        &self,
+        id: NodeId,
+        node: &mut Self::Node,
+        ctx: &mut BatchCtx<'_, '_, Self::Message>,
+        report: &mut Self::Report,
+    );
+
+    /// A message arrived (batch mode). The engine has already suppressed
+    /// fault-injected duplicate copies, so unlike the sequential path the
+    /// handler never sees the same `(send)` twice.
+    fn par_on_message(
+        &self,
+        id: NodeId,
+        node: &mut Self::Node,
+        from: NodeId,
+        message: Self::Message,
+        ctx: &mut BatchCtx<'_, '_, Self::Message>,
+        report: &mut Self::Report,
+    );
+
+    /// Folds one shard's report into the protocol, in canonical shard
+    /// order. Runs sequentially after the parallel phase.
+    fn absorb_report(&mut self, report: Self::Report);
 }
 
 /// Execution context for [`AsyncProtocol`] callbacks.
@@ -173,6 +292,63 @@ impl<N, M> EventCtx<'_, N, M> {
     }
 }
 
+/// Execution context for [`BatchAsyncProtocol`] callbacks.
+///
+/// Unlike [`EventCtx`] it exposes no slab access (workers own disjoint
+/// node chunks through the engine, not the context) and no engine RNG:
+/// randomness comes from a private per-event stream seeded by
+/// `(seed, tick, slot, seq)`, and sends are buffered for the sequential
+/// merge phase where network accounting and fault injection happen in
+/// canonical order.
+pub struct BatchCtx<'a, 'o, M> {
+    now: u64,
+    stamp: u64,
+    rng: StdRng,
+    peers: PeerView<'a>,
+    sends: &'o mut Vec<(NodeId, NodeId, M, usize)>,
+}
+
+impl<M> BatchCtx<'_, '_, M> {
+    /// Current simulation time in ticks.
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// The globally unique, thread-count-invariant sequence stamp of the
+    /// event being handled. Protocols needing a deterministic nonce (e.g.
+    /// a message sequence number) use this instead of a shared counter.
+    pub fn event_stamp(&self) -> u64 {
+        self.stamp
+    }
+
+    /// The per-event RNG stream.
+    pub fn rng(&mut self) -> &mut StdRng {
+        &mut self.rng
+    }
+
+    /// Number of live nodes.
+    pub fn live_len(&self) -> usize {
+        self.peers.len()
+    }
+
+    /// Whether `id` refers to a live node.
+    pub fn contains(&self, id: NodeId) -> bool {
+        self.peers.contains(id)
+    }
+
+    /// Sends `message` of `bytes` from `from` to `to`. The send is applied
+    /// (charged, fault-checked, scheduled) during the sequential merge.
+    pub fn send(&mut self, from: NodeId, to: NodeId, message: M, bytes: usize) {
+        self.sends.push((from, to, message, bytes));
+    }
+
+    /// Draws a uniformly random live node other than `of`, bit-identical
+    /// to [`EventCtx::random_neighbour`] given the same RNG state.
+    pub fn random_neighbour(&mut self, of: NodeId) -> Option<NodeId> {
+        self.peers.random_other(of, &mut self.rng)
+    }
+}
+
 #[derive(Debug)]
 enum Event<M> {
     Timer(NodeId),
@@ -180,115 +356,155 @@ enum Event<M> {
         from: NodeId,
         to: NodeId,
         message: M,
+        /// Per-send stamp shared by fault-injected duplicate copies, so
+        /// the batch pre-pass can suppress redelivery without protocol
+        /// cooperation.
+        send_seq: u64,
     },
 }
 
-/// The event-driven engine: a time-ordered event queue over the same node
-/// slab and accounting as the cycle-driven engine.
+/// A deferred effect recorded by a batch worker, applied in the merge
+/// phase. Per-shard op lists preserve each event's own ordering (sends
+/// first, then the timer reschedule, as in the sequential path).
+enum MergeOp<M> {
+    Send {
+        from: NodeId,
+        to: NodeId,
+        message: M,
+        bytes: usize,
+    },
+    Timer(NodeId),
+}
+
+/// One shard's batch-phase output: recorded effects in event order plus
+/// the shard's accumulated protocol report.
+type ShardBatch<M, R> = (Vec<MergeOp<M>>, R);
+
+/// Capacity bound for the duplicate-suppression window. Duplicate copies
+/// arrive within one latency draw of the original, so entries far older
+/// than that can be evicted.
+const DUP_WINDOW: usize = 1 << 14;
+
+/// The event-driven engine: a sharded timer wheel over the same node slab
+/// and accounting as the cycle-driven engine.
 pub struct EventEngine<P: AsyncProtocol> {
     protocol: P,
     nodes: NodeSlab<P::Node>,
     config: EventConfig,
     rng: StdRng,
     now: u64,
-    queue: BinaryHeap<Reverse<(u64, u64, usize)>>,
-    /// Event payloads, indexed by the sequence number carried in the queue
-    /// (keeps the heap entries `Ord` without requiring `M: Ord`).
-    events: Vec<Option<Event<P::Message>>>,
-    /// Recycled `events` slots (the queue never empties while timers are
-    /// scheduled, so without reuse the store would grow for ever).
-    free_slots: Vec<usize>,
-    seq: u64,
+    wheel: TimerWheel<Event<P::Message>>,
+    /// Stamp for the next send (shared by a message and its duplicates).
+    send_seq: u64,
+    /// Send stamps that have a fault-injected twin in flight.
+    dup_pending: HashSet<u64>,
+    /// Stamps from `dup_pending` already delivered once (batch mode).
+    dup_delivered: HashSet<u64>,
+    /// Eviction order for the two sets above.
+    dup_fifo: VecDeque<u64>,
+    dup_dropped: u64,
     net: NetStats,
     delivered: u64,
     lost: u64,
     duplicated: u64,
     faults: Option<FaultScenario>,
     telemetry: Option<Box<SimTelemetry>>,
+    /// First window (gossip period) not yet snapshotted.
+    next_window: u64,
+    /// Traffic totals at the last window boundary.
+    win_bytes: u64,
+    win_msgs: u64,
+    /// Reused per-tick drain buckets for the batch driver.
+    drain_scratch: Vec<VecDeque<(u64, Event<P::Message>)>>,
 }
 
 impl<P: AsyncProtocol> EventEngine<P> {
     /// Builds the engine, creating `config.n` nodes and scheduling their
     /// first gossip timers at random phases within one period.
-    pub fn new(config: EventConfig, mut protocol: P) -> Self {
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid ([`EventConfig::validate`]);
+    /// use [`EventEngine::try_new`] for a `Result`.
+    pub fn new(config: EventConfig, protocol: P) -> Self {
+        Self::try_new(config, protocol).expect("invalid event-engine config")
+    }
+
+    /// Builds the engine, validating the configuration first.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`EventConfig::validate`] error for an invalid config.
+    pub fn try_new(config: EventConfig, mut protocol: P) -> Result<Self, SimConfigError> {
+        config.validate()?;
         let mut rng = seeded_rng(config.seed);
         let mut nodes = NodeSlab::with_capacity(config.n);
         for _ in 0..config.n {
             let state = protocol.make_node(&mut rng);
             nodes.insert(state);
         }
+        // Horizon covering one period plus the worst regular latency: only
+        // fault-injected delays overflow to the wheel's slow level.
+        let horizon = config.gossip_period + config.latency.max_ticks() + 2;
         let mut engine = Self {
             protocol,
             nodes,
             config,
             rng,
             now: 0,
-            queue: BinaryHeap::new(),
-            events: Vec::new(),
-            free_slots: Vec::new(),
-            seq: 0,
+            wheel: TimerWheel::new(horizon, EVENT_SHARDS),
+            send_seq: 0,
+            dup_pending: HashSet::new(),
+            dup_delivered: HashSet::new(),
+            dup_fifo: VecDeque::new(),
+            dup_dropped: 0,
             net: NetStats::new(),
             delivered: 0,
             lost: 0,
             duplicated: 0,
             faults: None,
             telemetry: None,
+            next_window: 0,
+            win_bytes: 0,
+            win_msgs: 0,
+            drain_scratch: Vec::new(),
         };
         for id in engine.nodes.id_vec() {
             let phase = engine.rng.random_range(0..engine.config.gossip_period);
-            engine.schedule(phase, Event::Timer(id));
+            engine.schedule_timer(phase, id);
         }
-        engine
+        Ok(engine)
     }
 
-    fn schedule(&mut self, at: u64, event: Event<P::Message>) {
-        let idx = match self.free_slots.pop() {
-            Some(idx) => {
-                self.events[idx] = Some(event);
-                idx
-            }
-            None => {
-                self.events.push(Some(event));
-                self.events.len() - 1
-            }
-        };
-        self.seq += 1;
-        self.queue.push(Reverse((at, self.seq, idx)));
+    fn schedule_timer(&mut self, at: u64, id: NodeId) {
+        self.wheel.push(at, id.slot() as u32, Event::Timer(id));
     }
 
-    /// Runs until simulation time reaches `until` ticks.
+    /// Runs until simulation time reaches `until` ticks, handling events
+    /// one at a time in `(tick, seq)` order.
     pub fn run_until(&mut self, until: u64) {
-        while let Some(Reverse((at, _, idx))) = self.queue.peek().copied() {
-            if at > until {
-                break;
-            }
-            self.queue.pop();
+        while let Some((at, _seq, event)) = self.wheel.pop_at_or_before(until) {
             self.now = at;
-            let Some(event) = self.events[idx].take() else {
-                continue;
-            };
-            self.free_slots.push(idx);
+            self.roll_windows();
             match event {
                 Event::Timer(id) => {
                     if self.nodes.contains(id) {
                         self.dispatch_timer(id);
                         let next = self.now + self.config.gossip_period;
-                        self.schedule(next, Event::Timer(id));
+                        self.schedule_timer(next, id);
                     }
                 }
-                Event::Deliver { from, to, message } => {
+                Event::Deliver {
+                    from, to, message, ..
+                } => {
                     if self.nodes.contains(to) {
                         self.dispatch_message(to, from, message);
                     }
                 }
             }
-            // Compact the event store opportunistically.
-            if self.queue.is_empty() {
-                self.events.clear();
-                self.free_slots.clear();
-            }
         }
         self.now = self.now.max(until);
+        self.roll_windows();
     }
 
     fn dispatch_timer(&mut self, id: NodeId) {
@@ -336,11 +552,23 @@ impl<P: AsyncProtocol> EventEngine<P> {
         self.duplicated
     }
 
-    /// Attaches a telemetry store. The event-driven engine records
-    /// delivery/loss/duplication counters into it; recording is purely
-    /// observational and never consumes engine RNG, so attaching telemetry
-    /// leaves the simulation bit-identical.
+    /// Duplicate copies suppressed by the batch driver so far (the
+    /// sequential driver delivers duplicates and leaves suppression to the
+    /// protocol).
+    pub fn dup_dropped_count(&self) -> u64 {
+        self.dup_dropped
+    }
+
+    /// Attaches a telemetry store. The engine records delivery/loss/
+    /// duplication counters into it and emits one
+    /// [`RoundSnapshot`](adam2_telemetry::RoundSnapshot) per elapsed
+    /// gossip period; recording is purely observational and never consumes
+    /// engine RNG, so attaching telemetry leaves the simulation
+    /// bit-identical.
     pub fn attach_telemetry(&mut self, telemetry: SimTelemetry) {
+        self.next_window = self.now / self.config.gossip_period;
+        self.win_bytes = self.net.total_bytes();
+        self.win_msgs = self.net.total_msgs();
         self.telemetry = Some(Box::new(telemetry));
     }
 
@@ -359,62 +587,148 @@ impl<P: AsyncProtocol> EventEngine<P> {
         self.telemetry.as_deref_mut()
     }
 
-    /// Emits a [`RoundSnapshot`](adam2_telemetry::RoundSnapshot) for the
-    /// current gossip period (`now / gossip_period`) carrying the live-node
-    /// count and cumulative traffic totals. A no-op without telemetry.
-    /// Event-driven drivers call this at period boundaries; the cycle
-    /// engine snapshots automatically instead.
-    pub fn snapshot_telemetry(&mut self) {
-        let round = self.now / self.config.gossip_period;
-        let live = self.nodes.len() as u64;
-        let (bytes, msgs) = (self.net.total_bytes(), self.net.total_msgs());
-        if let Some(t) = self.telemetry.as_deref_mut() {
-            t.end_round(round, live, bytes, msgs);
+    /// Emits snapshots for every gossip-period window that has fully
+    /// elapsed. Windows carry per-window traffic deltas; window `w` covers
+    /// ticks `[w * period, (w + 1) * period)`. A no-op without telemetry.
+    fn roll_windows(&mut self) {
+        if self.telemetry.is_none() {
+            return;
+        }
+        let period = self.config.gossip_period;
+        while (self.next_window + 1) * period <= self.now {
+            let bytes = self.net.total_bytes();
+            let msgs = self.net.total_msgs();
+            let live = self.nodes.len() as u64;
+            let t = self.telemetry.as_deref_mut().expect("checked above");
+            t.end_round(
+                self.next_window,
+                live,
+                bytes - self.win_bytes,
+                msgs - self.win_msgs,
+            );
+            self.win_bytes = bytes;
+            self.win_msgs = msgs;
+            self.next_window += 1;
         }
     }
 
-    fn flush(&mut self, outbox: Vec<(NodeId, NodeId, P::Message, usize)>) {
+    /// Emits a [`RoundSnapshot`](adam2_telemetry::RoundSnapshot) for the
+    /// current *partial* window (full windows are emitted automatically as
+    /// time advances). Useful at the end of a run to capture the tail. A
+    /// no-op without telemetry.
+    pub fn snapshot_telemetry(&mut self) {
+        if self.telemetry.is_none() {
+            return;
+        }
+        self.roll_windows();
+        let bytes = self.net.total_bytes();
+        let msgs = self.net.total_msgs();
+        let live = self.nodes.len() as u64;
+        let window = self.next_window;
+        let t = self.telemetry.as_deref_mut().expect("checked above");
+        t.end_round(window, live, bytes - self.win_bytes, msgs - self.win_msgs);
+        self.win_bytes = bytes;
+        self.win_msgs = msgs;
+        self.next_window = window + 1;
+    }
+
+    /// Fault-adjusted (loss, extra delay, duplication) parameters for the
+    /// current tick's round.
+    fn fault_params(&self) -> (f64, u64, f64) {
         let round = self.now / self.config.gossip_period;
-        let (loss_rate, extra_delay, dup_rate) = match &self.faults {
+        match &self.faults {
             Some(s) => (
                 s.loss_rate_at(round).unwrap_or(self.config.loss_rate),
                 s.extra_delay_at(round),
                 s.duplication_rate_at(round),
             ),
             None => (self.config.loss_rate, 0, 0.0),
-        };
+        }
+    }
+
+    /// Registers `send_seq` as having a duplicate twin in flight, evicting
+    /// the oldest entry past the window bound.
+    fn register_duplicate(&mut self, send_seq: u64) {
+        if self.dup_fifo.len() >= DUP_WINDOW {
+            if let Some(old) = self.dup_fifo.pop_front() {
+                self.dup_pending.remove(&old);
+                self.dup_delivered.remove(&old);
+            }
+        }
+        self.dup_fifo.push_back(send_seq);
+        self.dup_pending.insert(send_seq);
+    }
+
+    /// Decides the fate of one sent message — loss, latency, duplication —
+    /// and schedules the surviving copies. Draws from the engine RNG in a
+    /// fixed order (loss, latency, duplication, duplicate latency), so any
+    /// caller that presents sends in canonical order gets deterministic
+    /// fates.
+    fn route(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        message: P::Message,
+        loss_rate: f64,
+        extra_delay: u64,
+        dup_rate: f64,
+    ) {
+        if loss_rate > 0.0 && self.rng.random::<f64>() < loss_rate {
+            self.lost += 1;
+            if let Some(t) = self.telemetry.as_deref_mut() {
+                t.record_async_loss();
+            }
+            return;
+        }
+        let latency = self.config.latency.sample(&mut self.rng).max(1) + extra_delay;
+        let at = self.now + latency;
+        self.send_seq += 1;
+        let send_seq = self.send_seq;
+        if dup_rate > 0.0 && self.rng.random::<f64>() < dup_rate {
+            self.duplicated += 1;
+            if let Some(t) = self.telemetry.as_deref_mut() {
+                t.record_async_duplicate();
+            }
+            let dup_latency = self.config.latency.sample(&mut self.rng).max(1) + extra_delay;
+            self.register_duplicate(send_seq);
+            self.wheel.push(
+                self.now + dup_latency,
+                to.slot() as u32,
+                Event::Deliver {
+                    from,
+                    to,
+                    message: message.clone(),
+                    send_seq,
+                },
+            );
+        }
+        self.wheel.push(
+            at,
+            to.slot() as u32,
+            Event::Deliver {
+                from,
+                to,
+                message,
+                send_seq,
+            },
+        );
+    }
+
+    fn flush(&mut self, outbox: Vec<(NodeId, NodeId, P::Message, usize)>) {
+        let (loss_rate, extra_delay, dup_rate) = self.fault_params();
         for (from, to, message, _bytes) in outbox {
-            if loss_rate > 0.0 && self.rng.random::<f64>() < loss_rate {
-                self.lost += 1;
-                if let Some(t) = self.telemetry.as_deref_mut() {
-                    t.record_async_loss();
-                }
-                continue;
-            }
-            let latency = self.config.latency.sample(&mut self.rng).max(1) + extra_delay;
-            let at = self.now + latency;
-            if dup_rate > 0.0 && self.rng.random::<f64>() < dup_rate {
-                self.duplicated += 1;
-                if let Some(t) = self.telemetry.as_deref_mut() {
-                    t.record_async_duplicate();
-                }
-                let dup_latency = self.config.latency.sample(&mut self.rng).max(1) + extra_delay;
-                self.schedule(
-                    self.now + dup_latency,
-                    Event::Deliver {
-                        from,
-                        to,
-                        message: message.clone(),
-                    },
-                );
-            }
-            self.schedule(at, Event::Deliver { from, to, message });
+            self.route(from, to, message, loss_rate, extra_delay, dup_rate);
         }
     }
 
     /// Current simulation time in ticks.
     pub fn now(&self) -> u64 {
         self.now
+    }
+
+    /// Events pending in the timer wheel.
+    pub fn pending_events(&self) -> usize {
+        self.wheel.len()
     }
 
     /// The live nodes.
@@ -477,12 +791,188 @@ impl<P: AsyncProtocol> EventEngine<P> {
     }
 }
 
+impl<P> EventEngine<P>
+where
+    P: BatchAsyncProtocol + Sync,
+    P::Node: Send,
+    P::Message: Send,
+{
+    /// Runs until simulation time reaches `until` ticks, processing each
+    /// tick as one parallel batch. See the module docs for the three-phase
+    /// structure and the determinism argument. Results are bit-identical
+    /// for every `config.threads` value, but batch runs are a *different*
+    /// (equally valid) trajectory than [`EventEngine::run_until`] — the
+    /// two drivers draw randomness differently.
+    pub fn run_until_parallel(&mut self, until: u64) {
+        let period = self.config.gossip_period;
+        let threads = self.config.threads.max(1);
+        let batch_base = derive_seed(self.config.seed, EVENT_PAR_STREAM);
+        while let Some(tick) = self.wheel.next_tick() {
+            if tick > until {
+                break;
+            }
+            self.now = tick;
+            self.roll_windows();
+            let mut buckets = std::mem::take(&mut self.drain_scratch);
+            self.wheel.drain_tick_into(tick, &mut buckets);
+
+            // Phase 1 (sequential pre-pass): drop events for dead nodes,
+            // suppress fault-duplicate redeliveries, and count deliveries
+            // — all in canonical (shard, seq) order so counters and dedup
+            // decisions are thread-count-invariant.
+            {
+                let nodes = &self.nodes;
+                let dup_pending = &self.dup_pending;
+                let dup_delivered = &mut self.dup_delivered;
+                let dup_dropped = &mut self.dup_dropped;
+                let delivered = &mut self.delivered;
+                let telemetry = &mut self.telemetry;
+                for bucket in &mut buckets {
+                    bucket.retain(|(_, event)| match event {
+                        Event::Timer(id) => nodes.contains(*id),
+                        Event::Deliver { to, send_seq, .. } => {
+                            if !nodes.contains(*to) {
+                                return false;
+                            }
+                            if !dup_pending.is_empty()
+                                && dup_pending.contains(send_seq)
+                                && !dup_delivered.insert(*send_seq)
+                            {
+                                *dup_dropped += 1;
+                                return false;
+                            }
+                            *delivered += 1;
+                            if let Some(t) = telemetry.as_deref_mut() {
+                                t.record_async_delivery();
+                            }
+                            true
+                        }
+                    });
+                }
+            }
+
+            // Phase 2 (parallel): shards are slot-disjoint, so workers may
+            // mutate their nodes through `RawSlots` without locks. Each
+            // event gets a counter-based RNG stream; effects are recorded
+            // as per-shard op lists instead of being applied.
+            let shard_count = buckets.len();
+            let mut results: Vec<ShardBatch<P::Message, P::Report>> = (0..shard_count)
+                .map(|_| (Vec::new(), P::Report::default()))
+                .collect();
+            {
+                let (view, raw) = self.nodes.batch_split();
+                let protocol = &self.protocol;
+                crate::executor::par_zip(
+                    &mut buckets,
+                    &mut results,
+                    threads,
+                    |_base, work, out| {
+                        let mut sends = Vec::new();
+                        for (bucket, (ops, report)) in work.iter_mut().zip(out.iter_mut()) {
+                            while let Some((seq, event)) = bucket.pop_front() {
+                                match event {
+                                    Event::Timer(id) => {
+                                        // SAFETY: this worker exclusively owns
+                                        // every slot of its shards; the
+                                        // pre-pass kept only live targets.
+                                        if let Some(node) = unsafe { raw.get_mut(id) } {
+                                            let mut ctx = BatchCtx {
+                                                now: tick,
+                                                stamp: seq,
+                                                rng: par_stream_rng(
+                                                    batch_base,
+                                                    tick,
+                                                    id.slot() as u64,
+                                                    seq,
+                                                ),
+                                                peers: view,
+                                                sends: &mut sends,
+                                            };
+                                            protocol.par_on_timer(id, node, &mut ctx, report);
+                                        }
+                                        for (from, to, message, bytes) in sends.drain(..) {
+                                            ops.push(MergeOp::Send {
+                                                from,
+                                                to,
+                                                message,
+                                                bytes,
+                                            });
+                                        }
+                                        ops.push(MergeOp::Timer(id));
+                                    }
+                                    Event::Deliver {
+                                        from, to, message, ..
+                                    } => {
+                                        // SAFETY: as above.
+                                        if let Some(node) = unsafe { raw.get_mut(to) } {
+                                            let mut ctx = BatchCtx {
+                                                now: tick,
+                                                stamp: seq,
+                                                rng: par_stream_rng(
+                                                    batch_base,
+                                                    tick,
+                                                    to.slot() as u64,
+                                                    seq,
+                                                ),
+                                                peers: view,
+                                                sends: &mut sends,
+                                            };
+                                            protocol.par_on_message(
+                                                to, node, from, message, &mut ctx, report,
+                                            );
+                                        }
+                                        for (from, to, message, bytes) in sends.drain(..) {
+                                            ops.push(MergeOp::Send {
+                                                from,
+                                                to,
+                                                message,
+                                                bytes,
+                                            });
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                    },
+                );
+            }
+
+            // Phase 3 (sequential merge): apply ops in (shard, seq) order.
+            // Fault fates draw from the engine RNG here, in canonical
+            // order, so they are identical at any thread count.
+            let (loss_rate, extra_delay, dup_rate) = self.fault_params();
+            for (ops, report) in results {
+                for op in ops {
+                    match op {
+                        MergeOp::Send {
+                            from,
+                            to,
+                            message,
+                            bytes,
+                        } => {
+                            self.net.charge_message(from, to, bytes);
+                            self.route(from, to, message, loss_rate, extra_delay, dup_rate);
+                        }
+                        MergeOp::Timer(id) => {
+                            self.schedule_timer(tick + period, id);
+                        }
+                    }
+                }
+                self.protocol.absorb_report(report);
+            }
+            self.drain_scratch = buckets;
+        }
+        self.now = self.now.max(until);
+        self.roll_windows();
+    }
+}
+
 impl<P: AsyncProtocol> std::fmt::Debug for EventEngine<P> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("EventEngine")
             .field("now", &self.now)
             .field("live_nodes", &self.nodes.len())
-            .field("pending_events", &self.queue.len())
+            .field("pending_events", &self.wheel.len())
             .finish()
     }
 }
@@ -545,6 +1035,45 @@ mod tests {
                 }
             }
         }
+    }
+
+    impl BatchAsyncProtocol for AsyncAveraging {
+        type Report = ();
+
+        fn par_on_timer(
+            &self,
+            id: NodeId,
+            node: &mut f64,
+            ctx: &mut BatchCtx<'_, '_, Msg>,
+            _report: &mut (),
+        ) {
+            let Some(partner) = ctx.random_neighbour(id) else {
+                return;
+            };
+            ctx.send(id, partner, Msg::Request(*node), 8);
+        }
+
+        fn par_on_message(
+            &self,
+            id: NodeId,
+            node: &mut f64,
+            from: NodeId,
+            message: Msg,
+            ctx: &mut BatchCtx<'_, '_, Msg>,
+            _report: &mut (),
+        ) {
+            match message {
+                Msg::Request(theirs) => {
+                    ctx.send(id, from, Msg::Response(*node), 8);
+                    *node = (*node + theirs) / 2.0;
+                }
+                Msg::Response(theirs) => {
+                    *node = (*node + theirs) / 2.0;
+                }
+            }
+        }
+
+        fn absorb_report(&mut self, _report: ()) {}
     }
 
     #[test]
@@ -634,6 +1163,16 @@ mod tests {
     }
 
     #[test]
+    fn uniform_latency_with_min_above_max_is_rejected() {
+        let config = EventConfig::new(8, 1).with_latency(LatencyModel::Uniform { min: 9, max: 3 });
+        assert!(config.validate().is_err());
+        assert!(EventEngine::try_new(config, AsyncAveraging { next: 0.0 }).is_err());
+        // Degenerate (min == max) stays legal.
+        let config = EventConfig::new(8, 1).with_latency(LatencyModel::Uniform { min: 4, max: 4 });
+        assert!(config.validate().is_ok());
+    }
+
+    #[test]
     fn fault_burst_loss_applies_only_inside_the_window() {
         // Lossless base config; a full-loss burst over rounds [2, 4) (ticks
         // 100..200 at a 50-tick period... gossip_period 50 -> rounds are
@@ -668,6 +1207,8 @@ mod tests {
             engine.delivered_count() >= engine.duplicated_count(),
             "duplicates are delivered too"
         );
+        // The sequential driver leaves duplicate suppression to protocols.
+        assert_eq!(engine.dup_dropped_count(), 0);
     }
 
     #[test]
@@ -714,11 +1255,19 @@ mod tests {
         };
         assert_eq!(counter("async_delivered"), engine.delivered_count());
         assert_eq!(counter("async_lost"), engine.lost_count());
+        // One snapshot per elapsed gossip-period window (0..=19), plus the
+        // explicit partial window 20 at the end.
         let snaps = t.telemetry().snapshots();
-        assert_eq!(snaps.len(), 1);
-        assert_eq!(snaps[0].round, 20);
-        assert_eq!(snaps[0].live_nodes, 32);
-        assert_eq!(snaps[0].round_bytes, engine.net().total_bytes());
+        assert_eq!(snaps.len(), 21);
+        assert_eq!(snaps[0].round, 0);
+        assert_eq!(snaps[20].round, 20);
+        assert!(snaps.iter().all(|s| s.live_nodes == 32));
+        // Window traffic is a per-window delta; the windows partition the
+        // run, so the deltas sum back to the cumulative total.
+        let windowed: u64 = snaps.iter().map(|s| s.round_bytes).sum();
+        assert_eq!(windowed, engine.net().total_bytes());
+        let windowed_msgs: u64 = snaps.iter().map(|s| s.round_msgs).sum();
+        assert_eq!(windowed_msgs, engine.net().total_msgs());
 
         // Attaching telemetry must not perturb the simulation.
         let bare = run(false);
@@ -745,6 +1294,88 @@ mod tests {
         );
         assert_eq!(engine.delivered_count(), 0);
     }
+
+    #[test]
+    fn parallel_batch_averaging_converges() {
+        let config = EventConfig::new(128, 5)
+            .with_gossip_period(100)
+            .with_latency(LatencyModel::Uniform { min: 5, max: 30 })
+            .with_threads(4);
+        let mut engine = EventEngine::new(config, AsyncAveraging { next: 0.0 });
+        engine.run_until_parallel(100 * 60);
+        let expected = 129.0 / 2.0;
+        let mean: f64 =
+            engine.nodes().iter().map(|(_, v)| *v).sum::<f64>() / engine.nodes().len() as f64;
+        assert!(
+            (mean - expected).abs() / expected < 0.05,
+            "mean {mean} vs {expected}"
+        );
+        for (_, v) in engine.nodes().iter() {
+            assert!((v - mean).abs() < 1.0, "value {v} not converged to {mean}");
+        }
+    }
+
+    /// The satellite-mandated bit-identity check: batch runs must agree
+    /// exactly — node state, counters, and traffic — at 1, 2, and 4
+    /// worker threads.
+    #[test]
+    fn parallel_batch_is_bit_identical_across_thread_counts() {
+        let run = |threads: usize| {
+            let config = EventConfig::new(96, 23)
+                .with_gossip_period(60)
+                .with_loss_rate(0.1)
+                .with_threads(threads);
+            let mut engine = EventEngine::new(config, AsyncAveraging { next: 0.0 });
+            engine.run_until_parallel(60 * 30);
+            (
+                engine
+                    .nodes()
+                    .iter()
+                    .map(|(_, v)| v.to_bits())
+                    .collect::<Vec<_>>(),
+                engine.delivered_count(),
+                engine.lost_count(),
+                engine.net().total_bytes(),
+                engine.net().total_msgs(),
+            )
+        };
+        let base = run(1);
+        assert_eq!(base, run(2), "threads=2 diverged from threads=1");
+        assert_eq!(base, run(4), "threads=4 diverged from threads=1");
+    }
+
+    #[test]
+    fn parallel_batch_suppresses_duplicate_copies_at_the_engine() {
+        let config = EventConfig::new(32, 14)
+            .with_gossip_period(50)
+            .with_threads(2);
+        let mut engine = EventEngine::new(config, AsyncAveraging { next: 0.0 });
+        engine
+            .set_fault_scenario(crate::faults::FaultScenario::new(2).with_duplication(0, 100, 1.0))
+            .unwrap();
+        engine.run_until_parallel(50 * 10);
+        assert!(engine.duplicated_count() > 0);
+        assert!(
+            engine.dup_dropped_count() > 0,
+            "batch driver drops redundant twins"
+        );
+        assert!(engine.dup_dropped_count() <= engine.duplicated_count());
+    }
+
+    #[test]
+    fn parallel_batch_emits_windowed_snapshots() {
+        let config = EventConfig::new(32, 19)
+            .with_gossip_period(50)
+            .with_threads(2);
+        let mut engine = EventEngine::new(config, AsyncAveraging { next: 0.0 });
+        engine.attach_telemetry(SimTelemetry::new());
+        engine.run_until_parallel(50 * 10);
+        let t = engine.detach_telemetry().expect("telemetry attached");
+        let snaps = t.telemetry().snapshots();
+        assert_eq!(snaps.len(), 10, "one snapshot per elapsed window");
+        let windowed: u64 = snaps.iter().map(|s| s.round_bytes).sum();
+        assert_eq!(windowed, engine.net().total_bytes());
+    }
 }
 
 #[cfg(test)]
@@ -770,13 +1401,13 @@ mod store_tests {
         let mut engine = EventEngine::new(config, Ping);
         // Long run: thousands of events scheduled and consumed.
         engine.run_until(10 * 2_000);
-        // The store must stay near the number of *pending* events (one
-        // timer per node plus in-flight messages), not the total ever
-        // scheduled (~192k here).
-        let capacity = engine.events.len();
+        // The wheel must hold only the *pending* events (one timer per
+        // node plus in-flight messages), not the total ever scheduled
+        // (~192k here).
+        let pending = engine.pending_events();
         assert!(
-            capacity < 64 * 20,
-            "event store grew unboundedly: {capacity} slots"
+            pending < 64 * 20,
+            "event store grew unboundedly: {pending} pending"
         );
     }
 }

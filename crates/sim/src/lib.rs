@@ -64,13 +64,16 @@ pub mod peersampling;
 mod rng;
 mod stats;
 mod telemetry;
+mod wheel;
 
 pub use churn::ChurnModel;
 pub use engine::{
     Ctx, Engine, EngineConfig, ExchangeFate, ExchangeOutcome, ExchangeRepair, ExchangeTraffic,
     ParLocal, PlannedExchange, Protocol, SimConfigError,
 };
-pub use event::{AsyncProtocol, EventConfig, EventCtx, EventEngine, LatencyModel};
+pub use event::{
+    AsyncProtocol, BatchAsyncProtocol, BatchCtx, EventConfig, EventCtx, EventEngine, LatencyModel,
+};
 pub use faults::{FaultEvent, FaultScenario, FaultTrace, PartitionKind, RoundFaults};
 pub use node::{NodeId, NodeSlab};
 pub use overlay::{Overlay, OverlayConfig, OverlayKind};

@@ -82,9 +82,37 @@ pub struct Overlay {
     config: OverlayConfig,
     /// Per-slot partial views (only used by [`OverlayKind::Shuffle`]).
     views: Vec<PsView>,
+    /// Reverse descriptor index: `holders[s]` lists the view slots whose
+    /// views currently hold a descriptor for node slot `s`. Kept exact by
+    /// every view mutation, it makes churn handling O(changed): removing
+    /// a node scrubs its descriptor from exactly the views that hold it,
+    /// instead of every view sweeping for dead entries every round.
+    holders: Vec<Vec<u32>>,
     /// Optional network partition: per-slot group ids; nodes can only
     /// gossip within their group while set.
     partition: Option<Vec<u32>>,
+    /// Scratch buffers reused across [`Overlay::maintain`] calls.
+    ids_scratch: Vec<NodeId>,
+    diff_a: Vec<NodeId>,
+    diff_b: Vec<NodeId>,
+}
+
+/// Marks `holder` as holding a descriptor for `target` (idempotent).
+fn idx_insert(holders: &mut [Vec<u32>], target: usize, holder: u32) {
+    if let Some(list) = holders.get_mut(target) {
+        if !list.contains(&holder) {
+            list.push(holder);
+        }
+    }
+}
+
+/// Unmarks `holder` for `target`.
+fn idx_remove(holders: &mut [Vec<u32>], target: usize, holder: u32) {
+    if let Some(list) = holders.get_mut(target) {
+        if let Some(pos) = list.iter().position(|h| *h == holder) {
+            list.swap_remove(pos);
+        }
+    }
 }
 
 impl Overlay {
@@ -93,7 +121,11 @@ impl Overlay {
         Self {
             config,
             views: Vec::new(),
+            holders: Vec::new(),
             partition: None,
+            ids_scratch: Vec::new(),
+            diff_a: Vec::new(),
+            diff_b: Vec::new(),
         }
     }
 
@@ -154,6 +186,12 @@ impl Overlay {
     pub fn register_node<N>(&mut self, id: NodeId, slab: &NodeSlab<N>, rng: &mut StdRng) {
         if self.views.len() <= id.slot() {
             self.views.resize(id.slot() + 1, PsView::new());
+            self.holders.resize(id.slot() + 1, Vec::new());
+        }
+        let me = id.slot() as u32;
+        // Unmark whatever the recycled slot's previous view held.
+        for old in self.views[id.slot()].ids().collect::<Vec<_>>() {
+            idx_remove(&mut self.holders, old.slot(), me);
         }
         self.views[id.slot()] = PsView::new();
         if self.config.kind == OverlayKind::Oracle {
@@ -165,17 +203,33 @@ impl Overlay {
                 break;
             }
             match slab.random_other(id, rng) {
-                Some(other) => view.insert(other, 0),
+                Some(other) => {
+                    view.insert(other, 0);
+                    idx_insert(&mut self.holders, other.slot(), me);
+                }
                 None => break,
             }
         }
     }
 
-    /// Forgets a node's view (its descriptor ages out of other views via
-    /// healing).
+    /// Forgets a node: clears its own view and scrubs its descriptor from
+    /// exactly the views holding it (via the reverse index), in O(changed)
+    /// rather than by a global sweep.
     pub fn remove_node(&mut self, id: NodeId) {
+        let me = id.slot() as u32;
         if let Some(view) = self.views.get_mut(id.slot()) {
+            let targets: Vec<NodeId> = view.ids().collect();
             *view = PsView::new();
+            for target in targets {
+                idx_remove(&mut self.holders, target.slot(), me);
+            }
+        }
+        if let Some(holding) = self.holders.get_mut(id.slot()) {
+            for holder in std::mem::take(holding) {
+                if let Some(view) = self.views.get_mut(holder as usize) {
+                    view.remove_id(id);
+                }
+            }
         }
     }
 
@@ -274,39 +328,48 @@ impl Overlay {
     }
 
     /// Runs one round of overlay maintenance (shuffle overlays only):
-    /// ages descriptors, prunes dead entries, re-bootstraps empty views,
-    /// and performs one peer-sampling exchange per node (healing +
-    /// swapping per the derived [`PeerSamplingPolicy`]).
+    /// ages descriptors, re-bootstraps empty views, and performs one
+    /// peer-sampling exchange per node (healing + swapping per the derived
+    /// [`PeerSamplingPolicy`]).
+    ///
+    /// Dead descriptors are *not* swept here: [`Overlay::remove_node`]
+    /// scrubs them eagerly through the reverse holder index when the churn
+    /// event happens, so per-round maintenance cost does not depend on
+    /// past churn.
     pub fn maintain<N>(&mut self, slab: &NodeSlab<N>, rng: &mut StdRng) {
         if self.config.kind == OverlayKind::Oracle {
             return;
         }
         let policy = self.sampling_policy();
-        let ids = slab.id_vec();
+        let mut ids = std::mem::take(&mut self.ids_scratch);
+        slab.collect_ids(&mut ids);
         if let Some(max_slot) = ids.iter().map(|id| id.slot()).max() {
             if self.views.len() <= max_slot {
                 self.views.resize(max_slot + 1, PsView::new());
+                self.holders.resize(max_slot + 1, Vec::new());
             }
         }
-        for id in &ids {
-            let view = &mut self.views[id.slot()];
-            view.increase_ages();
-            view.prune_dead(slab);
-            // Re-bootstrap an empty view (the service's recovery path).
-            let mut attempts = 0;
-            while view.is_empty() && attempts < 16 {
-                attempts += 1;
-                if let Some(other) = slab.random_other(*id, rng) {
-                    view.insert(other, 0);
-                } else {
-                    break;
+        {
+            let views = &mut self.views;
+            let holders = &mut self.holders;
+            for id in &ids {
+                let view = &mut views[id.slot()];
+                view.increase_ages();
+                // Re-bootstrap an empty view (the service's recovery path).
+                let mut attempts = 0;
+                while view.is_empty() && attempts < 16 {
+                    attempts += 1;
+                    if let Some(other) = slab.random_other(*id, rng) {
+                        view.insert(other, 0);
+                        idx_insert(holders, other.slot(), id.slot() as u32);
+                    } else {
+                        break;
+                    }
                 }
             }
         }
-        for id in ids {
-            if !slab.contains(id) {
-                continue;
-            }
+        for id in &ids {
+            let id = *id;
             let partner = {
                 let view = &self.views[id.slot()];
                 let candidates: Vec<NodeId> = view
@@ -335,9 +398,31 @@ impl Overlay {
             if partner.slot() >= self.views.len() || partner.slot() == id.slot() {
                 continue;
             }
-            let (a, b) = pair_views(&mut self.views, id.slot(), partner.slot());
+            let a_slot = id.slot();
+            let b_slot = partner.slot();
+            self.diff_a.clear();
+            self.diff_a.extend(self.views[a_slot].ids());
+            self.diff_b.clear();
+            self.diff_b.extend(self.views[b_slot].ids());
+            let (a, b) = pair_views(&mut self.views, a_slot, b_slot);
             ps_exchange(id, a, partner, b, &policy, rng);
+            // Update the reverse index from the exchange's view deltas
+            // (O(degree) per exchange — same order as the exchange).
+            for (slot, before) in [(a_slot, &self.diff_a), (b_slot, &self.diff_b)] {
+                let after = &self.views[slot];
+                for old in before {
+                    if !after.ids().any(|x| x == *old) {
+                        idx_remove(&mut self.holders, old.slot(), slot as u32);
+                    }
+                }
+                for new in after.ids() {
+                    if !before.contains(&new) {
+                        idx_insert(&mut self.holders, new.slot(), slot as u32);
+                    }
+                }
+            }
         }
+        self.ids_scratch = ids;
     }
 
     /// The current view of `of` as descriptors (empty for oracle
@@ -438,6 +523,36 @@ mod tests {
             );
             assert!(!view.contains(&id), "self loop");
         }
+    }
+
+    #[test]
+    fn remove_node_scrubs_descriptors_incrementally() {
+        let (mut slab, ids) = slab_of(60);
+        let mut overlay = Overlay::new(OverlayConfig::shuffle(6));
+        let mut rng = seeded_rng(7);
+        for id in slab.ids() {
+            overlay.register_node(id, &slab, &mut rng);
+        }
+        for _ in 0..3 {
+            overlay.maintain(&slab, &mut rng);
+        }
+        // Remove a quarter of the network: their descriptors must vanish
+        // from every surviving view immediately — no maintenance sweep.
+        for id in &ids[..15] {
+            slab.remove(*id);
+            overlay.remove_node(*id);
+        }
+        for id in slab.ids() {
+            let view = overlay.view(id);
+            assert!(
+                view.iter().all(|n| slab.contains(*n)),
+                "dead descriptor survived the incremental scrub"
+            );
+        }
+        // Recycled slots re-register cleanly.
+        let recycled = slab.insert(999);
+        overlay.register_node(recycled, &slab, &mut rng);
+        assert!(!overlay.view(recycled).is_empty());
     }
 
     #[test]

@@ -144,6 +144,14 @@ impl PsView {
         self.entries.retain(|e| slab.contains(e.id));
     }
 
+    /// Removes the descriptor for `id`, returning whether one was present
+    /// (used by the overlay's incremental churn scrub).
+    pub fn remove_id(&mut self, id: NodeId) -> bool {
+        let before = self.entries.len();
+        self.entries.retain(|e| e.id != id);
+        self.entries.len() != before
+    }
+
     /// Selects the gossip partner per the policy (`None` if the view is
     /// empty).
     pub fn select_peer(&self, selection: PeerSelection, rng: &mut StdRng) -> Option<NodeId> {
