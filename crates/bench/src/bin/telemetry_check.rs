@@ -5,6 +5,11 @@
 //! `events.jsonl`) or is a parent whose subdirectories are exports (the
 //! layout `--telemetry DIR` produces for multi-scenario binaries).
 //!
+//! `telemetry_check --bench FILE...` instead validates benchmark result
+//! files (currently `BENCH_byzantine.json`): the embedded manifest must
+//! match the manifest schema and every result record must carry exactly
+//! the documented fields, with both engines present.
+//!
 //! Every record must carry exactly the documented fields — unknown and
 //! missing fields both fail — with the documented types, and every event
 //! `kind` must be one of the known wire names (see DESIGN.md's telemetry
@@ -26,9 +31,11 @@ enum FieldType {
     Str,
     /// JSON string or `null` (e.g. `git_rev` outside a checkout).
     StrOrNull,
+    /// JSON boolean.
+    Bool,
 }
 
-/// `rounds.jsonl` / `rounds.csv` schema: the 20 per-round fields.
+/// `rounds.jsonl` / `rounds.csv` schema: the 22 per-round fields.
 const ROUND_FIELDS: &[(&str, FieldType)] = &[
     ("round", FieldType::Uint),
     ("live_nodes", FieldType::Uint),
@@ -48,6 +55,8 @@ const ROUND_FIELDS: &[(&str, FieldType)] = &[
     ("leaves", FieldType::Uint),
     ("heal_bumps", FieldType::Uint),
     ("bootstraps", FieldType::Uint),
+    ("robust_rejects", FieldType::Uint),
+    ("robust_trims", FieldType::Uint),
     ("inflight_exchanges", FieldType::Uint),
     ("queue_depth_max", FieldType::Uint),
 ];
@@ -76,6 +85,22 @@ const EVENT_KINDS: &[&str] = &[
     "instance_started",
 ];
 
+/// `BENCH_byzantine.json` per-result schema (`--bench` mode).
+const BYZANTINE_RESULT_FIELDS: &[(&str, FieldType)] = &[
+    ("engine", FieldType::Str),
+    ("model", FieldType::Str),
+    ("fraction", FieldType::NumberOrNull),
+    ("robust", FieldType::Bool),
+    ("err_a", FieldType::NumberOrNull),
+    ("err_m", FieldType::NumberOrNull),
+    ("n_hat_rel_err", FieldType::NumberOrNull),
+    ("honest_without_estimate", FieldType::Uint),
+    ("byzantine", FieldType::Uint),
+    ("robust_rejects", FieldType::Uint),
+    ("robust_trims", FieldType::Uint),
+    ("fingerprint", FieldType::Uint),
+];
+
 /// `manifest.json` schema.
 const MANIFEST_FIELDS: &[(&str, FieldType)] = &[
     ("schema_version", FieldType::Uint),
@@ -93,6 +118,7 @@ enum Scalar {
     Uint(u64),
     Number(f64),
     Str(String),
+    Bool(bool),
     Null,
 }
 
@@ -152,6 +178,8 @@ fn parse_flat_object(text: &str) -> Result<BTreeMap<String, Scalar>, String> {
             }
             if raw == "null" {
                 Scalar::Null
+            } else if raw == "true" || raw == "false" {
+                Scalar::Bool(raw == "true")
             } else if let Ok(u) = raw.parse::<u64>() {
                 Scalar::Uint(u)
             } else if let Ok(f) = raw.parse::<f64>() {
@@ -198,6 +226,7 @@ fn check_fields(
             }
             FieldType::Str => matches!(value, Scalar::Str(_)),
             FieldType::StrOrNull => matches!(value, Scalar::Str(_) | Scalar::Null),
+            FieldType::Bool => matches!(value, Scalar::Bool(_)),
         };
         if !ok {
             return Err(format!("field '{name}': expected {ty:?}, got {value:?}"));
@@ -287,6 +316,75 @@ fn validate_export(dir: &Path) -> Result<ExportSummary, String> {
     Ok(ExportSummary { rounds, events })
 }
 
+/// Validates one benchmark result file (`--bench` mode). The generators
+/// emit a fixed layout — the embedded manifest inline on its own line and
+/// one flat result object per line inside the `results` array — so a
+/// line-based scan covers the full schema without a nested JSON parser.
+fn validate_bench(path: &Path) -> Result<usize, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+
+    let benchmark = text
+        .lines()
+        .find_map(|l| l.trim().strip_prefix("\"benchmark\": "))
+        .ok_or("missing \"benchmark\" field")?
+        .trim_end_matches(',');
+    let schema: &[(&str, FieldType)] = match benchmark {
+        "\"byzantine_resilience\"" => BYZANTINE_RESULT_FIELDS,
+        other => {
+            return Err(format!(
+                "unknown benchmark {other} (expected a --bench schema)"
+            ))
+        }
+    };
+
+    let manifest_line = text
+        .lines()
+        .find_map(|l| l.trim().strip_prefix("\"manifest\": "))
+        .ok_or("missing \"manifest\" field")?
+        .trim_end_matches(',');
+    let manifest = parse_flat_object(manifest_line).map_err(|e| format!("manifest: {e}"))?;
+    check_manifest(&manifest).map_err(|e| format!("manifest: {e}"))?;
+
+    let mut in_results = false;
+    let mut results = 0usize;
+    let mut engines: Vec<String> = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        let trimmed = line.trim();
+        if trimmed == "\"results\": [" {
+            in_results = true;
+            continue;
+        }
+        if !in_results {
+            continue;
+        }
+        if trimmed == "]" || trimmed == "]," {
+            in_results = false;
+            continue;
+        }
+        let obj = parse_flat_object(trimmed.trim_end_matches(','))
+            .map_err(|e| format!("results line {}: {e}", i + 1))?;
+        check_fields(&obj, schema).map_err(|e| format!("results line {}: {e}", i + 1))?;
+        if let Some(Scalar::Str(engine)) = obj.get("engine") {
+            if !engines.contains(engine) {
+                engines.push(engine.clone());
+            }
+        }
+        results += 1;
+    }
+    if in_results {
+        return Err("unterminated results array".into());
+    }
+    if results == 0 {
+        return Err("no result records".into());
+    }
+    for required in ["cycle", "event"] {
+        if !engines.iter().any(|e| e == required) {
+            return Err(format!("no results for the {required} engine"));
+        }
+    }
+    Ok(results)
+}
+
 /// Expands an argument directory into export directories: itself when it
 /// holds `rounds.jsonl` directly, otherwise its matching subdirectories.
 fn collect_exports(dir: &Path) -> Result<Vec<PathBuf>, String> {
@@ -310,10 +408,17 @@ fn collect_exports(dir: &Path) -> Result<Vec<PathBuf>, String> {
 }
 
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let bench_mode = {
+        let before = args.len();
+        args.retain(|a| a != "--bench");
+        args.len() != before
+    };
     if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
         eprintln!("usage: telemetry_check DIR...");
+        eprintln!("       telemetry_check --bench FILE...");
         eprintln!("validates telemetry exports (manifest.json, rounds.jsonl/.csv, events.jsonl)");
+        eprintln!("or, with --bench, benchmark result files (BENCH_byzantine.json)");
         return if args.is_empty() {
             ExitCode::from(2)
         } else {
@@ -321,6 +426,22 @@ fn main() -> ExitCode {
         };
     }
     let mut failed = false;
+    if bench_mode {
+        for arg in &args {
+            match validate_bench(Path::new(arg)) {
+                Ok(n) => println!("ok: {arg} ({n} results)"),
+                Err(e) => {
+                    eprintln!("FAIL: {arg}: {e}");
+                    failed = true;
+                }
+            }
+        }
+        return if failed {
+            ExitCode::FAILURE
+        } else {
+            ExitCode::SUCCESS
+        };
+    }
     for arg in &args {
         let exports = match collect_exports(Path::new(arg)) {
             Ok(found) => found,
@@ -429,9 +550,61 @@ mod tests {
         assert!(check_manifest(&v2).unwrap_err().contains("schema_version"));
     }
 
+    fn byzantine_result_line(engine: &str) -> String {
+        format!(
+            "    {{\"engine\": \"{engine}\", \"model\": \"value_poisoning\", \"fraction\": 0.1, \
+             \"robust\": true, \"err_a\": 3.3e-3, \"err_m\": 9.4e-2, \"n_hat_rel_err\": null, \
+             \"honest_without_estimate\": 0, \"byzantine\": 992, \"robust_rejects\": 54458, \
+             \"robust_trims\": 188582, \"fingerprint\": 123}},"
+        )
+    }
+
+    fn byzantine_bench_json() -> String {
+        format!(
+            "{{\n  \"benchmark\": \"byzantine_resilience\",\n  \"manifest\": \
+             {{\"schema_version\": 1, \"experiment\": \"t\", \"config_hash\": 5, \"seed\": 1, \
+             \"threads\": 2, \"detected_cores\": 4, \"git_rev\": null}},\n  \"results\": [\n\
+             {}\n{}\n  ]\n}}\n",
+            byzantine_result_line("cycle"),
+            byzantine_result_line("event").trim_end_matches(',')
+        )
+    }
+
+    #[test]
+    fn bench_mode_accepts_the_byzantine_schema() {
+        let dir = std::env::temp_dir().join("telemetry_check_bench_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_byzantine.json");
+        std::fs::write(&path, byzantine_bench_json()).unwrap();
+        assert_eq!(validate_bench(&path), Ok(2));
+
+        // A renamed result field fails.
+        std::fs::write(&path, byzantine_bench_json().replace("err_a", "err_avg")).unwrap();
+        assert!(validate_bench(&path).unwrap_err().contains("unknown field"));
+
+        // Dropping one engine's results fails.
+        std::fs::write(
+            &path,
+            byzantine_bench_json().replace("\"event\"", "\"cycle\""),
+        )
+        .unwrap();
+        assert!(validate_bench(&path)
+            .unwrap_err()
+            .contains("no results for the event engine"));
+
+        // A non-boolean robust flag fails.
+        std::fs::write(
+            &path,
+            byzantine_bench_json().replace("\"robust\": true", "\"robust\": 1"),
+        )
+        .unwrap();
+        assert!(validate_bench(&path).unwrap_err().contains("'robust'"));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
     #[test]
     fn csv_header_tracks_round_fields() {
         assert_eq!(expected_csv_header().split(',').count(), ROUND_FIELDS.len());
-        assert_eq!(ROUND_FIELDS.len(), 20);
+        assert_eq!(ROUND_FIELDS.len(), 22);
     }
 }

@@ -181,6 +181,127 @@ impl Protocol for CountAggregation {
     }
 }
 
+/// Per-pair outcome of a [`robust_pair_merge`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RobustMergeStats {
+    /// Components excluded from the merge by the trim rule.
+    pub trimmed: u32,
+    /// Components whose movement was clamped by the influence cap.
+    pub capped: u32,
+}
+
+impl RobustMergeStats {
+    /// Total components whose influence was limited (trimmed or capped).
+    pub fn limited(self) -> u32 {
+        self.trimmed + self.capped
+    }
+}
+
+/// Trimmed mean of `values`: drop the `⌊trim_fraction·n⌋` smallest and the
+/// same number of largest values, average the rest. `trim_fraction = 0`
+/// is the plain mean; an empty slice yields 0.
+pub fn trimmed_mean(values: &[f64], trim_fraction: f64) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let t = (trim_fraction.clamp(0.0, 0.5) * values.len() as f64).floor() as usize;
+    if 2 * t >= values.len() {
+        // Everything trimmed: fall back to the median-like middle.
+        let mut sorted: Vec<f64> = values.to_vec();
+        sorted.sort_by(f64::total_cmp);
+        return sorted[sorted.len() / 2];
+    }
+    let mut sorted: Vec<f64> = values.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    let kept = &sorted[t..sorted.len() - t];
+    kept.iter().sum::<f64>() / kept.len() as f64
+}
+
+/// Median-of-means of `values`: split (in order) into `groups` contiguous
+/// blocks, average each, return the median of the block means. Robust to
+/// a minority of arbitrarily corrupted values while staying close to the
+/// mean on clean data. `groups ≤ 1` or a short slice degrade to the plain
+/// mean; an empty slice yields 0.
+pub fn median_of_means(values: &[f64], groups: usize) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let groups = groups.max(1).min(values.len());
+    if groups == 1 {
+        return values.iter().sum::<f64>() / values.len() as f64;
+    }
+    let mut means: Vec<f64> = values
+        .chunks(values.len().div_ceil(groups))
+        .map(|chunk| chunk.iter().sum::<f64>() / chunk.len() as f64)
+        .collect();
+    means.sort_by(f64::total_cmp);
+    let mid = means.len() / 2;
+    if means.len() % 2 == 1 {
+        means[mid]
+    } else {
+        (means[mid - 1] + means[mid]) / 2.0
+    }
+}
+
+/// Symmetric trimmed, influence-capped pairwise merge of two component
+/// vectors (the robust counterpart of the `(a+b)/2` push–pull step).
+///
+/// The `⌊trim_fraction·n⌋` components with the largest absolute
+/// disagreement `|b−a|` are left untouched on both sides; every other
+/// component moves to the pairwise mean, except that movement is clamped
+/// to ±`influence_cap` (applied symmetrically, so `a+b` is conserved to
+/// rounding in every case). With `trim_fraction = 0` and an infinite cap
+/// the result is bit-identical to the vanilla merge.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn robust_pair_merge(
+    a: &mut [f64],
+    b: &mut [f64],
+    trim_fraction: f64,
+    influence_cap: f64,
+) -> RobustMergeStats {
+    assert_eq!(a.len(), b.len(), "robust merge needs equal-length vectors");
+    let n = a.len();
+    let t = (trim_fraction.clamp(0.0, 0.5) * n as f64).floor() as usize;
+    let mut stats = RobustMergeStats::default();
+    // Rank components by |disagreement| (ties broken by index so both
+    // sides of an exchange compute the same trim set).
+    let mut trimmed = vec![false; n];
+    if t > 0 {
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by(|&i, &j| {
+            (b[j] - a[j])
+                .abs()
+                .total_cmp(&(b[i] - a[i]).abs())
+                .then(i.cmp(&j))
+        });
+        for &i in order.iter().take(t) {
+            trimmed[i] = true;
+        }
+        stats.trimmed = t as u32;
+    }
+    for i in 0..n {
+        if trimmed[i] {
+            continue;
+        }
+        let delta = (b[i] - a[i]) / 2.0;
+        if delta.abs() > influence_cap {
+            let step = influence_cap.copysign(delta);
+            a[i] += step;
+            b[i] -= step;
+            stats.capped += 1;
+        } else {
+            // Vanilla formula so trim=0 + no cap degrades bit-identically.
+            let mean = (a[i] + b[i]) / 2.0;
+            a[i] = mean;
+            b[i] = mean;
+        }
+    }
+    stats
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -268,5 +389,75 @@ mod tests {
     fn estimate_requires_weight() {
         assert_eq!(CountAggregation::estimate(0.0), None);
         assert_eq!(CountAggregation::estimate(0.01), Some(100.0));
+    }
+
+    #[test]
+    fn trimmed_mean_drops_tails() {
+        let values = [1.0, 2.0, 3.0, 4.0, 1000.0];
+        assert_eq!(trimmed_mean(&values, 0.0), 202.0);
+        // 20% of 5 = 1 from each tail: mean of {2, 3, 4}.
+        assert_eq!(trimmed_mean(&values, 0.2), 3.0);
+        assert_eq!(trimmed_mean(&[], 0.2), 0.0);
+        // Degenerate over-trim falls back to the middle element.
+        assert_eq!(trimmed_mean(&[5.0, 7.0], 0.5), 7.0);
+    }
+
+    #[test]
+    fn median_of_means_resists_outliers() {
+        let clean = [2.0; 12];
+        assert_eq!(median_of_means(&clean, 4), 2.0);
+        let mut poisoned = clean;
+        poisoned[0] = 1e12;
+        // One poisoned block cannot move the median of four block means.
+        assert_eq!(median_of_means(&poisoned, 4), 2.0);
+        // groups=1 degrades to the mean.
+        let v = [1.0, 2.0, 3.0];
+        assert_eq!(median_of_means(&v, 1), 2.0);
+        assert_eq!(median_of_means(&[], 4), 0.0);
+    }
+
+    #[test]
+    fn robust_pair_merge_degrades_to_vanilla() {
+        let mut a = [0.1, 0.5, 0.9, 0.3];
+        let mut b = [0.2, 0.4, 0.1, 0.7];
+        let (mut va, mut vb) = (a, b);
+        let stats = robust_pair_merge(&mut a, &mut b, 0.0, f64::INFINITY);
+        assert_eq!(stats, RobustMergeStats::default());
+        for i in 0..va.len() {
+            let mean = (va[i] + vb[i]) / 2.0;
+            va[i] = mean;
+            vb[i] = mean;
+        }
+        assert_eq!(a.to_vec(), va.to_vec());
+        assert_eq!(b.to_vec(), vb.to_vec());
+    }
+
+    #[test]
+    fn robust_pair_merge_trims_largest_disagreement() {
+        let mut a = [0.0, 0.0, 0.0, 0.0];
+        let mut b = [0.1, 100.0, 0.2, 0.3];
+        let stats = robust_pair_merge(&mut a, &mut b, 0.25, f64::INFINITY);
+        assert_eq!(stats.trimmed, 1);
+        // The poisoned component is untouched on both sides.
+        assert_eq!(a[1], 0.0);
+        assert_eq!(b[1], 100.0);
+        // The rest met in the middle.
+        assert_eq!(a[0], 0.05);
+        assert_eq!(b[0], 0.05);
+    }
+
+    #[test]
+    fn robust_pair_merge_caps_influence_and_conserves_mass() {
+        let mut a = [0.0, 0.0];
+        let mut b = [10.0, 0.2];
+        let sum_before: f64 = a.iter().chain(b.iter()).sum();
+        let stats = robust_pair_merge(&mut a, &mut b, 0.0, 0.5);
+        assert_eq!(stats.capped, 1);
+        assert_eq!(a[0], 0.5);
+        assert_eq!(b[0], 9.5);
+        assert_eq!(a[1], 0.1);
+        assert_eq!(b[1], 0.1);
+        let sum_after: f64 = a.iter().chain(b.iter()).sum();
+        assert!((sum_before - sum_after).abs() < 1e-12);
     }
 }

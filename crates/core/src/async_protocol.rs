@@ -20,10 +20,11 @@ use std::sync::Arc;
 
 use rand::rngs::StdRng;
 
-use adam2_sim::{AsyncProtocol, BatchAsyncProtocol, BatchCtx, EventCtx, NodeId};
+use adam2_sim::{ActiveAdversary, AsyncProtocol, BatchAsyncProtocol, BatchCtx, EventCtx, NodeId};
 
+use crate::config::RobustPolicy;
 use crate::instance::{AttrValue, InstanceMeta};
-use crate::protocol::Adam2Node;
+use crate::protocol::{corrupt_node, Adam2Node};
 use crate::wire::{GossipMessage, InstancePayload};
 
 /// A gossip message of the asynchronous protocol: the request carries the
@@ -74,11 +75,14 @@ pub struct AsyncAdam2 {
     /// Gossip timer ticks per protocol round; instance `end_round`s are
     /// interpreted against `now / ticks_per_round`.
     ticks_per_round: u64,
+    robust: Option<RobustPolicy>,
     completed: u64,
     next_seq: u64,
     seen: std::collections::HashSet<(usize, usize, u64)>,
     seen_order: std::collections::VecDeque<(usize, usize, u64)>,
     duplicates_dropped: u64,
+    robust_rejects: u64,
+    robust_trims: u64,
 }
 
 impl std::fmt::Debug for AsyncAdam2 {
@@ -105,12 +109,23 @@ impl AsyncAdam2 {
         Self {
             source: Box::new(source),
             ticks_per_round,
+            robust: None,
             completed: 0,
             next_seq: 0,
             seen: std::collections::HashSet::new(),
             seen_order: std::collections::VecDeque::new(),
             duplicates_dropped: 0,
+            robust_rejects: 0,
+            robust_trims: 0,
         }
+    }
+
+    /// Enables robust aggregation: every one-sided absorption is
+    /// plausibility-checked and merged through the trimmed,
+    /// influence-capped merge (see [`RobustPolicy`]).
+    pub fn with_robust(mut self, policy: RobustPolicy) -> Self {
+        self.robust = Some(policy);
+        self
     }
 
     /// Convenience constructor mirroring
@@ -138,6 +153,18 @@ impl AsyncAdam2 {
     /// receiver and sequence number as an already-processed message).
     pub fn duplicates_dropped(&self) -> u64 {
         self.duplicates_dropped
+    }
+
+    /// Snapshots rejected by the robust plausibility screen so far (0 in
+    /// vanilla mode).
+    pub fn robust_rejects(&self) -> u64 {
+        self.robust_rejects
+    }
+
+    /// Components trimmed or influence-capped by the robust merge so far
+    /// (0 in vanilla mode).
+    pub fn robust_trims(&self) -> u64 {
+        self.robust_trims
     }
 
     /// Records `(from, to, seq)` in the dedup window; returns `false` (and
@@ -201,7 +228,15 @@ impl AsyncAdam2 {
     /// debits the same mass the joiner credited and `Σw = 1` is preserved.
     /// Joining from a response would credit mass the sender never debits
     /// and inflate the weight sum (collapsing the `N = 1/w` estimate).
-    fn absorb(node: &mut Adam2Node, payloads: &[InstancePayload], round: u64, allow_join: bool) {
+    fn absorb(
+        node: &mut Adam2Node,
+        payloads: &[InstancePayload],
+        round: u64,
+        allow_join: bool,
+        robust: Option<&RobustPolicy>,
+    ) -> (u64, u64) {
+        let mut rejects = 0u64;
+        let mut trims = 0u64;
         for payload in payloads {
             if round >= payload.end_round {
                 continue;
@@ -214,7 +249,31 @@ impl AsyncAdam2 {
                 continue;
             }
             let snapshot = payload.to_local();
-            node.absorb_snapshot(&snapshot, round);
+            let (r, t) = node.absorb_snapshot_with(&snapshot, round, robust);
+            rejects += u64::from(r);
+            trims += u64::from(t);
+        }
+        (rejects, trims)
+    }
+
+    /// Applies the active adversary's corruption to `node`'s own state just
+    /// before it contributes to an exchange with `partner_slot`. A no-op
+    /// for honest nodes. Corruption streams are pure functions of the
+    /// scenario seed, so the attack replays bit-identically on the
+    /// sequential and batch drivers.
+    fn corrupt_if_byzantine(
+        adversary: &Option<ActiveAdversary>,
+        node: &mut Adam2Node,
+        fault_round: u64,
+        slot: usize,
+        partner_slot: usize,
+        round: u64,
+    ) {
+        if let Some(adv) = adversary {
+            if adv.is_byzantine(slot) {
+                let seed = adv.corruption_seed(fault_round, slot, partner_slot);
+                corrupt_node(node, adv.model, seed, round);
+            }
         }
     }
 
@@ -246,9 +305,19 @@ impl AsyncProtocol for AsyncAdam2 {
             return;
         };
         let round = self.round_of(now);
-        let Some(node) = ctx.nodes.get(id) else {
+        let adversary = ctx.adversary;
+        let fault_round = ctx.round;
+        let Some(node) = ctx.nodes.get_mut(id) else {
             return;
         };
+        Self::corrupt_if_byzantine(
+            &adversary,
+            node,
+            fault_round,
+            id.slot(),
+            partner.slot(),
+            round,
+        );
         let mut message =
             GossipMessage::from_locals(node.active_instances().iter().filter(|i| !i.is_due(round)));
         self.next_seq += 1;
@@ -272,27 +341,45 @@ impl AsyncProtocol for AsyncAdam2 {
         let now = ctx.now;
         self.finalize_due(id, now, ctx);
         let round = self.round_of(now);
+        let adversary = ctx.adversary;
+        let fault_round = ctx.round;
+        let robust = self.robust;
         match &message {
             Adam2Message::Request(_) => {
                 // Join unknown instances first so the response carries the
                 // pre-merge *initial* state (the requester will debit
                 // exactly the mass we are about to credit ourselves with),
-                // then reply, then absorb.
+                // then reply, then absorb. A Byzantine responder corrupts
+                // its own state before replying, so the poison rides the
+                // pull half of the exchange.
                 let Some(node) = ctx.nodes.get_mut(id) else {
                     return;
                 };
                 Self::join_unknown(node, message.payloads(), round);
+                Self::corrupt_if_byzantine(
+                    &adversary,
+                    node,
+                    fault_round,
+                    id.slot(),
+                    from.slot(),
+                    round,
+                );
                 let mut response = GossipMessage::from_locals(
                     node.active_instances().iter().filter(|i| !i.is_due(round)),
                 );
                 response.seq = message.seq();
                 let bytes = response.encoded_len();
-                Self::absorb(node, message.payloads(), round, true);
+                let (r, t) = Self::absorb(node, message.payloads(), round, true, robust.as_ref());
+                self.robust_rejects += r;
+                self.robust_trims += t;
                 ctx.send(id, from, Adam2Message::Response(response), bytes);
             }
             Adam2Message::Response(_) => {
                 if let Some(node) = ctx.nodes.get_mut(id) {
-                    Self::absorb(node, message.payloads(), round, false);
+                    let (r, t) =
+                        Self::absorb(node, message.payloads(), round, false, robust.as_ref());
+                    self.robust_rejects += r;
+                    self.robust_trims += t;
                 }
             }
         }
@@ -305,6 +392,10 @@ impl AsyncProtocol for AsyncAdam2 {
 pub struct AsyncBatchReport {
     /// Instance completions observed while handling the shard's events.
     pub completed: u64,
+    /// Snapshots rejected by the robust plausibility screen.
+    pub robust_rejects: u64,
+    /// Components trimmed or influence-capped by the robust merge.
+    pub robust_trims: u64,
 }
 
 /// Batch-mode Adam2 for [`EventEngine::run_until_parallel`]
@@ -336,6 +427,14 @@ impl BatchAsyncProtocol for AsyncAdam2 {
         let Some(partner) = ctx.random_neighbour(id) else {
             return;
         };
+        Self::corrupt_if_byzantine(
+            &ctx.adversary(),
+            node,
+            ctx.round(),
+            id.slot(),
+            partner.slot(),
+            round,
+        );
         let mut message =
             GossipMessage::from_locals(node.active_instances().iter().filter(|i| !i.is_due(round)));
         message.seq = ctx.event_stamp();
@@ -357,25 +456,41 @@ impl BatchAsyncProtocol for AsyncAdam2 {
         match &message {
             Adam2Message::Request(_) => {
                 // Same order as the sequential path: join first so the
-                // response carries pre-merge state, reply with the echoed
-                // seq, then absorb.
+                // response carries pre-merge state, corrupt (Byzantine
+                // responders), reply with the echoed seq, then absorb.
                 Self::join_unknown(node, message.payloads(), round);
+                Self::corrupt_if_byzantine(
+                    &ctx.adversary(),
+                    node,
+                    ctx.round(),
+                    id.slot(),
+                    from.slot(),
+                    round,
+                );
                 let mut response = GossipMessage::from_locals(
                     node.active_instances().iter().filter(|i| !i.is_due(round)),
                 );
                 response.seq = message.seq();
                 let bytes = response.encoded_len();
-                Self::absorb(node, message.payloads(), round, true);
+                let (r, t) =
+                    Self::absorb(node, message.payloads(), round, true, self.robust.as_ref());
+                report.robust_rejects += r;
+                report.robust_trims += t;
                 ctx.send(id, from, Adam2Message::Response(response), bytes);
             }
             Adam2Message::Response(_) => {
-                Self::absorb(node, message.payloads(), round, false);
+                let (r, t) =
+                    Self::absorb(node, message.payloads(), round, false, self.robust.as_ref());
+                report.robust_rejects += r;
+                report.robust_trims += t;
             }
         }
     }
 
     fn absorb_report(&mut self, report: AsyncBatchReport) {
         self.completed += report.completed;
+        self.robust_rejects += report.robust_rejects;
+        self.robust_trims += report.robust_trims;
     }
 }
 

@@ -37,6 +37,75 @@ pub struct SelfHealPolicy {
     pub max_restarts: u32,
 }
 
+/// Robust aggregation policy (Byzantine defense, after "Adversarially-
+/// Robust Gossip Algorithms for Approximate Quantile and Mean
+/// Computations", Haeupler et al.): plausibility-checked contributions,
+/// bounded per-partner influence, and trimmed-mean merging.
+///
+/// Three layers compose, each preserving mass conservation between honest
+/// pairs:
+///
+/// 1. **Outlier rejection** — a partner contribution with non-finite
+///    components, negative mass, or a claimed weight above `weight_cap`
+///    is dropped entirely (neither side merges that instance).
+/// 2. **Influence caps** — each fraction/weight component moves at most
+///    `influence_cap` per exchange; the partner's pull beyond the cap is
+///    clamped symmetrically on both sides.
+/// 3. **Trimmed-mean merge** — the `trim_fraction` of components with the
+///    largest disagreement are left unmerged, so a poisoned vector cannot
+///    drag more than `1 - trim_fraction` of the estimate.
+///
+/// At `trim_fraction = 0` with an infinite `influence_cap`, the merge is
+/// bit-identical to the vanilla symmetric merge.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RobustPolicy {
+    /// Fraction of components (by largest |disagreement|) excluded from
+    /// each pairwise merge, in `[0, 0.5)`.
+    pub trim_fraction: f64,
+    /// Maximum plausible aggregation weight a partner may claim (honest
+    /// nodes never exceed 1.0); contributions above it are rejected.
+    pub weight_cap: f64,
+    /// Maximum movement of any fraction/weight component in one exchange
+    /// (`f64::INFINITY` disables the cap).
+    pub influence_cap: f64,
+}
+
+impl Default for RobustPolicy {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl RobustPolicy {
+    /// A conservative default: 10% trim, honest weight cap, no influence
+    /// cap.
+    pub fn new() -> Self {
+        Self {
+            trim_fraction: 0.1,
+            weight_cap: 1.0,
+            influence_cap: f64::INFINITY,
+        }
+    }
+
+    /// Sets the trim fraction.
+    pub fn with_trim_fraction(mut self, trim_fraction: f64) -> Self {
+        self.trim_fraction = trim_fraction;
+        self
+    }
+
+    /// Sets the weight plausibility cap.
+    pub fn with_weight_cap(mut self, weight_cap: f64) -> Self {
+        self.weight_cap = weight_cap;
+        self
+    }
+
+    /// Sets the per-exchange influence cap.
+    pub fn with_influence_cap(mut self, influence_cap: f64) -> Self {
+        self.influence_cap = influence_cap;
+        self
+    }
+}
+
 /// Configuration of the Adam2 protocol.
 ///
 /// Defaults follow the paper's evaluation: λ = 50 interpolation points,
@@ -84,6 +153,9 @@ pub struct Adam2Config {
     /// `verify_points > 0` — the restart vote is driven by the
     /// verification-point error estimate.
     pub self_heal: Option<SelfHealPolicy>,
+    /// Robust (Byzantine-tolerant) aggregation mode (`None` = vanilla
+    /// symmetric merges).
+    pub robust: Option<RobustPolicy>,
 }
 
 impl Default for Adam2Config {
@@ -107,6 +179,7 @@ impl Adam2Config {
             domain_hint: None,
             neighbour_sample: 0,
             self_heal: None,
+            robust: None,
         }
     }
 
@@ -180,6 +253,13 @@ impl Adam2Config {
         self
     }
 
+    /// Enables the robust aggregation mode: plausibility-checked
+    /// contributions, influence-capped deltas, trimmed-mean merges.
+    pub fn with_robust(mut self, policy: RobustPolicy) -> Self {
+        self.robust = Some(policy);
+        self
+    }
+
     /// The effective neighbour-sample size (λ when unset).
     pub fn effective_neighbour_sample(&self) -> usize {
         if self.neighbour_sample == 0 {
@@ -229,6 +309,23 @@ impl Adam2Config {
                 return Err(ConfigError::new(
                     "self_heal requires verify_points > 0 (restarts are driven \
                      by the verification error estimate)",
+                ));
+            }
+        }
+        if let Some(robust) = self.robust {
+            if !robust.trim_fraction.is_finite() || !(0.0..0.5).contains(&robust.trim_fraction) {
+                return Err(ConfigError::new(
+                    "robust trim_fraction must be finite and in [0, 0.5)",
+                ));
+            }
+            if !robust.weight_cap.is_finite() || robust.weight_cap <= 0.0 {
+                return Err(ConfigError::new(
+                    "robust weight_cap must be finite and positive",
+                ));
+            }
+            if robust.influence_cap.is_nan() || robust.influence_cap <= 0.0 {
+                return Err(ConfigError::new(
+                    "robust influence_cap must be positive (INFINITY disables it)",
                 ));
             }
         }
@@ -328,5 +425,37 @@ mod tests {
             .with_self_heal(f64::NAN, 2)
             .validate()
             .is_err());
+    }
+
+    #[test]
+    fn robust_validation() {
+        let ok = Adam2Config::new().with_robust(RobustPolicy::new());
+        assert!(ok.validate().is_ok());
+        assert_eq!(ok.robust, Some(RobustPolicy::new()));
+        // Trim fraction 0 and an infinite influence cap are legal (they
+        // degrade the merge to vanilla).
+        assert!(Adam2Config::new()
+            .with_robust(
+                RobustPolicy::new()
+                    .with_trim_fraction(0.0)
+                    .with_influence_cap(f64::INFINITY)
+            )
+            .validate()
+            .is_ok());
+        let bad = [
+            RobustPolicy::new().with_trim_fraction(0.5),
+            RobustPolicy::new().with_trim_fraction(-0.1),
+            RobustPolicy::new().with_trim_fraction(f64::NAN),
+            RobustPolicy::new().with_weight_cap(0.0),
+            RobustPolicy::new().with_weight_cap(f64::INFINITY),
+            RobustPolicy::new().with_influence_cap(0.0),
+            RobustPolicy::new().with_influence_cap(f64::NAN),
+        ];
+        for policy in bad {
+            assert!(
+                Adam2Config::new().with_robust(policy).validate().is_err(),
+                "{policy:?} should be rejected"
+            );
+        }
     }
 }

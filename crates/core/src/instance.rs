@@ -24,9 +24,15 @@ use std::sync::Arc;
 use rand::rngs::StdRng;
 use rand::RngExt as _;
 
+use crate::aggregation::robust_pair_merge;
 use crate::cdf::InterpCdf;
+use crate::config::RobustPolicy;
 use crate::error::CdfError;
 use crate::estimate::DistributionEstimate;
+
+/// Slack for plausibility bounds: honest values can exceed their exact
+/// bound by a rounding error after long averaging chains.
+const PLAUSIBLE_EPS: f64 = 1e-9;
 
 /// Unique identifier of an aggregation instance.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -170,6 +176,16 @@ impl InstanceMeta {
     }
 }
 
+/// Outcome of one robust pairwise instance merge.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RobustMergeOutcome {
+    /// The partner contribution failed the plausibility check and the
+    /// merge was skipped entirely (neither side changed).
+    pub rejected: bool,
+    /// Components whose influence was limited (trimmed or capped).
+    pub limited: u32,
+}
+
 /// A peer's local averaging state for one aggregation instance.
 #[derive(Debug, Clone, PartialEq)]
 pub struct InstanceLocal {
@@ -299,6 +315,96 @@ impl InstanceLocal {
         b.min = min;
         a.max = max;
         b.max = max;
+    }
+
+    /// Whether this state is a *plausible* honest contribution: every
+    /// averaged component finite and non-negative, fractions and count
+    /// within the bounds honest averaging can produce (`[0, 1]` per
+    /// indicator in single-value mode, unbounded in multi-value mode),
+    /// claimed weight at most `weight_cap`, and extrema free of NaNs
+    /// (`±inf` is the legitimate empty multi-value pattern).
+    ///
+    /// Honest states always pass; the bounds only exclude values that no
+    /// sequence of joins and symmetric merges can reach.
+    pub fn contribution_plausible(&self, weight_cap: f64) -> bool {
+        let multi = self.meta.multi;
+        let component_bound = if multi {
+            f64::INFINITY
+        } else {
+            1.0 + PLAUSIBLE_EPS
+        };
+        let in_bounds = |v: f64| v.is_finite() && v >= -PLAUSIBLE_EPS && v <= component_bound;
+        self.fractions.iter().all(|&f| in_bounds(f))
+            && self.verify_fractions.iter().all(|&f| in_bounds(f))
+            && in_bounds(self.count)
+            && self.weight.is_finite()
+            && self.weight >= -PLAUSIBLE_EPS
+            && self.weight <= weight_cap + PLAUSIBLE_EPS
+            && !self.min.is_nan()
+            && !self.max.is_nan()
+    }
+
+    /// Robust variant of [`merge_symmetric`](InstanceLocal::merge_symmetric):
+    /// both contributions are plausibility-checked (an implausible side
+    /// causes the whole pairwise merge of this instance to be *rejected* —
+    /// neither side changes), then fractions merge through the trimmed,
+    /// influence-capped [`robust_pair_merge`] and the count/weight scalars
+    /// through the same symmetric influence cap. Extrema still min/max
+    /// merge (NaN-free by the plausibility check).
+    ///
+    /// With `trim_fraction = 0` and an infinite `influence_cap` the result
+    /// is bit-identical to the vanilla merge.
+    pub fn merge_symmetric_robust(
+        a: &mut InstanceLocal,
+        b: &mut InstanceLocal,
+        policy: &RobustPolicy,
+    ) -> RobustMergeOutcome {
+        debug_assert_eq!(a.meta.id, b.meta.id, "instance id mismatch");
+        debug_assert_eq!(a.epoch, b.epoch, "epochs must be reconciled before merging");
+        if !a.contribution_plausible(policy.weight_cap)
+            || !b.contribution_plausible(policy.weight_cap)
+        {
+            return RobustMergeOutcome {
+                rejected: true,
+                limited: 0,
+            };
+        }
+        let trim = policy.trim_fraction;
+        let cap = policy.influence_cap;
+        let mut limited = 0u32;
+        limited += robust_pair_merge(&mut a.fractions, &mut b.fractions, trim, cap).limited();
+        limited += robust_pair_merge(&mut a.verify_fractions, &mut b.verify_fractions, trim, cap)
+            .limited();
+        limited += u32::from(Self::capped_scalar_merge(&mut a.count, &mut b.count, cap));
+        limited += u32::from(Self::capped_scalar_merge(&mut a.weight, &mut b.weight, cap));
+        let min = a.min.min(b.min);
+        let max = a.max.max(b.max);
+        a.min = min;
+        b.min = min;
+        a.max = max;
+        b.max = max;
+        RobustMergeOutcome {
+            rejected: false,
+            limited,
+        }
+    }
+
+    /// Symmetric mean of two scalars with the movement clamped to
+    /// ±`cap` (conserves `x + y` to rounding); returns whether the cap
+    /// bit. Uncapped movement uses the vanilla mean formula.
+    fn capped_scalar_merge(x: &mut f64, y: &mut f64, cap: f64) -> bool {
+        let delta = (*y - *x) / 2.0;
+        if delta.abs() > cap {
+            let step = cap.copysign(delta);
+            *x += step;
+            *y -= step;
+            true
+        } else {
+            let mean = (*x + *y) / 2.0;
+            *x = mean;
+            *y = mean;
+            false
+        }
     }
 
     /// Whether the instance should be finalised at `round` (epoch-aware:
@@ -556,6 +662,82 @@ mod tests {
         assert_eq!(a.weight, 1.0);
         assert_eq!(a.min, 3.0);
         assert_eq!(a.max, 3.0);
+    }
+
+    #[test]
+    fn plausibility_accepts_honest_and_rejects_poison() {
+        let m = meta(&[2.0, 6.0], false);
+        let honest = InstanceLocal::join(m.clone(), &AttrValue::Single(3.0), true);
+        assert!(honest.contribution_plausible(1.0));
+        // Empty multi-value ±inf extrema are legitimate.
+        let empty = InstanceLocal::join(meta(&[2.0], true), &AttrValue::Multi(vec![]), false);
+        assert!(empty.contribution_plausible(1.0));
+        // Poisoned variants all fail.
+        let mut poisoned = honest.clone();
+        poisoned.fractions[0] = 7.5;
+        assert!(!poisoned.contribution_plausible(1.0));
+        let mut nan = honest.clone();
+        nan.fractions[1] = f64::NAN;
+        assert!(!nan.contribution_plausible(1.0));
+        let mut negative = honest.clone();
+        negative.fractions[0] = -0.5;
+        assert!(!negative.contribution_plausible(1.0));
+        let mut inflated = honest.clone();
+        inflated.weight = 10.0;
+        assert!(!inflated.contribution_plausible(1.0));
+        let mut bad_min = honest.clone();
+        bad_min.min = f64::NAN;
+        assert!(!bad_min.contribution_plausible(1.0));
+    }
+
+    #[test]
+    fn robust_merge_rejects_implausible_partner() {
+        let m = meta(&[5.0], false);
+        let mut a = InstanceLocal::join(m.clone(), &AttrValue::Single(3.0), true);
+        let mut b = InstanceLocal::join(m, &AttrValue::Single(8.0), false);
+        b.weight = 50.0; // inflated claim
+        let (a0, b0) = (a.clone(), b.clone());
+        let outcome = InstanceLocal::merge_symmetric_robust(&mut a, &mut b, &RobustPolicy::new());
+        assert!(outcome.rejected);
+        // Neither side moved.
+        assert_eq!(a, a0);
+        assert_eq!(b, b0);
+    }
+
+    #[test]
+    fn robust_merge_degrades_to_vanilla() {
+        let m = meta(&[2.0, 6.0], false);
+        let mut a = InstanceLocal::join(m.clone(), &AttrValue::Single(3.0), true);
+        let mut b = InstanceLocal::join(m.clone(), &AttrValue::Single(8.0), false);
+        let mut va = a.clone();
+        let mut vb = b.clone();
+        let policy = RobustPolicy::new()
+            .with_trim_fraction(0.0)
+            .with_influence_cap(f64::INFINITY);
+        let outcome = InstanceLocal::merge_symmetric_robust(&mut a, &mut b, &policy);
+        InstanceLocal::merge_symmetric(&mut va, &mut vb);
+        assert!(!outcome.rejected);
+        assert_eq!(outcome.limited, 0);
+        assert_eq!(a, va);
+        assert_eq!(b, vb);
+    }
+
+    #[test]
+    fn robust_merge_conserves_mass_while_limiting() {
+        let m = meta(&[1.0, 2.0, 3.0, 4.0], false);
+        let mut a = InstanceLocal::join(m.clone(), &AttrValue::Single(2.5), true);
+        let mut b = InstanceLocal::join(m, &AttrValue::Single(0.5), false);
+        let mass_before: f64 = a.fractions.iter().sum::<f64>() + b.fractions.iter().sum::<f64>();
+        let weight_before = a.weight + b.weight;
+        let policy = RobustPolicy::new()
+            .with_trim_fraction(0.25)
+            .with_influence_cap(0.1);
+        let outcome = InstanceLocal::merge_symmetric_robust(&mut a, &mut b, &policy);
+        assert!(!outcome.rejected);
+        assert!(outcome.limited > 0);
+        let mass_after: f64 = a.fractions.iter().sum::<f64>() + b.fractions.iter().sum::<f64>();
+        assert!((mass_before - mass_after).abs() < 1e-12);
+        assert!((weight_before - (a.weight + b.weight)).abs() < 1e-12);
     }
 
     #[test]

@@ -72,20 +72,26 @@ mod selection;
 mod tuning;
 pub mod wire;
 
-pub use aggregation::{CountAggregation, Extrema, ExtremaAggregation, MeanAggregation};
+pub use aggregation::{
+    median_of_means, robust_pair_merge, trimmed_mean, CountAggregation, Extrema,
+    ExtremaAggregation, MeanAggregation, RobustMergeStats,
+};
 pub use async_protocol::{Adam2Message, AsyncAdam2, AsyncBatchReport};
 pub use cdf::{InterpCdf, StepCdf};
 pub use confidence::verification_thresholds;
-pub use config::{Adam2Config, Scheduling, SelfHealPolicy};
+pub use config::{Adam2Config, RobustPolicy, Scheduling, SelfHealPolicy};
 pub use error::{CdfError, ConfigError, WireError};
 pub use estimate::DistributionEstimate;
-pub use instance::{AttrValue, InstanceId, InstanceLocal, InstanceMeta};
+pub use instance::{AttrValue, InstanceId, InstanceLocal, InstanceMeta, RobustMergeOutcome};
 pub use metrics::{
     avg_distance, avg_distance_over, discrete_avg_distance, discrete_errors_over,
     discrete_max_distance, max_distance, point_errors, ErrorMetric, FractionEnvelope,
 };
 pub use pchip::MonotoneCubicCdf;
-pub use protocol::{gossip_exchange, gossip_exchange_response_lost, Adam2Node, Adam2Protocol};
+pub use protocol::{
+    gossip_exchange, gossip_exchange_response_lost, gossip_exchange_response_lost_with,
+    gossip_exchange_with, Adam2Node, Adam2Protocol, ExchangeReport,
+};
 pub use rank::{Outlier, OutlierDetector};
 pub use selection::{
     hcut_thresholds, lcut_thresholds, minmax_thresholds, select_thresholds, uniform_points,

@@ -4,9 +4,10 @@
 use proptest::prelude::*;
 
 use adam2_core::{
-    avg_distance, gossip_exchange, max_distance, select_thresholds, uniform_points,
-    wire::GossipMessage, wire::InstancePayload, Adam2Node, AttrValue, BootstrapKind, InstanceId,
-    InstanceLocal, InstanceMeta, InterpCdf, RefineKind, SelectionInput, StepCdf,
+    avg_distance, gossip_exchange, gossip_exchange_with, max_distance, select_thresholds,
+    uniform_points, wire::GossipMessage, wire::InstancePayload, Adam2Node, AttrValue,
+    BootstrapKind, InstanceId, InstanceLocal, InstanceMeta, InterpCdf, RefineKind, RobustPolicy,
+    SelectionInput, StepCdf,
 };
 use std::sync::Arc;
 
@@ -144,6 +145,89 @@ proptest! {
         prop_assert!((a.weight + b.weight - weight).abs() < 1e-15);
         prop_assert_eq!(a.min, va.min(vb));
         prop_assert_eq!(a.max, va.max(vb));
+    }
+
+    #[test]
+    fn robust_merge_conserves_mass_for_any_policy(
+        va in 0.0f64..1000.0,
+        vb in 0.0f64..1000.0,
+        thresholds in sorted_thresholds(),
+        trim in 0.0f64..0.5,
+        cap in 0.01f64..10.0,
+    ) {
+        // Trimming leaves components unmerged and the influence cap clamps
+        // both sides symmetrically, so whatever the policy, the pairwise
+        // sums survive to 1e-12.
+        let policy = RobustPolicy::new()
+            .with_trim_fraction(trim)
+            .with_influence_cap(cap);
+        let meta = meta_for(thresholds, false);
+        let mut a = InstanceLocal::join(meta.clone(), &AttrValue::Single(va), true);
+        let mut b = InstanceLocal::join(meta.clone(), &AttrValue::Single(vb), false);
+        let mass: Vec<f64> = a.fractions.iter().zip(&b.fractions).map(|(x, y)| x + y).collect();
+        let weight = a.weight + b.weight;
+        let outcome = InstanceLocal::merge_symmetric_robust(&mut a, &mut b, &policy);
+        prop_assert!(!outcome.rejected, "honest contributions must pass the screen");
+        for ((fa, fb), m) in a.fractions.iter().zip(&b.fractions).zip(&mass) {
+            prop_assert!((fa + fb - m).abs() < 1e-12, "fraction mass drifted");
+        }
+        prop_assert!((a.weight + b.weight - weight).abs() < 1e-12, "weight mass drifted");
+    }
+
+    #[test]
+    fn robust_merge_at_trim_zero_degrades_to_vanilla(
+        va in 0.0f64..1000.0,
+        vb in 0.0f64..1000.0,
+        thresholds in sorted_thresholds(),
+    ) {
+        // trim 0 + infinite influence cap must be *bit-identical* to the
+        // vanilla merge, so enabling robust mode with a neutral policy can
+        // never change a trajectory.
+        let policy = RobustPolicy::new()
+            .with_trim_fraction(0.0)
+            .with_influence_cap(f64::INFINITY);
+        let meta = meta_for(thresholds, false);
+        let mut a1 = InstanceLocal::join(meta.clone(), &AttrValue::Single(va), true);
+        let mut b1 = InstanceLocal::join(meta.clone(), &AttrValue::Single(vb), false);
+        let mut a2 = a1.clone();
+        let mut b2 = b1.clone();
+        InstanceLocal::merge_symmetric(&mut a1, &mut b1);
+        let outcome = InstanceLocal::merge_symmetric_robust(&mut a2, &mut b2, &policy);
+        prop_assert!(!outcome.rejected);
+        prop_assert_eq!(outcome.limited, 0, "neutral policy trimmed something");
+        for (x, y) in a1.fractions.iter().zip(a2.fractions.iter())
+            .chain(b1.fractions.iter().zip(b2.fractions.iter())) {
+            prop_assert_eq!(x.to_bits(), y.to_bits(), "fractions diverged");
+        }
+        prop_assert_eq!(a1.weight.to_bits(), a2.weight.to_bits());
+        prop_assert_eq!(b1.weight.to_bits(), b2.weight.to_bits());
+        prop_assert_eq!(a1.count.to_bits(), a2.count.to_bits());
+    }
+
+    #[test]
+    fn robust_exchange_conserves_weight_mass(
+        values in prop::collection::vec(0.0f64..1000.0, 2..8),
+        thresholds in sorted_thresholds(),
+        trim in 0.0f64..0.5,
+    ) {
+        // The full exchange path (join + robust merge) preserves Σw = 1
+        // along a spreading chain for any trim fraction.
+        let policy = RobustPolicy::new().with_trim_fraction(trim);
+        let meta = meta_for(thresholds, false);
+        let mut nodes: Vec<Adam2Node> =
+            values.iter().map(|v| Adam2Node::new(AttrValue::Single(*v), 10.0)).collect();
+        nodes[0].begin_instance(meta.clone());
+        for i in 1..nodes.len() {
+            let (left, right) = nodes.split_at_mut(i);
+            let report = gossip_exchange_with(&mut left[i - 1], &mut right[0], 1, Some(&policy));
+            prop_assert_eq!(report.robust_rejects, 0, "honest chain must not reject");
+        }
+        let weight: f64 = nodes
+            .iter()
+            .filter_map(|n| n.active_instance(meta.id).map(|i| i.weight))
+            .sum();
+        prop_assert!((weight - 1.0).abs() < 1e-9, "weight mass {}", weight);
+        prop_assert!(nodes.iter().all(|n| n.active_instance(meta.id).is_some()));
     }
 
     #[test]

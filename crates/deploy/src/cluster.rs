@@ -219,6 +219,7 @@ pub struct ClusterTelemetry {
     c_frames: CounterId,
     c_bytes: CounterId,
     c_malformed: CounterId,
+    c_invalid: CounterId,
     c_shim_drops: CounterId,
     c_retransmissions: CounterId,
     c_backpressure: CounterId,
@@ -238,6 +239,7 @@ impl ClusterTelemetry {
         let c_frames = m.counter("deploy_frames");
         let c_bytes = m.counter("deploy_bytes");
         let c_malformed = m.counter("deploy_malformed_frames");
+        let c_invalid = m.counter("deploy_frames_rejected_invalid");
         let c_shim_drops = m.counter("deploy_shim_drops");
         let c_retransmissions = m.counter("deploy_retransmissions");
         let c_backpressure = m.counter("deploy_backpressure_drops");
@@ -251,6 +253,7 @@ impl ClusterTelemetry {
             c_frames,
             c_bytes,
             c_malformed,
+            c_invalid,
             c_shim_drops,
             c_retransmissions,
             c_backpressure,
@@ -283,6 +286,7 @@ impl ClusterTelemetry {
             m.add(self.c_frames, delta.frames_sent + delta.frames_received);
             m.add(self.c_bytes, delta.bytes_sent + delta.bytes_received);
             m.add(self.c_malformed, delta.malformed_frames);
+            m.add(self.c_invalid, delta.frames_rejected_invalid);
             m.add(self.c_shim_drops, delta.shim_dropped);
             m.add(self.c_retransmissions, delta.retransmissions);
             m.add(self.c_backpressure, delta.backpressure_drops);

@@ -41,6 +41,11 @@ pub enum FrameError {
     Truncated,
     /// The embedded gossip payload failed to decode.
     Wire(WireError),
+    /// The gossip payload decoded structurally but carries values no
+    /// honest node can emit (non-finite floats, out-of-range weight or
+    /// fractions). Rejecting them at the wire keeps a poisoned peer from
+    /// ever reaching the merge path.
+    InvalidValues(&'static str),
 }
 
 impl From<WireError> for FrameError {
@@ -56,6 +61,7 @@ impl std::fmt::Display for FrameError {
             FrameError::UnknownKind(kind) => write!(f, "unknown frame kind {kind}"),
             FrameError::Truncated => write!(f, "truncated frame body"),
             FrameError::Wire(e) => write!(f, "bad gossip payload: {e:?}"),
+            FrameError::InvalidValues(what) => write!(f, "implausible gossip payload: {what}"),
         }
     }
 }
@@ -177,6 +183,45 @@ fn get_f64_vec(buf: &mut Bytes) -> Result<Vec<f64>, FrameError> {
     Ok((0..n).map(|_| buf.get_f64_le()).collect())
 }
 
+/// Screens a decoded gossip payload for values no honest node can emit.
+/// Honest weights start at 1 (initiator) or 0 (join) and only ever
+/// average, so they stay in `[0, 1]`; indicator fractions likewise, except
+/// multi-value instances whose per-node counts may exceed 1. Everything
+/// else must simply be finite. `Estimate` control frames are exempt —
+/// their `NaN` `n_hat` legally encodes "no weight received".
+fn validate_msg(msg: &GossipMessage) -> Result<(), FrameError> {
+    for inst in &msg.instances {
+        let floats = inst
+            .thresholds
+            .iter()
+            .chain(inst.verify_thresholds.iter())
+            .chain(inst.fractions.iter())
+            .chain(inst.verify_fractions.iter())
+            .chain([&inst.weight, &inst.count, &inst.min, &inst.max]);
+        for v in floats {
+            if !v.is_finite() {
+                return Err(FrameError::InvalidValues("non-finite value"));
+            }
+        }
+        if !(0.0..=1.0).contains(&inst.weight) {
+            return Err(FrameError::InvalidValues("weight outside [0, 1]"));
+        }
+        if inst.count < 0.0 {
+            return Err(FrameError::InvalidValues("negative count"));
+        }
+        let fractions = inst.fractions.iter().chain(inst.verify_fractions.iter());
+        for f in fractions {
+            if *f < 0.0 {
+                return Err(FrameError::InvalidValues("negative fraction"));
+            }
+            if !inst.multi && *f > 1.0 {
+                return Err(FrameError::InvalidValues("fraction above 1"));
+            }
+        }
+    }
+    Ok(())
+}
+
 impl Frame {
     fn kind(&self) -> u8 {
         match self {
@@ -244,11 +289,13 @@ impl Frame {
                 }
                 let sender_port = body.get_u16_le();
                 let msg = GossipMessage::decode(body)?;
+                validate_msg(&msg)?;
                 Ok(Frame::Request { sender_port, msg })
             }
             KIND_RESPONSE => {
                 let peers = get_ports(&mut body)?;
                 let msg = GossipMessage::decode(body)?;
+                validate_msg(&msg)?;
                 Ok(Frame::Response { peers, msg })
             }
             KIND_JOIN => {
@@ -262,9 +309,11 @@ impl Frame {
             KIND_JOIN_ACK => Ok(Frame::JoinAck {
                 peers: get_ports(&mut body)?,
             }),
-            KIND_START_INSTANCE => Ok(Frame::StartInstance {
-                msg: GossipMessage::decode(body)?,
-            }),
+            KIND_START_INSTANCE => {
+                let msg = GossipMessage::decode(body)?;
+                validate_msg(&msg)?;
+                Ok(Frame::StartInstance { msg })
+            }
             KIND_GET_ESTIMATE => Ok(Frame::GetEstimate),
             KIND_ESTIMATE => {
                 if body.remaining() < 1 {
@@ -454,6 +503,94 @@ mod tests {
                 })
                 .collect();
             let _ = Frame::decode(Bytes::from(body));
+        }
+    }
+
+    /// Encodes a request whose payload was mutated by `poison` and decodes
+    /// it back.
+    fn poisoned_roundtrip(
+        poison: impl FnOnce(&mut adam2_core::wire::InstancePayload),
+    ) -> Result<Frame, FrameError> {
+        let mut msg = sample_msg();
+        poison(&mut msg.instances[0]);
+        let encoded = Frame::Request {
+            sender_port: 7,
+            msg,
+        }
+        .encode();
+        Frame::decode(encoded.slice(4..))
+    }
+
+    type PayloadCorruption = Box<dyn FnOnce(&mut InstancePayload)>;
+
+    #[test]
+    fn poisoned_payload_values_are_rejected_at_decode() {
+        let cases: Vec<(&str, PayloadCorruption)> = vec![
+            ("nan fraction", Box::new(|p| p.fractions[0] = f64::NAN)),
+            ("inf fraction", Box::new(|p| p.fractions[0] = f64::INFINITY)),
+            ("nan weight", Box::new(|p| p.weight = f64::NAN)),
+            ("inflated weight", Box::new(|p| p.weight = 1e6)),
+            ("negative weight", Box::new(|p| p.weight = -0.25)),
+            ("negative fraction", Box::new(|p| p.fractions[0] = -0.5)),
+            ("fraction above 1", Box::new(|p| p.fractions[0] = 40.0)),
+            ("nan verify", Box::new(|p| p.verify_fractions[0] = f64::NAN)),
+            ("nan min", Box::new(|p| p.min = f64::NAN)),
+            ("inf max", Box::new(|p| p.max = f64::NEG_INFINITY)),
+            ("negative count", Box::new(|p| p.count = -3.0)),
+        ];
+        for (label, poison) in cases {
+            let got = poisoned_roundtrip(poison);
+            assert!(
+                matches!(got, Err(FrameError::InvalidValues(_))),
+                "{label}: decoded as {got:?}"
+            );
+        }
+        // The untouched message still passes.
+        assert!(poisoned_roundtrip(|_| {}).is_ok());
+    }
+
+    #[test]
+    fn multi_instance_fractions_may_exceed_one() {
+        // Multi-value instances average per-node *counts*, so fractions
+        // above 1 are honest there — only non-finite and negative values
+        // are implausible.
+        let got = poisoned_roundtrip(|p| {
+            p.multi = true;
+            p.fractions[0] = 7.5;
+        });
+        assert!(got.is_ok(), "multi count rejected: {got:?}");
+        let got = poisoned_roundtrip(|p| {
+            p.multi = true;
+            p.fractions[0] = f64::INFINITY;
+        });
+        assert!(matches!(got, Err(FrameError::InvalidValues(_))));
+    }
+
+    #[test]
+    fn fuzzed_poisoned_floats_never_pass_validation() {
+        // Sweep a poisoned f64 through every float field via raw bit
+        // patterns: whatever decodes must be Ok only when the value is
+        // plausible, and must never panic.
+        let mut state = 0x9e37_79b9_7f4a_7c15u64;
+        for _ in 0..512 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let v = f64::from_bits(state);
+            let field = (state >> 60) % 4;
+            let got = poisoned_roundtrip(|p| match field {
+                0 => p.fractions[0] = v,
+                1 => p.weight = v,
+                2 => p.min = v,
+                _ => p.verify_fractions[0] = v,
+            });
+            if let Ok(Frame::Request { msg, .. }) = &got {
+                let p = &msg.instances[0];
+                let all_finite = p.fractions.iter().all(|f| f.is_finite())
+                    && p.verify_fractions.iter().all(|f| f.is_finite())
+                    && p.weight.is_finite()
+                    && p.min.is_finite();
+                assert!(all_finite, "non-finite value passed validation");
+                assert!((0.0..=1.0).contains(&p.weight));
+            }
         }
     }
 

@@ -37,7 +37,7 @@ use rand::rngs::StdRng;
 use rand::RngExt as _;
 use rand::SeedableRng;
 
-use crate::frame::{read_frame_counted, write_frame, EstimateWire, Frame};
+use crate::frame::{read_frame_counted, write_frame, EstimateWire, Frame, FrameError};
 use crate::shim::{Direction, LossShim};
 use crate::stats::NodeStats;
 
@@ -328,9 +328,14 @@ fn handle_connection(shared: &NodeShared, mut stream: TcpStream) {
             shared.stats.record_frame_received(n);
             frame
         }
-        Ok((_, Err(_))) => {
+        Ok((_, Err(e))) => {
             // Protocol violation: count it, drop the connection, move on.
-            shared.stats.record_malformed_frame();
+            // Implausible-value rejections (the Byzantine wire screen) are
+            // counted separately from structurally malformed frames.
+            match e {
+                FrameError::InvalidValues(_) => shared.stats.record_invalid_frame(),
+                _ => shared.stats.record_malformed_frame(),
+            }
             return;
         }
         Err(_) => return, // timeout / reset mid-frame
@@ -556,6 +561,10 @@ fn attempt_exchange(
             Ok(Some((peers, msg)))
         }
         (_, Ok(_)) => Ok(None),
+        (_, Err(FrameError::InvalidValues(_))) => {
+            shared.stats.record_invalid_frame();
+            Ok(None)
+        }
         (_, Err(_)) => {
             shared.stats.record_malformed_frame();
             Ok(None)

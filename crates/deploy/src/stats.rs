@@ -19,6 +19,7 @@ pub struct NodeStats {
     bytes_sent: AtomicU64,
     bytes_received: AtomicU64,
     malformed_frames: AtomicU64,
+    frames_rejected_invalid: AtomicU64,
     shim_dropped: AtomicU64,
     exchanges_started: AtomicU64,
     exchanges_completed: AtomicU64,
@@ -46,6 +47,7 @@ macro_rules! bump {
 impl NodeStats {
     bump! {
         record_malformed_frame => malformed_frames,
+        record_invalid_frame => frames_rejected_invalid,
         record_shim_drop => shim_dropped,
         record_exchange_started => exchanges_started,
         record_exchange_completed => exchanges_completed,
@@ -111,6 +113,7 @@ impl NodeStats {
             bytes_sent: self.bytes_sent.load(Ordering::Relaxed),
             bytes_received: self.bytes_received.load(Ordering::Relaxed),
             malformed_frames: self.malformed_frames.load(Ordering::Relaxed),
+            frames_rejected_invalid: self.frames_rejected_invalid.load(Ordering::Relaxed),
             shim_dropped: self.shim_dropped.load(Ordering::Relaxed),
             exchanges_started: self.exchanges_started.load(Ordering::Relaxed),
             exchanges_completed: self.exchanges_completed.load(Ordering::Relaxed),
@@ -133,6 +136,7 @@ pub struct StatsSnapshot {
     pub bytes_sent: u64,
     pub bytes_received: u64,
     pub malformed_frames: u64,
+    pub frames_rejected_invalid: u64,
     pub shim_dropped: u64,
     pub exchanges_started: u64,
     pub exchanges_completed: u64,
@@ -157,6 +161,9 @@ impl StatsSnapshot {
             malformed_frames: self
                 .malformed_frames
                 .saturating_sub(earlier.malformed_frames),
+            frames_rejected_invalid: self
+                .frames_rejected_invalid
+                .saturating_sub(earlier.frames_rejected_invalid),
             shim_dropped: self.shim_dropped.saturating_sub(earlier.shim_dropped),
             exchanges_started: self
                 .exchanges_started

@@ -20,7 +20,9 @@ use rand::RngExt as _;
 
 use crate::churn::{ChurnModel, ChurnState};
 use crate::executor;
-use crate::faults::{FaultRuntime, FaultScenario, FaultTrace, RoundFaults};
+use crate::faults::{
+    ActiveAdversary, FaultRuntime, FaultScenario, FaultTrace, PlannedAttack, RoundFaults,
+};
 use crate::node::{NodeId, NodeSlab};
 use crate::overlay::{Overlay, OverlayConfig};
 use crate::rng::{derive_seed, par_stream_rng, seeded_rng};
@@ -175,7 +177,7 @@ pub struct ParLocal {
 }
 
 /// One gossip exchange scheduled by the parallel plan phase.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PlannedExchange {
     /// The node that initiates the push–pull exchange.
     pub initiator: NodeId,
@@ -188,6 +190,10 @@ pub struct PlannedExchange {
     pub request_msgs: u32,
     /// Number of response transmissions (> 1 under retransmission).
     pub response_msgs: u32,
+    /// Adversarial corruption planned for this exchange, when a Byzantine
+    /// window of the attached [`FaultScenario`] covers this round and at
+    /// least one endpoint is Byzantine. `None` on honest exchanges.
+    pub attack: Option<PlannedAttack>,
 }
 
 /// Wire traffic of one applied exchange, as reported by
@@ -207,6 +213,12 @@ pub struct ExchangeTraffic {
     /// partner adopted the initiator's. Purely observational (telemetry
     /// counts the set bits); zero for protocols without bootstrap.
     pub bootstraps: u32,
+    /// Partner contributions rejected outright by the robust merge path's
+    /// plausibility screen (zero for vanilla protocols).
+    pub robust_rejects: u32,
+    /// Per-component contributions trimmed or influence-capped by the
+    /// robust merge path (zero for vanilla protocols).
+    pub robust_trims: u32,
 }
 
 /// What happened to the two messages of one push–pull exchange.
@@ -305,6 +317,10 @@ pub struct Ctx<'a, N> {
     /// Telemetry sink; a zero-cost no-op unless the engine has telemetry
     /// attached (see [`Engine::attach_telemetry`]).
     pub telemetry: TelemetryHandle<'a>,
+    /// The Byzantine adversary active this round, if the attached
+    /// [`FaultScenario`] has an adversary window covering it. Protocols use
+    /// it to plan per-exchange corruption (see [`ActiveAdversary::plan`]).
+    pub adversary: Option<ActiveAdversary>,
 }
 
 impl<N> Ctx<'_, N> {
@@ -322,7 +338,16 @@ impl<N> Ctx<'_, N> {
     }
 
     /// Draws a random live neighbour of `of`.
+    ///
+    /// When a targeted-partner adversary is active and `of` is Byzantine,
+    /// the draw is overridden: the attacker deterministically aims at the
+    /// round's victim (the lowest live slot) instead of sampling the
+    /// overlay, concentrating its poison on one node. No engine RNG is
+    /// consumed by the override.
     pub fn random_neighbour(&mut self, of: NodeId) -> Option<NodeId> {
+        if let Some(victim) = targeted_victim(&self.adversary, self.nodes, of) {
+            return Some(victim);
+        }
         self.overlay.random_neighbour(of, self.nodes, self.rng)
     }
 
@@ -365,6 +390,28 @@ fn charge_traffic(net: &mut NetStats, plan: &PlannedExchange, traffic: ExchangeT
         for _ in 0..plan.response_msgs.max(1) {
             net.charge_message(plan.partner, plan.initiator, bytes);
         }
+    }
+}
+
+/// The deterministic victim of a targeted-partner attack launched by `of`:
+/// the lowest live slot other than the attacker itself. `None` when no
+/// targeted adversary is active, `of` is honest, or no other node is live —
+/// callers then fall through to the normal random draw.
+fn targeted_victim<N>(
+    adversary: &Option<ActiveAdversary>,
+    nodes: &NodeSlab<N>,
+    of: NodeId,
+) -> Option<NodeId> {
+    let adv = adversary.as_ref()?;
+    if !adv.model.targets_partner() || !adv.is_byzantine(of.slot()) {
+        return None;
+    }
+    let mut ids = nodes.ids();
+    let first = ids.next()?;
+    if first == of {
+        ids.next()
+    } else {
+        Some(first)
     }
 }
 
@@ -582,6 +629,9 @@ pub struct Engine<P: Protocol> {
     base_loss_rate: f64,
     repair: ExchangeRepair,
     faults: Option<FaultRuntime>,
+    /// Adversary window covering the round about to run (resolved by
+    /// `begin_round_faults`); `None` outside Byzantine windows.
+    adversary: Option<ActiveAdversary>,
     /// Reused per-round shuffle buffer (avoids one allocation per round).
     order_buf: Vec<NodeId>,
     /// Reused per-round live-id buffer for the parallel path.
@@ -646,6 +696,7 @@ impl<P: Protocol> Engine<P> {
             base_loss_rate: config.loss_rate,
             repair: config.repair,
             faults: None,
+            adversary: None,
             order_buf: Vec::new(),
             ids_buf: Vec::new(),
             telemetry: None,
@@ -713,6 +764,7 @@ impl<P: Protocol> Engine<P> {
                 loss_rate: self.loss_rate,
                 repair: self.repair,
                 telemetry: TelemetryHandle::new(self.telemetry.as_deref_mut()),
+                adversary: self.adversary,
             };
             self.protocol.on_round(id, &mut ctx);
         }
@@ -804,6 +856,7 @@ impl<P: Protocol> Engine<P> {
             let nodes = &self.nodes;
             let overlay = &self.overlay;
             let reports = &reports;
+            let adversary = self.adversary;
             executor::par_zip(&mut ids, &mut plans, threads, |_, id_chunk, plan_chunk| {
                 for (id, plan) in id_chunk.iter().zip(plan_chunk.iter_mut()) {
                     let initiates = reports[id.slot()].is_some_and(|r| r.initiates);
@@ -811,16 +864,30 @@ impl<P: Protocol> Engine<P> {
                         continue;
                     }
                     let mut rng = par_stream_rng(par_seed, round, id.slot() as u64, PAR_PHASE_PLAN);
-                    let Some(partner) = overlay.random_neighbour(*id, nodes, &mut rng) else {
-                        continue;
+                    // Mirror of `Ctx::random_neighbour`: a targeted
+                    // attacker aims at the deterministic victim without
+                    // consuming its plan stream.
+                    let partner = match targeted_victim(&adversary, nodes, *id) {
+                        Some(victim) => victim,
+                        None => {
+                            let Some(partner) = overlay.random_neighbour(*id, nodes, &mut rng)
+                            else {
+                                continue;
+                            };
+                            partner
+                        }
                     };
                     let outcome = sample_exchange(&mut rng, loss_rate, repair);
+                    let attack = adversary
+                        .as_ref()
+                        .and_then(|adv| adv.plan(round, id.slot(), partner.slot()));
                     *plan = Some(PlannedExchange {
                         initiator: *id,
                         partner,
                         fate: outcome.fate,
                         request_msgs: outcome.request_msgs,
                         response_msgs: outcome.response_msgs,
+                        attack,
                     });
                 }
             });
@@ -840,6 +907,7 @@ impl<P: Protocol> Engine<P> {
                 loss_rate: self.loss_rate,
                 repair: self.repair,
                 telemetry: TelemetryHandle::new(self.telemetry.as_deref_mut()),
+                adversary: self.adversary,
             };
             self.protocol.par_absorb(id, &report, &mut ctx);
         }
@@ -980,6 +1048,7 @@ impl<P: Protocol> Engine<P> {
     /// (never the engine RNG), so the injected faults are identical under
     /// the sequential and parallel paths at any thread count.
     fn begin_round_faults(&mut self) {
+        self.adversary = None;
         let Some(mut rt) = self.faults.take() else {
             return;
         };
@@ -1089,12 +1158,29 @@ impl<P: Protocol> Engine<P> {
                     loss_rate: self.loss_rate,
                     repair: self.repair,
                     telemetry: TelemetryHandle::new(self.telemetry.as_deref_mut()),
+                    adversary: self.adversary,
                 };
                 self.protocol.on_join(id, &mut ctx);
             }
         }
 
-        if loss_override.is_some() || active.is_some() || !crashed_slots.is_empty() || recovered > 0
+        // 5. Byzantine adversary: resolve the window covering this round
+        // (if any) and count the compromised slots among the live
+        // population. Membership is a pure function of the scenario seed,
+        // so the count — like everything else in the trace — is identical
+        // under both engine paths at any thread count.
+        self.adversary = rt.scenario.adversary_at(round);
+        let byzantine = self
+            .adversary
+            .as_ref()
+            .map(|adv| adv.count_byzantine(self.nodes.ids().map(|id| id.slot())))
+            .unwrap_or(0);
+
+        if loss_override.is_some()
+            || active.is_some()
+            || !crashed_slots.is_empty()
+            || recovered > 0
+            || self.adversary.is_some()
         {
             rt.trace.records.push(RoundFaults {
                 round,
@@ -1103,6 +1189,7 @@ impl<P: Protocol> Engine<P> {
                 partition_checksum,
                 crashed: crashed_slots,
                 recovered,
+                byzantine,
             });
         }
         self.faults = Some(rt);
@@ -1178,6 +1265,7 @@ impl<P: Protocol> Engine<P> {
                 loss_rate: self.loss_rate,
                 repair: self.repair,
                 telemetry: TelemetryHandle::new(self.telemetry.as_deref_mut()),
+                adversary: self.adversary,
             };
             self.protocol.on_join(id, &mut ctx);
         }
@@ -1282,6 +1370,7 @@ impl<P: Protocol> Engine<P> {
             loss_rate: self.loss_rate,
             repair: self.repair,
             telemetry: TelemetryHandle::new(self.telemetry.as_deref_mut()),
+            adversary: self.adversary,
         };
         f(&mut self.protocol, &mut ctx)
     }
@@ -1350,26 +1439,26 @@ mod tests {
                     ExchangeTraffic {
                         request: Some(8),
                         response: Some(8),
-                        bootstraps: 0,
+                        ..ExchangeTraffic::default()
                     }
                 }
                 ExchangeFate::RequestLost => ExchangeTraffic {
                     request: Some(8),
                     response: None,
-                    bootstraps: 0,
+                    ..ExchangeTraffic::default()
                 },
                 ExchangeFate::ResponseLost => {
                     *b = (*a + *b) / 2.0;
                     ExchangeTraffic {
                         request: Some(8),
                         response: Some(8),
-                        bootstraps: 0,
+                        ..ExchangeTraffic::default()
                     }
                 }
                 ExchangeFate::Aborted => ExchangeTraffic {
                     request: Some(8),
                     response: Some(8),
-                    bootstraps: 0,
+                    ..ExchangeTraffic::default()
                 },
             }
         }

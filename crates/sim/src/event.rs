@@ -37,8 +37,10 @@ use std::collections::{HashSet, VecDeque};
 use rand::rngs::StdRng;
 use rand::RngExt as _;
 
+use rand::seq::SliceRandom as _;
+
 use crate::engine::SimConfigError;
-use crate::faults::FaultScenario;
+use crate::faults::{ActiveAdversary, FaultRuntime, FaultScenario, FaultTrace, RoundFaults};
 use crate::node::{NodeId, NodeSlab, PeerView};
 use crate::rng::{derive_seed, par_stream_rng, seeded_rng};
 use crate::stats::NetStats;
@@ -267,6 +269,12 @@ pub trait BatchAsyncProtocol: AsyncProtocol {
 pub struct EventCtx<'a, N, M> {
     /// Current simulation time in ticks.
     pub now: u64,
+    /// The gossip-period window (fault *round*) containing `now`.
+    pub round: u64,
+    /// The Byzantine adversary active in this window, if the attached
+    /// [`FaultScenario`] has one. Protocols use it to corrupt their own
+    /// state before sending (see [`ActiveAdversary`]).
+    pub adversary: Option<ActiveAdversary>,
     /// All live nodes.
     pub nodes: &'a mut NodeSlab<N>,
     /// Engine RNG.
@@ -287,7 +295,21 @@ impl<N, M> EventCtx<'_, N, M> {
 
     /// Draws a uniformly random live node other than `of` (the idealised
     /// peer-sampling service).
+    ///
+    /// Mirrors `Ctx::random_neighbour` on the cycle engine: a Byzantine
+    /// `of` under a targeted-partner adversary deterministically aims at
+    /// the lowest live slot instead of sampling, consuming no engine RNG.
     pub fn random_neighbour(&mut self, of: NodeId) -> Option<NodeId> {
+        if let Some(adv) = &self.adversary {
+            if adv.model.targets_partner() && adv.is_byzantine(of.slot()) {
+                let mut ids = self.nodes.ids();
+                let first = ids.next();
+                let victim = if first == Some(of) { ids.next() } else { first };
+                if victim.is_some() {
+                    return victim;
+                }
+            }
+        }
         self.nodes.random_other(of, self.rng)
     }
 }
@@ -302,6 +324,8 @@ impl<N, M> EventCtx<'_, N, M> {
 /// canonical order.
 pub struct BatchCtx<'a, 'o, M> {
     now: u64,
+    round: u64,
+    adversary: Option<ActiveAdversary>,
     stamp: u64,
     rng: StdRng,
     peers: PeerView<'a>,
@@ -312,6 +336,16 @@ impl<M> BatchCtx<'_, '_, M> {
     /// Current simulation time in ticks.
     pub fn now(&self) -> u64 {
         self.now
+    }
+
+    /// The gossip-period window (fault *round*) containing `now`.
+    pub fn round(&self) -> u64 {
+        self.round
+    }
+
+    /// The Byzantine adversary active in this window, if any.
+    pub fn adversary(&self) -> Option<ActiveAdversary> {
+        self.adversary
     }
 
     /// The globally unique, thread-count-invariant sequence stamp of the
@@ -343,8 +377,17 @@ impl<M> BatchCtx<'_, '_, M> {
     }
 
     /// Draws a uniformly random live node other than `of`, bit-identical
-    /// to [`EventCtx::random_neighbour`] given the same RNG state.
+    /// to [`EventCtx::random_neighbour`] given the same RNG state —
+    /// including the deterministic targeted-partner override for Byzantine
+    /// initiators.
     pub fn random_neighbour(&mut self, of: NodeId) -> Option<NodeId> {
+        if let Some(adv) = &self.adversary {
+            if adv.model.targets_partner() && adv.is_byzantine(of.slot()) {
+                if let Some(victim) = self.peers.lowest_other(of) {
+                    return Some(victim);
+                }
+            }
+        }
         self.peers.random_other(of, &mut self.rng)
     }
 }
@@ -407,7 +450,10 @@ pub struct EventEngine<P: AsyncProtocol> {
     delivered: u64,
     lost: u64,
     duplicated: u64,
-    faults: Option<FaultScenario>,
+    faults: Option<FaultRuntime>,
+    /// First fault round (gossip-period window) not yet processed by
+    /// `advance_faults`.
+    next_fault_round: u64,
     telemetry: Option<Box<SimTelemetry>>,
     /// First window (gossip period) not yet snapshotted.
     next_window: u64,
@@ -463,6 +509,7 @@ impl<P: AsyncProtocol> EventEngine<P> {
             lost: 0,
             duplicated: 0,
             faults: None,
+            next_fault_round: 0,
             telemetry: None,
             next_window: 0,
             win_bytes: 0,
@@ -486,6 +533,7 @@ impl<P: AsyncProtocol> EventEngine<P> {
         while let Some((at, _seq, event)) = self.wheel.pop_at_or_before(until) {
             self.now = at;
             self.roll_windows();
+            self.advance_faults();
             match event {
                 Event::Timer(id) => {
                     if self.nodes.contains(id) {
@@ -505,12 +553,15 @@ impl<P: AsyncProtocol> EventEngine<P> {
         }
         self.now = self.now.max(until);
         self.roll_windows();
+        self.advance_faults();
     }
 
     fn dispatch_timer(&mut self, id: NodeId) {
         let mut outbox = Vec::new();
         let mut ctx = EventCtx {
             now: self.now,
+            round: self.now / self.config.gossip_period,
+            adversary: self.current_adversary(),
             nodes: &mut self.nodes,
             rng: &mut self.rng,
             net: &mut self.net,
@@ -528,6 +579,8 @@ impl<P: AsyncProtocol> EventEngine<P> {
         let mut outbox = Vec::new();
         let mut ctx = EventCtx {
             now: self.now,
+            round: self.now / self.config.gossip_period,
+            adversary: self.current_adversary(),
             nodes: &mut self.nodes,
             rng: &mut self.rng,
             net: &mut self.net,
@@ -539,12 +592,22 @@ impl<P: AsyncProtocol> EventEngine<P> {
 
     /// Attaches a [`FaultScenario`] (validated first): burst-loss windows
     /// override the configured loss rate, delay windows add delivery
-    /// latency, and duplication windows deliver extra message copies.
-    /// Fault round windows are mapped to ticks via the gossip period.
+    /// latency, duplication windows deliver extra message copies,
+    /// partitions drop cross-group messages, crash waves remove nodes and
+    /// recoveries re-insert them, and adversary windows activate Byzantine
+    /// behaviour. Fault round windows are mapped to ticks via the gossip
+    /// period. Replaces any previous scenario and clears its trace.
     pub fn set_fault_scenario(&mut self, scenario: FaultScenario) -> Result<(), SimConfigError> {
         scenario.validate()?;
-        self.faults = Some(scenario);
+        self.faults = Some(FaultRuntime::new(scenario));
+        self.next_fault_round = self.now / self.config.gossip_period;
         Ok(())
+    }
+
+    /// The trace of injected round-windowed faults, if a scenario is
+    /// attached. Identical across both drivers at any thread count.
+    pub fn fault_trace(&self) -> Option<&FaultTrace> {
+        self.faults.as_ref().map(|rt| &rt.trace)
     }
 
     /// Messages duplicated by the fault injector so far.
@@ -637,13 +700,158 @@ impl<P: AsyncProtocol> EventEngine<P> {
     fn fault_params(&self) -> (f64, u64, f64) {
         let round = self.now / self.config.gossip_period;
         match &self.faults {
-            Some(s) => (
-                s.loss_rate_at(round).unwrap_or(self.config.loss_rate),
-                s.extra_delay_at(round),
-                s.duplication_rate_at(round),
+            Some(rt) => (
+                rt.scenario
+                    .loss_rate_at(round)
+                    .unwrap_or(self.config.loss_rate),
+                rt.scenario.extra_delay_at(round),
+                rt.scenario.duplication_rate_at(round),
             ),
             None => (self.config.loss_rate, 0, 0.0),
         }
+    }
+
+    /// The Byzantine adversary covering the current tick's round, if any.
+    fn current_adversary(&self) -> Option<ActiveAdversary> {
+        let round = self.now / self.config.gossip_period;
+        self.faults
+            .as_ref()
+            .and_then(|rt| rt.scenario.adversary_at(round))
+    }
+
+    /// Applies the round-windowed faults (crash waves, recoveries, trace
+    /// records) of every gossip-period window entered since the last call.
+    /// Runs at the same sequential points in both drivers and draws only
+    /// from scenario-seeded streams, so the injected faults — and the
+    /// resulting [`FaultTrace`] — are identical across the sequential and
+    /// batch drivers at any thread count.
+    fn advance_faults(&mut self) {
+        if self.faults.is_none() {
+            return;
+        }
+        let current = self.now / self.config.gossip_period;
+        while self.next_fault_round <= current {
+            let round = self.next_fault_round;
+            self.next_fault_round += 1;
+            self.apply_fault_round(round);
+        }
+    }
+
+    fn apply_fault_round(&mut self, round: u64) {
+        let Some(mut rt) = self.faults.take() else {
+            return;
+        };
+        let loss_override = rt.scenario.loss_rate_at(round);
+        let loss_rate = loss_override.unwrap_or(self.config.loss_rate);
+        if loss_override.is_some() {
+            if let Some(t) = self.telemetry.as_deref_mut() {
+                t.record_fault_loss(round, loss_rate);
+            }
+        }
+
+        // Partition bookkeeping: the cut itself is enforced per message in
+        // `route`; here we track the window and compute the trace checksum
+        // over the live population, exactly as the cycle engine does.
+        let active = rt.scenario.active_partition(round);
+        let mut partition_checksum = 0u64;
+        match active {
+            Some((start, kind)) => {
+                let k = kind.groups();
+                for id in self.nodes.id_vec() {
+                    let g = rt.scenario.partition_group(start, id.slot(), k);
+                    partition_checksum ^= derive_seed(id.slot() as u64, u64::from(g));
+                }
+                rt.partition_applied = Some(start);
+                if let Some(t) = self.telemetry.as_deref_mut() {
+                    t.record_fault_partition(round, partition_checksum);
+                }
+            }
+            None => {
+                rt.partition_applied.take();
+            }
+        }
+
+        // Crash waves firing this round: victims come from a
+        // scenario-seeded shuffle of the live population in slot order.
+        // Their state is dropped; pending events for them are filtered by
+        // the liveness checks in both drivers.
+        let mut crashed_slots: Vec<u32> = Vec::new();
+        for (recover_round, fraction) in rt.scenario.crashes_at(round) {
+            let live = self.nodes.len();
+            let k = ((fraction * live as f64).round() as usize).min(live.saturating_sub(1));
+            if k == 0 {
+                continue;
+            }
+            let mut ids = self.nodes.id_vec();
+            let mut rng = rt.crash_rng(round);
+            ids.shuffle(&mut rng);
+            let mut wave = 0u32;
+            for id in ids.into_iter().take(k) {
+                if self.nodes.remove(id).is_some() {
+                    crashed_slots.push(id.slot() as u32);
+                    wave += 1;
+                    if let Some(t) = self.telemetry.as_deref_mut() {
+                        t.record_crash(round, id.slot() as u32);
+                    }
+                }
+            }
+            if wave > 0 {
+                rt.pending_recoveries.push((recover_round, wave));
+            }
+        }
+
+        // Recoveries due this round: fresh nodes built from the scenario
+        // stream rejoin and schedule their first gossip timer within one
+        // period. The timer lands relative to `now`, which is the batch
+        // tick in both drivers — thread-count-invariant by construction.
+        let mut recovered = 0u32;
+        rt.pending_recoveries.retain(|&(when, count)| {
+            if when <= round {
+                recovered += count;
+                false
+            } else {
+                true
+            }
+        });
+        if recovered > 0 {
+            let mut rng = rt.recover_rng(round);
+            for _ in 0..recovered {
+                let state = self.protocol.make_node(&mut rng);
+                let id = self.nodes.insert(state);
+                self.net.reset_slot(id.slot());
+                let phase = rng.random_range(0..self.config.gossip_period);
+                self.schedule_timer(self.now + 1 + phase, id);
+                if let Some(t) = self.telemetry.as_deref_mut() {
+                    t.record_recovery(round, id.slot() as u32);
+                }
+            }
+        }
+
+        // 5. Byzantine adversary: membership is a pure function of the
+        // scenario seed, counted over the post-crash live population.
+        let adversary = rt.scenario.adversary_at(round);
+        let byzantine = adversary
+            .as_ref()
+            .map(|adv| adv.count_byzantine(self.nodes.ids().map(|id| id.slot())))
+            .unwrap_or(0);
+
+        if loss_override.is_some()
+            || active.is_some()
+            || !crashed_slots.is_empty()
+            || recovered > 0
+            || adversary.is_some()
+        {
+            rt.trace.records.push(RoundFaults {
+                round,
+                loss_rate,
+                partition_active: active.is_some(),
+                partition_checksum,
+                crashed: crashed_slots,
+                recovered,
+                byzantine,
+            });
+        }
+        self.faults = Some(rt);
     }
 
     /// Registers `send_seq` as having a duplicate twin in flight, evicting
@@ -673,6 +881,17 @@ impl<P: AsyncProtocol> EventEngine<P> {
         extra_delay: u64,
         dup_rate: f64,
     ) {
+        // Partition cut: cross-group sends are dropped while a window is
+        // active. Group membership is a pure function of the scenario seed
+        // and the check consumes no engine RNG, so downstream draws are
+        // unaffected by whether a partition is configured.
+        if self.partition_cut(from, to) {
+            self.lost += 1;
+            if let Some(t) = self.telemetry.as_deref_mut() {
+                t.record_async_loss();
+            }
+            return;
+        }
         if loss_rate > 0.0 && self.rng.random::<f64>() < loss_rate {
             self.lost += 1;
             if let Some(t) = self.telemetry.as_deref_mut() {
@@ -712,6 +931,21 @@ impl<P: AsyncProtocol> EventEngine<P> {
                 send_seq,
             },
         );
+    }
+
+    /// Whether an active partition separates `from` and `to` at the
+    /// current tick's round.
+    fn partition_cut(&self, from: NodeId, to: NodeId) -> bool {
+        let Some(rt) = &self.faults else {
+            return false;
+        };
+        let round = self.now / self.config.gossip_period;
+        let Some((start, kind)) = rt.scenario.active_partition(round) else {
+            return false;
+        };
+        let k = kind.groups();
+        rt.scenario.partition_group(start, from.slot(), k)
+            != rt.scenario.partition_group(start, to.slot(), k)
     }
 
     fn flush(&mut self, outbox: Vec<(NodeId, NodeId, P::Message, usize)>) {
@@ -780,6 +1014,8 @@ impl<P: AsyncProtocol> EventEngine<P> {
         let mut outbox = Vec::new();
         let mut ctx = EventCtx {
             now: self.now,
+            round: self.now / self.config.gossip_period,
+            adversary: self.current_adversary(),
             nodes: &mut self.nodes,
             rng: &mut self.rng,
             net: &mut self.net,
@@ -813,6 +1049,9 @@ where
             }
             self.now = tick;
             self.roll_windows();
+            self.advance_faults();
+            let fault_round = tick / period;
+            let adversary = self.current_adversary();
             let mut buckets = std::mem::take(&mut self.drain_scratch);
             self.wheel.drain_tick_into(tick, &mut buckets);
 
@@ -878,6 +1117,8 @@ where
                                         if let Some(node) = unsafe { raw.get_mut(id) } {
                                             let mut ctx = BatchCtx {
                                                 now: tick,
+                                                round: fault_round,
+                                                adversary,
                                                 stamp: seq,
                                                 rng: par_stream_rng(
                                                     batch_base,
@@ -907,6 +1148,8 @@ where
                                         if let Some(node) = unsafe { raw.get_mut(to) } {
                                             let mut ctx = BatchCtx {
                                                 now: tick,
+                                                round: fault_round,
+                                                adversary,
                                                 stamp: seq,
                                                 rng: par_stream_rng(
                                                     batch_base,
@@ -964,6 +1207,7 @@ where
         }
         self.now = self.now.max(until);
         self.roll_windows();
+        self.advance_faults();
     }
 }
 
@@ -1375,6 +1619,92 @@ mod tests {
         assert_eq!(snaps.len(), 10, "one snapshot per elapsed window");
         let windowed: u64 = snaps.iter().map(|s| s.round_bytes).sum();
         assert_eq!(windowed, engine.net().total_bytes());
+    }
+
+    /// The PR 2 fault matrix: burst loss, a bisecting partition, and a
+    /// crash wave with delayed recovery, all overlapping.
+    fn fault_matrix_scenario() -> crate::faults::FaultScenario {
+        crate::faults::FaultScenario::new(99)
+            .with_burst_loss(3, 8, 0.4)
+            .with_partition(5, 12, crate::faults::PartitionKind::Bisect)
+            .with_crash_recover(2, 9, 0.2)
+    }
+
+    fn faulted_engine(threads: usize) -> EventEngine<AsyncAveraging> {
+        let config = EventConfig::new(10_000, 4242)
+            .with_gossip_period(50)
+            .with_latency(LatencyModel::Uniform { min: 5, max: 30 })
+            .with_threads(threads);
+        let mut engine = EventEngine::new(config, AsyncAveraging { next: 0.0 });
+        engine.set_fault_scenario(fault_matrix_scenario()).unwrap();
+        engine
+    }
+
+    fn faulted_fingerprint(engine: &EventEngine<AsyncAveraging>) -> (Vec<u64>, u64, u64, u64) {
+        let mut bits: Vec<u64> = engine.nodes().iter().map(|(_, v)| v.to_bits()).collect();
+        bits.push(engine.nodes().len() as u64);
+        (
+            bits,
+            engine.delivered_count(),
+            engine.lost_count(),
+            engine.net().total_bytes(),
+        )
+    }
+
+    /// Satellite check: replaying the fault matrix at 10^4 nodes through
+    /// the batch driver produces exactly the fault trace of the sequential
+    /// event path. Node trajectories legitimately differ (the drivers draw
+    /// randomness differently); the injected faults must not.
+    #[test]
+    fn fault_trace_parity_between_sequential_and_batch_drivers() {
+        let until = 50 * 16;
+        let mut seq = faulted_engine(1);
+        seq.run_until(until);
+        let mut batch = faulted_engine(2);
+        batch.run_until_parallel(until);
+
+        let seq_trace = seq.fault_trace().expect("scenario attached").clone();
+        let batch_trace = batch.fault_trace().expect("scenario attached").clone();
+        assert_eq!(seq_trace, batch_trace, "fault traces diverged");
+        assert!(seq_trace.total_crashed() > 0, "crash wave fired");
+        assert_eq!(
+            seq_trace.total_crashed(),
+            seq_trace.total_recovered(),
+            "every crashed node recovered"
+        );
+        assert!(
+            seq_trace.records.iter().any(|r| r.partition_active),
+            "partition window recorded"
+        );
+        assert!(
+            seq_trace
+                .records
+                .iter()
+                .any(|r| r.partition_active && r.partition_checksum != 0),
+            "partition checksum recorded"
+        );
+        // Both drivers end with the full population back (crash wave fully
+        // recovered), and the partition actually dropped traffic.
+        assert_eq!(seq.nodes().len(), 10_000);
+        assert_eq!(batch.nodes().len(), 10_000);
+        assert!(seq.lost_count() > 0);
+        assert!(batch.lost_count() > 0);
+    }
+
+    /// Satellite check: the batch driver under the full fault matrix is
+    /// bit-identical (states, counters, trace) at 1, 2, and 4 threads.
+    #[test]
+    fn batch_faulted_run_is_bit_identical_across_thread_counts() {
+        let until = 50 * 16;
+        let run = |threads: usize| {
+            let mut engine = faulted_engine(threads);
+            engine.run_until_parallel(until);
+            let trace = engine.fault_trace().expect("scenario attached").clone();
+            (faulted_fingerprint(&engine), trace)
+        };
+        let base = run(1);
+        assert_eq!(base, run(2), "threads=2 diverged from threads=1");
+        assert_eq!(base, run(4), "threads=4 diverged from threads=1");
     }
 }
 

@@ -23,6 +23,8 @@ use crate::rng::{derive_seed, seeded_rng};
 pub(crate) const PHASE_PARTITION: u64 = 16;
 pub(crate) const PHASE_CRASH: u64 = 17;
 pub(crate) const PHASE_RECOVER: u64 = 18;
+pub(crate) const PHASE_ADVERSARY: u64 = 19;
+pub(crate) const PHASE_ADV_DRAW: u64 = 20;
 
 /// Shape of an injected network partition.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -40,6 +42,88 @@ impl PartitionKind {
             PartitionKind::Bisect => 2,
             PartitionKind::Islands(k) => k,
         }
+    }
+}
+
+/// Behaviour of a Byzantine node while an adversary window is active.
+///
+/// All models corrupt the node's *contribution* to gossip exchanges; honest
+/// nodes are untouched. Which nodes are Byzantine is a pure function of the
+/// scenario seed, the window start and the node slot (see
+/// [`ActiveAdversary::is_byzantine`]), so membership replays bit-identically
+/// on every execution path.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum AdversaryModel {
+    /// The node reports poisoned fraction vectors: every component is
+    /// replaced by a draw in `[0, magnitude)`. The lie is *consistent* —
+    /// the same node tells the same lie to every partner in every round of
+    /// the window.
+    ValuePoisoning {
+        /// Upper bound of the poisoned component values (honest fractions
+        /// live in `[0, 1]`, so `magnitude > 1` drags estimates upward).
+        magnitude: f64,
+    },
+    /// The node claims an inflated aggregation weight `factor` in every
+    /// exchange (honest weights sum to 1 network-wide, so any single claim
+    /// above 1 injects mass and drags `n_hat` down for everyone it meets).
+    WeightInflation {
+        /// The absolute weight the node claims (honest nodes claim ≤ 1).
+        factor: f64,
+    },
+    /// Value poisoning plus *targeted partner selection*: instead of
+    /// gossiping with a uniform random neighbour, every Byzantine node
+    /// aims all of its exchanges at a single victim (the lowest live
+    /// slot), concentrating the poison.
+    TargetedPartner {
+        /// Upper bound of the poisoned component values.
+        magnitude: f64,
+    },
+    /// Equivocation: the node poisons its fractions like `ValuePoisoning`
+    /// but tells a *different* lie to every partner in every round (the
+    /// corruption stream is keyed by round and partner slot).
+    Equivocation {
+        /// Upper bound of the poisoned component values.
+        magnitude: f64,
+    },
+}
+
+impl AdversaryModel {
+    /// The poisoning magnitude, if this model poisons values.
+    pub fn magnitude(self) -> Option<f64> {
+        match self {
+            AdversaryModel::ValuePoisoning { magnitude }
+            | AdversaryModel::TargetedPartner { magnitude }
+            | AdversaryModel::Equivocation { magnitude } => Some(magnitude),
+            AdversaryModel::WeightInflation { .. } => None,
+        }
+    }
+
+    /// Whether Byzantine nodes override their partner selection.
+    pub fn targets_partner(self) -> bool {
+        matches!(self, AdversaryModel::TargetedPartner { .. })
+    }
+
+    fn validate(self) -> Result<(), SimConfigError> {
+        let bad = |name: &str, v: f64| {
+            Err(SimConfigError::new(format!(
+                "adversary {name} must be finite and > 0, got {v}"
+            )))
+        };
+        match self {
+            AdversaryModel::ValuePoisoning { magnitude }
+            | AdversaryModel::TargetedPartner { magnitude }
+            | AdversaryModel::Equivocation { magnitude } => {
+                if !magnitude.is_finite() || magnitude <= 0.0 {
+                    return bad("magnitude", magnitude);
+                }
+            }
+            AdversaryModel::WeightInflation { factor } => {
+                if !factor.is_finite() || factor <= 0.0 {
+                    return bad("inflation factor", factor);
+                }
+            }
+        }
+        Ok(())
     }
 }
 
@@ -104,6 +188,20 @@ pub enum FaultEvent {
         to_round: u64,
         /// Duplication probability in `[0, 1]`.
         rate: f64,
+    },
+    /// Byzantine adversary: while active, a deterministic `fraction` of
+    /// live nodes behave according to `model` in every gossip exchange.
+    /// When windows overlap, the latest-starting one wins (like
+    /// `Partition`).
+    Adversary {
+        /// First affected round (inclusive).
+        from_round: u64,
+        /// First unaffected round (exclusive).
+        to_round: u64,
+        /// Fraction of nodes that are Byzantine, in `[0, 1]`.
+        fraction: f64,
+        /// What the Byzantine nodes do.
+        model: AdversaryModel,
     },
 }
 
@@ -181,6 +279,24 @@ impl FaultScenario {
         self
     }
 
+    /// Adds a Byzantine adversary window `[from, to)`: `fraction` of the
+    /// nodes follow `model` in every exchange while the window is active.
+    pub fn with_adversary(
+        mut self,
+        from: u64,
+        to: u64,
+        fraction: f64,
+        model: AdversaryModel,
+    ) -> Self {
+        self.events.push(FaultEvent::Adversary {
+            from_round: from,
+            to_round: to,
+            fraction,
+            model,
+        });
+        self
+    }
+
     /// Validates every event: probabilities must be finite and in `[0, 1]`,
     /// windows non-inverted, recovery strictly after the crash, island cuts
     /// need at least two groups.
@@ -247,6 +363,16 @@ impl FaultScenario {
                 } => {
                     window(from_round, to_round)?;
                     probability("duplication rate", rate)?;
+                }
+                FaultEvent::Adversary {
+                    from_round,
+                    to_round,
+                    fraction,
+                    model,
+                } => {
+                    window(from_round, to_round)?;
+                    probability("byzantine fraction", fraction)?;
+                    model.validate()?;
                 }
             }
         }
@@ -323,6 +449,34 @@ impl FaultScenario {
         active
     }
 
+    /// The adversary window active at `round`, resolved into an
+    /// [`ActiveAdversary`] handle. When windows overlap, the
+    /// latest-starting one wins (like `active_partition`).
+    pub fn adversary_at(&self, round: u64) -> Option<ActiveAdversary> {
+        let mut active: Option<(u64, f64, AdversaryModel)> = None;
+        for event in &self.events {
+            if let FaultEvent::Adversary {
+                from_round,
+                to_round,
+                fraction,
+                model,
+            } = *event
+            {
+                if (from_round..to_round).contains(&round)
+                    && active.is_none_or(|(start, _, _)| from_round >= start)
+                {
+                    active = Some((from_round, fraction, model));
+                }
+            }
+        }
+        active.map(|(window_start, fraction, model)| ActiveAdversary {
+            seed: self.seed,
+            window_start,
+            fraction,
+            model,
+        })
+    }
+
     /// Crash waves firing exactly at `round`, as `(recover_round, fraction)`.
     pub(crate) fn crashes_at(&self, round: u64) -> Vec<(u64, f64)> {
         self.events
@@ -347,7 +501,8 @@ impl FaultScenario {
                 FaultEvent::BurstLoss { to_round, .. }
                 | FaultEvent::Partition { to_round, .. }
                 | FaultEvent::Delay { to_round, .. }
-                | FaultEvent::Duplicate { to_round, .. } => to_round,
+                | FaultEvent::Duplicate { to_round, .. }
+                | FaultEvent::Adversary { to_round, .. } => to_round,
                 FaultEvent::CrashRecover { recover_round, .. } => recover_round,
             })
             .max()
@@ -366,6 +521,97 @@ impl FaultScenario {
     }
 }
 
+/// A resolved adversary window: which model is active and how Byzantine
+/// membership and corruption randomness are derived.
+///
+/// Everything here is a pure function of `(scenario seed, window start,
+/// counters)` — no engine RNG is ever consumed — so the same scenario
+/// produces the same attack on the cycle engine, `run_round_parallel`, and
+/// the event engine's batch path, at any thread count.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ActiveAdversary {
+    seed: u64,
+    window_start: u64,
+    fraction: f64,
+    /// The behaviour model Byzantine nodes follow.
+    pub model: AdversaryModel,
+}
+
+impl ActiveAdversary {
+    /// Whether the node at `slot` is Byzantine in this window. Membership
+    /// is fixed for the whole window: a hash of `(seed, window_start,
+    /// slot)` is compared against the configured fraction.
+    pub fn is_byzantine(&self, slot: usize) -> bool {
+        let h = derive_seed(
+            derive_seed(derive_seed(self.seed, PHASE_ADVERSARY), self.window_start),
+            slot as u64,
+        );
+        // Top 53 bits as a uniform draw in [0, 1).
+        ((h >> 11) as f64 / (1u64 << 53) as f64) < self.fraction
+    }
+
+    /// Corruption-stream seed for a Byzantine node's contribution to one
+    /// exchange. `ValuePoisoning`, `TargetedPartner` and `WeightInflation`
+    /// lies are consistent (keyed by slot only); `Equivocation` lies vary
+    /// per round and partner.
+    pub fn corruption_seed(&self, round: u64, slot: usize, partner_slot: usize) -> u64 {
+        let base = derive_seed(
+            derive_seed(derive_seed(self.seed, PHASE_ADV_DRAW), self.window_start),
+            slot as u64,
+        );
+        match self.model {
+            AdversaryModel::ValuePoisoning { .. }
+            | AdversaryModel::TargetedPartner { .. }
+            | AdversaryModel::WeightInflation { .. } => base,
+            AdversaryModel::Equivocation { .. } => {
+                derive_seed(derive_seed(base, round), partner_slot as u64)
+            }
+        }
+    }
+
+    /// Resolves one planned exchange into an attack directive, or `None`
+    /// when both endpoints are honest.
+    pub fn plan(
+        &self,
+        round: u64,
+        initiator_slot: usize,
+        partner_slot: usize,
+    ) -> Option<PlannedAttack> {
+        let initiator_seed = self
+            .is_byzantine(initiator_slot)
+            .then(|| self.corruption_seed(round, initiator_slot, partner_slot));
+        let partner_seed = self
+            .is_byzantine(partner_slot)
+            .then(|| self.corruption_seed(round, partner_slot, initiator_slot));
+        if initiator_seed.is_none() && partner_seed.is_none() {
+            return None;
+        }
+        Some(PlannedAttack {
+            model: self.model,
+            initiator_seed,
+            partner_seed,
+        })
+    }
+
+    /// Number of Byzantine slots among `slots` (for trace records).
+    pub fn count_byzantine<I: IntoIterator<Item = usize>>(&self, slots: I) -> u32 {
+        slots.into_iter().filter(|&s| self.is_byzantine(s)).count() as u32
+    }
+}
+
+/// Attack directive attached to one planned exchange: which endpoints are
+/// Byzantine (a `Some` corruption seed) and what model they follow. The
+/// protocol layer applies the corruption just before the merge.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PlannedAttack {
+    /// The behaviour model in force.
+    pub model: AdversaryModel,
+    /// Corruption seed for the initiator, when the initiator is Byzantine.
+    pub initiator_seed: Option<u64>,
+    /// Corruption seed for the partner, when the partner is Byzantine.
+    pub partner_seed: Option<u64>,
+}
+
 /// What the fault injector did in one round (for replay comparison).
 #[derive(Debug, Clone, PartialEq)]
 pub struct RoundFaults {
@@ -381,6 +627,8 @@ pub struct RoundFaults {
     pub crashed: Vec<u32>,
     /// Number of nodes that recovered (rejoined) this round.
     pub recovered: u32,
+    /// Number of live Byzantine nodes this round (0 when no adversary).
+    pub byzantine: u32,
 }
 
 /// Chronological record of injected faults, one entry per round with any
@@ -535,5 +783,162 @@ mod tests {
     fn last_round_covers_all_events() {
         assert_eq!(scenario().last_round(), 25);
         assert_eq!(FaultScenario::new(0).last_round(), 0);
+        let adv = FaultScenario::new(0).with_adversary(
+            3,
+            30,
+            0.1,
+            AdversaryModel::ValuePoisoning { magnitude: 4.0 },
+        );
+        assert_eq!(adv.last_round(), 30);
+    }
+
+    #[test]
+    fn adversary_validation() {
+        let good = FaultScenario::new(1).with_adversary(
+            0,
+            10,
+            0.2,
+            AdversaryModel::WeightInflation { factor: 8.0 },
+        );
+        assert!(good.validate().is_ok());
+        let bad = [
+            FaultScenario::new(1).with_adversary(
+                0,
+                10,
+                1.5,
+                AdversaryModel::ValuePoisoning { magnitude: 1.0 },
+            ),
+            FaultScenario::new(1).with_adversary(
+                10,
+                0,
+                0.1,
+                AdversaryModel::ValuePoisoning { magnitude: 1.0 },
+            ),
+            FaultScenario::new(1).with_adversary(
+                0,
+                10,
+                0.1,
+                AdversaryModel::ValuePoisoning {
+                    magnitude: f64::NAN,
+                },
+            ),
+            FaultScenario::new(1).with_adversary(
+                0,
+                10,
+                0.1,
+                AdversaryModel::WeightInflation { factor: 0.0 },
+            ),
+            FaultScenario::new(1).with_adversary(
+                0,
+                10,
+                0.1,
+                AdversaryModel::Equivocation { magnitude: -2.0 },
+            ),
+        ];
+        for s in bad {
+            assert!(s.validate().is_err(), "{s:?} should be rejected");
+        }
+    }
+
+    #[test]
+    fn adversary_window_latest_start_wins() {
+        let s = FaultScenario::new(5)
+            .with_adversary(
+                0,
+                20,
+                0.1,
+                AdversaryModel::ValuePoisoning { magnitude: 2.0 },
+            )
+            .with_adversary(10, 15, 0.3, AdversaryModel::WeightInflation { factor: 4.0 });
+        assert!(s.adversary_at(25).is_none());
+        let early = s.adversary_at(5).unwrap();
+        assert_eq!(
+            early.model,
+            AdversaryModel::ValuePoisoning { magnitude: 2.0 }
+        );
+        let mid = s.adversary_at(12).unwrap();
+        assert_eq!(mid.model, AdversaryModel::WeightInflation { factor: 4.0 });
+        let late = s.adversary_at(16).unwrap();
+        assert_eq!(
+            late.model,
+            AdversaryModel::ValuePoisoning { magnitude: 2.0 }
+        );
+    }
+
+    #[test]
+    fn byzantine_membership_is_deterministic_and_proportional() {
+        let s = FaultScenario::new(11).with_adversary(
+            0,
+            50,
+            0.2,
+            AdversaryModel::ValuePoisoning { magnitude: 3.0 },
+        );
+        let adv = s.adversary_at(7).unwrap();
+        let members: Vec<bool> = (0..5000).map(|slot| adv.is_byzantine(slot)).collect();
+        let again: Vec<bool> = (0..5000).map(|slot| adv.is_byzantine(slot)).collect();
+        assert_eq!(members, again);
+        // Membership is constant across rounds of the same window.
+        let later = s.adversary_at(40).unwrap();
+        assert!((0..5000).all(|slot| later.is_byzantine(slot) == members[slot]));
+        let count = members.iter().filter(|&&b| b).count();
+        // ~20% of 5000 = 1000; allow generous sampling slack.
+        assert!((800..1200).contains(&count), "got {count} byzantine");
+        assert_eq!(adv.count_byzantine(0..5000), count as u32);
+    }
+
+    #[test]
+    fn corruption_seeds_follow_model_semantics() {
+        let poison = FaultScenario::new(3)
+            .with_adversary(
+                0,
+                50,
+                1.0,
+                AdversaryModel::ValuePoisoning { magnitude: 2.0 },
+            )
+            .adversary_at(0)
+            .unwrap();
+        // Consistent lie: same seed regardless of round or partner.
+        assert_eq!(
+            poison.corruption_seed(1, 7, 9),
+            poison.corruption_seed(30, 7, 2)
+        );
+        let equiv = FaultScenario::new(3)
+            .with_adversary(0, 50, 1.0, AdversaryModel::Equivocation { magnitude: 2.0 })
+            .adversary_at(0)
+            .unwrap();
+        // Different lie per partner and per round.
+        assert_ne!(
+            equiv.corruption_seed(1, 7, 9),
+            equiv.corruption_seed(1, 7, 2)
+        );
+        assert_ne!(
+            equiv.corruption_seed(1, 7, 9),
+            equiv.corruption_seed(2, 7, 9)
+        );
+        // And deterministic.
+        assert_eq!(
+            equiv.corruption_seed(1, 7, 9),
+            equiv.corruption_seed(1, 7, 9)
+        );
+    }
+
+    #[test]
+    fn plan_flags_byzantine_endpoints() {
+        let s = FaultScenario::new(17).with_adversary(
+            0,
+            10,
+            0.5,
+            AdversaryModel::Equivocation { magnitude: 2.0 },
+        );
+        let adv = s.adversary_at(0).unwrap();
+        let byz = (0..100).find(|&slot| adv.is_byzantine(slot)).unwrap();
+        let honest = (0..100).find(|&slot| !adv.is_byzantine(slot)).unwrap();
+        assert!(adv.plan(0, honest, honest).is_none());
+        let attack = adv.plan(0, byz, honest).unwrap();
+        assert!(attack.initiator_seed.is_some());
+        assert!(attack.partner_seed.is_none());
+        let attack = adv.plan(0, honest, byz).unwrap();
+        assert!(attack.initiator_seed.is_none());
+        assert!(attack.partner_seed.is_some());
     }
 }

@@ -74,12 +74,15 @@ pub use engine::{
 pub use event::{
     AsyncProtocol, BatchAsyncProtocol, BatchCtx, EventConfig, EventCtx, EventEngine, LatencyModel,
 };
-pub use faults::{FaultEvent, FaultScenario, FaultTrace, PartitionKind, RoundFaults};
+pub use faults::{
+    ActiveAdversary, AdversaryModel, FaultEvent, FaultScenario, FaultTrace, PartitionKind,
+    PlannedAttack, RoundFaults,
+};
 pub use node::{NodeId, NodeSlab};
 pub use overlay::{Overlay, OverlayConfig, OverlayKind};
 pub use peersampling::{PeerSamplingPolicy, PeerSelection, PsView, ViewEntry};
 pub use rng::{derive_seed, par_stream_rng, seeded_rng};
-pub use stats::{Accumulator, MassAuditor, NetShard, NetStats, NodeTraffic};
+pub use stats::{Accumulator, MassAuditor, MassViolation, NetShard, NetStats, NodeTraffic};
 pub use telemetry::{SimTelemetry, TelemetryHandle, TelemetryShard};
 
 // Re-exported so downstream crates (core, bench) can use telemetry types

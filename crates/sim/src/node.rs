@@ -440,6 +440,19 @@ impl PeerView<'_> {
         self.id_at_slot(slot as usize)
     }
 
+    /// The live node with the lowest slot other than `not` (the
+    /// deterministic victim of a targeted-partner attack).
+    pub(crate) fn lowest_other(&self, not: NodeId) -> Option<NodeId> {
+        let mut best: Option<u32> = None;
+        for &slot in self.live {
+            if slot == not.slot {
+                continue;
+            }
+            best = Some(best.map_or(slot, |b| b.min(slot)));
+        }
+        best.and_then(|slot| self.id_at_slot(slot as usize))
+    }
+
     pub(crate) fn random_other(&self, not: NodeId, rng: &mut StdRng) -> Option<NodeId> {
         if self.live.len() < 2 {
             let only = self

@@ -305,6 +305,51 @@ impl MassAuditor {
     pub fn reset(&mut self) {
         self.components.clear();
     }
+
+    /// Classifies component `key`'s latest observation against its
+    /// baseline: `None` while the signed drift stays within `tolerance`,
+    /// otherwise which *direction* the conservation broke in. Weight
+    /// inflation (a Byzantine node claiming aggregation weight it was
+    /// never assigned) and leakage (an interrupted exchange destroying
+    /// mass) are different attacks with different defenses, so they are
+    /// reported as distinct kinds.
+    pub fn violation_of(&self, key: u64, tolerance: f64) -> Option<MassViolation> {
+        let drift = self.drift_of(key)?;
+        if drift > tolerance {
+            Some(MassViolation::Inflation)
+        } else if drift < -tolerance {
+            Some(MassViolation::Leakage)
+        } else {
+            None
+        }
+    }
+
+    /// Every component currently in violation, as `(key, kind, signed
+    /// drift)` sorted by key.
+    pub fn violations(&self, tolerance: f64) -> Vec<(u64, MassViolation, f64)> {
+        let mut out: Vec<(u64, MassViolation, f64)> = self
+            .components
+            .keys()
+            .filter_map(|&key| {
+                let kind = self.violation_of(key, tolerance)?;
+                Some((key, kind, self.drift_of(key).expect("component observed")))
+            })
+            .collect();
+        out.sort_by_key(|&(key, _, _)| key);
+        out
+    }
+}
+
+/// The direction a conservation invariant broke in, as classified by
+/// [`MassAuditor::violation_of`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MassViolation {
+    /// The sum rose above its baseline: mass was created, e.g. a Byzantine
+    /// node inflating its aggregation weight or a double-absorbed message.
+    Inflation,
+    /// The sum fell below its baseline: mass was destroyed, e.g. a
+    /// response lost after the request side already merged.
+    Leakage,
 }
 
 /// Streaming mean/variance/min/max accumulator (Welford's algorithm).
@@ -595,5 +640,49 @@ mod tests {
         auditor.reset();
         assert_eq!(auditor.component_count(), 0);
         assert_eq!(auditor.max_drift(), 0.0);
+    }
+
+    #[test]
+    fn mass_auditor_flags_weight_inflation_as_inflation() {
+        // A Byzantine node claiming weight it was never assigned pushes the
+        // global sum *above* baseline — distinct from leakage, which the
+        // repair layer (not the robust merge) defends against.
+        let mut auditor = MassAuditor::new();
+        auditor.observe(0, 1.0); // Σw baseline of one instance
+        auditor.observe(0, 5.0); // adversary set w = 5 somewhere
+        assert_eq!(
+            auditor.violation_of(0, 1e-9),
+            Some(MassViolation::Inflation)
+        );
+        assert_eq!(auditor.drift_of(0), Some(4.0));
+    }
+
+    #[test]
+    fn mass_auditor_flags_destroyed_mass_as_leakage() {
+        let mut auditor = MassAuditor::new();
+        auditor.observe(0, 1.0);
+        auditor.observe(0, 0.75); // response lost after request applied
+        assert_eq!(auditor.violation_of(0, 1e-9), Some(MassViolation::Leakage));
+        assert_eq!(auditor.drift_of(0), Some(-0.25));
+    }
+
+    #[test]
+    fn mass_auditor_violations_respect_tolerance_and_sort_by_key() {
+        let mut auditor = MassAuditor::new();
+        auditor.observe(2, 1.0);
+        auditor.observe(2, 1.0 + 5e-13); // float noise, inside tolerance
+        auditor.observe(9, 1.0);
+        auditor.observe(9, 0.5);
+        auditor.observe(4, 1.0);
+        auditor.observe(4, 2.0);
+        assert_eq!(auditor.violation_of(2, 1e-12), None);
+        assert_eq!(auditor.violation_of(77, 1e-12), None, "unknown component");
+        assert_eq!(
+            auditor.violations(1e-12),
+            vec![
+                (4, MassViolation::Inflation, 1.0),
+                (9, MassViolation::Leakage, -0.5),
+            ]
+        );
     }
 }

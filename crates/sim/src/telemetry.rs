@@ -36,6 +36,8 @@ struct RoundScratch {
     leaves: u64,
     heal_bumps: u64,
     bootstraps: u64,
+    robust_rejects: u64,
+    robust_trims: u64,
     inflight_peak: u64,
     queue_depth_peak: u64,
 }
@@ -55,6 +57,8 @@ pub struct SimTelemetry {
     c_leaves: CounterId,
     c_heal_bumps: CounterId,
     c_bootstraps: CounterId,
+    c_robust_rejects: CounterId,
+    c_robust_trims: CounterId,
     h_request_bytes: HistogramId,
     h_response_bytes: HistogramId,
     c_async_delivered: CounterId,
@@ -92,6 +96,8 @@ impl SimTelemetry {
         let c_leaves = m.counter("churn_leaves");
         let c_heal_bumps = m.counter("self_heal_bumps");
         let c_bootstraps = m.counter("estimate_bootstraps");
+        let c_robust_rejects = m.counter("robust_rejects");
+        let c_robust_trims = m.counter("robust_trims");
         let h_request_bytes = m.histogram("exchange_request_bytes");
         let h_response_bytes = m.histogram("exchange_response_bytes");
         let c_async_delivered = m.counter("async_delivered");
@@ -112,6 +118,8 @@ impl SimTelemetry {
             c_leaves,
             c_heal_bumps,
             c_bootstraps,
+            c_robust_rejects,
+            c_robust_trims,
             h_request_bytes,
             h_response_bytes,
             c_async_delivered,
@@ -195,6 +203,16 @@ impl SimTelemetry {
         if bootstraps > 0 {
             self.scratch.bootstraps += bootstraps;
             self.inner.metrics.add(self.c_bootstraps, bootstraps);
+        }
+        if traffic.robust_rejects > 0 {
+            let n = u64::from(traffic.robust_rejects);
+            self.scratch.robust_rejects += n;
+            self.inner.metrics.add(self.c_robust_rejects, n);
+        }
+        if traffic.robust_trims > 0 {
+            let n = u64::from(traffic.robust_trims);
+            self.scratch.robust_trims += n;
+            self.inner.metrics.add(self.c_robust_trims, n);
         }
     }
 
@@ -289,6 +307,8 @@ impl SimTelemetry {
         TelemetryShard {
             metrics: self.inner.metrics.shard(),
             bootstraps: 0,
+            robust_rejects: 0,
+            robust_trims: 0,
         }
     }
 
@@ -298,6 +318,18 @@ impl SimTelemetry {
         if shard.bootstraps > 0 {
             self.scratch.bootstraps += shard.bootstraps;
             self.inner.metrics.add(self.c_bootstraps, shard.bootstraps);
+        }
+        if shard.robust_rejects > 0 {
+            self.scratch.robust_rejects += shard.robust_rejects;
+            self.inner
+                .metrics
+                .add(self.c_robust_rejects, shard.robust_rejects);
+        }
+        if shard.robust_trims > 0 {
+            self.scratch.robust_trims += shard.robust_trims;
+            self.inner
+                .metrics
+                .add(self.c_robust_trims, shard.robust_trims);
         }
     }
 
@@ -319,6 +351,8 @@ impl SimTelemetry {
         snap.leaves = s.leaves;
         snap.heal_bumps = s.heal_bumps;
         snap.bootstraps = s.bootstraps;
+        snap.robust_rejects = s.robust_rejects;
+        snap.robust_trims = s.robust_trims;
         snap.inflight_exchanges = s.inflight_peak;
         snap.queue_depth_max = s.queue_depth_peak;
         let m = &mut self.inner.metrics;
@@ -383,6 +417,8 @@ impl SimTelemetry {
 pub struct TelemetryShard {
     metrics: MetricShard,
     bootstraps: u64,
+    robust_rejects: u64,
+    robust_trims: u64,
 }
 
 impl TelemetryShard {
@@ -400,6 +436,8 @@ impl TelemetryShard {
             self.metrics.record(response_bytes, bytes as u64);
         }
         self.bootstraps += u64::from(traffic.bootstraps.count_ones());
+        self.robust_rejects += u64::from(traffic.robust_rejects);
+        self.robust_trims += u64::from(traffic.robust_trims);
     }
 }
 
@@ -487,6 +525,7 @@ mod tests {
             fate,
             request_msgs,
             response_msgs,
+            attack: None,
         }
     }
 
@@ -537,6 +576,8 @@ mod tests {
                 request: Some(16),
                 response: Some(32),
                 bootstraps: 0b11,
+                robust_rejects: 2,
+                robust_trims: 5,
             },
             hreq,
             hresp,
@@ -544,6 +585,8 @@ mod tests {
         t.merge_shard(&shard);
         t.end_round(0, 2, 48, 2);
         assert_eq!(t.telemetry().snapshots()[0].bootstraps, 2);
+        assert_eq!(t.telemetry().snapshots()[0].robust_rejects, 2);
+        assert_eq!(t.telemetry().snapshots()[0].robust_trims, 5);
         let (_, hist) = t
             .telemetry()
             .metrics

@@ -43,6 +43,12 @@ pub struct RoundSnapshot {
     /// Recovered/late nodes that bootstrapped an estimate from a completed
     /// partner snapshot this round.
     pub bootstraps: u64,
+    /// Partner contributions rejected outright by the robust merge path's
+    /// plausibility screen this round (0 in vanilla mode).
+    pub robust_rejects: u64,
+    /// Per-component contributions trimmed or influence-capped by the
+    /// robust merge path this round (0 in vanilla mode).
+    pub robust_trims: u64,
     /// Peak number of exchanges simultaneously in flight this round
     /// (parallel engine: the widest conflict-free batch; deploy runtime:
     /// the peak of the live in-flight gauge).
@@ -76,6 +82,8 @@ impl RoundSnapshot {
             leaves: 0,
             heal_bumps: 0,
             bootstraps: 0,
+            robust_rejects: 0,
+            robust_trims: 0,
             inflight_exchanges: 0,
             queue_depth_max: 0,
         }
@@ -90,7 +98,8 @@ impl RoundSnapshot {
              \"round_bytes\":{},\"round_msgs\":{},\"exchanges\":{},\
              \"repairs\":{},\"aborts\":{},\"faults\":{},\"crashes\":{},\
              \"recoveries\":{},\"joins\":{},\"leaves\":{},\"heal_bumps\":{},\
-             \"bootstraps\":{},\"inflight_exchanges\":{},\"queue_depth_max\":{}}}",
+             \"bootstraps\":{},\"robust_rejects\":{},\"robust_trims\":{},\
+             \"inflight_exchanges\":{},\"queue_depth_max\":{}}}",
             self.round,
             self.live_nodes,
             json_f64(self.err_max),
@@ -109,6 +118,8 @@ impl RoundSnapshot {
             self.leaves,
             self.heal_bumps,
             self.bootstraps,
+            self.robust_rejects,
+            self.robust_trims,
             self.inflight_exchanges,
             self.queue_depth_max,
         )
@@ -118,13 +129,14 @@ impl RoundSnapshot {
     pub const CSV_HEADER: &'static str = "round,live_nodes,err_max,err_avg,\
         mass_weight_defect,mass_fraction_defect,round_bytes,round_msgs,\
         exchanges,repairs,aborts,faults,crashes,recoveries,joins,leaves,\
-        heal_bumps,bootstraps,inflight_exchanges,queue_depth_max";
+        heal_bumps,bootstraps,robust_rejects,robust_trims,\
+        inflight_exchanges,queue_depth_max";
 
     /// Renders the snapshot as one CSV row (unmeasured floats are empty
     /// cells).
     pub fn csv_row(&self) -> String {
         format!(
-            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
             self.round,
             self.live_nodes,
             csv_f64(self.err_max),
@@ -143,6 +155,8 @@ impl RoundSnapshot {
             self.leaves,
             self.heal_bumps,
             self.bootstraps,
+            self.robust_rejects,
+            self.robust_trims,
             self.inflight_exchanges,
             self.queue_depth_max,
         )
