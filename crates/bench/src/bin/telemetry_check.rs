@@ -101,6 +101,46 @@ const BYZANTINE_RESULT_FIELDS: &[(&str, FieldType)] = &[
     ("fingerprint", FieldType::Uint),
 ];
 
+/// `BENCH_deploy.json` per-result schema (`--bench` mode): one record per
+/// (backend, scenario) cell of the comparison matrix.
+const DEPLOY_RESULT_FIELDS: &[(&str, FieldType)] = &[
+    ("scenario", FieldType::Str),
+    ("backend", FieldType::Str),
+    ("nodes", FieldType::Uint),
+    ("tick_ms", FieldType::Uint),
+    ("err_a", FieldType::NumberOrNull),
+    ("err_m", FieldType::NumberOrNull),
+    ("peers_without_estimate", FieldType::Uint),
+    ("mean_n_hat", FieldType::NumberOrNull),
+    ("exchanges", FieldType::Uint),
+    ("exchanges_completed", FieldType::Uint),
+    ("repairs", FieldType::Uint),
+    ("aborts", FieldType::Uint),
+    ("shim_drops", FieldType::Uint),
+    ("malformed_frames", FieldType::Uint),
+    ("backpressure_drops", FieldType::Uint),
+    ("throughput_eps", FieldType::NumberOrNull),
+    ("p99_latency_us", FieldType::Uint),
+    ("duration_s", FieldType::NumberOrNull),
+    ("clean_shutdown", FieldType::Bool),
+];
+
+/// `BENCH_deploy.json` scale-sweep record schema.
+const DEPLOY_SCALE_FIELDS: &[(&str, FieldType)] = &[
+    ("backend", FieldType::Str),
+    ("nodes", FieldType::Uint),
+    ("tick_ms", FieldType::Uint),
+    ("err_a", FieldType::NumberOrNull),
+    ("sim_err_a", FieldType::NumberOrNull),
+    ("peers_without_estimate", FieldType::Uint),
+    ("mean_n_hat", FieldType::NumberOrNull),
+    ("exchanges_completed", FieldType::Uint),
+    ("throughput_eps", FieldType::NumberOrNull),
+    ("p99_latency_us", FieldType::Uint),
+    ("duration_s", FieldType::NumberOrNull),
+    ("clean_shutdown", FieldType::Bool),
+];
+
 /// `manifest.json` schema.
 const MANIFEST_FIELDS: &[(&str, FieldType)] = &[
     ("schema_version", FieldType::Uint),
@@ -328,8 +368,25 @@ fn validate_bench(path: &Path) -> Result<usize, String> {
         .find_map(|l| l.trim().strip_prefix("\"benchmark\": "))
         .ok_or("missing \"benchmark\" field")?
         .trim_end_matches(',');
-    let schema: &[(&str, FieldType)] = match benchmark {
-        "\"byzantine_resilience\"" => BYZANTINE_RESULT_FIELDS,
+    // Per-benchmark layout: the result schema, the field whose values must
+    // cover `coverage_values` across the results array, and an optional
+    // second array with its own schema.
+    type Schema = &'static [(&'static str, FieldType)];
+    let (schema, coverage_field, coverage_values, extra_array): (
+        Schema,
+        &str,
+        &[&str],
+        Option<(&str, Schema)>,
+    ) = match benchmark {
+        "\"byzantine_resilience\"" => {
+            (BYZANTINE_RESULT_FIELDS, "engine", &["cycle", "event"], None)
+        }
+        "\"deploy_runtime\"" => (
+            DEPLOY_RESULT_FIELDS,
+            "backend",
+            &["threaded", "reactor"],
+            Some(("scale", DEPLOY_SCALE_FIELDS)),
+        ),
         other => {
             return Err(format!(
                 "unknown benchmark {other} (expected a --bench schema)"
@@ -345,41 +402,52 @@ fn validate_bench(path: &Path) -> Result<usize, String> {
     let manifest = parse_flat_object(manifest_line).map_err(|e| format!("manifest: {e}"))?;
     check_manifest(&manifest).map_err(|e| format!("manifest: {e}"))?;
 
-    let mut in_results = false;
+    // `None` outside an array, otherwise the active array's name and the
+    // schema its records must match.
+    let mut in_array: Option<(&str, &[(&str, FieldType)])> = None;
     let mut results = 0usize;
-    let mut engines: Vec<String> = Vec::new();
+    let mut covered: Vec<String> = Vec::new();
     for (i, line) in text.lines().enumerate() {
         let trimmed = line.trim();
-        if trimmed == "\"results\": [" {
-            in_results = true;
-            continue;
-        }
-        if !in_results {
-            continue;
-        }
-        if trimmed == "]" || trimmed == "]," {
-            in_results = false;
-            continue;
-        }
-        let obj = parse_flat_object(trimmed.trim_end_matches(','))
-            .map_err(|e| format!("results line {}: {e}", i + 1))?;
-        check_fields(&obj, schema).map_err(|e| format!("results line {}: {e}", i + 1))?;
-        if let Some(Scalar::Str(engine)) = obj.get("engine") {
-            if !engines.contains(engine) {
-                engines.push(engine.clone());
+        match in_array {
+            None => {
+                if trimmed == "\"results\": [" {
+                    in_array = Some(("results", schema));
+                } else if let Some((name, extra_schema)) = extra_array {
+                    if trimmed == format!("\"{name}\": [") {
+                        in_array = Some((name, extra_schema));
+                    }
+                }
+            }
+            Some((array, record_schema)) => {
+                if trimmed == "]" || trimmed == "]," {
+                    in_array = None;
+                    continue;
+                }
+                let obj = parse_flat_object(trimmed.trim_end_matches(','))
+                    .map_err(|e| format!("{array} line {}: {e}", i + 1))?;
+                check_fields(&obj, record_schema)
+                    .map_err(|e| format!("{array} line {}: {e}", i + 1))?;
+                if array == "results" {
+                    if let Some(Scalar::Str(value)) = obj.get(coverage_field) {
+                        if !covered.contains(value) {
+                            covered.push(value.clone());
+                        }
+                    }
+                    results += 1;
+                }
             }
         }
-        results += 1;
     }
-    if in_results {
-        return Err("unterminated results array".into());
+    if in_array.is_some() {
+        return Err("unterminated record array".into());
     }
     if results == 0 {
         return Err("no result records".into());
     }
-    for required in ["cycle", "event"] {
-        if !engines.iter().any(|e| e == required) {
-            return Err(format!("no results for the {required} engine"));
+    for required in coverage_values {
+        if !covered.iter().any(|v| v == required) {
+            return Err(format!("no results for {coverage_field} '{required}'"));
         }
     }
     Ok(results)
@@ -590,7 +658,7 @@ mod tests {
         .unwrap();
         assert!(validate_bench(&path)
             .unwrap_err()
-            .contains("no results for the event engine"));
+            .contains("no results for engine 'event'"));
 
         // A non-boolean robust flag fails.
         std::fs::write(
@@ -599,6 +667,74 @@ mod tests {
         )
         .unwrap();
         assert!(validate_bench(&path).unwrap_err().contains("'robust'"));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    fn deploy_result_line(backend: &str, scenario: &str) -> String {
+        format!(
+            "    {{\"scenario\": \"{scenario}\", \"backend\": \"{backend}\", \"nodes\": 64, \
+             \"tick_ms\": 40, \"err_a\": 7.5e-3, \"err_m\": 6.2e-2, \
+             \"peers_without_estimate\": 0, \"mean_n_hat\": null, \"exchanges\": 1764, \
+             \"exchanges_completed\": 1700, \"repairs\": 3, \"aborts\": 1, \"shim_drops\": 0, \
+             \"malformed_frames\": 0, \"backpressure_drops\": 2, \"throughput_eps\": 1205.55, \
+             \"p99_latency_us\": 4707, \"duration_s\": 1.402, \"clean_shutdown\": true}},"
+        )
+    }
+
+    fn deploy_bench_json() -> String {
+        let scale_line = "    {\"backend\": \"reactor\", \"nodes\": 10000, \"tick_ms\": 2000, \
+             \"err_a\": 1.1e-3, \"sim_err_a\": 9.0e-4, \"peers_without_estimate\": 3, \
+             \"mean_n_hat\": 9987.2101, \"exchanges_completed\": 280000, \
+             \"throughput_eps\": 4385.12, \"p99_latency_us\": 12384, \"duration_s\": 63.9, \
+             \"clean_shutdown\": true}";
+        format!(
+            "{{\n  \"benchmark\": \"deploy_runtime\",\n  \"manifest\": \
+             {{\"schema_version\": 1, \"experiment\": \"t\", \"config_hash\": 5, \"seed\": 1, \
+             \"threads\": 2, \"detected_cores\": 4, \"git_rev\": null}},\n  \"results\": [\n\
+             {}\n{}\n  ],\n  \"scale\": [\n{scale_line}\n  ]\n}}\n",
+            deploy_result_line("threaded", "clean"),
+            deploy_result_line("reactor", "clean").trim_end_matches(',')
+        )
+    }
+
+    #[test]
+    fn bench_mode_accepts_the_deploy_schema() {
+        let dir = std::env::temp_dir().join("telemetry_check_deploy_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_deploy.json");
+        std::fs::write(&path, deploy_bench_json()).unwrap();
+        assert_eq!(validate_bench(&path), Ok(2));
+
+        // A renamed throughput field fails.
+        std::fs::write(
+            &path,
+            deploy_bench_json().replace("throughput_eps", "throughput"),
+        )
+        .unwrap();
+        assert!(validate_bench(&path).unwrap_err().contains("unknown field"));
+
+        // Dropping the reactor backend's results fails.
+        std::fs::write(
+            &path,
+            deploy_bench_json().replacen(
+                "\"backend\": \"reactor\", \"nodes\": 64",
+                "\"backend\": \"threaded\", \"nodes\": 64",
+                1,
+            ),
+        )
+        .unwrap();
+        assert!(validate_bench(&path)
+            .unwrap_err()
+            .contains("no results for backend 'reactor'"));
+
+        // A malformed scale record fails with the array named.
+        std::fs::write(
+            &path,
+            deploy_bench_json().replace("\"sim_err_a\": 9.0e-4, ", ""),
+        )
+        .unwrap();
+        let err = validate_bench(&path).unwrap_err();
+        assert!(err.contains("scale") && err.contains("sim_err_a"), "{err}");
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

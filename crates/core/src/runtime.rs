@@ -51,6 +51,66 @@ pub struct ExchangeOutcome {
     pub skipped: usize,
 }
 
+/// Initiator-side bookkeeping for one in-flight wire exchange.
+///
+/// Both deploy backends (thread-per-node and the reactor event loop) drive
+/// the same sequence — snapshot, send, maybe retry, absorb — but from very
+/// different control flow: the threaded sender blocks through its attempts
+/// in a loop, while the reactor interleaves many exchanges and revisits
+/// each one on timer/readiness events. `PendingExchange` owns the pieces
+/// both need between those steps: the request-time baseline (`sent`), the
+/// round the snapshot was taken for, and the bounded attempt budget.
+#[derive(Debug, Clone)]
+pub struct PendingExchange {
+    /// The request as sent — the baseline [`absorb_exchange_response`]
+    /// takes deltas against.
+    pub sent: GossipMessage,
+    /// Gossip round the snapshot was taken for.
+    pub round: u64,
+    attempts_used: u32,
+    max_attempts: u32,
+}
+
+impl PendingExchange {
+    /// Snapshots `node` for `round` into a request tagged `seq`, with
+    /// `1 + retries` total delivery attempts allowed.
+    pub fn begin(node: &Adam2Node, round: u64, seq: u64, retries: u32) -> Self {
+        Self {
+            sent: snapshot_for_round(node, round, seq),
+            round,
+            attempts_used: 0,
+            max_attempts: retries.saturating_add(1),
+        }
+    }
+
+    /// The repair-path sequence number carried by the request.
+    pub fn seq(&self) -> u64 {
+        self.sent.seq
+    }
+
+    /// Consumes one delivery attempt, returning its zero-based index, or
+    /// `None` once the budget is exhausted (the exchange aborts).
+    pub fn next_attempt(&mut self) -> Option<u32> {
+        if self.attempts_used >= self.max_attempts {
+            return None;
+        }
+        let attempt = self.attempts_used;
+        self.attempts_used += 1;
+        Some(attempt)
+    }
+
+    /// Attempts consumed so far.
+    pub fn attempts_used(&self) -> u32 {
+        self.attempts_used
+    }
+
+    /// Folds the responder's reply into `node` against this exchange's
+    /// baseline (see [`absorb_exchange_response`]).
+    pub fn absorb(&self, node: &mut Adam2Node, response: &GossipMessage) -> ExchangeOutcome {
+        absorb_exchange_response(node, &self.sent, response, self.round)
+    }
+}
+
 /// First round at which the instance described by `payload` may finalise
 /// (epoch-aware, mirroring [`InstanceLocal::due_round`]).
 fn payload_due_round(payload: &InstancePayload) -> u64 {

@@ -1,11 +1,15 @@
 //! Cluster driver: boots N loopback nodes, bootstraps their views through
-//! a seed node, injects aggregation instances, samples telemetry, collects
-//! estimates over the control sockets, and joins everything on shutdown.
+//! introducer nodes, injects aggregation instances, samples telemetry,
+//! collects estimates over the control sockets, and joins everything on
+//! shutdown.
 //!
 //! The driver is the deploy-side analogue of the simulator's engine loop,
 //! except the nodes run themselves — the driver only observes (per-tick
 //! stats sampling into `adam2-telemetry`) and speaks the control frames
-//! ([`Frame::StartInstance`], [`Frame::GetEstimate`]).
+//! ([`Frame::StartInstance`], [`Frame::GetEstimate`]). Which runtime
+//! executes the nodes — thread-per-node, the reactor pool, or a mix of
+//! both — is chosen by [`ClusterConfig`]; the driver path is identical
+//! either way because both backends answer the same control frames.
 
 use std::io;
 use std::net::{Ipv4Addr, SocketAddr, TcpStream};
@@ -16,36 +20,27 @@ use adam2_core::wire::GossipMessage;
 use adam2_core::{AttrValue, InstanceLocal, InstanceMeta};
 use adam2_telemetry::{CounterId, GaugeId, HistogramId, RoundSnapshot, RunManifest, Telemetry};
 
+use crate::config::{ClusterConfig, RuntimeKind};
 use crate::frame::{read_frame, write_frame, EstimateWire, Frame};
-use crate::node::{NodeConfig, NodeHandle};
-use crate::shim::LossShim;
+use crate::node::{NodeHandle, NodeShared};
+use crate::reactor::ReactorPool;
 use crate::stats::StatsSnapshot;
 
-/// Everything needed to boot a cluster.
-#[derive(Debug, Clone)]
-pub struct ClusterConfig {
-    /// Per-node timing and robustness knobs.
-    pub node: NodeConfig,
-    /// Socket-level fault injection shared by every node.
-    pub shim: LossShim,
-    /// Initial system-size guess handed to every `Adam2Node`.
-    pub initial_n_estimate: f64,
-}
+/// Joiners bootstrapped sequentially through the seed before the parallel
+/// fan-out phase; they become the introducer core the rest join through.
+const BOOTSTRAP_CORE: usize = 64;
 
-impl Default for ClusterConfig {
-    fn default() -> Self {
-        Self {
-            node: NodeConfig::default(),
-            shim: LossShim::none(),
-            initial_n_estimate: 1.0,
-        }
-    }
-}
+/// Control connections one driver worker thread owns during parallel
+/// bootstrap and estimate collection.
+const NODES_PER_WORKER: usize = 64;
+
+/// Cap on driver worker threads.
+const MAX_WORKERS: usize = 64;
 
 /// Summary returned by [`Cluster::shutdown`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ClusterReport {
-    /// Whether every node thread joined without panicking.
+    /// Whether every node/reactor thread joined without panicking.
     pub clean: bool,
     /// Nodes the cluster ran.
     pub nodes: usize,
@@ -53,88 +48,147 @@ pub struct ClusterReport {
 
 /// A running loopback cluster.
 pub struct Cluster {
-    nodes: Vec<NodeHandle>,
+    /// Backend-neutral node state, in launch order.
+    shared: Vec<Arc<NodeShared>>,
+    threaded: Vec<NodeHandle>,
+    reactor: Option<ReactorPool>,
     config: ClusterConfig,
 }
 
 impl Cluster {
-    /// Spawns one node per attribute value and bootstraps every view
-    /// through the first node (the seed/introducer): each joiner sends a
-    /// real `Join` frame to the seed's listener and admits the `JoinAck`
-    /// digest it gets back.
+    /// Spawns one node per attribute value on the configured runtime and
+    /// bootstraps every view: each joiner sends a real `Join` frame to an
+    /// introducer's listener and admits the `JoinAck` digest it gets back.
+    ///
+    /// `config` is valid by construction ([`ClusterConfig`] cannot be
+    /// built otherwise), so the only failures left are socket-level.
     pub fn launch(values: Vec<AttrValue>, config: ClusterConfig) -> io::Result<Self> {
         assert!(values.len() >= 2, "a cluster needs at least two nodes");
         let epoch = Instant::now();
-        let shim = Arc::new(config.shim.clone());
-        let mut nodes = Vec::with_capacity(values.len());
+        let shim = Arc::new(config.shim().clone());
+        let runtime = config.runtime();
+        let mut shared = Vec::with_capacity(values.len());
+        let mut threaded = Vec::new();
+        let mut reactor_nodes = Vec::new();
         for (i, value) in values.into_iter().enumerate() {
-            let mut node_config = config.node.clone();
-            node_config.seed = config.node.seed.wrapping_add(i as u64);
-            nodes.push(NodeHandle::spawn(
-                value,
-                config.initial_n_estimate,
-                node_config,
-                Arc::clone(&shim),
-                epoch,
-            )?);
+            let mut node_config = config.node().clone();
+            node_config.seed = node_config.seed.wrapping_add(i as u64);
+            let on_reactor = match runtime {
+                RuntimeKind::Threaded => false,
+                RuntimeKind::Reactor { .. } => true,
+                // Alternate backends node-by-node; the seed (node 0) runs
+                // threaded.
+                RuntimeKind::Mixed { .. } => i % 2 == 1,
+            };
+            if on_reactor {
+                let (node, listener) = NodeShared::create(
+                    value,
+                    config.initial_n_estimate(),
+                    node_config,
+                    Arc::clone(&shim),
+                    epoch,
+                )?;
+                shared.push(Arc::clone(&node));
+                reactor_nodes.push((node, listener));
+            } else {
+                let handle = NodeHandle::spawn(
+                    value,
+                    config.initial_n_estimate(),
+                    node_config,
+                    Arc::clone(&shim),
+                    epoch,
+                )?;
+                shared.push(Arc::clone(&handle.shared));
+                threaded.push(handle);
+            }
         }
-        let cluster = Self { nodes, config };
+        let reactor = match runtime {
+            RuntimeKind::Threaded => None,
+            RuntimeKind::Reactor { threads }
+            | RuntimeKind::Mixed {
+                reactor_threads: threads,
+            } => Some(ReactorPool::launch(reactor_nodes, threads, epoch)),
+        };
+        let cluster = Self {
+            shared,
+            threaded,
+            reactor,
+            config,
+        };
         cluster.bootstrap()?;
         Ok(cluster)
     }
 
-    /// Joins every non-seed node through the introducer, with retries so a
-    /// listener that is still starting up doesn't fail the boot.
+    /// Joins every non-seed node through an introducer, with the
+    /// configured attempt budget so a listener that is still starting up
+    /// doesn't fail the boot.
+    ///
+    /// Two phases keep four-digit clusters from serialising ten thousand
+    /// control round-trips through one seed: the first [`BOOTSTRAP_CORE`]
+    /// joiners go through the seed sequentially (building a connected
+    /// introducer core), then the rest fan out over driver worker threads,
+    /// spreading their `Join` traffic across the core.
     fn bootstrap(&self) -> io::Result<()> {
-        let seed_port = self.nodes[0].port;
-        let timeout = self.config.node.io_timeout.max(Duration::from_millis(50));
-        for node in &self.nodes[1..] {
-            let mut last_err = io::Error::other("join never attempted");
-            let mut joined = false;
-            for _ in 0..10 {
-                match control_request(seed_port, &Frame::Join { port: node.port }, timeout) {
-                    Ok(Frame::JoinAck { peers }) => {
-                        node.shared.admit_peers(&peers);
-                        joined = true;
-                        break;
-                    }
-                    Ok(_) => {
-                        last_err = io::Error::other("unexpected join reply");
-                    }
-                    Err(e) => last_err = e,
-                }
-                std::thread::sleep(Duration::from_millis(5));
-            }
-            if !joined {
-                return Err(last_err);
-            }
+        let n = self.shared.len();
+        let seed_port = self.shared[0].port();
+        let attempts = self.config.join_attempts();
+        let timeout = self.config.bootstrap_timeout();
+        let core = (n - 1).min(BOOTSTRAP_CORE);
+        for node in &self.shared[1..=core] {
+            join_via(seed_port, node, attempts, timeout)?;
         }
-        Ok(())
+        if core + 1 >= n {
+            return Ok(());
+        }
+        let introducers: Vec<u16> = self.shared[..=core].iter().map(|s| s.port()).collect();
+        let rest = &self.shared[core + 1..];
+        let workers = rest.len().div_ceil(NODES_PER_WORKER).min(MAX_WORKERS);
+        let chunk = rest.len().div_ceil(workers);
+        std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for (w, nodes) in rest.chunks(chunk).enumerate() {
+                let introducers = &introducers;
+                handles.push(scope.spawn(move || {
+                    for (j, node) in nodes.iter().enumerate() {
+                        let intro = introducers[(w * chunk + j) % introducers.len()];
+                        join_via(intro, node, attempts, timeout)?;
+                    }
+                    Ok::<(), io::Error>(())
+                }));
+            }
+            for handle in handles {
+                handle
+                    .join()
+                    .map_err(|_| io::Error::other("bootstrap worker panicked"))??;
+            }
+            Ok(())
+        })
     }
 
     /// Number of nodes.
     pub fn len(&self) -> usize {
-        self.nodes.len()
+        self.shared.len()
     }
 
     /// Always false — [`Cluster::launch`] requires two nodes.
     pub fn is_empty(&self) -> bool {
-        self.nodes.is_empty()
+        self.shared.is_empty()
     }
 
     /// The cluster's current gossip round (all nodes share the clock).
     pub fn current_round(&self) -> u64 {
-        self.nodes[0].shared.current_round()
+        self.shared[0].current_round()
     }
 
     /// Listener port of node `i`.
     pub fn port(&self, i: usize) -> u16 {
-        self.nodes[i].port
+        self.shared[i].port()
     }
 
-    /// The running nodes (driver-side observation only).
-    pub fn nodes(&self) -> &[NodeHandle] {
-        &self.nodes
+    /// The nodes' shared state, in launch order (driver-side observation
+    /// only: stats sampling, view inspection).
+    pub fn nodes(&self) -> &[Arc<NodeShared>] {
+        &self.shared
     }
 
     /// Injects `meta` as a new aggregation instance by sending
@@ -146,11 +200,10 @@ impl Cluster {
         // value as initiator).
         let local = InstanceLocal::join(meta, &AttrValue::Single(0.0), false);
         let msg = GossipMessage::from_locals(std::iter::once(&local));
-        let timeout = self.config.node.io_timeout.max(Duration::from_millis(50));
         match control_request(
-            self.nodes[initiator].port,
+            self.shared[initiator].port(),
             &Frame::StartInstance { msg },
-            timeout,
+            self.config.control_timeout(),
         )? {
             Frame::Ack => Ok(()),
             _ => Err(io::Error::other("unexpected start reply")),
@@ -158,39 +211,88 @@ impl Cluster {
     }
 
     /// Polls every node's control socket for a distribution estimate until
-    /// all answered or `deadline` elapses. Returns one entry per node.
+    /// all answered or `deadline` elapses, fanning the polling out over
+    /// driver worker threads at scale. Returns one entry per node.
     pub fn collect_estimates(&self, deadline: Duration) -> Vec<Option<EstimateWire>> {
         let started = Instant::now();
-        let timeout = self.config.node.io_timeout.max(Duration::from_millis(50));
-        let mut out: Vec<Option<EstimateWire>> = vec![None; self.nodes.len()];
-        loop {
-            for (slot, node) in out.iter_mut().zip(&self.nodes) {
-                if slot.is_some() {
-                    continue;
-                }
-                if let Ok(Frame::Estimate(est)) =
-                    control_request(node.port, &Frame::GetEstimate, timeout)
-                {
-                    *slot = est;
-                }
+        let timeout = self.config.control_timeout();
+        let pause = self.config.node().tick / 2;
+        let workers = self
+            .shared
+            .len()
+            .div_ceil(NODES_PER_WORKER)
+            .clamp(1, MAX_WORKERS);
+        let chunk = self.shared.len().div_ceil(workers);
+        let mut out: Vec<Option<EstimateWire>> = Vec::with_capacity(self.shared.len());
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .shared
+                .chunks(chunk)
+                .map(|nodes| {
+                    scope.spawn(move || {
+                        let mut slots: Vec<Option<EstimateWire>> = vec![None; nodes.len()];
+                        loop {
+                            for (slot, node) in slots.iter_mut().zip(nodes) {
+                                if slot.is_some() {
+                                    continue;
+                                }
+                                if let Ok(Frame::Estimate(est)) =
+                                    control_request(node.port(), &Frame::GetEstimate, timeout)
+                                {
+                                    *slot = est;
+                                }
+                            }
+                            if slots.iter().all(Option::is_some) || started.elapsed() >= deadline {
+                                return slots;
+                            }
+                            std::thread::sleep(pause);
+                        }
+                    })
+                })
+                .collect();
+            for handle in handles {
+                out.extend(handle.join().expect("estimate worker panicked"));
             }
-            if out.iter().all(Option::is_some) || started.elapsed() >= deadline {
-                return out;
-            }
-            std::thread::sleep(self.config.node.tick / 2);
-        }
+        });
+        out
     }
 
-    /// Stops every node and joins all threads; the listeners close when
-    /// their threads exit.
+    /// Stops every backend and joins all threads; the listeners close when
+    /// their owners exit.
     pub fn shutdown(self) -> ClusterReport {
-        let nodes = self.nodes.len();
+        let nodes = self.shared.len();
         let mut clean = true;
-        for node in self.nodes {
+        for node in self.threaded {
             clean &= node.shutdown();
+        }
+        if let Some(pool) = self.reactor {
+            clean &= pool.shutdown();
         }
         ClusterReport { clean, nodes }
     }
+}
+
+/// One join round-trip through `introducer` on `node`'s behalf, retried up
+/// to the configured attempt budget.
+fn join_via(
+    introducer: u16,
+    node: &Arc<NodeShared>,
+    attempts: u32,
+    timeout: Duration,
+) -> io::Result<()> {
+    let mut last_err = io::Error::other("join never attempted");
+    for _ in 0..attempts {
+        match control_request(introducer, &Frame::Join { port: node.port() }, timeout) {
+            Ok(Frame::JoinAck { peers }) => {
+                node.admit_peers(&peers);
+                return Ok(());
+            }
+            Ok(_) => last_err = io::Error::other("unexpected join reply"),
+            Err(e) => last_err = e,
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    Err(last_err)
 }
 
 /// One control round-trip: connect, send `frame`, read the reply.
@@ -226,6 +328,7 @@ pub struct ClusterTelemetry {
     c_connections: CounterId,
     h_latency: HistogramId,
     prev: Vec<StatsSnapshot>,
+    latencies: Vec<u64>,
 }
 
 impl ClusterTelemetry {
@@ -260,6 +363,7 @@ impl ClusterTelemetry {
             c_connections,
             h_latency,
             prev: vec![StatsSnapshot::default(); n],
+            latencies: Vec::new(),
         }
     }
 
@@ -270,7 +374,7 @@ impl ClusterTelemetry {
         snap.live_nodes = cluster.len() as u64;
         let mut latencies = Vec::new();
         for (node, prev) in cluster.nodes().iter().zip(self.prev.iter_mut()) {
-            let now = node.shared.stats.snapshot();
+            let now = node.stats.snapshot();
             let delta = now.delta(prev);
             *prev = now;
             snap.round_bytes += delta.bytes_sent;
@@ -291,17 +395,24 @@ impl ClusterTelemetry {
             m.add(self.c_retransmissions, delta.retransmissions);
             m.add(self.c_backpressure, delta.backpressure_drops);
             m.add(self.c_connections, delta.connections_accepted);
-            latencies.extend(node.shared.stats.take_latencies());
-            node.shared.stats.reset_peaks();
+            latencies.extend(node.stats.take_latencies());
+            node.stats.reset_peaks();
         }
         let m = &mut self.telemetry.metrics;
         m.set(self.g_live_nodes, snap.live_nodes as f64);
         m.set(self.g_inflight, snap.inflight_exchanges as f64);
         m.set(self.g_queue_depth, snap.queue_depth_max as f64);
-        for us in latencies {
-            m.record(self.h_latency, us);
+        for us in &latencies {
+            m.record(self.h_latency, *us);
         }
+        self.latencies.extend(latencies);
         self.telemetry.push_snapshot(snap);
+    }
+
+    /// Every exchange latency sample (µs) drained so far, across all
+    /// sampled ticks — the raw series the bench derives its p99 from.
+    pub fn latency_samples(&self) -> &[u64] {
+        &self.latencies
     }
 
     /// Exports the standard telemetry file set under `dir`.
@@ -313,6 +424,8 @@ impl ClusterTelemetry {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::config::NodeConfig;
+    use crate::shim::LossShim;
     use adam2_core::InstanceId;
     use std::io::Write as _;
 
@@ -329,18 +442,15 @@ mod tests {
     }
 
     fn fast_config() -> ClusterConfig {
-        ClusterConfig {
-            node: NodeConfig {
-                tick: Duration::from_millis(25),
-                io_timeout: Duration::from_millis(15),
-                retries: 2,
-                queue_capacity: 4,
-                view_size: 10,
-                seed: 99,
-            },
-            shim: LossShim::none(),
-            initial_n_estimate: 1.0,
-        }
+        ClusterConfig::try_new(NodeConfig {
+            tick: Duration::from_millis(25),
+            io_timeout: Duration::from_millis(15),
+            retries: 2,
+            queue_capacity: 4,
+            view_size: 10,
+            seed: 99,
+        })
+        .expect("valid test config")
     }
 
     fn wait_past(cluster: &Cluster, round: u64) {
@@ -349,11 +459,10 @@ mod tests {
         }
     }
 
-    #[test]
-    fn loopback_cluster_converges_to_an_estimate() {
+    fn assert_converges(config: ClusterConfig) {
         let n = 8;
         let values: Vec<AttrValue> = (0..n).map(|i| AttrValue::Single(i as f64)).collect();
-        let cluster = Cluster::launch(values, fast_config()).expect("launch");
+        let cluster = Cluster::launch(values, config).expect("launch");
         let mut sampler = ClusterTelemetry::new(n);
 
         let meta = test_meta(&cluster, 24, &[2.0, 4.0, 6.0]);
@@ -399,6 +508,20 @@ mod tests {
     }
 
     #[test]
+    fn loopback_cluster_converges_to_an_estimate() {
+        assert_converges(fast_config());
+    }
+
+    #[test]
+    fn reactor_cluster_converges_to_an_estimate() {
+        assert_converges(
+            fast_config()
+                .with_runtime(RuntimeKind::Reactor { threads: 2 })
+                .expect("valid runtime"),
+        );
+    }
+
+    #[test]
     fn garbage_frames_are_counted_not_fatal() {
         let values = vec![AttrValue::Single(1.0), AttrValue::Single(2.0)];
         let cluster = Cluster::launch(values, fast_config()).expect("launch");
@@ -423,13 +546,12 @@ mod tests {
 
         // Give the listener a moment to process both connections.
         let deadline = Instant::now() + Duration::from_secs(2);
-        while cluster.nodes()[0].shared.stats.snapshot().malformed_frames < 2
-            && Instant::now() < deadline
+        while cluster.nodes()[0].stats.snapshot().malformed_frames < 2 && Instant::now() < deadline
         {
             std::thread::sleep(Duration::from_millis(5));
         }
         assert_eq!(
-            cluster.nodes()[0].shared.stats.snapshot().malformed_frames,
+            cluster.nodes()[0].stats.snapshot().malformed_frames,
             2,
             "both bad frames must be counted as malformed"
         );
@@ -446,8 +568,7 @@ mod tests {
     fn lossy_cluster_still_converges_via_repair() {
         let n = 6;
         let values: Vec<AttrValue> = (0..n).map(|i| AttrValue::Single(i as f64)).collect();
-        let mut config = fast_config();
-        config.shim = LossShim::flat(7, 0.10);
+        let config = fast_config().with_shim(LossShim::flat(7, 0.10));
         let cluster = Cluster::launch(values, config).expect("launch");
 
         let meta = test_meta(&cluster, 24, &[1.0, 3.0]);
@@ -465,7 +586,7 @@ mod tests {
         let drops: u64 = cluster
             .nodes()
             .iter()
-            .map(|node| node.shared.stats.snapshot().shim_dropped)
+            .map(|node| node.stats.snapshot().shim_dropped)
             .sum();
         assert!(drops > 0, "shim never fired at 10% loss");
         assert!(cluster.shutdown().clean);
@@ -477,10 +598,10 @@ mod tests {
         let cluster = Cluster::launch(values, fast_config()).expect("launch");
         // The seed learned every joiner; every joiner knows at least the
         // seed.
-        let seed_view = cluster.nodes()[0].shared.view();
+        let seed_view = cluster.nodes()[0].view();
         for node in &cluster.nodes()[1..] {
-            assert!(seed_view.contains(&node.port));
-            assert!(node.shared.view().contains(&cluster.port(0)));
+            assert!(seed_view.contains(&node.port()));
+            assert!(node.view().contains(&cluster.port(0)));
         }
         assert!(cluster.shutdown().clean);
     }

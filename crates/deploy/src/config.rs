@@ -1,0 +1,429 @@
+//! Validated deploy configuration: the only way to parameterise a cluster.
+//!
+//! Mirrors the sim crate's `EngineConfig::try_new`/`SimConfigError`
+//! contract: misconfiguration is rejected as a typed [`DeployConfigError`]
+//! at construction time, never discovered as a panic (or a hang) inside a
+//! running cluster. [`ClusterConfig`] keeps its fields private, so
+//! [`Cluster::launch`](crate::Cluster::launch) can only ever receive a
+//! configuration that passed validation; [`Default`] produces a valid
+//! configuration directly.
+
+use std::time::Duration;
+
+use crate::shim::LossShim;
+
+/// Which runtime executes the cluster's nodes.
+///
+/// Both backends speak the identical frame protocol over the identical
+/// per-node listeners, so the choice is invisible on the wire — benches,
+/// tests, and CI select a backend purely by configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RuntimeKind {
+    /// Thread-per-node: every node runs its own listener, clock, and
+    /// sender OS threads (three threads per node). Simple and very robust,
+    /// but caps clusters at a few hundred nodes.
+    Threaded,
+    /// Shared event loop: `threads` reactor threads multiplex all node
+    /// listeners and exchange sockets through nonblocking I/O and a timer
+    /// wheel. Scales to four-digit and five-digit node counts on one host.
+    Reactor {
+        /// Reactor threads to spread node shards over (must be nonzero;
+        /// capped at the node count at launch).
+        threads: usize,
+    },
+    /// Alternate nodes between the two backends (even slots threaded, odd
+    /// slots reactor). Exists to prove frame-protocol compatibility: a
+    /// mixed cluster must bootstrap and converge like a uniform one.
+    Mixed {
+        /// Reactor threads for the reactor half.
+        reactor_threads: usize,
+    },
+}
+
+impl RuntimeKind {
+    fn reactor_threads(&self) -> Option<usize> {
+        match self {
+            RuntimeKind::Threaded => None,
+            RuntimeKind::Reactor { threads } => Some(*threads),
+            RuntimeKind::Mixed { reactor_threads } => Some(*reactor_threads),
+        }
+    }
+}
+
+/// Why a deploy configuration was rejected.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum DeployConfigError {
+    /// `tick` is zero: the gossip clock would spin through every round at
+    /// once.
+    ZeroTick,
+    /// `queue_capacity` is zero: every exchange would be dropped as
+    /// backpressure before it started.
+    ZeroQueueCapacity,
+    /// `view_size` below two: a view that cannot hold both an introducer
+    /// and a gossip partner can never mix.
+    ViewSizeTooSmall(usize),
+    /// `io_timeout >= tick`: one slow peer would stall a node past its own
+    /// round boundary, starving the gossip clock.
+    IoTimeoutNotBelowTick {
+        /// The offending socket timeout.
+        io_timeout: Duration,
+        /// The configured round length.
+        tick: Duration,
+    },
+    /// Zero reactor threads requested for a reactor (or mixed) runtime.
+    ZeroReactorThreads,
+    /// Zero bootstrap join attempts: no node could ever join the cluster.
+    ZeroJoinAttempts,
+    /// Zero bootstrap timeout: every join round-trip would time out
+    /// instantly.
+    ZeroBootstrapTimeout,
+    /// The initial system-size estimate must be a finite value ≥ 1.
+    InvalidInitialEstimate(f64),
+}
+
+impl std::fmt::Display for DeployConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DeployConfigError::ZeroTick => write!(f, "tick must be nonzero"),
+            DeployConfigError::ZeroQueueCapacity => write!(f, "queue_capacity must be nonzero"),
+            DeployConfigError::ViewSizeTooSmall(v) => {
+                write!(f, "view_size {v} too small (minimum 2)")
+            }
+            DeployConfigError::IoTimeoutNotBelowTick { io_timeout, tick } => write!(
+                f,
+                "io_timeout {io_timeout:?} must be shorter than the tick {tick:?}"
+            ),
+            DeployConfigError::ZeroReactorThreads => {
+                write!(f, "reactor runtime needs at least one thread")
+            }
+            DeployConfigError::ZeroJoinAttempts => {
+                write!(f, "bootstrap needs at least one join attempt")
+            }
+            DeployConfigError::ZeroBootstrapTimeout => {
+                write!(f, "bootstrap timeout must be nonzero")
+            }
+            DeployConfigError::InvalidInitialEstimate(v) => {
+                write!(f, "initial_n_estimate {v} must be finite and >= 1")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DeployConfigError {}
+
+/// Timing and robustness knobs shared by every node of a cluster.
+///
+/// A plain parameter bag; [`ClusterConfig::try_new`] validates it before a
+/// cluster can be launched with it, and [`NodeConfig::validate`] exposes
+/// the same check directly.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NodeConfig {
+    /// Wall-clock length of one gossip round.
+    pub tick: Duration,
+    /// Read/write/connect timeout for every socket operation.
+    pub io_timeout: Duration,
+    /// Additional delivery attempts after a failed or dropped exchange.
+    pub retries: u32,
+    /// Outbound budget: at most this many exchanges may be queued (threaded
+    /// backend) or in flight (reactor backend) per node; rounds beyond it
+    /// shed their exchange (backpressure).
+    pub queue_capacity: usize,
+    /// Maximum peer-view size.
+    pub view_size: usize,
+    /// Seed for the node's exchange-partner RNG.
+    pub seed: u64,
+}
+
+impl Default for NodeConfig {
+    fn default() -> Self {
+        Self {
+            tick: Duration::from_millis(40),
+            io_timeout: Duration::from_millis(15),
+            retries: 2,
+            queue_capacity: 4,
+            view_size: 12,
+            seed: 0,
+        }
+    }
+}
+
+impl NodeConfig {
+    /// Checks every invariant a running node relies on.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated invariant as a [`DeployConfigError`].
+    pub fn validate(&self) -> Result<(), DeployConfigError> {
+        if self.tick.is_zero() {
+            return Err(DeployConfigError::ZeroTick);
+        }
+        if self.queue_capacity == 0 {
+            return Err(DeployConfigError::ZeroQueueCapacity);
+        }
+        if self.view_size < 2 {
+            return Err(DeployConfigError::ViewSizeTooSmall(self.view_size));
+        }
+        if self.io_timeout >= self.tick {
+            return Err(DeployConfigError::IoTimeoutNotBelowTick {
+                io_timeout: self.io_timeout,
+                tick: self.tick,
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Everything needed to boot a cluster, validated at construction.
+///
+/// Fields are private: the only constructors are [`Default`] (valid by
+/// construction) and [`ClusterConfig::try_new`], and every setter that can
+/// invalidate the configuration re-validates. `Cluster::launch` therefore
+/// takes validated configs only.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    node: NodeConfig,
+    shim: LossShim,
+    initial_n_estimate: f64,
+    runtime: RuntimeKind,
+    join_attempts: u32,
+    bootstrap_timeout: Duration,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        Self {
+            node: NodeConfig::default(),
+            shim: LossShim::none(),
+            initial_n_estimate: 1.0,
+            runtime: RuntimeKind::Threaded,
+            join_attempts: 10,
+            bootstrap_timeout: Duration::from_millis(50),
+        }
+    }
+}
+
+impl ClusterConfig {
+    /// Validates `node` and wraps it with default cluster-level settings
+    /// (threaded runtime, no loss shim, 10 join attempts, 50 ms bootstrap
+    /// timeout).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated [`NodeConfig`] invariant.
+    pub fn try_new(node: NodeConfig) -> Result<Self, DeployConfigError> {
+        node.validate()?;
+        Ok(Self {
+            node,
+            ..Self::default()
+        })
+    }
+
+    /// Selects the runtime backend.
+    ///
+    /// # Errors
+    ///
+    /// Rejects reactor (or mixed) runtimes with zero threads.
+    pub fn with_runtime(mut self, runtime: RuntimeKind) -> Result<Self, DeployConfigError> {
+        if runtime.reactor_threads() == Some(0) {
+            return Err(DeployConfigError::ZeroReactorThreads);
+        }
+        self.runtime = runtime;
+        Ok(self)
+    }
+
+    /// Sets the socket-level fault injection shared by every node.
+    pub fn with_shim(mut self, shim: LossShim) -> Self {
+        self.shim = shim;
+        self
+    }
+
+    /// Sets the initial system-size guess handed to every `Adam2Node`.
+    ///
+    /// # Errors
+    ///
+    /// Rejects non-finite values and values below one.
+    pub fn with_initial_n_estimate(mut self, estimate: f64) -> Result<Self, DeployConfigError> {
+        if !estimate.is_finite() || estimate < 1.0 {
+            return Err(DeployConfigError::InvalidInitialEstimate(estimate));
+        }
+        self.initial_n_estimate = estimate;
+        Ok(self)
+    }
+
+    /// Sets the bootstrap policy: how many times each joiner retries its
+    /// `Join` round-trip, and the control-socket timeout used while the
+    /// cluster is still starting up.
+    ///
+    /// # Errors
+    ///
+    /// Rejects a zero attempt budget and a zero timeout.
+    pub fn with_bootstrap(
+        mut self,
+        join_attempts: u32,
+        timeout: Duration,
+    ) -> Result<Self, DeployConfigError> {
+        if join_attempts == 0 {
+            return Err(DeployConfigError::ZeroJoinAttempts);
+        }
+        if timeout.is_zero() {
+            return Err(DeployConfigError::ZeroBootstrapTimeout);
+        }
+        self.join_attempts = join_attempts;
+        self.bootstrap_timeout = timeout;
+        Ok(self)
+    }
+
+    /// The validated per-node configuration.
+    pub fn node(&self) -> &NodeConfig {
+        &self.node
+    }
+
+    /// The configured loss shim.
+    pub fn shim(&self) -> &LossShim {
+        &self.shim
+    }
+
+    /// The initial system-size guess.
+    pub fn initial_n_estimate(&self) -> f64 {
+        self.initial_n_estimate
+    }
+
+    /// The selected runtime backend.
+    pub fn runtime(&self) -> RuntimeKind {
+        self.runtime
+    }
+
+    /// Join attempts per bootstrapping node.
+    pub fn join_attempts(&self) -> u32 {
+        self.join_attempts
+    }
+
+    /// Control-socket timeout during bootstrap (also the floor for the
+    /// driver's later control round-trips).
+    pub fn bootstrap_timeout(&self) -> Duration {
+        self.bootstrap_timeout
+    }
+
+    /// The control-socket timeout the driver uses once the cluster runs:
+    /// the larger of the node I/O timeout and the bootstrap timeout.
+    pub fn control_timeout(&self) -> Duration {
+        self.node.io_timeout.max(self.bootstrap_timeout)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_configs_validate() {
+        NodeConfig::default().validate().unwrap();
+        ClusterConfig::try_new(NodeConfig::default()).unwrap();
+    }
+
+    #[test]
+    fn node_invariants_are_each_rejected() {
+        let cases: Vec<(NodeConfig, DeployConfigError)> = vec![
+            (
+                NodeConfig {
+                    tick: Duration::ZERO,
+                    ..NodeConfig::default()
+                },
+                DeployConfigError::ZeroTick,
+            ),
+            (
+                NodeConfig {
+                    queue_capacity: 0,
+                    ..NodeConfig::default()
+                },
+                DeployConfigError::ZeroQueueCapacity,
+            ),
+            (
+                NodeConfig {
+                    view_size: 1,
+                    ..NodeConfig::default()
+                },
+                DeployConfigError::ViewSizeTooSmall(1),
+            ),
+            (
+                NodeConfig {
+                    tick: Duration::from_millis(10),
+                    io_timeout: Duration::from_millis(10),
+                    ..NodeConfig::default()
+                },
+                DeployConfigError::IoTimeoutNotBelowTick {
+                    io_timeout: Duration::from_millis(10),
+                    tick: Duration::from_millis(10),
+                },
+            ),
+        ];
+        for (config, expected) in cases {
+            assert_eq!(config.validate().unwrap_err(), expected);
+            assert_eq!(ClusterConfig::try_new(config).unwrap_err(), expected);
+        }
+    }
+
+    #[test]
+    fn cluster_level_misuse_is_rejected() {
+        let config = ClusterConfig::default();
+        assert_eq!(
+            config
+                .clone()
+                .with_runtime(RuntimeKind::Reactor { threads: 0 })
+                .unwrap_err(),
+            DeployConfigError::ZeroReactorThreads
+        );
+        assert_eq!(
+            config
+                .clone()
+                .with_runtime(RuntimeKind::Mixed { reactor_threads: 0 })
+                .unwrap_err(),
+            DeployConfigError::ZeroReactorThreads
+        );
+        assert_eq!(
+            config
+                .clone()
+                .with_bootstrap(0, Duration::from_millis(50))
+                .unwrap_err(),
+            DeployConfigError::ZeroJoinAttempts
+        );
+        assert_eq!(
+            config
+                .clone()
+                .with_bootstrap(3, Duration::ZERO)
+                .unwrap_err(),
+            DeployConfigError::ZeroBootstrapTimeout
+        );
+        assert!(matches!(
+            config
+                .clone()
+                .with_initial_n_estimate(f64::NAN)
+                .unwrap_err(),
+            DeployConfigError::InvalidInitialEstimate(_)
+        ));
+        assert!(config.clone().with_initial_n_estimate(0.0).is_err());
+        let ok = config
+            .with_runtime(RuntimeKind::Reactor { threads: 2 })
+            .unwrap()
+            .with_bootstrap(5, Duration::from_millis(80))
+            .unwrap()
+            .with_initial_n_estimate(64.0)
+            .unwrap();
+        assert_eq!(ok.runtime(), RuntimeKind::Reactor { threads: 2 });
+        assert_eq!(ok.join_attempts(), 5);
+        assert_eq!(ok.bootstrap_timeout(), Duration::from_millis(80));
+        assert_eq!(ok.initial_n_estimate(), 64.0);
+    }
+
+    #[test]
+    fn errors_display_their_cause() {
+        let text = DeployConfigError::IoTimeoutNotBelowTick {
+            io_timeout: Duration::from_millis(40),
+            tick: Duration::from_millis(40),
+        }
+        .to_string();
+        assert!(text.contains("io_timeout"), "{text}");
+        assert!(DeployConfigError::ZeroTick.to_string().contains("tick"));
+    }
+}

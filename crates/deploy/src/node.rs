@@ -1,25 +1,26 @@
 //! The per-node actor: one `Adam2Node` behind a TCP listener.
 //!
-//! Each deployed node runs three threads over shared state:
+//! [`NodeShared`] is the backend-neutral heart of a deployed node: the
+//! protocol state (`Adam2Node`, peer view, seq cache, RNG) behind one
+//! mutex, plus the pure protocol entry points both runtimes drive:
 //!
-//! - **listener** — accepts loopback connections and answers one frame per
-//!   connection: gossip requests go through
-//!   [`adam2_core::runtime::serve_exchange`], bootstrap joins extend the
-//!   peer view, and control frames (instance injection, estimate
-//!   collection) service the harness. Responses to gossip requests are
-//!   cached by sequence number so a retransmitted request replays the
-//!   original response instead of re-applying the merge — the same dedup
-//!   contract the simulator's exchange-repair path relies on.
-//! - **clock** — derives the gossip round from wall time against the
-//!   cluster-wide epoch instant, finalises due instances, and enqueues one
-//!   exchange job per round onto the bounded outbound queue.
-//! - **sender** — drains the queue, performing each exchange with
-//!   per-attempt loss draws from the [`LossShim`], connect/read/write
-//!   timeouts, and bounded retries; permanently failed exchanges are
-//!   counted and abandoned rather than blocking the queue.
+//! - [`NodeShared::respond_frame`] — answer one inbound frame: gossip
+//!   requests go through [`adam2_core::runtime::serve_exchange`], bootstrap
+//!   joins extend the peer view, and control frames (instance injection,
+//!   estimate collection) service the harness. Responses to gossip
+//!   requests are cached by sequence number so a retransmitted request
+//!   replays the original response instead of re-applying the merge — the
+//!   same dedup contract the simulator's exchange-repair path relies on.
+//! - [`NodeShared::plan_round`] — finalise due instances and pick this
+//!   round's exchange partner.
+//! - [`NodeShared::begin_exchange`] / [`NodeShared::complete_exchange`] —
+//!   initiator-side bookkeeping via [`adam2_core::runtime::PendingExchange`].
 //!
-//! Nothing here panics on network input: malformed frames are counted and
-//! the connection dropped.
+//! The *threaded* backend in this module drives those entry points with
+//! three OS threads per node (listener / clock / sender over a bounded
+//! outbound queue); the *reactor* backend in [`crate::reactor`] drives the
+//! same entry points from a shared event loop. Nothing here panics on
+//! network input: malformed frames are counted and the connection dropped.
 
 use std::collections::{HashMap, VecDeque};
 use std::io;
@@ -29,7 +30,7 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use adam2_core::runtime::{absorb_exchange_response, serve_exchange, snapshot_for_round};
+use adam2_core::runtime::PendingExchange;
 use adam2_core::wire::GossipMessage;
 use adam2_core::{Adam2Node, AttrValue};
 use bytes::Bytes;
@@ -37,6 +38,7 @@ use rand::rngs::StdRng;
 use rand::RngExt as _;
 use rand::SeedableRng;
 
+use crate::config::NodeConfig;
 use crate::frame::{read_frame_counted, write_frame, EstimateWire, Frame, FrameError};
 use crate::shim::{Direction, LossShim};
 use crate::stats::NodeStats;
@@ -47,37 +49,7 @@ const POLL: Duration = Duration::from_millis(1);
 
 /// Entries kept in the per-node response cache before the oldest sequence
 /// numbers are evicted.
-const SEQ_CACHE_CAP: usize = 256;
-
-/// Timing and robustness knobs shared by every node of a cluster.
-#[derive(Debug, Clone)]
-pub struct NodeConfig {
-    /// Wall-clock length of one gossip round.
-    pub tick: Duration,
-    /// Read/write/connect timeout for every socket operation.
-    pub io_timeout: Duration,
-    /// Additional delivery attempts after a failed or dropped exchange.
-    pub retries: u32,
-    /// Outbound queue bound; jobs beyond it are dropped (backpressure).
-    pub queue_capacity: usize,
-    /// Maximum peer-view size.
-    pub view_size: usize,
-    /// Seed for the node's exchange-partner RNG.
-    pub seed: u64,
-}
-
-impl Default for NodeConfig {
-    fn default() -> Self {
-        Self {
-            tick: Duration::from_millis(40),
-            io_timeout: Duration::from_millis(15),
-            retries: 2,
-            queue_capacity: 4,
-            view_size: 12,
-            seed: 0,
-        }
-    }
-}
+pub(crate) const SEQ_CACHE_CAP: usize = 256;
 
 /// One queued exchange attempt: gossip with a peer for a given round.
 struct ExchangeJob {
@@ -135,7 +107,8 @@ impl SeqCache {
     }
 }
 
-/// Mutable node state: everything the three threads contend on.
+/// Mutable node state: everything the threads (or reactor shards) contend
+/// on.
 struct NodeInner {
     node: Adam2Node,
     view: Vec<u16>,
@@ -144,7 +117,8 @@ struct NodeInner {
     rng: StdRng,
 }
 
-/// State shared between a node's threads and the cluster driver.
+/// State shared between a node's runtime (threads or reactor shard) and the
+/// cluster driver.
 pub struct NodeShared {
     inner: Mutex<NodeInner>,
     queue: OutboundQueue,
@@ -160,6 +134,55 @@ pub struct NodeShared {
 }
 
 impl NodeShared {
+    /// Binds a nonblocking listener on an ephemeral loopback port and
+    /// builds the shared node state around it. The node starts with an
+    /// empty view; the cluster bootstraps it through an introducer
+    /// afterwards. Backends take the listener and drive it however they
+    /// like (blocking accept-poll thread, or a reactor sweep).
+    pub(crate) fn create(
+        value: AttrValue,
+        initial_n_estimate: f64,
+        config: NodeConfig,
+        shim: Arc<LossShim>,
+        epoch: Instant,
+    ) -> io::Result<(Arc<Self>, TcpListener)> {
+        let listener = TcpListener::bind(SocketAddrV4::new(Ipv4Addr::LOCALHOST, 0))?;
+        listener.set_nonblocking(true)?;
+        let port = listener.local_addr()?.port();
+        let shared = Arc::new(Self {
+            inner: Mutex::new(NodeInner {
+                node: Adam2Node::new(value, initial_n_estimate),
+                view: Vec::new(),
+                seq_cache: SeqCache::new(),
+                next_seq: u64::from(port) << 40,
+                rng: StdRng::seed_from_u64(config.seed ^ u64::from(port)),
+            }),
+            queue: OutboundQueue::default(),
+            stats: NodeStats::default(),
+            shutdown: AtomicBool::new(false),
+            epoch,
+            config,
+            shim,
+            port,
+        });
+        Ok((shared, listener))
+    }
+
+    /// Loopback port the node's listener answers on.
+    pub fn port(&self) -> u16 {
+        self.port
+    }
+
+    /// The node's timing/robustness configuration.
+    pub(crate) fn config(&self) -> &NodeConfig {
+        &self.config
+    }
+
+    /// The socket-level fault shim this node draws from.
+    pub(crate) fn shim(&self) -> &LossShim {
+        &self.shim
+    }
+
     /// Current gossip round according to the shared clock.
     pub fn current_round(&self) -> u64 {
         (self.epoch.elapsed().as_nanos() / self.config.tick.as_nanos().max(1)) as u64
@@ -217,47 +240,138 @@ impl NodeShared {
         }
         digest
     }
+
+    // -----------------------------------------------------------------------
+    // Backend-neutral protocol entry points
+    // -----------------------------------------------------------------------
+
+    /// Answers one inbound frame, returning the encoded reply to write back
+    /// (or `None` when the connection should close without a reply — either
+    /// the frame type never gets one, or the shim dropped the response).
+    ///
+    /// Gossip requests replay the cached response on a retransmit,
+    /// otherwise merge and cache. The reply is subject to the shim's
+    /// response-loss draw *after* the merge — reproducing exactly the
+    /// "response lost" perturbation the repair path is built to heal.
+    pub(crate) fn respond_frame(&self, frame: Frame) -> Option<Bytes> {
+        match frame {
+            Frame::Request { sender_port, msg } => {
+                let round = self.current_round();
+                let seq = msg.seq;
+                let mut inner = self.inner.lock().expect("node lock");
+                let (encoded, attempt) =
+                    if let Some((cached, times_seen)) = inner.seq_cache.replay(seq) {
+                        self.stats.record_retransmission();
+                        (cached, times_seen)
+                    } else {
+                        let (response_msg, _outcome) =
+                            adam2_core::runtime::serve_exchange(&mut inner.node, &msg, round);
+                        let digest = self.view_digest(&mut inner);
+                        let encoded = Frame::Response {
+                            peers: digest,
+                            msg: response_msg,
+                        }
+                        .encode();
+                        inner.seq_cache.insert(seq, encoded.clone());
+                        (encoded, 0)
+                    };
+                self.merge_peers(&mut inner, &[sender_port]);
+                drop(inner);
+                if self
+                    .shim
+                    .should_drop(round, seq, attempt, Direction::Response)
+                {
+                    self.stats.record_shim_drop();
+                    return None;
+                }
+                Some(encoded)
+            }
+            Frame::Join { port } => {
+                let mut inner = self.inner.lock().expect("node lock");
+                self.merge_peers(&mut inner, &[port]);
+                let digest = self.view_digest(&mut inner);
+                Some(Frame::JoinAck { peers: digest }.encode())
+            }
+            Frame::StartInstance { msg } => {
+                if let Some(payload) = msg.instances.first() {
+                    let meta = payload.to_local().meta;
+                    let mut inner = self.inner.lock().expect("node lock");
+                    inner.node.begin_instance(meta);
+                }
+                Some(Frame::Ack.encode())
+            }
+            Frame::GetEstimate => Some(Frame::Estimate(self.estimate_wire()).encode()),
+            // Peers never open a connection with these; ignore.
+            Frame::Response { .. } | Frame::JoinAck { .. } | Frame::Estimate(_) | Frame::Ack => {
+                None
+            }
+        }
+    }
+
+    /// Start-of-round work: finalise due instances, then pick this round's
+    /// exchange partner (or `None` while the view is still empty).
+    ///
+    /// Gossips every round even without instances: an empty request pulls
+    /// the responder's running instances back (anti-entropy), so nodes
+    /// that no view currently points at still get infected, and the
+    /// piggybacked peer digests keep views fresh.
+    pub(crate) fn plan_round(&self, round: u64) -> Option<u16> {
+        let mut inner = self.inner.lock().expect("node lock");
+        inner.node.finalize_due_instances(round);
+        if inner.view.is_empty() {
+            None
+        } else {
+            let len = inner.view.len();
+            let pick = inner.rng.random_range(0..len);
+            Some(inner.view[pick])
+        }
+    }
+
+    /// Allocates a sequence number and snapshots this round's outbound
+    /// exchange into a [`PendingExchange`] both backends drive attempts
+    /// from.
+    pub(crate) fn begin_exchange(&self, round: u64) -> PendingExchange {
+        let mut inner = self.inner.lock().expect("node lock");
+        let seq = inner.next_seq;
+        inner.next_seq += 1;
+        PendingExchange::begin(&inner.node, round, seq, self.config.retries)
+    }
+
+    /// Absorbs a peer's gossip response into the node and merges the
+    /// piggybacked peer digest into the view.
+    pub(crate) fn complete_exchange(
+        &self,
+        pending: &PendingExchange,
+        peers: &[u16],
+        response: &GossipMessage,
+    ) {
+        let mut inner = self.inner.lock().expect("node lock");
+        pending.absorb(&mut inner.node, response);
+        self.merge_peers(&mut inner, peers);
+    }
 }
 
-/// A running node: its listener port, shared state, and thread handles.
-pub struct NodeHandle {
-    /// Loopback port the node's listener answers on.
-    pub port: u16,
+/// A node running on the threaded backend: shared state plus the three OS
+/// thread handles. Internal to the crate — runtimes are selected through
+/// [`crate::ClusterConfig`], never by spawning nodes directly.
+pub(crate) struct NodeHandle {
     /// State shared with the node's threads.
-    pub shared: Arc<NodeShared>,
+    pub(crate) shared: Arc<NodeShared>,
     threads: Vec<JoinHandle<()>>,
 }
 
 impl NodeHandle {
-    /// Binds a listener on an ephemeral loopback port and spawns the three
-    /// node threads. The node starts with an empty view; the cluster
-    /// bootstraps it through the seed node afterwards.
-    pub fn spawn(
+    /// Creates the node state and spawns the three threads of the
+    /// thread-per-node backend.
+    pub(crate) fn spawn(
         value: AttrValue,
         initial_n_estimate: f64,
         config: NodeConfig,
         shim: Arc<LossShim>,
         epoch: Instant,
     ) -> io::Result<Self> {
-        let listener = TcpListener::bind(SocketAddrV4::new(Ipv4Addr::LOCALHOST, 0))?;
-        listener.set_nonblocking(true)?;
-        let port = listener.local_addr()?.port();
-        let shared = Arc::new(NodeShared {
-            inner: Mutex::new(NodeInner {
-                node: Adam2Node::new(value, initial_n_estimate),
-                view: Vec::new(),
-                seq_cache: SeqCache::new(),
-                next_seq: u64::from(port) << 40,
-                rng: StdRng::seed_from_u64(config.seed ^ u64::from(port)),
-            }),
-            queue: OutboundQueue::default(),
-            stats: NodeStats::default(),
-            shutdown: AtomicBool::new(false),
-            epoch,
-            config,
-            shim,
-            port,
-        });
+        let (shared, listener) =
+            NodeShared::create(value, initial_n_estimate, config, shim, epoch)?;
         let threads = vec![
             spawn_named("listener", {
                 let shared = Arc::clone(&shared);
@@ -272,16 +386,12 @@ impl NodeHandle {
                 move || sender_loop(&shared)
             }),
         ];
-        Ok(Self {
-            port,
-            shared,
-            threads,
-        })
+        Ok(Self { shared, threads })
     }
 
     /// Signals every thread to stop and joins them. Returns `true` when all
     /// threads exited cleanly (none panicked).
-    pub fn shutdown(mut self) -> bool {
+    pub(crate) fn shutdown(mut self) -> bool {
         self.shared.shutdown.store(true, Ordering::Relaxed);
         self.shared.queue.ready.notify_all();
         let mut clean = true;
@@ -340,72 +450,11 @@ fn handle_connection(shared: &NodeShared, mut stream: TcpStream) {
         }
         Err(_) => return, // timeout / reset mid-frame
     };
-    match frame {
-        Frame::Request { sender_port, msg } => serve_request(shared, stream, sender_port, msg),
-        Frame::Join { port } => {
-            let mut inner = shared.inner.lock().expect("node lock");
-            shared.merge_peers(&mut inner, &[port]);
-            let digest = shared.view_digest(&mut inner);
-            drop(inner);
-            send_reply(shared, &mut stream, &Frame::JoinAck { peers: digest });
+    if let Some(reply) = shared.respond_frame(frame) {
+        use std::io::Write as _;
+        if stream.write_all(reply.as_slice()).is_ok() && stream.flush().is_ok() {
+            shared.stats.record_frame_sent(reply.len());
         }
-        Frame::StartInstance { msg } => {
-            if let Some(payload) = msg.instances.first() {
-                let meta = payload.to_local().meta;
-                let mut inner = shared.inner.lock().expect("node lock");
-                inner.node.begin_instance(meta);
-            }
-            send_reply(shared, &mut stream, &Frame::Ack);
-        }
-        Frame::GetEstimate => {
-            let estimate = shared.estimate_wire();
-            send_reply(shared, &mut stream, &Frame::Estimate(estimate));
-        }
-        // Peers never open a connection with these; ignore.
-        Frame::Response { .. } | Frame::JoinAck { .. } | Frame::Estimate(_) | Frame::Ack => {}
-    }
-}
-
-/// Serves one gossip request: replays the cached response on a retransmit,
-/// otherwise merges and caches. The response write is subject to the shim's
-/// response-loss draw *after* the merge — reproducing exactly the
-/// "response lost" perturbation the repair path is built to heal.
-fn serve_request(shared: &NodeShared, mut stream: TcpStream, sender_port: u16, msg: GossipMessage) {
-    let round = shared.current_round();
-    let seq = msg.seq;
-    let mut inner = shared.inner.lock().expect("node lock");
-    let (encoded, attempt) = if let Some((cached, times_seen)) = inner.seq_cache.replay(seq) {
-        shared.stats.record_retransmission();
-        (cached, times_seen)
-    } else {
-        let (response_msg, _outcome) = serve_exchange(&mut inner.node, &msg, round);
-        let digest = shared.view_digest(&mut inner);
-        let frame = Frame::Response {
-            peers: digest,
-            msg: response_msg,
-        };
-        let encoded = frame.encode();
-        inner.seq_cache.insert(seq, encoded.clone());
-        (encoded, 0)
-    };
-    shared.merge_peers(&mut inner, &[sender_port]);
-    drop(inner);
-    if shared
-        .shim
-        .should_drop(round, seq, attempt, Direction::Response)
-    {
-        shared.stats.record_shim_drop();
-        return;
-    }
-    use std::io::Write as _;
-    if stream.write_all(encoded.as_slice()).is_ok() && stream.flush().is_ok() {
-        shared.stats.record_frame_sent(encoded.len());
-    }
-}
-
-fn send_reply(shared: &NodeShared, stream: &mut TcpStream, frame: &Frame) {
-    if let Ok(n) = write_frame(stream, frame) {
-        shared.stats.record_frame_sent(n);
     }
 }
 
@@ -426,22 +475,9 @@ fn clock_loop(shared: &NodeShared) {
 }
 
 fn on_round_start(shared: &NodeShared, round: u64) {
-    let peer = {
-        let mut inner = shared.inner.lock().expect("node lock");
-        inner.node.finalize_due_instances(round);
-        // Gossip every round even without instances: an empty request
-        // pulls the responder's running instances back (anti-entropy), so
-        // nodes that no view currently points at still get infected, and
-        // the piggybacked peer digests keep views fresh.
-        if inner.view.is_empty() {
-            None
-        } else {
-            let len = inner.view.len();
-            let pick = inner.rng.random_range(0..len);
-            Some(inner.view[pick])
-        }
+    let Some(peer) = shared.plan_round(round) else {
+        return;
     };
-    let Some(peer) = peer else { return };
     let mut jobs = shared.queue.jobs.lock().expect("queue lock");
     if jobs.len() >= shared.config.queue_capacity {
         // Backpressure: the sender can't keep up (slow or dead peers);
@@ -483,13 +519,7 @@ fn sender_loop(shared: &NodeShared) {
 /// initiator retries with the same sequence number, so the responder's
 /// cache replays rather than re-merging.
 fn run_exchange(shared: &NodeShared, job: &ExchangeJob) {
-    let (sent, seq) = {
-        let mut inner = shared.inner.lock().expect("node lock");
-        let seq = inner.next_seq;
-        inner.next_seq += 1;
-        let snapshot = snapshot_for_round(&inner.node, job.round, seq);
-        (snapshot, seq)
-    };
+    let mut pending = shared.begin_exchange(job.round);
     shared.stats.record_exchange_started();
     shared.stats.enter_flight();
     let started = Instant::now();
@@ -498,13 +528,13 @@ fn run_exchange(shared: &NodeShared, job: &ExchangeJob) {
         std::thread::sleep(shared.config.tick.min(Duration::from_millis(2)) * delay_ticks as u32);
     }
     let mut completed = false;
-    for attempt in 0..=shared.config.retries {
+    while let Some(attempt) = pending.next_attempt() {
         if attempt > 0 {
             shared.stats.record_retransmission();
         }
         if shared
             .shim
-            .should_drop(job.round, seq, attempt, Direction::Request)
+            .should_drop(job.round, pending.seq(), attempt, Direction::Request)
         {
             // The request "left" but never arrives: burn the timeout the
             // initiator would have spent waiting, then retry.
@@ -512,12 +542,9 @@ fn run_exchange(shared: &NodeShared, job: &ExchangeJob) {
             std::thread::sleep(shared.config.io_timeout);
             continue;
         }
-        match attempt_exchange(shared, job.peer, &sent) {
-            Ok(Some(response)) => {
-                let mut inner = shared.inner.lock().expect("node lock");
-                absorb_exchange_response(&mut inner.node, &sent, &response.1, job.round);
-                shared.merge_peers(&mut inner, &response.0);
-                drop(inner);
+        match attempt_exchange(shared, job.peer, &pending.sent) {
+            Ok(Some((peers, response))) => {
+                shared.complete_exchange(&pending, &peers, &response);
                 completed = true;
                 break;
             }
@@ -569,5 +596,41 @@ fn attempt_exchange(
             shared.stats.record_malformed_frame();
             Ok(None)
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seq_cache_evicts_fifo_at_capacity() {
+        let mut cache = SeqCache::new();
+        let payload = Frame::Ack.encode();
+        for seq in 0..SEQ_CACHE_CAP as u64 {
+            cache.insert(seq, payload.clone());
+        }
+        // Full but nothing evicted yet: the very first entry still replays.
+        assert!(cache.replay(0).is_some());
+        // One past capacity evicts exactly the oldest sequence number.
+        cache.insert(SEQ_CACHE_CAP as u64, payload.clone());
+        assert!(cache.replay(0).is_none());
+        assert!(cache.replay(1).is_some());
+        assert!(cache.replay(SEQ_CACHE_CAP as u64).is_some());
+        // A second overflow takes the next-oldest, in FIFO order.
+        cache.insert(SEQ_CACHE_CAP as u64 + 1, payload);
+        assert!(cache.replay(1).is_none());
+        assert!(cache.replay(2).is_some());
+    }
+
+    #[test]
+    fn seq_cache_replay_counts_deliveries() {
+        let mut cache = SeqCache::new();
+        cache.insert(7, Frame::Ack.encode());
+        let (_, first) = cache.replay(7).expect("cached");
+        let (_, second) = cache.replay(7).expect("cached");
+        assert_eq!(first, 1);
+        assert_eq!(second, 2);
+        assert!(cache.replay(8).is_none());
     }
 }

@@ -66,6 +66,8 @@ mod stats;
 mod telemetry;
 mod wheel;
 
+pub use wheel::TimerWheel;
+
 pub use churn::ChurnModel;
 pub use engine::{
     Ctx, Engine, EngineConfig, ExchangeFate, ExchangeOutcome, ExchangeRepair, ExchangeTraffic,

@@ -56,7 +56,7 @@ impl<T> Shard<T> {
 
 /// A sharded two-level timer wheel; see the module docs.
 #[derive(Debug)]
-pub(crate) struct TimerWheel<T> {
+pub struct TimerWheel<T> {
     shards: Vec<Shard<T>>,
     /// Ring size in ticks (power of two).
     horizon: u64,
@@ -71,7 +71,7 @@ pub(crate) struct TimerWheel<T> {
 impl<T> TimerWheel<T> {
     /// Creates a wheel with at least `horizon_hint` ring ticks and
     /// `shards` destination-slot shards.
-    pub(crate) fn new(horizon_hint: u64, shards: usize) -> Self {
+    pub fn new(horizon_hint: u64, shards: usize) -> Self {
         let horizon = horizon_hint.max(16).next_power_of_two();
         let shards = shards.max(1);
         Self {
@@ -84,17 +84,17 @@ impl<T> TimerWheel<T> {
     }
 
     /// The shard a destination slot maps to.
-    pub(crate) fn shard_of(&self, slot: u32) -> usize {
+    pub fn shard_of(&self, slot: u32) -> usize {
         ((slot / SHARD_RANGE) as usize) % self.shards.len()
     }
 
     /// Pending events.
-    pub(crate) fn len(&self) -> usize {
+    pub fn len(&self) -> usize {
         self.len
     }
 
     /// Whether no events are pending.
-    pub(crate) fn is_empty(&self) -> bool {
+    pub fn is_empty(&self) -> bool {
         self.len == 0
     }
 
@@ -102,7 +102,7 @@ impl<T> TimerWheel<T> {
     /// returning its sequence stamp. Scheduling before the cursor clamps
     /// to the cursor tick (the engine never does; the clamp keeps the
     /// wheel total even under misuse).
-    pub(crate) fn push(&mut self, at: u64, slot: u32, item: T) -> u64 {
+    pub fn push(&mut self, at: u64, slot: u32, item: T) -> u64 {
         let at = at.max(self.cursor);
         self.seq += 1;
         let seq = self.seq;
@@ -119,7 +119,7 @@ impl<T> TimerWheel<T> {
 
     /// The earliest pending tick, or `None` if the wheel is empty. Does
     /// not advance the cursor.
-    pub(crate) fn next_tick(&self) -> Option<u64> {
+    pub fn next_tick(&self) -> Option<u64> {
         if self.is_empty() {
             return None;
         }
@@ -145,7 +145,7 @@ impl<T> TimerWheel<T> {
 
     /// Pops the globally next `(tick, seq, item)` if its tick is `<=
     /// until`; otherwise leaves the wheel untouched and returns `None`.
-    pub(crate) fn pop_at_or_before(&mut self, until: u64) -> Option<(u64, u64, T)> {
+    pub fn pop_at_or_before(&mut self, until: u64) -> Option<(u64, u64, T)> {
         let tick = self.next_tick()?;
         if tick > until {
             return None;
@@ -176,7 +176,7 @@ impl<T> TimerWheel<T> {
     /// # Panics
     ///
     /// Panics (debug) if undrained events exist before `tick`.
-    pub(crate) fn advance_to(&mut self, tick: u64) {
+    pub fn advance_to(&mut self, tick: u64) {
         if tick <= self.cursor {
             return;
         }
@@ -212,7 +212,7 @@ impl<T> TimerWheel<T> {
     ///
     /// Panics (debug) if undrained events exist before `tick` or `out`
     /// contains non-empty vectors.
-    pub(crate) fn drain_tick_into(&mut self, tick: u64, out: &mut Vec<VecDeque<(u64, T)>>) {
+    pub fn drain_tick_into(&mut self, tick: u64, out: &mut Vec<VecDeque<(u64, T)>>) {
         self.advance_to(tick);
         out.resize_with(self.shards.len(), VecDeque::new);
         let idx = (tick % self.horizon) as usize;
