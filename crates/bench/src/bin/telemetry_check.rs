@@ -125,6 +125,23 @@ const DEPLOY_RESULT_FIELDS: &[(&str, FieldType)] = &[
     ("clean_shutdown", FieldType::Bool),
 ];
 
+/// `BENCH_explore.json` per-campaign schema (`--bench` mode): one record
+/// per explored protocol configuration.
+const EXPLORE_RESULT_FIELDS: &[(&str, FieldType)] = &[
+    ("config", FieldType::Str),
+    ("iterations", FieldType::Uint),
+    ("oracle_runs", FieldType::Uint),
+    ("features", FieldType::Uint),
+    ("violations", FieldType::Uint),
+    ("verdict", FieldType::Str),
+    ("first_hit_axes", FieldType::Uint),
+    ("minimal_axes", FieldType::Uint),
+    ("minimal_desc", FieldType::Str),
+    ("detail", FieldType::NumberOrNull),
+    ("fingerprint", FieldType::Uint),
+    ("shrink_runs", FieldType::Uint),
+];
+
 /// `BENCH_deploy.json` scale-sweep record schema.
 const DEPLOY_SCALE_FIELDS: &[(&str, FieldType)] = &[
     ("backend", FieldType::Str),
@@ -381,6 +398,12 @@ fn validate_bench(path: &Path) -> Result<usize, String> {
         "\"byzantine_resilience\"" => {
             (BYZANTINE_RESULT_FIELDS, "engine", &["cycle", "event"], None)
         }
+        "\"scenario_explorer\"" => (
+            EXPLORE_RESULT_FIELDS,
+            "config",
+            &["vanilla", "hardened"],
+            None,
+        ),
         "\"deploy_runtime\"" => (
             DEPLOY_RESULT_FIELDS,
             "backend",
@@ -667,6 +690,63 @@ mod tests {
         )
         .unwrap();
         assert!(validate_bench(&path).unwrap_err().contains("'robust'"));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    fn explore_result_line(config: &str) -> String {
+        format!(
+            "    {{\"config\": \"{config}\", \"iterations\": 26, \"oracle_runs\": 28, \
+             \"features\": 81, \"violations\": 1, \"verdict\": \"err_regression\", \
+             \"first_hit_axes\": 3, \"minimal_axes\": 1, \
+             \"minimal_desc\": \"burst 5..15 rate 0.30\", \"detail\": 1.042176e1, \
+             \"fingerprint\": 2106126027962506785, \"shrink_runs\": 7}},"
+        )
+    }
+
+    fn explore_bench_json() -> String {
+        format!(
+            "{{\n  \"benchmark\": \"scenario_explorer\",\n  \"manifest\": \
+             {{\"schema_version\": 1, \"experiment\": \"t\", \"config_hash\": 5, \"seed\": 1, \
+             \"threads\": 1, \"detected_cores\": 4, \"git_rev\": null}},\n  \"results\": [\n\
+             {}\n{}\n  ]\n}}\n",
+            explore_result_line("vanilla"),
+            explore_result_line("hardened").trim_end_matches(',')
+        )
+    }
+
+    #[test]
+    fn bench_mode_accepts_the_explorer_schema() {
+        let dir = std::env::temp_dir().join("telemetry_check_explore_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_explore.json");
+        std::fs::write(&path, explore_bench_json()).unwrap();
+        assert_eq!(validate_bench(&path), Ok(2));
+
+        // A renamed result field fails.
+        std::fs::write(
+            &path,
+            explore_bench_json().replace("minimal_axes", "min_axes"),
+        )
+        .unwrap();
+        assert!(validate_bench(&path).unwrap_err().contains("unknown field"));
+
+        // Dropping one config's results fails.
+        std::fs::write(
+            &path,
+            explore_bench_json().replace("\"hardened\"", "\"vanilla\""),
+        )
+        .unwrap();
+        assert!(validate_bench(&path)
+            .unwrap_err()
+            .contains("no results for config 'hardened'"));
+
+        // A non-integer fingerprint fails.
+        std::fs::write(
+            &path,
+            explore_bench_json().replace("\"shrink_runs\": 7", "\"shrink_runs\": -7"),
+        )
+        .unwrap();
+        assert!(validate_bench(&path).unwrap_err().contains("'shrink_runs'"));
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -1,0 +1,280 @@
+//! The committed regression corpus: JSON scenario files + replay.
+//!
+//! Each corpus entry is one file holding the scenario, the oracle
+//! parameters it was judged under, and the expected verdict +
+//! fingerprint. `replay` re-runs every entry and demands a bit-identical
+//! outcome — deterministic replay turns every found counterexample (and
+//! every cleared hand-picked scenario) into a permanent regression test.
+//! Decoding is strict and never panics: a corrupted corpus file fails
+//! the replay with an error naming the file.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use adam2_sim::FaultScenario;
+use serde::json::{self, Value};
+
+use crate::oracle::{ConfigKind, Oracle, OracleConfig, Verdict};
+
+/// One committed regression scenario.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CorpusEntry {
+    /// Human-readable name (doubles as the file stem).
+    pub name: String,
+    /// Which protocol configuration judged it.
+    pub config: ConfigKind,
+    /// Oracle population size.
+    pub nodes: usize,
+    /// Interpolation points λ.
+    pub lambda: usize,
+    /// Oracle master seed (population + engine).
+    pub seed: u64,
+    /// Peers sampled for Err_a.
+    pub sample_peers: usize,
+    /// Expected verdict.
+    pub verdict: Verdict,
+    /// Expected violation detail (0.0 for clear entries).
+    pub detail: f64,
+    /// Expected bit-exact run fingerprint.
+    pub fingerprint: u64,
+    /// The scenario itself.
+    pub scenario: FaultScenario,
+}
+
+impl CorpusEntry {
+    /// Serialises the entry as pretty-stable compact JSON.
+    pub fn to_json(&self) -> String {
+        Value::Object(vec![
+            ("name".to_string(), Value::String(self.name.clone())),
+            (
+                "config".to_string(),
+                Value::String(self.config.as_str().to_string()),
+            ),
+            ("nodes".to_string(), Value::Uint(self.nodes as u64)),
+            ("lambda".to_string(), Value::Uint(self.lambda as u64)),
+            ("seed".to_string(), Value::Uint(self.seed)),
+            (
+                "sample_peers".to_string(),
+                Value::Uint(self.sample_peers as u64),
+            ),
+            (
+                "verdict".to_string(),
+                Value::String(self.verdict.as_str().to_string()),
+            ),
+            ("detail".to_string(), Value::Number(self.detail)),
+            ("fingerprint".to_string(), Value::Uint(self.fingerprint)),
+            ("scenario".to_string(), self.scenario.to_json_value()),
+        ])
+        .to_json()
+    }
+
+    /// Strict decode; any malformed field is an error, never a panic.
+    pub fn from_json(text: &str) -> Result<Self, String> {
+        let value = json::parse(text).map_err(|e| e.to_string())?;
+        let pairs = value.as_object().ok_or("corpus entry must be an object")?;
+        const ALLOWED: [&str; 10] = [
+            "name",
+            "config",
+            "nodes",
+            "lambda",
+            "seed",
+            "sample_peers",
+            "verdict",
+            "detail",
+            "fingerprint",
+            "scenario",
+        ];
+        for (key, _) in pairs {
+            if !ALLOWED.contains(&key.as_str()) {
+                return Err(format!("unknown corpus field `{key}`"));
+            }
+        }
+        let get_str = |key: &str| {
+            value
+                .get(key)
+                .and_then(Value::as_str)
+                .ok_or_else(|| format!("missing or non-string field `{key}`"))
+        };
+        let get_u64 = |key: &str| {
+            value
+                .get(key)
+                .and_then(Value::as_u64)
+                .ok_or_else(|| format!("missing or non-integer field `{key}`"))
+        };
+        let config = ConfigKind::from_str(get_str("config")?)
+            .ok_or_else(|| "unknown config kind".to_string())?;
+        let verdict =
+            Verdict::from_str(get_str("verdict")?).ok_or_else(|| "unknown verdict".to_string())?;
+        let detail = value
+            .get("detail")
+            .and_then(Value::as_f64)
+            .ok_or("missing or non-number field `detail`")?;
+        let scenario_value = value.get("scenario").ok_or("missing field `scenario`")?;
+        let scenario = FaultScenario::from_json_value(scenario_value).map_err(|e| e.to_string())?;
+        let nodes = usize::try_from(get_u64("nodes")?).map_err(|e| e.to_string())?;
+        if nodes == 0 {
+            return Err("`nodes` must be positive".to_string());
+        }
+        let lambda = usize::try_from(get_u64("lambda")?).map_err(|e| e.to_string())?;
+        if lambda == 0 {
+            return Err("`lambda` must be positive".to_string());
+        }
+        Ok(Self {
+            name: get_str("name")?.to_string(),
+            config,
+            nodes,
+            lambda,
+            seed: get_u64("seed")?,
+            sample_peers: usize::try_from(get_u64("sample_peers")?).map_err(|e| e.to_string())?,
+            verdict,
+            detail,
+            fingerprint: get_u64("fingerprint")?,
+            scenario,
+        })
+    }
+
+    /// The oracle parameters this entry must be judged under.
+    pub fn oracle_config(&self) -> OracleConfig {
+        OracleConfig {
+            kind: self.config,
+            nodes: self.nodes,
+            lambda: self.lambda,
+            seed: self.seed,
+            sample_peers: self.sample_peers,
+        }
+    }
+}
+
+/// Loads every `*.json` file in `dir`, sorted by file name. A file that
+/// fails to decode fails the whole load with its path in the error.
+pub fn load_dir(dir: &Path) -> Result<Vec<CorpusEntry>, String> {
+    let mut paths: Vec<PathBuf> = fs::read_dir(dir)
+        .map_err(|e| format!("{}: {e}", dir.display()))?
+        .filter_map(|entry| entry.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|ext| ext == "json"))
+        .collect();
+    paths.sort();
+    let mut entries = Vec::with_capacity(paths.len());
+    for path in paths {
+        let text = fs::read_to_string(&path).map_err(|e| format!("{}: {e}", path.display()))?;
+        let entry =
+            CorpusEntry::from_json(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+        entries.push(entry);
+    }
+    Ok(entries)
+}
+
+/// One entry's replay result.
+#[derive(Debug)]
+pub struct ReplayResult {
+    pub name: String,
+    pub expected: Verdict,
+    pub got: Verdict,
+    pub fingerprint_matched: bool,
+}
+
+impl ReplayResult {
+    pub fn ok(&self) -> bool {
+        self.expected == self.got && self.fingerprint_matched
+    }
+}
+
+/// Replays `entries`, sharing one oracle (and its fault-free baseline)
+/// across entries with identical oracle parameters.
+pub fn replay(entries: &[CorpusEntry]) -> Vec<ReplayResult> {
+    let mut results = Vec::with_capacity(entries.len());
+    let mut cached: Option<(OracleConfig, Oracle)> = None;
+    let mut sorted: Vec<&CorpusEntry> = entries.iter().collect();
+    // Group equal-oracle entries together so the cache hits.
+    sorted.sort_by_key(|e| {
+        (
+            e.config.as_str(),
+            e.nodes,
+            e.lambda,
+            e.seed,
+            e.sample_peers,
+            e.name.clone(),
+        )
+    });
+    for entry in sorted {
+        let wanted = entry.oracle_config();
+        let reuse = cached.as_ref().is_some_and(|(c, _)| {
+            c.kind == wanted.kind
+                && c.nodes == wanted.nodes
+                && c.lambda == wanted.lambda
+                && c.seed == wanted.seed
+                && c.sample_peers == wanted.sample_peers
+        });
+        if !reuse {
+            cached = Some((wanted, Oracle::new(wanted)));
+        }
+        let oracle = &cached.as_ref().expect("just cached").1;
+        let outcome = oracle.run(&entry.scenario);
+        results.push(ReplayResult {
+            name: entry.name.clone(),
+            expected: entry.verdict,
+            got: outcome.verdict,
+            fingerprint_matched: outcome.fingerprint == entry.fingerprint,
+        });
+    }
+    results
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry() -> CorpusEntry {
+        CorpusEntry {
+            name: "burst20".to_string(),
+            config: ConfigKind::Vanilla,
+            nodes: 400,
+            lambda: 20,
+            seed: 42,
+            sample_peers: 100,
+            verdict: Verdict::MassLeakage,
+            detail: -0.045,
+            fingerprint: 0xDEAD_BEEF_CAFE_F00D,
+            scenario: FaultScenario::new(7).with_burst_loss(5, 15, 0.2),
+        }
+    }
+
+    #[test]
+    fn entry_round_trips() {
+        let e = entry();
+        let text = e.to_json();
+        let back = CorpusEntry::from_json(&text).expect("round trip");
+        assert_eq!(back, e);
+        assert_eq!(back.to_json(), text);
+    }
+
+    #[test]
+    fn strict_decode_rejects_bad_entries() {
+        let good = entry().to_json();
+        for bad in [
+            good.replace("\"nodes\":400", "\"nodes\":0"),
+            good.replace("\"verdict\":\"mass_leakage\"", "\"verdict\":\"nope\""),
+            good.replace("\"config\":\"vanilla\"", "\"config\":\"debug\""),
+            good.replace("\"name\"", "\"nome\""),
+            good.replace("\"seed\":42", "\"seed\":-1"),
+            "not json".to_string(),
+            "{}".to_string(),
+        ] {
+            assert!(CorpusEntry::from_json(&bad).is_err(), "accepted {bad}");
+        }
+    }
+
+    #[test]
+    fn load_dir_reports_broken_files_by_path() {
+        let dir = std::env::temp_dir().join("adam2-explore-corpus-test");
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        fs::write(dir.join("good.json"), entry().to_json()).unwrap();
+        fs::write(dir.join("ignored.txt"), "not a corpus file").unwrap();
+        assert_eq!(load_dir(&dir).unwrap().len(), 1);
+        fs::write(dir.join("broken.json"), "{oops").unwrap();
+        let err = load_dir(&dir).unwrap_err();
+        assert!(err.contains("broken.json"), "error names the file: {err}");
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,285 @@
+//! Feature-map coverage over scenario parameters × run behaviour.
+//!
+//! A candidate is *novel* when it contributes at least one feature the
+//! campaign has not seen before. Features come from two sides:
+//!
+//! * **Scenario features** ([`scenario_features`]): which fault axes are
+//!   present, how many events each has, log2-bucketed window lengths,
+//!   decile-bucketed rates/fractions, partition shapes, adversary models.
+//! * **Behaviour features** ([`behaviour_signature`]): log2-bucketed
+//!   totals of the telemetry `RoundSnapshot` counters (repairs, aborts,
+//!   bootstraps, robust rejects/trims, crashes, …), the Err_a decade,
+//!   self-heal restarts, and estimate-less peer counts.
+//!
+//! Bucketing is the coarse-graining that turns an uncountable parameter
+//! space into a finite map: two scenarios that differ only inside one
+//! bucket exercise the system the same way and should not both earn
+//! corpus energy.
+
+use std::collections::HashSet;
+
+use adam2_sim::{FaultEvent, FaultScenario, PartitionKind, RoundSnapshot};
+
+/// Tag space for feature words: the top byte names the family so scenario
+/// and behaviour features can never collide.
+const FAMILY_SCENARIO: u64 = 0x51 << 56;
+const FAMILY_BEHAVIOUR: u64 = 0xB5 << 56;
+
+/// log2 bucket of a count: 0 → 0, otherwise `1 + floor(log2 n)`.
+fn log2_bucket(n: u64) -> u64 {
+    if n == 0 {
+        0
+    } else {
+        1 + u64::from(n.ilog2())
+    }
+}
+
+/// Decile bucket of a rate in `[0, 1]` (or any non-negative value;
+/// clamped at 10 so magnitudes > 1 share one bucket per integer step up
+/// to 25).
+fn rate_bucket(rate: f64) -> u64 {
+    if !rate.is_finite() || rate < 0.0 {
+        return 63;
+    }
+    ((rate * 10.0) as u64).min(250)
+}
+
+/// The set of scenario-side features (order-independent; deduplicated by
+/// the map).
+pub fn scenario_features(scenario: &FaultScenario) -> Vec<u64> {
+    let mut features = Vec::new();
+    let mut push = |axis: u64, kind: u64, value: u64| {
+        features.push(FAMILY_SCENARIO | (axis << 48) | (kind << 40) | (value & 0xFF_FFFF_FFFF));
+    };
+    let mut per_axis = [0u64; 7];
+    for event in &scenario.events {
+        match *event {
+            FaultEvent::BurstLoss {
+                from_round,
+                to_round,
+                loss_rate,
+            } => {
+                per_axis[1] += 1;
+                push(1, 1, log2_bucket(to_round.saturating_sub(from_round)));
+                push(1, 2, rate_bucket(loss_rate));
+                push(1, 3, from_round / 4);
+            }
+            FaultEvent::Partition {
+                from_round,
+                to_round,
+                kind,
+            } => {
+                per_axis[2] += 1;
+                push(2, 1, log2_bucket(to_round.saturating_sub(from_round)));
+                let shape = match kind {
+                    PartitionKind::Bisect => 0,
+                    PartitionKind::Islands(k) => u64::from(k),
+                };
+                push(2, 2, shape);
+                push(2, 3, from_round / 4);
+            }
+            FaultEvent::CrashRecover {
+                at_round,
+                recover_round,
+                fraction,
+            } => {
+                per_axis[3] += 1;
+                push(3, 1, log2_bucket(recover_round.saturating_sub(at_round)));
+                push(3, 2, rate_bucket(fraction));
+                push(3, 3, at_round / 4);
+            }
+            FaultEvent::Delay {
+                from_round,
+                to_round,
+                extra_ticks,
+            } => {
+                per_axis[4] += 1;
+                push(4, 1, log2_bucket(to_round.saturating_sub(from_round)));
+                push(4, 2, log2_bucket(extra_ticks));
+                push(4, 3, from_round / 4);
+            }
+            FaultEvent::Duplicate {
+                from_round,
+                to_round,
+                rate,
+            } => {
+                per_axis[5] += 1;
+                push(5, 1, log2_bucket(to_round.saturating_sub(from_round)));
+                push(5, 2, rate_bucket(rate));
+                push(5, 3, from_round / 4);
+            }
+            FaultEvent::Adversary {
+                from_round,
+                to_round,
+                fraction,
+                ref model,
+            } => {
+                per_axis[6] += 1;
+                push(6, 1, log2_bucket(to_round.saturating_sub(from_round)));
+                push(6, 2, rate_bucket(fraction));
+                push(6, 3, from_round / 4);
+                let (tag, value) = match *model {
+                    adam2_sim::AdversaryModel::ValuePoisoning { magnitude } => (1, magnitude),
+                    adam2_sim::AdversaryModel::WeightInflation { factor } => (2, factor),
+                    adam2_sim::AdversaryModel::TargetedPartner { magnitude } => (3, magnitude),
+                    adam2_sim::AdversaryModel::Equivocation { magnitude } => (4, magnitude),
+                };
+                push(6, 4, tag);
+                push(6, 5, (tag << 16) | rate_bucket(value));
+            }
+        }
+    }
+    for (axis, &count) in per_axis.iter().enumerate() {
+        if count > 0 {
+            push(axis as u64, 0, count);
+        }
+    }
+    // Which axes are simultaneously present: compound-fault interactions
+    // are the whole point of the campaign, so the combination itself is a
+    // feature.
+    let mask = per_axis
+        .iter()
+        .enumerate()
+        .filter(|(_, &c)| c > 0)
+        .fold(0u64, |m, (axis, _)| m | (1 << axis));
+    push(0, 1, mask);
+    push(0, 2, scenario.events.len() as u64);
+    features
+}
+
+/// Behaviour-side features from one run's telemetry.
+pub fn behaviour_signature(
+    snapshots: &[RoundSnapshot],
+    err_a: f64,
+    healed: u64,
+    peers_without_estimate: usize,
+) -> Vec<u64> {
+    let mut totals = [0u64; 10];
+    for snap in snapshots {
+        totals[0] += snap.exchanges;
+        totals[1] += snap.repairs;
+        totals[2] += snap.aborts;
+        totals[3] += snap.faults;
+        totals[4] += snap.crashes;
+        totals[5] += snap.recoveries;
+        totals[6] += snap.bootstraps;
+        totals[7] += snap.heal_bumps;
+        totals[8] += snap.robust_rejects;
+        totals[9] += snap.robust_trims;
+    }
+    let mut features = Vec::with_capacity(totals.len() + 3);
+    for (idx, &total) in totals.iter().enumerate() {
+        features.push(FAMILY_BEHAVIOUR | ((idx as u64) << 8) | log2_bucket(total));
+    }
+    // Err_a decade: bucket k means 10^-(k+1) < err <= 10^-k, clamped.
+    let err_bucket = if !err_a.is_finite() || err_a <= 0.0 {
+        16
+    } else {
+        (-err_a.log10()).floor().clamp(0.0, 15.0) as u64
+    };
+    features.push(FAMILY_BEHAVIOUR | (100 << 8) | err_bucket);
+    features.push(FAMILY_BEHAVIOUR | (101 << 8) | log2_bucket(healed));
+    features.push(FAMILY_BEHAVIOUR | (102 << 8) | log2_bucket(peers_without_estimate as u64));
+    features
+}
+
+/// The campaign's accumulated feature set.
+#[derive(Debug, Default)]
+pub struct CoverageMap {
+    seen: HashSet<u64>,
+}
+
+impl CoverageMap {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Inserts `features`, returning how many were new.
+    pub fn observe(&mut self, features: impl IntoIterator<Item = u64>) -> usize {
+        let mut novel = 0;
+        for f in features {
+            if self.seen.insert(f) {
+                novel += 1;
+            }
+        }
+        novel
+    }
+
+    /// Distinct features seen so far.
+    pub fn len(&self) -> usize {
+        self.seen.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.seen.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adam2_sim::AdversaryModel;
+
+    #[test]
+    fn empty_scenario_has_baseline_features_only() {
+        let features = scenario_features(&FaultScenario::new(1));
+        // Axis mask (empty) + event count.
+        assert_eq!(features.len(), 2);
+    }
+
+    #[test]
+    fn distinct_axes_yield_distinct_features() {
+        let burst = scenario_features(&FaultScenario::new(1).with_burst_loss(0, 5, 0.2));
+        let delay = scenario_features(&FaultScenario::new(1).with_delay(0, 5, 10));
+        let b: HashSet<u64> = burst.iter().copied().collect();
+        let d: HashSet<u64> = delay.iter().copied().collect();
+        assert!(b.intersection(&d).count() < b.len());
+    }
+
+    #[test]
+    fn bucketing_coarse_grains_nearby_rates() {
+        let a = scenario_features(&FaultScenario::new(1).with_burst_loss(0, 5, 0.21));
+        let b = scenario_features(&FaultScenario::new(1).with_burst_loss(0, 5, 0.24));
+        let c = scenario_features(&FaultScenario::new(1).with_burst_loss(0, 5, 0.4));
+        assert_eq!(a, b, "same decile, same features");
+        assert_ne!(a, c, "different decile, different features");
+    }
+
+    #[test]
+    fn adversary_models_are_distinguished() {
+        let mk =
+            |model| scenario_features(&FaultScenario::new(1).with_adversary(0, 10, 0.1, model));
+        let a = mk(AdversaryModel::ValuePoisoning { magnitude: 5.0 });
+        let b = mk(AdversaryModel::WeightInflation { factor: 5.0 });
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn coverage_map_counts_novelty_once() {
+        let mut map = CoverageMap::new();
+        let features = scenario_features(&FaultScenario::new(1).with_burst_loss(0, 5, 0.2));
+        let first = map.observe(features.iter().copied());
+        assert_eq!(first, features.len());
+        assert_eq!(map.observe(features.iter().copied()), 0);
+        assert_eq!(map.len(), first);
+    }
+
+    #[test]
+    fn behaviour_signature_is_stable_and_bucketed() {
+        let sig = behaviour_signature(&[], 1e-3, 0, 0);
+        assert_eq!(sig, behaviour_signature(&[], 1e-3, 0, 0));
+        // Err in a different decade changes exactly one feature.
+        let other = behaviour_signature(&[], 1e-2, 0, 0);
+        let diff = sig.iter().zip(&other).filter(|(a, b)| a != b).count();
+        assert_eq!(diff, 1);
+    }
+
+    #[test]
+    fn log2_buckets() {
+        assert_eq!(log2_bucket(0), 0);
+        assert_eq!(log2_bucket(1), 1);
+        assert_eq!(log2_bucket(2), 2);
+        assert_eq!(log2_bucket(3), 2);
+        assert_eq!(log2_bucket(1024), 11);
+    }
+}

@@ -1,0 +1,532 @@
+//! Weighted mutation tables over [`FaultScenario`]s.
+//!
+//! Every mutation stays inside a bounded *envelope* chosen so that (a)
+//! [`FaultScenario::validate`] always passes — the campaign never wastes
+//! a run on an unrunnable scenario — and (b) the hardened configuration
+//! is expected to survive the whole envelope, so a hardened campaign
+//! reporting zero violations is a meaningful claim about a calibrated
+//! space rather than an artifact of unwinnable inputs. The bounds:
+//!
+//! * Fault windows live inside the instance's 35 rounds, ending by round
+//!   30 (adversary windows may cover the settle tail, like
+//!   `bench_byzantine`'s do).
+//! * Loss/duplication rates stay in `[0.05, 0.5]` — above 50% burst loss
+//!   even repaired exchanges stall for the window's duration.
+//! * At most one crash wave (fraction ≤ 0.2) so recovered-node bootstrap
+//!   has partners left, and at most one adversary window (fraction ≤
+//!   0.15 < the robust merge's breakdown point) with lie magnitudes ≥ 2
+//!   so the lies are implausible enough for the robust screen — both
+//!   mirror the calibrated `bench_byzantine` operating points.
+//!
+//! The table is *adaptive*: [`Mutator::reward`] bumps the weight of an
+//! operator whose output reached novel coverage, so the campaign drifts
+//! toward the operators that are still finding new behaviour (the
+//! beacon-explore weight-table scheme).
+
+use adam2_sim::{AdversaryModel, FaultEvent, FaultScenario, PartitionKind};
+use rand::rngs::StdRng;
+use rand::RngExt as _;
+
+/// Maximum events per scenario; `Add*` on a full scenario evicts a
+/// random event first.
+pub const MAX_EVENTS: usize = 6;
+/// Last round a (non-adversary) fault window may touch.
+pub const MAX_FAULT_ROUND: u64 = 30;
+/// Last round an adversary window may touch (covers the settle tail).
+pub const MAX_ADVERSARY_ROUND: u64 = 38;
+/// Loss/duplication rate envelope.
+pub const RATE_RANGE: (f64, f64) = (0.05, 0.5);
+/// Crash-wave fraction envelope (single wave).
+pub const CRASH_RANGE: (f64, f64) = (0.02, 0.2);
+/// Byzantine fraction envelope.
+pub const ADVERSARY_RANGE: (f64, f64) = (0.02, 0.15);
+/// Poison magnitude envelope (≥ 2 keeps lies outside the plausible
+/// band the robust screen admits).
+pub const MAGNITUDE_RANGE: (f64, f64) = (2.0, 5.0);
+/// Weight-inflation factor envelope.
+pub const FACTOR_RANGE: (f64, f64) = (2.0, 8.0);
+
+const OP_NAMES: [&str; 12] = [
+    "add_burst",
+    "add_partition",
+    "add_crash",
+    "add_delay",
+    "add_duplicate",
+    "add_adversary",
+    "remove_event",
+    "widen_window",
+    "shift_window",
+    "scale_up",
+    "scale_down",
+    "reseed",
+];
+
+/// Adaptive weighted mutation table.
+#[derive(Debug, Clone)]
+pub struct Mutator {
+    weights: [f64; OP_NAMES.len()],
+}
+
+impl Default for Mutator {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Mutator {
+    pub fn new() -> Self {
+        Self {
+            weights: [1.0; OP_NAMES.len()],
+        }
+    }
+
+    /// Operator names, index-aligned with [`Mutator::mutate`]'s returned
+    /// op index and [`Mutator::weights`].
+    pub fn op_names() -> &'static [&'static str] {
+        &OP_NAMES
+    }
+
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// Rewards `op` for reaching novel coverage (bounded so no operator
+    /// monopolises the table).
+    pub fn reward(&mut self, op: usize) {
+        self.weights[op] = (self.weights[op] + 0.5).min(8.0);
+    }
+
+    /// Produces one mutated child of `scenario`. Deterministic in the
+    /// RNG state; the output always passes `validate()`.
+    pub fn mutate(&self, scenario: &FaultScenario, rng: &mut StdRng) -> (FaultScenario, usize) {
+        let op = self.pick_op(rng);
+        let mut out = scenario.clone();
+        match op {
+            0 => add_event(&mut out, gen_burst(rng), rng),
+            1 => add_event(&mut out, gen_partition(rng), rng),
+            2 => {
+                // Single crash wave: replace any existing one.
+                out.events
+                    .retain(|e| !matches!(e, FaultEvent::CrashRecover { .. }));
+                add_event(&mut out, gen_crash(rng), rng);
+            }
+            3 => add_event(&mut out, gen_delay(rng), rng),
+            4 => add_event(&mut out, gen_duplicate(rng), rng),
+            5 => {
+                // Single adversary window: replace any existing one.
+                out.events
+                    .retain(|e| !matches!(e, FaultEvent::Adversary { .. }));
+                add_event(&mut out, gen_adversary(rng), rng);
+            }
+            6 => {
+                if out.events.is_empty() {
+                    reseed(&mut out, rng);
+                } else {
+                    let idx = rng.random_range(0..out.events.len());
+                    out.events.remove(idx);
+                }
+            }
+            7 => with_random_event(&mut out, rng, widen_window),
+            8 => with_random_event(&mut out, rng, shift_window),
+            9 => with_random_event(&mut out, rng, |e, r| scale_event(e, r, 1.5)),
+            10 => with_random_event(&mut out, rng, |e, r| scale_event(e, r, 0.5)),
+            _ => reseed(&mut out, rng),
+        }
+        debug_assert!(out.validate().is_ok(), "mutator produced {out:?}");
+        (out, op)
+    }
+
+    fn pick_op(&self, rng: &mut StdRng) -> usize {
+        let total: f64 = self.weights.iter().sum();
+        let mut x = rng.random::<f64>() * total;
+        for (i, w) in self.weights.iter().enumerate() {
+            x -= w;
+            if x < 0.0 {
+                return i;
+            }
+        }
+        self.weights.len() - 1
+    }
+}
+
+fn reseed(scenario: &mut FaultScenario, rng: &mut StdRng) {
+    scenario.seed = rng.random::<u64>();
+}
+
+fn add_event(scenario: &mut FaultScenario, event: FaultEvent, rng: &mut StdRng) {
+    if scenario.events.len() >= MAX_EVENTS {
+        let idx = rng.random_range(0..scenario.events.len());
+        scenario.events.remove(idx);
+    }
+    scenario.events.push(event);
+}
+
+fn with_random_event(
+    scenario: &mut FaultScenario,
+    rng: &mut StdRng,
+    apply: impl FnOnce(&mut FaultEvent, &mut StdRng),
+) {
+    if scenario.events.is_empty() {
+        reseed(scenario, rng);
+        return;
+    }
+    let idx = rng.random_range(0..scenario.events.len());
+    apply(&mut scenario.events[idx], rng);
+}
+
+/// Draws a window `[from, from + len)` with `len ∈ [1, max_len]` ending
+/// by `max_end`.
+fn gen_window(rng: &mut StdRng, max_len: u64, max_end: u64) -> (u64, u64) {
+    let len = rng.random_range(1..=max_len);
+    let from = rng.random_range(0..=(max_end - len));
+    (from, from + len)
+}
+
+fn gen_burst(rng: &mut StdRng) -> FaultEvent {
+    let (from_round, to_round) = gen_window(rng, 10, MAX_FAULT_ROUND);
+    FaultEvent::BurstLoss {
+        from_round,
+        to_round,
+        loss_rate: rng.random_range(RATE_RANGE.0..=RATE_RANGE.1),
+    }
+}
+
+fn gen_partition(rng: &mut StdRng) -> FaultEvent {
+    let (from_round, to_round) = gen_window(rng, 8, 22);
+    let kind = if rng.random_bool(0.5) {
+        PartitionKind::Bisect
+    } else {
+        PartitionKind::Islands(rng.random_range(2..=8u32))
+    };
+    FaultEvent::Partition {
+        from_round,
+        to_round,
+        kind,
+    }
+}
+
+fn gen_crash(rng: &mut StdRng) -> FaultEvent {
+    let at_round = rng.random_range(1..=18u64);
+    let gap = rng.random_range(2..=10u64);
+    FaultEvent::CrashRecover {
+        at_round,
+        recover_round: at_round + gap,
+        fraction: rng.random_range(CRASH_RANGE.0..=CRASH_RANGE.1),
+    }
+}
+
+fn gen_delay(rng: &mut StdRng) -> FaultEvent {
+    let (from_round, to_round) = gen_window(rng, 10, MAX_FAULT_ROUND);
+    FaultEvent::Delay {
+        from_round,
+        to_round,
+        extra_ticks: rng.random_range(5..=40u64),
+    }
+}
+
+fn gen_duplicate(rng: &mut StdRng) -> FaultEvent {
+    let (from_round, to_round) = gen_window(rng, 10, MAX_FAULT_ROUND);
+    FaultEvent::Duplicate {
+        from_round,
+        to_round,
+        rate: rng.random_range(RATE_RANGE.0..=RATE_RANGE.1),
+    }
+}
+
+fn gen_adversary(rng: &mut StdRng) -> FaultEvent {
+    let from_round = rng.random_range(0..=10u64);
+    let to_round = rng.random_range(25..=MAX_ADVERSARY_ROUND);
+    let model = match rng.random_range(0..4u32) {
+        0 => AdversaryModel::ValuePoisoning {
+            magnitude: rng.random_range(MAGNITUDE_RANGE.0..=MAGNITUDE_RANGE.1),
+        },
+        1 => AdversaryModel::WeightInflation {
+            factor: rng.random_range(FACTOR_RANGE.0..=FACTOR_RANGE.1),
+        },
+        2 => AdversaryModel::TargetedPartner {
+            magnitude: rng.random_range(MAGNITUDE_RANGE.0..=MAGNITUDE_RANGE.1),
+        },
+        _ => AdversaryModel::Equivocation {
+            magnitude: rng.random_range(MAGNITUDE_RANGE.0..=MAGNITUDE_RANGE.1),
+        },
+    };
+    FaultEvent::Adversary {
+        from_round,
+        to_round,
+        fraction: rng.random_range(ADVERSARY_RANGE.0..=ADVERSARY_RANGE.1),
+        model,
+    }
+}
+
+/// Extends an event's window end by 1–3 rounds, staying inside the
+/// axis's envelope (no-op when already at the edge).
+fn widen_window(event: &mut FaultEvent, rng: &mut StdRng) {
+    let extra = rng.random_range(1..=3u64);
+    match event {
+        FaultEvent::BurstLoss {
+            from_round,
+            to_round,
+            ..
+        }
+        | FaultEvent::Delay {
+            from_round,
+            to_round,
+            ..
+        }
+        | FaultEvent::Duplicate {
+            from_round,
+            to_round,
+            ..
+        } => {
+            *to_round = (*to_round + extra)
+                .min(MAX_FAULT_ROUND)
+                .min(*from_round + 10);
+        }
+        FaultEvent::Partition {
+            from_round,
+            to_round,
+            ..
+        } => {
+            *to_round = (*to_round + extra).min(22).min(*from_round + 8);
+        }
+        FaultEvent::CrashRecover {
+            at_round,
+            recover_round,
+            ..
+        } => {
+            *recover_round = (*recover_round + extra).min(28).min(*at_round + 10);
+        }
+        FaultEvent::Adversary { to_round, .. } => {
+            *to_round = (*to_round + extra).min(MAX_ADVERSARY_ROUND);
+        }
+    }
+}
+
+/// Translates an event's window by −3…+3 rounds, preserving its length
+/// and clamping to the axis envelope.
+fn shift_window(event: &mut FaultEvent, rng: &mut StdRng) {
+    let delta = rng.random_range(-3..=3i64);
+    let shift = |from: u64, to: u64, min_from: u64, max_end: u64| {
+        let len = to - from;
+        let shifted = (from as i64 + delta).max(min_from as i64) as u64;
+        let from = shifted.min(max_end - len);
+        (from, from + len)
+    };
+    match event {
+        FaultEvent::BurstLoss {
+            from_round,
+            to_round,
+            ..
+        }
+        | FaultEvent::Delay {
+            from_round,
+            to_round,
+            ..
+        }
+        | FaultEvent::Duplicate {
+            from_round,
+            to_round,
+            ..
+        } => {
+            (*from_round, *to_round) = shift(*from_round, *to_round, 0, MAX_FAULT_ROUND);
+        }
+        FaultEvent::Partition {
+            from_round,
+            to_round,
+            ..
+        } => {
+            (*from_round, *to_round) = shift(*from_round, *to_round, 0, 22);
+        }
+        FaultEvent::CrashRecover {
+            at_round,
+            recover_round,
+            ..
+        } => {
+            (*at_round, *recover_round) = shift(*at_round, *recover_round, 1, 28);
+        }
+        FaultEvent::Adversary {
+            from_round,
+            to_round,
+            ..
+        } => {
+            (*from_round, *to_round) = shift(*from_round, *to_round, 0, MAX_ADVERSARY_ROUND);
+        }
+    }
+}
+
+/// Scales an event's main intensity knob by `factor`, clamped to the
+/// axis envelope. Partition events rescale the island count instead.
+fn scale_event(event: &mut FaultEvent, rng: &mut StdRng, factor: f64) {
+    let clamp = |v: f64, range: (f64, f64)| (v * factor).clamp(range.0, range.1);
+    match event {
+        FaultEvent::BurstLoss { loss_rate, .. } => *loss_rate = clamp(*loss_rate, RATE_RANGE),
+        FaultEvent::Duplicate { rate, .. } => *rate = clamp(*rate, RATE_RANGE),
+        FaultEvent::CrashRecover { fraction, .. } => *fraction = clamp(*fraction, CRASH_RANGE),
+        FaultEvent::Delay { extra_ticks, .. } => {
+            *extra_ticks = ((*extra_ticks as f64 * factor) as u64).clamp(5, 40);
+        }
+        FaultEvent::Partition { kind, .. } => {
+            let groups = match *kind {
+                PartitionKind::Bisect => 2,
+                PartitionKind::Islands(k) => k,
+            };
+            let scaled = ((f64::from(groups) * factor) as u32).clamp(2, 8);
+            *kind = if scaled == 2 && rng.random_bool(0.5) {
+                PartitionKind::Bisect
+            } else {
+                PartitionKind::Islands(scaled)
+            };
+        }
+        FaultEvent::Adversary {
+            fraction, model, ..
+        } => {
+            if rng.random_bool(0.5) {
+                *fraction = clamp(*fraction, ADVERSARY_RANGE);
+            } else {
+                match model {
+                    AdversaryModel::ValuePoisoning { magnitude }
+                    | AdversaryModel::TargetedPartner { magnitude }
+                    | AdversaryModel::Equivocation { magnitude } => {
+                        *magnitude = clamp(*magnitude, MAGNITUDE_RANGE);
+                    }
+                    AdversaryModel::WeightInflation { factor: f } => {
+                        *f = clamp(*f, FACTOR_RANGE);
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adam2_sim::seeded_rng;
+
+    fn deep_mutate(seed: u64, steps: usize) -> FaultScenario {
+        let mutator = Mutator::new();
+        let mut rng = seeded_rng(seed);
+        let mut sc = FaultScenario::new(1);
+        for _ in 0..steps {
+            sc = mutator.mutate(&sc, &mut rng).0;
+        }
+        sc
+    }
+
+    #[test]
+    fn mutation_is_deterministic_under_fixed_seed() {
+        for seed in 0..20 {
+            assert_eq!(deep_mutate(seed, 40), deep_mutate(seed, 40));
+        }
+    }
+
+    #[test]
+    fn mutated_scenarios_always_validate() {
+        for seed in 0..50 {
+            let sc = deep_mutate(seed, 60);
+            sc.validate().expect("mutated scenario validates");
+            assert!(sc.events.len() <= MAX_EVENTS);
+        }
+    }
+
+    #[test]
+    fn envelope_respected_after_deep_mutation() {
+        for seed in 0..50 {
+            let sc = deep_mutate(seed, 60);
+            let mut crash_events = 0;
+            let mut adversary_events = 0;
+            for event in &sc.events {
+                match *event {
+                    FaultEvent::BurstLoss {
+                        to_round,
+                        loss_rate,
+                        ..
+                    } => {
+                        assert!(to_round <= MAX_FAULT_ROUND);
+                        assert!((RATE_RANGE.0..=RATE_RANGE.1).contains(&loss_rate));
+                    }
+                    FaultEvent::Partition { to_round, kind, .. } => {
+                        assert!(to_round <= 22);
+                        assert!((2..=8).contains(&kind.groups()));
+                    }
+                    FaultEvent::CrashRecover {
+                        recover_round,
+                        fraction,
+                        ..
+                    } => {
+                        crash_events += 1;
+                        assert!(recover_round <= 28);
+                        assert!((CRASH_RANGE.0..=CRASH_RANGE.1).contains(&fraction));
+                    }
+                    FaultEvent::Delay {
+                        to_round,
+                        extra_ticks,
+                        ..
+                    } => {
+                        assert!(to_round <= MAX_FAULT_ROUND);
+                        assert!((5..=40).contains(&extra_ticks));
+                    }
+                    FaultEvent::Duplicate { to_round, rate, .. } => {
+                        assert!(to_round <= MAX_FAULT_ROUND);
+                        assert!((RATE_RANGE.0..=RATE_RANGE.1).contains(&rate));
+                    }
+                    FaultEvent::Adversary {
+                        to_round,
+                        fraction,
+                        ref model,
+                        ..
+                    } => {
+                        adversary_events += 1;
+                        assert!(to_round <= MAX_ADVERSARY_ROUND);
+                        assert!((ADVERSARY_RANGE.0..=ADVERSARY_RANGE.1).contains(&fraction));
+                        match *model {
+                            AdversaryModel::WeightInflation { factor } => {
+                                assert!((FACTOR_RANGE.0..=FACTOR_RANGE.1).contains(&factor));
+                            }
+                            AdversaryModel::ValuePoisoning { magnitude }
+                            | AdversaryModel::TargetedPartner { magnitude }
+                            | AdversaryModel::Equivocation { magnitude } => {
+                                assert!(
+                                    (MAGNITUDE_RANGE.0..=MAGNITUDE_RANGE.1).contains(&magnitude)
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+            assert!(crash_events <= 1, "at most one crash wave");
+            assert!(adversary_events <= 1, "at most one adversary window");
+        }
+    }
+
+    #[test]
+    fn every_operator_reachable_and_valid() {
+        // Drive each op directly by skewing the table to a single op.
+        let mut rng = seeded_rng(9);
+        let base = deep_mutate(3, 20);
+        for op in 0..OP_NAMES.len() {
+            let mut mutator = Mutator::new();
+            mutator.weights = [0.0; OP_NAMES.len()];
+            mutator.weights[op] = 1.0;
+            for _ in 0..20 {
+                let (sc, picked) = mutator.mutate(&base, &mut rng);
+                assert_eq!(picked, op);
+                sc.validate().expect("valid under forced op");
+            }
+        }
+    }
+
+    #[test]
+    fn rewards_shift_the_table() {
+        let mut mutator = Mutator::new();
+        for _ in 0..4 {
+            mutator.reward(2);
+        }
+        assert!(mutator.weights()[2] > mutator.weights()[0]);
+        // Bounded: rewards saturate.
+        for _ in 0..100 {
+            mutator.reward(2);
+        }
+        assert!(mutator.weights()[2] <= 8.0);
+    }
+}

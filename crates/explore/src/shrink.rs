@@ -1,0 +1,341 @@
+//! Delta-debugging shrinker: reduce a violating scenario to a minimal
+//! form that still violates the *same* invariant.
+//!
+//! Candidate reductions, tried greedily to a fixpoint under a run
+//! budget:
+//!
+//! 1. drop one fault event entirely (fewer active fault axes),
+//! 2. halve one event's window length,
+//! 3. halve one event's intensity (rate / fraction / magnitude / ticks).
+//!
+//! A candidate is accepted when the oracle returns the same verdict
+//! kind; the first accepted candidate restarts the scan (classic ddmin
+//! greedy descent). Deterministic: candidates are generated in a fixed
+//! order and the oracle itself is deterministic. The population size is
+//! fixed per campaign — the corpus entry records it — so "shrink N" is
+//! the replayer's job, not the shrinker's.
+
+use adam2_sim::{FaultEvent, FaultScenario};
+
+use crate::oracle::{Oracle, RunOutcome};
+
+/// Result of shrinking one violation.
+#[derive(Debug, Clone)]
+pub struct ShrinkOutcome {
+    /// The minimal still-violating scenario.
+    pub scenario: FaultScenario,
+    /// The oracle outcome of the minimal scenario.
+    pub outcome: RunOutcome,
+    /// Oracle runs spent shrinking.
+    pub runs: usize,
+}
+
+/// Halves a window `[from, to)` (length ≥ 1 preserved); `None` when the
+/// window is already minimal.
+fn halve_window(from: u64, to: u64) -> Option<u64> {
+    let len = to - from;
+    (len >= 2).then(|| from + len / 2)
+}
+
+/// Halves an event's intensity; `None` when already below the point
+/// where halving again is meaningful.
+fn halve_intensity(event: &FaultEvent) -> Option<FaultEvent> {
+    let mut out = *event;
+    match &mut out {
+        FaultEvent::BurstLoss { loss_rate, .. } => {
+            if *loss_rate < 0.02 {
+                return None;
+            }
+            *loss_rate /= 2.0;
+        }
+        FaultEvent::Duplicate { rate, .. } => {
+            if *rate < 0.02 {
+                return None;
+            }
+            *rate /= 2.0;
+        }
+        FaultEvent::CrashRecover { fraction, .. } => {
+            if *fraction < 0.02 {
+                return None;
+            }
+            *fraction /= 2.0;
+        }
+        FaultEvent::Delay { extra_ticks, .. } => {
+            if *extra_ticks < 2 {
+                return None;
+            }
+            *extra_ticks /= 2;
+        }
+        FaultEvent::Adversary {
+            fraction, model, ..
+        } => {
+            if *fraction >= 0.02 {
+                *fraction /= 2.0;
+            } else {
+                use adam2_sim::AdversaryModel::*;
+                match model {
+                    ValuePoisoning { magnitude }
+                    | TargetedPartner { magnitude }
+                    | Equivocation { magnitude } => {
+                        if *magnitude < 2.0 {
+                            return None;
+                        }
+                        *magnitude /= 2.0;
+                    }
+                    WeightInflation { factor } => {
+                        if *factor < 2.0 {
+                            return None;
+                        }
+                        *factor /= 2.0;
+                    }
+                }
+            }
+        }
+        FaultEvent::Partition { .. } => return None,
+    }
+    Some(out)
+}
+
+/// All one-step reductions of `scenario`, in deterministic order.
+fn candidates(scenario: &FaultScenario) -> Vec<FaultScenario> {
+    let mut out = Vec::new();
+    // Drop each event (most aggressive first: it removes a whole axis).
+    for idx in 0..scenario.events.len() {
+        let mut sc = scenario.clone();
+        sc.events.remove(idx);
+        out.push(sc);
+    }
+    // Halve each window.
+    for idx in 0..scenario.events.len() {
+        let halved = match scenario.events[idx] {
+            FaultEvent::BurstLoss {
+                from_round,
+                to_round,
+                ..
+            }
+            | FaultEvent::Partition {
+                from_round,
+                to_round,
+                ..
+            }
+            | FaultEvent::Delay {
+                from_round,
+                to_round,
+                ..
+            }
+            | FaultEvent::Duplicate {
+                from_round,
+                to_round,
+                ..
+            }
+            | FaultEvent::Adversary {
+                from_round,
+                to_round,
+                ..
+            } => halve_window(from_round, to_round),
+            FaultEvent::CrashRecover {
+                at_round,
+                recover_round,
+                ..
+            } => {
+                // Keep the crash–recover gap ≥ 1 (validate requires
+                // recover > at).
+                let new = at_round + (recover_round - at_round) / 2;
+                (new > at_round && new < recover_round).then_some(new)
+            }
+        };
+        if let Some(new_end) = halved {
+            let mut sc = scenario.clone();
+            match &mut sc.events[idx] {
+                FaultEvent::BurstLoss { to_round, .. }
+                | FaultEvent::Partition { to_round, .. }
+                | FaultEvent::Delay { to_round, .. }
+                | FaultEvent::Duplicate { to_round, .. }
+                | FaultEvent::Adversary { to_round, .. } => *to_round = new_end,
+                FaultEvent::CrashRecover { recover_round, .. } => *recover_round = new_end,
+            }
+            out.push(sc);
+        }
+    }
+    // Halve each intensity.
+    for idx in 0..scenario.events.len() {
+        if let Some(event) = halve_intensity(&scenario.events[idx]) {
+            let mut sc = scenario.clone();
+            sc.events[idx] = event;
+            out.push(sc);
+        }
+    }
+    out.retain(|sc| sc.validate().is_ok());
+    out
+}
+
+/// Greedily shrinks `scenario` (whose judged outcome is `outcome`) under
+/// a budget of at most `budget` oracle runs.
+pub fn shrink(
+    oracle: &Oracle,
+    scenario: &FaultScenario,
+    outcome: &RunOutcome,
+    budget: usize,
+) -> ShrinkOutcome {
+    let mut current = scenario.clone();
+    let mut current_outcome = outcome.clone();
+    let mut runs = 0;
+    'descent: while runs < budget {
+        for candidate in candidates(&current) {
+            if runs >= budget {
+                break 'descent;
+            }
+            runs += 1;
+            let judged = oracle.run(&candidate);
+            if judged.verdict == current_outcome.verdict {
+                current = candidate;
+                current_outcome = judged;
+                continue 'descent;
+            }
+        }
+        break; // fixpoint: no candidate preserved the violation
+    }
+    ShrinkOutcome {
+        scenario: current,
+        outcome: current_outcome,
+        runs,
+    }
+}
+
+/// True when `minimal` is strictly smaller than `first`: fewer events,
+/// or equal events with at least one window/intensity strictly reduced
+/// and none increased.
+pub fn strictly_smaller(first: &FaultScenario, minimal: &FaultScenario) -> bool {
+    if minimal.events.len() < first.events.len() {
+        return true;
+    }
+    if minimal.events.len() != first.events.len() {
+        return false;
+    }
+    fn measures(event: &FaultEvent) -> (u64, f64) {
+        match *event {
+            FaultEvent::BurstLoss {
+                from_round,
+                to_round,
+                loss_rate,
+            } => (to_round - from_round, loss_rate),
+            FaultEvent::Partition {
+                from_round,
+                to_round,
+                ..
+            } => (to_round - from_round, 0.0),
+            FaultEvent::CrashRecover {
+                at_round,
+                recover_round,
+                fraction,
+            } => (recover_round - at_round, fraction),
+            FaultEvent::Delay {
+                from_round,
+                to_round,
+                extra_ticks,
+            } => (to_round - from_round, extra_ticks as f64),
+            FaultEvent::Duplicate {
+                from_round,
+                to_round,
+                rate,
+            } => (to_round - from_round, rate),
+            FaultEvent::Adversary {
+                from_round,
+                to_round,
+                fraction,
+                ref model,
+            } => {
+                let lie = match *model {
+                    adam2_sim::AdversaryModel::ValuePoisoning { magnitude }
+                    | adam2_sim::AdversaryModel::TargetedPartner { magnitude }
+                    | adam2_sim::AdversaryModel::Equivocation { magnitude } => magnitude,
+                    adam2_sim::AdversaryModel::WeightInflation { factor } => factor,
+                };
+                (to_round - from_round, fraction + lie)
+            }
+        }
+    }
+    let mut any_smaller = false;
+    for (a, b) in first.events.iter().zip(&minimal.events) {
+        let (wa, ia) = measures(a);
+        let (wb, ib) = measures(b);
+        if wb > wa || ib > ia + 1e-12 {
+            return false;
+        }
+        if wb < wa || ib < ia - 1e-12 {
+            any_smaller = true;
+        }
+    }
+    any_smaller
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::{ConfigKind, OracleConfig};
+    use adam2_sim::PartitionKind;
+
+    #[test]
+    fn candidate_generation_covers_all_reductions() {
+        let sc = FaultScenario::new(1)
+            .with_burst_loss(5, 15, 0.2)
+            .with_partition(10, 20, PartitionKind::Bisect);
+        let cands = candidates(&sc);
+        // 2 drops + 2 window halvings + 1 intensity halving (partition
+        // has no intensity).
+        assert_eq!(cands.len(), 5);
+        for c in &cands {
+            c.validate().expect("candidates validate");
+        }
+    }
+
+    #[test]
+    fn shrinks_compound_violation_to_single_axis() {
+        let oracle = Oracle::new(OracleConfig::new(ConfigKind::Vanilla).with_nodes(200));
+        // Burst loss leaks mass; the partition and delay are passengers
+        // the shrinker should strip away.
+        let sc = FaultScenario::new(7)
+            .with_burst_loss(5, 15, 0.3)
+            .with_partition(10, 18, PartitionKind::Bisect)
+            .with_delay(0, 9, 20);
+        let outcome = oracle.run(&sc);
+        assert!(outcome.verdict.is_violation(), "seed scenario violates");
+        let shrunk = shrink(&oracle, &sc, &outcome, 60);
+        assert_eq!(shrunk.outcome.verdict, outcome.verdict);
+        assert!(
+            strictly_smaller(&sc, &shrunk.scenario),
+            "minimal {:?} not smaller than first {:?}",
+            shrunk.scenario,
+            sc
+        );
+        assert!(
+            shrunk.scenario.events.len() < sc.events.len(),
+            "passenger axes removed: {:?}",
+            shrunk.scenario
+        );
+        assert!(shrunk.runs <= 60);
+    }
+
+    #[test]
+    fn clear_scenario_budget_zero_is_identity() {
+        let oracle = Oracle::new(OracleConfig::new(ConfigKind::Vanilla).with_nodes(200));
+        let sc = FaultScenario::new(7).with_burst_loss(5, 15, 0.3);
+        let outcome = oracle.run(&sc);
+        let shrunk = shrink(&oracle, &sc, &outcome, 0);
+        assert_eq!(shrunk.scenario, sc);
+        assert_eq!(shrunk.runs, 0);
+    }
+
+    #[test]
+    fn strictly_smaller_comparisons() {
+        let base = FaultScenario::new(1).with_burst_loss(5, 15, 0.2);
+        let shorter = FaultScenario::new(1).with_burst_loss(5, 10, 0.2);
+        let weaker = FaultScenario::new(1).with_burst_loss(5, 15, 0.1);
+        let bigger = FaultScenario::new(1).with_burst_loss(5, 15, 0.4);
+        assert!(strictly_smaller(&base, &shorter));
+        assert!(strictly_smaller(&base, &weaker));
+        assert!(!strictly_smaller(&base, &bigger));
+        assert!(!strictly_smaller(&base, &base));
+        assert!(strictly_smaller(&base, &FaultScenario::new(1)));
+    }
+}

@@ -1,0 +1,48 @@
+//! Replays the committed regression corpus (`corpus/` at the repository
+//! root) and demands bit-identical outcomes: same verdict, same run
+//! fingerprint. Every scenario the explorer ever shrank to minimal form
+//! — and every hand-picked cleared scenario — stays a permanent
+//! regression test through this file.
+//!
+//! Regenerate the corpus with
+//! `bench_explore --nodes 400 --emit-corpus corpus` after an intentional
+//! engine change, and review the diff: a verdict flip is a behaviour
+//! change, not noise.
+
+use std::path::Path;
+
+use adam2_explore::corpus::{load_dir, replay};
+
+#[test]
+fn committed_corpus_replays_bit_identically() {
+    let dir = Path::new(concat!(env!("CARGO_MANIFEST_DIR"), "/../../corpus"));
+    let entries = load_dir(dir).expect("committed corpus loads");
+    assert!(
+        entries.len() >= 8,
+        "seed corpus has at least the 4 fault shapes and 4 attacks, got {}",
+        entries.len()
+    );
+    let results = replay(&entries);
+    let failures: Vec<String> = results
+        .iter()
+        .filter(|r| !r.ok())
+        .map(|r| {
+            format!(
+                "{}: expected {} got {} (fingerprint {})",
+                r.name,
+                r.expected.as_str(),
+                r.got.as_str(),
+                if r.fingerprint_matched {
+                    "match"
+                } else {
+                    "MISMATCH"
+                }
+            )
+        })
+        .collect();
+    assert!(
+        failures.is_empty(),
+        "corpus entries changed behaviour:\n{}",
+        failures.join("\n")
+    );
+}

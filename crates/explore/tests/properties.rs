@@ -1,0 +1,89 @@
+//! Property-based tests of the scenario mutator: whatever the fuzzer
+//! produces must be a *valid* scenario (the oracle trusts `validate()`
+//! and never re-checks), and mutation must be a pure function of
+//! (parent, RNG seed) so campaigns replay bit-identically.
+
+use proptest::prelude::*;
+
+use adam2_explore::mutate::Mutator;
+use adam2_sim::{derive_seed, seeded_rng, FaultScenario, PartitionKind};
+
+/// A small pool of valid parents covering every fault axis; property
+/// cases pick one by index and then walk it through chained mutations.
+fn parents() -> Vec<FaultScenario> {
+    vec![
+        FaultScenario::new(1),
+        FaultScenario::new(2).with_burst_loss(5, 15, 0.2),
+        FaultScenario::new(3)
+            .with_burst_loss(5, 15, 0.2)
+            .with_partition(10, 20, PartitionKind::Bisect),
+        FaultScenario::new(4).with_crash_recover(8, 16, 0.1),
+        FaultScenario::new(5)
+            .with_delay(0, 9, 20)
+            .with_duplication(3, 12, 0.15),
+        FaultScenario::new(6).with_adversary(
+            0,
+            30,
+            0.1,
+            adam2_sim::AdversaryModel::ValuePoisoning { magnitude: 5.0 },
+        ),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn mutated_scenarios_always_validate(
+        parent_idx in 0usize..6,
+        seed in any::<u64>(),
+        steps in 1usize..8,
+    ) {
+        let mutator = Mutator::new();
+        let mut scenario = parents()[parent_idx].clone();
+        let mut rng = seeded_rng(seed);
+        // Chained mutation — each child becomes the next parent, so
+        // validity must be closed under arbitrarily deep mutation.
+        for step in 0..steps {
+            let (child, op) = mutator.mutate(&scenario, &mut rng);
+            prop_assert!(op < Mutator::op_names().len());
+            prop_assert!(
+                child.validate().is_ok(),
+                "step {step} op {} produced invalid scenario {:?} from {:?}",
+                Mutator::op_names()[op],
+                child,
+                scenario,
+            );
+            scenario = child;
+        }
+    }
+
+    #[test]
+    fn mutation_is_deterministic_under_fixed_seed(
+        parent_idx in 0usize..6,
+        seed in any::<u64>(),
+    ) {
+        let mutator = Mutator::new();
+        let parent = &parents()[parent_idx];
+        let (a, op_a) = mutator.mutate(parent, &mut seeded_rng(seed));
+        let (b, op_b) = mutator.mutate(parent, &mut seeded_rng(seed));
+        prop_assert_eq!(&a, &b, "same seed, same child");
+        prop_assert_eq!(op_a, op_b);
+        // A derived stream is a different but equally valid draw (the
+        // campaign keys each iteration off `derive_seed(master, i)`).
+        let (c, _) = mutator.mutate(parent, &mut seeded_rng(derive_seed(seed, 1)));
+        prop_assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn rewarded_weights_stay_normalisable(
+        ops in prop::collection::vec(0usize..8, 1..40),
+    ) {
+        let mut mutator = Mutator::new();
+        let n_ops = Mutator::op_names().len();
+        for op in ops {
+            mutator.reward(op % n_ops);
+        }
+        let weights = mutator.weights();
+        prop_assert_eq!(weights.len(), n_ops);
+        prop_assert!(weights.iter().all(|w| w.is_finite() && *w > 0.0));
+    }
+}

@@ -62,6 +62,7 @@ mod node;
 mod overlay;
 pub mod peersampling;
 mod rng;
+mod scenario_json;
 mod stats;
 mod telemetry;
 mod wheel;

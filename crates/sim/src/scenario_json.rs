@@ -1,0 +1,502 @@
+//! JSON round-trip for [`FaultScenario`] via the offline `serde` stub's
+//! document model ([`serde::json`]).
+//!
+//! The explorer's regression corpus (`adam2-explore`) persists found
+//! scenarios as plain JSON so a human can read, edit, and commit them.
+//! Encoding is deterministic (fixed key order, shortest-round-trip
+//! floats, `u64` seeds as integer literals) so a decode→encode cycle is
+//! byte-identical; decoding is strict — unknown fields, missing fields,
+//! wrong types, and semantically invalid scenarios (via
+//! [`FaultScenario::validate`]) are all rejected with an error rather
+//! than a panic, which the fuzz tests below exercise.
+//!
+//! Wire shape:
+//!
+//! ```json
+//! {"seed":42,"events":[
+//!   {"kind":"burst_loss","from_round":5,"to_round":15,"loss_rate":0.2},
+//!   {"kind":"partition","from_round":10,"to_round":20,"shape":"islands","groups":4},
+//!   {"kind":"crash_recover","at_round":8,"recover_round":16,"fraction":0.1},
+//!   {"kind":"delay","from_round":0,"to_round":9,"extra_ticks":40},
+//!   {"kind":"duplicate","from_round":0,"to_round":9,"rate":0.3},
+//!   {"kind":"adversary","from_round":0,"to_round":38,"fraction":0.1,
+//!    "model":{"kind":"value_poisoning","magnitude":5.0}}
+//! ]}
+//! ```
+
+use serde::json::{self, Value};
+
+use crate::engine::SimConfigError;
+use crate::faults::{AdversaryModel, FaultEvent, FaultScenario, PartitionKind};
+
+fn err(message: impl Into<String>) -> SimConfigError {
+    SimConfigError::new(message)
+}
+
+/// Extracts a required `u64` field.
+fn field_u64(obj: &Value, key: &str) -> Result<u64, SimConfigError> {
+    obj.get(key).and_then(Value::as_u64).ok_or_else(|| {
+        err(format!(
+            "scenario json: missing or non-integer field `{key}`"
+        ))
+    })
+}
+
+/// Extracts a required finite-or-not numeric field (validate() does the
+/// range checking; decode only cares about the type).
+fn field_f64(obj: &Value, key: &str) -> Result<f64, SimConfigError> {
+    obj.get(key).and_then(Value::as_f64).ok_or_else(|| {
+        err(format!(
+            "scenario json: missing or non-number field `{key}`"
+        ))
+    })
+}
+
+fn field_str<'a>(obj: &'a Value, key: &str) -> Result<&'a str, SimConfigError> {
+    obj.get(key).and_then(Value::as_str).ok_or_else(|| {
+        err(format!(
+            "scenario json: missing or non-string field `{key}`"
+        ))
+    })
+}
+
+/// Rejects any key outside `allowed` — corpus files are committed
+/// artifacts, and a typo'd field silently ignored would make a scenario
+/// replay something other than what the file says.
+fn check_keys(obj: &Value, allowed: &[&str]) -> Result<(), SimConfigError> {
+    let pairs = obj
+        .as_object()
+        .ok_or_else(|| err("scenario json: expected an object"))?;
+    for (key, _) in pairs {
+        if !allowed.contains(&key.as_str()) {
+            return Err(err(format!("scenario json: unknown field `{key}`")));
+        }
+    }
+    Ok(())
+}
+
+fn model_to_value(model: &AdversaryModel) -> Value {
+    let (kind, param, value) = match *model {
+        AdversaryModel::ValuePoisoning { magnitude } => ("value_poisoning", "magnitude", magnitude),
+        AdversaryModel::WeightInflation { factor } => ("weight_inflation", "factor", factor),
+        AdversaryModel::TargetedPartner { magnitude } => {
+            ("targeted_partner", "magnitude", magnitude)
+        }
+        AdversaryModel::Equivocation { magnitude } => ("equivocation", "magnitude", magnitude),
+    };
+    Value::Object(vec![
+        ("kind".to_string(), Value::String(kind.to_string())),
+        (param.to_string(), Value::Number(value)),
+    ])
+}
+
+fn model_from_value(value: &Value) -> Result<AdversaryModel, SimConfigError> {
+    let kind = field_str(value, "kind")?;
+    let model = match kind {
+        "value_poisoning" => {
+            check_keys(value, &["kind", "magnitude"])?;
+            AdversaryModel::ValuePoisoning {
+                magnitude: field_f64(value, "magnitude")?,
+            }
+        }
+        "weight_inflation" => {
+            check_keys(value, &["kind", "factor"])?;
+            AdversaryModel::WeightInflation {
+                factor: field_f64(value, "factor")?,
+            }
+        }
+        "targeted_partner" => {
+            check_keys(value, &["kind", "magnitude"])?;
+            AdversaryModel::TargetedPartner {
+                magnitude: field_f64(value, "magnitude")?,
+            }
+        }
+        "equivocation" => {
+            check_keys(value, &["kind", "magnitude"])?;
+            AdversaryModel::Equivocation {
+                magnitude: field_f64(value, "magnitude")?,
+            }
+        }
+        other => {
+            return Err(err(format!(
+                "scenario json: unknown adversary model `{other}`"
+            )))
+        }
+    };
+    Ok(model)
+}
+
+fn event_to_value(event: &FaultEvent) -> Value {
+    let kind = |s: &str| ("kind".to_string(), Value::String(s.to_string()));
+    match *event {
+        FaultEvent::BurstLoss {
+            from_round,
+            to_round,
+            loss_rate,
+        } => Value::Object(vec![
+            kind("burst_loss"),
+            ("from_round".to_string(), Value::Uint(from_round)),
+            ("to_round".to_string(), Value::Uint(to_round)),
+            ("loss_rate".to_string(), Value::Number(loss_rate)),
+        ]),
+        FaultEvent::Partition {
+            from_round,
+            to_round,
+            kind: cut,
+        } => {
+            let mut pairs = vec![
+                kind("partition"),
+                ("from_round".to_string(), Value::Uint(from_round)),
+                ("to_round".to_string(), Value::Uint(to_round)),
+            ];
+            match cut {
+                PartitionKind::Bisect => {
+                    pairs.push(("shape".to_string(), Value::String("bisect".to_string())));
+                }
+                PartitionKind::Islands(k) => {
+                    pairs.push(("shape".to_string(), Value::String("islands".to_string())));
+                    pairs.push(("groups".to_string(), Value::Uint(u64::from(k))));
+                }
+            }
+            Value::Object(pairs)
+        }
+        FaultEvent::CrashRecover {
+            at_round,
+            recover_round,
+            fraction,
+        } => Value::Object(vec![
+            kind("crash_recover"),
+            ("at_round".to_string(), Value::Uint(at_round)),
+            ("recover_round".to_string(), Value::Uint(recover_round)),
+            ("fraction".to_string(), Value::Number(fraction)),
+        ]),
+        FaultEvent::Delay {
+            from_round,
+            to_round,
+            extra_ticks,
+        } => Value::Object(vec![
+            kind("delay"),
+            ("from_round".to_string(), Value::Uint(from_round)),
+            ("to_round".to_string(), Value::Uint(to_round)),
+            ("extra_ticks".to_string(), Value::Uint(extra_ticks)),
+        ]),
+        FaultEvent::Duplicate {
+            from_round,
+            to_round,
+            rate,
+        } => Value::Object(vec![
+            kind("duplicate"),
+            ("from_round".to_string(), Value::Uint(from_round)),
+            ("to_round".to_string(), Value::Uint(to_round)),
+            ("rate".to_string(), Value::Number(rate)),
+        ]),
+        FaultEvent::Adversary {
+            from_round,
+            to_round,
+            fraction,
+            ref model,
+        } => Value::Object(vec![
+            kind("adversary"),
+            ("from_round".to_string(), Value::Uint(from_round)),
+            ("to_round".to_string(), Value::Uint(to_round)),
+            ("fraction".to_string(), Value::Number(fraction)),
+            ("model".to_string(), model_to_value(model)),
+        ]),
+    }
+}
+
+fn event_from_value(value: &Value) -> Result<FaultEvent, SimConfigError> {
+    let kind = field_str(value, "kind")?;
+    let event = match kind {
+        "burst_loss" => {
+            check_keys(value, &["kind", "from_round", "to_round", "loss_rate"])?;
+            FaultEvent::BurstLoss {
+                from_round: field_u64(value, "from_round")?,
+                to_round: field_u64(value, "to_round")?,
+                loss_rate: field_f64(value, "loss_rate")?,
+            }
+        }
+        "partition" => {
+            check_keys(
+                value,
+                &["kind", "from_round", "to_round", "shape", "groups"],
+            )?;
+            let cut = match field_str(value, "shape")? {
+                "bisect" => {
+                    if value.get("groups").is_some() {
+                        return Err(err("scenario json: `groups` is only valid for islands"));
+                    }
+                    PartitionKind::Bisect
+                }
+                "islands" => {
+                    let groups = field_u64(value, "groups")?;
+                    let groups = u32::try_from(groups)
+                        .map_err(|_| err("scenario json: `groups` out of range"))?;
+                    PartitionKind::Islands(groups)
+                }
+                other => {
+                    return Err(err(format!(
+                        "scenario json: unknown partition shape `{other}`"
+                    )))
+                }
+            };
+            FaultEvent::Partition {
+                from_round: field_u64(value, "from_round")?,
+                to_round: field_u64(value, "to_round")?,
+                kind: cut,
+            }
+        }
+        "crash_recover" => {
+            check_keys(value, &["kind", "at_round", "recover_round", "fraction"])?;
+            FaultEvent::CrashRecover {
+                at_round: field_u64(value, "at_round")?,
+                recover_round: field_u64(value, "recover_round")?,
+                fraction: field_f64(value, "fraction")?,
+            }
+        }
+        "delay" => {
+            check_keys(value, &["kind", "from_round", "to_round", "extra_ticks"])?;
+            FaultEvent::Delay {
+                from_round: field_u64(value, "from_round")?,
+                to_round: field_u64(value, "to_round")?,
+                extra_ticks: field_u64(value, "extra_ticks")?,
+            }
+        }
+        "duplicate" => {
+            check_keys(value, &["kind", "from_round", "to_round", "rate"])?;
+            FaultEvent::Duplicate {
+                from_round: field_u64(value, "from_round")?,
+                to_round: field_u64(value, "to_round")?,
+                rate: field_f64(value, "rate")?,
+            }
+        }
+        "adversary" => {
+            check_keys(
+                value,
+                &["kind", "from_round", "to_round", "fraction", "model"],
+            )?;
+            let model = value
+                .get("model")
+                .ok_or_else(|| err("scenario json: missing field `model`"))?;
+            FaultEvent::Adversary {
+                from_round: field_u64(value, "from_round")?,
+                to_round: field_u64(value, "to_round")?,
+                fraction: field_f64(value, "fraction")?,
+                model: model_from_value(model)?,
+            }
+        }
+        other => return Err(err(format!("scenario json: unknown event kind `{other}`"))),
+    };
+    Ok(event)
+}
+
+impl FaultScenario {
+    /// Encodes the scenario as a [`Value`] tree (see the module docs for
+    /// the wire shape).
+    pub fn to_json_value(&self) -> Value {
+        Value::Object(vec![
+            ("seed".to_string(), Value::Uint(self.seed)),
+            (
+                "events".to_string(),
+                Value::Array(self.events.iter().map(event_to_value).collect()),
+            ),
+        ])
+    }
+
+    /// Encodes the scenario as compact JSON text.
+    pub fn to_json(&self) -> String {
+        self.to_json_value().to_json()
+    }
+
+    /// Decodes a scenario from a [`Value`] tree. Strict: unknown fields
+    /// are rejected, and the decoded scenario must pass
+    /// [`FaultScenario::validate`].
+    pub fn from_json_value(value: &Value) -> Result<Self, SimConfigError> {
+        check_keys(value, &["seed", "events"])?;
+        let seed = field_u64(value, "seed")?;
+        let events = value
+            .get("events")
+            .and_then(Value::as_array)
+            .ok_or_else(|| err("scenario json: missing or non-array field `events`"))?;
+        let events = events
+            .iter()
+            .map(event_from_value)
+            .collect::<Result<Vec<_>, _>>()?;
+        let scenario = FaultScenario { seed, events };
+        scenario.validate()?;
+        Ok(scenario)
+    }
+
+    /// Decodes a scenario from JSON text produced by
+    /// [`FaultScenario::to_json`] (or written by hand). Malformed syntax,
+    /// unknown fields, and invalid scenarios all return `Err`; this never
+    /// panics.
+    pub fn from_json(text: &str) -> Result<Self, SimConfigError> {
+        let value = json::parse(text).map_err(|e| err(format!("scenario json: {e}")))?;
+        Self::from_json_value(&value)
+    }
+}
+
+// The derive-ready marker impls: with the real `serde` these would be
+// `#[derive(Serialize, Deserialize)]`; the hand-rolled codec above is the
+// actual implementation either way.
+impl serde::Serialize for FaultScenario {}
+impl serde::Deserialize for FaultScenario {}
+impl serde::Serialize for AdversaryModel {}
+impl serde::Deserialize for AdversaryModel {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::seeded_rng;
+    use rand::RngExt as _;
+
+    /// One scenario touching every event kind and every adversary model
+    /// field shape.
+    fn kitchen_sink() -> FaultScenario {
+        FaultScenario::new(0xDEAD_BEEF_CAFE_F00D)
+            .with_burst_loss(5, 15, 0.2)
+            .with_partition(10, 20, PartitionKind::Bisect)
+            .with_partition(12, 18, PartitionKind::Islands(4))
+            .with_crash_recover(8, 16, 0.1)
+            .with_delay(0, 9, 40)
+            .with_duplication(3, 7, 0.25)
+            .with_adversary(
+                0,
+                38,
+                0.1,
+                AdversaryModel::ValuePoisoning { magnitude: 5.0 },
+            )
+    }
+
+    #[test]
+    fn round_trip_preserves_scenario() {
+        let scenario = kitchen_sink();
+        let text = scenario.to_json();
+        let back = FaultScenario::from_json(&text).expect("round trip decodes");
+        assert_eq!(back, scenario);
+        // Encoding is deterministic: decode → encode is byte-identical.
+        assert_eq!(back.to_json(), text);
+    }
+
+    #[test]
+    fn round_trip_every_adversary_model() {
+        for model in [
+            AdversaryModel::ValuePoisoning { magnitude: 5.0 },
+            AdversaryModel::WeightInflation { factor: 8.0 },
+            AdversaryModel::TargetedPartner { magnitude: 3.5 },
+            AdversaryModel::Equivocation { magnitude: 2.0 },
+        ] {
+            let scenario = FaultScenario::new(7).with_adversary(1, 9, 0.05, model);
+            let back = FaultScenario::from_json(&scenario.to_json()).unwrap();
+            assert_eq!(back, scenario);
+        }
+    }
+
+    #[test]
+    fn full_range_seed_survives() {
+        let scenario = FaultScenario::new(u64::MAX).with_burst_loss(0, 1, 0.5);
+        let back = FaultScenario::from_json(&scenario.to_json()).unwrap();
+        assert_eq!(back.seed, u64::MAX);
+    }
+
+    #[test]
+    fn bisect_and_islands_stay_distinct() {
+        let bisect = FaultScenario::new(1).with_partition(0, 5, PartitionKind::Bisect);
+        let islands = FaultScenario::new(1).with_partition(0, 5, PartitionKind::Islands(2));
+        assert_ne!(bisect.to_json(), islands.to_json());
+        assert_eq!(FaultScenario::from_json(&bisect.to_json()).unwrap(), bisect);
+        assert_eq!(
+            FaultScenario::from_json(&islands.to_json()).unwrap(),
+            islands
+        );
+    }
+
+    #[test]
+    fn unknown_fields_rejected() {
+        for text in [
+            r#"{"seed":1,"events":[],"extra":0}"#,
+            r#"{"seed":1,"events":[{"kind":"burst_loss","from_round":0,"to_round":1,"loss_rate":0.1,"x":0}]}"#,
+            r#"{"seed":1,"events":[{"kind":"partition","from_round":0,"to_round":1,"shape":"bisect","groups":2}]}"#,
+            r#"{"seed":1,"events":[{"kind":"adversary","from_round":0,"to_round":1,"fraction":0.1,"model":{"kind":"value_poisoning","magnitude":2.0,"y":1}}]}"#,
+        ] {
+            assert!(FaultScenario::from_json(text).is_err(), "accepted {text}");
+        }
+    }
+
+    #[test]
+    fn invalid_scenarios_rejected_on_decode() {
+        for text in [
+            // loss_rate out of range
+            r#"{"seed":1,"events":[{"kind":"burst_loss","from_round":0,"to_round":1,"loss_rate":1.5}]}"#,
+            // inverted window
+            r#"{"seed":1,"events":[{"kind":"burst_loss","from_round":5,"to_round":2,"loss_rate":0.1}]}"#,
+            // recover before crash
+            r#"{"seed":1,"events":[{"kind":"crash_recover","at_round":5,"recover_round":5,"fraction":0.1}]}"#,
+            // single-island partition
+            r#"{"seed":1,"events":[{"kind":"partition","from_round":0,"to_round":1,"shape":"islands","groups":1}]}"#,
+        ] {
+            assert!(FaultScenario::from_json(text).is_err(), "accepted {text}");
+        }
+    }
+
+    #[test]
+    fn type_confusion_rejected() {
+        for text in [
+            r#"{"seed":"one","events":[]}"#,
+            r#"{"seed":1,"events":{}}"#,
+            r#"{"seed":1.5,"events":[]}"#,
+            r#"{"seed":1,"events":[null]}"#,
+            r#"{"seed":1,"events":[{"kind":7}]}"#,
+            r#"[]"#,
+            r#"null"#,
+        ] {
+            assert!(FaultScenario::from_json(text).is_err(), "accepted {text}");
+        }
+    }
+
+    /// Seeded byte-mutation fuzz: corrupting a valid corpus document must
+    /// produce `Err` or a valid scenario — never a panic, and never an
+    /// invalid scenario slipping through `validate()`.
+    #[test]
+    fn fuzz_mutated_documents_never_panic() {
+        let base = kitchen_sink().to_json().into_bytes();
+        let mut rng = seeded_rng(0x5EED_F00D);
+        for _ in 0..2000 {
+            let mut bytes = base.clone();
+            for _ in 0..rng.random_range(1..4usize) {
+                match rng.random_range(0..3u32) {
+                    0 if !bytes.is_empty() => {
+                        let i = rng.random_range(0..bytes.len());
+                        bytes[i] = rng.random_range(0..=255u8);
+                    }
+                    1 if !bytes.is_empty() => {
+                        let i = rng.random_range(0..bytes.len());
+                        bytes.remove(i);
+                    }
+                    _ => {
+                        let i = rng.random_range(0..=bytes.len());
+                        bytes.insert(i, rng.random_range(0..=255u8));
+                    }
+                }
+            }
+            let Ok(text) = String::from_utf8(bytes) else {
+                continue;
+            };
+            if let Ok(decoded) = FaultScenario::from_json(&text) {
+                decoded.validate().expect("decoded scenarios are valid");
+            }
+        }
+    }
+
+    /// Truncations of a valid document never panic either.
+    #[test]
+    fn fuzz_truncations_never_panic() {
+        let text = kitchen_sink().to_json();
+        for len in 0..text.len() {
+            if text.is_char_boundary(len) {
+                let _ = FaultScenario::from_json(&text[..len]);
+            }
+        }
+    }
+}

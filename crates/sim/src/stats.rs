@@ -249,6 +249,10 @@ struct MassComponent {
     baseline: f64,
     last: f64,
     max_abs_drift: f64,
+    /// Most negative signed drift ever observed (≤ 0).
+    min_drift: f64,
+    /// Most positive signed drift ever observed (≥ 0).
+    max_drift: f64,
     observations: u64,
 }
 
@@ -266,11 +270,16 @@ impl MassAuditor {
             baseline: value,
             last: value,
             max_abs_drift: 0.0,
+            min_drift: 0.0,
+            max_drift: 0.0,
             observations: 0,
         });
         entry.observations += 1;
         entry.last = value;
-        let drift = (value - entry.baseline).abs();
+        let signed = value - entry.baseline;
+        entry.min_drift = entry.min_drift.min(signed);
+        entry.max_drift = entry.max_drift.max(signed);
+        let drift = signed.abs();
         if drift > entry.max_abs_drift {
             entry.max_abs_drift = drift;
         }
@@ -294,6 +303,36 @@ impl MassAuditor {
     /// Largest absolute drift ever seen on component `key`.
     pub fn max_drift_of(&self, key: u64) -> Option<f64> {
         self.components.get(&key).map(|c| c.max_abs_drift)
+    }
+
+    /// The *signed* drift of component `key`'s worst excursion — the
+    /// observation farthest from baseline in either direction. Unlike
+    /// [`drift_of`](Self::drift_of) this does not forgive a violation
+    /// that later returns to baseline (e.g. an instance completing and
+    /// leaving the accounting scope): the excursion already corrupted
+    /// every estimate derived while it was live.
+    pub fn worst_drift_of(&self, key: u64) -> Option<f64> {
+        self.components.get(&key).map(|c| {
+            if -c.min_drift > c.max_drift {
+                c.min_drift
+            } else {
+                c.max_drift
+            }
+        })
+    }
+
+    /// Classifies component `key`'s *worst excursion* against `tolerance`
+    /// — the transient-intolerant counterpart of
+    /// [`violation_of`](Self::violation_of).
+    pub fn worst_violation_of(&self, key: u64, tolerance: f64) -> Option<MassViolation> {
+        let drift = self.worst_drift_of(key)?;
+        if drift > tolerance {
+            Some(MassViolation::Inflation)
+        } else if drift < -tolerance {
+            Some(MassViolation::Leakage)
+        } else {
+            None
+        }
     }
 
     /// Number of observed components.
@@ -664,6 +703,34 @@ mod tests {
         auditor.observe(0, 0.75); // response lost after request applied
         assert_eq!(auditor.violation_of(0, 1e-9), Some(MassViolation::Leakage));
         assert_eq!(auditor.drift_of(0), Some(-0.25));
+    }
+
+    #[test]
+    fn mass_auditor_worst_drift_remembers_transient_excursions() {
+        // An instance that completes drops out of the accounting scope,
+        // so the *last* observation returns to baseline — but the leak
+        // while it was live corrupted every estimate derived from it.
+        let mut auditor = MassAuditor::new();
+        auditor.observe(0, 0.0);
+        auditor.observe(0, -0.04); // leak while the instance runs
+        auditor.observe(0, 0.0); // instance due: defect reads 0 again
+        assert_eq!(auditor.drift_of(0), Some(0.0));
+        assert_eq!(auditor.violation_of(0, 1e-9), None, "last-value forgives");
+        assert_eq!(auditor.worst_drift_of(0), Some(-0.04));
+        assert_eq!(
+            auditor.worst_violation_of(0, 1e-9),
+            Some(MassViolation::Leakage)
+        );
+        // The positive direction wins when it is the larger excursion.
+        auditor.observe(0, 0.1);
+        auditor.observe(0, 0.0);
+        assert_eq!(auditor.worst_drift_of(0), Some(0.1));
+        assert_eq!(
+            auditor.worst_violation_of(0, 1e-9),
+            Some(MassViolation::Inflation)
+        );
+        assert_eq!(auditor.worst_violation_of(0, 1.0), None, "tolerance");
+        assert_eq!(auditor.worst_drift_of(5), None, "unknown component");
     }
 
     #[test]

@@ -11,6 +11,8 @@
 //! Swapping in the real `serde` later is a one-line change in the
 //! workspace `[patch.crates-io]` table; no source edits needed.
 
+pub mod json;
+
 /// Marker for types that would be serialisable with the real `serde`.
 pub trait Serialize {}
 
