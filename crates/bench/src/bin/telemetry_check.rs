@@ -142,6 +142,24 @@ const EXPLORE_RESULT_FIELDS: &[(&str, FieldType)] = &[
     ("shrink_runs", FieldType::Uint),
 ];
 
+/// `BENCH_streaming.json` per-result schema (`--bench` mode): one record
+/// per (drift scenario, tracker mode) cell of the streaming matrix.
+const STREAMING_RESULT_FIELDS: &[(&str, FieldType)] = &[
+    ("scenario", FieldType::Str),
+    ("mode", FieldType::Str),
+    ("time_avg_err", FieldType::NumberOrNull),
+    ("time_avg_err_max", FieldType::NumberOrNull),
+    ("final_err", FieldType::NumberOrNull),
+    ("launched", FieldType::Uint),
+    ("completed", FieldType::Uint),
+    ("restarts", FieldType::Uint),
+    ("mean_divergence", FieldType::NumberOrNull),
+    ("final_period", FieldType::Uint),
+    ("messages", FieldType::Uint),
+    ("bytes", FieldType::Uint),
+    ("fingerprint", FieldType::Uint),
+];
+
 /// `BENCH_deploy.json` scale-sweep record schema.
 const DEPLOY_SCALE_FIELDS: &[(&str, FieldType)] = &[
     ("backend", FieldType::Str),
@@ -409,6 +427,17 @@ fn validate_bench(path: &Path) -> Result<usize, String> {
             "backend",
             &["threaded", "reactor"],
             Some(("scale", DEPLOY_SCALE_FIELDS)),
+        ),
+        "\"streaming_tracker\"" => (
+            STREAMING_RESULT_FIELDS,
+            "mode",
+            &[
+                "restart_naive",
+                "pipelined_fixed_fade",
+                "pipelined_adaptive_fade",
+                "pipelined_adaptive_restart",
+            ],
+            None,
         ),
         other => {
             return Err(format!(
@@ -815,6 +844,71 @@ mod tests {
         .unwrap();
         let err = validate_bench(&path).unwrap_err();
         assert!(err.contains("scale") && err.contains("sim_err_a"), "{err}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    fn streaming_result_line(mode: &str) -> String {
+        format!(
+            "    {{\"scenario\": \"ramp30\", \"mode\": \"{mode}\", \"time_avg_err\": 1.78e-1, \
+             \"time_avg_err_max\": 5.77e-1, \"final_err\": 5.79e-2, \"launched\": 28, \
+             \"completed\": 25, \"restarts\": 0, \"mean_divergence\": 4.1e-2, \
+             \"final_period\": 8, \"messages\": 132000, \"bytes\": 110898486, \
+             \"fingerprint\": 12779057224404187916}},"
+        )
+    }
+
+    fn streaming_bench_json() -> String {
+        let modes = [
+            "restart_naive",
+            "pipelined_fixed_fade",
+            "pipelined_adaptive_fade",
+            "pipelined_adaptive_restart",
+        ];
+        let mut lines: Vec<String> = modes.iter().map(|m| streaming_result_line(m)).collect();
+        let last = lines.last_mut().expect("modes non-empty");
+        *last = last.trim_end_matches(',').to_string();
+        format!(
+            "{{\n  \"benchmark\": \"streaming_tracker\",\n  \"manifest\": \
+             {{\"schema_version\": 1, \"experiment\": \"t\", \"config_hash\": 5, \"seed\": 11, \
+             \"threads\": 1, \"detected_cores\": 4, \"git_rev\": null}},\n  \"results\": [\n\
+             {}\n  ]\n}}\n",
+            lines.join("\n")
+        )
+    }
+
+    #[test]
+    fn bench_mode_accepts_the_streaming_schema() {
+        let dir = std::env::temp_dir().join("telemetry_check_streaming_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_streaming.json");
+        std::fs::write(&path, streaming_bench_json()).unwrap();
+        assert_eq!(validate_bench(&path), Ok(4));
+
+        // A renamed result field fails.
+        std::fs::write(
+            &path,
+            streaming_bench_json().replace("time_avg_err\"", "avg_err\""),
+        )
+        .unwrap();
+        assert!(validate_bench(&path).unwrap_err().contains("unknown field"));
+
+        // Dropping one tracker mode's results fails.
+        std::fs::write(
+            &path,
+            streaming_bench_json().replace("\"pipelined_adaptive_restart\"", "\"restart_naive\""),
+        )
+        .unwrap();
+        assert!(validate_bench(&path)
+            .unwrap_err()
+            .contains("no results for mode 'pipelined_adaptive_restart'"));
+
+        // A negative restart count fails.
+        std::fs::write(
+            &path,
+            streaming_bench_json().replace("\"restarts\": 0", "\"restarts\": -1"),
+        )
+        .unwrap();
+        assert!(validate_bench(&path).unwrap_err().contains("'restarts'"));
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

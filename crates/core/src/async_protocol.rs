@@ -20,7 +20,9 @@ use std::sync::Arc;
 
 use rand::rngs::StdRng;
 
-use adam2_sim::{ActiveAdversary, AsyncProtocol, BatchAsyncProtocol, BatchCtx, EventCtx, NodeId};
+use adam2_sim::{
+    ActiveAdversary, AsyncProtocol, BatchAsyncProtocol, BatchCtx, DriftOp, EventCtx, NodeId,
+};
 
 use crate::config::RobustPolicy;
 use crate::instance::{AttrValue, InstanceMeta};
@@ -296,6 +298,13 @@ impl AsyncProtocol for AsyncAdam2 {
 
     fn make_node(&mut self, rng: &mut StdRng) -> Adam2Node {
         Adam2Node::new((self.source)(rng), 100.0)
+    }
+
+    fn drift_node(&mut self, _id: NodeId, node: &mut Adam2Node, op: DriftOp, rng: &mut StdRng) {
+        match op {
+            DriftOp::Shift(delta) => node.shift_value(delta),
+            DriftOp::Replace => node.set_value((self.source)(rng)),
+        }
     }
 
     fn on_timer(&mut self, id: NodeId, ctx: &mut EventCtx<'_, Adam2Node, Adam2Message>) {

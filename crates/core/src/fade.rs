@@ -1,0 +1,340 @@
+//! Time-faded blending of completed distribution estimates.
+//!
+//! The streaming subsystem (`adam2-stream`, deploy daemon mode) runs
+//! overlapping Adam2 instances on a staggered schedule; each one completes
+//! with a snapshot of the attribute distribution as of its own lifetime.
+//! Under drift, no single snapshot is right for long — but the *newest* is
+//! closest, and older ones still carry signal where the distribution
+//! hasn't moved. A [`BlendedTracker`] keeps the last few completed
+//! estimates and serves their exponentially time-faded mixture
+//! ("Distributed mining of time-faded heavy hitters", PAPERS.md): an
+//! estimate completed `age` rounds ago contributes with weight
+//! `0.5^(age / half_life)`, so the newest instance always dominates and
+//! stale snapshots fade smoothly instead of being dropped at a cliff.
+//!
+//! The tracker is deliberately protocol-agnostic — it only needs each
+//! completed estimate's [`InterpCdf`] — so the sim-side pipeline and the
+//! deploy-side daemon share this one implementation.
+
+use std::collections::VecDeque;
+
+use crate::cdf::InterpCdf;
+
+/// Parameters of the exponential fade.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FadeConfig {
+    /// Age (in rounds) at which an estimate's weight halves. Smaller
+    /// half-lives chase drift harder; larger ones smooth jitter better.
+    pub half_life: f64,
+    /// Maximum completed estimates retained; absorbing beyond this evicts
+    /// the oldest.
+    pub max_tracked: usize,
+}
+
+impl FadeConfig {
+    /// Creates a fade configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `half_life` is not finite and positive, or `max_tracked`
+    /// is zero.
+    pub fn new(half_life: f64, max_tracked: usize) -> Self {
+        assert!(
+            half_life.is_finite() && half_life > 0.0,
+            "half_life must be finite and positive"
+        );
+        assert!(max_tracked > 0, "max_tracked must be positive");
+        Self {
+            half_life,
+            max_tracked,
+        }
+    }
+}
+
+/// One completed estimate retained by the tracker.
+#[derive(Debug, Clone)]
+pub struct TrackedEstimate {
+    /// Instance that produced the estimate (`InstanceId::as_u64`).
+    pub instance: u64,
+    /// Round (tracker clock) at which it completed.
+    pub completed_at: u64,
+    /// The interpolated CDF it produced.
+    pub cdf: InterpCdf,
+}
+
+/// An exponentially time-faded mixture over the last few completed
+/// estimates (see the module docs).
+#[derive(Debug, Clone)]
+pub struct BlendedTracker {
+    config: FadeConfig,
+    /// Oldest-first; `absorb` pushes to the back.
+    entries: VecDeque<TrackedEstimate>,
+}
+
+impl BlendedTracker {
+    /// Creates an empty tracker.
+    pub fn new(config: FadeConfig) -> Self {
+        Self {
+            config,
+            entries: VecDeque::with_capacity(config.max_tracked),
+        }
+    }
+
+    /// The fade parameters.
+    pub fn config(&self) -> &FadeConfig {
+        &self.config
+    }
+
+    /// Number of estimates currently tracked.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the tracker holds no estimates yet.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The most recently absorbed estimate.
+    pub fn newest(&self) -> Option<&TrackedEstimate> {
+        self.entries.back()
+    }
+
+    /// The tracked estimates, oldest first.
+    pub fn entries(&self) -> impl Iterator<Item = &TrackedEstimate> {
+        self.entries.iter()
+    }
+
+    /// Absorbs a freshly completed estimate, evicting the oldest beyond
+    /// the retention cap. An instance already tracked is ignored (every
+    /// node of a cluster completes the same instance; the first copy
+    /// wins), returning `false`.
+    pub fn absorb(&mut self, instance: u64, completed_at: u64, cdf: InterpCdf) -> bool {
+        if self.entries.iter().any(|e| e.instance == instance) {
+            return false;
+        }
+        if self.entries.len() == self.config.max_tracked {
+            self.entries.pop_front();
+        }
+        self.entries.push_back(TrackedEstimate {
+            instance,
+            completed_at,
+            cdf,
+        });
+        true
+    }
+
+    /// Drops all history (the Spectra restart: after an abrupt step
+    /// change, faded pre-step estimates only poison the blend).
+    pub fn reset(&mut self) {
+        self.entries.clear();
+    }
+
+    /// The fade weight of an estimate completed at `completed_at`, as of
+    /// `now` (ages saturate at zero for clock skew).
+    pub fn weight_at(&self, completed_at: u64, now: u64) -> f64 {
+        let age = now.saturating_sub(completed_at) as f64;
+        0.5f64.powf(age / self.config.half_life)
+    }
+
+    /// Evaluates the blended CDF at `x` as of `now`: the fade-weighted
+    /// mixture of every tracked estimate. `None` while empty.
+    pub fn eval(&self, x: f64, now: u64) -> Option<f64> {
+        if self.entries.is_empty() {
+            return None;
+        }
+        let mut num = 0.0;
+        let mut den = 0.0;
+        for e in &self.entries {
+            let w = self.weight_at(e.completed_at, now);
+            num += w * e.cdf.eval(x);
+            den += w;
+        }
+        (den > 0.0).then(|| num / den)
+    }
+
+    /// Mean absolute difference between the current blend and `candidate`,
+    /// sampled at the candidate's own knots — the inter-instance
+    /// divergence signal the [`crate::DriftController`] consumes. Measure
+    /// *before* absorbing the candidate. `None` while the tracker is
+    /// empty (nothing to diverge from).
+    pub fn divergence(&self, candidate: &InterpCdf, now: u64) -> Option<f64> {
+        if self.entries.is_empty() {
+            return None;
+        }
+        let knots = candidate.knots();
+        if knots.is_empty() {
+            return None;
+        }
+        let mut sum = 0.0;
+        for &(x, f) in knots {
+            let blended = self.eval(x, now)?;
+            sum += (blended - f).abs();
+        }
+        Some(sum / knots.len() as f64)
+    }
+
+    /// Renders the blend as explicit CDF points as of `now`, sampled at
+    /// the newest estimate's knots (wire-compatible with a single
+    /// instance's estimate, so deploy's `GetEstimate` can serve it
+    /// unchanged). Returns `(min, max, thresholds, fractions)`; `None`
+    /// while empty.
+    pub fn snapshot_points(&self, now: u64) -> Option<(f64, f64, Vec<f64>, Vec<f64>)> {
+        let newest = self.entries.back()?;
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        for e in &self.entries {
+            min = min.min(e.cdf.min());
+            max = max.max(e.cdf.max());
+        }
+        let mut thresholds = Vec::with_capacity(newest.cdf.knots().len());
+        let mut fractions = Vec::with_capacity(newest.cdf.knots().len());
+        for &(x, _) in newest.cdf.knots() {
+            thresholds.push(x);
+            fractions.push(self.eval(x, now)?);
+        }
+        Some((min, max, thresholds, fractions))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cdf(min: f64, max: f64) -> InterpCdf {
+        // A linear CDF between min and max with three interior knots.
+        let span = max - min;
+        InterpCdf::from_points(
+            min,
+            max,
+            &[min + 0.25 * span, min + 0.5 * span, min + 0.75 * span],
+            &[0.25, 0.5, 0.75],
+        )
+        .expect("valid cdf")
+    }
+
+    fn tracker() -> BlendedTracker {
+        BlendedTracker::new(FadeConfig::new(10.0, 4))
+    }
+
+    #[test]
+    fn empty_tracker_serves_nothing() {
+        let t = tracker();
+        assert!(t.is_empty());
+        assert_eq!(t.eval(5.0, 0), None);
+        assert_eq!(t.divergence(&cdf(0.0, 1.0), 0), None);
+        assert!(t.snapshot_points(0).is_none());
+    }
+
+    #[test]
+    fn single_estimate_is_served_verbatim() {
+        let mut t = tracker();
+        let c = cdf(0.0, 100.0);
+        assert!(t.absorb(1, 10, c.clone()));
+        for x in [0.0, 25.0, 60.0, 100.0] {
+            assert!((t.eval(x, 50).unwrap() - c.eval(x)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn duplicate_instances_are_ignored() {
+        let mut t = tracker();
+        assert!(t.absorb(1, 10, cdf(0.0, 100.0)));
+        assert!(!t.absorb(1, 12, cdf(50.0, 150.0)));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn newest_dominates_and_fade_is_monotone() {
+        let mut t = tracker();
+        t.absorb(1, 0, cdf(0.0, 100.0));
+        t.absorb(2, 20, cdf(50.0, 150.0));
+        // At completion time of #2, #1 has age 20 = 2 half-lives (weight
+        // 0.25 vs 1.0): the blend at x=50 leans strongly toward #2's 0.
+        let blended = t.eval(50.0, 20).unwrap();
+        let old = cdf(0.0, 100.0).eval(50.0); // 0.5
+        let new = cdf(50.0, 150.0).eval(50.0); // 0.0
+        assert!((blended - (0.25 * old + 1.0 * new) / 1.25).abs() < 1e-12);
+        // As time passes both weights shrink by the same factor: the
+        // *relative* mix is stable under equal aging.
+        let later = t.eval(50.0, 40).unwrap();
+        assert!((later - blended).abs() < 1e-12);
+    }
+
+    #[test]
+    fn eviction_keeps_the_newest() {
+        let mut t = tracker();
+        for i in 0..6u64 {
+            t.absorb(i, i * 5, cdf(i as f64, 100.0 + i as f64));
+        }
+        assert_eq!(t.len(), 4);
+        assert_eq!(t.newest().unwrap().instance, 5);
+        let tracked: Vec<u64> = t.entries().map(|e| e.instance).collect();
+        assert_eq!(tracked, vec![2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn reset_drops_history() {
+        let mut t = tracker();
+        t.absorb(1, 0, cdf(0.0, 100.0));
+        t.absorb(2, 5, cdf(0.0, 100.0));
+        t.reset();
+        assert!(t.is_empty());
+        assert_eq!(t.eval(50.0, 10), None);
+    }
+
+    #[test]
+    fn divergence_measures_disagreement() {
+        let mut t = tracker();
+        t.absorb(1, 0, cdf(0.0, 100.0));
+        // Identical candidate: zero divergence.
+        let same = t.divergence(&cdf(0.0, 100.0), 0).unwrap();
+        assert!(same.abs() < 1e-12);
+        // A shifted candidate diverges.
+        let moved = t.divergence(&cdf(50.0, 150.0), 0).unwrap();
+        assert!(
+            moved > 0.1,
+            "shifted distribution must diverge, got {moved}"
+        );
+    }
+
+    #[test]
+    fn snapshot_points_follow_the_newest_knots() {
+        let mut t = tracker();
+        t.absorb(1, 0, cdf(0.0, 100.0));
+        t.absorb(2, 30, cdf(50.0, 150.0));
+        let (min, max, thresholds, fractions) = t.snapshot_points(30).unwrap();
+        assert_eq!(min, 0.0);
+        assert_eq!(max, 150.0);
+        // Knots come from the newest estimate (includes its endpoints).
+        let newest_knots: Vec<f64> = cdf(50.0, 150.0).knots().iter().map(|k| k.0).collect();
+        assert_eq!(thresholds, newest_knots);
+        assert_eq!(thresholds.len(), fractions.len());
+        // Fractions are the blend, hence monotone non-decreasing.
+        for pair in fractions.windows(2) {
+            assert!(pair[0] <= pair[1] + 1e-12);
+        }
+    }
+
+    #[test]
+    fn weight_halves_per_half_life() {
+        let t = tracker();
+        assert!((t.weight_at(0, 0) - 1.0).abs() < 1e-12);
+        assert!((t.weight_at(0, 10) - 0.5).abs() < 1e-12);
+        assert!((t.weight_at(0, 20) - 0.25).abs() < 1e-12);
+        // Clock skew (completed_at in the future) saturates at weight 1.
+        assert!((t.weight_at(10, 0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "half_life must be finite and positive")]
+    fn rejects_bad_half_life() {
+        FadeConfig::new(0.0, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "max_tracked must be positive")]
+    fn rejects_zero_capacity() {
+        FadeConfig::new(10.0, 0);
+    }
+}

@@ -62,6 +62,7 @@ mod confidence;
 mod config;
 mod error;
 mod estimate;
+mod fade;
 mod instance;
 mod metrics;
 mod pchip;
@@ -82,6 +83,7 @@ pub use confidence::verification_thresholds;
 pub use config::{Adam2Config, RobustPolicy, Scheduling, SelfHealPolicy};
 pub use error::{CdfError, ConfigError, WireError};
 pub use estimate::DistributionEstimate;
+pub use fade::{BlendedTracker, FadeConfig, TrackedEstimate};
 pub use instance::{AttrValue, InstanceId, InstanceLocal, InstanceMeta, RobustMergeOutcome};
 pub use metrics::{
     avg_distance, avg_distance_over, discrete_avg_distance, discrete_errors_over,
@@ -97,4 +99,4 @@ pub use selection::{
     hcut_thresholds, lcut_thresholds, minmax_thresholds, select_thresholds, uniform_points,
     BootstrapKind, RefineKind, SelectionInput,
 };
-pub use tuning::SelfTuner;
+pub use tuning::{DriftController, LaunchDecision, SelfTuner};

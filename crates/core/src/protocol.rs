@@ -24,7 +24,7 @@ use rand::rngs::StdRng;
 use rand::RngExt as _;
 
 use adam2_sim::{
-    AdversaryModel, Ctx, ExchangeFate, ExchangeTraffic, NodeId, ParLocal, PlannedAttack,
+    AdversaryModel, Ctx, DriftOp, ExchangeFate, ExchangeTraffic, NodeId, ParLocal, PlannedAttack,
     PlannedExchange, Protocol,
 };
 
@@ -67,6 +67,20 @@ impl Adam2Node {
     /// creates or joins an instance).
     pub fn set_value(&mut self, value: AttrValue) {
         self.value = value;
+    }
+
+    /// Shifts the node's attribute value(s) by `delta` (drift injection;
+    /// running instances keep the indicator contributions they enrolled
+    /// with, so their estimates go stale — by design).
+    pub fn shift_value(&mut self, delta: f64) {
+        match &mut self.value {
+            AttrValue::Single(v) => *v += delta,
+            AttrValue::Multi(vs) => {
+                for v in vs {
+                    *v += delta;
+                }
+            }
+        }
     }
 
     /// The node's latest completed distribution estimate.
@@ -769,6 +783,13 @@ impl Protocol for Adam2Protocol {
 
     fn make_node(&mut self, rng: &mut StdRng) -> Adam2Node {
         Adam2Node::new((self.source)(rng), self.config.initial_n_estimate)
+    }
+
+    fn drift_node(&mut self, _id: NodeId, node: &mut Adam2Node, op: DriftOp, rng: &mut StdRng) {
+        match op {
+            DriftOp::Shift(delta) => node.shift_value(delta),
+            DriftOp::Replace => node.set_value((self.source)(rng)),
+        }
     }
 
     fn on_round(&mut self, id: NodeId, ctx: &mut Ctx<'_, Adam2Node>) {

@@ -97,6 +97,134 @@ impl SelfTuner {
     }
 }
 
+/// What the [`DriftController`] decided after one divergence observation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LaunchDecision {
+    /// Rounds to wait before launching the next pipelined instance.
+    pub next_period: u64,
+    /// Whether the observed divergence crossed the restart threshold: the
+    /// tracker should abandon its time-faded history and rebuild from the
+    /// newest estimate alone (Spectra's restart-on-abrupt-change).
+    pub restart: bool,
+}
+
+/// Adapts the streaming pipeline's instance launch frequency to the
+/// measured inter-instance estimate divergence.
+///
+/// The companion of [`SelfTuner`] for the streaming subsystem
+/// (`adam2-stream`): where the tuner sizes λ from self-assessed error,
+/// this controller sizes the *launch period* from how much each freshly
+/// completed instance disagrees with the blended history. High divergence
+/// means the distribution is moving faster than the pipeline samples it —
+/// launch more often; near-zero divergence means instances are redundant —
+/// back off. A divergence above `restart_threshold` is treated as an
+/// abrupt step change: the controller still shortens the period, and
+/// additionally tells the tracker to drop its faded history ("Spectra:
+/// Robust Estimation of Distribution Functions in Networks", PAPERS.md).
+///
+/// Stateless like [`SelfTuner`]: the restart trigger compares each window
+/// against the fixed threshold, so a divergence spike on the very first
+/// observation window fires it too.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DriftController {
+    target_divergence: f64,
+    restart_threshold: f64,
+    min_period: u64,
+    max_period: u64,
+}
+
+impl DriftController {
+    /// Creates a controller aiming at `target_divergence` (mean absolute
+    /// CDF difference between a new estimate and the blended history, in
+    /// `(0, 1)`), with launch periods bounded to `[min_period,
+    /// max_period]` rounds and the Spectra restart firing above
+    /// `restart_threshold`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `target_divergence` is not in `(0, 1)`,
+    /// `restart_threshold` is not finite and `≥ target_divergence`,
+    /// `min_period` is zero, or the period bounds are inverted.
+    pub fn new(
+        target_divergence: f64,
+        restart_threshold: f64,
+        min_period: u64,
+        max_period: u64,
+    ) -> Self {
+        assert!(
+            target_divergence > 0.0 && target_divergence < 1.0,
+            "target_divergence must be in (0, 1)"
+        );
+        assert!(
+            restart_threshold.is_finite() && restart_threshold >= target_divergence,
+            "restart_threshold must be finite and ≥ target_divergence"
+        );
+        assert!(min_period > 0, "min_period must be positive");
+        assert!(min_period <= max_period, "period bounds inverted");
+        Self {
+            target_divergence,
+            restart_threshold,
+            min_period,
+            max_period,
+        }
+    }
+
+    /// The divergence target.
+    pub fn target_divergence(&self) -> f64 {
+        self.target_divergence
+    }
+
+    /// The Spectra restart threshold.
+    pub fn restart_threshold(&self) -> f64 {
+        self.restart_threshold
+    }
+
+    /// The launch-period bounds, `(min, max)` in rounds.
+    pub fn period_bounds(&self) -> (u64, u64) {
+        (self.min_period, self.max_period)
+    }
+
+    /// Whether `divergence` crosses the restart threshold (an abrupt step
+    /// change). Fires on any window, including the first.
+    pub fn is_step_change(&self, divergence: f64) -> bool {
+        divergence > self.restart_threshold
+    }
+
+    /// Decides the next launch period from the current one and the last
+    /// measured divergence (`None` — no completed instance to compare yet
+    /// — leaves the period unchanged).
+    ///
+    /// * divergence > restart threshold → period halved **and**
+    ///   `restart = true`;
+    /// * divergence > target → period halved (the distribution moves
+    ///   faster than the pipeline samples it);
+    /// * divergence < target / 4 → period × 1.5 (instances are redundant:
+    ///   shed message budget);
+    /// * otherwise → unchanged.
+    ///
+    /// The returned period is always clamped to the configured bounds.
+    pub fn observe(&self, current_period: u64, divergence: Option<f64>) -> LaunchDecision {
+        let Some(div) = divergence else {
+            return LaunchDecision {
+                next_period: current_period.clamp(self.min_period, self.max_period),
+                restart: false,
+            };
+        };
+        let restart = self.is_step_change(div);
+        let next = if div > self.target_divergence {
+            current_period / 2
+        } else if div < self.target_divergence / 4.0 {
+            ((current_period as f64 * 1.5).ceil()) as u64
+        } else {
+            current_period
+        };
+        LaunchDecision {
+            next_period: next.clamp(self.min_period, self.max_period),
+            restart,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -154,5 +282,120 @@ mod tests {
     #[should_panic(expected = "lambda bounds inverted")]
     fn rejects_inverted_bounds() {
         SelfTuner::new(0.1, ErrorMetric::Max, 10, 5);
+    }
+
+    // --- DriftController ---
+
+    fn controller() -> DriftController {
+        DriftController::new(0.02, 0.10, 2, 32)
+    }
+
+    #[test]
+    fn zero_divergence_backs_off_toward_max_period() {
+        let c = controller();
+        // Exactly zero divergence: instances are redundant — lengthen.
+        assert_eq!(
+            c.observe(8, Some(0.0)),
+            LaunchDecision {
+                next_period: 12,
+                restart: false
+            }
+        );
+        // Repeated zero divergence saturates at the max bound, never past.
+        let mut period = 8;
+        for _ in 0..20 {
+            period = c.observe(period, Some(0.0)).next_period;
+        }
+        assert_eq!(period, 32);
+    }
+
+    #[test]
+    fn divergence_spike_on_first_window_restarts() {
+        // Stateless trigger: a step change detected on the very first
+        // observation window (no history at all) must fire the restart.
+        let c = controller();
+        let d = c.observe(16, Some(0.5));
+        assert!(d.restart, "first-window spike must trigger restart");
+        assert_eq!(d.next_period, 8, "and track aggressively afterwards");
+        assert!(c.is_step_change(0.5));
+        // At exactly the threshold: no restart (strictly above fires).
+        let d = c.observe(16, Some(0.10));
+        assert!(!d.restart);
+    }
+
+    #[test]
+    fn launch_period_clamps_to_bounds() {
+        let c = controller();
+        // Halving below min_period clamps up.
+        assert_eq!(c.observe(3, Some(0.08)).next_period, 2);
+        assert_eq!(c.observe(2, Some(0.5)).next_period, 2);
+        // Growing past max_period clamps down.
+        assert_eq!(c.observe(30, Some(0.001)).next_period, 32);
+        assert_eq!(c.observe(32, Some(0.0)).next_period, 32);
+        // A wildly out-of-range current period is pulled into bounds even
+        // without feedback.
+        assert_eq!(c.observe(1000, None).next_period, 32);
+        assert_eq!(c.observe(1, None).next_period, 2);
+    }
+
+    #[test]
+    fn holds_inside_divergence_band() {
+        let c = controller();
+        // Inside [target/4, target]: no change, no restart.
+        assert_eq!(
+            c.observe(8, Some(0.01)),
+            LaunchDecision {
+                next_period: 8,
+                restart: false
+            }
+        );
+        // No feedback yet: unchanged.
+        assert_eq!(c.observe(8, None).next_period, 8);
+    }
+
+    #[test]
+    fn above_target_halves_below_quarter_grows() {
+        let c = controller();
+        assert_eq!(c.observe(16, Some(0.03)).next_period, 8);
+        assert!(!c.observe(16, Some(0.03)).restart);
+        assert_eq!(c.observe(16, Some(0.004)).next_period, 24);
+    }
+
+    #[test]
+    fn controller_accessors() {
+        let c = controller();
+        assert_eq!(c.target_divergence(), 0.02);
+        assert_eq!(c.restart_threshold(), 0.10);
+        assert_eq!(c.period_bounds(), (2, 32));
+    }
+
+    #[test]
+    #[should_panic(expected = "target_divergence must be in (0, 1)")]
+    fn controller_rejects_bad_target() {
+        DriftController::new(1.0, 1.5, 1, 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "restart_threshold must be finite and ≥ target_divergence")]
+    fn controller_rejects_restart_below_target() {
+        DriftController::new(0.05, 0.01, 1, 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "restart_threshold must be finite and ≥ target_divergence")]
+    fn controller_rejects_nan_restart() {
+        DriftController::new(0.05, f64::NAN, 1, 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "min_period must be positive")]
+    fn controller_rejects_zero_min_period() {
+        DriftController::new(0.05, 0.1, 0, 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "period bounds inverted")]
+    fn controller_rejects_inverted_periods() {
+        DriftController::new(0.05, 0.1, 10, 5);
     }
 }

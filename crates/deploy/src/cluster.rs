@@ -13,14 +13,16 @@
 
 use std::io;
 use std::net::{Ipv4Addr, SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
+use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use adam2_core::wire::GossipMessage;
-use adam2_core::{AttrValue, InstanceLocal, InstanceMeta};
+use adam2_core::{AttrValue, FadeConfig, InstanceId, InstanceLocal, InstanceMeta};
 use adam2_telemetry::{CounterId, GaugeId, HistogramId, RoundSnapshot, RunManifest, Telemetry};
 
-use crate::config::{ClusterConfig, RuntimeKind};
+use crate::config::{ClusterConfig, DaemonConfig, RuntimeKind};
 use crate::frame::{read_frame, write_frame, EstimateWire, Frame};
 use crate::node::{NodeHandle, NodeShared};
 use crate::reactor::ReactorPool;
@@ -37,6 +39,10 @@ const NODES_PER_WORKER: usize = 64;
 /// Cap on driver worker threads.
 const MAX_WORKERS: usize = 64;
 
+/// Instance-id space the daemon scheduler launches in, disjoint from
+/// harness-injected ids so the two never collide in a node's instance map.
+pub const DAEMON_INSTANCE_BASE: u64 = 1 << 48;
+
 /// Summary returned by [`Cluster::shutdown`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ClusterReport {
@@ -52,7 +58,15 @@ pub struct Cluster {
     shared: Vec<Arc<NodeShared>>,
     threaded: Vec<NodeHandle>,
     reactor: Option<ReactorPool>,
+    daemon: Option<DaemonDriver>,
     config: ClusterConfig,
+}
+
+/// The daemon-mode scheduler thread: keeps launching instances until the
+/// cluster shuts down.
+struct DaemonDriver {
+    stop: Arc<AtomicBool>,
+    thread: JoinHandle<()>,
 }
 
 impl Cluster {
@@ -67,6 +81,9 @@ impl Cluster {
         let epoch = Instant::now();
         let shim = Arc::new(config.shim().clone());
         let runtime = config.runtime();
+        let fade = config
+            .daemon()
+            .map(|d| FadeConfig::new(d.half_life_rounds, d.max_tracked));
         let mut shared = Vec::with_capacity(values.len());
         let mut threaded = Vec::new();
         let mut reactor_nodes = Vec::new();
@@ -87,6 +104,7 @@ impl Cluster {
                     node_config,
                     Arc::clone(&shim),
                     epoch,
+                    fade,
                 )?;
                 shared.push(Arc::clone(&node));
                 reactor_nodes.push((node, listener));
@@ -97,6 +115,7 @@ impl Cluster {
                     node_config,
                     Arc::clone(&shim),
                     epoch,
+                    fade,
                 )?;
                 shared.push(Arc::clone(&handle.shared));
                 threaded.push(handle);
@@ -109,14 +128,37 @@ impl Cluster {
                 reactor_threads: threads,
             } => Some(ReactorPool::launch(reactor_nodes, threads, epoch)),
         };
-        let cluster = Self {
+        let mut cluster = Self {
             shared,
             threaded,
             reactor,
+            daemon: None,
             config,
         };
         cluster.bootstrap()?;
+        if let Some(daemon) = cluster.config.daemon().cloned() {
+            cluster.daemon = Some(cluster.spawn_daemon(daemon));
+        }
         Ok(cluster)
+    }
+
+    /// Spawns the daemon scheduler: every `launch_period_rounds` it injects
+    /// a fresh instance through a rotating initiator's control socket, so a
+    /// long-running cluster always has completed estimates fading through
+    /// every node's blended tracker.
+    fn spawn_daemon(&self, daemon: DaemonConfig) -> DaemonDriver {
+        let stop = Arc::new(AtomicBool::new(false));
+        let nodes: Vec<Arc<NodeShared>> = self.shared.clone();
+        let timeout = self.config.control_timeout();
+        let tick = self.config.node().tick;
+        let thread = std::thread::Builder::new()
+            .name("adam2-daemon".into())
+            .spawn({
+                let stop = Arc::clone(&stop);
+                move || daemon_loop(&nodes, &daemon, timeout, tick, &stop)
+            })
+            .expect("spawn daemon thread");
+        DaemonDriver { stop, thread }
     }
 
     /// Joins every non-seed node through an introducer, with the
@@ -195,19 +237,11 @@ impl Cluster {
     /// `StartInstance` to node `initiator` over its control socket. The
     /// instance then spreads epidemically through the gossip exchanges.
     pub fn start_instance(&self, initiator: usize, meta: Arc<InstanceMeta>) -> io::Result<()> {
-        // Only the meta fields travel; the carried indicator state is a
-        // placeholder the receiving node ignores (it re-joins from its own
-        // value as initiator).
-        let local = InstanceLocal::join(meta, &AttrValue::Single(0.0), false);
-        let msg = GossipMessage::from_locals(std::iter::once(&local));
-        match control_request(
+        send_start_instance(
             self.shared[initiator].port(),
-            &Frame::StartInstance { msg },
+            meta,
             self.config.control_timeout(),
-        )? {
-            Frame::Ack => Ok(()),
-            _ => Err(io::Error::other("unexpected start reply")),
-        }
+        )
     }
 
     /// Polls every node's control socket for a distribution estimate until
@@ -259,9 +293,13 @@ impl Cluster {
 
     /// Stops every backend and joins all threads; the listeners close when
     /// their owners exit.
-    pub fn shutdown(self) -> ClusterReport {
+    pub fn shutdown(mut self) -> ClusterReport {
         let nodes = self.shared.len();
         let mut clean = true;
+        if let Some(daemon) = self.daemon.take() {
+            daemon.stop.store(true, Ordering::Relaxed);
+            clean &= daemon.thread.join().is_ok();
+        }
         for node in self.threaded {
             clean &= node.shutdown();
         }
@@ -271,6 +309,57 @@ impl Cluster {
         ClusterReport { clean, nodes }
     }
 }
+
+/// Injects `meta` as a new aggregation instance through `port`'s control
+/// socket. Only the meta fields travel; the carried indicator state is a
+/// placeholder the receiving node ignores (it re-joins from its own value
+/// as initiator).
+fn send_start_instance(port: u16, meta: Arc<InstanceMeta>, timeout: Duration) -> io::Result<()> {
+    let local = InstanceLocal::join(meta, &AttrValue::Single(0.0), false);
+    let msg = GossipMessage::from_locals(std::iter::once(&local));
+    match control_request(port, &Frame::StartInstance { msg }, timeout)? {
+        Frame::Ack => Ok(()),
+        _ => Err(io::Error::other("unexpected start reply")),
+    }
+}
+
+/// The daemon scheduler loop: watches the shared gossip clock and injects
+/// one instance per launch period through a rotating initiator. A launch
+/// that fails its control round-trip (e.g. the initiator is briefly
+/// saturated) is skipped, not retried — the next period launches again, so
+/// the pipeline heals on its own cadence.
+fn daemon_loop(
+    nodes: &[Arc<NodeShared>],
+    daemon: &DaemonConfig,
+    timeout: Duration,
+    tick: Duration,
+    stop: &AtomicBool,
+) {
+    let mut launched = 0u64;
+    let mut next_launch = nodes[0].current_round() + 1;
+    while !stop.load(Ordering::Relaxed) {
+        let round = nodes[0].current_round();
+        if round >= next_launch {
+            let start_round = round + 1;
+            let meta = Arc::new(InstanceMeta {
+                id: InstanceId::from_u64(DAEMON_INSTANCE_BASE + launched),
+                thresholds: daemon.thresholds.clone().into(),
+                verify_thresholds: Vec::new().into(),
+                start_round,
+                end_round: start_round + daemon.instance_rounds,
+                multi: false,
+            });
+            let initiator = (launched as usize) % nodes.len();
+            let _ = send_start_instance(nodes[initiator].port(), meta, timeout);
+            launched += 1;
+            next_launch = round + daemon.launch_period_rounds;
+        }
+        std::thread::sleep(POLL_DAEMON.max(tick / 4));
+    }
+}
+
+/// Floor on the daemon scheduler's clock-polling interval.
+const POLL_DAEMON: Duration = Duration::from_millis(1);
 
 /// One join round-trip through `introducer` on `node`'s behalf, retried up
 /// to the configured attempt budget.
@@ -589,6 +678,50 @@ mod tests {
             .map(|node| node.stats.snapshot().shim_dropped)
             .sum();
         assert!(drops > 0, "shim never fired at 10% loss");
+        assert!(cluster.shutdown().clean);
+    }
+
+    #[test]
+    fn daemon_cluster_serves_blended_estimates() {
+        let n = 8;
+        let values: Vec<AttrValue> = (0..n).map(|i| AttrValue::Single(i as f64)).collect();
+        let daemon = DaemonConfig {
+            launch_period_rounds: 8,
+            instance_rounds: 16,
+            thresholds: vec![2.0, 4.0, 6.0],
+            half_life_rounds: 8.0,
+            max_tracked: 4,
+        };
+        let config = fast_config().with_daemon(daemon).expect("valid daemon");
+        let cluster = Cluster::launch(values, config).expect("launch");
+        // By round ~48 the scheduler has launched ~6 instances and at
+        // least the first two have finalised everywhere.
+        wait_past(&cluster, 48);
+        let estimates = cluster.collect_estimates(Duration::from_secs(5));
+        let got: Vec<&EstimateWire> = estimates.iter().flatten().collect();
+        assert!(
+            got.len() >= n - 1,
+            "only {}/{n} nodes served a blended estimate",
+            got.len()
+        );
+        for est in &got {
+            assert!(
+                est.instance >= DAEMON_INSTANCE_BASE,
+                "served instance {} must come from the daemon id space",
+                est.instance
+            );
+            assert_eq!(est.thresholds.len(), est.fractions.len());
+            // The blend of monotone CDFs stays monotone.
+            for pair in est.fractions.windows(2) {
+                assert!(pair[0] <= pair[1] + 1e-9, "fractions not monotone");
+            }
+        }
+        // The blend moves with the pipeline: some node already serves a
+        // later daemon instance than the very first launch.
+        assert!(
+            got.iter().any(|e| e.instance > DAEMON_INSTANCE_BASE),
+            "no node absorbed a second daemon instance"
+        );
         assert!(cluster.shutdown().clean);
     }
 

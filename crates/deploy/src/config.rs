@@ -80,6 +80,8 @@ pub enum DeployConfigError {
     ZeroBootstrapTimeout,
     /// The initial system-size estimate must be a finite value ≥ 1.
     InvalidInitialEstimate(f64),
+    /// The daemon configuration violates an invariant (reason attached).
+    InvalidDaemonConfig(&'static str),
 }
 
 impl std::fmt::Display for DeployConfigError {
@@ -106,11 +108,72 @@ impl std::fmt::Display for DeployConfigError {
             DeployConfigError::InvalidInitialEstimate(v) => {
                 write!(f, "initial_n_estimate {v} must be finite and >= 1")
             }
+            DeployConfigError::InvalidDaemonConfig(why) => {
+                write!(f, "invalid daemon config: {why}")
+            }
         }
     }
 }
 
 impl std::error::Error for DeployConfigError {}
+
+/// Continuous-tracking daemon mode: instead of waiting for the harness to
+/// inject instances one at a time, the cluster launches a fresh aggregation
+/// instance every `launch_period_rounds` (rotating the initiator), and
+/// every node answers `GetEstimate` with the exponentially time-faded
+/// blend of its completed instances ([`adam2_core::BlendedTracker`])
+/// rather than the newest snapshot alone — the deploy-side analogue of
+/// the `adam2-stream` pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DaemonConfig {
+    /// Rounds between staggered instance launches.
+    pub launch_period_rounds: u64,
+    /// Gossip rounds each daemon instance runs before finalising.
+    pub instance_rounds: u64,
+    /// Interpolation thresholds flooded with every daemon instance
+    /// (strictly increasing, finite, at least one).
+    pub thresholds: Vec<f64>,
+    /// Age (in rounds) at which a completed estimate's blend weight
+    /// halves.
+    pub half_life_rounds: f64,
+    /// Completed estimates each node retains in its blend.
+    pub max_tracked: usize,
+}
+
+impl DaemonConfig {
+    /// Checks every invariant the daemon scheduler and the per-node
+    /// blended trackers rely on.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeployConfigError::InvalidDaemonConfig`] with the first
+    /// violated invariant.
+    pub fn validate(&self) -> Result<(), DeployConfigError> {
+        let fail = |why| Err(DeployConfigError::InvalidDaemonConfig(why));
+        if self.launch_period_rounds == 0 {
+            return fail("launch_period_rounds must be nonzero");
+        }
+        if self.instance_rounds == 0 {
+            return fail("instance_rounds must be nonzero");
+        }
+        if self.thresholds.is_empty() {
+            return fail("thresholds must be non-empty");
+        }
+        if self.thresholds.iter().any(|t| !t.is_finite()) {
+            return fail("thresholds must be finite");
+        }
+        if self.thresholds.windows(2).any(|w| w[0] >= w[1]) {
+            return fail("thresholds must be strictly increasing");
+        }
+        if !self.half_life_rounds.is_finite() || self.half_life_rounds <= 0.0 {
+            return fail("half_life_rounds must be finite and positive");
+        }
+        if self.max_tracked == 0 {
+            return fail("max_tracked must be nonzero");
+        }
+        Ok(())
+    }
+}
 
 /// Timing and robustness knobs shared by every node of a cluster.
 ///
@@ -188,6 +251,7 @@ pub struct ClusterConfig {
     runtime: RuntimeKind,
     join_attempts: u32,
     bootstrap_timeout: Duration,
+    daemon: Option<DaemonConfig>,
 }
 
 impl Default for ClusterConfig {
@@ -199,6 +263,7 @@ impl Default for ClusterConfig {
             runtime: RuntimeKind::Threaded,
             join_attempts: 10,
             bootstrap_timeout: Duration::from_millis(50),
+            daemon: None,
         }
     }
 }
@@ -272,6 +337,23 @@ impl ClusterConfig {
         self.join_attempts = join_attempts;
         self.bootstrap_timeout = timeout;
         Ok(self)
+    }
+
+    /// Switches the cluster into continuous-tracking daemon mode: periodic
+    /// instance launches and time-faded blended `GetEstimate` answers.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated [`DaemonConfig`] invariant.
+    pub fn with_daemon(mut self, daemon: DaemonConfig) -> Result<Self, DeployConfigError> {
+        daemon.validate()?;
+        self.daemon = Some(daemon);
+        Ok(self)
+    }
+
+    /// The daemon-mode configuration, if enabled.
+    pub fn daemon(&self) -> Option<&DaemonConfig> {
+        self.daemon.as_ref()
     }
 
     /// The validated per-node configuration.
@@ -414,6 +496,82 @@ mod tests {
         assert_eq!(ok.join_attempts(), 5);
         assert_eq!(ok.bootstrap_timeout(), Duration::from_millis(80));
         assert_eq!(ok.initial_n_estimate(), 64.0);
+    }
+
+    #[test]
+    fn daemon_invariants_are_each_rejected() {
+        let valid = DaemonConfig {
+            launch_period_rounds: 8,
+            instance_rounds: 20,
+            thresholds: vec![1.0, 2.0, 3.0],
+            half_life_rounds: 8.0,
+            max_tracked: 4,
+        };
+        valid.validate().unwrap();
+        let accepted = ClusterConfig::default().with_daemon(valid.clone()).unwrap();
+        assert_eq!(accepted.daemon(), Some(&valid));
+        assert_eq!(ClusterConfig::default().daemon(), None);
+
+        let broken: Vec<(DaemonConfig, &str)> = vec![
+            (
+                DaemonConfig {
+                    launch_period_rounds: 0,
+                    ..valid.clone()
+                },
+                "launch_period_rounds",
+            ),
+            (
+                DaemonConfig {
+                    instance_rounds: 0,
+                    ..valid.clone()
+                },
+                "instance_rounds",
+            ),
+            (
+                DaemonConfig {
+                    thresholds: Vec::new(),
+                    ..valid.clone()
+                },
+                "non-empty",
+            ),
+            (
+                DaemonConfig {
+                    thresholds: vec![1.0, f64::NAN],
+                    ..valid.clone()
+                },
+                "finite",
+            ),
+            (
+                DaemonConfig {
+                    thresholds: vec![2.0, 1.0],
+                    ..valid.clone()
+                },
+                "strictly increasing",
+            ),
+            (
+                DaemonConfig {
+                    half_life_rounds: 0.0,
+                    ..valid.clone()
+                },
+                "half_life_rounds",
+            ),
+            (
+                DaemonConfig {
+                    max_tracked: 0,
+                    ..valid.clone()
+                },
+                "max_tracked",
+            ),
+        ];
+        for (config, needle) in broken {
+            let err = ClusterConfig::default().with_daemon(config).unwrap_err();
+            match err {
+                DeployConfigError::InvalidDaemonConfig(why) => {
+                    assert!(why.contains(needle), "{why} should mention {needle}");
+                }
+                other => panic!("expected InvalidDaemonConfig, got {other:?}"),
+            }
+        }
     }
 
     #[test]

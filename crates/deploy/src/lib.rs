@@ -54,8 +54,8 @@ mod reactor;
 pub mod shim;
 pub mod stats;
 
-pub use cluster::{Cluster, ClusterReport, ClusterTelemetry};
-pub use config::{ClusterConfig, DeployConfigError, NodeConfig, RuntimeKind};
+pub use cluster::{Cluster, ClusterReport, ClusterTelemetry, DAEMON_INSTANCE_BASE};
+pub use config::{ClusterConfig, DaemonConfig, DeployConfigError, NodeConfig, RuntimeKind};
 pub use frame::{
     read_frame, read_frame_counted, write_frame, EstimateWire, Frame, FrameError, MAX_FRAME,
 };

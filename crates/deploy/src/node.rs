@@ -32,7 +32,7 @@ use std::time::{Duration, Instant};
 
 use adam2_core::runtime::PendingExchange;
 use adam2_core::wire::GossipMessage;
-use adam2_core::{Adam2Node, AttrValue};
+use adam2_core::{Adam2Node, AttrValue, BlendedTracker, FadeConfig};
 use bytes::Bytes;
 use rand::rngs::StdRng;
 use rand::RngExt as _;
@@ -115,6 +115,9 @@ struct NodeInner {
     seq_cache: SeqCache,
     next_seq: u64,
     rng: StdRng,
+    /// Daemon mode only: the time-faded blend of completed estimates this
+    /// node serves from `GetEstimate` instead of the newest snapshot.
+    tracker: Option<BlendedTracker>,
 }
 
 /// State shared between a node's runtime (threads or reactor shard) and the
@@ -145,6 +148,7 @@ impl NodeShared {
         config: NodeConfig,
         shim: Arc<LossShim>,
         epoch: Instant,
+        fade: Option<FadeConfig>,
     ) -> io::Result<(Arc<Self>, TcpListener)> {
         let listener = TcpListener::bind(SocketAddrV4::new(Ipv4Addr::LOCALHOST, 0))?;
         listener.set_nonblocking(true)?;
@@ -156,6 +160,7 @@ impl NodeShared {
                 seq_cache: SeqCache::new(),
                 next_seq: u64::from(port) << 40,
                 rng: StdRng::seed_from_u64(config.seed ^ u64::from(port)),
+                tracker: fade.map(BlendedTracker::new),
             }),
             queue: OutboundQueue::default(),
             stats: NodeStats::default(),
@@ -205,9 +210,28 @@ impl NodeShared {
     }
 
     /// The node's current distribution estimate, if any instance completed.
+    ///
+    /// In daemon mode this is the time-faded blend over the node's
+    /// completed instances (rendered at the newest estimate's knots so it
+    /// is wire-compatible with a single snapshot); otherwise it is the
+    /// newest completed instance verbatim.
     pub fn estimate_wire(&self) -> Option<EstimateWire> {
+        let now = self.current_round();
         let inner = self.inner.lock().expect("node lock");
-        inner.node.estimate().map(EstimateWire::from)
+        let Some(tracker) = inner.tracker.as_ref() else {
+            return inner.node.estimate().map(EstimateWire::from);
+        };
+        let newest = tracker.newest()?;
+        let (min, max, thresholds, fractions) = tracker.snapshot_points(now)?;
+        Some(EstimateWire {
+            instance: newest.instance,
+            completed_round: newest.completed_at,
+            n_hat: inner.node.estimate().and_then(|e| e.n_hat),
+            min,
+            max,
+            thresholds,
+            fractions,
+        })
     }
 
     fn merge_peers(&self, inner: &mut NodeInner, peers: &[u16]) {
@@ -318,6 +342,13 @@ impl NodeShared {
     pub(crate) fn plan_round(&self, round: u64) -> Option<u16> {
         let mut inner = self.inner.lock().expect("node lock");
         inner.node.finalize_due_instances(round);
+        // Daemon mode: fold any freshly finalised estimate into the blend
+        // (absorb ignores instances already tracked, so re-offering the
+        // newest estimate every round is idempotent).
+        let NodeInner { node, tracker, .. } = &mut *inner;
+        if let (Some(tracker), Some(est)) = (tracker.as_mut(), node.estimate()) {
+            tracker.absorb(est.instance.as_u64(), est.completed_round, est.cdf.clone());
+        }
         if inner.view.is_empty() {
             None
         } else {
@@ -369,9 +400,10 @@ impl NodeHandle {
         config: NodeConfig,
         shim: Arc<LossShim>,
         epoch: Instant,
+        fade: Option<FadeConfig>,
     ) -> io::Result<Self> {
         let (shared, listener) =
-            NodeShared::create(value, initial_n_estimate, config, shim, epoch)?;
+            NodeShared::create(value, initial_n_estimate, config, shim, epoch, fade)?;
         let threads = vec![
             spawn_named("listener", {
                 let shared = Arc::clone(&shared);

@@ -9,12 +9,16 @@
 //! Flags beyond the standard `--nodes/--seed/--lambda` set:
 //!
 //! * `--iters N` — mutation iterations per campaign (default 60);
-//! * `--check` — re-run both campaigns from the same master seed and
-//!   fail unless they replay bit-identically, the vanilla campaign found
-//!   and shrank a violation, and the hardened campaign stayed clear;
+//! * `--workers N` — oracle-judging threads per batch (default: cores,
+//!   capped at 8; any value replays the identical campaign);
+//! * `--check` — re-run both campaigns from the same master seed at a
+//!   *different* worker count and fail unless they replay
+//!   bit-identically, the vanilla campaign found and shrank a
+//!   violation, and the hardened campaign stayed clear;
 //! * `--emit-corpus DIR` — also write the seed corpus (the canned
 //!   `bench_faults` scenarios under vanilla, the four `bench_byzantine`
-//!   f=10% attacks under hardened) plus the vanilla campaign's minimal
+//!   f=10% attacks under hardened, the drift trio exercising the
+//!   streaming oracle path) plus the vanilla campaign's minimal
 //!   violation, as replayable JSON entries;
 //! * `--corpus DIR` — replay an existing corpus instead of exploring;
 //!   exits non-zero if any entry's verdict or fingerprint changed.
@@ -32,7 +36,9 @@ use adam2_explore::campaign::{run_campaign, CampaignConfig, CampaignReport};
 use adam2_explore::corpus::{load_dir, replay, CorpusEntry};
 use adam2_explore::oracle::{ConfigKind, Oracle, OracleConfig, Verdict, ROUNDS};
 use adam2_explore::shrink::strictly_smaller;
-use adam2_sim::{AdversaryModel, FaultEvent, FaultScenario, PartitionKind, RunManifest};
+use adam2_sim::{
+    AdversaryModel, DriftModel, FaultEvent, FaultScenario, PartitionKind, RunManifest,
+};
 
 /// Mirrors `bench_byzantine`: poisoned components drawn from [0, 5).
 const MAGNITUDE: f64 = 5.0;
@@ -118,6 +124,19 @@ fn describe(scenario: &FaultScenario) -> String {
                     }
                 };
                 format!("adversary {from_round}..{to_round} frac {fraction:.2} {lie}")
+            }
+            FaultEvent::Drift {
+                from_round,
+                to_round,
+                model,
+            } => {
+                let shape = match model {
+                    DriftModel::LinearRamp { per_round } => format!("ramp {per_round:.1}"),
+                    DriftModel::Step { shift } => format!("step {shift:.1}"),
+                    DriftModel::Jitter { sigma } => format!("jitter {sigma:.1}"),
+                    DriftModel::Replacement { rate } => format!("replace {rate:.2}"),
+                };
+                format!("drift {from_round}..{to_round} {shape}")
             }
         })
         .collect();
@@ -260,6 +279,32 @@ fn seed_corpus_scenarios(seed: u64) -> Vec<(String, ConfigKind, Option<FaultScen
                 magnitude: MAGNITUDE,
             })),
         ),
+        // The streaming oracle path: drifted attributes waive the
+        // fraction audit (estimates go stale by design) while weight
+        // conservation stays a hard invariant.
+        (
+            "vanilla_drift_ramp".into(),
+            ConfigKind::Vanilla,
+            Some(FaultScenario::new(seed).with_drift(
+                5,
+                15,
+                DriftModel::LinearRamp { per_round: 10.0 },
+            )),
+        ),
+        (
+            "vanilla_drift_burst".into(),
+            ConfigKind::Vanilla,
+            Some(
+                FaultScenario::new(seed)
+                    .with_burst_loss(5, 15, 0.3)
+                    .with_drift(5, 15, DriftModel::LinearRamp { per_round: 10.0 }),
+            ),
+        ),
+        (
+            "hardened_drift_step".into(),
+            ConfigKind::Hardened,
+            Some(FaultScenario::new(seed).with_drift(10, 11, DriftModel::Step { shift: 500.0 })),
+        ),
     ]
 }
 
@@ -358,7 +403,11 @@ fn replay_corpus(dir: &Path) -> i32 {
     0
 }
 
-fn campaign_pair(args: &Args, iters: usize) -> (Oracle, CampaignReport, Oracle, CampaignReport) {
+fn campaign_pair(
+    args: &Args,
+    iters: usize,
+    workers: usize,
+) -> (Oracle, CampaignReport, Oracle, CampaignReport) {
     let vanilla = Oracle::new(
         OracleConfig::new(ConfigKind::Vanilla)
             .with_nodes(args.nodes)
@@ -370,7 +419,9 @@ fn campaign_pair(args: &Args, iters: usize) -> (Oracle, CampaignReport, Oracle, 
             .with_seed(args.seed),
     );
     let vanilla_report = run_campaign(
-        &CampaignConfig::new(args.seed).with_iterations(iters),
+        &CampaignConfig::new(args.seed)
+            .with_iterations(iters)
+            .with_workers(workers),
         &vanilla,
         |i, features, violations| {
             if (i + 1) % 10 == 0 {
@@ -384,7 +435,8 @@ fn campaign_pair(args: &Args, iters: usize) -> (Oracle, CampaignReport, Oracle, 
     let hardened_report = run_campaign(
         &CampaignConfig::new(args.seed)
             .with_iterations(iters)
-            .with_max_violations(0),
+            .with_max_violations(0)
+            .with_workers(workers),
         &hardened,
         |i, features, violations| {
             if (i + 1) % 10 == 0 {
@@ -470,10 +522,18 @@ fn main() {
             exit(2);
         }
     };
+    let workers = match args.extra_parsed::<usize>("workers") {
+        Ok(v) => v.unwrap_or_else(default_workers).max(1),
+        Err(e) => {
+            eprintln!("bench_explore: {e}");
+            exit(2);
+        }
+    };
     let default_out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_explore.json");
     let out = args.extra("out").unwrap_or(default_out).to_string();
 
-    let (vanilla, vanilla_report, _hardened, hardened_report) = campaign_pair(&args, iters);
+    let (vanilla, vanilla_report, _hardened, hardened_report) =
+        campaign_pair(&args, iters, workers);
     let results = [
         summarise(ConfigKind::Vanilla, &vanilla_report),
         summarise(ConfigKind::Hardened, &hardened_report),
@@ -514,11 +574,15 @@ fn main() {
     println!("wrote {out}");
 
     if check {
+        // Replay at a *different* worker count: the rerun asserts both
+        // seed-determinism and worker-count invariance in one pass.
+        let other_workers = if workers == 1 { 2 } else { 1 };
         eprintln!(
-            "check: replaying both campaigns from master seed {}",
+            "check: replaying both campaigns from master seed {} at workers {other_workers} \
+             (first pass used {workers})",
             args.seed
         );
-        let (_, rerun_vanilla, _, rerun_hardened) = campaign_pair(&args, iters);
+        let (_, rerun_vanilla, _, rerun_hardened) = campaign_pair(&args, iters, other_workers);
         let failures = run_checks(
             &vanilla_report,
             &hardened_report,
@@ -533,6 +597,15 @@ fn main() {
         }
         println!("checks passed: deterministic, vanilla violates + shrinks, hardened clear");
     }
+}
+
+/// Default judging pool: the machine's cores, capped — oracle runs are
+/// milliseconds each, so a huge pool only buys scheduling overhead.
+fn default_workers() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(8)
 }
 
 fn take_flag(raw: &mut Vec<String>, name: &str) -> bool {

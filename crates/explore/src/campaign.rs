@@ -12,8 +12,21 @@
 //! `seeded_rng(derive_seed(master_seed, ITER_STREAM + i))` — so a
 //! campaign re-run with the same seed and iteration budget replays
 //! bit-identically, which is what `bench_explore --check` asserts.
+//!
+//! Oracle runs are the campaign's entire cost, and they are judged on a
+//! worker pool: iterations are scheduled in fixed batches of [`BATCH`].
+//! Each batch draws its parents and mutations sequentially against the
+//! pool state at batch start (pure RNG work, microseconds), judges the
+//! batch's deduplicated candidates concurrently, then folds the
+//! outcomes back in iteration order — coverage, operator rewards, pool
+//! energy, and shrinking all stay sequential. Because the batch size is
+//! a constant of the schedule and never derives from the worker count,
+//! a campaign replays bit-identically under *any* `workers` setting;
+//! `campaign_is_worker_count_invariant` pins that down.
 
 use std::collections::HashSet;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 use adam2_sim::{derive_seed, seeded_rng, FaultScenario};
 use rand::rngs::StdRng;
@@ -27,6 +40,17 @@ use crate::shrink::{shrink, ShrinkOutcome};
 /// Stream tag separating campaign RNG streams from engine/fault streams.
 const ITER_STREAM: u64 = 0xEC5_0000;
 
+/// Iterations scheduled per judging batch. Part of the deterministic
+/// schedule (never derived from the worker count): parents for a whole
+/// batch are drawn against the pool state at batch start, so novel
+/// children only earn energy at batch boundaries.
+const BATCH: usize = 8;
+
+/// One drawn batch slot: the iteration number plus, unless the child
+/// deduplicated away, `(candidate, mutation op, index into the judged
+/// batch)`.
+type DrawnSlot = (usize, Option<(FaultScenario, usize, usize)>);
+
 /// Campaign parameters.
 #[derive(Debug, Clone, Copy)]
 pub struct CampaignConfig {
@@ -39,6 +63,9 @@ pub struct CampaignConfig {
     pub shrink_budget: usize,
     /// Stop after this many violations (0 = never stop early).
     pub max_violations: usize,
+    /// Worker threads judging each batch's candidates (min 1). Purely an
+    /// execution knob: any value replays the identical campaign.
+    pub workers: usize,
 }
 
 impl CampaignConfig {
@@ -48,6 +75,7 @@ impl CampaignConfig {
             iterations: 60,
             shrink_budget: 60,
             max_violations: 1,
+            workers: 1,
         }
     }
 
@@ -58,6 +86,11 @@ impl CampaignConfig {
 
     pub fn with_max_violations(mut self, max_violations: usize) -> Self {
         self.max_violations = max_violations;
+        self
+    }
+
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
         self
     }
 }
@@ -100,6 +133,40 @@ struct PoolEntry {
     energy: f64,
 }
 
+/// Judges `candidates` on up to `workers` threads. Results come back in
+/// candidate order whatever the interleaving, and `Oracle::run` is a
+/// pure function of the scenario, so the outcome vector is independent
+/// of the worker count.
+fn judge_batch(oracle: &Oracle, candidates: &[FaultScenario], workers: usize) -> Vec<RunOutcome> {
+    let workers = workers.max(1).min(candidates.len());
+    if workers <= 1 {
+        return candidates.iter().map(|c| oracle.run(c)).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<RunOutcome>>> =
+        candidates.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let idx = next.fetch_add(1, Ordering::Relaxed);
+                if idx >= candidates.len() {
+                    break;
+                }
+                let outcome = oracle.run(&candidates[idx]);
+                *slots[idx].lock().expect("result slot") = Some(outcome);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot")
+                .expect("every candidate judged")
+        })
+        .collect()
+}
+
 fn pick_parent<'a>(pool: &'a [PoolEntry], rng: &mut StdRng) -> &'a FaultScenario {
     let total: f64 = pool.iter().map(|e| e.energy).sum();
     let mut x = rng.random::<f64>() * total;
@@ -139,55 +206,83 @@ pub fn run_campaign(
     }];
 
     let mut iterations_run = 0usize;
-    for iteration in 0..config.iterations {
-        iterations_run = iteration + 1;
-        let mut rng = seeded_rng(derive_seed(
-            config.master_seed,
-            ITER_STREAM + 1 + iteration as u64,
-        ));
-        let parent = pick_parent(&pool, &mut rng).clone();
-        let (candidate, op) = mutator.mutate(&parent, &mut rng);
-        if !seen.insert(candidate.to_json()) {
-            progress(iteration, coverage.len(), violations.len());
-            continue;
-        }
-        let outcome = oracle.run(&candidate);
-        oracle_runs += 1;
+    let mut batch_start = 0usize;
+    'campaign: while batch_start < config.iterations {
+        let batch_end = (batch_start + BATCH).min(config.iterations);
 
-        let mut features = scenario_features(&candidate);
-        features.extend(outcome.signature.iter().copied());
-        let novel = coverage.observe(features);
-        if novel > 0 {
-            mutator.reward(op);
-            pool.push(PoolEntry {
-                scenario: candidate.clone(),
-                energy: 1.0 + novel as f64,
-            });
-        }
-
-        if outcome.verdict.is_violation() {
-            let ShrinkOutcome {
-                scenario: minimal,
-                outcome: minimal_outcome,
-                runs,
-            } = shrink(oracle, &candidate, &outcome, config.shrink_budget);
-            oracle_runs += runs;
-            violations.push(FoundViolation {
-                iteration,
-                first: candidate,
-                first_outcome: outcome,
-                minimal,
-                minimal_outcome,
-                shrink_runs: runs,
-            });
-            if config.max_violations > 0 && violations.len() >= config.max_violations {
-                progress(iteration, coverage.len(), violations.len());
-                break;
+        // Draw phase (sequential): parents and mutations for the whole
+        // batch, against the pool and mutation table at batch start.
+        // `None` marks an iteration whose child deduplicated away.
+        let mut drawn: Vec<DrawnSlot> = Vec::new();
+        let mut to_judge: Vec<FaultScenario> = Vec::new();
+        for iteration in batch_start..batch_end {
+            let mut rng = seeded_rng(derive_seed(
+                config.master_seed,
+                ITER_STREAM + 1 + iteration as u64,
+            ));
+            let parent = pick_parent(&pool, &mut rng).clone();
+            let (candidate, op) = mutator.mutate(&parent, &mut rng);
+            if seen.insert(candidate.to_json()) {
+                let judge_idx = to_judge.len();
+                to_judge.push(candidate.clone());
+                drawn.push((iteration, Some((candidate, op, judge_idx))));
+            } else {
+                drawn.push((iteration, None));
             }
-        } else {
-            cleared = Some((candidate, outcome));
         }
-        progress(iteration, coverage.len(), violations.len());
+
+        // Judge phase: the batch's unique candidates, concurrently. The
+        // whole batch is judged even if an early member turns out to
+        // violate, so the run count never depends on judging order.
+        let outcomes = judge_batch(oracle, &to_judge, config.workers);
+        oracle_runs += to_judge.len();
+
+        // Fold phase (sequential, iteration order): coverage, rewards,
+        // pool energy, shrinking, early stop.
+        for (iteration, slot) in drawn {
+            iterations_run = iteration + 1;
+            let Some((candidate, op, judge_idx)) = slot else {
+                progress(iteration, coverage.len(), violations.len());
+                continue;
+            };
+            let outcome = outcomes[judge_idx].clone();
+
+            let mut features = scenario_features(&candidate);
+            features.extend(outcome.signature.iter().copied());
+            let novel = coverage.observe(features);
+            if novel > 0 {
+                mutator.reward(op);
+                pool.push(PoolEntry {
+                    scenario: candidate.clone(),
+                    energy: 1.0 + novel as f64,
+                });
+            }
+
+            if outcome.verdict.is_violation() {
+                let ShrinkOutcome {
+                    scenario: minimal,
+                    outcome: minimal_outcome,
+                    runs,
+                } = shrink(oracle, &candidate, &outcome, config.shrink_budget);
+                oracle_runs += runs;
+                violations.push(FoundViolation {
+                    iteration,
+                    first: candidate,
+                    first_outcome: outcome,
+                    minimal,
+                    minimal_outcome,
+                    shrink_runs: runs,
+                });
+                if config.max_violations > 0 && violations.len() >= config.max_violations {
+                    progress(iteration, coverage.len(), violations.len());
+                    break 'campaign;
+                }
+            } else {
+                cleared = Some((candidate, outcome));
+            }
+            progress(iteration, coverage.len(), violations.len());
+        }
+        batch_start = batch_end;
     }
 
     CampaignReport {
@@ -252,6 +347,36 @@ mod tests {
                 .as_ref()
                 .map(|(sc, o)| (sc.clone(), o.fingerprint)),
             b.cleared
+                .as_ref()
+                .map(|(sc, o)| (sc.clone(), o.fingerprint))
+        );
+    }
+
+    #[test]
+    fn campaign_is_worker_count_invariant() {
+        let oracle = oracle(ConfigKind::Vanilla);
+        let config = CampaignConfig::new(99).with_iterations(12);
+        let serial = run_campaign(&config, &oracle, |_, _, _| {});
+        let pooled = run_campaign(&config.with_workers(4), &oracle, |_, _, _| {});
+        assert_eq!(serial.iterations_run, pooled.iterations_run);
+        assert_eq!(serial.oracle_runs, pooled.oracle_runs);
+        assert_eq!(serial.features, pooled.features);
+        assert_eq!(serial.op_weights, pooled.op_weights);
+        assert_eq!(serial.violations.len(), pooled.violations.len());
+        for (a, b) in serial.violations.iter().zip(&pooled.violations) {
+            assert_eq!(a.iteration, b.iteration);
+            assert_eq!(a.first, b.first);
+            assert_eq!(a.minimal, b.minimal);
+            assert_eq!(a.minimal_outcome.fingerprint, b.minimal_outcome.fingerprint);
+            assert_eq!(a.shrink_runs, b.shrink_runs);
+        }
+        assert_eq!(
+            serial
+                .cleared
+                .as_ref()
+                .map(|(sc, o)| (sc.clone(), o.fingerprint)),
+            pooled
+                .cleared
                 .as_ref()
                 .map(|(sc, o)| (sc.clone(), o.fingerprint))
         );

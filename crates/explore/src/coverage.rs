@@ -51,7 +51,7 @@ pub fn scenario_features(scenario: &FaultScenario) -> Vec<u64> {
     let mut push = |axis: u64, kind: u64, value: u64| {
         features.push(FAMILY_SCENARIO | (axis << 48) | (kind << 40) | (value & 0xFF_FFFF_FFFF));
     };
-    let mut per_axis = [0u64; 7];
+    let mut per_axis = [0u64; 8];
     for event in &scenario.events {
         match *event {
             FaultEvent::BurstLoss {
@@ -126,6 +126,28 @@ pub fn scenario_features(scenario: &FaultScenario) -> Vec<u64> {
                 };
                 push(6, 4, tag);
                 push(6, 5, (tag << 16) | rate_bucket(value));
+            }
+            FaultEvent::Drift {
+                from_round,
+                to_round,
+                ref model,
+            } => {
+                per_axis[7] += 1;
+                push(7, 1, log2_bucket(to_round.saturating_sub(from_round)));
+                push(7, 3, from_round / 4);
+                // Ramp/step/jitter magnitudes are in absolute attribute
+                // units (tens to hundreds), so they bucket by log2;
+                // replacement is a probability and buckets by decile.
+                let (tag, bucket) = match *model {
+                    adam2_sim::DriftModel::LinearRamp { per_round } => {
+                        (1, log2_bucket(per_round.abs() as u64))
+                    }
+                    adam2_sim::DriftModel::Step { shift } => (2, log2_bucket(shift.abs() as u64)),
+                    adam2_sim::DriftModel::Jitter { sigma } => (3, log2_bucket(sigma as u64)),
+                    adam2_sim::DriftModel::Replacement { rate } => (4, rate_bucket(rate)),
+                };
+                push(7, 4, tag);
+                push(7, 5, (tag << 16) | bucket);
             }
         }
     }
@@ -252,6 +274,20 @@ mod tests {
         let a = mk(AdversaryModel::ValuePoisoning { magnitude: 5.0 });
         let b = mk(AdversaryModel::WeightInflation { factor: 5.0 });
         assert_ne!(a, b);
+    }
+
+    #[test]
+    fn drift_models_are_distinguished() {
+        use adam2_sim::DriftModel;
+        let mk = |model| scenario_features(&FaultScenario::new(1).with_drift(5, 15, model));
+        let ramp = mk(DriftModel::LinearRamp { per_round: 10.0 });
+        let step = mk(DriftModel::Step { shift: 200.0 });
+        let jitter = mk(DriftModel::Jitter { sigma: 50.0 });
+        assert_ne!(ramp, step);
+        assert_ne!(step, jitter);
+        // Magnitudes a power of two apart land in different buckets.
+        let small = mk(DriftModel::Step { shift: 60.0 });
+        assert_ne!(step, small);
     }
 
     #[test]

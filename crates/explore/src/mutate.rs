@@ -17,13 +17,19 @@
 //!   0.15 < the robust merge's breakdown point) with lie magnitudes ≥ 2
 //!   so the lies are implausible enough for the robust screen — both
 //!   mirror the calibrated `bench_byzantine` operating points.
+//! * At most one attribute-drift window, with per-model magnitudes kept
+//!   small relative to the ~8000-unit RAM attribute domain (see
+//!   [`RAMP_RANGE`]/[`SHIFT_RANGE`]/[`SIGMA_RANGE`]/[`REPLACE_RANGE`]) so
+//!   a single instance judged against its enrolment-time truth stays in
+//!   the Err_a regression band; tracking *large* drifts is the streaming
+//!   subsystem's job (`adam2-stream`), not a single instance's.
 //!
 //! The table is *adaptive*: [`Mutator::reward`] bumps the weight of an
 //! operator whose output reached novel coverage, so the campaign drifts
 //! toward the operators that are still finding new behaviour (the
 //! beacon-explore weight-table scheme).
 
-use adam2_sim::{AdversaryModel, FaultEvent, FaultScenario, PartitionKind};
+use adam2_sim::{AdversaryModel, DriftModel, FaultEvent, FaultScenario, PartitionKind};
 use rand::rngs::StdRng;
 use rand::RngExt as _;
 
@@ -45,14 +51,30 @@ pub const ADVERSARY_RANGE: (f64, f64) = (0.02, 0.15);
 pub const MAGNITUDE_RANGE: (f64, f64) = (2.0, 5.0);
 /// Weight-inflation factor envelope.
 pub const FACTOR_RANGE: (f64, f64) = (2.0, 8.0);
+/// Linear-ramp drift envelope in attribute units per round. The oracle
+/// population's RAM attribute spans ~8000 units, so a full-envelope ramp
+/// over a 10-round window moves the truth by ≤ 2.5% of the domain —
+/// enough to exercise the drift paths, small enough that Err_a against
+/// the enrolment-time truth stays inside the regression band (the
+/// streaming subsystem, not a single instance, owns larger drifts).
+pub const RAMP_RANGE: (f64, f64) = (1.0, 20.0);
+/// Step-drift shift envelope in attribute units (same domain argument).
+pub const SHIFT_RANGE: (f64, f64) = (50.0, 500.0);
+/// Per-node jitter half-width envelope (zero-mean, so the population
+/// CDF barely moves even at the top of the range).
+pub const SIGMA_RANGE: (f64, f64) = (5.0, 100.0);
+/// Population-replacement rate envelope (redraws are from the same
+/// source distribution, so the truth is stable by construction).
+pub const REPLACE_RANGE: (f64, f64) = (0.01, 0.1);
 
-const OP_NAMES: [&str; 12] = [
+const OP_NAMES: [&str; 13] = [
     "add_burst",
     "add_partition",
     "add_crash",
     "add_delay",
     "add_duplicate",
     "add_adversary",
+    "add_drift",
     "remove_event",
     "widen_window",
     "shift_window",
@@ -119,6 +141,13 @@ impl Mutator {
                 add_event(&mut out, gen_adversary(rng), rng);
             }
             6 => {
+                // Single drift window: replace any existing one, so the
+                // calibrated per-model envelope bounds the total drift.
+                out.events
+                    .retain(|e| !matches!(e, FaultEvent::Drift { .. }));
+                add_event(&mut out, gen_drift(rng), rng);
+            }
+            7 => {
                 if out.events.is_empty() {
                     reseed(&mut out, rng);
                 } else {
@@ -126,10 +155,10 @@ impl Mutator {
                     out.events.remove(idx);
                 }
             }
-            7 => with_random_event(&mut out, rng, widen_window),
-            8 => with_random_event(&mut out, rng, shift_window),
-            9 => with_random_event(&mut out, rng, |e, r| scale_event(e, r, 1.5)),
-            10 => with_random_event(&mut out, rng, |e, r| scale_event(e, r, 0.5)),
+            8 => with_random_event(&mut out, rng, widen_window),
+            9 => with_random_event(&mut out, rng, shift_window),
+            10 => with_random_event(&mut out, rng, |e, r| scale_event(e, r, 1.5)),
+            11 => with_random_event(&mut out, rng, |e, r| scale_event(e, r, 0.5)),
             _ => reseed(&mut out, rng),
         }
         debug_assert!(out.validate().is_ok(), "mutator produced {out:?}");
@@ -258,6 +287,29 @@ fn gen_adversary(rng: &mut StdRng) -> FaultEvent {
     }
 }
 
+fn gen_drift(rng: &mut StdRng) -> FaultEvent {
+    let (from_round, to_round) = gen_window(rng, 10, MAX_FAULT_ROUND);
+    let model = match rng.random_range(0..4u32) {
+        0 => DriftModel::LinearRamp {
+            per_round: rng.random_range(RAMP_RANGE.0..=RAMP_RANGE.1),
+        },
+        1 => DriftModel::Step {
+            shift: rng.random_range(SHIFT_RANGE.0..=SHIFT_RANGE.1),
+        },
+        2 => DriftModel::Jitter {
+            sigma: rng.random_range(SIGMA_RANGE.0..=SIGMA_RANGE.1),
+        },
+        _ => DriftModel::Replacement {
+            rate: rng.random_range(REPLACE_RANGE.0..=REPLACE_RANGE.1),
+        },
+    };
+    FaultEvent::Drift {
+        from_round,
+        to_round,
+        model,
+    }
+}
+
 /// Extends an event's window end by 1–3 rounds, staying inside the
 /// axis's envelope (no-op when already at the edge).
 fn widen_window(event: &mut FaultEvent, rng: &mut StdRng) {
@@ -274,6 +326,11 @@ fn widen_window(event: &mut FaultEvent, rng: &mut StdRng) {
             ..
         }
         | FaultEvent::Duplicate {
+            from_round,
+            to_round,
+            ..
+        }
+        | FaultEvent::Drift {
             from_round,
             to_round,
             ..
@@ -324,6 +381,11 @@ fn shift_window(event: &mut FaultEvent, rng: &mut StdRng) {
             ..
         }
         | FaultEvent::Duplicate {
+            from_round,
+            to_round,
+            ..
+        }
+        | FaultEvent::Drift {
             from_round,
             to_round,
             ..
@@ -395,6 +457,12 @@ fn scale_event(event: &mut FaultEvent, rng: &mut StdRng, factor: f64) {
                 }
             }
         }
+        FaultEvent::Drift { model, .. } => match model {
+            DriftModel::LinearRamp { per_round } => *per_round = clamp(*per_round, RAMP_RANGE),
+            DriftModel::Step { shift } => *shift = clamp(*shift, SHIFT_RANGE),
+            DriftModel::Jitter { sigma } => *sigma = clamp(*sigma, SIGMA_RANGE),
+            DriftModel::Replacement { rate } => *rate = clamp(*rate, REPLACE_RANGE),
+        },
     }
 }
 
@@ -435,6 +503,7 @@ mod tests {
             let sc = deep_mutate(seed, 60);
             let mut crash_events = 0;
             let mut adversary_events = 0;
+            let mut drift_events = 0;
             for event in &sc.events {
                 match *event {
                     FaultEvent::BurstLoss {
@@ -492,10 +561,33 @@ mod tests {
                             }
                         }
                     }
+                    FaultEvent::Drift {
+                        to_round,
+                        ref model,
+                        ..
+                    } => {
+                        drift_events += 1;
+                        assert!(to_round <= MAX_FAULT_ROUND);
+                        match *model {
+                            DriftModel::LinearRamp { per_round } => {
+                                assert!((RAMP_RANGE.0..=RAMP_RANGE.1).contains(&per_round));
+                            }
+                            DriftModel::Step { shift } => {
+                                assert!((SHIFT_RANGE.0..=SHIFT_RANGE.1).contains(&shift));
+                            }
+                            DriftModel::Jitter { sigma } => {
+                                assert!((SIGMA_RANGE.0..=SIGMA_RANGE.1).contains(&sigma));
+                            }
+                            DriftModel::Replacement { rate } => {
+                                assert!((REPLACE_RANGE.0..=REPLACE_RANGE.1).contains(&rate));
+                            }
+                        }
+                    }
                 }
             }
             assert!(crash_events <= 1, "at most one crash wave");
             assert!(adversary_events <= 1, "at most one adversary window");
+            assert!(drift_events <= 1, "at most one drift window");
         }
     }
 

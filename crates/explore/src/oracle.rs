@@ -10,7 +10,11 @@
 //!    invariant: crash–recover destroys crashed replicas' mass by design,
 //!    a self-heal restart resets the ledger mid-run, and a Byzantine
 //!    node's own accounting is fiction — in those runs the damage has to
-//!    show up in the error/convergence checks instead.
+//!    show up in the error/convergence checks instead. Attribute drift
+//!    is the one partial case: weight mass is value-independent and
+//!    stays a hard invariant, but the fraction audit compares enrolled
+//!    contributions against indicators recomputed from the *drifted*
+//!    values, so drifted runs keep the weight audit only.
 //! 3. **Non-convergence** — an honest peer finished the round budget
 //!    without any estimate.
 //! 4. **Err_a regression** — the honest peers' Err_a exceeds
@@ -299,20 +303,33 @@ pub fn honest_initiator(ids: &[NodeId], adversary: Option<&ActiveAdversary>) -> 
         .expect("at least one honest node")
 }
 
-/// True when mass conservation is a real invariant of this run (see the
-/// module docs).
-fn mass_invariant_holds_for(scenario: Option<&FaultScenario>, healed: u64) -> bool {
-    if healed > 0 {
-        return false;
+/// Which mass audits are real invariants of this run (see the module
+/// docs). Weight mass is value-independent, so attribute drift leaves it
+/// a hard invariant; the fraction audit compares enrolled indicator
+/// contributions against indicators *recomputed from current values*, so
+/// a drift window makes the comparison read stale-by-design estimates as
+/// a defect — drifted runs keep the weight audit and drop the fraction
+/// audit.
+#[derive(Debug, Clone, Copy)]
+struct MassEligibility {
+    weight: bool,
+    fraction: bool,
+}
+
+fn mass_eligibility_for(scenario: Option<&FaultScenario>, healed: u64) -> MassEligibility {
+    let base = healed == 0
+        && scenario.is_none_or(|sc| {
+            !sc.events.iter().any(|e| {
+                matches!(
+                    e,
+                    FaultEvent::CrashRecover { .. } | FaultEvent::Adversary { .. }
+                )
+            })
+        });
+    MassEligibility {
+        weight: base,
+        fraction: base && scenario.is_none_or(|sc| !sc.has_drift()),
     }
-    scenario.is_none_or(|sc| {
-        !sc.events.iter().any(|e| {
-            matches!(
-                e,
-                FaultEvent::CrashRecover { .. } | FaultEvent::Adversary { .. }
-            )
-        })
-    })
 }
 
 /// Judges the auditor + evaluation results shared by the cycle and event
@@ -320,7 +337,7 @@ fn mass_invariant_holds_for(scenario: Option<&FaultScenario>, healed: u64) -> bo
 /// the baseline run itself).
 #[allow(clippy::too_many_arguments)]
 fn judge(
-    mass_eligible: bool,
+    mass_eligible: MassEligibility,
     weight_drift: Option<f64>,
     weight_violation: Option<MassViolation>,
     fraction_drift: Option<f64>,
@@ -329,7 +346,7 @@ fn judge(
     peers_without_estimate: usize,
     baseline_err: Option<f64>,
 ) -> (Verdict, f64) {
-    if mass_eligible {
+    if mass_eligible.weight {
         if let Some(kind) = weight_violation {
             let verdict = match kind {
                 MassViolation::Inflation => Verdict::MassInflation,
@@ -337,6 +354,8 @@ fn judge(
             };
             return (verdict, weight_drift.unwrap_or(f64::NAN));
         }
+    }
+    if mass_eligible.fraction {
         if let Some(kind) = fraction_violation {
             let verdict = match kind {
                 MassViolation::Inflation => Verdict::MassInflation,
@@ -425,7 +444,7 @@ fn run_cycle(
     // reads 0 again, but the drift while it was live already corrupted
     // the estimates derived from it (`bench_faults` reports the same
     // max-excursion statistic).
-    let mass_eligible = mass_invariant_holds_for(scenario, healed);
+    let mass_eligible = mass_eligibility_for(scenario, healed);
     let (verdict, detail) = judge(
         mass_eligible,
         auditor.worst_drift_of(AUDIT_WEIGHT),
@@ -610,7 +629,7 @@ impl Oracle {
         let report = score_honest(&peers, adversary.as_ref(), s, config);
         let fingerprint = fingerprint_of(&peers, &n_hats);
 
-        let mass_eligible = mass_invariant_holds_for(scenario, 0);
+        let mass_eligible = mass_eligibility_for(scenario, 0);
         let (verdict, detail) = judge(
             mass_eligible,
             auditor.worst_drift_of(AUDIT_WEIGHT),
@@ -725,6 +744,54 @@ mod tests {
         );
         let outcome = oracle.run(&scenario);
         assert_eq!(outcome.verdict, Verdict::Clear, "err_a {}", outcome.err_a);
+    }
+
+    #[test]
+    fn drift_inside_envelope_is_clear_on_both_configs() {
+        use adam2_sim::DriftModel;
+        // Top-of-envelope drifts (see `mutate`'s RAMP/SHIFT ranges): the
+        // fraction audit is waived, the weight audit holds, and Err_a
+        // against the enrolment-time truth stays inside the band.
+        for kind in [ConfigKind::Vanilla, ConfigKind::Hardened] {
+            let oracle = small(kind);
+            for scenario in [
+                FaultScenario::new(7).with_drift(5, 15, DriftModel::LinearRamp { per_round: 20.0 }),
+                FaultScenario::new(7).with_drift(10, 11, DriftModel::Step { shift: 500.0 }),
+                FaultScenario::new(7).with_drift(0, 30, DriftModel::Replacement { rate: 0.1 }),
+            ] {
+                let outcome = oracle.run(&scenario);
+                assert_eq!(
+                    outcome.verdict,
+                    Verdict::Clear,
+                    "{kind:?} {scenario:?}: detail {} err_a {} (baseline {})",
+                    outcome.detail,
+                    outcome.err_a,
+                    oracle.baseline().err_a
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn drifted_burst_still_caught_by_weight_audit() {
+        use adam2_sim::DriftModel;
+        // Drift waives only the fraction audit: an unrepaired loss burst
+        // riding the same scenario still leaks value-independent weight
+        // mass, and the oracle must keep catching it.
+        let oracle = small(ConfigKind::Vanilla);
+        let scenario = FaultScenario::new(7)
+            .with_burst_loss(5, 15, 0.3)
+            .with_drift(5, 15, DriftModel::LinearRamp { per_round: 10.0 });
+        let outcome = oracle.run(&scenario);
+        assert!(
+            matches!(
+                outcome.verdict,
+                Verdict::MassLeakage | Verdict::MassInflation
+            ),
+            "expected a weight-mass violation, got {:?} (detail {})",
+            outcome.verdict,
+            outcome.detail
+        );
     }
 
     #[test]

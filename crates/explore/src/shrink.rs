@@ -91,6 +91,35 @@ fn halve_intensity(event: &FaultEvent) -> Option<FaultEvent> {
                 }
             }
         }
+        FaultEvent::Drift { model, .. } => {
+            use adam2_sim::DriftModel::*;
+            match model {
+                LinearRamp { per_round } => {
+                    if per_round.abs() < 1.0 {
+                        return None;
+                    }
+                    *per_round /= 2.0;
+                }
+                Step { shift } => {
+                    if shift.abs() < 1.0 {
+                        return None;
+                    }
+                    *shift /= 2.0;
+                }
+                Jitter { sigma } => {
+                    if *sigma < 1.0 {
+                        return None;
+                    }
+                    *sigma /= 2.0;
+                }
+                Replacement { rate } => {
+                    if *rate < 0.02 {
+                        return None;
+                    }
+                    *rate /= 2.0;
+                }
+            }
+        }
         FaultEvent::Partition { .. } => return None,
     }
     Some(out)
@@ -132,6 +161,11 @@ fn candidates(scenario: &FaultScenario) -> Vec<FaultScenario> {
                 from_round,
                 to_round,
                 ..
+            }
+            | FaultEvent::Drift {
+                from_round,
+                to_round,
+                ..
             } => halve_window(from_round, to_round),
             FaultEvent::CrashRecover {
                 at_round,
@@ -151,7 +185,8 @@ fn candidates(scenario: &FaultScenario) -> Vec<FaultScenario> {
                 | FaultEvent::Partition { to_round, .. }
                 | FaultEvent::Delay { to_round, .. }
                 | FaultEvent::Duplicate { to_round, .. }
-                | FaultEvent::Adversary { to_round, .. } => *to_round = new_end,
+                | FaultEvent::Adversary { to_round, .. }
+                | FaultEvent::Drift { to_round, .. } => *to_round = new_end,
                 FaultEvent::CrashRecover { recover_round, .. } => *recover_round = new_end,
             }
             out.push(sc);
@@ -252,6 +287,19 @@ pub fn strictly_smaller(first: &FaultScenario, minimal: &FaultScenario) -> bool 
                     adam2_sim::AdversaryModel::WeightInflation { factor } => factor,
                 };
                 (to_round - from_round, fraction + lie)
+            }
+            FaultEvent::Drift {
+                from_round,
+                to_round,
+                ref model,
+            } => {
+                let magnitude = match *model {
+                    adam2_sim::DriftModel::LinearRamp { per_round } => per_round.abs(),
+                    adam2_sim::DriftModel::Step { shift } => shift.abs(),
+                    adam2_sim::DriftModel::Jitter { sigma } => sigma,
+                    adam2_sim::DriftModel::Replacement { rate } => rate,
+                };
+                (to_round - from_round, magnitude)
             }
         }
     }

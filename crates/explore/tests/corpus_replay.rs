@@ -18,9 +18,13 @@ fn committed_corpus_replays_bit_identically() {
     let dir = Path::new(concat!(env!("CARGO_MANIFEST_DIR"), "/../../corpus"));
     let entries = load_dir(dir).expect("committed corpus loads");
     assert!(
-        entries.len() >= 8,
-        "seed corpus has at least the 4 fault shapes and 4 attacks, got {}",
+        entries.len() >= 11,
+        "seed corpus has at least the 4 fault shapes, 4 attacks and 3 drift entries, got {}",
         entries.len()
+    );
+    assert!(
+        entries.iter().any(|e| e.scenario.has_drift()),
+        "corpus exercises the drifted oracle path"
     );
     let results = replay(&entries);
     let failures: Vec<String> = results

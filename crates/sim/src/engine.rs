@@ -21,7 +21,8 @@ use rand::RngExt as _;
 use crate::churn::{ChurnModel, ChurnState};
 use crate::executor;
 use crate::faults::{
-    ActiveAdversary, FaultRuntime, FaultScenario, FaultTrace, PlannedAttack, RoundFaults,
+    ActiveAdversary, DriftModel, DriftOp, FaultRuntime, FaultScenario, FaultTrace, PlannedAttack,
+    RoundFaults,
 };
 use crate::node::{NodeId, NodeSlab};
 use crate::overlay::{Overlay, OverlayConfig};
@@ -96,6 +97,16 @@ pub trait Protocol {
     /// Called when a node leaves (churn). The default drops the state.
     fn on_leave(&mut self, id: NodeId, node: Self::Node) {
         let _ = (id, node);
+    }
+
+    /// Applies one attribute-drift operation to a live node (fault
+    /// injection under a [`crate::FaultEvent::Drift`] window). `rng` is the
+    /// scenario-seeded drift stream — implementations must draw any
+    /// randomness (e.g. a replacement value) from it, never from shared
+    /// state, so replay stays bit-identical. The default ignores drift
+    /// (protocols without a drifting attribute).
+    fn drift_node(&mut self, id: NodeId, node: &mut Self::Node, op: DriftOp, rng: &mut StdRng) {
+        let _ = (id, node, op, rng);
     }
 
     /// Whether this protocol implements the plan/apply parallel round API
@@ -1164,7 +1175,19 @@ impl<P: Protocol> Engine<P> {
             }
         }
 
-        // 5. Byzantine adversary: resolve the window covering this round
+        // 5. Attribute drift: while a window is active, rewrite live
+        // nodes' values in slot order. All randomness comes from the
+        // scenario's per-round drift stream (never the engine RNG), and
+        // the loop is sequential on every execution path, so the mutation
+        // replays bit-identically at any thread count.
+        let drifted = self.apply_drift(&rt, round);
+        if drifted > 0 {
+            if let Some(t) = self.telemetry.as_deref_mut() {
+                t.record_fault_drift(round, drifted);
+            }
+        }
+
+        // 6. Byzantine adversary: resolve the window covering this round
         // (if any) and count the compromised slots among the live
         // population. Membership is a pure function of the scenario seed,
         // so the count — like everything else in the trace — is identical
@@ -1181,6 +1204,7 @@ impl<P: Protocol> Engine<P> {
             || !crashed_slots.is_empty()
             || recovered > 0
             || self.adversary.is_some()
+            || drifted > 0
         {
             rt.trace.records.push(RoundFaults {
                 round,
@@ -1190,9 +1214,45 @@ impl<P: Protocol> Engine<P> {
                 crashed: crashed_slots,
                 recovered,
                 byzantine,
+                drifted,
             });
         }
         self.faults = Some(rt);
+    }
+
+    /// Applies the drift models active at `round` to every live node in
+    /// slot order, returning the number of node mutations performed.
+    fn apply_drift(&mut self, rt: &FaultRuntime, round: u64) -> u32 {
+        let models = rt.scenario.drifts_at(round);
+        if models.is_empty() {
+            return 0;
+        }
+        let mut rng = rt.drift_rng(round);
+        let ids = self.nodes.id_vec();
+        let mut drifted = 0u32;
+        for model in models {
+            for &id in &ids {
+                let op = match model {
+                    DriftModel::LinearRamp { per_round } => Some(DriftOp::Shift(per_round)),
+                    DriftModel::Step { shift } => Some(DriftOp::Shift(shift)),
+                    DriftModel::Jitter { sigma } => {
+                        // One draw per node, consumed even when sigma is 0,
+                        // keeping the stream aligned across scenarios.
+                        let u = rng.random::<f64>();
+                        Some(DriftOp::Shift((2.0 * u - 1.0) * sigma))
+                    }
+                    DriftModel::Replacement { rate } => {
+                        (rng.random::<f64>() < rate).then_some(DriftOp::Replace)
+                    }
+                };
+                let Some(op) = op else { continue };
+                if let Some(node) = self.nodes.get_mut(id) {
+                    self.protocol.drift_node(id, node, op, &mut rng);
+                    drifted += 1;
+                }
+            }
+        }
+        drifted
     }
 
     fn apply_churn(&mut self) {

@@ -40,7 +40,9 @@ use rand::RngExt as _;
 use rand::seq::SliceRandom as _;
 
 use crate::engine::SimConfigError;
-use crate::faults::{ActiveAdversary, FaultRuntime, FaultScenario, FaultTrace, RoundFaults};
+use crate::faults::{
+    ActiveAdversary, DriftModel, DriftOp, FaultRuntime, FaultScenario, FaultTrace, RoundFaults,
+};
 use crate::node::{NodeId, NodeSlab, PeerView};
 use crate::rng::{derive_seed, par_stream_rng, seeded_rng};
 use crate::stats::NetStats;
@@ -217,6 +219,14 @@ pub trait AsyncProtocol {
         message: Self::Message,
         ctx: &mut EventCtx<'_, Self::Node, Self::Message>,
     );
+
+    /// Applies one attribute-drift operation to a live node (fault
+    /// injection under a [`crate::FaultEvent::Drift`] window), mirroring
+    /// `Protocol::drift_node` on the cycle engine. `rng` is the
+    /// scenario-seeded drift stream. The default ignores drift.
+    fn drift_node(&mut self, id: NodeId, node: &mut Self::Node, op: DriftOp, rng: &mut StdRng) {
+        let _ = (id, node, op, rng);
+    }
 }
 
 /// The parallel-batch extension of [`AsyncProtocol`], driven by
@@ -827,6 +837,16 @@ impl<P: AsyncProtocol> EventEngine<P> {
             }
         }
 
+        // Attribute drift: rewrite live nodes' values in slot order from
+        // the scenario's per-round drift stream, exactly as the cycle
+        // engine does at the same fault round — the traces must match.
+        let drifted = self.apply_drift(&rt, round);
+        if drifted > 0 {
+            if let Some(t) = self.telemetry.as_deref_mut() {
+                t.record_fault_drift(round, drifted);
+            }
+        }
+
         // 5. Byzantine adversary: membership is a pure function of the
         // scenario seed, counted over the post-crash live population.
         let adversary = rt.scenario.adversary_at(round);
@@ -840,6 +860,7 @@ impl<P: AsyncProtocol> EventEngine<P> {
             || !crashed_slots.is_empty()
             || recovered > 0
             || adversary.is_some()
+            || drifted > 0
         {
             rt.trace.records.push(RoundFaults {
                 round,
@@ -849,9 +870,44 @@ impl<P: AsyncProtocol> EventEngine<P> {
                 crashed: crashed_slots,
                 recovered,
                 byzantine,
+                drifted,
             });
         }
         self.faults = Some(rt);
+    }
+
+    /// Applies the drift models active at fault round `round` to every
+    /// live node in slot order (mirrors `Engine::apply_drift` exactly so
+    /// cycle ↔ event fault traces stay comparable).
+    fn apply_drift(&mut self, rt: &FaultRuntime, round: u64) -> u32 {
+        let models = rt.scenario.drifts_at(round);
+        if models.is_empty() {
+            return 0;
+        }
+        let mut rng = rt.drift_rng(round);
+        let ids = self.nodes.id_vec();
+        let mut drifted = 0u32;
+        for model in models {
+            for &id in &ids {
+                let op = match model {
+                    DriftModel::LinearRamp { per_round } => Some(DriftOp::Shift(per_round)),
+                    DriftModel::Step { shift } => Some(DriftOp::Shift(shift)),
+                    DriftModel::Jitter { sigma } => {
+                        let u = rng.random::<f64>();
+                        Some(DriftOp::Shift((2.0 * u - 1.0) * sigma))
+                    }
+                    DriftModel::Replacement { rate } => {
+                        (rng.random::<f64>() < rate).then_some(DriftOp::Replace)
+                    }
+                };
+                let Some(op) = op else { continue };
+                if let Some(node) = self.nodes.get_mut(id) {
+                    self.protocol.drift_node(id, node, op, &mut rng);
+                    drifted += 1;
+                }
+            }
+        }
+        drifted
     }
 
     /// Registers `send_seq` as having a duplicate twin in flight, evicting

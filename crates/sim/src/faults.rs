@@ -25,6 +25,7 @@ pub(crate) const PHASE_CRASH: u64 = 17;
 pub(crate) const PHASE_RECOVER: u64 = 18;
 pub(crate) const PHASE_ADVERSARY: u64 = 19;
 pub(crate) const PHASE_ADV_DRAW: u64 = 20;
+pub(crate) const PHASE_DRIFT: u64 = 21;
 
 /// Shape of an injected network partition.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -127,6 +128,94 @@ impl AdversaryModel {
     }
 }
 
+/// How node attribute values drift while a [`FaultEvent::Drift`] window is
+/// active.
+///
+/// Drift rewrites the *attribute* of live nodes between rounds — the input
+/// the protocol is estimating — not the protocol state itself. Estimates in
+/// flight keep the indicator contributions their nodes enrolled with, so
+/// they go stale exactly the way a real deployment's would; that staleness
+/// is what the streaming subsystem (`adam2-stream`) exists to track.
+/// Magnitudes are in absolute attribute units.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DriftModel {
+    /// Every live node's value shifts by `per_round` each round of the
+    /// window (a population-wide linear ramp).
+    LinearRamp {
+        /// Per-round additive shift (may be negative).
+        per_round: f64,
+    },
+    /// Every live node's value shifts by `shift` exactly once, at the
+    /// window's first round (an abrupt step change — the Spectra restart
+    /// trigger's target case).
+    Step {
+        /// One-shot additive shift (may be negative).
+        shift: f64,
+    },
+    /// Each round, every live node's value shifts by an independent
+    /// uniform draw in `[-sigma, sigma]` from the scenario-seeded drift
+    /// stream (per-node jitter; the population mean stays put).
+    Jitter {
+        /// Half-width of the uniform jitter, `≥ 0`.
+        sigma: f64,
+    },
+    /// Each round, each live node redraws its value from the protocol's
+    /// fresh-value source with probability `rate` (population replacement:
+    /// the distribution morphs toward the source's).
+    Replacement {
+        /// Per-node per-round replacement probability in `[0, 1]`.
+        rate: f64,
+    },
+}
+
+impl DriftModel {
+    fn validate(self) -> Result<(), SimConfigError> {
+        match self {
+            DriftModel::LinearRamp { per_round } => {
+                if !per_round.is_finite() {
+                    return Err(SimConfigError::new(format!(
+                        "drift per_round must be finite, got {per_round}"
+                    )));
+                }
+            }
+            DriftModel::Step { shift } => {
+                if !shift.is_finite() {
+                    return Err(SimConfigError::new(format!(
+                        "drift shift must be finite, got {shift}"
+                    )));
+                }
+            }
+            DriftModel::Jitter { sigma } => {
+                if !sigma.is_finite() || sigma < 0.0 {
+                    return Err(SimConfigError::new(format!(
+                        "drift sigma must be finite and ≥ 0, got {sigma}"
+                    )));
+                }
+            }
+            DriftModel::Replacement { rate } => {
+                if !rate.is_finite() || !(0.0..=1.0).contains(&rate) {
+                    return Err(SimConfigError::new(format!(
+                        "drift rate must be finite and in [0, 1], got {rate}"
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// One attribute-drift operation for a single node, resolved by the engine
+/// from the active [`DriftModel`]s and handed to the protocol's
+/// `drift_node` hook.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DriftOp {
+    /// Add `delta` to the node's attribute value(s).
+    Shift(f64),
+    /// Redraw the node's attribute from the protocol's fresh-value source
+    /// (using the scenario-seeded drift RNG, never the engine RNG).
+    Replace,
+}
+
 /// One declarative fault, active over a round window.
 ///
 /// Round windows are half-open: `[from_round, to_round)`. A `CrashRecover`
@@ -202,6 +291,20 @@ pub enum FaultEvent {
         fraction: f64,
         /// What the Byzantine nodes do.
         model: AdversaryModel,
+    },
+    /// Attribute drift: while active, live nodes' attribute values are
+    /// rewritten between rounds according to `model` (a [`DriftModel::Step`]
+    /// fires once, at `from_round`). All randomness comes from the
+    /// scenario-seeded drift stream consumed over live nodes in slot
+    /// order, so replay is bit-identical on both engines at any thread
+    /// count.
+    Drift {
+        /// First affected round (inclusive).
+        from_round: u64,
+        /// First unaffected round (exclusive).
+        to_round: u64,
+        /// How the attribute values move.
+        model: DriftModel,
     },
 }
 
@@ -297,6 +400,18 @@ impl FaultScenario {
         self
     }
 
+    /// Adds an attribute-drift window `[from, to)`: live nodes' values
+    /// move per `model` each round the window is active (a
+    /// [`DriftModel::Step`] fires once, at `from`).
+    pub fn with_drift(mut self, from: u64, to: u64, model: DriftModel) -> Self {
+        self.events.push(FaultEvent::Drift {
+            from_round: from,
+            to_round: to,
+            model,
+        });
+        self
+    }
+
     /// Validates every event: probabilities must be finite and in `[0, 1]`,
     /// windows non-inverted, recovery strictly after the crash, island cuts
     /// need at least two groups.
@@ -374,9 +489,45 @@ impl FaultScenario {
                     probability("byzantine fraction", fraction)?;
                     model.validate()?;
                 }
+                FaultEvent::Drift {
+                    from_round,
+                    to_round,
+                    model,
+                } => {
+                    window(from_round, to_round)?;
+                    model.validate()?;
+                }
             }
         }
         Ok(())
+    }
+
+    /// The drift models active at `round`, in event order. A
+    /// [`DriftModel::Step`] is only active at its window's first round
+    /// (it fires once); the other models apply every round of their
+    /// window.
+    pub fn drifts_at(&self, round: u64) -> Vec<DriftModel> {
+        self.events
+            .iter()
+            .filter_map(|event| match *event {
+                FaultEvent::Drift {
+                    from_round,
+                    to_round,
+                    model,
+                } if (from_round..to_round).contains(&round) => match model {
+                    DriftModel::Step { .. } if round != from_round => None,
+                    _ => Some(model),
+                },
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Whether the scenario contains any drift window.
+    pub fn has_drift(&self) -> bool {
+        self.events
+            .iter()
+            .any(|e| matches!(e, FaultEvent::Drift { .. }))
     }
 
     /// The loss-rate override active at `round`, if any (maximum over all
@@ -502,7 +653,8 @@ impl FaultScenario {
                 | FaultEvent::Partition { to_round, .. }
                 | FaultEvent::Delay { to_round, .. }
                 | FaultEvent::Duplicate { to_round, .. }
-                | FaultEvent::Adversary { to_round, .. } => to_round,
+                | FaultEvent::Adversary { to_round, .. }
+                | FaultEvent::Drift { to_round, .. } => to_round,
                 FaultEvent::CrashRecover { recover_round, .. } => recover_round,
             })
             .max()
@@ -629,6 +781,9 @@ pub struct RoundFaults {
     pub recovered: u32,
     /// Number of live Byzantine nodes this round (0 when no adversary).
     pub byzantine: u32,
+    /// Number of nodes whose attribute value drifted this round (0 when
+    /// no drift window is active).
+    pub drifted: u32,
 }
 
 /// Chronological record of injected faults, one entry per round with any
@@ -697,6 +852,17 @@ impl FaultRuntime {
     pub(crate) fn recover_rng(&self, round: u64) -> rand::rngs::StdRng {
         seeded_rng(derive_seed(
             derive_seed(self.scenario.seed, PHASE_RECOVER),
+            round,
+        ))
+    }
+
+    /// Deterministic RNG for the attribute-drift draws at `round`. One
+    /// stream per round, consumed over live nodes in slot order — the
+    /// application loop is sequential in both engines, so replay is
+    /// thread-count invariant.
+    pub(crate) fn drift_rng(&self, round: u64) -> rand::rngs::StdRng {
+        seeded_rng(derive_seed(
+            derive_seed(self.scenario.seed, PHASE_DRIFT),
             round,
         ))
     }
@@ -920,6 +1086,93 @@ mod tests {
             equiv.corruption_seed(1, 7, 9),
             equiv.corruption_seed(1, 7, 9)
         );
+    }
+
+    #[test]
+    fn drift_validation() {
+        let good = [
+            FaultScenario::new(1).with_drift(0, 10, DriftModel::LinearRamp { per_round: -0.5 }),
+            FaultScenario::new(1).with_drift(5, 6, DriftModel::Step { shift: 100.0 }),
+            FaultScenario::new(1).with_drift(0, 30, DriftModel::Jitter { sigma: 0.0 }),
+            FaultScenario::new(1).with_drift(0, 30, DriftModel::Replacement { rate: 1.0 }),
+        ];
+        for s in good {
+            assert!(s.validate().is_ok(), "{s:?} should validate");
+        }
+        let bad = [
+            FaultScenario::new(1).with_drift(
+                0,
+                10,
+                DriftModel::LinearRamp {
+                    per_round: f64::NAN,
+                },
+            ),
+            FaultScenario::new(1).with_drift(
+                0,
+                10,
+                DriftModel::Step {
+                    shift: f64::INFINITY,
+                },
+            ),
+            FaultScenario::new(1).with_drift(0, 10, DriftModel::Jitter { sigma: -1.0 }),
+            FaultScenario::new(1).with_drift(0, 10, DriftModel::Replacement { rate: 1.5 }),
+            FaultScenario::new(1).with_drift(10, 0, DriftModel::Step { shift: 1.0 }),
+        ];
+        for s in bad {
+            assert!(s.validate().is_err(), "{s:?} should be rejected");
+        }
+    }
+
+    #[test]
+    fn drift_window_semantics() {
+        let s = FaultScenario::new(3)
+            .with_drift(5, 15, DriftModel::LinearRamp { per_round: 2.0 })
+            .with_drift(8, 20, DriftModel::Step { shift: 50.0 });
+        assert!(s.has_drift());
+        assert!(!FaultScenario::new(3).has_drift());
+        assert!(s.drifts_at(4).is_empty());
+        assert_eq!(
+            s.drifts_at(5),
+            vec![DriftModel::LinearRamp { per_round: 2.0 }]
+        );
+        // The step fires exactly once, at its window start.
+        assert_eq!(
+            s.drifts_at(8),
+            vec![
+                DriftModel::LinearRamp { per_round: 2.0 },
+                DriftModel::Step { shift: 50.0 },
+            ]
+        );
+        assert_eq!(
+            s.drifts_at(9),
+            vec![DriftModel::LinearRamp { per_round: 2.0 }]
+        );
+        assert!(s.drifts_at(15).is_empty());
+        assert_eq!(s.last_round(), 20);
+    }
+
+    #[test]
+    fn drift_rng_is_per_round_deterministic() {
+        use rand::RngExt as _;
+        let rt = FaultRuntime::new(FaultScenario::new(9).with_drift(
+            0,
+            10,
+            DriftModel::Jitter { sigma: 1.0 },
+        ));
+        let a: Vec<f64> = {
+            let mut rng = rt.drift_rng(3);
+            (0..8).map(|_| rng.random::<f64>()).collect()
+        };
+        let b: Vec<f64> = {
+            let mut rng = rt.drift_rng(3);
+            (0..8).map(|_| rng.random::<f64>()).collect()
+        };
+        assert_eq!(a, b);
+        let c: Vec<f64> = {
+            let mut rng = rt.drift_rng(4);
+            (0..8).map(|_| rng.random::<f64>()).collect()
+        };
+        assert_ne!(a, c, "different rounds get different drift streams");
     }
 
     #[test]

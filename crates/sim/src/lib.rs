@@ -78,8 +78,8 @@ pub use event::{
     AsyncProtocol, BatchAsyncProtocol, BatchCtx, EventConfig, EventCtx, EventEngine, LatencyModel,
 };
 pub use faults::{
-    ActiveAdversary, AdversaryModel, FaultEvent, FaultScenario, FaultTrace, PartitionKind,
-    PlannedAttack, RoundFaults,
+    ActiveAdversary, AdversaryModel, DriftModel, DriftOp, FaultEvent, FaultScenario, FaultTrace,
+    PartitionKind, PlannedAttack, RoundFaults,
 };
 pub use node::{NodeId, NodeSlab};
 pub use overlay::{Overlay, OverlayConfig, OverlayKind};

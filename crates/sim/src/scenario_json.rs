@@ -27,7 +27,7 @@
 use serde::json::{self, Value};
 
 use crate::engine::SimConfigError;
-use crate::faults::{AdversaryModel, FaultEvent, FaultScenario, PartitionKind};
+use crate::faults::{AdversaryModel, DriftModel, FaultEvent, FaultScenario, PartitionKind};
 
 fn err(message: impl Into<String>) -> SimConfigError {
     SimConfigError::new(message)
@@ -88,6 +88,51 @@ fn model_to_value(model: &AdversaryModel) -> Value {
         ("kind".to_string(), Value::String(kind.to_string())),
         (param.to_string(), Value::Number(value)),
     ])
+}
+
+fn drift_to_value(model: &DriftModel) -> Value {
+    let (kind, param, value) = match *model {
+        DriftModel::LinearRamp { per_round } => ("linear_ramp", "per_round", per_round),
+        DriftModel::Step { shift } => ("step", "shift", shift),
+        DriftModel::Jitter { sigma } => ("jitter", "sigma", sigma),
+        DriftModel::Replacement { rate } => ("replacement", "rate", rate),
+    };
+    Value::Object(vec![
+        ("kind".to_string(), Value::String(kind.to_string())),
+        (param.to_string(), Value::Number(value)),
+    ])
+}
+
+fn drift_from_value(value: &Value) -> Result<DriftModel, SimConfigError> {
+    let kind = field_str(value, "kind")?;
+    let model = match kind {
+        "linear_ramp" => {
+            check_keys(value, &["kind", "per_round"])?;
+            DriftModel::LinearRamp {
+                per_round: field_f64(value, "per_round")?,
+            }
+        }
+        "step" => {
+            check_keys(value, &["kind", "shift"])?;
+            DriftModel::Step {
+                shift: field_f64(value, "shift")?,
+            }
+        }
+        "jitter" => {
+            check_keys(value, &["kind", "sigma"])?;
+            DriftModel::Jitter {
+                sigma: field_f64(value, "sigma")?,
+            }
+        }
+        "replacement" => {
+            check_keys(value, &["kind", "rate"])?;
+            DriftModel::Replacement {
+                rate: field_f64(value, "rate")?,
+            }
+        }
+        other => return Err(err(format!("scenario json: unknown drift model `{other}`"))),
+    };
+    Ok(model)
 }
 
 fn model_from_value(value: &Value) -> Result<AdversaryModel, SimConfigError> {
@@ -202,6 +247,16 @@ fn event_to_value(event: &FaultEvent) -> Value {
             ("fraction".to_string(), Value::Number(fraction)),
             ("model".to_string(), model_to_value(model)),
         ]),
+        FaultEvent::Drift {
+            from_round,
+            to_round,
+            ref model,
+        } => Value::Object(vec![
+            kind("drift"),
+            ("from_round".to_string(), Value::Uint(from_round)),
+            ("to_round".to_string(), Value::Uint(to_round)),
+            ("model".to_string(), drift_to_value(model)),
+        ]),
     }
 }
 
@@ -285,6 +340,17 @@ fn event_from_value(value: &Value) -> Result<FaultEvent, SimConfigError> {
                 model: model_from_value(model)?,
             }
         }
+        "drift" => {
+            check_keys(value, &["kind", "from_round", "to_round", "model"])?;
+            let model = value
+                .get("model")
+                .ok_or_else(|| err("scenario json: missing field `model`"))?;
+            FaultEvent::Drift {
+                from_round: field_u64(value, "from_round")?,
+                to_round: field_u64(value, "to_round")?,
+                model: drift_from_value(model)?,
+            }
+        }
         other => return Err(err(format!("scenario json: unknown event kind `{other}`"))),
     };
     Ok(event)
@@ -344,6 +410,8 @@ impl serde::Serialize for FaultScenario {}
 impl serde::Deserialize for FaultScenario {}
 impl serde::Serialize for AdversaryModel {}
 impl serde::Deserialize for AdversaryModel {}
+impl serde::Serialize for DriftModel {}
+impl serde::Deserialize for DriftModel {}
 
 #[cfg(test)]
 mod tests {
@@ -367,6 +435,7 @@ mod tests {
                 0.1,
                 AdversaryModel::ValuePoisoning { magnitude: 5.0 },
             )
+            .with_drift(4, 24, DriftModel::LinearRamp { per_round: 1.5 })
     }
 
     #[test]
@@ -390,6 +459,36 @@ mod tests {
             let scenario = FaultScenario::new(7).with_adversary(1, 9, 0.05, model);
             let back = FaultScenario::from_json(&scenario.to_json()).unwrap();
             assert_eq!(back, scenario);
+        }
+    }
+
+    #[test]
+    fn round_trip_every_drift_model() {
+        for model in [
+            DriftModel::LinearRamp { per_round: -0.25 },
+            DriftModel::Step { shift: 120.0 },
+            DriftModel::Jitter { sigma: 3.0 },
+            DriftModel::Replacement { rate: 0.05 },
+        ] {
+            let scenario = FaultScenario::new(13).with_drift(2, 28, model);
+            let back = FaultScenario::from_json(&scenario.to_json()).unwrap();
+            assert_eq!(back, scenario);
+        }
+    }
+
+    #[test]
+    fn invalid_drift_rejected_on_decode() {
+        for text in [
+            // rate out of range
+            r#"{"seed":1,"events":[{"kind":"drift","from_round":0,"to_round":9,"model":{"kind":"replacement","rate":1.5}}]}"#,
+            // negative sigma
+            r#"{"seed":1,"events":[{"kind":"drift","from_round":0,"to_round":9,"model":{"kind":"jitter","sigma":-1.0}}]}"#,
+            // unknown drift model
+            r#"{"seed":1,"events":[{"kind":"drift","from_round":0,"to_round":9,"model":{"kind":"warp","rate":0.1}}]}"#,
+            // stray field
+            r#"{"seed":1,"events":[{"kind":"drift","from_round":0,"to_round":9,"model":{"kind":"step","shift":1.0,"x":2}}]}"#,
+        ] {
+            assert!(FaultScenario::from_json(text).is_err(), "accepted {text}");
         }
     }
 

@@ -245,6 +245,13 @@ impl SimTelemetry {
         self.event(round, 0, 0, EventKind::FaultPartition, checksum);
     }
 
+    /// Records a round's attribute-drift wave; `drifted` = nodes mutated.
+    pub fn record_fault_drift(&mut self, round: u64, drifted: u32) {
+        self.scratch.faults += 1;
+        self.inner.metrics.add(self.c_faults, 1);
+        self.event(round, 0, 0, EventKind::FaultDrift, u64::from(drifted));
+    }
+
     /// Records one node crash.
     pub fn record_crash(&mut self, round: u64, slot: u32) {
         self.scratch.crashes += 1;

@@ -37,6 +37,9 @@ pub enum EventKind {
     ChurnLeave,
     /// A protocol instance was started; `instance` carries its id.
     InstanceStarted,
+    /// A fault scenario drifted node attribute values this round;
+    /// `detail` = number of nodes mutated.
+    FaultDrift,
 }
 
 impl EventKind {
@@ -54,6 +57,7 @@ impl EventKind {
             EventKind::ChurnJoin => "churn_join",
             EventKind::ChurnLeave => "churn_leave",
             EventKind::InstanceStarted => "instance_started",
+            EventKind::FaultDrift => "fault_drift",
         }
     }
 }
@@ -199,6 +203,7 @@ mod tests {
             EventKind::ChurnJoin,
             EventKind::ChurnLeave,
             EventKind::InstanceStarted,
+            EventKind::FaultDrift,
         ];
         let names: Vec<&str> = kinds.iter().map(|k| k.name()).collect();
         let mut unique = names.clone();
